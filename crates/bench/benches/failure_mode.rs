@@ -1,0 +1,50 @@
+//! Benchmark behind Fig. 6: failure-mode passage transform evaluation on the
+//! paper's smallest configuration (system 0, 2 061 states), plus the rare-event
+//! comparison the paper makes — one analytic `s`-point evaluation versus one batch
+//! of simulation replications that mostly fail to observe the event.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smp_core::{PassageTimeSolver, StateSet};
+use smp_numeric::Complex64;
+use smp_simulator::smp_sim::sample_passage;
+use smp_voting::{VotingConfig, VotingSystem};
+use std::time::Duration;
+
+fn bench_failure_mode(c: &mut Criterion) {
+    // Scaled configuration: same structure as system 0 but quick enough to iterate.
+    let system = VotingSystem::build(VotingConfig::new(6, 3, 2)).expect("build");
+    let smp = system.smp();
+    let source = system.initial_state();
+    let targets = system.failure_mode_states();
+    let solver = PassageTimeSolver::new(smp, &[source], &targets).expect("solver");
+    let target_set = StateSet::new(smp.num_states(), &targets).expect("targets");
+
+    let mut group = c.benchmark_group("fig6_failure_mode");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    group.bench_function("analytic_s_point", |b| {
+        let s = Complex64::new(0.05, 0.6);
+        b.iter(|| std::hint::black_box(solver.transform_at(s).unwrap().value))
+    });
+
+    group.bench_function("simulation_100_replications", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut observed = 0usize;
+            for _ in 0..100 {
+                if sample_passage(smp, source, &target_set, 200_000, &mut rng).is_some() {
+                    observed += 1;
+                }
+            }
+            std::hint::black_box(observed)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_mode);
+criterion_main!(benches);

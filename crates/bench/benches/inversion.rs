@@ -1,0 +1,44 @@
+//! Ablation: Euler versus Laguerre numerical Laplace inversion (Section 4 of the
+//! paper) — cost per inversion and cost of the transform evaluations each method
+//! demands for a growing number of output t-points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smp_distributions::Dist;
+use smp_laplace::{Euler, InversionMethod, Laguerre, SPointPlan};
+use std::time::Duration;
+
+fn bench_inversion(c: &mut Criterion) {
+    let d = Dist::mixture(vec![
+        (0.8, Dist::erlang(2.0, 3)),
+        (0.2, Dist::exponential(0.5)),
+    ]);
+
+    let mut group = c.benchmark_group("inversion_methods");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(4));
+
+    for t_count in [1usize, 5, 20] {
+        let ts: Vec<f64> = (1..=t_count).map(|k| k as f64 * 0.5).collect();
+        group.bench_with_input(BenchmarkId::new("euler", t_count), &ts, |b, ts| {
+            let euler = Euler::standard();
+            b.iter(|| std::hint::black_box(euler.invert_many(&d, ts)))
+        });
+        group.bench_with_input(BenchmarkId::new("laguerre", t_count), &ts, |b, ts| {
+            let laguerre = Laguerre::standard();
+            b.iter(|| std::hint::black_box(laguerre.invert_many(&d, ts)))
+        });
+        // The quantity the distributed pipeline actually cares about: how many
+        // transform evaluations each method plans for this t-grid.
+        let euler_plan = SPointPlan::new(InversionMethod::euler(), &ts);
+        let laguerre_plan = SPointPlan::new(InversionMethod::laguerre(), &ts);
+        println!(
+            "# planned s-points for {t_count} t-points: euler = {}, laguerre = {}",
+            euler_plan.len(),
+            laguerre_plan.len()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inversion);
+criterion_main!(benches);

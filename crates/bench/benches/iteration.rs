@@ -1,0 +1,48 @@
+//! Ablation: the iterative O(N²r) passage-time algorithm against the dense O(N³)
+//! linear-solve baseline of Eq. (2)/(3) — the comparison that motivates the paper's
+//! method for large state spaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smp_core::{passage::dense_reference_solve, PassageTimeSolver, SemiMarkovProcess, SmpBuilder, StateSet};
+use smp_distributions::Dist;
+use smp_numeric::Complex64;
+use std::time::Duration;
+
+fn random_smp(n: usize, seed: u64) -> SemiMarkovProcess {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SmpBuilder::new(n);
+    for i in 0..n {
+        b.add_transition(i, (i + 1) % n, 1.0, Dist::exponential(rng.gen_range(0.5..2.0)));
+        for _ in 0..3 {
+            let to = rng.gen_range(0..n);
+            b.add_transition(i, to, rng.gen_range(0.2..1.0), Dist::erlang(rng.gen_range(0.5..2.0), 2));
+        }
+    }
+    b.build().unwrap()
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterative_vs_dense_solver");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let s = Complex64::new(0.6, 1.4);
+
+    for n in [50usize, 200, 500] {
+        let smp = random_smp(n, n as u64);
+        let target = n - 1;
+        group.bench_with_input(BenchmarkId::new("iterative", n), &smp, |b, smp| {
+            let solver = PassageTimeSolver::new(smp, &[0], &[target]).unwrap();
+            b.iter(|| std::hint::black_box(solver.transform_vector_at(s).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_gaussian", n), &smp, |b, smp| {
+            let targets = StateSet::new(n, &[target]).unwrap();
+            b.iter(|| std::hint::black_box(dense_reference_solve(smp, &targets, s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmark behind Fig. 4: cost of one `s`-point evaluation of the voter-passage
+//! transform (the unit of work farmed out by the distributed pipeline) and of a
+//! complete small density computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smp_core::{PassageTimeAnalysis, PassageTimeSolver};
+use smp_laplace::InversionMethod;
+use smp_numeric::Complex64;
+use smp_voting::{VotingConfig, VotingSystem};
+use std::time::Duration;
+
+fn bench_passage(c: &mut Criterion) {
+    let system = VotingSystem::build(VotingConfig::new(8, 3, 2)).expect("build");
+    let smp = system.smp();
+    let source = system.initial_state();
+    let targets = system.states_with_voted_at_least(8);
+    let solver = PassageTimeSolver::new(smp, &[source], &targets).expect("solver");
+
+    let mut group = c.benchmark_group("fig4_voter_passage");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(5));
+
+    group.bench_function("single_s_point_evaluation", |b| {
+        let s = Complex64::new(0.8, 2.5);
+        b.iter(|| std::hint::black_box(solver.transform_at(s).unwrap().value))
+    });
+
+    group.bench_function("density_8_t_points_euler", |b| {
+        let analysis = PassageTimeAnalysis::new(smp, &[source], &targets).expect("analysis");
+        let ts: Vec<f64> = (1..=8).map(|k| k as f64 * 3.0).collect();
+        b.iter(|| {
+            let curve = analysis.density(InversionMethod::euler(), &ts).unwrap();
+            std::hint::black_box(curve.integral())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_passage);
+criterion_main!(benches);

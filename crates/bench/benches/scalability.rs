@@ -1,0 +1,44 @@
+//! Benchmark behind Table 2: wall-clock time of the distributed pipeline as the
+//! worker count grows, on a fixed `s`-point work queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smp_core::PassageTimeSolver;
+use smp_laplace::InversionMethod;
+use smp_pipeline::{DistributedPipeline, PipelineOptions};
+use smp_voting::{VotingConfig, VotingSystem};
+use std::time::Duration;
+
+fn bench_scalability(c: &mut Criterion) {
+    let system = VotingSystem::build(VotingConfig::new(8, 3, 2)).expect("build");
+    let smp = system.smp();
+    let source = system.initial_state();
+    let targets = system.states_with_voted_at_least(8);
+    let solver = PassageTimeSolver::new(smp, &[source], &targets).expect("solver");
+    let t_points: Vec<f64> = (1..=5).map(|k| k as f64 * 4.0).collect();
+
+    let mut group = c.benchmark_group("table2_pipeline_workers");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(6));
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let pipeline = DistributedPipeline::new(
+                InversionMethod::euler(),
+                PipelineOptions::with_workers(w),
+            );
+            b.iter(|| {
+                let result = pipeline
+                    .run(
+                        |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+                        &t_points,
+                    )
+                    .unwrap();
+                std::hint::black_box(result.values.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

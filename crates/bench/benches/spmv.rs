@@ -1,0 +1,60 @@
+//! Ablation: sequential versus multi-threaded sparse matrix–vector products — the
+//! inner kernel of every passage-time iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smp_numeric::Complex64;
+use smp_sparse::parallel::{par_mul_vec, par_vec_mul};
+use smp_sparse::{CsrMatrix, TripletMatrix};
+use std::time::Duration;
+
+fn random_complex_matrix(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        for _ in 0..nnz_per_row {
+            t.push(
+                i,
+                rng.gen_range(0..n),
+                Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+            );
+        }
+    }
+    t.to_csr()
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let n = 60_000;
+    let matrix = random_complex_matrix(n, 6, 42);
+    let x: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+        .collect();
+
+    let mut group = c.benchmark_group("sparse_matrix_vector_products");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(4));
+
+    group.bench_function("row_vector_sequential", |b| {
+        b.iter(|| std::hint::black_box(matrix.vec_mul(&x)))
+    });
+    group.bench_function("col_vector_sequential", |b| {
+        b.iter(|| std::hint::black_box(matrix.mul_vec(&x)))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("row_vector_parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| std::hint::black_box(par_vec_mul(&matrix, &x, t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("col_vector_parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| std::hint::black_box(par_mul_vec(&matrix, &x, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

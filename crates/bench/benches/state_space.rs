@@ -1,0 +1,26 @@
+//! Benchmark behind Table 1: SM-SPN state-space generation cost as the voting
+//! configuration grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smp_voting::{VotingConfig, VotingSystem};
+
+fn bench_state_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_state_space_generation");
+    group.sample_size(10);
+    for (label, config) in [
+        ("tiny_3_2_2", VotingConfig::new(3, 2, 2)),
+        ("small_8_3_2", VotingConfig::new(8, 3, 2)),
+        ("system0_18_6_3", VotingConfig::new(18, 6, 3)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| {
+                let system = VotingSystem::build(*cfg).expect("build");
+                std::hint::black_box(system.num_states())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_space);
+criterion_main!(benches);

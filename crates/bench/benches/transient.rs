@@ -1,0 +1,36 @@
+//! Benchmark behind Fig. 7: cost of one transient-distribution transform evaluation
+//! (Eq. 7 of the paper — one vector passage solve per target state) as the target
+//! set grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smp_core::transient::TransientSolver;
+use smp_numeric::Complex64;
+use smp_voting::{VotingConfig, VotingSystem};
+use std::time::Duration;
+
+fn bench_transient(c: &mut Criterion) {
+    let system = VotingSystem::build(VotingConfig::new(6, 2, 2)).expect("build");
+    let smp = system.smp();
+    let source = system.initial_state();
+
+    let mut group = c.benchmark_group("fig7_transient_transform");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    for voted in [5u32, 3, 1] {
+        let targets = system.states_with_voted_at_least(voted);
+        group.bench_with_input(
+            BenchmarkId::new("target_states", targets.len()),
+            &targets,
+            |b, targets| {
+                let solver = TransientSolver::new(smp, source, targets).expect("solver");
+                let s = Complex64::new(0.4, 1.2);
+                b.iter(|| std::hint::black_box(solver.transform_at(s).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transient);
+criterion_main!(benches);

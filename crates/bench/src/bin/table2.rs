@@ -1,0 +1,67 @@
+//! Table 2 — time, speedup and efficiency of the distributed analysis pipeline for
+//! an increasing number of workers, computing a passage time at 5 t-points with
+//! Euler inversion (the paper's protocol: system 1, 165 s-point evaluations, 1–32
+//! slave processors).
+//!
+//! ```text
+//! cargo run -p smp-bench --release --bin table2 [--system 0] [--voters K]
+//!     [--workers 1,2,4,8,16,32] [--latency-ms L]
+//! ```
+//!
+//! Absolute times differ from the paper (different hardware, thread workers instead
+//! of cluster nodes); the quantity being reproduced is the *shape*: near-linear
+//! speedup that tapers as the per-worker share of the fixed-size work queue shrinks
+//! (and, on this machine, once the worker count exceeds the physical core count).
+
+use smp_bench::{build_paper_system, build_scaled_system, passage_evaluator, Args};
+use smp_core::{PassageTimeAnalysis, PassageTimeSolver};
+use smp_laplace::InversionMethod;
+use smp_pipeline::run_scalability_sweep;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env();
+    let system = if args.value_or("system", -1i64) >= 0 {
+        build_paper_system(args.value_or("system", 0u32))
+    } else {
+        build_scaled_system()
+    };
+    let config = system.config();
+    let voters = args.value_or("voters", config.voters);
+    let worker_counts = args.list_or("workers", &[1, 2, 4, 8, 16, 32]);
+    let latency_ms = args.value_or("latency-ms", 0u64);
+    let latency = if latency_ms > 0 {
+        Some(Duration::from_millis(latency_ms))
+    } else {
+        None
+    };
+
+    println!(
+        "# Table 2: pipeline scalability, {} states, passage of {voters} voters, 5 t-points, Euler inversion",
+        system.num_states()
+    );
+    println!("# available parallelism on this host: {} cores", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    let smp = system.smp();
+    let source = system.initial_state();
+    let targets = system.states_with_voted_at_least(voters);
+    let analysis = PassageTimeAnalysis::new(smp, &[source], &targets).expect("analysis setup");
+    let mean = analysis.mean_from_transform(1e-6).expect("mean passage time");
+    // 5 t-points, as in the paper's Table 2 workload.
+    let t_points: Vec<f64> = (1..=5).map(|k| mean * 0.4 * k as f64).collect();
+
+    let solver = PassageTimeSolver::new(smp, &[source], &targets).expect("solver setup");
+    let rows = run_scalability_sweep(
+        InversionMethod::euler(),
+        passage_evaluator(&solver),
+        &t_points,
+        &worker_counts,
+        latency,
+    )
+    .expect("scalability sweep failed");
+
+    println!("{:>6}  {:>10}  {:>8}  {:>10}  ({} s-point evaluations per run)", "slaves", "time(s)", "speedup", "efficiency", rows[0].evaluations);
+    for row in &rows {
+        println!("{}", row.formatted());
+    }
+}

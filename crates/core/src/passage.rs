@@ -1,0 +1,780 @@
+//! The iterative passage-time algorithm (Section 3 of the paper).
+//!
+//! For a target set `j`, the `r`-transition passage-time transform is
+//!
+//! ```text
+//!   L̃^{(r)}_j(s) = U (I + U' + U'² + … + U'^{(r−1)}) ẽ           (Eq. 9)
+//! ```
+//!
+//! where `U` has entries `u_pq = r*_pq(s)`, `U'` is `U` with the rows of target
+//! states zeroed (targets made absorbing), and `ẽ_k = 1` iff `k ∈ j`.  With multiple
+//! source states weighted by `α` (Eq. 5) this becomes
+//!
+//! ```text
+//!   L^{(r)}_{i→j}(s) = (αU + αUU' + … + αUU'^{(r−1)}) ẽ          (Eq. 10)
+//! ```
+//!
+//! which is evaluated with a row-vector accumulator: the accumulator is initialised
+//! to `αU`, post-multiplied by `U'` at every step, and each term's inner product with
+//! `ẽ` is added to the running result.  Convergence is declared when both the real
+//! and the imaginary part of the increment fall below `ε` (Eq. 11).  The worst-case
+//! cost is `O(N²r)` — compare the `O(N³)` of the dense solver in
+//! [`dense_reference_solve`], which this module also provides as the validation
+//! baseline.
+
+use crate::embedded::EmbeddedChain;
+use crate::error::SmpError;
+use crate::smp::{SemiMarkovProcess, StateSet};
+use smp_distributions::LaplaceTransform;
+use smp_numeric::Complex64;
+use smp_sparse::CsrMatrix;
+
+/// Convergence controls for the iterative sum (Eq. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationOptions {
+    /// Tolerance `ε` applied separately to the real and imaginary parts of the
+    /// increment.
+    pub epsilon: f64,
+    /// Hard cap on the number of transitions `r` considered.
+    pub max_iterations: usize,
+    /// Number of consecutive sub-tolerance increments required before the sum is
+    /// declared converged.  A value above 1 guards against passages whose shortest
+    /// path to the target set is longer than the first quiet stretch of increments.
+    pub consecutive: usize,
+}
+
+impl Default for IterationOptions {
+    fn default() -> Self {
+        IterationOptions {
+            epsilon: smp_numeric::DEFAULT_EPSILON,
+            max_iterations: 1_000_000,
+            consecutive: 3,
+        }
+    }
+}
+
+/// The result of evaluating the passage-time transform at one `s`-point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassagePoint {
+    /// The converged transform value `L_{i→j}(s)`.
+    pub value: Complex64,
+    /// The number of transitions `r` at which the sum converged.
+    pub iterations: usize,
+}
+
+/// Evaluates passage-time transforms for one (source set, target set) pair of a
+/// semi-Markov process.
+#[derive(Debug, Clone)]
+pub struct PassageTimeSolver<'a> {
+    smp: &'a SemiMarkovProcess,
+    sources: StateSet,
+    targets: StateSet,
+    alpha: Vec<f64>,
+    options: IterationOptions,
+}
+
+impl<'a> PassageTimeSolver<'a> {
+    /// Creates a solver for the passage from `sources` into `targets`.
+    ///
+    /// With a single source state no steady-state solve is needed (`α` is a unit
+    /// vector); with several sources the embedded DTMC is solved to obtain the
+    /// α-weights of Eq. (5).
+    pub fn new(
+        smp: &'a SemiMarkovProcess,
+        sources: &[usize],
+        targets: &[usize],
+    ) -> Result<Self, SmpError> {
+        Self::with_options(smp, sources, targets, IterationOptions::default())
+    }
+
+    /// Creates a solver with explicit convergence options.
+    pub fn with_options(
+        smp: &'a SemiMarkovProcess,
+        sources: &[usize],
+        targets: &[usize],
+        options: IterationOptions,
+    ) -> Result<Self, SmpError> {
+        let n = smp.num_states();
+        let sources = StateSet::new(n, sources)?;
+        let targets = StateSet::new(n, targets)?;
+        if sources.is_empty() {
+            return Err(SmpError::EmptyStateSet { which: "source" });
+        }
+        if targets.is_empty() {
+            return Err(SmpError::EmptyStateSet { which: "target" });
+        }
+        let alpha = if sources.len() == 1 {
+            let mut a = vec![0.0; n];
+            a[sources.indices()[0]] = 1.0;
+            a
+        } else {
+            EmbeddedChain::solve(smp)?.alpha_weights(&sources)?
+        };
+        Ok(PassageTimeSolver {
+            smp,
+            sources,
+            targets,
+            alpha,
+            options,
+        })
+    }
+
+    /// Creates a solver with caller-supplied α-weights (must be a full-length vector
+    /// summing to 1 and supported on the source set).  Used when the start-of-passage
+    /// distribution is known from context — e.g. a transient analysis started from a
+    /// specific initial marking rather than from steady state.
+    pub fn with_alpha(
+        smp: &'a SemiMarkovProcess,
+        alpha: Vec<f64>,
+        targets: &[usize],
+        options: IterationOptions,
+    ) -> Result<Self, SmpError> {
+        let n = smp.num_states();
+        if alpha.len() != n {
+            return Err(SmpError::StateOutOfRange {
+                state: alpha.len(),
+                num_states: n,
+            });
+        }
+        let targets = StateSet::new(n, targets)?;
+        if targets.is_empty() {
+            return Err(SmpError::EmptyStateSet { which: "target" });
+        }
+        let source_indices: Vec<usize> = alpha
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        if source_indices.is_empty() {
+            return Err(SmpError::EmptyStateSet { which: "source" });
+        }
+        let sources = StateSet::new(n, &source_indices)?;
+        Ok(PassageTimeSolver {
+            smp,
+            sources,
+            targets,
+            alpha,
+            options,
+        })
+    }
+
+    /// The source state set.
+    pub fn sources(&self) -> &StateSet {
+        &self.sources
+    }
+
+    /// The target state set.
+    pub fn targets(&self) -> &StateSet {
+        &self.targets
+    }
+
+    /// The α-weights in use (Eq. 5).
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The convergence options in use.
+    pub fn options(&self) -> &IterationOptions {
+        &self.options
+    }
+
+    /// The underlying process.
+    pub fn smp(&self) -> &SemiMarkovProcess {
+        self.smp
+    }
+
+    /// Evaluates the α-weighted passage-time transform `L_{i→j}(s)` at one complex
+    /// point by the iterative algorithm of Eq. (10).
+    pub fn transform_at(&self, s: Complex64) -> Result<PassagePoint, SmpError> {
+        let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
+        self.iterate_row(&u, &u_prime, s)
+    }
+
+    /// Evaluates the full vector `L̃_j(s) = (L_{1j}(s), …, L_{Nj}(s))` at one complex
+    /// point by the column-oriented form of Eq. (9).  One call yields the passage
+    /// transform from *every* source state into the target set — this is what the
+    /// transient computation (Eq. 7) consumes, since it needs `L_{ik}(s)` together
+    /// with the cycle-time transforms `L_{kk}(s)`.
+    pub fn transform_vector_at(&self, s: Complex64) -> Result<Vec<Complex64>, SmpError> {
+        let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
+        let n = self.smp.num_states();
+        // v_r = U'^r ẽ ;   acc = Σ_{r=0}^{R-1} v_r ;   L̃ = U · acc
+        let mut v: Vec<Complex64> = (0..n)
+            .map(|k| {
+                if self.targets.contains(k) {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                }
+            })
+            .collect();
+        let mut acc = v.clone();
+        let mut scratch = vec![Complex64::ZERO; n];
+        let mut quiet = 0usize;
+        let mut iterations = 0usize;
+        while iterations < self.options.max_iterations {
+            iterations += 1;
+            u_prime.mul_vec_into(&v, &mut scratch);
+            std::mem::swap(&mut v, &mut scratch);
+            let mut max_delta = 0.0f64;
+            for (a, d) in acc.iter_mut().zip(&v) {
+                *a += *d;
+                max_delta = max_delta.max(d.re.abs()).max(d.im.abs());
+            }
+            if max_delta < self.options.epsilon {
+                quiet += 1;
+                if quiet >= self.options.consecutive {
+                    return Ok(u.mul_vec(&acc));
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        Err(SmpError::ConvergenceFailure {
+            s: (s.re, s.im),
+            iterations,
+            last_delta: v.iter().map(|c| c.norm()).fold(0.0, f64::max),
+        })
+    }
+
+    /// Evaluates the truncated `r`-transition transform `L^{(r)}_{i→j}(s)` exactly —
+    /// no convergence test, precisely `r` terms of the sum.  Used to study the
+    /// convergence behaviour of the iteration (the paper's stated future work) and
+    /// by the ablation benchmarks.
+    pub fn r_transition_transform(&self, s: Complex64, r: usize) -> Complex64 {
+        let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
+        let alpha_c: Vec<Complex64> = self.alpha.iter().map(|&a| Complex64::real(a)).collect();
+        let alpha_u = u.vec_mul(&alpha_c);
+        let e_mask = self.targets.mask();
+        let dot_e = |vec: &[Complex64]| -> Complex64 {
+            vec.iter()
+                .zip(e_mask)
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| *v)
+                .sum()
+        };
+        if r == 0 {
+            return Complex64::ZERO;
+        }
+        let mut term = alpha_u.clone();
+        let mut total = dot_e(&term);
+        let mut scratch = vec![Complex64::ZERO; term.len()];
+        for _ in 1..r {
+            u_prime.vec_mul_into(&term, &mut scratch);
+            std::mem::swap(&mut term, &mut scratch);
+            total += dot_e(&term);
+        }
+        total
+    }
+
+    fn iterate_row(
+        &self,
+        u: &CsrMatrix<Complex64>,
+        u_prime: &CsrMatrix<Complex64>,
+        s: Complex64,
+    ) -> Result<PassagePoint, SmpError> {
+        let alpha_c: Vec<Complex64> = self.alpha.iter().map(|&a| Complex64::real(a)).collect();
+        // Accumulator initialised to αU (the leading U term of Eq. 9/10 ensures cycle
+        // times L_ii register correctly instead of collapsing to zero).
+        let mut term = u.vec_mul(&alpha_c);
+        let e_mask = self.targets.mask();
+        let dot_e = |vec: &[Complex64]| -> Complex64 {
+            vec.iter()
+                .zip(e_mask)
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| *v)
+                .sum()
+        };
+        let mut total = dot_e(&term);
+        let mut scratch = vec![Complex64::ZERO; term.len()];
+        let mut quiet = 0usize;
+        let mut last_delta = f64::INFINITY;
+        for r in 1..=self.options.max_iterations {
+            u_prime.vec_mul_into(&term, &mut scratch);
+            std::mem::swap(&mut term, &mut scratch);
+            let delta = dot_e(&term);
+            total += delta;
+            last_delta = delta.re.abs().max(delta.im.abs());
+            // Also require the whole accumulator to have gone quiet: a passage whose
+            // shortest route to the target is long produces exact zero increments for
+            // the first few transitions even though mass is still in flight.
+            let term_mass: f64 = term.iter().map(|c| c.norm()).fold(0.0, f64::max);
+            if last_delta < self.options.epsilon && term_mass < self.options.epsilon {
+                quiet += 1;
+                if quiet >= self.options.consecutive {
+                    return Ok(PassagePoint {
+                        value: total,
+                        iterations: r,
+                    });
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        Err(SmpError::ConvergenceFailure {
+            s: (s.re, s.im),
+            iterations: self.options.max_iterations,
+            last_delta,
+        })
+    }
+}
+
+impl LaplaceTransform for PassageTimeSolver<'_> {
+    /// A passage-time solver *is* a Laplace transform: evaluating it at `s` runs the
+    /// iterative algorithm.  This lets the inversion and pipeline layers treat
+    /// passage-time transforms exactly like any closed-form distribution.
+    ///
+    /// # Panics
+    /// Panics if the iteration fails to converge; use [`PassageTimeSolver::transform_at`]
+    /// for explicit error handling.
+    fn lst(&self, s: Complex64) -> Complex64 {
+        self.transform_at(s)
+            .unwrap_or_else(|e| panic!("passage-time iteration failed: {e}"))
+            .value
+    }
+}
+
+/// Solves Eq. (2) directly by dense complex Gaussian elimination with partial
+/// pivoting — the `O(N³)` baseline against which the paper motivates the `O(N²r)`
+/// iterative method.  Returns the full vector `(L_{1j}(s), …, L_{Nj}(s))`.
+///
+/// # Panics
+/// Panics for models above 2 500 states (a dense complex matrix would need more
+/// memory than the iterative method by orders of magnitude — which is the point).
+pub fn dense_reference_solve(
+    smp: &SemiMarkovProcess,
+    targets: &StateSet,
+    s: Complex64,
+) -> Vec<Complex64> {
+    let n = smp.num_states();
+    assert!(
+        n <= 2_500,
+        "dense reference solver refuses models above 2500 states ({n} requested)"
+    );
+    let u = smp.build_u(s);
+    // A = I − U·D (D zeroes the columns of target states);  b_i = Σ_{k∈j} u_ik.
+    let mut a = vec![vec![Complex64::ZERO; n]; n];
+    let mut b = vec![Complex64::ZERO; n];
+    for i in 0..n {
+        a[i][i] = Complex64::ONE;
+        for (k, v) in u.row(i) {
+            if targets.contains(k) {
+                b[i] += v;
+            } else {
+                a[i][k] = a[i][k] - v;
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..n {
+        let (pivot_row, _) = (col..n)
+            .map(|r| (r, a[r][col].norm()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .expect("non-empty pivot search");
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        assert!(
+            pivot.norm() > 1e-300,
+            "singular passage-time system at column {col}"
+        );
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor.norm() == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let sub = factor * a[col][k];
+                a[row][k] = a[row][k] - sub;
+            }
+            let sub = factor * b[col];
+            b[row] = b[row] - sub;
+        }
+    }
+    // Back substitution.
+    let mut x = vec![Complex64::ZERO; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc = acc - a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smp::SmpBuilder;
+    use proptest::prelude::*;
+    use smp_distributions::Dist;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).norm() < tol
+    }
+
+    fn test_points() -> Vec<Complex64> {
+        vec![
+            Complex64::new(0.5, 0.0),
+            Complex64::new(1.0, 2.0),
+            Complex64::new(0.2, -3.0),
+            Complex64::new(3.0, 7.0),
+        ]
+    }
+
+    #[test]
+    fn single_hop_passage_is_the_holding_distribution() {
+        // 0 --Exp(2)--> 1, 1 --Exp(5)--> 0 ; passage 0 -> 1 is just Exp(2).
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 1.0, Dist::exponential(2.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(5.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[1]).unwrap();
+        for s in test_points() {
+            let got = solver.transform_at(s).unwrap();
+            assert!(close(got.value, Dist::exponential(2.0).lst(s), 1e-8));
+            assert!(got.iterations < 100);
+        }
+    }
+
+    #[test]
+    fn series_passage_is_a_convolution() {
+        // 0 -> 1 -> 2 -> (back to 0); passage 0 -> 2 is the convolution of the two
+        // holding distributions on the way.
+        let d01 = Dist::erlang(2.0, 2);
+        let d12 = Dist::uniform(0.5, 1.5);
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 1.0, d01.clone());
+        b.add_transition(1, 2, 1.0, d12.clone());
+        b.add_transition(2, 0, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[2]).unwrap();
+        for s in test_points() {
+            let expect = d01.lst(s) * d12.lst(s);
+            let got = solver.transform_at(s).unwrap().value;
+            assert!(close(got, expect, 1e-8), "at {s}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn branching_passage_weights_by_probability() {
+        // From 0, with prob 0.3 go to 1 (Exp(1)); with prob 0.7 go to 2 (Det(2)).
+        // Passage 0 -> {1, 2} has transform 0.3·L_exp + 0.7·L_det.
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 0.3, Dist::exponential(1.0));
+        b.add_transition(0, 2, 0.7, Dist::deterministic(2.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        b.add_transition(2, 0, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[1, 2]).unwrap();
+        for s in test_points() {
+            let expect = Dist::exponential(1.0).lst(s).scale(0.3)
+                + Dist::deterministic(2.0).lst(s).scale(0.7);
+            let got = solver.transform_at(s).unwrap().value;
+            assert!(close(got, expect, 1e-8));
+        }
+    }
+
+    #[test]
+    fn cycle_time_uses_leading_u_term() {
+        // 0 -> 1 -> 0 ; the cycle time L_00 is the convolution of both holding times.
+        // Without the leading U term of Eq. (9) this would evaluate to zero.
+        let d01 = Dist::exponential(1.0);
+        let d10 = Dist::erlang(3.0, 2);
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 1.0, d01.clone());
+        b.add_transition(1, 0, 1.0, d10.clone());
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[0]).unwrap();
+        for s in test_points() {
+            let expect = d01.lst(s) * d10.lst(s);
+            let got = solver.transform_at(s).unwrap().value;
+            assert!(close(got, expect, 1e-8), "at {s}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn geometric_retry_passage() {
+        // 0 retries itself with probability q and succeeds to 1 with probability p:
+        // analytic transform L(s) = p·H(s) / (1 − q·H(s)).
+        let p = 0.25;
+        let q = 0.75;
+        let h = Dist::exponential(2.0);
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 0, q, h.clone());
+        b.add_transition(0, 1, p, h.clone());
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[1]).unwrap();
+        for s in test_points() {
+            let hs = h.lst(s);
+            let expect = hs.scale(p) / (Complex64::ONE - hs.scale(q));
+            let got = solver.transform_at(s).unwrap().value;
+            assert!(close(got, expect, 1e-7), "at {s}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn transform_vector_matches_scalar_per_source() {
+        let mut b = SmpBuilder::new(4);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        b.add_transition(0, 2, 2.0, Dist::erlang(2.0, 2));
+        b.add_transition(1, 3, 1.0, Dist::uniform(0.0, 1.0));
+        b.add_transition(2, 3, 1.0, Dist::deterministic(0.5));
+        b.add_transition(3, 0, 1.0, Dist::exponential(3.0));
+        let smp = b.build().unwrap();
+        let s = Complex64::new(0.8, 1.1);
+        let targets = &[3usize];
+        let vector_solver = PassageTimeSolver::new(&smp, &[0], targets).unwrap();
+        let vec = vector_solver.transform_vector_at(s).unwrap();
+        for source in 0..3 {
+            let scalar = PassageTimeSolver::new(&smp, &[source], targets)
+                .unwrap()
+                .transform_at(s)
+                .unwrap()
+                .value;
+            assert!(close(vec[source], scalar, 1e-7), "source {source}");
+        }
+    }
+
+    #[test]
+    fn iterative_matches_dense_reference() {
+        let mut b = SmpBuilder::new(5);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        b.add_transition(0, 2, 3.0, Dist::uniform(0.2, 0.7));
+        b.add_transition(1, 2, 1.0, Dist::erlang(2.0, 3));
+        b.add_transition(1, 3, 1.0, Dist::deterministic(1.0));
+        b.add_transition(2, 4, 2.0, Dist::exponential(0.5));
+        b.add_transition(2, 0, 1.0, Dist::exponential(2.0));
+        b.add_transition(3, 4, 1.0, Dist::uniform(0.0, 0.5));
+        b.add_transition(4, 0, 1.0, Dist::erlang(1.0, 2));
+        let smp = b.build().unwrap();
+        let targets_vec = vec![4usize];
+        let targets = StateSet::new(5, &targets_vec).unwrap();
+        for s in test_points() {
+            let dense = dense_reference_solve(&smp, &targets, s);
+            let solver = PassageTimeSolver::new(&smp, &[0], &targets_vec).unwrap();
+            let iter_vec = solver.transform_vector_at(s).unwrap();
+            for (i, (a, b)) in dense.iter().zip(&iter_vec).enumerate() {
+                assert!(close(*a, *b, 1e-7), "state {i} at {s}: dense {a} vs iter {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_sources_alpha_weighting() {
+        // Symmetric ring: sources {0, 1} have equal alpha; passage to state 2.
+        let mut b = SmpBuilder::new(3);
+        for i in 0..3 {
+            b.add_transition(i, (i + 1) % 3, 1.0, Dist::exponential(1.0));
+        }
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0, 1], &[2]).unwrap();
+        assert!((solver.alpha()[0] - 0.5).abs() < 1e-9);
+        assert!((solver.alpha()[1] - 0.5).abs() < 1e-9);
+        let s = Complex64::new(1.0, 0.5);
+        let exp = Dist::exponential(1.0).lst(s);
+        // From 1: one hop (Exp); from 0: two hops (Exp²); weighted 50/50.
+        let expect = (exp + exp * exp).scale(0.5);
+        let got = solver.transform_at(s).unwrap().value;
+        assert!(close(got, expect, 1e-8));
+    }
+
+    #[test]
+    fn with_alpha_overrides_steady_state() {
+        let mut b = SmpBuilder::new(3);
+        for i in 0..3 {
+            b.add_transition(i, (i + 1) % 3, 1.0, Dist::exponential(1.0));
+        }
+        let smp = b.build().unwrap();
+        let mut alpha = vec![0.0; 3];
+        alpha[0] = 0.9;
+        alpha[1] = 0.1;
+        let solver =
+            PassageTimeSolver::with_alpha(&smp, alpha, &[2], IterationOptions::default()).unwrap();
+        let s = Complex64::new(0.7, 0.0);
+        let exp = Dist::exponential(1.0).lst(s);
+        let expect = exp * exp * 0.9 + exp * 0.1;
+        assert!(close(solver.transform_at(s).unwrap().value, expect, 1e-8));
+    }
+
+    #[test]
+    fn unreachable_target_gives_zero_transform() {
+        // Two disjoint cycles {0,1} and {2,3}; target 2 unreachable from source 0.
+        let mut b = SmpBuilder::new(4);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        b.add_transition(2, 3, 1.0, Dist::exponential(1.0));
+        b.add_transition(3, 2, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[2]).unwrap();
+        let s = Complex64::new(0.5, 1.0);
+        let got = solver.transform_at(s).unwrap();
+        assert!(got.value.norm() < 1e-9);
+    }
+
+    #[test]
+    fn passage_transform_at_small_s_approaches_one() {
+        // For an irreducible SMP the passage completes with probability 1, so
+        // L(s) -> 1 as s -> 0+.
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 1.0, Dist::uniform(0.1, 0.3));
+        b.add_transition(1, 2, 2.0, Dist::exponential(4.0));
+        b.add_transition(1, 0, 1.0, Dist::erlang(5.0, 2));
+        b.add_transition(2, 0, 1.0, Dist::deterministic(0.2));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[2]).unwrap();
+        let got = solver.transform_at(Complex64::real(1e-6)).unwrap().value;
+        assert!((got - Complex64::ONE).norm() < 1e-3, "L(0+) = {got}");
+    }
+
+    #[test]
+    fn r_transition_transform_increases_towards_limit() {
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(2.0));
+        b.add_transition(1, 2, 1.0, Dist::exponential(2.0));
+        b.add_transition(2, 0, 1.0, Dist::exponential(3.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[2]).unwrap();
+        let s = Complex64::real(0.3);
+        let full = solver.transform_at(s).unwrap().value;
+        let mut last_err = f64::INFINITY;
+        for r in [1usize, 2, 4, 8, 16, 32, 64] {
+            let partial = solver.r_transition_transform(s, r);
+            let err = (partial - full).norm();
+            assert!(err <= last_err + 1e-12, "error should not increase with r");
+            last_err = err;
+        }
+        assert!(last_err < 1e-6);
+        assert_eq!(solver.r_transition_transform(s, 0), Complex64::ZERO);
+    }
+
+    #[test]
+    fn convergence_failure_reported() {
+        // An unreachable target probed at s = 0: the probability mass cycles forever
+        // in the source component without decaying (|U'| entries have magnitude 1)
+        // and never reaches the target, so the iteration must report a
+        // ConvergenceFailure rather than silently returning a wrong answer.
+        let mut b = SmpBuilder::new(4);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        b.add_transition(2, 3, 1.0, Dist::exponential(1.0));
+        b.add_transition(3, 2, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::with_options(
+            &smp,
+            &[0],
+            &[2],
+            IterationOptions {
+                epsilon: 1e-12,
+                max_iterations: 200,
+                consecutive: 2,
+            },
+        )
+        .unwrap();
+        let err = solver.transform_at(Complex64::ZERO).unwrap_err();
+        assert!(matches!(err, SmpError::ConvergenceFailure { .. }));
+        // The same probe at Re(s) > 0 converges (the cycling mass decays) to zero.
+        let ok = solver.transform_at(Complex64::real(0.5)).unwrap();
+        assert!(ok.value.norm() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sets_rejected() {
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        assert!(matches!(
+            PassageTimeSolver::new(&smp, &[], &[1]),
+            Err(SmpError::EmptyStateSet { which: "source" })
+        ));
+        assert!(matches!(
+            PassageTimeSolver::new(&smp, &[0], &[]),
+            Err(SmpError::EmptyStateSet { which: "target" })
+        ));
+        assert!(matches!(
+            PassageTimeSolver::new(&smp, &[0], &[9]),
+            Err(SmpError::StateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn laplace_transform_impl_delegates() {
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 1.0, Dist::erlang(1.0, 2));
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[1]).unwrap();
+        let s = Complex64::new(0.4, 0.6);
+        assert_eq!(
+            LaplaceTransform::lst(&solver, s),
+            solver.transform_at(s).unwrap().value
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        /// On random irreducible SMPs the iterative algorithm agrees with the dense
+        /// O(N³) reference solver at every probed s-point.
+        #[test]
+        fn prop_iterative_matches_dense(seed in 0u64..300) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..10usize);
+            let mut b = SmpBuilder::new(n);
+            for i in 0..n {
+                // ring edge for irreducibility plus random extra edges
+                b.add_transition(i, (i + 1) % n, rng.gen_range(0.5..2.0), Dist::exponential(rng.gen_range(0.5..3.0)));
+                for _ in 0..rng.gen_range(0..3usize) {
+                    let to = rng.gen_range(0..n);
+                    let dist = match rng.gen_range(0..4) {
+                        0 => Dist::exponential(rng.gen_range(0.2..3.0)),
+                        1 => Dist::erlang(rng.gen_range(0.5..2.0), rng.gen_range(1..4)),
+                        2 => Dist::deterministic(rng.gen_range(0.1..2.0)),
+                        _ => Dist::uniform(0.0, rng.gen_range(0.5..2.0)),
+                    };
+                    b.add_transition(i, to, rng.gen_range(0.1..1.5), dist);
+                }
+            }
+            let smp = b.build().unwrap();
+            let target = rng.gen_range(0..n);
+            let source = rng.gen_range(0..n);
+            let targets = StateSet::new(n, &[target]).unwrap();
+            let s = Complex64::new(rng.gen_range(0.05..2.0), rng.gen_range(-4.0..4.0));
+            let dense = dense_reference_solve(&smp, &targets, s);
+            let solver = PassageTimeSolver::new(&smp, &[source], &[target]).unwrap();
+            let iterative = solver.transform_vector_at(s).unwrap();
+            for (i, (a, b)) in dense.iter().zip(&iterative).enumerate() {
+                prop_assert!((*a - *b).norm() < 1e-6, "state {i}: dense {a} vs iterative {b}");
+            }
+            // And the scalar α-weighted value agrees with the vector entry.
+            let scalar = solver.transform_at(s).unwrap().value;
+            prop_assert!((scalar - iterative[source]).norm() < 1e-6);
+        }
+
+        /// |L(s)| ≤ 1 on the right half-plane (it is the transform of a distribution).
+        #[test]
+        fn prop_transform_is_bounded(seed in 0u64..100, re in 0.01f64..3.0, im in -6.0f64..6.0) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..8usize);
+            let mut b = SmpBuilder::new(n);
+            for i in 0..n {
+                b.add_transition(i, (i + 1) % n, 1.0, Dist::erlang(rng.gen_range(0.5..2.0), rng.gen_range(1..3)));
+                if rng.gen_bool(0.5) {
+                    b.add_transition(i, rng.gen_range(0..n), rng.gen_range(0.2..1.0), Dist::uniform(0.0, rng.gen_range(0.5..2.0)));
+                }
+            }
+            let smp = b.build().unwrap();
+            let solver = PassageTimeSolver::new(&smp, &[0], &[n - 1]).unwrap();
+            let value = solver.transform_at(Complex64::new(re, im)).unwrap().value;
+            prop_assert!(value.norm() <= 1.0 + 1e-7, "|L| = {}", value.norm());
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The semi-Markov process kernel.
+//!
+//! A time-homogeneous SMP over states `{0, …, N−1}` is described by its kernel
+//! `R(i,j,t) = p_ij · H_ij(t)` (Section 2.1 of the paper): `p_ij` is the embedded
+//! state-transition probability and `H_ij` the sojourn-time distribution used when
+//! the next state is `j`.  [`SemiMarkovProcess`] stores the kernel sparsely —
+//! transition lists per source state, with holding-time distributions de-duplicated
+//! into a shared pool — and knows how to materialise the Laplace-domain matrices
+//! used by the passage-time iteration:
+//!
+//! * `U`  with entries `u_pq  = r*_pq(s) = p_pq · H*_pq(s)`;
+//! * `U'` equal to `U` with the rows of target states zeroed (targets made
+//!   absorbing).
+
+use crate::error::SmpError;
+use smp_distributions::Dist;
+use smp_numeric::Complex64;
+use smp_sparse::{CsrMatrix, TripletMatrix};
+
+/// Identifier of a distribution in the de-duplicated pool.
+pub type DistId = u32;
+
+/// One outgoing transition of the SMP kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Destination state.
+    pub target: usize,
+    /// Embedded transition probability `p_ij` (normalised over the source state).
+    pub probability: f64,
+    /// Index of the holding-time distribution in the process's pool.
+    pub dist: DistId,
+}
+
+/// A set of states, stored both as a membership mask (O(1) lookups during the
+/// iteration) and as an index list (cheap iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSet {
+    mask: Vec<bool>,
+    indices: Vec<usize>,
+}
+
+impl StateSet {
+    /// Builds a state set from a list of indices.
+    ///
+    /// Duplicates are ignored; indices must be below `num_states`.
+    pub fn new(num_states: usize, states: &[usize]) -> Result<Self, SmpError> {
+        let mut mask = vec![false; num_states];
+        let mut indices = Vec::with_capacity(states.len());
+        for &s in states {
+            if s >= num_states {
+                return Err(SmpError::StateOutOfRange {
+                    state: s,
+                    num_states,
+                });
+            }
+            if !mask[s] {
+                mask[s] = true;
+                indices.push(s);
+            }
+        }
+        Ok(StateSet { mask, indices })
+    }
+
+    /// Builds a state set from a predicate over state indices.
+    pub fn from_predicate(num_states: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
+        let mut mask = vec![false; num_states];
+        let mut indices = Vec::new();
+        for s in 0..num_states {
+            if pred(s) {
+                mask[s] = true;
+                indices.push(s);
+            }
+        }
+        StateSet { mask, indices }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, state: usize) -> bool {
+        self.mask[state]
+    }
+
+    /// The member indices, in insertion order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The membership mask over all states.
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Number of member states.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// A finite, time-homogeneous semi-Markov process.
+#[derive(Debug, Clone)]
+pub struct SemiMarkovProcess {
+    num_states: usize,
+    transitions: Vec<Vec<Transition>>,
+    dist_pool: Vec<Dist>,
+    num_transitions: usize,
+}
+
+impl SemiMarkovProcess {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Total number of kernel transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.num_transitions
+    }
+
+    /// Number of distinct holding-time distributions in the pool.
+    pub fn num_distributions(&self) -> usize {
+        self.dist_pool.len()
+    }
+
+    /// The outgoing transitions of a state.
+    pub fn transitions(&self, state: usize) -> &[Transition] {
+        &self.transitions[state]
+    }
+
+    /// Looks up a pooled distribution.
+    pub fn distribution(&self, id: DistId) -> &Dist {
+        &self.dist_pool[id as usize]
+    }
+
+    /// The embedded discrete-time Markov chain `P = [p_ij]`.
+    pub fn embedded_dtmc(&self) -> CsrMatrix<f64> {
+        let mut t = TripletMatrix::with_capacity(self.num_states, self.num_states, self.num_transitions);
+        for (i, row) in self.transitions.iter().enumerate() {
+            for tr in row {
+                t.push(i, tr.target, tr.probability);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// The matrix `U(s)` with entries `u_pq = r*_pq(s) = p_pq · H*_pq(s)`.
+    pub fn build_u(&self, s: Complex64) -> CsrMatrix<Complex64> {
+        // Evaluate every pooled distribution once, then scale per transition.
+        let pool_values: Vec<Complex64> = self.dist_pool.iter().map(|d| d.lst(s)).collect();
+        let mut t =
+            TripletMatrix::with_capacity(self.num_states, self.num_states, self.num_transitions);
+        for (i, row) in self.transitions.iter().enumerate() {
+            for tr in row {
+                t.push(i, tr.target, pool_values[tr.dist as usize].scale(tr.probability));
+            }
+        }
+        t.to_csr()
+    }
+
+    /// The pair `(U, U')` for a target set: `U'` is `U` with target-state rows
+    /// removed (targets made absorbing), as required by Eq. (9) of the paper.
+    pub fn build_u_pair(
+        &self,
+        s: Complex64,
+        targets: &StateSet,
+    ) -> (CsrMatrix<Complex64>, CsrMatrix<Complex64>) {
+        let u = self.build_u(s);
+        let u_prime = u.zero_rows(targets.mask());
+        (u, u_prime)
+    }
+
+    /// LST of the (unconditional) sojourn-time distribution in state `i`:
+    /// `h*_i(s) = Σ_j r*_ij(s)`.
+    pub fn sojourn_lst(&self, state: usize, s: Complex64) -> Complex64 {
+        self.transitions[state]
+            .iter()
+            .map(|tr| self.dist_pool[tr.dist as usize].lst(s).scale(tr.probability))
+            .sum()
+    }
+
+    /// Mean sojourn time in state `i`: `Σ_j p_ij · E[H_ij]`.
+    pub fn mean_sojourn(&self, state: usize) -> f64 {
+        self.transitions[state]
+            .iter()
+            .map(|tr| tr.probability * self.dist_pool[tr.dist as usize].mean())
+            .sum()
+    }
+
+    /// Samples the next state and sojourn time from state `i` (used by tests and by
+    /// the state-level simulator to cross-validate the analytic pipeline).
+    pub fn sample_step<R: rand::Rng + ?Sized>(&self, state: usize, rng: &mut R) -> (usize, f64) {
+        let row = &self.transitions[state];
+        debug_assert!(!row.is_empty(), "deadlock state {state} in sample_step");
+        let mut u: f64 = rng.gen_range(0.0..1.0);
+        for tr in row {
+            if u < tr.probability {
+                let delay = self.dist_pool[tr.dist as usize].sample(rng);
+                return (tr.target, delay);
+            }
+            u -= tr.probability;
+        }
+        let tr = row.last().expect("non-empty transition row");
+        (tr.target, self.dist_pool[tr.dist as usize].sample(rng))
+    }
+
+    /// Approximate heap footprint of the kernel in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.transitions
+            .iter()
+            .map(|row| row.len() * std::mem::size_of::<Transition>())
+            .sum::<usize>()
+            + self.num_states * std::mem::size_of::<Vec<Transition>>()
+    }
+}
+
+/// Incremental builder for a [`SemiMarkovProcess`].
+///
+/// Transitions are added with arbitrary positive *weights*; at [`SmpBuilder::build`]
+/// time the weights of each source state are normalised into the embedded transition
+/// probabilities `p_ij` (this mirrors the weight-based probabilistic choice of the
+/// SM-SPN formalism, Section 5.1).
+#[derive(Debug, Clone)]
+pub struct SmpBuilder {
+    num_states: usize,
+    weights: Vec<Vec<(usize, f64, DistId)>>,
+    dist_pool: Vec<Dist>,
+}
+
+impl SmpBuilder {
+    /// Creates a builder for a process with `num_states` states.
+    pub fn new(num_states: usize) -> Self {
+        SmpBuilder {
+            num_states,
+            weights: vec![Vec::new(); num_states],
+            dist_pool: Vec::new(),
+        }
+    }
+
+    /// Number of states the process will have.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Interns a distribution into the pool, returning its identifier.  Equal
+    /// distributions share a single pool slot — this is what keeps the kernel's
+    /// memory footprint proportional to the number of *distinct* firing
+    /// distributions rather than the number of transitions.
+    pub fn intern_distribution(&mut self, dist: Dist) -> DistId {
+        if let Some(pos) = self.dist_pool.iter().position(|d| *d == dist) {
+            return pos as DistId;
+        }
+        self.dist_pool.push(dist);
+        (self.dist_pool.len() - 1) as DistId
+    }
+
+    /// Adds a transition `from → to` with the given weight and holding-time
+    /// distribution.
+    pub fn add_transition(&mut self, from: usize, to: usize, weight: f64, dist: Dist) {
+        let id = self.intern_distribution(dist);
+        self.add_transition_pooled(from, to, weight, id);
+    }
+
+    /// Adds a transition referring to an already-interned distribution.
+    pub fn add_transition_pooled(&mut self, from: usize, to: usize, weight: f64, dist: DistId) {
+        assert!(from < self.num_states, "source state {from} out of range");
+        assert!(to < self.num_states, "target state {to} out of range");
+        assert!((dist as usize) < self.dist_pool.len(), "unknown distribution id");
+        self.weights[from].push((to, weight, dist));
+    }
+
+    /// Finalises the process, normalising weights into probabilities.
+    pub fn build(self) -> Result<SemiMarkovProcess, SmpError> {
+        if self.num_states == 0 {
+            return Err(SmpError::EmptyModel);
+        }
+        let mut transitions = Vec::with_capacity(self.num_states);
+        let mut num_transitions = 0;
+        for (state, row) in self.weights.into_iter().enumerate() {
+            if row.is_empty() {
+                return Err(SmpError::DeadlockState { state });
+            }
+            let mut total = 0.0;
+            for &(to, w, _) in &row {
+                if !(w > 0.0 && w.is_finite()) {
+                    return Err(SmpError::InvalidWeight {
+                        from: state,
+                        to,
+                        weight: w,
+                    });
+                }
+                total += w;
+            }
+            let mut out = Vec::with_capacity(row.len());
+            for (to, w, dist) in row {
+                out.push(Transition {
+                    target: to,
+                    probability: w / total,
+                    dist,
+                });
+            }
+            num_transitions += out.len();
+            transitions.push(out);
+        }
+        Ok(SemiMarkovProcess {
+            num_states: self.num_states,
+            transitions,
+            dist_pool: self.dist_pool,
+            num_transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn three_state_smp() -> SemiMarkovProcess {
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 3.0, Dist::exponential(1.0));
+        b.add_transition(0, 2, 1.0, Dist::deterministic(2.0));
+        b.add_transition(1, 2, 1.0, Dist::erlang(2.0, 2));
+        b.add_transition(2, 0, 1.0, Dist::uniform(0.5, 1.5));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_normalises_weights() {
+        let smp = three_state_smp();
+        assert_eq!(smp.num_states(), 3);
+        assert_eq!(smp.num_transitions(), 4);
+        let row0 = smp.transitions(0);
+        assert_eq!(row0.len(), 2);
+        assert!((row0[0].probability - 0.75).abs() < 1e-15);
+        assert!((row0[1].probability - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distribution_pool_dedups() {
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 1.0, Dist::exponential(5.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(5.0));
+        b.add_transition(1, 1, 1.0, Dist::exponential(7.0));
+        let smp = b.build().unwrap();
+        assert_eq!(smp.num_distributions(), 2);
+        assert_eq!(smp.num_transitions(), 3);
+    }
+
+    #[test]
+    fn embedded_dtmc_is_stochastic() {
+        let smp = three_state_smp();
+        let p = smp.embedded_dtmc();
+        smp_sparse::steady_state::assert_stochastic(&p, 1e-12);
+        assert_eq!(p.get(0, 1), 0.75);
+        assert_eq!(p.get(0, 2), 0.25);
+    }
+
+    #[test]
+    fn u_matrix_values_match_kernel() {
+        let smp = three_state_smp();
+        let s = Complex64::new(0.3, 0.7);
+        let u = smp.build_u(s);
+        let expect_01 = Dist::exponential(1.0).lst(s).scale(0.75);
+        let expect_02 = Dist::deterministic(2.0).lst(s).scale(0.25);
+        assert!((u.get(0, 1) - expect_01).norm() < 1e-14);
+        assert!((u.get(0, 2) - expect_02).norm() < 1e-14);
+        // At s = 0 the U matrix reduces to the embedded DTMC.
+        let u0 = smp.build_u(Complex64::ZERO);
+        for (r, c, v) in u0.iter() {
+            assert!((v.re - smp.embedded_dtmc().get(r, c)).abs() < 1e-14);
+            assert_eq!(v.im, 0.0);
+        }
+    }
+
+    #[test]
+    fn u_prime_zeroes_target_rows() {
+        let smp = three_state_smp();
+        let targets = StateSet::new(3, &[2]).unwrap();
+        let s = Complex64::new(0.1, 0.2);
+        let (u, u_prime) = smp.build_u_pair(s, &targets);
+        assert_eq!(u_prime.row_nnz(2), 0);
+        assert_eq!(u.row_nnz(2), 1);
+        assert_eq!(u_prime.get(0, 1), u.get(0, 1));
+    }
+
+    #[test]
+    fn sojourn_lst_and_mean() {
+        let smp = three_state_smp();
+        let s = Complex64::new(0.4, -0.2);
+        let expect = Dist::exponential(1.0).lst(s).scale(0.75)
+            + Dist::deterministic(2.0).lst(s).scale(0.25);
+        assert!((smp.sojourn_lst(0, s) - expect).norm() < 1e-14);
+        assert!((smp.mean_sojourn(0) - (0.75 * 1.0 + 0.25 * 2.0)).abs() < 1e-14);
+        // h*_i(0) = 1 for every state.
+        for i in 0..3 {
+            assert!((smp.sojourn_lst(i, Complex64::ZERO) - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_step_respects_probabilities() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let smp = three_state_smp();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut to_1 = 0;
+        let n = 40_000;
+        for _ in 0..n {
+            let (next, delay) = smp.sample_step(0, &mut rng);
+            assert!(delay >= 0.0);
+            if next == 1 {
+                to_1 += 1;
+            } else {
+                assert_eq!(next, 2);
+            }
+        }
+        let frac = to_1 as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "fraction to state 1: {frac}");
+    }
+
+    #[test]
+    fn state_set_operations() {
+        let set = StateSet::new(5, &[1, 3, 3]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(1) && set.contains(3));
+        assert!(!set.contains(0));
+        assert_eq!(set.indices(), &[1, 3]);
+        assert_eq!(set.mask(), &[false, true, false, true, false]);
+        assert!(StateSet::new(3, &[7]).is_err());
+        let pred = StateSet::from_predicate(4, |s| s % 2 == 0);
+        assert_eq!(pred.indices(), &[0, 2]);
+        assert!(!pred.is_empty());
+    }
+
+    #[test]
+    fn deadlock_and_invalid_weight_rejected() {
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        assert_eq!(b.build().unwrap_err(), SmpError::DeadlockState { state: 1 });
+
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 0.0, Dist::exponential(1.0));
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        assert!(matches!(b.build().unwrap_err(), SmpError::InvalidWeight { .. }));
+
+        assert_eq!(SmpBuilder::new(0).build().unwrap_err(), SmpError::EmptyModel);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_bad_state() {
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 5, 1.0, Dist::exponential(1.0));
+    }
+
+    proptest! {
+        /// For random SMPs, every row of U(s) with Re(s) ≥ 0 has |row sum| ≤ 1
+        /// (it equals h*_i(s), the LST of a distribution), and U(0) row sums are 1.
+        #[test]
+        fn prop_u_row_sums_are_sojourn_lsts(seed in 0u64..200, re in 0.0f64..3.0, im in -5.0f64..5.0) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..8);
+            let mut b = SmpBuilder::new(n);
+            for i in 0..n {
+                let fanout = rng.gen_range(1..4usize);
+                for _ in 0..fanout {
+                    let to = rng.gen_range(0..n);
+                    let dist = match rng.gen_range(0..3) {
+                        0 => Dist::exponential(rng.gen_range(0.2..3.0)),
+                        1 => Dist::erlang(rng.gen_range(0.5..2.0), rng.gen_range(1..4)),
+                        _ => Dist::uniform(0.0, rng.gen_range(0.5..4.0)),
+                    };
+                    b.add_transition(i, to, rng.gen_range(0.1..2.0), dist);
+                }
+            }
+            let smp = b.build().unwrap();
+            let s = Complex64::new(re, im);
+            let u = smp.build_u(s);
+            for i in 0..n {
+                let row_sum: Complex64 = u.row(i).map(|(_, v)| v).sum();
+                prop_assert!(row_sum.norm() <= 1.0 + 1e-9);
+                prop_assert!((row_sum - smp.sojourn_lst(i, s)).norm() < 1e-10);
+            }
+            let u0 = smp.build_u(Complex64::ZERO);
+            for i in 0..n {
+                let row_sum: Complex64 = u0.row(i).map(|(_, v)| v).sum();
+                prop_assert!((row_sum - Complex64::ONE).norm() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Transient state distributions from passage-time transforms (Eqs. 6–7).
+//!
+//! Pyke's relations link the transient distribution `T_ij(t) = P(Z(t) = j | Z(0) = i)`
+//! to passage-time and sojourn-time transforms:
+//!
+//! ```text
+//!   T*_ij(s) = (1/s) · (1 − h*_i(s)) / (1 − L_ii(s))          if i = j
+//!   T*_ij(s) = L_ij(s) · T*_jj(s)                              if i ≠ j
+//! ```
+//!
+//! and for a *set* of target states `j` (Eq. 7):
+//!
+//! ```text
+//!   T*_{i→j}(s) = (1/s) · [ Λ_i δ_{i∈j} + Σ_{k∈j, k≠i} Λ_k · L_ik(s) ]
+//!   Λ_n = (1 − h*_n(s)) / (1 − L_nn(s))
+//! ```
+//!
+//! Constructing `T*` for a target set of size `|j|` therefore needs the `2|j| − 1`
+//! passage quantities `L_ik(s)` and `L_kk(s)`, obtained from `|j|` vector-valued
+//! passage computations (one per target state `k`, each yielding `L_·k(s)` for every
+//! source simultaneously) — exactly the bookkeeping the paper describes.
+
+use crate::error::SmpError;
+use crate::passage::{IterationOptions, PassageTimeSolver};
+use crate::smp::{SemiMarkovProcess, StateSet};
+use smp_distributions::LaplaceTransform;
+use smp_numeric::Complex64;
+
+/// Evaluates transient state-distribution transforms `T*_{i→j}(s)`.
+#[derive(Debug, Clone)]
+pub struct TransientSolver<'a> {
+    smp: &'a SemiMarkovProcess,
+    /// Start-of-observation weights over source states (δ-vector for a single
+    /// source, α-weights of Eq. (5) for a steady-state-weighted set of sources).
+    alpha: Vec<f64>,
+    sources: StateSet,
+    targets: StateSet,
+    options: IterationOptions,
+}
+
+impl<'a> TransientSolver<'a> {
+    /// Creates a transient solver observing the probability of being in `targets` at
+    /// time `t`, having started in the single state `source` at time 0.
+    pub fn new(
+        smp: &'a SemiMarkovProcess,
+        source: usize,
+        targets: &[usize],
+    ) -> Result<Self, SmpError> {
+        Self::with_options(smp, &[source], targets, IterationOptions::default())
+    }
+
+    /// Creates a transient solver with several equally-or-α-weighted source states
+    /// and explicit iteration options.
+    pub fn with_options(
+        smp: &'a SemiMarkovProcess,
+        sources: &[usize],
+        targets: &[usize],
+        options: IterationOptions,
+    ) -> Result<Self, SmpError> {
+        let n = smp.num_states();
+        let source_set = StateSet::new(n, sources)?;
+        let target_set = StateSet::new(n, targets)?;
+        if source_set.is_empty() {
+            return Err(SmpError::EmptyStateSet { which: "source" });
+        }
+        if target_set.is_empty() {
+            return Err(SmpError::EmptyStateSet { which: "target" });
+        }
+        let alpha = if source_set.len() == 1 {
+            let mut a = vec![0.0; n];
+            a[source_set.indices()[0]] = 1.0;
+            a
+        } else {
+            crate::embedded::EmbeddedChain::solve(smp)?.alpha_weights(&source_set)?
+        };
+        Ok(TransientSolver {
+            smp,
+            alpha,
+            sources: source_set,
+            targets: target_set,
+            options,
+        })
+    }
+
+    /// The target state set.
+    pub fn targets(&self) -> &StateSet {
+        &self.targets
+    }
+
+    /// The source state set.
+    pub fn sources(&self) -> &StateSet {
+        &self.sources
+    }
+
+    /// Evaluates `T*_{i→j}(s)` at one complex point.
+    ///
+    /// The computation performs one vector-valued passage solve per target state
+    /// (`L_·k(s)`, which also yields the cycle-time transform `L_kk(s)`), then
+    /// assembles Eq. (7) weighted over the source states.
+    pub fn transform_at(&self, s: Complex64) -> Result<Complex64, SmpError> {
+        let n = self.smp.num_states();
+        // For every target state k: Λ_k and the column vector L_·k(s).
+        let mut lambda = vec![Complex64::ZERO; self.targets.len()];
+        let mut l_columns: Vec<Vec<Complex64>> = Vec::with_capacity(self.targets.len());
+        for (idx, &k) in self.targets.indices().iter().enumerate() {
+            let cycle_solver = PassageTimeSolver::with_options(
+                self.smp,
+                &[k],
+                &[k],
+                self.options,
+            )?;
+            // The column solve for target {k} gives L_ik(s) for every i, including
+            // the cycle time L_kk(s) itself.
+            let column = cycle_solver.transform_vector_at(s)?;
+            let l_kk = column[k];
+            let h_k = self.smp.sojourn_lst(k, s);
+            let denom = Complex64::ONE - l_kk;
+            // For an irreducible SMP and Re(s) > 0, |L_kk(s)| < 1 so the denominator
+            // is safely away from zero; s = 0 is never requested by the inversion.
+            lambda[idx] = (Complex64::ONE - h_k) / denom;
+            l_columns.push(column);
+        }
+
+        // Assemble Eq. (7) for each source state i, weighted by alpha_i.
+        let mut total = Complex64::ZERO;
+        for i in 0..n {
+            let a = self.alpha[i];
+            if a == 0.0 {
+                continue;
+            }
+            let mut acc = Complex64::ZERO;
+            for (idx, &k) in self.targets.indices().iter().enumerate() {
+                if k == i {
+                    acc += lambda[idx];
+                } else {
+                    acc += lambda[idx] * l_columns[idx][i];
+                }
+            }
+            total += acc.scale(a);
+        }
+        Ok(total / s)
+    }
+}
+
+impl LaplaceTransform for TransientSolver<'_> {
+    /// Evaluating the solver as a transform runs the full Eq. (7) assembly.
+    ///
+    /// # Panics
+    /// Panics if any underlying passage-time iteration fails to converge; use
+    /// [`TransientSolver::transform_at`] for explicit error handling.
+    fn lst(&self, s: Complex64) -> Complex64 {
+        self.transform_at(s)
+            .unwrap_or_else(|e| panic!("transient transform failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smp::SmpBuilder;
+    use crate::steady::smp_steady_state;
+    use smp_distributions::Dist;
+    use smp_laplace::Euler;
+
+    /// Two-state CTMC with rates λ (0→1) and μ (1→0); transient probabilities have
+    /// the classical closed form used as ground truth.
+    fn two_state_ctmc(lambda: f64, mu: f64) -> SemiMarkovProcess {
+        let mut b = SmpBuilder::new(2);
+        b.add_transition(0, 1, 1.0, Dist::exponential(lambda));
+        b.add_transition(1, 0, 1.0, Dist::exponential(mu));
+        b.build().unwrap()
+    }
+
+    fn ctmc_p00(lambda: f64, mu: f64, t: f64) -> f64 {
+        mu / (lambda + mu) + lambda / (lambda + mu) * (-(lambda + mu) * t).exp()
+    }
+
+    fn ctmc_p01(lambda: f64, mu: f64, t: f64) -> f64 {
+        1.0 - ctmc_p00(lambda, mu, t)
+    }
+
+    #[test]
+    fn matches_two_state_ctmc_closed_form() {
+        let (lambda, mu) = (2.0, 1.0);
+        let smp = two_state_ctmc(lambda, mu);
+        let euler = Euler::standard();
+
+        let stay = TransientSolver::new(&smp, 0, &[0]).unwrap();
+        let move_ = TransientSolver::new(&smp, 0, &[1]).unwrap();
+        for &t in &[0.1, 0.3, 0.7, 1.5, 3.0] {
+            let p00 = euler.invert(&stay, t);
+            let p01 = euler.invert(&move_, t);
+            assert!(
+                (p00 - ctmc_p00(lambda, mu, t)).abs() < 1e-5,
+                "P00({t}) = {p00} vs {}",
+                ctmc_p00(lambda, mu, t)
+            );
+            assert!(
+                (p01 - ctmc_p01(lambda, mu, t)).abs() < 1e-5,
+                "P01({t}) = {p01} vs {}",
+                ctmc_p01(lambda, mu, t)
+            );
+        }
+    }
+
+    #[test]
+    fn transient_probabilities_sum_to_one_over_all_states() {
+        // Σ_j T_ij(t) = 1 for any t: check in the transform domain at a probe point
+        // (Σ_j T*_ij(s) = 1/s) and in the time domain after inversion.
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 1.0, Dist::erlang(2.0, 2));
+        b.add_transition(1, 2, 2.0, Dist::uniform(0.1, 0.9));
+        b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
+        b.add_transition(2, 0, 1.0, Dist::deterministic(0.4));
+        let smp = b.build().unwrap();
+        let s = Complex64::new(0.8, 1.3);
+        let mut total = Complex64::ZERO;
+        for j in 0..3 {
+            let solver = TransientSolver::new(&smp, 0, &[j]).unwrap();
+            total += solver.transform_at(s).unwrap();
+        }
+        assert!((total - Complex64::ONE / s).norm() < 1e-6, "sum = {total}");
+
+        let euler = Euler::standard();
+        let t = 1.7;
+        let sum_t: f64 = (0..3)
+            .map(|j| euler.invert(&TransientSolver::new(&smp, 0, &[j]).unwrap(), t))
+            .sum();
+        assert!((sum_t - 1.0).abs() < 1e-4, "sum at t={t}: {sum_t}");
+    }
+
+    #[test]
+    fn set_target_equals_sum_of_singletons() {
+        let mut b = SmpBuilder::new(4);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.5));
+        b.add_transition(1, 2, 1.0, Dist::erlang(2.0, 2));
+        b.add_transition(2, 3, 1.0, Dist::uniform(0.2, 1.2));
+        b.add_transition(3, 0, 1.0, Dist::exponential(0.7));
+        let smp = b.build().unwrap();
+        let s = Complex64::new(0.5, -0.8);
+        let set = TransientSolver::new(&smp, 0, &[1, 3]).unwrap();
+        let single1 = TransientSolver::new(&smp, 0, &[1]).unwrap();
+        let single3 = TransientSolver::new(&smp, 0, &[3]).unwrap();
+        let lhs = set.transform_at(s).unwrap();
+        let rhs = single1.transform_at(s).unwrap() + single3.transform_at(s).unwrap();
+        assert!((lhs - rhs).norm() < 1e-7);
+    }
+
+    #[test]
+    fn transient_approaches_smp_steady_state() {
+        // As t → ∞ the transient probability of a target set approaches its SMP
+        // steady-state probability (Fig. 7's asymptote).
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 1.0, Dist::uniform(0.5, 1.5));
+        b.add_transition(1, 2, 1.0, Dist::erlang(4.0, 2));
+        b.add_transition(2, 0, 1.0, Dist::exponential(2.0));
+        let smp = b.build().unwrap();
+        let steady = smp_steady_state(&smp).unwrap();
+        let solver = TransientSolver::new(&smp, 0, &[1]).unwrap();
+        let euler = Euler::standard();
+        let late = euler.invert(&solver, 200.0);
+        assert!(
+            (late - steady[1]).abs() < 5e-3,
+            "T(200) = {late} vs steady {}",
+            steady[1]
+        );
+    }
+
+    #[test]
+    fn source_inside_target_set_counts_initial_sojourn() {
+        // Starting inside the target set, T(t) must start at 1 for small t.
+        let smp = two_state_ctmc(1.0, 1.0);
+        let solver = TransientSolver::new(&smp, 0, &[0]).unwrap();
+        let euler = Euler::standard();
+        let early = euler.invert(&solver, 1e-3);
+        assert!((early - 1.0).abs() < 1e-3, "T(0+) = {early}");
+    }
+
+    #[test]
+    fn multiple_sources_are_weighted() {
+        let smp = two_state_ctmc(1.0, 3.0);
+        // Sources {0, 1}: embedded chain of the 2-cycle has π = (0.5, 0.5).
+        let solver = TransientSolver::with_options(
+            &smp,
+            &[0, 1],
+            &[0],
+            IterationOptions::default(),
+        )
+        .unwrap();
+        let s = Complex64::new(0.6, 0.4);
+        let from0 = TransientSolver::new(&smp, 0, &[0]).unwrap().transform_at(s).unwrap();
+        let from1 = TransientSolver::new(&smp, 1, &[0]).unwrap().transform_at(s).unwrap();
+        let combined = solver.transform_at(s).unwrap();
+        assert!((combined - (from0 + from1).scale(0.5)).norm() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_empty_sets() {
+        let smp = two_state_ctmc(1.0, 1.0);
+        assert!(matches!(
+            TransientSolver::with_options(&smp, &[], &[0], IterationOptions::default()),
+            Err(SmpError::EmptyStateSet { which: "source" })
+        ));
+        assert!(matches!(
+            TransientSolver::with_options(&smp, &[0], &[], IterationOptions::default()),
+            Err(SmpError::EmptyStateSet { which: "target" })
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Abstract syntax tree of the model language.
+
+/// Arithmetic / boolean expressions over numbers, constants and place counts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// A named value: either a declared constant or a place (token count).
+    Ident(String),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e`.
+    Not(Box<Expr>),
+    /// A function call, e.g. `uniformLT(1.5, 10, s)`.  Inside `\sojourntimeLT{...}`
+    /// blocks these are distribution constructors; in arithmetic contexts only the
+    /// built-ins `min` and `max` are accepted.
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Binary operators, in one flat enum (the evaluator treats booleans as 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `>`
+    Greater,
+    /// `<`
+    Less,
+    /// `>=`
+    GreaterEq,
+    /// `<=`
+    LessEq,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// One statement of an `\action{...}` block: `next->place = expr;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Name of the place being assigned.
+    pub place: String,
+    /// The assigned expression (evaluated against the *current* marking).
+    pub value: Expr,
+}
+
+/// A firing-time distribution expression (the body of `\sojourntimeLT{...}`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistExpr {
+    /// A primitive distribution constructor call, e.g. `uniformLT(1.5, 10, s)`.
+    /// The trailing `s` argument of the DNAmaca syntax is accepted and ignored.
+    Call {
+        /// Function name (`uniformLT`, `erlangLT`, `expLT`, `detLT`, `weibullLT`,
+        /// `immediateLT`).
+        name: String,
+        /// Arguments, each an arithmetic expression (may mention places/constants).
+        args: Vec<Expr>,
+    },
+    /// Weighted sum of distributions: probabilistic mixture.
+    Sum(Vec<(Expr, DistExpr)>),
+    /// Product of distributions: convolution of independent delays.
+    Product(Vec<DistExpr>),
+}
+
+/// One `\transition{name}{...}` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionAst {
+    /// Transition name.
+    pub name: String,
+    /// `\condition{...}` — enabling condition (defaults to `true`).
+    pub condition: Option<Expr>,
+    /// `\action{...}` — firing effect as a list of assignments.
+    pub action: Vec<Assignment>,
+    /// `\weight{...}` — probabilistic-choice weight (defaults to 1).
+    pub weight: Option<Expr>,
+    /// `\priority{...}` — priority (defaults to 1).
+    pub priority: Option<Expr>,
+    /// `\sojourntimeLT{...}` — firing-time distribution (defaults to immediate).
+    pub sojourn: Option<DistExpr>,
+}
+
+/// A complete parsed model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelAst {
+    /// Named constants, in declaration order.
+    pub constants: Vec<(String, Expr)>,
+    /// Places and their initial-marking expressions, in declaration order.
+    pub places: Vec<(String, Expr)>,
+    /// Transition definitions, in declaration order.
+    pub transitions: Vec<TransitionAst>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_construct_and_compare() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Ident("p1".into())),
+            rhs: Box::new(Expr::Number(1.0)),
+        };
+        assert_eq!(e, e.clone());
+        let d = DistExpr::Sum(vec![(
+            Expr::Number(0.8),
+            DistExpr::Call {
+                name: "uniformLT".into(),
+                args: vec![Expr::Number(1.5), Expr::Number(10.0)],
+            },
+        )]);
+        assert_ne!(
+            d,
+            DistExpr::Product(vec![DistExpr::Call {
+                name: "expLT".into(),
+                args: vec![Expr::Number(1.0)]
+            }])
+        );
+        let model = ModelAst::default();
+        assert!(model.places.is_empty());
+    }
+}

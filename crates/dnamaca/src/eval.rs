@@ -1,0 +1,337 @@
+//! Evaluation of parsed expressions against a marking.
+//!
+//! Conditions, weights, priorities, initial markings and distribution parameters are
+//! all arithmetic expressions over numbers, named constants and place identifiers
+//! (which evaluate to the place's current token count).  Booleans are represented as
+//! 0.0 / 1.0, matching the permissive style of the original DNAmaca language.
+
+use crate::ast::{BinOp, DistExpr, Expr};
+use smp_distributions::Dist;
+use smp_smspn::Marking;
+use std::collections::HashMap;
+
+/// The evaluation environment: constant values and the place-name → index map.
+#[derive(Debug, Clone, Default)]
+pub struct Environment {
+    constants: HashMap<String, f64>,
+    places: HashMap<String, usize>,
+}
+
+impl Environment {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Environment::default()
+    }
+
+    /// Defines (or redefines) a constant.
+    pub fn define_constant(&mut self, name: impl Into<String>, value: f64) {
+        self.constants.insert(name.into(), value);
+    }
+
+    /// Registers a place name at the given marking index.
+    pub fn define_place(&mut self, name: impl Into<String>, index: usize) {
+        self.places.insert(name.into(), index);
+    }
+
+    /// Looks up a place index by name.
+    pub fn place_index(&self, name: &str) -> Option<usize> {
+        self.places.get(name).copied()
+    }
+
+    /// Number of registered places.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Evaluates an expression against a marking.
+    ///
+    /// `marking` may be `None` in marking-free contexts (constant definitions and
+    /// initial-marking expressions); referencing a place there is an error.
+    pub fn eval(&self, expr: &Expr, marking: Option<&Marking>) -> Result<f64, String> {
+        match expr {
+            Expr::Number(n) => Ok(*n),
+            Expr::Ident(name) => {
+                if let Some(value) = self.constants.get(name) {
+                    return Ok(*value);
+                }
+                if let Some(&index) = self.places.get(name) {
+                    return match marking {
+                        Some(m) => Ok(m.get(index) as f64),
+                        None => Err(format!(
+                            "place '{name}' referenced in a context without a marking"
+                        )),
+                    };
+                }
+                Err(format!("unknown identifier '{name}'"))
+            }
+            Expr::Neg(inner) => Ok(-self.eval(inner, marking)?),
+            Expr::Not(inner) => Ok(if self.eval(inner, marking)? != 0.0 { 0.0 } else { 1.0 }),
+            Expr::Call { name, args } => match name.as_str() {
+                "min" | "max" => {
+                    if args.is_empty() {
+                        return Err(format!("{name}() needs at least one argument"));
+                    }
+                    let mut values = Vec::with_capacity(args.len());
+                    for a in args {
+                        values.push(self.eval(a, marking)?);
+                    }
+                    Ok(values
+                        .into_iter()
+                        .reduce(|a, b| if name == "min" { a.min(b) } else { a.max(b) })
+                        .expect("non-empty"))
+                }
+                other => Err(format!(
+                    "function '{other}' is not available in arithmetic expressions"
+                )),
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs, marking)?;
+                let r = self.eval(rhs, marking)?;
+                Ok(match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => {
+                        if r == 0.0 {
+                            return Err("division by zero".into());
+                        }
+                        l / r
+                    }
+                    BinOp::Greater => bool_to_f64(l > r),
+                    BinOp::Less => bool_to_f64(l < r),
+                    BinOp::GreaterEq => bool_to_f64(l >= r),
+                    BinOp::LessEq => bool_to_f64(l <= r),
+                    BinOp::Eq => bool_to_f64(l == r),
+                    BinOp::NotEq => bool_to_f64(l != r),
+                    BinOp::And => bool_to_f64(l != 0.0 && r != 0.0),
+                    BinOp::Or => bool_to_f64(l != 0.0 || r != 0.0),
+                })
+            }
+        }
+    }
+
+    /// Evaluates an expression as a boolean.
+    pub fn eval_bool(&self, expr: &Expr, marking: Option<&Marking>) -> Result<bool, String> {
+        Ok(self.eval(expr, marking)? != 0.0)
+    }
+
+    /// Builds a concrete distribution from a distribution expression, evaluating
+    /// every parameter against the marking (so distributions can be
+    /// marking-dependent).
+    pub fn eval_dist(&self, expr: &DistExpr, marking: Option<&Marking>) -> Result<Dist, String> {
+        match expr {
+            DistExpr::Call { name, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(a, marking)?);
+                }
+                build_primitive(name, &values)
+            }
+            DistExpr::Sum(branches) => {
+                let mut parts = Vec::with_capacity(branches.len());
+                for (weight_expr, dist_expr) in branches {
+                    let w = self.eval(weight_expr, marking)?;
+                    if w < 0.0 {
+                        return Err(format!("negative mixture weight {w}"));
+                    }
+                    parts.push((w, self.eval_dist(dist_expr, marking)?));
+                }
+                Ok(Dist::mixture(parts))
+            }
+            DistExpr::Product(factors) => {
+                let mut parts = Vec::with_capacity(factors.len());
+                for f in factors {
+                    parts.push(self.eval_dist(f, marking)?);
+                }
+                Ok(Dist::convolution(parts))
+            }
+        }
+    }
+}
+
+fn bool_to_f64(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Builds a primitive distribution from a constructor name and evaluated arguments.
+fn build_primitive(name: &str, args: &[f64]) -> Result<Dist, String> {
+    let check = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{name} expects {n} argument(s), got {}", args.len()))
+        }
+    };
+    match name {
+        "uniformLT" => {
+            check(2)?;
+            if !(args[0] >= 0.0 && args[1] > args[0]) {
+                return Err(format!("uniformLT requires 0 <= a < b, got ({}, {})", args[0], args[1]));
+            }
+            Ok(Dist::uniform(args[0], args[1]))
+        }
+        "erlangLT" => {
+            check(2)?;
+            let phases = args[1];
+            if phases < 1.0 || phases.fract() != 0.0 {
+                return Err(format!("erlangLT phase count must be a positive integer, got {phases}"));
+            }
+            if args[0] <= 0.0 {
+                return Err(format!("erlangLT rate must be positive, got {}", args[0]));
+            }
+            Ok(Dist::erlang(args[0], phases as u32))
+        }
+        "expLT" | "exponentialLT" => {
+            check(1)?;
+            if args[0] <= 0.0 {
+                return Err(format!("{name} rate must be positive, got {}", args[0]));
+            }
+            Ok(Dist::exponential(args[0]))
+        }
+        "detLT" | "deterministicLT" => {
+            check(1)?;
+            if args[0] < 0.0 {
+                return Err(format!("{name} delay must be non-negative, got {}", args[0]));
+            }
+            Ok(Dist::deterministic(args[0]))
+        }
+        "weibullLT" => {
+            check(2)?;
+            if args[0] <= 0.0 || args[1] <= 0.0 {
+                return Err("weibullLT shape and scale must be positive".into());
+            }
+            Ok(Dist::weibull(args[0], args[1]))
+        }
+        "immediateLT" => {
+            check(0)?;
+            Ok(Dist::immediate())
+        }
+        other => Err(format!("unknown distribution constructor '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn env() -> Environment {
+        let mut e = Environment::new();
+        e.define_constant("MM", 6.0);
+        e.define_place("p3", 0);
+        e.define_place("p7", 1);
+        e
+    }
+
+    fn expr_of(src: &str) -> Expr {
+        // Wrap in a condition so the full parser can be reused.
+        let model = parse(&format!("\\transition{{t}}{{ \\condition{{{src}}} }}")).unwrap();
+        model.transitions[0].condition.clone().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_identifiers() {
+        let e = env();
+        let m = Marking::new(vec![2, 5]);
+        assert_eq!(e.eval(&expr_of("p3 + p7 * 2"), Some(&m)).unwrap(), 12.0);
+        assert_eq!(e.eval(&expr_of("MM - 1"), Some(&m)).unwrap(), 5.0);
+        assert_eq!(e.eval(&expr_of("(p7 - p3) / 3"), Some(&m)).unwrap(), 1.0);
+        assert_eq!(e.eval(&expr_of("-p3"), Some(&m)).unwrap(), -2.0);
+        assert_eq!(e.eval(&expr_of("min(p3, p7, 1)"), Some(&m)).unwrap(), 1.0);
+        assert_eq!(e.eval(&expr_of("max(p3, p7)"), Some(&m)).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = env();
+        let m = Marking::new(vec![2, 6]);
+        assert!(e.eval_bool(&expr_of("p7 > MM - 1"), Some(&m)).unwrap());
+        assert!(!e.eval_bool(&expr_of("p7 < MM"), Some(&m)).unwrap());
+        assert!(e.eval_bool(&expr_of("p3 == 2 && p7 >= 6"), Some(&m)).unwrap());
+        assert!(e.eval_bool(&expr_of("p3 == 0 || p7 != 0"), Some(&m)).unwrap());
+        assert!(e.eval_bool(&expr_of("!(p3 == 0)"), Some(&m)).unwrap());
+    }
+
+    #[test]
+    fn errors_for_unknowns_and_missing_marking() {
+        let e = env();
+        let m = Marking::new(vec![0, 0]);
+        assert!(e.eval(&expr_of("nonexistent"), Some(&m)).is_err());
+        assert!(e.eval(&expr_of("p3"), None).is_err());
+        assert!(e.eval(&expr_of("1 / 0"), Some(&m)).is_err());
+        assert!(e.eval(&expr_of("sqrt(2)"), Some(&m)).is_err());
+    }
+
+    #[test]
+    fn dist_expression_builds_paper_mixture() {
+        let e = env();
+        let model = parse(
+            "\\transition{t5}{ \\sojourntimeLT{ return (0.8 * uniformLT(1.5,10,s) + 0.2 * erlangLT(0.001,5,s)); } }",
+        )
+        .unwrap();
+        let dist = e
+            .eval_dist(model.transitions[0].sojourn.as_ref().unwrap(), None)
+            .unwrap();
+        let expect = Dist::mixture(vec![
+            (0.8, Dist::uniform(1.5, 10.0)),
+            (0.2, Dist::erlang(0.001, 5)),
+        ]);
+        assert_eq!(dist, expect);
+    }
+
+    #[test]
+    fn marking_dependent_distribution_parameters() {
+        let e = env();
+        let model = parse("\\transition{t}{ \\sojourntimeLT{ erlangLT(2.0, p7, s) } }").unwrap();
+        let sojourn = model.transitions[0].sojourn.as_ref().unwrap();
+        let m3 = Marking::new(vec![0, 3]);
+        let m1 = Marking::new(vec![0, 1]);
+        assert_eq!(e.eval_dist(sojourn, Some(&m3)).unwrap(), Dist::erlang(2.0, 3));
+        assert_eq!(e.eval_dist(sojourn, Some(&m1)).unwrap(), Dist::erlang(2.0, 1));
+        // A non-integer phase count is a semantic error.
+        let bad = Marking::new(vec![0, 0]);
+        assert!(e.eval_dist(sojourn, Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn convolution_distribution() {
+        let e = env();
+        let model =
+            parse("\\transition{t}{ \\sojourntimeLT{ expLT(1.0,s) * detLT(2.0,s) } }").unwrap();
+        let dist = e
+            .eval_dist(model.transitions[0].sojourn.as_ref().unwrap(), None)
+            .unwrap();
+        assert_eq!(
+            dist,
+            Dist::convolution(vec![Dist::exponential(1.0), Dist::deterministic(2.0)])
+        );
+    }
+
+    #[test]
+    fn primitive_argument_validation() {
+        assert!(build_primitive("uniformLT", &[5.0, 1.0]).is_err());
+        assert!(build_primitive("erlangLT", &[1.0, 2.5]).is_err());
+        assert!(build_primitive("expLT", &[-1.0]).is_err());
+        assert!(build_primitive("detLT", &[-0.1]).is_err());
+        assert!(build_primitive("weibullLT", &[0.0, 1.0]).is_err());
+        assert!(build_primitive("expLT", &[1.0, 2.0]).is_err());
+        assert!(build_primitive("mystery", &[1.0]).is_err());
+        assert_eq!(build_primitive("immediateLT", &[]).unwrap(), Dist::immediate());
+        assert_eq!(
+            build_primitive("exponentialLT", &[2.0]).unwrap(),
+            Dist::exponential(2.0)
+        );
+        assert_eq!(
+            build_primitive("deterministicLT", &[1.5]).unwrap(),
+            Dist::deterministic(1.5)
+        );
+        assert_eq!(
+            build_primitive("weibullLT", &[2.0, 3.0]).unwrap(),
+            Dist::weibull(2.0, 3.0)
+        );
+    }
+}

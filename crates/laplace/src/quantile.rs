@@ -1,0 +1,109 @@
+//! Passage-time quantiles and reliability probabilities.
+//!
+//! Convenience wrappers that go straight from a density transform to the two numbers
+//! modellers actually quote:
+//!
+//! * "the probability that the system processes 175 voters in under 440 s is 0.9858"
+//!   — [`probability_of_completion_by`];
+//! * "the 99th-percentile response time is …" — [`quantile`].
+//!
+//! Both invert `L(s)/s` over an automatically refined time grid and read the value
+//! off the resulting [`CdfCurve`].
+
+use crate::cdf::CdfCurve;
+use crate::splan::InversionMethod;
+use smp_distributions::LaplaceTransform;
+use smp_numeric::stats::linspace;
+
+/// Probability that the passage completes by time `deadline`, i.e. `F(deadline)`.
+pub fn probability_of_completion_by<L: LaplaceTransform + ?Sized>(
+    method: InversionMethod,
+    density_transform: &L,
+    deadline: f64,
+) -> f64 {
+    assert!(deadline > 0.0, "deadline must be positive");
+    // A short grid ending at the deadline: the last point is the answer, the others
+    // stabilise the monotonicity repair.
+    let ts = linspace(deadline / 16.0, deadline, 16);
+    let curve = CdfCurve::from_density_transform(method, density_transform, &ts);
+    curve.probability_at(deadline)
+}
+
+/// The `p`-quantile of the passage time: the earliest time by which the completion
+/// probability reaches `p`.
+///
+/// The search expands the time horizon geometrically (up to `max_horizon`) until the
+/// CDF reaches `p`, then refines on a denser grid.  Returns `None` if the probability
+/// is not reached within `max_horizon` (e.g. defective distributions).
+pub fn quantile<L: LaplaceTransform + ?Sized>(
+    method: InversionMethod,
+    density_transform: &L,
+    p: f64,
+    initial_horizon: f64,
+    max_horizon: f64,
+) -> Option<f64>
+where
+    InversionMethod: Clone,
+{
+    assert!((0.0..1.0).contains(&p) || p == 1.0, "p must be in [0, 1]");
+    assert!(initial_horizon > 0.0 && max_horizon >= initial_horizon);
+    let mut horizon = initial_horizon;
+    loop {
+        let ts = linspace(horizon / 128.0, horizon, 128);
+        let curve = CdfCurve::from_density_transform(method.clone(), density_transform, &ts);
+        if let Some(q) = curve.quantile(p) {
+            // Refine around the bracketing interval with a 10× denser local grid.
+            let lo = (q - horizon / 128.0).max(horizon / 1024.0);
+            let hi = q + horizon / 128.0;
+            let fine = linspace(lo, hi, 64);
+            let fine_curve = CdfCurve::from_density_transform(method.clone(), density_transform, &fine);
+            return fine_curve.quantile(p).or(Some(q));
+        }
+        if horizon >= max_horizon {
+            return None;
+        }
+        horizon = (horizon * 2.0).min(max_horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_distributions::Dist;
+
+    #[test]
+    fn completion_probability_exponential() {
+        let d = Dist::exponential(1.0);
+        let p = probability_of_completion_by(InversionMethod::euler(), &d, 2.0);
+        let expect = 1.0 - (-2.0f64).exp();
+        assert!((p - expect).abs() < 1e-5, "P = {p} vs {expect}");
+    }
+
+    #[test]
+    fn quantile_exponential_median() {
+        let d = Dist::exponential(2.0);
+        let q = quantile(InversionMethod::euler(), &d, 0.5, 1.0, 64.0).unwrap();
+        let expect = std::f64::consts::LN_2 / 2.0;
+        assert!((q - expect).abs() < 0.01, "median {q} vs {expect}");
+    }
+
+    #[test]
+    fn quantile_expands_horizon_when_needed() {
+        // Erlang with mean 50 — the initial horizon of 1 is far too small.
+        let d = Dist::erlang(0.1, 5);
+        let q = quantile(InversionMethod::euler(), &d, 0.9, 1.0, 1024.0).unwrap();
+        assert!(q > 50.0 && q < 150.0, "q90 = {q}");
+    }
+
+    #[test]
+    fn quantile_unreachable_returns_none() {
+        let d = Dist::erlang(0.001, 5); // mean 5000, far beyond the horizon cap
+        assert_eq!(quantile(InversionMethod::euler(), &d, 0.99, 1.0, 8.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn rejects_bad_deadline() {
+        probability_of_completion_by(InversionMethod::euler(), &Dist::exponential(1.0), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The shared in-memory result cache.
+//!
+//! Workers deposit `(s, L(s))` pairs as they finish; the master reads the complete
+//! cache to perform the final inversion.  The cache also answers "has this point
+//! already been computed?" so that a checkpoint restore (or overlapping time grids
+//! across successive queries) skips redundant work — the paper caches results "both
+//! in memory and on disk so that all computation is checkpointed".
+
+use parking_lot::RwLock;
+use smp_laplace::TransformValues;
+use smp_numeric::Complex64;
+
+/// A thread-safe wrapper around [`TransformValues`].
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    values: RwLock<TransformValues>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Creates a cache seeded from previously computed values (checkpoint restore).
+    pub fn from_values(values: TransformValues) -> Self {
+        ResultCache {
+            values: RwLock::new(values),
+        }
+    }
+
+    /// Stores a computed value.
+    pub fn insert(&self, s: Complex64, value: Complex64) {
+        self.values.write().insert(s, value);
+    }
+
+    /// Looks up a previously computed value.
+    pub fn get(&self, s: Complex64) -> Option<Complex64> {
+        self.values.read().get(s)
+    }
+
+    /// True when the point has already been computed.
+    pub fn contains(&self, s: Complex64) -> bool {
+        self.values.read().contains(s)
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.read().len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.read().is_empty()
+    }
+
+    /// Takes a consistent snapshot of the stored values.
+    pub fn snapshot(&self) -> TransformValues {
+        self.values.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_contains() {
+        let cache = ResultCache::new();
+        let s = Complex64::new(1.5, -2.0);
+        assert!(cache.is_empty());
+        assert!(!cache.contains(s));
+        cache.insert(s, Complex64::I);
+        assert_eq!(cache.get(s), Some(Complex64::I));
+        assert!(cache.contains(s));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let cache = ResultCache::new();
+        cache.insert(Complex64::ONE, Complex64::ONE);
+        let snap = cache.snapshot();
+        cache.insert(Complex64::I, Complex64::I);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn seeded_from_checkpoint_values() {
+        let mut values = TransformValues::new();
+        values.insert(Complex64::new(2.0, 3.0), Complex64::new(0.5, 0.5));
+        let cache = ResultCache::from_values(values);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(Complex64::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn concurrent_inserts_all_visible() {
+        let cache = Arc::new(ResultCache::new());
+        crossbeam::scope(|scope| {
+            for worker in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move |_| {
+                    for k in 0..100 {
+                        let s = Complex64::new(worker as f64, k as f64);
+                        cache.insert(s, Complex64::real(k as f64));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cache.len(), 800);
+        assert_eq!(cache.get(Complex64::new(3.0, 42.0)), Some(Complex64::real(42.0)));
+    }
+}

@@ -1,0 +1,162 @@
+//! On-disk checkpointing of computed transform values.
+//!
+//! Every `(s, L(s))` pair returned by a worker is appended to a checkpoint file, so
+//! that a crashed or interrupted analysis can be restarted without recomputing the
+//! points already done — the paper stores results "both in memory and on disk so
+//! that all computation is checkpointed".
+//!
+//! The format is a plain text file, one record per line:
+//!
+//! ```text
+//! <s.re bits hex> <s.im bits hex> <value.re bits hex> <value.im bits hex>
+//! ```
+//!
+//! Bit-exact hexadecimal encoding of the `f64`s guarantees that a reloaded point
+//! matches its planned `s`-point exactly (the cache is keyed by bit pattern).
+//! Malformed trailing lines (e.g. from a crash mid-write) are ignored on load.
+
+use smp_laplace::TransformValues;
+use smp_numeric::Complex64;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only checkpoint writer.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    records: usize,
+}
+
+impl CheckpointWriter {
+    /// Opens (creating or appending to) a checkpoint file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(CheckpointWriter {
+            path,
+            writer: BufWriter::new(file),
+            records: 0,
+        })
+    }
+
+    /// Appends one computed value and flushes it to disk.
+    pub fn record(&mut self, s: Complex64, value: Complex64) -> std::io::Result<()> {
+        writeln!(
+            self.writer,
+            "{:016x} {:016x} {:016x} {:016x}",
+            s.re.to_bits(),
+            s.im.to_bits(),
+            value.re.to_bits(),
+            value.im.to_bits()
+        )?;
+        self.writer.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written by this writer instance.
+    pub fn records_written(&self) -> usize {
+        self.records
+    }
+
+    /// The checkpoint file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Loads every valid record from a checkpoint file.  A missing file yields an empty
+/// cache; malformed lines are skipped.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<TransformValues> {
+    let mut values = TransformValues::new();
+    let file = match File::open(path.as_ref()) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(values),
+        Err(e) => return Err(e),
+    };
+    let reader = BufReader::new(file);
+    for line in reader.lines() {
+        let line = line?;
+        let mut parts = line.split_whitespace();
+        let mut next_f64 = || -> Option<f64> {
+            parts
+                .next()
+                .and_then(|p| u64::from_str_radix(p, 16).ok())
+                .map(f64::from_bits)
+        };
+        let (Some(sre), Some(sim), Some(vre), Some(vim)) =
+            (next_f64(), next_f64(), next_f64(), next_f64())
+        else {
+            continue; // skip malformed (possibly truncated) record
+        };
+        values.insert(Complex64::new(sre, sim), Complex64::new(vre, vim));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("smp-pipeline-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_exact_bits() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let points = vec![
+            (Complex64::new(0.1, -0.3), Complex64::new(1.0 / 3.0, 2.0e-15)),
+            (Complex64::new(9.55, 3.1415926535), Complex64::new(-0.25, 0.75)),
+        ];
+        {
+            let mut writer = CheckpointWriter::open(&path).unwrap();
+            for &(s, v) in &points {
+                writer.record(s, v).unwrap();
+            }
+            assert_eq!(writer.records_written(), 2);
+            assert_eq!(writer.path(), path.as_path());
+        }
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for &(s, v) in &points {
+            assert_eq!(loaded.get(s), Some(v));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let loaded = load_checkpoint(temp_path("never-created")).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn append_accumulates_and_corrupt_lines_skipped() {
+        let path = temp_path("append");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = CheckpointWriter::open(&path).unwrap();
+            w.record(Complex64::ONE, Complex64::I).unwrap();
+        }
+        {
+            let mut w = CheckpointWriter::open(&path).unwrap();
+            w.record(Complex64::new(2.0, 0.0), Complex64::new(0.5, 0.0)).unwrap();
+        }
+        // Simulate a crash mid-write: a truncated line at the end.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "deadbeef 1234").unwrap();
+        }
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(Complex64::ONE), Some(Complex64::I));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! # smp-pipeline
+//!
+//! The distributed master–worker analysis pipeline of Section 4 of the paper.
+//!
+//! The paper's architecture: the master computes in advance the `s`-values at which
+//! the passage-time transform must be known, places them in a **global work queue**,
+//! and slave processors repeatedly request the next available `s`-value, build the
+//! matrices `U` and `U'`, run the iterative algorithm to convergence and return the
+//! transform value.  Results are cached in memory **and on disk** (checkpointing);
+//! once every value has arrived, the master performs the final Laplace inversion.
+//! Because no inter-slave communication is needed, the pipeline scales almost
+//! linearly (Table 2).
+//!
+//! ## Substitution note
+//!
+//! The original tool ran on a cluster of PCs over 100 Mbps Ethernet via a
+//! master–slave message-passing harness.  Rust MPI bindings are not mature enough to
+//! depend on here, and the algorithm requires no inter-worker communication, so this
+//! crate reproduces the architecture **in-process**: worker threads stand in for
+//! slave processors, a shared lock-protected queue is the global work queue, and an
+//! optional, configurable per-result latency simulates the network round-trip.  The
+//! scheduling, caching, checkpointing and convergence code paths are identical to
+//! what a multi-host deployment would execute; only the transport differs (see
+//! `DESIGN.md`).
+//!
+//! * [`work`] — the global `s`-point work queue;
+//! * [`cache`] — the in-memory result cache shared between workers and master;
+//! * [`checkpoint`] — append-only on-disk checkpoint files and their recovery;
+//! * [`worker`] — the slave loop: pull, evaluate, (optionally delay), push result;
+//! * [`master`] — the orchestrating [`DistributedPipeline`];
+//! * [`metrics`] — timing, speedup and efficiency reporting (Table 2).
+
+pub mod cache;
+pub mod checkpoint;
+pub mod master;
+pub mod metrics;
+pub mod work;
+pub mod worker;
+
+pub use master::{DistributedPipeline, PipelineOptions, PipelineResult};
+pub use metrics::{run_scalability_sweep, ScalabilityRow};

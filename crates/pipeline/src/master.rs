@@ -1,0 +1,370 @@
+//! The master process: planning, distribution, checkpointing and final inversion.
+
+use crate::cache::ResultCache;
+use crate::checkpoint::{load_checkpoint, CheckpointWriter};
+use crate::work::WorkQueue;
+use crate::worker::{run_worker, WorkerMessage, WorkerStats};
+use crossbeam::channel::unbounded;
+use smp_laplace::{InversionMethod, SPointPlan};
+use smp_numeric::Complex64;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Configuration of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// Number of worker threads ("slave processors").  0 or 1 means a single worker.
+    pub workers: usize,
+    /// When set, computed values are appended to this file and reloaded on the next
+    /// run (checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Optional simulated master⇄worker network latency applied per result message.
+    pub simulated_latency: Option<Duration>,
+}
+
+impl PipelineOptions {
+    /// A convenience constructor for "N workers, nothing else".
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineOptions {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors produced by a pipeline run.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A worker failed to evaluate the transform at some point.
+    Evaluation {
+        /// The failing `s`-point.
+        s: Complex64,
+        /// Description of the failure (typically a convergence report).
+        message: String,
+    },
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Evaluation { s, message } => {
+                write!(f, "evaluation failed at s = {s}: {message}")
+            }
+            PipelineError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+/// The outcome of a pipeline run.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// The user-requested time points.
+    pub t_points: Vec<f64>,
+    /// The inverted function values at those points (density, CDF or transient
+    /// probability depending on the transform supplied).
+    pub values: Vec<f64>,
+    /// Wall-clock duration of the whole run (planning to inversion).
+    pub elapsed: Duration,
+    /// Number of `s`-points evaluated in this run.
+    pub evaluations: usize,
+    /// Number of planned `s`-points satisfied from the checkpoint/cache.
+    pub cache_hits: usize,
+    /// Per-worker accounting.
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+/// The distributed analysis pipeline of Section 4 of the paper.
+#[derive(Debug, Clone)]
+pub struct DistributedPipeline {
+    method: InversionMethod,
+    options: PipelineOptions,
+}
+
+impl DistributedPipeline {
+    /// Creates a pipeline with the given inversion method and options.
+    pub fn new(method: InversionMethod, options: PipelineOptions) -> Self {
+        DistributedPipeline { method, options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// Runs the pipeline: plans the `s`-points for `t_points`, distributes the
+    /// evaluations of `transform` across the worker pool, checkpoints results, and
+    /// inverts once all values are available.
+    ///
+    /// `transform` is any Laplace-domain evaluator — for the paper's workloads it is
+    /// a closure around `PassageTimeSolver::transform_at` or
+    /// `TransientSolver::transform_at`; for a CDF it wraps the density transform and
+    /// divides by `s`.
+    pub fn run<F>(&self, transform: F, t_points: &[f64]) -> Result<PipelineResult, PipelineError>
+    where
+        F: Fn(Complex64) -> Result<Complex64, String> + Sync,
+    {
+        let started = Instant::now();
+        let plan = SPointPlan::new(self.method.clone(), t_points);
+
+        // Restore any checkpointed values.
+        let restored = match &self.options.checkpoint_path {
+            Some(path) => load_checkpoint(path)?,
+            None => smp_laplace::TransformValues::new(),
+        };
+        let cache = ResultCache::from_values(restored);
+        let outstanding: Vec<Complex64> = plan
+            .s_points()
+            .iter()
+            .copied()
+            .filter(|&s| !cache.contains(s))
+            .collect();
+        let cache_hits = plan.len() - outstanding.len();
+
+        let mut checkpoint = match &self.options.checkpoint_path {
+            Some(path) => Some(CheckpointWriter::open(path)?),
+            None => None,
+        };
+
+        let queue = WorkQueue::new(&outstanding);
+        let expected = outstanding.len();
+        let workers = self.options.workers.max(1);
+        let latency = self.options.simulated_latency;
+        let (tx, rx) = unbounded::<WorkerMessage>();
+
+        let mut first_error: Option<PipelineError> = None;
+        let worker_stats: Vec<WorkerStats> = crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for id in 0..workers {
+                let queue = &queue;
+                let transform = &transform;
+                let tx = tx.clone();
+                handles.push(
+                    scope.spawn(move |_| run_worker(id, queue, transform, latency, &tx)),
+                );
+            }
+            drop(tx);
+
+            // The master collects results as they arrive, caching and checkpointing
+            // each one (this is also where a multi-host deployment would receive
+            // messages from the network).
+            for _ in 0..expected {
+                let Ok(message) = rx.recv() else { break };
+                match message.outcome {
+                    Ok(value) => {
+                        cache.insert(message.item.s, value);
+                        if let Some(writer) = checkpoint.as_mut() {
+                            if let Err(e) = writer.record(message.item.s, value) {
+                                first_error.get_or_insert(PipelineError::Io(e));
+                            }
+                        }
+                    }
+                    Err(message_text) => {
+                        first_error.get_or_insert(PipelineError::Evaluation {
+                            s: message.item.s,
+                            message: message_text,
+                        });
+                    }
+                }
+            }
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("pipeline scope failed");
+
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+
+        let values = plan.invert(&cache.snapshot());
+        Ok(PipelineResult {
+            t_points: t_points.to_vec(),
+            values,
+            elapsed: started.elapsed(),
+            evaluations: expected,
+            cache_hits,
+            worker_stats,
+        })
+    }
+
+    /// Runs the pipeline for the *cumulative distribution* of a density transform:
+    /// identical to [`DistributedPipeline::run`] but inverting `L(s)/s`, with the
+    /// result clamped into `[0, 1]` and made monotone.
+    pub fn run_cdf<F>(&self, density_transform: F, t_points: &[f64]) -> Result<PipelineResult, PipelineError>
+    where
+        F: Fn(Complex64) -> Result<Complex64, String> + Sync,
+    {
+        let mut result = self.run(
+            |s| density_transform(s).map(|value| value / s),
+            t_points,
+        )?;
+        let mut running_max: f64 = 0.0;
+        for v in result.values.iter_mut() {
+            *v = v.clamp(0.0, 1.0).max(running_max);
+            running_max = *v;
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_distributions::Dist;
+    use smp_distributions::LaplaceTransform as _;
+    use smp_laplace::Euler;
+    use smp_numeric::stats::linspace;
+
+    fn density_evaluator(d: Dist) -> impl Fn(Complex64) -> Result<Complex64, String> + Sync {
+        move |s| Ok(d.lst(s))
+    }
+
+    #[test]
+    fn pipeline_matches_direct_inversion() {
+        let d = Dist::erlang(2.0, 3);
+        let ts = linspace(0.2, 5.0, 25);
+        let pipeline = DistributedPipeline::new(
+            InversionMethod::euler(),
+            PipelineOptions::with_workers(4),
+        );
+        let result = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
+        let reference = Euler::standard().invert_many(&d, &ts);
+        assert_eq!(result.values.len(), reference.len());
+        for (a, b) in result.values.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert_eq!(result.cache_hits, 0);
+        assert!(result.evaluations > 0);
+        let total_by_workers: usize = result.worker_stats.iter().map(|w| w.evaluated).sum();
+        assert_eq!(total_by_workers, result.evaluations);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_answer() {
+        let d = Dist::mixture(vec![(0.5, Dist::exponential(1.0)), (0.5, Dist::uniform(0.5, 2.0))]);
+        let ts = linspace(0.25, 4.0, 12);
+        let mut previous: Option<Vec<f64>> = None;
+        for workers in [1, 2, 8] {
+            let pipeline = DistributedPipeline::new(
+                InversionMethod::euler(),
+                PipelineOptions::with_workers(workers),
+            );
+            let result = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
+            if let Some(prev) = &previous {
+                for (a, b) in result.values.iter().zip(prev) {
+                    assert!((a - b).abs() < 1e-12);
+                }
+            }
+            previous = Some(result.values);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restart_skips_evaluations() {
+        let d = Dist::erlang(1.0, 2);
+        let ts = linspace(0.5, 3.0, 6);
+        let mut path = std::env::temp_dir();
+        path.push(format!("smp-pipeline-ckpt-{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let options = PipelineOptions {
+            workers: 2,
+            checkpoint_path: Some(path.clone()),
+            simulated_latency: None,
+        };
+        let pipeline = DistributedPipeline::new(InversionMethod::euler(), options);
+        let first = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert!(first.evaluations > 0);
+
+        let second = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
+        assert_eq!(second.evaluations, 0);
+        assert_eq!(second.cache_hits, first.evaluations);
+        for (a, b) in first.values.iter().zip(&second.values) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn evaluation_errors_are_reported() {
+        let ts = vec![1.0];
+        let pipeline = DistributedPipeline::new(
+            InversionMethod::euler(),
+            PipelineOptions::with_workers(3),
+        );
+        let result = pipeline.run(
+            |s: Complex64| {
+                if s.im > 20.0 {
+                    Err("synthetic convergence failure".to_string())
+                } else {
+                    Ok(Complex64::ONE / (Complex64::ONE + s))
+                }
+            },
+            &ts,
+        );
+        match result {
+            Err(PipelineError::Evaluation { message, .. }) => {
+                assert!(message.contains("synthetic"));
+            }
+            other => panic!("expected an evaluation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cdf_run_is_monotone_and_bounded() {
+        let d = Dist::exponential(0.8);
+        let ts = linspace(0.25, 8.0, 30);
+        let pipeline = DistributedPipeline::new(
+            InversionMethod::euler(),
+            PipelineOptions::with_workers(2),
+        );
+        let result = pipeline.run_cdf(density_evaluator(d.clone()), &ts).unwrap();
+        for w in result.values.windows(2) {
+            assert!(w[1] + 1e-12 >= w[0]);
+        }
+        for (t, v) in ts.iter().zip(&result.values) {
+            let expect = 1.0 - (-0.8 * t).exp();
+            assert!((v - expect).abs() < 1e-5, "F({t}) = {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn passage_time_solver_through_the_pipeline() {
+        use smp_core::{PassageTimeSolver, SmpBuilder};
+        // Two exponential stages: passage density is Erlang(2, 2).
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 1.0, Dist::exponential(2.0));
+        b.add_transition(1, 2, 1.0, Dist::exponential(2.0));
+        b.add_transition(2, 0, 1.0, Dist::exponential(1.0));
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[2]).unwrap();
+        let ts = linspace(0.2, 4.0, 16);
+        let pipeline = DistributedPipeline::new(
+            InversionMethod::euler(),
+            PipelineOptions::with_workers(4),
+        );
+        let result = pipeline
+            .run(
+                |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+                &ts,
+            )
+            .unwrap();
+        for (t, v) in ts.iter().zip(&result.values) {
+            let expect = 4.0 * t * (-2.0 * t).exp();
+            assert!((v - expect).abs() < 1e-5, "f({t}) = {v} vs {expect}");
+        }
+    }
+}

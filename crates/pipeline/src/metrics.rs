@@ -1,0 +1,137 @@
+//! Scalability measurement (Table 2 of the paper).
+//!
+//! The paper reports time, speedup and efficiency of the analysis pipeline for 1, 8,
+//! 16 and 32 slave processors solving a passage time at 5 `t`-points on system 1.
+//! [`run_scalability_sweep`] reproduces the measurement protocol: the same
+//! evaluation plan is solved repeatedly with an increasing worker count, and each
+//! run's wall-clock time is reported relative to the single-worker baseline.
+
+use crate::master::{DistributedPipeline, PipelineError, PipelineOptions};
+use smp_laplace::InversionMethod;
+use smp_numeric::Complex64;
+use std::time::Duration;
+
+/// One row of a Table-2-style scalability report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityRow {
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Speedup relative to the single-worker baseline.
+    pub speedup: f64,
+    /// Parallel efficiency (`speedup / workers`).
+    pub efficiency: f64,
+    /// Number of `s`-point evaluations performed.
+    pub evaluations: usize,
+}
+
+impl ScalabilityRow {
+    /// Formats the row like the paper's table: `workers  time  speedup  efficiency`.
+    pub fn formatted(&self) -> String {
+        format!(
+            "{:>6}  {:>10.3}  {:>8.2}  {:>10.3}",
+            self.workers,
+            self.elapsed.as_secs_f64(),
+            self.speedup,
+            self.efficiency
+        )
+    }
+}
+
+/// Runs the same analysis with each worker count in `worker_counts` and reports
+/// time, speedup and efficiency against the first entry (conventionally 1 worker).
+///
+/// `simulated_latency` optionally adds a per-result delay representing the network
+/// round-trip of the original cluster deployment.
+pub fn run_scalability_sweep<F>(
+    method: InversionMethod,
+    transform: F,
+    t_points: &[f64],
+    worker_counts: &[usize],
+    simulated_latency: Option<Duration>,
+) -> Result<Vec<ScalabilityRow>, PipelineError>
+where
+    F: Fn(Complex64) -> Result<Complex64, String> + Sync,
+{
+    assert!(!worker_counts.is_empty(), "at least one worker count is required");
+    let mut rows = Vec::with_capacity(worker_counts.len());
+    let mut baseline: Option<Duration> = None;
+    for &workers in worker_counts {
+        let pipeline = DistributedPipeline::new(
+            method.clone(),
+            PipelineOptions {
+                workers,
+                checkpoint_path: None,
+                simulated_latency,
+            },
+        );
+        let result = pipeline.run(&transform, t_points)?;
+        let elapsed = result.elapsed;
+        let base = *baseline.get_or_insert(elapsed);
+        let speedup = base.as_secs_f64() / elapsed.as_secs_f64().max(1e-12);
+        rows.push(ScalabilityRow {
+            workers,
+            elapsed,
+            speedup,
+            efficiency: speedup / workers as f64,
+            evaluations: result.evaluations,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_distributions::Dist;
+    use smp_distributions::LaplaceTransform as _;
+
+    #[test]
+    fn sweep_reports_rows_for_every_worker_count() {
+        // A deliberately slow evaluator so that parallelism has something to win.
+        let d = Dist::erlang(1.0, 3);
+        let evaluator = move |s: Complex64| -> Result<Complex64, String> {
+            std::thread::sleep(Duration::from_micros(300));
+            Ok(d.lst(s))
+        };
+        let ts: Vec<f64> = (1..=5).map(|k| k as f64 * 0.7).collect();
+        let rows = run_scalability_sweep(
+            InversionMethod::euler(),
+            evaluator,
+            &ts,
+            &[1, 2, 4],
+            None,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].workers, 1);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        assert!((rows[0].efficiency - 1.0).abs() < 1e-9);
+        // All rows evaluate the same number of s-points.
+        assert!(rows.iter().all(|r| r.evaluations == rows[0].evaluations));
+        // With a genuinely parallel workload, 4 workers should beat 1 worker.
+        assert!(
+            rows[2].elapsed < rows[0].elapsed,
+            "4 workers ({:?}) not faster than 1 ({:?})",
+            rows[2].elapsed,
+            rows[0].elapsed
+        );
+        assert!(rows[2].speedup > 1.0);
+        // The formatted row carries all four columns.
+        let text = rows[1].formatted();
+        assert_eq!(text.split_whitespace().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker count")]
+    fn empty_worker_counts_rejected() {
+        let _ = run_scalability_sweep(
+            InversionMethod::euler(),
+            |s| Ok(s),
+            &[1.0],
+            &[],
+            None,
+        );
+    }
+}

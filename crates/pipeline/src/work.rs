@@ -1,0 +1,115 @@
+//! The global work queue of `s`-point evaluations.
+
+use parking_lot::Mutex;
+use smp_numeric::Complex64;
+use std::collections::VecDeque;
+
+/// One unit of work: evaluate the transform at `s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkItem {
+    /// Position of the point in the evaluation plan (used for bookkeeping only).
+    pub index: usize,
+    /// The complex evaluation point.
+    pub s: Complex64,
+}
+
+/// A shared, lock-protected FIFO work queue — the paper's "global work-queue to
+/// which the slave processors make requests".
+#[derive(Debug, Default)]
+pub struct WorkQueue {
+    items: Mutex<VecDeque<WorkItem>>,
+}
+
+impl WorkQueue {
+    /// Creates a queue pre-loaded with the given evaluation points.
+    pub fn new(points: &[Complex64]) -> Self {
+        let items = points
+            .iter()
+            .enumerate()
+            .map(|(index, &s)| WorkItem { index, s })
+            .collect();
+        WorkQueue {
+            items: Mutex::new(items),
+        }
+    }
+
+    /// Creates an empty queue.
+    pub fn empty() -> Self {
+        WorkQueue::default()
+    }
+
+    /// Adds a work item to the back of the queue.
+    pub fn push(&self, item: WorkItem) {
+        self.items.lock().push_back(item);
+    }
+
+    /// Takes the next work item, if any (this is the slave's "request").
+    pub fn pop(&self) -> Option<WorkItem> {
+        self.items.lock().pop_front()
+    }
+
+    /// Number of outstanding items.
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// True when no work remains.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let points: Vec<Complex64> = (0..5).map(|k| Complex64::new(k as f64, 0.0)).collect();
+        let queue = WorkQueue::new(&points);
+        assert_eq!(queue.len(), 5);
+        for k in 0..5 {
+            let item = queue.pop().unwrap();
+            assert_eq!(item.index, k);
+            assert_eq!(item.s.re, k as f64);
+        }
+        assert!(queue.pop().is_none());
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn push_appends() {
+        let queue = WorkQueue::empty();
+        queue.push(WorkItem {
+            index: 7,
+            s: Complex64::I,
+        });
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.pop().unwrap().index, 7);
+    }
+
+    #[test]
+    fn concurrent_pops_drain_exactly_once() {
+        let points: Vec<Complex64> = (0..1000).map(|k| Complex64::new(k as f64, 1.0)).collect();
+        let queue = Arc::new(WorkQueue::new(&points));
+        let seen: Vec<usize> = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let queue = Arc::clone(&queue);
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    while let Some(item) = queue.pop() {
+                        local.push(item.index);
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let mut seen = seen;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,131 @@
+//! The slave-processor loop.
+//!
+//! A worker repeatedly requests the next `s`-value from the global work queue,
+//! evaluates the transform there (for passage-time analysis this means building `U`
+//! and `U'` and running the iterative algorithm to convergence), optionally sleeps
+//! for a configurable simulated network latency, and returns the result to the
+//! master.  Workers never talk to each other — the property that gives the pipeline
+//! its near-linear scalability.
+
+use crate::work::{WorkItem, WorkQueue};
+use crossbeam::channel::Sender;
+use smp_numeric::Complex64;
+use std::time::{Duration, Instant};
+
+/// Per-worker accounting, reported back to the master when the queue drains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker identifier (0-based).
+    pub id: usize,
+    /// Number of `s`-points this worker evaluated.
+    pub evaluated: usize,
+    /// Total time spent evaluating (excludes queue waiting and simulated latency).
+    pub busy: Duration,
+}
+
+/// A result message from a worker to the master.
+#[derive(Debug, Clone)]
+pub struct WorkerMessage {
+    /// The work item that was evaluated.
+    pub item: WorkItem,
+    /// The transform value, or an error description.
+    pub outcome: Result<Complex64, String>,
+}
+
+/// Runs one worker until the queue is empty.  `evaluator` is the transform being
+/// computed; `latency` simulates the master⇄slave network round-trip per result.
+pub fn run_worker<F>(
+    id: usize,
+    queue: &WorkQueue,
+    evaluator: &F,
+    latency: Option<Duration>,
+    results: &Sender<WorkerMessage>,
+) -> WorkerStats
+where
+    F: Fn(Complex64) -> Result<Complex64, String> + Sync + ?Sized,
+{
+    let mut stats = WorkerStats {
+        id,
+        evaluated: 0,
+        busy: Duration::ZERO,
+    };
+    while let Some(item) = queue.pop() {
+        let started = Instant::now();
+        let outcome = evaluator(item.s);
+        stats.busy += started.elapsed();
+        stats.evaluated += 1;
+        if let Some(latency) = latency {
+            std::thread::sleep(latency);
+        }
+        if results.send(WorkerMessage { item, outcome }).is_err() {
+            // The master has gone away; stop quietly.
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn worker_drains_queue_and_reports_stats() {
+        let points: Vec<Complex64> = (1..=20).map(|k| Complex64::new(k as f64, 0.0)).collect();
+        let queue = WorkQueue::new(&points);
+        let (tx, rx) = unbounded();
+        let evaluator = |s: Complex64| -> Result<Complex64, String> { Ok(s * s) };
+        let stats = run_worker(3, &queue, &evaluator, None, &tx);
+        drop(tx);
+        assert_eq!(stats.id, 3);
+        assert_eq!(stats.evaluated, 20);
+        let received: Vec<WorkerMessage> = rx.iter().collect();
+        assert_eq!(received.len(), 20);
+        for msg in received {
+            let expect = msg.item.s * msg.item.s;
+            assert_eq!(msg.outcome.unwrap(), expect);
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn errors_are_forwarded_not_fatal() {
+        let points = vec![Complex64::ONE, Complex64::I, Complex64::new(2.0, 0.0)];
+        let queue = WorkQueue::new(&points);
+        let (tx, rx) = unbounded();
+        let evaluator = |s: Complex64| -> Result<Complex64, String> {
+            if s == Complex64::I {
+                Err("did not converge".into())
+            } else {
+                Ok(s)
+            }
+        };
+        let stats = run_worker(0, &queue, &evaluator, None, &tx);
+        drop(tx);
+        assert_eq!(stats.evaluated, 3);
+        let errors: Vec<_> = rx.iter().filter(|m| m.outcome.is_err()).collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].item.s, Complex64::I);
+    }
+
+    #[test]
+    fn simulated_latency_slows_the_worker() {
+        let points: Vec<Complex64> = (0..5).map(|k| Complex64::real(k as f64)).collect();
+        let (tx, _rx) = unbounded();
+        let evaluator = |s: Complex64| -> Result<Complex64, String> { Ok(s) };
+
+        let fast_queue = WorkQueue::new(&points);
+        let started = Instant::now();
+        run_worker(0, &fast_queue, &evaluator, None, &tx);
+        let fast = started.elapsed();
+
+        let slow_queue = WorkQueue::new(&points);
+        let started = Instant::now();
+        run_worker(0, &slow_queue, &evaluator, Some(Duration::from_millis(5)), &tx);
+        let slow = started.elapsed();
+
+        assert!(slow >= Duration::from_millis(25));
+        assert!(slow > fast);
+    }
+}

@@ -1,0 +1,157 @@
+//! Net-enabling and priority-enabling functions.
+//!
+//! The paper defines two enabling functions over a marking `m` (Section 5.1):
+//!
+//! * `EN(m)` — the transitions whose input arcs and guards are satisfied;
+//! * `EP(m)` — the subset of `EN(m)` carrying the *highest* priority in `m`.
+//!
+//! Only priority-enabled transitions can fire, and the choice among them is made
+//! probabilistically by weight — not by racing firing-time samples — so the
+//! reachability graph maps directly onto a semi-Markov chain.
+
+use crate::marking::Marking;
+use crate::net::SmSpn;
+
+/// The net-enabled transitions `EN(m)` (indices into `net.transitions()`).
+pub fn net_enabled(net: &SmSpn, m: &Marking) -> Vec<usize> {
+    net.transitions()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_net_enabled(m))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The priority-enabled transitions `EP(m)`: the net-enabled transitions whose
+/// priority equals the maximum priority among net-enabled transitions.
+pub fn priority_enabled(net: &SmSpn, m: &Marking) -> Vec<usize> {
+    let enabled = net_enabled(net, m);
+    if enabled.is_empty() {
+        return enabled;
+    }
+    let max_priority = enabled
+        .iter()
+        .map(|&i| net.transitions()[i].priority_in(m))
+        .max()
+        .expect("non-empty enabled set");
+    enabled
+        .into_iter()
+        .filter(|&i| net.transitions()[i].priority_in(m) == max_priority)
+        .collect()
+}
+
+/// Firing probabilities of the priority-enabled transitions in `m`, as
+/// `(transition index, probability)` pairs — the paper's
+/// `P(t fires) = w_t(m) / Σ_{t'∈EP(m)} w_{t'}(m)`.
+pub fn firing_probabilities(net: &SmSpn, m: &Marking) -> Vec<(usize, f64)> {
+    let enabled = priority_enabled(net, m);
+    let weights: Vec<f64> = enabled
+        .iter()
+        .map(|&i| net.transitions()[i].weight_in(m))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 || enabled.is_empty(),
+        "priority-enabled transitions have zero total weight in marking {m}"
+    );
+    enabled
+        .into_iter()
+        .zip(weights)
+        .map(|(i, w)| (i, w / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::TransitionSpec;
+    use smp_distributions::Dist;
+
+    fn priority_net() -> SmSpn {
+        // Three transitions competing for the same token with different priorities
+        // and weights.
+        let mut net = SmSpn::with_places(&[("p", 1), ("a", 0), ("b", 0), ("c", 0)]);
+        net.add_transition(
+            TransitionSpec::new("low")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .priority(1)
+                .weight(10.0)
+                .distribution(Dist::exponential(1.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("high_a")
+                .consumes(0, 1)
+                .produces(2, 1)
+                .priority(3)
+                .weight(1.0)
+                .distribution(Dist::exponential(1.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("high_b")
+                .consumes(0, 1)
+                .produces(3, 1)
+                .priority(3)
+                .weight(3.0)
+                .distribution(Dist::exponential(1.0)),
+        );
+        net
+    }
+
+    #[test]
+    fn net_enabled_ignores_priority() {
+        let net = priority_net();
+        let m = net.initial_marking().clone();
+        assert_eq!(net_enabled(&net, &m), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn priority_enabled_keeps_only_highest() {
+        let net = priority_net();
+        let m = net.initial_marking().clone();
+        assert_eq!(priority_enabled(&net, &m), vec![1, 2]);
+    }
+
+    #[test]
+    fn firing_probabilities_normalise_weights() {
+        let net = priority_net();
+        let m = net.initial_marking().clone();
+        let probs = firing_probabilities(&net, &m);
+        assert_eq!(probs.len(), 2);
+        assert_eq!(probs[0].0, 1);
+        assert!((probs[0].1 - 0.25).abs() < 1e-12);
+        assert!((probs[1].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_marking_enables_nothing() {
+        let net = priority_net();
+        let m = crate::Marking::new(vec![0, 0, 0, 0]);
+        assert!(net_enabled(&net, &m).is_empty());
+        assert!(priority_enabled(&net, &m).is_empty());
+        assert!(firing_probabilities(&net, &m).is_empty());
+    }
+
+    #[test]
+    fn marking_dependent_priority_switches_winner() {
+        let mut net = SmSpn::with_places(&[("p", 2), ("out", 0)]);
+        net.add_transition(
+            TransitionSpec::new("normal")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .priority(1)
+                .distribution(Dist::exponential(1.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("urgent_when_two")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .priority_fn(|m| if m.get(0) >= 2 { 5 } else { 1 })
+                .distribution(Dist::exponential(1.0)),
+        );
+        let two = crate::Marking::new(vec![2, 0]);
+        let one = crate::Marking::new(vec![1, 0]);
+        assert_eq!(priority_enabled(&net, &two), vec![1]);
+        assert_eq!(priority_enabled(&net, &one), vec![0, 1]);
+    }
+}

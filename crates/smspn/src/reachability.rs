@@ -1,0 +1,434 @@
+//! Reachability analysis: from an SM-SPN to its underlying semi-Markov process.
+//!
+//! A breadth-first exploration from the initial marking enumerates every reachable
+//! marking.  Because the SM-SPN's firing rule resolves choice by weight (not by a
+//! race of firing-time samples), each explored marking contributes one SMP state
+//! whose outgoing kernel entries are `(probability = normalised weight, holding-time
+//! distribution = the firing transition's distribution in that marking)` — the
+//! direct mapping onto a semi-Markov chain the paper relies on.
+
+use crate::enabling::firing_probabilities;
+use crate::marking::Marking;
+use crate::net::SmSpn;
+use smp_core::{SemiMarkovProcess, SmpBuilder, SmpError};
+use std::collections::{HashMap, VecDeque};
+
+/// Options controlling the state-space exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReachabilityOptions {
+    /// Hard cap on the number of markings explored; exceeded ⇒ error (guards
+    /// against accidentally exploding models).
+    pub max_states: usize,
+}
+
+impl Default for ReachabilityOptions {
+    fn default() -> Self {
+        ReachabilityOptions {
+            max_states: 5_000_000,
+        }
+    }
+}
+
+/// Errors produced by state-space generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReachabilityError {
+    /// The exploration exceeded [`ReachabilityOptions::max_states`].
+    StateSpaceTooLarge {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A reachable marking enables no transition at all (the SMP would deadlock).
+    DeadlockMarking {
+        /// The deadlocked marking (token counts).
+        marking: Vec<u32>,
+    },
+    /// Converting the reachability graph into an SMP failed.
+    Smp(SmpError),
+}
+
+impl std::fmt::Display for ReachabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReachabilityError::StateSpaceTooLarge { limit } => {
+                write!(f, "state space exceeds the configured limit of {limit} markings")
+            }
+            ReachabilityError::DeadlockMarking { marking } => {
+                write!(f, "reachable marking {marking:?} enables no transition (deadlock)")
+            }
+            ReachabilityError::Smp(e) => write!(f, "SMP construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReachabilityError {}
+
+impl From<SmpError> for ReachabilityError {
+    fn from(e: SmpError) -> Self {
+        ReachabilityError::Smp(e)
+    }
+}
+
+/// One edge of the reachability graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Source state index.
+    pub from: usize,
+    /// Destination state index.
+    pub to: usize,
+    /// Firing probability (normalised weight).
+    pub probability: f64,
+    /// Index of the transition that fired.
+    pub transition: usize,
+}
+
+/// The explored state space of an SM-SPN.
+#[derive(Debug)]
+pub struct StateSpace {
+    markings: Vec<Marking>,
+    index: HashMap<Marking, usize>,
+    edges: Vec<Edge>,
+    place_names: Vec<String>,
+    smp: SemiMarkovProcess,
+}
+
+impl StateSpace {
+    /// Explores the net from its initial marking and builds the underlying SMP.
+    pub fn explore(net: &SmSpn) -> Result<Self, ReachabilityError> {
+        Self::explore_with(net, &ReachabilityOptions::default())
+    }
+
+    /// Explores with explicit options.
+    pub fn explore_with(
+        net: &SmSpn,
+        options: &ReachabilityOptions,
+    ) -> Result<Self, ReachabilityError> {
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        let m0 = net.initial_marking().clone();
+        index.insert(m0.clone(), 0);
+        markings.push(m0);
+        queue.push_back(0);
+
+        // Per-state transition records for the SMP: (from, to, prob, transition idx).
+        // Built in one pass; the SmpBuilder is filled afterwards so that the
+        // distribution pool can be interned per (transition, marking) pair.
+        while let Some(current) = queue.pop_front() {
+            let marking = markings[current].clone();
+            let firings = firing_probabilities(net, &marking);
+            if firings.is_empty() {
+                return Err(ReachabilityError::DeadlockMarking {
+                    marking: marking.as_slice().to_vec(),
+                });
+            }
+            for (transition_idx, probability) in firings {
+                let next_marking = net.transitions()[transition_idx].fire(&marking);
+                let next_index = match index.get(&next_marking) {
+                    Some(&i) => i,
+                    None => {
+                        let i = markings.len();
+                        if i >= options.max_states {
+                            return Err(ReachabilityError::StateSpaceTooLarge {
+                                limit: options.max_states,
+                            });
+                        }
+                        index.insert(next_marking.clone(), i);
+                        markings.push(next_marking);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                edges.push(Edge {
+                    from: current,
+                    to: next_index,
+                    probability,
+                    transition: transition_idx,
+                });
+            }
+        }
+
+        // Assemble the SMP: the holding-time distribution of an edge is the firing
+        // transition's distribution evaluated in the *source* marking.
+        let mut builder = SmpBuilder::new(markings.len());
+        for edge in &edges {
+            let dist = net.transitions()[edge.transition].distribution_in(&markings[edge.from]);
+            builder.add_transition(edge.from, edge.to, edge.probability, dist);
+        }
+        let smp = builder.build()?;
+
+        Ok(StateSpace {
+            markings,
+            index,
+            edges,
+            place_names: net.place_names().to_vec(),
+            smp,
+        })
+    }
+
+    /// Number of reachable markings (= SMP states).
+    pub fn num_states(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// Number of reachability-graph edges (= SMP kernel entries before merging).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The marking of a state index.
+    pub fn marking(&self, state: usize) -> &Marking {
+        &self.markings[state]
+    }
+
+    /// The state index of a marking, if reachable.
+    pub fn state_of(&self, marking: &Marking) -> Option<usize> {
+        self.index.get(marking).copied()
+    }
+
+    /// The index of the initial marking (always 0).
+    pub fn initial_state(&self) -> usize {
+        0
+    }
+
+    /// The edges of the reachability graph.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The place names of the originating net (indices match marking positions).
+    pub fn place_names(&self) -> &[String] {
+        &self.place_names
+    }
+
+    /// The underlying semi-Markov process.
+    pub fn smp(&self) -> &SemiMarkovProcess {
+        &self.smp
+    }
+
+    /// All state indices whose marking satisfies a predicate — the way experiment
+    /// harnesses express target sets such as "all polling units failed".
+    pub fn states_where(&self, mut predicate: impl FnMut(&Marking) -> bool) -> Vec<usize> {
+        self.markings
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| predicate(m))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Token count of a named place in a state's marking (`None` if the place does
+    /// not exist).
+    pub fn tokens_in(&self, state: usize, place_name: &str) -> Option<u32> {
+        let place = self.place_names.iter().position(|n| n == place_name)?;
+        Some(self.markings[state].get(place))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::TransitionSpec;
+    use smp_distributions::Dist;
+
+    fn ping_pong() -> SmSpn {
+        let mut net = SmSpn::with_places(&[("p0", 1), ("p1", 0)]);
+        net.add_transition(
+            TransitionSpec::new("go")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .distribution(Dist::exponential(2.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("back")
+                .consumes(1, 1)
+                .produces(0, 1)
+                .distribution(Dist::uniform(0.0, 1.0)),
+        );
+        net
+    }
+
+    #[test]
+    fn ping_pong_has_two_states() {
+        let space = StateSpace::explore(&ping_pong()).unwrap();
+        assert_eq!(space.num_states(), 2);
+        assert_eq!(space.num_edges(), 2);
+        assert_eq!(space.initial_state(), 0);
+        assert_eq!(space.marking(0).as_slice(), &[1, 0]);
+        assert_eq!(space.marking(1).as_slice(), &[0, 1]);
+        assert_eq!(space.state_of(&Marking::new(vec![0, 1])), Some(1));
+        assert_eq!(space.state_of(&Marking::new(vec![2, 0])), None);
+        assert_eq!(space.tokens_in(1, "p1"), Some(1));
+        assert_eq!(space.tokens_in(1, "zzz"), None);
+    }
+
+    #[test]
+    fn smp_kernel_reflects_weights_and_distributions() {
+        // One token, two competing transitions with weights 1 and 3.
+        let mut net = SmSpn::with_places(&[("src", 1), ("a", 0), ("b", 0)]);
+        net.add_transition(
+            TransitionSpec::new("to_a")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .weight(1.0)
+                .distribution(Dist::exponential(1.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("to_b")
+                .consumes(0, 1)
+                .produces(2, 1)
+                .weight(3.0)
+                .distribution(Dist::deterministic(2.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("reset_a")
+                .consumes(1, 1)
+                .produces(0, 1)
+                .distribution(Dist::exponential(1.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("reset_b")
+                .consumes(2, 1)
+                .produces(0, 1)
+                .distribution(Dist::exponential(1.0)),
+        );
+        let space = StateSpace::explore(&net).unwrap();
+        assert_eq!(space.num_states(), 3);
+        let smp = space.smp();
+        let from0 = smp.transitions(0);
+        assert_eq!(from0.len(), 2);
+        let a_state = space.state_of(&Marking::new(vec![0, 1, 0])).unwrap();
+        let b_state = space.state_of(&Marking::new(vec![0, 0, 1])).unwrap();
+        for tr in from0 {
+            if tr.target == a_state {
+                assert!((tr.probability - 0.25).abs() < 1e-12);
+                assert_eq!(smp.distribution(tr.dist), &Dist::exponential(1.0));
+            } else {
+                assert_eq!(tr.target, b_state);
+                assert!((tr.probability - 0.75).abs() < 1e-12);
+                assert_eq!(smp.distribution(tr.dist), &Dist::deterministic(2.0));
+            }
+        }
+    }
+
+    #[test]
+    fn marking_dependent_distribution_varies_by_state() {
+        // Tokens drain one at a time; the firing distribution depends on the count.
+        let mut net = SmSpn::with_places(&[("tokens", 3), ("done", 0)]);
+        net.add_transition(
+            TransitionSpec::new("drain")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .distribution_fn(|m| Dist::erlang(1.0, m.get(0))),
+        );
+        net.add_transition(
+            TransitionSpec::new("refill")
+                .guard(|m| m.get(0) == 0)
+                .action(|m| {
+                    let mut next = m.clone();
+                    next.set(0, 3);
+                    next.set(1, 0);
+                    next
+                })
+                .distribution(Dist::exponential(5.0)),
+        );
+        let space = StateSpace::explore(&net).unwrap();
+        assert_eq!(space.num_states(), 4);
+        let smp = space.smp();
+        // State with 3 tokens uses Erlang-3, with 1 token Erlang-1.
+        let s3 = space.state_of(&Marking::new(vec![3, 0])).unwrap();
+        let s1 = space.state_of(&Marking::new(vec![1, 2])).unwrap();
+        assert_eq!(smp.distribution(smp.transitions(s3)[0].dist), &Dist::erlang(1.0, 3));
+        assert_eq!(smp.distribution(smp.transitions(s1)[0].dist), &Dist::erlang(1.0, 1));
+    }
+
+    #[test]
+    fn tandem_counts_match_closed_form() {
+        // K tokens circulating through 3 places: number of markings is C(K+2, 2).
+        let k = 4u32;
+        let mut net = SmSpn::with_places(&[("a", k), ("b", 0), ("c", 0)]);
+        for (name, from, to) in [("ab", 0usize, 1usize), ("bc", 1, 2), ("ca", 2, 0)] {
+            net.add_transition(
+                TransitionSpec::new(name)
+                    .consumes(from, 1)
+                    .produces(to, 1)
+                    .distribution(Dist::exponential(1.0)),
+            );
+        }
+        let space = StateSpace::explore(&net).unwrap();
+        let expect = (k + 2) * (k + 1) / 2;
+        assert_eq!(space.num_states(), expect as usize);
+        // Every state has between 1 and 3 outgoing edges and the SMP is well formed.
+        for s in 0..space.num_states() {
+            let d = space.smp().transitions(s).len();
+            assert!((1..=3).contains(&d));
+        }
+    }
+
+    #[test]
+    fn states_where_selects_by_predicate() {
+        let space = StateSpace::explore(&ping_pong()).unwrap();
+        let with_token_in_p1 = space.states_where(|m| m.get(1) > 0);
+        assert_eq!(with_token_in_p1, vec![1]);
+    }
+
+    #[test]
+    fn deadlock_marking_detected() {
+        let mut net = SmSpn::with_places(&[("p", 1), ("sink", 0)]);
+        net.add_transition(
+            TransitionSpec::new("once")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .distribution(Dist::exponential(1.0)),
+        );
+        let err = StateSpace::explore(&net).unwrap_err();
+        assert!(matches!(err, ReachabilityError::DeadlockMarking { .. }));
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn state_space_limit_enforced() {
+        // An unbounded counter: exploring must stop at the limit.
+        let mut net = SmSpn::with_places(&[("p", 0)]);
+        net.add_transition(
+            TransitionSpec::new("grow")
+                .produces(0, 1)
+                .distribution(Dist::exponential(1.0)),
+        );
+        let err = StateSpace::explore_with(
+            &net,
+            &ReachabilityOptions { max_states: 100 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReachabilityError::StateSpaceTooLarge { limit: 100 }));
+    }
+
+    #[test]
+    fn priorities_prune_the_state_space() {
+        // A high-priority "repair" transition masks degradation whenever any unit is
+        // failed, so the fully-failed marking is never reached.
+        let mut net = SmSpn::with_places(&[("ok", 1), ("failed", 1)]);
+        net.add_transition(
+            TransitionSpec::new("degrade")
+                .consumes(0, 1)
+                .produces(1, 1)
+                .priority(1)
+                .distribution(Dist::exponential(1.0)),
+        );
+        net.add_transition(
+            TransitionSpec::new("repair")
+                .consumes(1, 1)
+                .produces(0, 1)
+                .priority(2)
+                .distribution(Dist::deterministic(1.0)),
+        );
+        let space = StateSpace::explore(&net).unwrap();
+        // In (1,1) only "repair" may fire (priority 2), so the fully-degraded
+        // marking (0,2) — reachable only through the masked "degrade" — never
+        // appears, while (2,0) does.
+        assert_eq!(space.num_states(), 2);
+        assert!(space.state_of(&Marking::new(vec![0, 2])).is_none());
+        assert!(space.state_of(&Marking::new(vec![2, 0])).is_some());
+    }
+}

@@ -1,0 +1,178 @@
+//! Multi-threaded sparse products.
+//!
+//! The distributed pipeline parallelises across independent `s`-points first (that is
+//! the paper's master–slave design, Section 4), but a *single* `s`-point evaluation on
+//! a million-state model is itself dominated by sparse matrix–vector products.  These
+//! helpers split such a product over a pool of `crossbeam`-scoped threads.
+//!
+//! Two orientations are provided:
+//!
+//! * [`par_mul_vec`] — `y = A·x`, split by output row: embarrassingly parallel, each
+//!   thread owns a disjoint slice of `y`.
+//! * [`par_vec_mul`] — `y = x·A`, split by input row with per-thread accumulators
+//!   that are reduced at the end (a scatter over shared output would race).
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Default number of non-zeros below which the parallel paths fall back to the
+/// sequential kernels (thread spawn overhead dominates for small matrices).
+pub const PARALLEL_NNZ_THRESHOLD: usize = 1 << 15;
+
+/// Parallel matrix–vector product `y = A·x` using up to `threads` worker threads.
+pub fn par_mul_vec<T: Scalar>(a: &CsrMatrix<T>, x: &[T], threads: usize) -> Vec<T> {
+    assert_eq!(x.len(), a.cols(), "dimension mismatch in par_mul_vec");
+    let threads = threads.max(1);
+    if threads == 1 || a.nnz() < PARALLEL_NNZ_THRESHOLD || a.rows() < threads {
+        return a.mul_vec(x);
+    }
+    let rows = a.rows();
+    let mut y = vec![T::ZERO; rows];
+    let chunk = rows.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, out_chunk) in y.chunks_mut(chunk).enumerate() {
+            let start_row = t * chunk;
+            scope.spawn(move |_| {
+                for (offset, out) in out_chunk.iter_mut().enumerate() {
+                    let r = start_row + offset;
+                    let mut acc = T::ZERO;
+                    for (c, v) in a.row(r) {
+                        acc += v * x[c];
+                    }
+                    *out = acc;
+                }
+            });
+        }
+    })
+    .expect("parallel mul_vec worker panicked");
+    y
+}
+
+/// Parallel row-vector–matrix product `y = x·A` using up to `threads` worker threads.
+pub fn par_vec_mul<T: Scalar>(a: &CsrMatrix<T>, x: &[T], threads: usize) -> Vec<T> {
+    assert_eq!(x.len(), a.rows(), "dimension mismatch in par_vec_mul");
+    let threads = threads.max(1);
+    if threads == 1 || a.nnz() < PARALLEL_NNZ_THRESHOLD || a.rows() < threads {
+        return a.vec_mul(x);
+    }
+    let rows = a.rows();
+    let cols = a.cols();
+    let chunk = rows.div_ceil(threads);
+    let partials: Vec<Vec<T>> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start_row = t * chunk;
+            let end_row = ((t + 1) * chunk).min(rows);
+            if start_row >= end_row {
+                break;
+            }
+            handles.push(scope.spawn(move |_| {
+                let mut local = vec![T::ZERO; cols];
+                for r in start_row..end_row {
+                    let xr = x[r];
+                    if xr.is_zero() {
+                        continue;
+                    }
+                    for (c, v) in a.row(r) {
+                        local[c] += v * xr;
+                    }
+                }
+                local
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("parallel vec_mul scope failed");
+
+    let mut y = vec![T::ZERO; cols];
+    for partial in partials {
+        for (out, v) in y.iter_mut().zip(partial) {
+            *out += v;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use smp_numeric::Complex64;
+
+    fn random_matrix(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = TripletMatrix::new(rows, cols);
+        for _ in 0..nnz {
+            t.push(
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+                rng.gen_range(-1.0..1.0),
+            );
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_small() {
+        let m = random_matrix(50, 40, 300, 1);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64).cos()).collect();
+        let xr: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_mul_vec(&m, &x, threads), m.mul_vec(&x));
+            assert_eq!(par_vec_mul(&m, &xr, threads), m.vec_mul(&xr));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_above_threshold() {
+        // Big enough to take the genuinely threaded path.
+        let n = 600;
+        let m = random_matrix(n, n, PARALLEL_NNZ_THRESHOLD + 5000, 2);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) / 17.0).collect();
+        let seq_col = m.mul_vec(&x);
+        let seq_row = m.vec_mul(&x);
+        for threads in [2, 3, 8] {
+            let par_col = par_mul_vec(&m, &x, threads);
+            let par_row = par_vec_mul(&m, &x, threads);
+            for (a, b) in par_col.iter().zip(&seq_col) {
+                assert!((a - b).abs() < 1e-10);
+            }
+            for (a, b) in par_row.iter().zip(&seq_row) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_complex_products() {
+        let n = 300;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = TripletMatrix::<Complex64>::new(n, n);
+        for _ in 0..PARALLEL_NNZ_THRESHOLD + 1000 {
+            t.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+            );
+        }
+        let m = t.to_csr();
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let seq = m.vec_mul(&x);
+        let par = par_vec_mul(&m, &x, 4);
+        for (a, b) in par.iter().zip(&seq) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts() {
+        let m = random_matrix(10, 10, 30, 4);
+        let x = vec![1.0; 10];
+        assert_eq!(par_mul_vec(&m, &x, 0), m.mul_vec(&x));
+        assert_eq!(par_vec_mul(&m, &x, 100), m.vec_mul(&x));
+    }
+}

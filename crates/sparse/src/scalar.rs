@@ -1,0 +1,95 @@
+//! Scalar abstraction shared by the real and complex sparse matrices.
+//!
+//! The suite needs exactly two element types: `f64` for the embedded DTMC and
+//! probability matrices, and [`Complex64`] for the Laplace-domain matrices `U` and
+//! `U'`.  A small local trait keeps [`crate::CsrMatrix`] generic over both without
+//! dragging in a full numerical-traits dependency.
+
+use smp_numeric::Complex64;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Element type usable in a sparse matrix.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Magnitude used for convergence tests and zero-pruning.
+    fn magnitude(self) -> f64;
+
+    /// Multiplies by a real scalar.
+    fn scale(self, k: f64) -> Self;
+
+    /// True when the magnitude is exactly zero.
+    fn is_zero(self) -> bool {
+        self.magnitude() == 0.0
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn scale(self, k: f64) -> f64 {
+        self * k
+    }
+}
+
+impl Scalar for Complex64 {
+    const ZERO: Complex64 = Complex64::ZERO;
+    const ONE: Complex64 = Complex64::ONE;
+
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.norm()
+    }
+
+    #[inline]
+    fn scale(self, k: f64) -> Complex64 {
+        Complex64::new(self.re * k, self.im * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_scalar_impl() {
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0);
+        assert_eq!((-3.0f64).magnitude(), 3.0);
+        assert_eq!(2.0f64.scale(4.0), 8.0);
+        assert!(0.0f64.is_zero());
+        assert!(!1.0f64.is_zero());
+    }
+
+    #[test]
+    fn complex_scalar_impl() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.magnitude(), 5.0);
+        assert_eq!(z.scale(2.0), Complex64::new(6.0, 8.0));
+        assert!(Complex64::ZERO.is_zero());
+        assert!(!Complex64::I.is_zero());
+    }
+}

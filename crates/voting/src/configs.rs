@@ -1,0 +1,112 @@
+//! The six voting-system configurations of Table 1 of the paper.
+
+use crate::model::VotingConfig;
+
+/// One row of Table 1: a named configuration and the state count the paper reports
+/// for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperSystem {
+    /// The paper's system number (0–5).
+    pub id: u32,
+    /// Sizing parameters `(CC, MM, NN)`.
+    pub config: VotingConfig,
+    /// The number of states reported in Table 1.
+    pub paper_states: u64,
+}
+
+impl PaperSystem {
+    /// The invariant-based upper bound on the state count implied by the net
+    /// structure — Table 1's numbers sit within a few percent of this bound.
+    pub fn structural_bound(&self) -> u64 {
+        self.config.state_count_upper_bound()
+    }
+}
+
+/// All six systems of Table 1, in order.
+pub fn paper_systems() -> Vec<PaperSystem> {
+    vec![
+        PaperSystem {
+            id: 0,
+            config: VotingConfig::new(18, 6, 3),
+            paper_states: 2_061,
+        },
+        PaperSystem {
+            id: 1,
+            config: VotingConfig::new(60, 25, 4),
+            paper_states: 106_540,
+        },
+        PaperSystem {
+            id: 2,
+            config: VotingConfig::new(100, 30, 4),
+            paper_states: 249_760,
+        },
+        PaperSystem {
+            id: 3,
+            config: VotingConfig::new(125, 40, 4),
+            paper_states: 541_280,
+        },
+        PaperSystem {
+            id: 4,
+            config: VotingConfig::new(150, 40, 5),
+            paper_states: 778_850,
+        },
+        PaperSystem {
+            id: 5,
+            config: VotingConfig::new(175, 45, 5),
+            paper_states: 1_140_050,
+        },
+    ]
+}
+
+/// Looks up one of the paper's systems by its number.
+pub fn paper_system(id: u32) -> Option<PaperSystem> {
+    paper_systems().into_iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VotingSystem;
+
+    #[test]
+    fn six_systems_in_ascending_size() {
+        let systems = paper_systems();
+        assert_eq!(systems.len(), 6);
+        for w in systems.windows(2) {
+            assert!(w[1].paper_states > w[0].paper_states);
+        }
+        assert_eq!(paper_system(3).unwrap().config.polling_units, 40);
+        assert!(paper_system(9).is_none());
+    }
+
+    #[test]
+    fn structural_bound_tracks_paper_counts() {
+        // The invariant bound (CC+1)·C(MM+2,2)·(NN+1) reproduces Table 1 to within
+        // 4% for every system — evidence that the net structure is the paper's.
+        for sys in paper_systems() {
+            let bound = sys.structural_bound();
+            let paper = sys.paper_states;
+            let ratio = bound as f64 / paper as f64;
+            assert!(
+                (1.0..1.04).contains(&ratio),
+                "system {}: bound {bound} vs paper {paper} (ratio {ratio})",
+                sys.id
+            );
+        }
+    }
+
+    #[test]
+    fn system_0_state_count_close_to_paper() {
+        // Generate the smallest configuration end-to-end and compare with Table 1.
+        let sys = paper_system(0).unwrap();
+        let built = VotingSystem::build(sys.config).unwrap();
+        let generated = built.num_states() as u64;
+        let paper = sys.paper_states;
+        let rel = (generated as f64 - paper as f64).abs() / paper as f64;
+        assert!(
+            rel < 0.05,
+            "system 0: generated {generated} states vs paper {paper} ({}% off)",
+            rel * 100.0
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # smp-voting
+//!
+//! The distributed voting system model of the paper (Section 5.2, Figs. 1–3).
+//!
+//! Voting agents queue to vote; polling units receive their votes and register them
+//! with every currently operational central voting unit (for fault tolerance and to
+//! prevent multiple-vote fraud); polling and central units break down and are
+//! repaired — by low-priority self-recovery when only some units have failed, or by
+//! a high-priority full repair when *all* units of a kind have failed.
+//!
+//! The crate provides
+//!
+//! * [`VotingConfig`] / [`VotingSystem`] — a parameterised builder of the SM-SPN of
+//!   Fig. 2 for any `(CC, MM, NN)` (number of voters, polling units, central voting
+//!   units), with the firing-time distributions used throughout the experiments
+//!   (transition `t5`'s distribution is the one printed in Fig. 3 of the paper; the
+//!   remaining distributions are documented substitutions — see `DESIGN.md`);
+//! * [`configs`] — the six configurations of Table 1 (2 061 … 1 140 050 states);
+//! * [`spec`] — the same model written in the extended DNAmaca language accepted by
+//!   `smp-dnamaca`, and a check that both routes produce the same state space;
+//! * helpers to express the paper's source/target sets (voters voted, failure
+//!   modes) as SMP state sets.
+
+pub mod configs;
+pub mod model;
+pub mod spec;
+
+pub use configs::{paper_systems, PaperSystem};
+pub use model::{VotingConfig, VotingSystem};

@@ -1,0 +1,62 @@
+//! Quickstart: build a small semi-Markov process, compute a passage-time density,
+//! CDF and quantile, and a transient state distribution.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smp_suite::core::{PassageTimeAnalysis, SmpBuilder, TransientAnalysis};
+use smp_suite::distributions::Dist;
+use smp_suite::laplace::InversionMethod;
+use smp_suite::numeric::stats::linspace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A four-state repair model:
+    //   0 = healthy, 1 = degraded, 2 = failed, 3 = under repair
+    // with generally-distributed holding times (this is exactly what plain Markov
+    // chains cannot express).
+    let mut builder = SmpBuilder::new(4);
+    builder.add_transition(0, 1, 1.0, Dist::weibull(1.5, 10.0)); // wear-out
+    builder.add_transition(1, 0, 3.0, Dist::uniform(0.5, 2.0)); // self-healing
+    builder.add_transition(1, 2, 1.0, Dist::erlang(2.0, 2)); // degradation to failure
+    builder.add_transition(2, 3, 1.0, Dist::deterministic(1.0)); // failure detection
+    builder.add_transition(3, 0, 1.0, Dist::mixture(vec![
+        (0.9, Dist::uniform(2.0, 6.0)),   // ordinary repair
+        (0.1, Dist::erlang(0.05, 3)),     // spare part on back-order
+    ]));
+    let smp = builder.build()?;
+    println!("model: {} states, {} transitions", smp.num_states(), smp.num_transitions());
+
+    // Passage time from healthy (0) to failed (2).
+    let analysis = PassageTimeAnalysis::new(&smp, &[0], &[2])?;
+    let mean = analysis.mean_from_transform(1e-6)?;
+    println!("mean time to failure: {mean:.2}");
+
+    let ts = linspace(mean * 0.05, mean * 3.0, 40);
+    let density = analysis.density(InversionMethod::euler(), &ts)?;
+    println!("\n   t        f(t)");
+    for (t, f) in density.iter().step_by(5) {
+        println!("{t:8.2}  {f:10.6}");
+    }
+    println!("(density mass covered by the window: {:.3})", density.integral());
+
+    let cdf = analysis.cdf(InversionMethod::euler(), &ts)?;
+    if let Some(q90) = cdf.quantile(0.9) {
+        println!("\n90% of failures happen within {q90:.2} time units");
+    }
+    println!(
+        "P(failure within {:.1}) = {:.4}",
+        mean,
+        cdf.probability_at(mean)
+    );
+
+    // Transient probability of being failed-or-under-repair at time t.
+    let transient = TransientAnalysis::new(&smp, 0, &[2, 3])?;
+    let steady = transient.steady_state_value()?;
+    let curve = transient.distribution(InversionMethod::euler(), &linspace(1.0, mean * 4.0, 12))?;
+    println!("\n   t        P(down at t)    (steady state = {steady:.4})");
+    for (t, p) in curve.iter() {
+        println!("{t:8.2}  {p:12.4}");
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # smp-suite
+//!
+//! Umbrella crate for the reproduction of *"Distributed Computation of Passage Time
+//! Quantiles and Transient State Distributions in Large Semi-Markov Models"*
+//! (Bradley, Dingle, Harrison & Knottenbelt, IPDPS 2003).
+//!
+//! The workspace is organised as a set of focused crates; this crate simply
+//! re-exports them under stable names so that the examples and integration tests can
+//! use a single dependency:
+//!
+//! | Re-export | Crate | Purpose |
+//! |-----------|-------|---------|
+//! | [`numeric`] | `smp-numeric` | complex arithmetic, compensated summation, special functions |
+//! | [`sparse`] | `smp-sparse` | sparse matrices over ℝ and ℂ, DTMC steady-state solvers |
+//! | [`distributions`] | `smp-distributions` | general distributions with LSTs, sampling and moments |
+//! | [`laplace`] | `smp-laplace` | numerical Laplace transform inversion (Euler, Laguerre) |
+//! | [`core`] | `smp-core` | semi-Markov processes and the iterative passage-time algorithm |
+//! | [`smspn`] | `smp-smspn` | semi-Markov stochastic Petri nets and state-space generation |
+//! | [`dnamaca`] | `smp-dnamaca` | the extended DNAmaca model specification language |
+//! | [`simulator`] | `smp-simulator` | discrete-event simulation used for validation |
+//! | [`pipeline`] | `smp-pipeline` | distributed master–worker analysis pipeline |
+//! | [`voting`] | `smp-voting` | the distributed voting system model of the paper |
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system inventory and
+//! experiment index.
+
+pub use smp_core as core;
+pub use smp_distributions as distributions;
+pub use smp_dnamaca as dnamaca;
+pub use smp_laplace as laplace;
+pub use smp_numeric as numeric;
+pub use smp_pipeline as pipeline;
+pub use smp_simulator as simulator;
+pub use smp_smspn as smspn;
+pub use smp_sparse as sparse;
+pub use smp_voting as voting;

@@ -1,0 +1,84 @@
+//! Checkpoint / restart behaviour of the distributed pipeline on a real
+//! passage-time workload, and the scalability-sweep protocol of Table 2.
+
+use smp_suite::core::PassageTimeSolver;
+use smp_suite::laplace::InversionMethod;
+use smp_suite::numeric::stats::linspace;
+use smp_suite::pipeline::{run_scalability_sweep, DistributedPipeline, PipelineOptions};
+use smp_suite::voting::{VotingConfig, VotingSystem};
+
+#[test]
+fn checkpoint_restart_recomputes_nothing_and_reproduces_results() {
+    let system = VotingSystem::build(VotingConfig::new(3, 2, 2)).unwrap();
+    let smp = system.smp();
+    let targets = system.states_with_voted_at_least(3);
+    let solver = PassageTimeSolver::new(smp, &[system.initial_state()], &targets).unwrap();
+    let ts = linspace(1.0, 15.0, 6);
+
+    let mut checkpoint = std::env::temp_dir();
+    checkpoint.push(format!("smp-suite-integration-ckpt-{}.txt", std::process::id()));
+    let _ = std::fs::remove_file(&checkpoint);
+
+    let options = PipelineOptions {
+        workers: 3,
+        checkpoint_path: Some(checkpoint.clone()),
+        simulated_latency: None,
+    };
+    let pipeline = DistributedPipeline::new(InversionMethod::euler(), options);
+    let evaluator = |s| {
+        solver
+            .transform_at(s)
+            .map(|p| p.value)
+            .map_err(|e| e.to_string())
+    };
+
+    let first = pipeline.run(evaluator, &ts).unwrap();
+    assert!(first.evaluations > 0);
+    assert_eq!(first.cache_hits, 0);
+
+    // A second run against the same checkpoint file must do no transform work at
+    // all and produce bit-identical output.
+    let second = pipeline.run(evaluator, &ts).unwrap();
+    assert_eq!(second.evaluations, 0);
+    assert_eq!(second.cache_hits, first.evaluations);
+    assert_eq!(first.values, second.values);
+
+    // Extending the time grid reuses the checkpointed points that overlap (here the
+    // shared t = 1.0 contributes one t-point's worth of s-values) and only computes
+    // the new ones.
+    let extended = linspace(1.0, 20.0, 8);
+    let third = pipeline.run(evaluator, &extended).unwrap();
+    let per_t_point = first.evaluations / ts.len();
+    assert_eq!(third.cache_hits, per_t_point);
+    assert_eq!(third.evaluations, (extended.len() - 1) * per_t_point);
+
+    std::fs::remove_file(&checkpoint).unwrap();
+}
+
+#[test]
+fn scalability_sweep_runs_the_table2_protocol() {
+    let system = VotingSystem::build(VotingConfig::new(4, 2, 2)).unwrap();
+    let smp = system.smp();
+    let targets = system.states_with_voted_at_least(4);
+    let solver = PassageTimeSolver::new(smp, &[system.initial_state()], &targets).unwrap();
+    // 5 t-points, as in the paper's Table 2 workload.
+    let ts: Vec<f64> = (1..=5).map(|k| k as f64 * 3.0).collect();
+
+    let rows = run_scalability_sweep(
+        InversionMethod::euler(),
+        |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+        &ts,
+        &[1, 2, 4],
+        None,
+    )
+    .unwrap();
+
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].workers, 1);
+    assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+    for row in &rows {
+        assert!(row.elapsed.as_secs_f64() > 0.0);
+        assert!(row.efficiency > 0.0);
+        assert_eq!(row.evaluations, rows[0].evaluations);
+    }
+}
