@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use smp_core::{passage::dense_reference_solve, PassageTimeSolver, SemiMarkovProcess, SmpBuilder, StateSet};
+use smp_core::{
+    passage::dense_reference_solve, PassageTimeSolver, SemiMarkovProcess, SmpBuilder, StateSet,
+};
 use smp_distributions::Dist;
 use smp_numeric::Complex64;
 use std::time::Duration;
@@ -14,10 +16,20 @@ fn random_smp(n: usize, seed: u64) -> SemiMarkovProcess {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = SmpBuilder::new(n);
     for i in 0..n {
-        b.add_transition(i, (i + 1) % n, 1.0, Dist::exponential(rng.gen_range(0.5..2.0)));
+        b.add_transition(
+            i,
+            (i + 1) % n,
+            1.0,
+            Dist::exponential(rng.gen_range(0.5..2.0)),
+        );
         for _ in 0..3 {
             let to = rng.gen_range(0..n);
-            b.add_transition(i, to, rng.gen_range(0.2..1.0), Dist::erlang(rng.gen_range(0.5..2.0), 2));
+            b.add_transition(
+                i,
+                to,
+                rng.gen_range(0.2..1.0),
+                Dist::erlang(rng.gen_range(0.5..2.0), 2),
+            );
         }
     }
     b.build().unwrap()

@@ -29,7 +29,12 @@ fn bench_scalability(c: &mut Criterion) {
             b.iter(|| {
                 let result = pipeline
                     .run(
-                        |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+                        |s| {
+                            solver
+                                .transform_at(s)
+                                .map(|p| p.value)
+                                .map_err(|e| e.to_string())
+                        },
                         &t_points,
                     )
                     .unwrap();

@@ -13,7 +13,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use smp_bench::{build_paper_system, build_scaled_system, grid_around_mean, passage_evaluator, print_columns, Args};
+use smp_bench::{
+    build_paper_system, build_scaled_system, grid_around_mean, passage_evaluator, print_columns,
+    Args,
+};
 use smp_core::{PassageTimeAnalysis, PassageTimeSolver, StateSet};
 use smp_laplace::InversionMethod;
 use smp_pipeline::{DistributedPipeline, PipelineOptions};
@@ -28,7 +31,11 @@ fn main() {
     };
     let config = system.config();
     let voters = args.value_or("voters", config.voters);
-    let points = if args.flag("quick") { 12 } else { args.value_or("points", 30usize) };
+    let points = if args.flag("quick") {
+        12
+    } else {
+        args.value_or("points", 30usize)
+    };
     let workers = args.value_or("workers", 4usize);
     let replications = args.value_or("replications", 20_000usize);
 
@@ -44,7 +51,9 @@ fn main() {
 
     // Centre the time grid on the analytic mean passage time (from L'(0)).
     let analysis = PassageTimeAnalysis::new(smp, &[source], &targets).expect("analysis setup");
-    let mean = analysis.mean_from_transform(1e-6).expect("mean passage time");
+    let mean = analysis
+        .mean_from_transform(1e-6)
+        .expect("mean passage time");
     println!("# analytic mean passage time: {mean:.3}");
     let t_points = grid_around_mean(mean, 0.3, 2.0, points);
 

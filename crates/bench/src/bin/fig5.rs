@@ -7,7 +7,10 @@
 //!     [--points P] [--workers W] [--quantile Q]
 //! ```
 
-use smp_bench::{build_paper_system, build_scaled_system, grid_around_mean, passage_evaluator, print_columns, Args};
+use smp_bench::{
+    build_paper_system, build_scaled_system, grid_around_mean, passage_evaluator, print_columns,
+    Args,
+};
 use smp_core::{PassageTimeAnalysis, PassageTimeSolver};
 use smp_laplace::{CdfCurve, InversionMethod};
 use smp_pipeline::{DistributedPipeline, PipelineOptions};
@@ -34,7 +37,9 @@ fn main() {
     let source = system.initial_state();
     let targets = system.states_with_voted_at_least(voters);
     let analysis = PassageTimeAnalysis::new(smp, &[source], &targets).expect("analysis setup");
-    let mean = analysis.mean_from_transform(1e-6).expect("mean passage time");
+    let mean = analysis
+        .mean_from_transform(1e-6)
+        .expect("mean passage time");
     let t_points = grid_around_mean(mean, 0.3, 2.5, points);
 
     let solver = PassageTimeSolver::new(smp, &[source], &targets).expect("solver setup");

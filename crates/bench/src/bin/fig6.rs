@@ -69,7 +69,9 @@ fn main() {
     println!("# failure-mode target set: {} states", targets.len());
 
     let analysis = PassageTimeAnalysis::new(smp, &[source], &targets).expect("analysis setup");
-    let mean = analysis.mean_from_transform(1e-6).expect("mean time to failure");
+    let mean = analysis
+        .mean_from_transform(1e-6)
+        .expect("mean time to failure");
     println!("# analytic mean time to complete failure: {mean:.3}");
     let t_points = grid_around_mean(mean, 0.05, 3.0, points);
 

@@ -43,10 +43,7 @@ fn main() {
         .distribution(InversionMethod::euler(), &t_points)
         .expect("transient inversion failed");
 
-    let rows: Vec<Vec<f64>> = curve
-        .iter()
-        .map(|(t, p)| vec![t, p, steady])
-        .collect();
+    let rows: Vec<Vec<f64>> = curve.iter().map(|(t, p)| vec![t, p, steady]).collect();
     print_columns(&["t", "transient_probability", "steady_state"], &rows);
     println!("# steady-state probability of the target set: {steady:.6}");
     println!(

@@ -40,13 +40,20 @@ fn main() {
         "# Table 2: pipeline scalability, {} states, passage of {voters} voters, 5 t-points, Euler inversion",
         system.num_states()
     );
-    println!("# available parallelism on this host: {} cores", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "# available parallelism on this host: {} cores",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let smp = system.smp();
     let source = system.initial_state();
     let targets = system.states_with_voted_at_least(voters);
     let analysis = PassageTimeAnalysis::new(smp, &[source], &targets).expect("analysis setup");
-    let mean = analysis.mean_from_transform(1e-6).expect("mean passage time");
+    let mean = analysis
+        .mean_from_transform(1e-6)
+        .expect("mean passage time");
     // 5 t-points, as in the paper's Table 2 workload.
     let t_points: Vec<f64> = (1..=5).map(|k| mean * 0.4 * k as f64).collect();
 
@@ -60,7 +67,10 @@ fn main() {
     )
     .expect("scalability sweep failed");
 
-    println!("{:>6}  {:>10}  {:>8}  {:>10}  ({} s-point evaluations per run)", "slaves", "time(s)", "speedup", "efficiency", rows[0].evaluations);
+    println!(
+        "{:>6}  {:>10}  {:>8}  {:>10}  ({} s-point evaluations per run)",
+        "slaves", "time(s)", "speedup", "efficiency", rows[0].evaluations
+    );
     for row in &rows {
         println!("{}", row.formatted());
     }

@@ -2,7 +2,8 @@
 //!
 //! Experiment harnesses and Criterion benchmarks that regenerate every table and
 //! figure of the paper's evaluation section (Section 5.3).  The mapping from
-//! experiments to binaries is recorded in `DESIGN.md` and the measured results in
+//! experiments to binaries is recorded in the workspace `README.md` and the
+//! measured results in
 //! `EXPERIMENTS.md`.
 //!
 //! Binaries (`cargo run -p smp-bench --release --bin <name>`):
@@ -70,10 +71,8 @@ impl Args {
         for (i, a) in self.raw.iter().enumerate() {
             if a == &needle {
                 if let Some(v) = self.raw.get(i + 1) {
-                    let parsed: Vec<usize> = v
-                        .split(',')
-                        .filter_map(|p| p.trim().parse().ok())
-                        .collect();
+                    let parsed: Vec<usize> =
+                        v.split(',').filter_map(|p| p.trim().parse().ok()).collect();
                     if !parsed.is_empty() {
                         return parsed;
                     }

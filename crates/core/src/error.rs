@@ -113,7 +113,10 @@ mod tests {
                 },
                 "did not converge",
             ),
-            (SmpError::SteadyStateFailure { residual: 0.1 }, "steady-state"),
+            (
+                SmpError::SteadyStateFailure { residual: 0.1 },
+                "steady-state",
+            ),
             (SmpError::EmptyModel, "no states"),
         ];
         for (err, needle) in cases {

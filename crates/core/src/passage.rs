@@ -558,7 +558,10 @@ mod tests {
             let solver = PassageTimeSolver::new(&smp, &[0], &targets_vec).unwrap();
             let iter_vec = solver.transform_vector_at(s).unwrap();
             for (i, (a, b)) in dense.iter().zip(&iter_vec).enumerate() {
-                assert!(close(*a, *b, 1e-7), "state {i} at {s}: dense {a} vs iter {b}");
+                assert!(
+                    close(*a, *b, 1e-7),
+                    "state {i} at {s}: dense {a} vs iter {b}"
+                );
             }
         }
     }

@@ -138,7 +138,8 @@ impl SemiMarkovProcess {
 
     /// The embedded discrete-time Markov chain `P = [p_ij]`.
     pub fn embedded_dtmc(&self) -> CsrMatrix<f64> {
-        let mut t = TripletMatrix::with_capacity(self.num_states, self.num_states, self.num_transitions);
+        let mut t =
+            TripletMatrix::with_capacity(self.num_states, self.num_states, self.num_transitions);
         for (i, row) in self.transitions.iter().enumerate() {
             for tr in row {
                 t.push(i, tr.target, tr.probability);
@@ -155,7 +156,11 @@ impl SemiMarkovProcess {
             TripletMatrix::with_capacity(self.num_states, self.num_states, self.num_transitions);
         for (i, row) in self.transitions.iter().enumerate() {
             for tr in row {
-                t.push(i, tr.target, pool_values[tr.dist as usize].scale(tr.probability));
+                t.push(
+                    i,
+                    tr.target,
+                    pool_values[tr.dist as usize].scale(tr.probability),
+                );
             }
         }
         t.to_csr()
@@ -178,7 +183,11 @@ impl SemiMarkovProcess {
     pub fn sojourn_lst(&self, state: usize, s: Complex64) -> Complex64 {
         self.transitions[state]
             .iter()
-            .map(|tr| self.dist_pool[tr.dist as usize].lst(s).scale(tr.probability))
+            .map(|tr| {
+                self.dist_pool[tr.dist as usize]
+                    .lst(s)
+                    .scale(tr.probability)
+            })
             .sum()
     }
 
@@ -268,7 +277,10 @@ impl SmpBuilder {
     pub fn add_transition_pooled(&mut self, from: usize, to: usize, weight: f64, dist: DistId) {
         assert!(from < self.num_states, "source state {from} out of range");
         assert!(to < self.num_states, "target state {to} out of range");
-        assert!((dist as usize) < self.dist_pool.len(), "unknown distribution id");
+        assert!(
+            (dist as usize) < self.dist_pool.len(),
+            "unknown distribution id"
+        );
         self.weights[from].push((to, weight, dist));
     }
 
@@ -391,8 +403,8 @@ mod tests {
     fn sojourn_lst_and_mean() {
         let smp = three_state_smp();
         let s = Complex64::new(0.4, -0.2);
-        let expect = Dist::exponential(1.0).lst(s).scale(0.75)
-            + Dist::deterministic(2.0).lst(s).scale(0.25);
+        let expect =
+            Dist::exponential(1.0).lst(s).scale(0.75) + Dist::deterministic(2.0).lst(s).scale(0.25);
         assert!((smp.sojourn_lst(0, s) - expect).norm() < 1e-14);
         assert!((smp.mean_sojourn(0) - (0.75 * 1.0 + 0.25 * 2.0)).abs() < 1e-14);
         // h*_i(0) = 1 for every state.
@@ -445,9 +457,15 @@ mod tests {
         let mut b = SmpBuilder::new(2);
         b.add_transition(0, 1, 0.0, Dist::exponential(1.0));
         b.add_transition(1, 0, 1.0, Dist::exponential(1.0));
-        assert!(matches!(b.build().unwrap_err(), SmpError::InvalidWeight { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            SmpError::InvalidWeight { .. }
+        ));
 
-        assert_eq!(SmpBuilder::new(0).build().unwrap_err(), SmpError::EmptyModel);
+        assert_eq!(
+            SmpBuilder::new(0).build().unwrap_err(),
+            SmpError::EmptyModel
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl Curve {
 
     /// Iterates over `(t, f(t))` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.t_points.iter().copied().zip(self.values.iter().copied())
+        self.t_points
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Trapezoidal integral of the curve over its grid — for a density curve that
@@ -103,11 +106,7 @@ impl<'a> PassageTimeAnalysis<'a> {
     }
 
     /// The passage-time *density* `f(t)` on the given time grid.
-    pub fn density(
-        &self,
-        method: InversionMethod,
-        t_points: &[f64],
-    ) -> Result<Curve, SmpError> {
+    pub fn density(&self, method: InversionMethod, t_points: &[f64]) -> Result<Curve, SmpError> {
         let plan = SPointPlan::new(method, t_points);
         let values = self.compute_transform_values(&plan)?;
         Ok(Curve::new(t_points.to_vec(), plan.invert(&values)))
@@ -121,7 +120,10 @@ impl<'a> PassageTimeAnalysis<'a> {
         for &s in plan.s_points() {
             values.insert(s, self.solver.transform_at(s)?.value / s);
         }
-        Ok(CdfCurve::from_samples(t_points.to_vec(), plan.invert(&values)))
+        Ok(CdfCurve::from_samples(
+            t_points.to_vec(),
+            plan.invert(&values),
+        ))
     }
 
     /// The probability that the passage completes within `deadline` (a reliability
@@ -278,7 +280,9 @@ mod tests {
         let smp = tandem_smp();
         let analysis = TransientAnalysis::new(&smp, 0, &[2]).unwrap();
         let ts = linspace(0.25, 40.0, 80);
-        let curve = analysis.distribution(InversionMethod::euler(), &ts).unwrap();
+        let curve = analysis
+            .distribution(InversionMethod::euler(), &ts)
+            .unwrap();
         assert!(curve.values().iter().all(|&p| (0.0..=1.0).contains(&p)));
         let steady = analysis.steady_state_value().unwrap();
         let tail = *curve.values().last().unwrap();

@@ -103,12 +103,7 @@ impl<'a> TransientSolver<'a> {
         let mut lambda = vec![Complex64::ZERO; self.targets.len()];
         let mut l_columns: Vec<Vec<Complex64>> = Vec::with_capacity(self.targets.len());
         for (idx, &k) in self.targets.indices().iter().enumerate() {
-            let cycle_solver = PassageTimeSolver::with_options(
-                self.smp,
-                &[k],
-                &[k],
-                self.options,
-            )?;
+            let cycle_solver = PassageTimeSolver::with_options(self.smp, &[k], &[k], self.options)?;
             // The column solve for target {k} gives L_ik(s) for every i, including
             // the cycle time L_kk(s) itself.
             let column = cycle_solver.transform_vector_at(s)?;
@@ -280,16 +275,18 @@ mod tests {
     fn multiple_sources_are_weighted() {
         let smp = two_state_ctmc(1.0, 3.0);
         // Sources {0, 1}: embedded chain of the 2-cycle has π = (0.5, 0.5).
-        let solver = TransientSolver::with_options(
-            &smp,
-            &[0, 1],
-            &[0],
-            IterationOptions::default(),
-        )
-        .unwrap();
+        let solver =
+            TransientSolver::with_options(&smp, &[0, 1], &[0], IterationOptions::default())
+                .unwrap();
         let s = Complex64::new(0.6, 0.4);
-        let from0 = TransientSolver::new(&smp, 0, &[0]).unwrap().transform_at(s).unwrap();
-        let from1 = TransientSolver::new(&smp, 1, &[0]).unwrap().transform_at(s).unwrap();
+        let from0 = TransientSolver::new(&smp, 0, &[0])
+            .unwrap()
+            .transform_at(s)
+            .unwrap();
+        let from1 = TransientSolver::new(&smp, 1, &[0])
+            .unwrap()
+            .transform_at(s)
+            .unwrap();
         let combined = solver.transform_at(s).unwrap();
         assert!((combined - (from0 + from1).scale(0.5)).norm() < 1e-8);
     }

@@ -74,7 +74,10 @@ impl Dist {
 
     /// Weibull distribution with the given shape and scale.
     pub fn weibull(shape: f64, scale: f64) -> Dist {
-        assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "weibull parameters must be positive"
+        );
         Dist::Weibull { shape, scale }
     }
 
@@ -87,12 +90,7 @@ impl Dist {
             total > 0.0 && branches.iter().all(|(w, _)| *w >= 0.0),
             "mixture weights must be non-negative with positive sum"
         );
-        Dist::Mixture(
-            branches
-                .into_iter()
-                .map(|(w, d)| (w / total, d))
-                .collect(),
-        )
+        Dist::Mixture(branches.into_iter().map(|(w, d)| (w / total, d)).collect())
     }
 
     /// Sum of independent delays.
@@ -164,9 +162,7 @@ impl Dist {
         match self {
             Dist::Exponential { rate } => Some(1.0 - (-rate * t).exp()),
             Dist::Erlang { rate, phases } => Some(regularised_gamma_p(*phases as f64, rate * t)),
-            Dist::Uniform { lower, upper } => {
-                Some(((t - lower) / (upper - lower)).clamp(0.0, 1.0))
-            }
+            Dist::Uniform { lower, upper } => Some(((t - lower) / (upper - lower)).clamp(0.0, 1.0)),
             Dist::Deterministic { value } => Some(if t >= *value { 1.0 } else { 0.0 }),
             Dist::Weibull { shape, scale } => Some(1.0 - (-(t / scale).powf(*shape)).exp()),
             Dist::Mixture(branches) => {
@@ -328,7 +324,11 @@ mod tests {
     #[test]
     fn exponential_lst_and_moments() {
         let d = Dist::exponential(2.0);
-        assert_close(d.lst(Complex64::real(1.0)), Complex64::real(2.0 / 3.0), 1e-14);
+        assert_close(
+            d.lst(Complex64::real(1.0)),
+            Complex64::real(2.0 / 3.0),
+            1e-14,
+        );
         assert_eq!(d.mean(), 0.5);
         assert_eq!(d.variance(), 0.25);
         assert!((d.cdf(1.0).unwrap() - (1.0 - (-2.0f64).exp())).abs() < 1e-14);
@@ -374,7 +374,10 @@ mod tests {
         let v = d.lst(s);
         assert!((v.norm() - 1.0).abs() < 1e-14);
         assert_close(v, Complex64::from_polar(1.0, -6.0), 1e-13);
-        assert_eq!(Dist::immediate().lst(Complex64::new(5.0, 2.0)), Complex64::ONE);
+        assert_eq!(
+            Dist::immediate().lst(Complex64::new(5.0, 2.0)),
+            Complex64::ONE
+        );
     }
 
     #[test]
@@ -385,8 +388,8 @@ mod tests {
             (0.2, Dist::erlang(0.001, 5)),
         ]);
         let s = Complex64::new(0.05, 0.3);
-        let expect = Dist::uniform(1.5, 10.0).lst(s).scale(0.8)
-            + Dist::erlang(0.001, 5).lst(s).scale(0.2);
+        let expect =
+            Dist::uniform(1.5, 10.0).lst(s).scale(0.8) + Dist::erlang(0.001, 5).lst(s).scale(0.2);
         assert_close(d.lst(s), expect, 1e-13);
         let expect_mean = 0.8 * 5.75 + 0.2 * 5000.0;
         assert!((d.mean() - expect_mean).abs() < 1e-9);
@@ -394,7 +397,10 @@ mod tests {
 
     #[test]
     fn mixture_weights_are_normalised() {
-        let d = Dist::mixture(vec![(2.0, Dist::exponential(1.0)), (2.0, Dist::deterministic(3.0))]);
+        let d = Dist::mixture(vec![
+            (2.0, Dist::exponential(1.0)),
+            (2.0, Dist::deterministic(3.0)),
+        ]);
         assert!((d.mean() - 0.5 * (1.0 + 3.0)).abs() < 1e-14);
         assert_close(d.lst(Complex64::ZERO), Complex64::ONE, 1e-14);
     }
@@ -455,7 +461,10 @@ mod tests {
             Dist::uniform(1.0, 4.0),
             Dist::deterministic(2.5),
             Dist::weibull(1.5, 2.0),
-            Dist::mixture(vec![(0.8, Dist::uniform(1.5, 10.0)), (0.2, Dist::erlang(0.001, 5))]),
+            Dist::mixture(vec![
+                (0.8, Dist::uniform(1.5, 10.0)),
+                (0.2, Dist::erlang(0.001, 5)),
+            ]),
             Dist::convolution(vec![Dist::exponential(1.0), Dist::uniform(0.0, 2.0)]),
         ];
         for d in dists {

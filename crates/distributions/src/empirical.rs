@@ -106,10 +106,7 @@ impl EmpiricalDistribution {
         }
         let n = self.sorted.len().max(1) as f64;
         let centres = (0..bins).map(|i| lo + (i as f64 + 0.5) * width).collect();
-        let densities = counts
-            .iter()
-            .map(|&c| c as f64 / (n * width))
-            .collect();
+        let densities = counts.iter().map(|&c| c as f64 / (n * width)).collect();
         (centres, densities)
     }
 
@@ -204,7 +201,11 @@ mod tests {
         let integral: f64 = dens.iter().map(|d| d * width).sum();
         assert!((integral - 1.0).abs() < 0.01, "integral {integral}");
         // Density near zero should approach rate = 2.
-        assert!((dens[0] - 2.0).abs() < 0.25, "density at origin {}", dens[0]);
+        assert!(
+            (dens[0] - 2.0).abs() < 0.25,
+            "density at origin {}",
+            dens[0]
+        );
     }
 
     #[test]

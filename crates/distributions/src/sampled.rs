@@ -31,7 +31,10 @@ pub struct SampledLst {
 
 impl SampledLst {
     /// Samples an arbitrary transform at the given points.
-    pub fn from_transform<L: LaplaceTransform + ?Sized>(points: &[Complex64], transform: &L) -> Self {
+    pub fn from_transform<L: LaplaceTransform + ?Sized>(
+        points: &[Complex64],
+        transform: &L,
+    ) -> Self {
         SampledLst {
             points: points.to_vec(),
             values: points.iter().map(|&s| transform.lst(s)).collect(),

@@ -213,8 +213,9 @@ mod tests {
 
     #[test]
     fn duplicate_place_rejected() {
-        let err = build("\\place{p}{1} \\place{p}{2} \\transition{t}{ \\sojourntimeLT{expLT(1,s)} }")
-            .unwrap_err();
+        let err =
+            build("\\place{p}{1} \\place{p}{2} \\transition{t}{ \\sojourntimeLT{expLT(1,s)} }")
+                .unwrap_err();
         assert!(err.contains("duplicate place"));
     }
 
@@ -229,14 +230,17 @@ mod tests {
 
     #[test]
     fn fractional_initial_marking_rejected() {
-        let err = build("\\place{p}{0.5} \\transition{t}{ \\sojourntimeLT{expLT(1,s)} }").unwrap_err();
+        let err =
+            build("\\place{p}{0.5} \\transition{t}{ \\sojourntimeLT{expLT(1,s)} }").unwrap_err();
         assert!(err.contains("non-negative integer"));
     }
 
     #[test]
     fn empty_models_rejected() {
         assert!(build("\\constant{X}{1}").unwrap_err().contains("no places"));
-        assert!(build("\\place{p}{1}").unwrap_err().contains("no transitions"));
+        assert!(build("\\place{p}{1}")
+            .unwrap_err()
+            .contains("no transitions"));
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl Environment {
                 Err(format!("unknown identifier '{name}'"))
             }
             Expr::Neg(inner) => Ok(-self.eval(inner, marking)?),
-            Expr::Not(inner) => Ok(if self.eval(inner, marking)? != 0.0 { 0.0 } else { 1.0 }),
+            Expr::Not(inner) => Ok(if self.eval(inner, marking)? != 0.0 {
+                0.0
+            } else {
+                1.0
+            }),
             Expr::Call { name, args } => match name.as_str() {
                 "min" | "max" => {
                     if args.is_empty() {
@@ -163,14 +167,20 @@ fn build_primitive(name: &str, args: &[f64]) -> Result<Dist, String> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(format!("{name} expects {n} argument(s), got {}", args.len()))
+            Err(format!(
+                "{name} expects {n} argument(s), got {}",
+                args.len()
+            ))
         }
     };
     match name {
         "uniformLT" => {
             check(2)?;
             if !(args[0] >= 0.0 && args[1] > args[0]) {
-                return Err(format!("uniformLT requires 0 <= a < b, got ({}, {})", args[0], args[1]));
+                return Err(format!(
+                    "uniformLT requires 0 <= a < b, got ({}, {})",
+                    args[0], args[1]
+                ));
             }
             Ok(Dist::uniform(args[0], args[1]))
         }
@@ -178,7 +188,9 @@ fn build_primitive(name: &str, args: &[f64]) -> Result<Dist, String> {
             check(2)?;
             let phases = args[1];
             if phases < 1.0 || phases.fract() != 0.0 {
-                return Err(format!("erlangLT phase count must be a positive integer, got {phases}"));
+                return Err(format!(
+                    "erlangLT phase count must be a positive integer, got {phases}"
+                ));
             }
             if args[0] <= 0.0 {
                 return Err(format!("erlangLT rate must be positive, got {}", args[0]));
@@ -195,7 +207,10 @@ fn build_primitive(name: &str, args: &[f64]) -> Result<Dist, String> {
         "detLT" | "deterministicLT" => {
             check(1)?;
             if args[0] < 0.0 {
-                return Err(format!("{name} delay must be non-negative, got {}", args[0]));
+                return Err(format!(
+                    "{name} delay must be non-negative, got {}",
+                    args[0]
+                ));
             }
             Ok(Dist::deterministic(args[0]))
         }
@@ -251,8 +266,12 @@ mod tests {
         let m = Marking::new(vec![2, 6]);
         assert!(e.eval_bool(&expr_of("p7 > MM - 1"), Some(&m)).unwrap());
         assert!(!e.eval_bool(&expr_of("p7 < MM"), Some(&m)).unwrap());
-        assert!(e.eval_bool(&expr_of("p3 == 2 && p7 >= 6"), Some(&m)).unwrap());
-        assert!(e.eval_bool(&expr_of("p3 == 0 || p7 != 0"), Some(&m)).unwrap());
+        assert!(e
+            .eval_bool(&expr_of("p3 == 2 && p7 >= 6"), Some(&m))
+            .unwrap());
+        assert!(e
+            .eval_bool(&expr_of("p3 == 0 || p7 != 0"), Some(&m))
+            .unwrap());
         assert!(e.eval_bool(&expr_of("!(p3 == 0)"), Some(&m)).unwrap());
     }
 
@@ -290,8 +309,14 @@ mod tests {
         let sojourn = model.transitions[0].sojourn.as_ref().unwrap();
         let m3 = Marking::new(vec![0, 3]);
         let m1 = Marking::new(vec![0, 1]);
-        assert_eq!(e.eval_dist(sojourn, Some(&m3)).unwrap(), Dist::erlang(2.0, 3));
-        assert_eq!(e.eval_dist(sojourn, Some(&m1)).unwrap(), Dist::erlang(2.0, 1));
+        assert_eq!(
+            e.eval_dist(sojourn, Some(&m3)).unwrap(),
+            Dist::erlang(2.0, 3)
+        );
+        assert_eq!(
+            e.eval_dist(sojourn, Some(&m1)).unwrap(),
+            Dist::erlang(2.0, 1)
+        );
         // A non-integer phase count is a semantic error.
         let bad = Marking::new(vec![0, 0]);
         assert!(e.eval_dist(sojourn, Some(&bad)).is_err());
@@ -320,7 +345,10 @@ mod tests {
         assert!(build_primitive("weibullLT", &[0.0, 1.0]).is_err());
         assert!(build_primitive("expLT", &[1.0, 2.0]).is_err());
         assert!(build_primitive("mystery", &[1.0]).is_err());
-        assert_eq!(build_primitive("immediateLT", &[]).unwrap(), Dist::immediate());
+        assert_eq!(
+            build_primitive("immediateLT", &[]).unwrap(),
+            Dist::immediate()
+        );
         assert_eq!(
             build_primitive("exponentialLT", &[2.0]).unwrap(),
             Dist::exponential(2.0)

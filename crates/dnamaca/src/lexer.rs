@@ -110,7 +110,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lexical error at line {}, column {}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "lexical error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -167,7 +171,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     column: tok_col,
                 });
             }
-            c if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) =>
+            {
                 let start = i;
                 while i < chars.len()
                     && (chars[i].is_ascii_digit()
@@ -318,7 +324,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("p1 % the waiting voters\n + 1"),
-            vec![TokenKind::Ident("p1".into()), TokenKind::Plus, TokenKind::Number(1.0)]
+            vec![
+                TokenKind::Ident("p1".into()),
+                TokenKind::Plus,
+                TokenKind::Number(1.0)
+            ]
         );
     }
 
@@ -347,8 +357,12 @@ mod tests {
             }
         "#;
         let toks = tokenize(src).unwrap();
-        assert!(toks.iter().any(|t| t.kind == TokenKind::Keyword("sojourntimeLT".into())));
-        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("erlangLT".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Keyword("sojourntimeLT".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("erlangLT".into())));
     }
 
     #[test]

@@ -537,7 +537,9 @@ pub fn parse(source: &str) -> Result<ModelAst, ParseError> {
                 }
             }
             other => {
-                return Err(parser.error(format!("expected a top-level '\\keyword', found '{other}'")))
+                return Err(
+                    parser.error(format!("expected a top-level '\\keyword', found '{other}'"))
+                )
             }
         }
     }
@@ -550,7 +552,8 @@ mod tests {
 
     #[test]
     fn parses_constants_and_places() {
-        let model = parse("\\constant{MM}{6} \\constant{RATE}{0.5} \\place{p3}{MM} \\place{p7}{0}").unwrap();
+        let model = parse("\\constant{MM}{6} \\constant{RATE}{0.5} \\place{p3}{MM} \\place{p7}{0}")
+            .unwrap();
         assert_eq!(model.constants.len(), 2);
         assert_eq!(model.places.len(), 2);
         assert_eq!(model.places[0].0, "p3");
@@ -612,9 +615,21 @@ mod tests {
         let cond = model.transitions[0].condition.clone().unwrap();
         // (p + (1*2)) > 3) && (p < 5)
         match cond {
-            Expr::Binary { op: BinOp::And, lhs, .. } => match *lhs {
-                Expr::Binary { op: BinOp::Greater, lhs, .. } => match *lhs {
-                    Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                ..
+            } => match *lhs {
+                Expr::Binary {
+                    op: BinOp::Greater,
+                    lhs,
+                    ..
+                } => match *lhs {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("expected addition, got {other:?}"),
@@ -627,10 +642,9 @@ mod tests {
 
     #[test]
     fn convolution_via_product() {
-        let model = parse(
-            "\\place{p}{1} \\transition{t}{ \\sojourntimeLT{ expLT(1,s) * detLT(2,s) } }",
-        )
-        .unwrap();
+        let model =
+            parse("\\place{p}{1} \\transition{t}{ \\sojourntimeLT{ expLT(1,s) * detLT(2,s) } }")
+                .unwrap();
         match model.transitions[0].sojourn.as_ref().unwrap() {
             DistExpr::Product(parts) => assert_eq!(parts.len(), 2),
             other => panic!("expected a product, got {other:?}"),
@@ -646,8 +660,8 @@ mod tests {
 
     #[test]
     fn unknown_distribution_rejected() {
-        let err =
-            parse("\\place{p}{1} \\transition{t}{ \\sojourntimeLT{ paretoLT(1, 2, s) } }").unwrap_err();
+        let err = parse("\\place{p}{1} \\transition{t}{ \\sojourntimeLT{ paretoLT(1, 2, s) } }")
+            .unwrap_err();
         assert!(err.to_string().contains("paretoLT"));
     }
 
@@ -672,15 +686,16 @@ mod tests {
     #[test]
     fn truncated_input_reports_eof() {
         let err = parse("\\transition{t}{ \\condition{p > ").unwrap_err();
-        assert!(matches!(err, ParseError::UnexpectedEof { .. }) || err.to_string().contains("expected"));
+        assert!(
+            matches!(err, ParseError::UnexpectedEof { .. }) || err.to_string().contains("expected")
+        );
     }
 
     #[test]
     fn marking_dependent_distribution_arguments() {
-        let model = parse(
-            "\\place{q}{4} \\transition{serve}{ \\sojourntimeLT{ erlangLT(2.0, q, s) } }",
-        )
-        .unwrap();
+        let model =
+            parse("\\place{q}{4} \\transition{serve}{ \\sojourntimeLT{ erlangLT(2.0, q, s) } }")
+                .unwrap();
         match model.transitions[0].sojourn.as_ref().unwrap() {
             DistExpr::Call { name, args } => {
                 assert_eq!(name, "erlangLT");

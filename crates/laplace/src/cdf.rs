@@ -80,7 +80,10 @@ impl CdfCurve {
 
     /// Iterates over `(t, F(t))` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.t_points.iter().copied().zip(self.values.iter().copied())
+        self.t_points
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 }
 
@@ -108,7 +111,10 @@ mod tests {
         let curve = CdfCurve::from_density_transform(InversionMethod::euler(), &d, &ts);
         // Median of Exp(1) is ln 2.
         let median = curve.quantile(0.5).unwrap();
-        assert!((median - std::f64::consts::LN_2).abs() < 0.02, "median {median}");
+        assert!(
+            (median - std::f64::consts::LN_2).abs() < 0.02,
+            "median {median}"
+        );
         let p90 = curve.quantile(0.9).unwrap();
         assert!((p90 - 10f64.ln()).abs() < 0.02, "p90 {p90}");
     }

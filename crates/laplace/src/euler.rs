@@ -22,10 +22,10 @@
 //! the accuracy of the inversion required".
 
 use crate::splan::TransformValues;
+use smp_distributions::LaplaceTransform;
 use smp_numeric::kahan::KahanSum;
 use smp_numeric::special::binomial_row;
 use smp_numeric::Complex64;
-use smp_distributions::LaplaceTransform;
 
 /// Tuning parameters for the Euler algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -274,7 +274,11 @@ mod tests {
         let euler = Euler::standard();
         let d = Dist::erlang(1.0, 2);
         let t = 1.7;
-        let values: Vec<Complex64> = euler.s_points(t).iter().map(|&s| Dist::lst(&d, s)).collect();
+        let values: Vec<Complex64> = euler
+            .s_points(t)
+            .iter()
+            .map(|&s| Dist::lst(&d, s))
+            .collect();
         assert_eq!(euler.invert_values(&values, t), euler.invert(&d, t));
     }
 

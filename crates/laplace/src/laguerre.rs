@@ -25,9 +25,9 @@
 //! [`crate::Euler`] instead — the paper makes the same recommendation.
 
 use crate::splan::TransformValues;
+use smp_distributions::LaplaceTransform;
 use smp_numeric::special::laguerre_functions_upto;
 use smp_numeric::Complex64;
-use smp_distributions::LaplaceTransform;
 
 /// Tuning parameters for the Laguerre algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,11 +148,7 @@ impl Laguerre {
     pub fn evaluate(&self, coefficients: &[f64], t: f64) -> f64 {
         assert!(t >= 0.0, "Laguerre inversion requires t >= 0");
         let basis = laguerre_functions_upto(coefficients.len() as u32 - 1, t);
-        coefficients
-            .iter()
-            .zip(&basis)
-            .map(|(q, l)| q * l)
-            .sum()
+        coefficients.iter().zip(&basis).map(|(q, l)| q * l).sum()
     }
 
     /// Inverts a transform at a single `t`-point.
@@ -234,7 +230,10 @@ mod tests {
     fn euler_and_laguerre_agree_on_smooth_density() {
         let laguerre = Laguerre::standard();
         let euler = crate::Euler::standard();
-        let d = Dist::mixture(vec![(0.5, Dist::erlang(2.0, 3)), (0.5, Dist::exponential(0.5))]);
+        let d = Dist::mixture(vec![
+            (0.5, Dist::erlang(2.0, 3)),
+            (0.5, Dist::exponential(0.5)),
+        ]);
         for &t in &[0.5, 1.0, 2.0, 4.0] {
             let a = laguerre.invert(&d, t);
             let b = euler.invert(&d, t);
@@ -246,7 +245,11 @@ mod tests {
     fn coefficients_decay_for_smooth_transform() {
         let laguerre = Laguerre::standard();
         let d = Dist::exponential(1.0);
-        let values: Vec<Complex64> = laguerre.s_points().iter().map(|&s| Dist::lst(&d, s)).collect();
+        let values: Vec<Complex64> = laguerre
+            .s_points()
+            .iter()
+            .map(|&s| Dist::lst(&d, s))
+            .collect();
         let coeffs = laguerre.coefficients(&values);
         // For Exp(1), q_n = (1/2)(1/3)^n ... more precisely decays geometrically.
         assert!(coeffs[0].abs() > coeffs[20].abs().max(1e-12));

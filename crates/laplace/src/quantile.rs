@@ -56,7 +56,8 @@ where
             let lo = (q - horizon / 128.0).max(horizon / 1024.0);
             let hi = q + horizon / 128.0;
             let fine = linspace(lo, hi, 64);
-            let fine_curve = CdfCurve::from_density_transform(method.clone(), density_transform, &fine);
+            let fine_curve =
+                CdfCurve::from_density_transform(method.clone(), density_transform, &fine);
             return fine_curve.quantile(p).or(Some(q));
         }
         if horizon >= max_horizon {

@@ -191,12 +191,9 @@ impl TransformValues {
 
     /// Iterates over stored `(s, value)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (Complex64, Complex64)> + '_ {
-        self.map.iter().map(|(k, v)| {
-            (
-                Complex64::new(f64::from_bits(k.0), f64::from_bits(k.1)),
-                *v,
-            )
-        })
+        self.map
+            .iter()
+            .map(|(k, v)| (Complex64::new(f64::from_bits(k.0), f64::from_bits(k.1)), *v))
     }
 
     /// Populates the cache by evaluating a transform at every planned point
@@ -236,7 +233,10 @@ mod tests {
     #[test]
     fn laguerre_plan_constant_size() {
         let plan1 = SPointPlan::new(InversionMethod::laguerre(), &[1.0]);
-        let plan9 = SPointPlan::new(InversionMethod::laguerre(), &(1..=9).map(|k| k as f64).collect::<Vec<_>>());
+        let plan9 = SPointPlan::new(
+            InversionMethod::laguerre(),
+            &(1..=9).map(|k| k as f64).collect::<Vec<_>>(),
+        );
         assert_eq!(plan1.len(), 400);
         assert_eq!(plan9.len(), 400);
     }
@@ -252,7 +252,11 @@ mod tests {
             let inverted = plan.invert(&values);
             for (&t, &f) in ts.iter().zip(&inverted) {
                 let expect = 8.0 * t * t * (-2.0 * t).exp() / 2.0;
-                assert!((f - expect).abs() < 1e-5, "{}: f({t}) = {f} vs {expect}", plan.method().name());
+                assert!(
+                    (f - expect).abs() < 1e-5,
+                    "{}: f({t}) = {f} vs {expect}",
+                    plan.method().name()
+                );
             }
         }
     }

@@ -112,6 +112,9 @@ mod tests {
         })
         .unwrap();
         assert_eq!(cache.len(), 800);
-        assert_eq!(cache.get(Complex64::new(3.0, 42.0)), Some(Complex64::real(42.0)));
+        assert_eq!(
+            cache.get(Complex64::new(3.0, 42.0)),
+            Some(Complex64::real(42.0))
+        );
     }
 }

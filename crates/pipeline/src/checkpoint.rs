@@ -31,12 +31,37 @@ pub struct CheckpointWriter {
 
 impl CheckpointWriter {
     /// Opens (creating or appending to) a checkpoint file.
+    ///
+    /// A crash mid-write can leave a torn final record with no terminating
+    /// newline. Appending straight after it would merge the first new record
+    /// into the torn line, so both would be discarded as malformed on the next
+    /// load; the torn tail is therefore newline-terminated before appending.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
+        let unterminated_tail = match File::open(&path) {
+            Ok(mut f) => {
+                use std::io::{Read, Seek, SeekFrom};
+                if f.seek(SeekFrom::End(0))? == 0 {
+                    false
+                } else {
+                    f.seek(SeekFrom::End(-1))?;
+                    let mut last = [0u8; 1];
+                    f.read_exact(&mut last)?;
+                    last[0] != b'\n'
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e),
+        };
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if unterminated_tail {
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
         Ok(CheckpointWriter {
             path,
-            writer: BufWriter::new(file),
+            writer,
             records: 0,
         })
     }
@@ -80,9 +105,13 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<TransformValue
     for line in reader.lines() {
         let line = line?;
         let mut parts = line.split_whitespace();
+        // Every field of a complete record is exactly 16 hex digits; anything
+        // shorter is a record truncated mid-field by a crash, which would
+        // otherwise still parse as a (tiny, wrong) f64.
         let mut next_f64 = || -> Option<f64> {
             parts
                 .next()
+                .filter(|p| p.len() == 16)
                 .and_then(|p| u64::from_str_radix(p, 16).ok())
                 .map(f64::from_bits)
         };
@@ -91,6 +120,9 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<TransformValue
         else {
             continue; // skip malformed (possibly truncated) record
         };
+        if parts.next().is_some() {
+            continue; // trailing junk: not a cleanly written record
+        }
         values.insert(Complex64::new(sre, sim), Complex64::new(vre, vim));
     }
     Ok(values)
@@ -111,8 +143,14 @@ mod tests {
         let path = temp_path("roundtrip");
         let _ = std::fs::remove_file(&path);
         let points = vec![
-            (Complex64::new(0.1, -0.3), Complex64::new(1.0 / 3.0, 2.0e-15)),
-            (Complex64::new(9.55, 3.1415926535), Complex64::new(-0.25, 0.75)),
+            (
+                Complex64::new(0.1, -0.3),
+                Complex64::new(1.0 / 3.0, 2.0e-15),
+            ),
+            (
+                Complex64::new(9.55, 3.1415926535),
+                Complex64::new(-0.25, 0.75),
+            ),
         ];
         {
             let mut writer = CheckpointWriter::open(&path).unwrap();
@@ -146,7 +184,8 @@ mod tests {
         }
         {
             let mut w = CheckpointWriter::open(&path).unwrap();
-            w.record(Complex64::new(2.0, 0.0), Complex64::new(0.5, 0.0)).unwrap();
+            w.record(Complex64::new(2.0, 0.0), Complex64::new(0.5, 0.0))
+                .unwrap();
         }
         // Simulate a crash mid-write: a truncated line at the end.
         {

@@ -21,7 +21,7 @@
 //! optional, configurable per-result latency simulates the network round-trip.  The
 //! scheduling, caching, checkpointing and convergence code paths are identical to
 //! what a multi-host deployment would execute; only the transport differs (see
-//! `DESIGN.md`).
+//! the workspace `README.md`).
 //!
 //! * [`work`] — the global `s`-point work queue;
 //! * [`cache`] — the in-memory result cache shared between workers and master;

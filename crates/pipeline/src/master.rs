@@ -148,9 +148,7 @@ impl DistributedPipeline {
                 let queue = &queue;
                 let transform = &transform;
                 let tx = tx.clone();
-                handles.push(
-                    scope.spawn(move |_| run_worker(id, queue, transform, latency, &tx)),
-                );
+                handles.push(scope.spawn(move |_| run_worker(id, queue, transform, latency, &tx)));
             }
             drop(tx);
 
@@ -202,14 +200,15 @@ impl DistributedPipeline {
     /// Runs the pipeline for the *cumulative distribution* of a density transform:
     /// identical to [`DistributedPipeline::run`] but inverting `L(s)/s`, with the
     /// result clamped into `[0, 1]` and made monotone.
-    pub fn run_cdf<F>(&self, density_transform: F, t_points: &[f64]) -> Result<PipelineResult, PipelineError>
+    pub fn run_cdf<F>(
+        &self,
+        density_transform: F,
+        t_points: &[f64],
+    ) -> Result<PipelineResult, PipelineError>
     where
         F: Fn(Complex64) -> Result<Complex64, String> + Sync,
     {
-        let mut result = self.run(
-            |s| density_transform(s).map(|value| value / s),
-            t_points,
-        )?;
+        let mut result = self.run(|s| density_transform(s).map(|value| value / s), t_points)?;
         let mut running_max: f64 = 0.0;
         for v in result.values.iter_mut() {
             *v = v.clamp(0.0, 1.0).max(running_max);
@@ -235,10 +234,8 @@ mod tests {
     fn pipeline_matches_direct_inversion() {
         let d = Dist::erlang(2.0, 3);
         let ts = linspace(0.2, 5.0, 25);
-        let pipeline = DistributedPipeline::new(
-            InversionMethod::euler(),
-            PipelineOptions::with_workers(4),
-        );
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(4));
         let result = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
         let reference = Euler::standard().invert_many(&d, &ts);
         assert_eq!(result.values.len(), reference.len());
@@ -253,7 +250,10 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_the_answer() {
-        let d = Dist::mixture(vec![(0.5, Dist::exponential(1.0)), (0.5, Dist::uniform(0.5, 2.0))]);
+        let d = Dist::mixture(vec![
+            (0.5, Dist::exponential(1.0)),
+            (0.5, Dist::uniform(0.5, 2.0)),
+        ]);
         let ts = linspace(0.25, 4.0, 12);
         let mut previous: Option<Vec<f64>> = None;
         for workers in [1, 2, 8] {
@@ -301,10 +301,8 @@ mod tests {
     #[test]
     fn evaluation_errors_are_reported() {
         let ts = vec![1.0];
-        let pipeline = DistributedPipeline::new(
-            InversionMethod::euler(),
-            PipelineOptions::with_workers(3),
-        );
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(3));
         let result = pipeline.run(
             |s: Complex64| {
                 if s.im > 20.0 {
@@ -327,10 +325,8 @@ mod tests {
     fn cdf_run_is_monotone_and_bounded() {
         let d = Dist::exponential(0.8);
         let ts = linspace(0.25, 8.0, 30);
-        let pipeline = DistributedPipeline::new(
-            InversionMethod::euler(),
-            PipelineOptions::with_workers(2),
-        );
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(2));
         let result = pipeline.run_cdf(density_evaluator(d.clone()), &ts).unwrap();
         for w in result.values.windows(2) {
             assert!(w[1] + 1e-12 >= w[0]);
@@ -352,13 +348,16 @@ mod tests {
         let smp = b.build().unwrap();
         let solver = PassageTimeSolver::new(&smp, &[0], &[2]).unwrap();
         let ts = linspace(0.2, 4.0, 16);
-        let pipeline = DistributedPipeline::new(
-            InversionMethod::euler(),
-            PipelineOptions::with_workers(4),
-        );
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(4));
         let result = pipeline
             .run(
-                |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+                |s| {
+                    solver
+                        .transform_at(s)
+                        .map(|p| p.value)
+                        .map_err(|e| e.to_string())
+                },
                 &ts,
             )
             .unwrap();

@@ -54,7 +54,10 @@ pub fn run_scalability_sweep<F>(
 where
     F: Fn(Complex64) -> Result<Complex64, String> + Sync,
 {
-    assert!(!worker_counts.is_empty(), "at least one worker count is required");
+    assert!(
+        !worker_counts.is_empty(),
+        "at least one worker count is required"
+    );
     let mut rows = Vec::with_capacity(worker_counts.len());
     let mut baseline: Option<Duration> = None;
     for &workers in worker_counts {
@@ -96,14 +99,9 @@ mod tests {
             Ok(d.lst(s))
         };
         let ts: Vec<f64> = (1..=5).map(|k| k as f64 * 0.7).collect();
-        let rows = run_scalability_sweep(
-            InversionMethod::euler(),
-            evaluator,
-            &ts,
-            &[1, 2, 4],
-            None,
-        )
-        .unwrap();
+        let rows =
+            run_scalability_sweep(InversionMethod::euler(), evaluator, &ts, &[1, 2, 4], None)
+                .unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].workers, 1);
         assert!((rows[0].speedup - 1.0).abs() < 1e-9);
@@ -126,12 +124,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker count")]
     fn empty_worker_counts_rejected() {
-        let _ = run_scalability_sweep(
-            InversionMethod::euler(),
-            |s| Ok(s),
-            &[1.0],
-            &[],
-            None,
-        );
+        let _ = run_scalability_sweep(InversionMethod::euler(), |s| Ok(s), &[1.0], &[], None);
     }
 }

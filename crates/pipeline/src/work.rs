@@ -105,7 +105,10 @@ mod tests {
                     local
                 }));
             }
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         })
         .unwrap();
         let mut seen = seen;

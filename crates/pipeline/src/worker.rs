@@ -122,7 +122,13 @@ mod tests {
 
         let slow_queue = WorkQueue::new(&points);
         let started = Instant::now();
-        run_worker(0, &slow_queue, &evaluator, Some(Duration::from_millis(5)), &tx);
+        run_worker(
+            0,
+            &slow_queue,
+            &evaluator,
+            Some(Duration::from_millis(5)),
+            &tx,
+        );
         let slow = started.elapsed();
 
         assert!(slow >= Duration::from_millis(25));

@@ -53,7 +53,9 @@ pub fn simulate_transient(
         let mut previous_marking = engine.marking().clone();
         // Walk the trajectory; whenever the clock passes grid points, the state that
         // was occupied across each of them is the marking *before* the jump.
-        while grid_index < t_points.len() && engine.clock() <= horizon && engine.steps() < options.max_steps
+        while grid_index < t_points.len()
+            && engine.clock() <= horizon
+            && engine.steps() < options.max_steps
         {
             previous_marking = engine.marking().clone();
             if engine.step(&mut rng).is_none() {
@@ -159,6 +161,11 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_grid_rejected() {
         let net = two_state_net();
-        simulate_transient(&net, |_| true, &[1.0, 0.5], &TransientSimulationOptions::default());
+        simulate_transient(
+            &net,
+            |_| true,
+            &[1.0, 0.5],
+            &TransientSimulationOptions::default(),
+        );
     }
 }

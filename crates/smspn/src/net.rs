@@ -102,7 +102,10 @@ impl TransitionSpec {
 
     /// Sets a constant weight.
     pub fn weight(mut self, weight: f64) -> Self {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         self.weight = Arc::new(move |_| weight);
         self
     }
@@ -121,10 +124,7 @@ impl TransitionSpec {
 
     /// Sets a marking-dependent firing-time distribution (the paper's
     /// `\sojourntimeLT{...}` pragma with marking-dependent parameters).
-    pub fn distribution_fn(
-        mut self,
-        f: impl Fn(&Marking) -> Dist + Send + Sync + 'static,
-    ) -> Self {
+    pub fn distribution_fn(mut self, f: impl Fn(&Marking) -> Dist + Send + Sync + 'static) -> Self {
         self.distribution = Arc::new(f);
         self
     }
@@ -203,12 +203,7 @@ impl SmSpn {
 
     /// Convenience constructor from `&str` place names.
     pub fn with_places(places: &[(&str, u32)]) -> Self {
-        SmSpn::new(
-            places
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
-        )
+        SmSpn::new(places.iter().map(|(n, t)| (n.to_string(), *t)).collect())
     }
 
     /// Adds a transition to the net.
@@ -320,11 +315,7 @@ mod tests {
         assert!(!t.is_net_enabled(&Marking::new(vec![3])));
         // Arc requirement still applies even if the guard would pass.
         let mut net2 = SmSpn::with_places(&[("p", 0)]);
-        net2.add_transition(
-            TransitionSpec::new("x")
-                .consumes(0, 1)
-                .guard(|_| true),
-        );
+        net2.add_transition(TransitionSpec::new("x").consumes(0, 1).guard(|_| true));
         assert!(!net2.transitions()[0].is_net_enabled(&Marking::new(vec![0])));
     }
 

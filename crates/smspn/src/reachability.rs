@@ -50,10 +50,16 @@ impl std::fmt::Display for ReachabilityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReachabilityError::StateSpaceTooLarge { limit } => {
-                write!(f, "state space exceeds the configured limit of {limit} markings")
+                write!(
+                    f,
+                    "state space exceeds the configured limit of {limit} markings"
+                )
             }
             ReachabilityError::DeadlockMarking { marking } => {
-                write!(f, "reachable marking {marking:?} enables no transition (deadlock)")
+                write!(
+                    f,
+                    "reachable marking {marking:?} enables no transition (deadlock)"
+                )
             }
             ReachabilityError::Smp(e) => write!(f, "SMP construction failed: {e}"),
         }
@@ -339,8 +345,14 @@ mod tests {
         // State with 3 tokens uses Erlang-3, with 1 token Erlang-1.
         let s3 = space.state_of(&Marking::new(vec![3, 0])).unwrap();
         let s1 = space.state_of(&Marking::new(vec![1, 2])).unwrap();
-        assert_eq!(smp.distribution(smp.transitions(s3)[0].dist), &Dist::erlang(1.0, 3));
-        assert_eq!(smp.distribution(smp.transitions(s1)[0].dist), &Dist::erlang(1.0, 1));
+        assert_eq!(
+            smp.distribution(smp.transitions(s3)[0].dist),
+            &Dist::erlang(1.0, 3)
+        );
+        assert_eq!(
+            smp.distribution(smp.transitions(s1)[0].dist),
+            &Dist::erlang(1.0, 1)
+        );
     }
 
     #[test]
@@ -396,12 +408,12 @@ mod tests {
                 .produces(0, 1)
                 .distribution(Dist::exponential(1.0)),
         );
-        let err = StateSpace::explore_with(
-            &net,
-            &ReachabilityOptions { max_states: 100 },
-        )
-        .unwrap_err();
-        assert!(matches!(err, ReachabilityError::StateSpaceTooLarge { limit: 100 }));
+        let err =
+            StateSpace::explore_with(&net, &ReachabilityOptions { max_states: 100 }).unwrap_err();
+        assert!(matches!(
+            err,
+            ReachabilityError::StateSpaceTooLarge { limit: 100 }
+        ));
     }
 
     #[test]

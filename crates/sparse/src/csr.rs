@@ -45,9 +45,14 @@ impl<T: Scalar> CsrMatrix<T> {
             col_indices.len(),
             "last indptr entry must equal nnz"
         );
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr not monotone");
         assert!(
-            col_indices.iter().all(|&c| (c as usize) < cols || cols == 0),
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr not monotone"
+        );
+        assert!(
+            col_indices
+                .iter()
+                .all(|&c| (c as usize) < cols || cols == 0),
             "column index out of range"
         );
         #[cfg(debug_assertions)]
@@ -308,7 +313,10 @@ impl<T: Scalar> CsrMatrix<T> {
 
     /// Frobenius-style max-magnitude norm of the stored entries.
     pub fn max_norm(&self) -> f64 {
-        self.values.iter().map(|v| v.magnitude()).fold(0.0, f64::max)
+        self.values
+            .iter()
+            .map(|v| v.magnitude())
+            .fold(0.0, f64::max)
     }
 }
 

@@ -80,7 +80,10 @@ pub fn par_vec_mul<T: Scalar>(a: &CsrMatrix<T>, x: &[T], threads: usize) -> Vec<
                 local
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("parallel vec_mul scope failed");
 

@@ -93,7 +93,12 @@ impl<T: Scalar> TripletMatrix<T> {
         for r in 0..self.rows {
             let (start, end) = (row_counts[r], row_counts[r + 1]);
             scratch.clear();
-            scratch.extend(cols[start..end].iter().copied().zip(vals[start..end].iter().copied()));
+            scratch.extend(
+                cols[start..end]
+                    .iter()
+                    .copied()
+                    .zip(vals[start..end].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {

@@ -14,7 +14,7 @@
 //!   Fig. 2 for any `(CC, MM, NN)` (number of voters, polling units, central voting
 //!   units), with the firing-time distributions used throughout the experiments
 //!   (transition `t5`'s distribution is the one printed in Fig. 3 of the paper; the
-//!   remaining distributions are documented substitutions — see `DESIGN.md`);
+//!   remaining distributions are documented substitutions — see the workspace `README.md`);
 //! * [`configs`] — the six configurations of Table 1 (2 061 … 1 140 050 states);
 //! * [`spec`] — the same model written in the extended DNAmaca language accepted by
 //!   `smp-dnamaca`, and a check that both routes produce the same state space;

@@ -32,7 +32,7 @@
 //!
 //! The paper prints only `t5`'s firing distribution; the others are configurable
 //! through [`VotingDistributions`] with defaults chosen to give the same qualitative
-//! behaviour (documented substitution, see `DESIGN.md`).
+//! behaviour (documented substitution, see the workspace `README.md`).
 
 use smp_distributions::Dist;
 use smp_smspn::{Marking, ReachabilityOptions, SmSpn, StateSpace, TransitionSpec};
@@ -158,7 +158,11 @@ pub struct VotingSystem {
 impl VotingSystem {
     /// Builds the SM-SPN for a configuration with the default distributions.
     pub fn build(config: VotingConfig) -> Result<Self, Box<dyn std::error::Error>> {
-        Self::build_with(config, &VotingDistributions::default(), &ReachabilityOptions::default())
+        Self::build_with(
+            config,
+            &VotingDistributions::default(),
+            &ReachabilityOptions::default(),
+        )
     }
 
     /// Builds with explicit distributions and exploration options.
@@ -419,9 +423,7 @@ mod tests {
         assert!(!failures.is_empty());
         for &s in &failures {
             let m = sys.marking(s);
-            assert!(
-                m.get(places::P7_POLLING_FAILED) == 2 || m.get(places::P6_CENTRAL_FAILED) == 2
-            );
+            assert!(m.get(places::P7_POLLING_FAILED) == 2 || m.get(places::P6_CENTRAL_FAILED) == 2);
         }
         // The initial state is in neither target set.
         assert!(!all_voted.contains(&sys.initial_state()));

@@ -155,7 +155,10 @@ mod tests {
         let parsed_space = StateSpace::explore(&net).unwrap();
         let programmatic = VotingSystem::build(config).unwrap();
         assert_eq!(parsed_space.num_states(), programmatic.num_states());
-        assert_eq!(parsed_space.num_edges(), programmatic.state_space().num_edges());
+        assert_eq!(
+            parsed_space.num_edges(),
+            programmatic.state_space().num_edges()
+        );
         // The initial markings agree place-by-place.
         assert_eq!(
             parsed_space.marking(0).as_slice(),

@@ -20,7 +20,7 @@ use smp_suite::voting::{VotingConfig, VotingSystem};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Make the units failure-prone so the event is observable on a small time scale
-    // (the paper's own failure/repair parameters are not printed; see DESIGN.md).
+    // (the paper's own failure/repair parameters are not printed; see the README).
     let dists = VotingDistributions {
         polling_failure: Dist::exponential(0.6),
         central_failure: Dist::exponential(0.4),
@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &dists,
         &ReachabilityOptions::default(),
     )?;
-    println!("voting system with failure-prone units: {} states", system.num_states());
+    println!(
+        "voting system with failure-prone units: {} states",
+        system.num_states()
+    );
 
     let smp = system.smp();
     let source = system.initial_state();

@@ -20,12 +20,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     builder.add_transition(1, 0, 3.0, Dist::uniform(0.5, 2.0)); // self-healing
     builder.add_transition(1, 2, 1.0, Dist::erlang(2.0, 2)); // degradation to failure
     builder.add_transition(2, 3, 1.0, Dist::deterministic(1.0)); // failure detection
-    builder.add_transition(3, 0, 1.0, Dist::mixture(vec![
-        (0.9, Dist::uniform(2.0, 6.0)),   // ordinary repair
-        (0.1, Dist::erlang(0.05, 3)),     // spare part on back-order
-    ]));
+    builder.add_transition(
+        3,
+        0,
+        1.0,
+        Dist::mixture(vec![
+            (0.9, Dist::uniform(2.0, 6.0)), // ordinary repair
+            (0.1, Dist::erlang(0.05, 3)),   // spare part on back-order
+        ]),
+    );
     let smp = builder.build()?;
-    println!("model: {} states, {} transitions", smp.num_states(), smp.num_transitions());
+    println!(
+        "model: {} states, {} transitions",
+        smp.num_states(),
+        smp.num_transitions()
+    );
 
     // Passage time from healthy (0) to failed (2).
     let analysis = PassageTimeAnalysis::new(&smp, &[0], &[2])?;
@@ -38,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (t, f) in density.iter().step_by(5) {
         println!("{t:8.2}  {f:10.6}");
     }
-    println!("(density mass covered by the window: {:.3})", density.integral());
+    println!(
+        "(density mass covered by the window: {:.3})",
+        density.integral()
+    );
 
     let cdf = analysis.cdf(InversionMethod::euler(), &ts)?;
     if let Some(q90) = cdf.quantile(0.9) {

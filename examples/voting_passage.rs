@@ -38,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Analytic density via the distributed pipeline (4 workers, Euler inversion).
     let solver = PassageTimeSolver::new(smp, &[source], &targets)?;
-    let pipeline = DistributedPipeline::new(
-        InversionMethod::euler(),
-        PipelineOptions::with_workers(4),
-    );
+    let pipeline =
+        DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(4));
     let evaluator = |s| {
         solver
             .transform_at(s)
@@ -60,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
     let sim = simulate_smp_passage_times(smp, source, &target_set, 20_000, 10_000_000, &mut rng);
     let sim_density = sim.kernel_density(&ts);
-    println!("simulated mean: {:.2} s over {} replications", sim.mean(), sim.len());
+    println!(
+        "simulated mean: {:.2} s over {} replications",
+        sim.mean(),
+        sim.len()
+    );
 
     println!("\n    t      analytic   simulated");
     for ((t, a), s) in ts.iter().zip(&density.values).zip(&sim_density) {
@@ -69,12 +71,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the response-time quantile of Fig. 5.
     let cdf_result = pipeline.run_cdf(
-        |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+        |s| {
+            solver
+                .transform_at(s)
+                .map(|p| p.value)
+                .map_err(|e| e.to_string())
+        },
         &ts,
     )?;
     let cdf = CdfCurve::from_samples(ts.clone(), cdf_result.values);
     if let Some(q) = cdf.quantile(0.95) {
-        println!("\n95% of runs finish within {q:.2} s (simulation says {:.2} s)", sim.quantile(0.95).unwrap());
+        println!(
+            "\n95% of runs finish within {q:.2} s (simulation says {:.2} s)",
+            sim.quantile(0.95).unwrap()
+        );
     }
     Ok(())
 }

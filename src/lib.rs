@@ -21,8 +21,30 @@
 //! | [`pipeline`] | `smp-pipeline` | distributed master–worker analysis pipeline |
 //! | [`voting`] | `smp-voting` | the distributed voting system model of the paper |
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the full system inventory and
-//! experiment index.
+//! See `README.md` for a quickstart, the workspace table and build/verify
+//! commands; each member crate's `//!` header documents its own subsystem.
+//!
+//! ## Quickstart
+//!
+//! The density of the passage from state 0 into state 2 of a three-state SMP
+//! (`0 --Erlang(2,2)--> 1 --Exp(1)--> 2 --Det(1)--> 0`), through the re-exports:
+//!
+//! ```
+//! use smp_suite::core::{solver::PassageTimeAnalysis, SmpBuilder};
+//! use smp_suite::distributions::Dist;
+//! use smp_suite::laplace::InversionMethod;
+//!
+//! let mut builder = SmpBuilder::new(3);
+//! builder.add_transition(0, 1, 1.0, Dist::erlang(2.0, 2));
+//! builder.add_transition(1, 2, 1.0, Dist::exponential(1.0));
+//! builder.add_transition(2, 0, 1.0, Dist::deterministic(1.0));
+//! let smp = builder.build().unwrap();
+//!
+//! let analysis = PassageTimeAnalysis::new(&smp, &[0], &[2]).unwrap();
+//! let t: Vec<f64> = (1..=20).map(|k| k as f64 * 0.35).collect();
+//! let density = analysis.density(InversionMethod::euler(), &t).unwrap();
+//! assert!(density.values().iter().all(|f| f.is_finite() && *f >= -1e-9));
+//! ```
 
 pub use smp_core as core;
 pub use smp_distributions as distributions;

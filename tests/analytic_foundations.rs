@@ -28,9 +28,8 @@ fn passage_density_of_exponential_tandem_is_erlang() {
     for method in [InversionMethod::euler(), InversionMethod::laguerre()] {
         let density = analysis.density(method, &ts).unwrap();
         for (t, f) in density.iter() {
-            let expect = rate.powi(stages as i32) * t.powi(stages as i32 - 1)
-                * (-rate * t).exp()
-                / 6.0; // (k-1)! = 3! = 6
+            let expect =
+                rate.powi(stages as i32) * t.powi(stages as i32 - 1) * (-rate * t).exp() / 6.0; // (k-1)! = 3! = 6
             assert!(
                 (f - expect).abs() < 2e-4,
                 "f({t}) = {f} vs Erlang density {expect}"
@@ -46,7 +45,12 @@ fn random_smp_densities_integrate_to_one_and_match_transform_mean() {
         let n = rng.gen_range(3..8);
         let mut builder = SmpBuilder::new(n);
         for i in 0..n {
-            builder.add_transition(i, (i + 1) % n, 1.0, Dist::uniform(0.1, rng.gen_range(0.5..2.0)));
+            builder.add_transition(
+                i,
+                (i + 1) % n,
+                1.0,
+                Dist::uniform(0.1, rng.gen_range(0.5..2.0)),
+            );
             if rng.gen_bool(0.6) {
                 builder.add_transition(
                     i,
@@ -119,7 +123,10 @@ fn direct_inverters_recover_a_composed_distribution() {
     // exercises the distribution algebra plus both inversion code paths without any
     // SMP in the loop.
     let d = Dist::convolution(vec![
-        Dist::mixture(vec![(0.5, Dist::erlang(2.0, 2)), (0.5, Dist::exponential(0.8))]),
+        Dist::mixture(vec![
+            (0.5, Dist::erlang(2.0, 2)),
+            (0.5, Dist::exponential(0.8)),
+        ]),
         Dist::erlang(4.0, 2),
     ]);
     let euler = Euler::standard();

@@ -1,0 +1,140 @@
+//! Smoke test of the `pipeline::checkpoint` on-disk format through the public
+//! umbrella API: write → load round-trip, append-on-reopen, and the documented
+//! crash-recovery behaviour where a malformed trailing line (a record truncated
+//! mid-write) is ignored on load.
+
+use smp_suite::numeric::Complex64;
+use smp_suite::pipeline::checkpoint::{load_checkpoint, CheckpointWriter};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "smp-suite-ckpt-smoke-{}-{tag}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn checkpoint_write_load_roundtrip_is_bit_exact() {
+    let path = temp_checkpoint("roundtrip");
+    // Values chosen to stress the bit-exact encoding: negatives, tiny
+    // magnitudes, non-terminating binary fractions.
+    let records = [
+        (
+            Complex64::new(0.1, -7.25),
+            Complex64::new(1.0 / 3.0, -2.0e-300),
+        ),
+        (
+            Complex64::new(-4.5e10, 0.0),
+            Complex64::new(0.0, f64::MIN_POSITIVE),
+        ),
+        (Complex64::new(2.0, 3.0), Complex64::new(-1.0, 1.0)),
+    ];
+    {
+        let mut w = CheckpointWriter::open(&path).unwrap();
+        for &(s, v) in &records {
+            w.record(s, v).unwrap();
+        }
+        assert_eq!(w.records_written(), records.len());
+    }
+    let loaded = load_checkpoint(&path).unwrap();
+    assert_eq!(loaded.len(), records.len());
+    for &(s, v) in &records {
+        assert_eq!(loaded.get(s), Some(v), "lost or altered record for s = {s}");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checkpoint_survives_crash_torn_write() {
+    let path = temp_checkpoint("torn-write");
+    {
+        let mut w = CheckpointWriter::open(&path).unwrap();
+        w.record(Complex64::new(1.0, 2.0), Complex64::new(0.5, -0.5))
+            .unwrap();
+        w.record(Complex64::new(3.0, 4.0), Complex64::new(0.25, 0.0))
+            .unwrap();
+    }
+    // Simulate a crash mid-append: the last line stops after two of the four
+    // fields and has no trailing newline.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(f, "3ff0000000000000 4000").unwrap();
+    }
+    // The documented recovery path: both complete records load, the torn
+    // trailing line is ignored rather than corrupting the restart.
+    let loaded = load_checkpoint(&path).unwrap();
+    assert_eq!(loaded.len(), 2);
+    assert_eq!(
+        loaded.get(Complex64::new(1.0, 2.0)),
+        Some(Complex64::new(0.5, -0.5))
+    );
+    assert_eq!(
+        loaded.get(Complex64::new(3.0, 4.0)),
+        Some(Complex64::new(0.25, 0.0))
+    );
+
+    // Restarting after recovery keeps appending valid records.
+    {
+        let mut w = CheckpointWriter::open(&path).unwrap();
+        w.record(Complex64::new(5.0, 6.0), Complex64::new(1.0, 1.0))
+            .unwrap();
+    }
+    let reloaded = load_checkpoint(&path).unwrap();
+    assert_eq!(reloaded.len(), 3);
+    assert_eq!(
+        reloaded.get(Complex64::new(5.0, 6.0)),
+        Some(Complex64::new(1.0, 1.0))
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn missing_checkpoint_means_cold_start() {
+    let loaded = load_checkpoint(temp_checkpoint("never-written")).unwrap();
+    assert!(loaded.is_empty());
+}
+
+#[test]
+fn truncation_inside_fourth_field_is_rejected_not_misparsed() {
+    let path = temp_checkpoint("mid-field");
+    {
+        let mut w = CheckpointWriter::open(&path).unwrap();
+        w.record(Complex64::new(1.0, 2.0), Complex64::new(0.5, -0.5))
+            .unwrap();
+    }
+    // A crash that cuts the final record *inside* its 4th hex field leaves
+    // four whitespace-separated tokens; the short fragment "4a" must not be
+    // decoded as a (tiny, wrong) f64 for the real planned s-point.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(f, "4000000000000000 4008000000000000 3fd0000000000000 4a").unwrap();
+    }
+    let loaded = load_checkpoint(&path).unwrap();
+    assert_eq!(loaded.len(), 1, "torn mid-field record must be discarded");
+    assert_eq!(loaded.get(Complex64::new(2.0, 3.0)), None);
+
+    // After restart the same s-point is recomputed and recorded cleanly.
+    {
+        let mut w = CheckpointWriter::open(&path).unwrap();
+        w.record(Complex64::new(2.0, 3.0), Complex64::new(0.25, 0.0))
+            .unwrap();
+    }
+    let reloaded = load_checkpoint(&path).unwrap();
+    assert_eq!(reloaded.len(), 2);
+    assert_eq!(
+        reloaded.get(Complex64::new(2.0, 3.0)),
+        Some(Complex64::new(0.25, 0.0))
+    );
+    std::fs::remove_file(&path).unwrap();
+}

@@ -63,13 +63,16 @@ fn pipeline_and_sequential_solver_agree() {
     let sequential = analysis.density(InversionMethod::euler(), &ts).unwrap();
 
     let solver = PassageTimeSolver::new(smp, &[source], &targets).unwrap();
-    let pipeline = DistributedPipeline::new(
-        InversionMethod::euler(),
-        PipelineOptions::with_workers(4),
-    );
+    let pipeline =
+        DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(4));
     let distributed = pipeline
         .run(
-            |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+            |s| {
+                solver
+                    .transform_at(s)
+                    .map(|p| p.value)
+                    .map_err(|e| e.to_string())
+            },
             &ts,
         )
         .unwrap();
@@ -88,7 +91,9 @@ fn transient_matches_simulation_and_steady_state() {
 
     let analysis = TransientAnalysis::new(smp, source, &targets).unwrap();
     let ts = linspace(2.0, 80.0, 8);
-    let curve = analysis.distribution(InversionMethod::euler(), &ts).unwrap();
+    let curve = analysis
+        .distribution(InversionMethod::euler(), &ts)
+        .unwrap();
 
     let target_set = StateSet::new(smp.num_states(), &targets).unwrap();
     let mut rng = StdRng::seed_from_u64(17);

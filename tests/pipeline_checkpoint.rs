@@ -16,7 +16,10 @@ fn checkpoint_restart_recomputes_nothing_and_reproduces_results() {
     let ts = linspace(1.0, 15.0, 6);
 
     let mut checkpoint = std::env::temp_dir();
-    checkpoint.push(format!("smp-suite-integration-ckpt-{}.txt", std::process::id()));
+    checkpoint.push(format!(
+        "smp-suite-integration-ckpt-{}.txt",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&checkpoint);
 
     let options = PipelineOptions {
@@ -66,7 +69,12 @@ fn scalability_sweep_runs_the_table2_protocol() {
 
     let rows = run_scalability_sweep(
         InversionMethod::euler(),
-        |s| solver.transform_at(s).map(|p| p.value).map_err(|e| e.to_string()),
+        |s| {
+            solver
+                .transform_at(s)
+                .map(|p| p.value)
+                .map_err(|e| e.to_string())
+        },
         &ts,
         &[1, 2, 4],
         None,

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`: marker traits plus the matching derives.
+//!
+//! Nothing in the workspace serializes at runtime (the pipeline checkpoint format is
+//! hand-rolled text), so the traits carry no methods. Swapping in real serde later is
+//! a one-line change in the workspace manifest.
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

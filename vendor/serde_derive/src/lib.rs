@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde_derive`: emits empty marker-trait impls.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a forward-looking
+//! annotation on plain non-generic structs; no code path serializes at runtime. The
+//! derives therefore just implement the (method-less) marker traits from the vendored
+//! `serde` crate, keeping the source identical to what it would be against real serde.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following `struct` or `enum`, skipping attributes.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_keyword {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_keyword = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("derive input contained no struct or enum name");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
