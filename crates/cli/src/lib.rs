@@ -1,0 +1,796 @@
+//! # smp-cli
+//!
+//! The `smpq` command line tool: drive the whole analysis tool chain — DNAmaca
+//! model parsing, SM-SPN state-space generation, and the distributed batched
+//! pipeline — the way a modeller drove the paper's original tool.
+//!
+//! ```text
+//! smpq --model voting.mod --measure 'density:p2>=3' --measure 'cdf:p2>=3' \
+//!      --t-start 2 --t-stop 60 --t-count 12 --workers 8 --chunk-size 16 \
+//!      --checkpoint voting.ckpt
+//! ```
+//!
+//! (The quotes matter: an unquoted `>=` is a shell redirection.)
+//!
+//! A model comes either from a file (`--model`) or from the built-in voting
+//! system generator (`--voting CC,MM,NN` — the same extended-DNAmaca source the
+//! `dnamaca_spec` example prints).  Each repeated `--measure KIND:PLACE OP N`
+//! flag adds one measure to the batch: the predicate selects the target
+//! markings by token count, `density`/`cdf` measure the first passage from the
+//! initial marking into those targets, `transient` their time-dependent state
+//! probability.  All measures share one time grid and are solved in a single
+//! [`smp_pipeline::DistributedPipeline::run_batch`] call, so a `density` and a
+//! `cdf` over the same predicate share every transform evaluation, and a
+//! checkpoint file warms all of them across invocations.
+//!
+//! The binary in `src/main.rs` is a thin wrapper around [`parse_args`] and
+//! [`run`], which are kept in this library so the whole flow is unit-testable.
+
+use smp_core::transient::TransientSolver;
+use smp_core::PassageTimeSolver;
+use smp_laplace::InversionMethod;
+use smp_numeric::stats::linspace;
+use smp_pipeline::{BatchJob, DistributedPipeline, MeasureKind, MeasureSpec, PipelineOptions};
+use smp_smspn::{Marking, StateSpace};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Everything `smpq` needs for one invocation, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Where the model text comes from.
+    pub model: ModelSource,
+    /// The requested measures, in command-line order.
+    pub measures: Vec<MeasureRequest>,
+    /// Shared output time grid: first point.
+    pub t_start: f64,
+    /// Shared output time grid: last point.
+    pub t_stop: f64,
+    /// Shared output time grid: number of points.
+    pub t_count: usize,
+    /// Worker thread count (the paper's slave processors).
+    pub workers: usize,
+    /// Work-queue chunk size; 0 lets the pipeline choose.
+    pub chunk_size: usize,
+    /// Optional checkpoint file shared across invocations.
+    pub checkpoint: Option<PathBuf>,
+    /// Inversion method driving the `s`-point plan.
+    pub method: MethodChoice,
+    /// Print the model source instead of solving.
+    pub emit_model: bool,
+}
+
+/// Where the model specification text comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSource {
+    /// Read an extended-DNAmaca specification from a file.
+    File(PathBuf),
+    /// Generate the built-in voting model for `(voters, polling, central)`.
+    Voting(u32, u32, u32),
+}
+
+/// The inversion algorithm selected with `--method`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodChoice {
+    /// Euler inversion (default; robust to discontinuities).
+    Euler,
+    /// Laguerre inversion (smooth targets, fixed `s`-point set).
+    Laguerre,
+}
+
+impl MethodChoice {
+    fn to_method(self) -> InversionMethod {
+        match self {
+            MethodChoice::Euler => InversionMethod::euler(),
+            MethodChoice::Laguerre => InversionMethod::laguerre(),
+        }
+    }
+}
+
+/// One `--measure KIND:PLACE OP N` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureRequest {
+    /// What to compute over the target set.
+    pub kind: MeasureKind,
+    /// The target-marking predicate.
+    pub predicate: Predicate,
+}
+
+impl MeasureRequest {
+    /// The measure's display name, e.g. `density:p2>=3`.
+    pub fn name(&self) -> String {
+        format!("{}:{}", self.kind.name(), self.predicate)
+    }
+
+    /// The cache/checkpoint transform key: `density` and `cdf` over the same
+    /// predicate share the passage transform (and hence its evaluations);
+    /// `transient` uses a different transform and gets its own key.
+    ///
+    /// `model_fingerprint` (a hash of the model source, see
+    /// [`model_fingerprint`]) is baked into the key so that a `--checkpoint`
+    /// file reused with a *different* model — or the same model after an edit —
+    /// can never feed stale transform values into the analysis.
+    pub fn transform_key(&self, model_fingerprint: &str) -> String {
+        match self.kind {
+            MeasureKind::Density | MeasureKind::Cdf => {
+                format!("m{model_fingerprint}:passage:{}", self.predicate)
+            }
+            MeasureKind::Transient => {
+                format!("m{model_fingerprint}:transient:{}", self.predicate)
+            }
+        }
+    }
+}
+
+/// A 64-bit FNV-1a fingerprint of the model source text, rendered as hex.
+/// Baked into every transform key so checkpoints are model-specific.
+pub fn model_fingerprint(source: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in source.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// A token-count predicate `PLACE OP N` selecting target markings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// The place whose marking is compared.
+    pub place: String,
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// The right-hand token count.
+    pub count: u32,
+}
+
+impl Predicate {
+    /// True when `tokens` satisfies the predicate.
+    pub fn matches(&self, tokens: u32) -> bool {
+        match self.op {
+            CompareOp::Ge => tokens >= self.count,
+            CompareOp::Le => tokens <= self.count,
+            CompareOp::Gt => tokens > self.count,
+            CompareOp::Lt => tokens < self.count,
+            CompareOp::Eq => tokens == self.count,
+            CompareOp::Ne => tokens != self.count,
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}{}", self.place, self.op.symbol(), self.count)
+    }
+}
+
+/// Comparison operators accepted in a measure predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CompareOp {
+    Ge,
+    Le,
+    Gt,
+    Lt,
+    Eq,
+    Ne,
+}
+
+impl CompareOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Ge => ">=",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Lt => "<",
+            CompareOp::Eq => "==",
+            CompareOp::Ne => "!=",
+        }
+    }
+}
+
+/// An `smpq` failure: bad flags, unreadable/invalid model, or analysis error.
+#[derive(Debug)]
+pub enum CliError {
+    /// A command-line problem; print [`usage`] alongside it.
+    Usage(String),
+    /// The model could not be read, parsed or explored.
+    Model(String),
+    /// The analysis itself failed (solver or pipeline).
+    Analysis(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Model(m) => write!(f, "model error: {m}"),
+            CliError::Analysis(m) => write!(f, "analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The `--help` text.
+pub fn usage() -> &'static str {
+    "smpq — distributed passage-time and transient analysis of semi-Markov models
+
+USAGE:
+    smpq (--model FILE | --voting CC,MM,NN) --measure KIND:PRED [options]
+
+MODEL:
+    --model FILE        extended-DNAmaca model specification file
+    --voting CC,MM,NN   built-in voting model: CC voters, MM polling units,
+                        NN central voting units (the paper's case study)
+    --emit-model        print the model source and exit
+
+MEASURES (repeatable, at least one):
+    --measure KIND:PRED
+        KIND  density | cdf | transient
+        PRED  a target predicate PLACE OP N, e.g. p2>=3
+              (OP is one of >= <= > < == !=)
+        density/cdf measure the first passage from the initial marking into
+        the predicate's markings; transient their state probability at t.
+        density and cdf over the same predicate share transform evaluations.
+
+TIME GRID (shared by all measures):
+    --t-start X         first output time (default 1)
+    --t-stop X          last output time (default 10)
+    --t-count N         number of output times (default 10, minimum 2)
+
+PIPELINE:
+    --workers N         worker threads (default 4)
+    --chunk-size N      work items per dispatch chunk (default: automatic)
+    --checkpoint PATH   append computed transform values to PATH and reuse
+                        them on the next run (warm cache across invocations)
+    --method NAME       euler (default) | laguerre
+    --help              print this text"
+}
+
+fn parse_voting(value: &str) -> Result<ModelSource, CliError> {
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 3 {
+        return Err(CliError::Usage(format!(
+            "--voting expects CC,MM,NN (got '{value}')"
+        )));
+    }
+    let mut numbers = [0u32; 3];
+    for (slot, part) in numbers.iter_mut().zip(&parts) {
+        *slot = part
+            .trim()
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--voting component '{part}' is not a number")))?;
+    }
+    Ok(ModelSource::Voting(numbers[0], numbers[1], numbers[2]))
+}
+
+fn parse_predicate(text: &str) -> Result<Predicate, CliError> {
+    // Two-character operators first so `p>=3` is not read as `p > =3`.
+    const OPS: [(&str, CompareOp); 6] = [
+        (">=", CompareOp::Ge),
+        ("<=", CompareOp::Le),
+        ("==", CompareOp::Eq),
+        ("!=", CompareOp::Ne),
+        (">", CompareOp::Gt),
+        ("<", CompareOp::Lt),
+    ];
+    for (symbol, op) in OPS {
+        if let Some(pos) = text.find(symbol) {
+            let place = text[..pos].trim();
+            let count = text[pos + symbol.len()..].trim();
+            if place.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "predicate '{text}' is missing a place name"
+                )));
+            }
+            let count = count.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "predicate '{text}' needs an integer after {symbol}"
+                ))
+            })?;
+            return Ok(Predicate {
+                place: place.to_string(),
+                op,
+                count,
+            });
+        }
+    }
+    Err(CliError::Usage(format!(
+        "predicate '{text}' has no comparison operator (expected e.g. p2>=3)"
+    )))
+}
+
+fn parse_measure(value: &str) -> Result<MeasureRequest, CliError> {
+    let Some((kind_text, predicate_text)) = value.split_once(':') else {
+        return Err(CliError::Usage(format!(
+            "--measure expects KIND:PRED (got '{value}')"
+        )));
+    };
+    let kind = match kind_text {
+        "density" => MeasureKind::Density,
+        "cdf" => MeasureKind::Cdf,
+        "transient" => MeasureKind::Transient,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown measure kind '{other}' (expected density, cdf or transient)"
+            )))
+        }
+    };
+    Ok(MeasureRequest {
+        kind,
+        predicate: parse_predicate(predicate_text)?,
+    })
+}
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
+    let mut model: Option<ModelSource> = None;
+    let mut measures = Vec::new();
+    let mut t_start = 1.0;
+    let mut t_stop = 10.0;
+    let mut t_count = 10usize;
+    let mut workers = 4usize;
+    let mut chunk_size = 0usize;
+    let mut checkpoint = None;
+    let mut method = MethodChoice::Euler;
+    let mut emit_model = false;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value_of = |name: &str| -> Result<&String, CliError> {
+            iter.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--model" => model = Some(ModelSource::File(PathBuf::from(value_of("--model")?))),
+            "--voting" => model = Some(parse_voting(value_of("--voting")?)?),
+            "--measure" => measures.push(parse_measure(value_of("--measure")?)?),
+            "--t-start" => {
+                t_start = value_of("--t-start")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--t-start expects a number".into()))?
+            }
+            "--t-stop" => {
+                t_stop = value_of("--t-stop")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--t-stop expects a number".into()))?
+            }
+            "--t-count" => {
+                t_count = value_of("--t-count")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--t-count expects an integer".into()))?
+            }
+            "--workers" => {
+                workers = value_of("--workers")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--workers expects an integer".into()))?
+            }
+            "--chunk-size" => {
+                chunk_size = value_of("--chunk-size")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--chunk-size expects an integer".into()))?
+            }
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value_of("--checkpoint")?)),
+            "--method" => {
+                method = match value_of("--method")?.as_str() {
+                    "euler" => MethodChoice::Euler,
+                    "laguerre" => MethodChoice::Laguerre,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown method '{other}' (expected euler or laguerre)"
+                        )))
+                    }
+                }
+            }
+            "--emit-model" => emit_model = true,
+            "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+
+    let Some(model) = model else {
+        return Err(CliError::Usage(
+            "a model is required: --model FILE or --voting CC,MM,NN".into(),
+        ));
+    };
+    if measures.is_empty() && !emit_model {
+        return Err(CliError::Usage(
+            "at least one --measure KIND:PRED is required".into(),
+        ));
+    }
+    if !(t_start > 0.0 && t_stop >= t_start) || t_count < 2 {
+        return Err(CliError::Usage(
+            "the time grid needs 0 < --t-start <= --t-stop and --t-count >= 2".into(),
+        ));
+    }
+    Ok(CliOptions {
+        model,
+        measures,
+        t_start,
+        t_stop,
+        t_count,
+        workers,
+        chunk_size,
+        checkpoint,
+        method,
+        emit_model,
+    })
+}
+
+fn model_source_text(model: &ModelSource) -> Result<String, CliError> {
+    match model {
+        ModelSource::File(path) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::Model(format!("cannot read {}: {e}", path.display()))),
+        ModelSource::Voting(cc, mm, nn) => Ok(smp_voting::spec::dnamaca_source(
+            smp_voting::VotingConfig::new(*cc, *mm, *nn),
+        )),
+    }
+}
+
+enum MeasureSolver<'a> {
+    Passage(PassageTimeSolver<'a>),
+    Transient(TransientSolver<'a>),
+}
+
+/// Runs one `smpq` invocation, writing the report to `out`.  Returns the
+/// rendered report too (the binary prints it; tests inspect it).
+pub fn run(options: &CliOptions) -> Result<String, CliError> {
+    let mut out = String::new();
+    let source = model_source_text(&options.model)?;
+    if options.emit_model {
+        out.push_str(&source);
+        return Ok(out);
+    }
+
+    let net = smp_dnamaca::parse_model(&source).map_err(|e| CliError::Model(e.to_string()))?;
+    let space = StateSpace::explore(&net).map_err(|e| CliError::Model(e.to_string()))?;
+    let smp = space.smp();
+    let initial = space.initial_state();
+    let _ = writeln!(
+        out,
+        "model: {} places, {} transitions, {} reachable markings",
+        net.num_places(),
+        net.num_transitions(),
+        space.num_states()
+    );
+
+    // Resolve each measure's target set and build its solver.  Measures that
+    // share a solver class and predicate (the advertised density+cdf pairing)
+    // also share one solver: building a second identical solver would allocate
+    // state-space-sized matrices that union planning never evaluates.
+    let mut solvers: Vec<MeasureSolver<'_>> = Vec::new();
+    let mut solver_index: Vec<usize> = Vec::with_capacity(options.measures.len());
+    let mut solver_keys: Vec<(bool, String)> = Vec::new();
+    for request in &options.measures {
+        let is_transient = request.kind == MeasureKind::Transient;
+        let key = (is_transient, request.predicate.to_string());
+        if let Some(found) = solver_keys.iter().position(|k| *k == key) {
+            let _ = writeln!(out, "measure {}: shares targets above", request.name());
+            solver_index.push(found);
+            continue;
+        }
+        let place = net.place_index(&request.predicate.place).ok_or_else(|| {
+            CliError::Model(format!(
+                "place '{}' does not exist in the model",
+                request.predicate.place
+            ))
+        })?;
+        let predicate = &request.predicate;
+        let targets = space.states_where(|m: &Marking| predicate.matches(m.get(place)));
+        if targets.is_empty() {
+            return Err(CliError::Analysis(format!(
+                "predicate {predicate} matches no reachable marking"
+            )));
+        }
+        let _ = writeln!(
+            out,
+            "measure {}: {} target markings",
+            request.name(),
+            targets.len()
+        );
+        let solver = if is_transient {
+            MeasureSolver::Transient(
+                TransientSolver::new(smp, initial, &targets)
+                    .map_err(|e| CliError::Analysis(e.to_string()))?,
+            )
+        } else {
+            MeasureSolver::Passage(
+                PassageTimeSolver::new(smp, &[initial], &targets)
+                    .map_err(|e| CliError::Analysis(e.to_string()))?,
+            )
+        };
+        solver_index.push(solvers.len());
+        solver_keys.push(key);
+        solvers.push(solver);
+    }
+
+    // Assemble the batch: every measure shares the CLI's time grid.  Keys are
+    // model-fingerprinted so a reused checkpoint file never leaks values
+    // computed for a different (or since-edited) model.
+    let fingerprint = model_fingerprint(&source);
+    let ts = linspace(options.t_start, options.t_stop, options.t_count);
+    let mut job = BatchJob::new();
+    for (request, &si) in options.measures.iter().zip(&solver_index) {
+        let solver = &solvers[si];
+        let spec = match solver {
+            MeasureSolver::Passage(solver) => {
+                MeasureSpec::new(request.name(), request.kind, &ts, move |s| {
+                    solver
+                        .transform_at(s)
+                        .map(|p| p.value)
+                        .map_err(|e| e.to_string())
+                })
+            }
+            MeasureSolver::Transient(solver) => {
+                MeasureSpec::transient(request.name(), &ts, move |s| {
+                    solver.transform_at(s).map_err(|e| e.to_string())
+                })
+            }
+        };
+        job.push(spec.with_transform_key(request.transform_key(&fingerprint)));
+    }
+
+    let pipeline = DistributedPipeline::new(
+        options.method.to_method(),
+        PipelineOptions {
+            workers: options.workers,
+            checkpoint_path: options.checkpoint.clone(),
+            chunk_size: options.chunk_size,
+            ..Default::default()
+        },
+    );
+    let result = pipeline
+        .run_batch(job)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+
+    // One combined table: a column per measure over the shared grid.
+    let _ = writeln!(out);
+    let mut header = format!("{:>10}", "t");
+    for measure in &result.measures {
+        let _ = write!(header, "  {:>18}", measure.name);
+    }
+    let _ = writeln!(out, "{header}");
+    for (row, &t) in ts.iter().enumerate() {
+        let mut line = format!("{t:>10.3}");
+        for measure in &result.measures {
+            let _ = write!(line, "  {:>18.6}", measure.values[row]);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "pipeline: {} worker(s), chunk size {}, {} chunk message(s), {:.3}s elapsed",
+        result.worker_stats.len(),
+        result.chunk_size,
+        result.chunks_dispatched,
+        result.elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "evaluations: {} new, {} from checkpoint/cache, {} shared between measures",
+        result.evaluations, result.cache_hits, result.shared_hits
+    );
+    for measure in &result.measures {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>6} evaluated  {:>6} cached  {:>6} shared",
+            measure.name, measure.evaluations, measure.cache_hits, measure.shared_hits
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_full_flag_set() {
+        let options = parse_args(&args(&[
+            "--voting",
+            "5,2,2",
+            "--measure",
+            "density:p2>=3",
+            "--measure",
+            "cdf:p2>=3",
+            "--measure",
+            "transient:p6==0",
+            "--t-start",
+            "2",
+            "--t-stop",
+            "60",
+            "--t-count",
+            "12",
+            "--workers",
+            "8",
+            "--chunk-size",
+            "16",
+            "--checkpoint",
+            "/tmp/x.ckpt",
+            "--method",
+            "laguerre",
+        ]))
+        .unwrap();
+        assert_eq!(options.model, ModelSource::Voting(5, 2, 2));
+        assert_eq!(options.measures.len(), 3);
+        assert_eq!(options.measures[0].kind, MeasureKind::Density);
+        assert_eq!(options.measures[0].name(), "density:p2>=3");
+        assert_eq!(options.measures[2].predicate.op, CompareOp::Eq);
+        assert_eq!(options.t_count, 12);
+        assert_eq!(options.workers, 8);
+        assert_eq!(options.chunk_size, 16);
+        assert_eq!(options.method, MethodChoice::Laguerre);
+        assert_eq!(options.checkpoint, Some(PathBuf::from("/tmp/x.ckpt")));
+        // density and cdf over one predicate share a transform key…
+        assert_eq!(
+            options.measures[0].transform_key("fp"),
+            options.measures[1].transform_key("fp")
+        );
+        // …but the transient lives under its own…
+        assert_ne!(
+            options.measures[0].transform_key("fp"),
+            options.measures[2].transform_key("fp")
+        );
+        // …and the model fingerprint separates checkpoints between models.
+        assert_ne!(
+            options.measures[0].transform_key("fp"),
+            options.measures[0].transform_key("other-model")
+        );
+    }
+
+    #[test]
+    fn model_fingerprint_distinguishes_models() {
+        let a = model_fingerprint("\\place{p}{1}");
+        let b = model_fingerprint("\\place{p}{2}");
+        assert_ne!(a, b);
+        assert_eq!(a, model_fingerprint("\\place{p}{1}"), "deterministic");
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn checkpoint_is_not_shared_across_different_models() {
+        // Same measure and grid, two different voting configurations, one
+        // checkpoint file: the second run must not reuse the first model's
+        // transform values.
+        let mut checkpoint = std::env::temp_dir();
+        checkpoint.push(format!("smpq-model-key-test-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&checkpoint);
+        let run_with = |voting: &str| {
+            let mut options = parse_args(&args(&[
+                "--voting",
+                voting,
+                "--measure",
+                "transient:p2>=2",
+                "--t-count",
+                "2",
+                "--t-stop",
+                "4",
+            ]))
+            .unwrap();
+            options.checkpoint = Some(checkpoint.clone());
+            run(&options).unwrap()
+        };
+        let first = run_with("3,1,1");
+        assert!(first.contains(" 0 from checkpoint/cache"), "{first}");
+        let second = run_with("4,1,1");
+        // A different model: everything is evaluated fresh, nothing restored.
+        assert!(second.contains(" 0 from checkpoint/cache"), "{second}");
+        // The same model again: fully warm.
+        let third = run_with("4,1,1");
+        assert!(third.contains("evaluations: 0 new"), "{third}");
+        std::fs::remove_file(&checkpoint).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for bad in [
+            vec!["--measure", "density:p2>=3"],                    // no model
+            vec!["--voting", "5,2"],                               // malformed triple
+            vec!["--voting", "5,2,2"],                             // no measure
+            vec!["--voting", "5,2,2", "--measure", "p2>=3"],       // missing kind
+            vec!["--voting", "5,2,2", "--measure", "mean:p2>=3"],  // unknown kind
+            vec!["--voting", "5,2,2", "--measure", "density:p2"],  // no operator
+            vec!["--voting", "5,2,2", "--measure", "density:>=3"], // no place
+            vec!["--voting", "5,2,2", "--measure", "density:p2>=x"], // bad count
+            vec!["--voting", "5,2,2", "--method", "talbot"],       // unknown method
+            // a 1-point grid would panic linspace; rejected up front
+            vec![
+                "--voting",
+                "5,2,2",
+                "--measure",
+                "cdf:p2>=1",
+                "--t-count",
+                "1",
+            ],
+            vec!["--frobnicate"], // unknown flag
+        ] {
+            assert!(
+                matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))),
+                "expected a usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn predicates_evaluate_correctly() {
+        let cases = [
+            ("p>=3", 3, true),
+            ("p>=3", 2, false),
+            ("p<=1", 1, true),
+            ("p>0", 0, false),
+            ("p<5", 4, true),
+            ("p==2", 2, true),
+            ("p!=2", 2, false),
+        ];
+        for (text, tokens, expect) in cases {
+            let predicate = parse_predicate(text).unwrap();
+            assert_eq!(predicate.matches(tokens), expect, "{text} with {tokens}");
+        }
+    }
+
+    #[test]
+    fn emit_model_prints_the_dnamaca_source() {
+        let options = parse_args(&args(&["--voting", "3,1,1", "--emit-model"])).unwrap();
+        let report = run(&options).unwrap();
+        assert!(report.contains("\\place"), "expected model text: {report}");
+        assert!(report.contains("\\transition"));
+    }
+
+    #[test]
+    fn unknown_place_is_a_model_error() {
+        let options = parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "transient:nosuch>=1",
+            "--t-count",
+            "2",
+        ]))
+        .unwrap();
+        match run(&options) {
+            Err(CliError::Model(message)) => assert!(message.contains("nosuch")),
+            other => panic!("expected a model error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_voting_model_via_run() {
+        // The same model as examples/dnamaca_spec.rs: voting system (5, 2, 2),
+        // transient probability that at least 3 voters have voted.
+        let options = parse_args(&args(&[
+            "--voting",
+            "5,2,2",
+            "--measure",
+            "transient:p2>=3",
+            "--t-start",
+            "2",
+            "--t-stop",
+            "20",
+            "--t-count",
+            "4",
+            "--workers",
+            "4",
+            "--chunk-size",
+            "8",
+        ]))
+        .unwrap();
+        let report = run(&options).unwrap();
+        assert!(report.contains("reachable markings"), "{report}");
+        assert!(report.contains("transient:p2>=3"), "{report}");
+        assert!(report.contains("evaluations:"), "{report}");
+        // The probability column is populated with values in [0, 1].
+        let last_row = report
+            .lines()
+            .find(|line| line.trim_start().starts_with("20.000"))
+            .expect("a t = 20 row");
+        let p: f64 = last_row.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((0.0..=1.0).contains(&p), "P = {p}");
+    }
+}

@@ -1,0 +1,26 @@
+//! The `smpq` binary: parse flags, run the analysis, print the report.
+//!
+//! All the logic lives in the `smp_cli` library so it can be unit-tested; this
+//! file only handles process concerns (argv, exit codes, stderr).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match smp_cli::parse_args(&args) {
+        Ok(options) => options,
+        Err(error) => {
+            if matches!(&error, smp_cli::CliError::Usage(m) if m == "help requested") {
+                println!("{}", smp_cli::usage());
+                return;
+            }
+            eprintln!("{error}\n\n{}", smp_cli::usage());
+            std::process::exit(2);
+        }
+    };
+    match smp_cli::run(&options) {
+        Ok(report) => print!("{report}"),
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(1);
+        }
+    }
+}

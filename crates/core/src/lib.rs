@@ -49,6 +49,8 @@
 //! assert!((total - 0.95).abs() < 0.1); // most of the probability mass is covered
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod embedded;
 pub mod error;
 pub mod passage;

@@ -26,6 +26,8 @@
 //! distribution curves, reliability quantiles and percentile look-ups (Fig. 5 of the
 //! paper).
 
+#![warn(missing_docs)]
+
 pub mod cdf;
 pub mod euler;
 pub mod laguerre;
@@ -36,4 +38,4 @@ pub use cdf::CdfCurve;
 pub use euler::{Euler, EulerParams};
 pub use laguerre::{Laguerre, LaguerreParams};
 pub use quantile::{probability_of_completion_by, quantile};
-pub use splan::{InversionMethod, SPointPlan, TransformValues};
+pub use splan::{union_s_points, InversionMethod, SPointPlan, TransformValues};

@@ -16,6 +16,26 @@ use smp_distributions::LaplaceTransform;
 use smp_numeric::stats::linspace;
 
 /// Probability that the passage completes by time `deadline`, i.e. `F(deadline)`.
+///
+/// # Example
+///
+/// The paper's style of reliability query — the probability that an
+/// Erlang(2, 4) passage completes within 3 time units — and the matching
+/// quantile look-up that inverts it:
+///
+/// ```
+/// use smp_laplace::{probability_of_completion_by, quantile, InversionMethod};
+/// use smp_distributions::Dist;
+///
+/// let d = Dist::erlang(2.0, 4);
+/// let p = probability_of_completion_by(InversionMethod::euler(), &d, 3.0);
+/// assert!((0.0..=1.0).contains(&p));
+///
+/// // The p-quantile asks the inverse question — by which time does the
+/// // completion probability reach p? — so it recovers the deadline.
+/// let t = quantile(InversionMethod::euler(), &d, p, 1.0, 64.0).unwrap();
+/// assert!((t - 3.0).abs() < 0.05, "q({p}) = {t}");
+/// ```
 pub fn probability_of_completion_by<L: LaplaceTransform + ?Sized>(
     method: InversionMethod,
     density_transform: &L,

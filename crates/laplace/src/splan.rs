@@ -11,7 +11,7 @@
 use crate::euler::Euler;
 use crate::laguerre::Laguerre;
 use smp_numeric::Complex64;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Which numerical inversion algorithm drives the plan.
 #[derive(Debug, Clone)]
@@ -143,6 +143,28 @@ impl SPointPlan {
     pub fn is_satisfied_by(&self, values: &TransformValues) -> bool {
         self.s_points.iter().all(|&s| values.get(s).is_some())
     }
+}
+
+/// Computes the de-duplicated union of the `s`-points of several plans, in
+/// first-seen order.
+///
+/// This is the batch-job generalisation of the paper's up-front planning: when a
+/// master solves *several* measures whose transforms coincide (for example the
+/// density and the CDF of the same passage, or transient measures sharing a time
+/// grid), the work queue should contain each required `s`-point **once**, not
+/// once per measure.  The batched pipeline groups its measures by transform and
+/// evaluates exactly this union per group.
+pub fn union_s_points<'a>(plans: impl IntoIterator<Item = &'a SPointPlan>) -> Vec<Complex64> {
+    let mut seen = HashSet::new();
+    let mut union = Vec::new();
+    for plan in plans {
+        for &s in plan.s_points() {
+            if seen.insert(PointKey::of(s)) {
+                union.push(s);
+            }
+        }
+    }
+    union
 }
 
 /// A cache of computed transform values keyed by their (bit-exact) `s`-point.
@@ -298,6 +320,25 @@ mod tests {
     #[should_panic(expected = "at least one t-point")]
     fn rejects_empty_t() {
         SPointPlan::new(InversionMethod::euler(), &[]);
+    }
+
+    #[test]
+    fn union_of_plans_dedups_across_overlapping_grids() {
+        let shared = SPointPlan::new(InversionMethod::euler(), &[1.0, 2.0]);
+        let overlap = SPointPlan::new(InversionMethod::euler(), &[2.0, 3.0]);
+        // Identical grids union to a single grid's points...
+        let same = union_s_points([&shared, &shared]);
+        assert_eq!(same.len(), shared.len());
+        assert_eq!(same, shared.s_points());
+        // ...overlapping grids only pay for the new t-point's contour...
+        let merged = union_s_points([&shared, &overlap]);
+        assert_eq!(merged.len(), 3 * 46);
+        // ...and first-seen order preserves the first plan's prefix.
+        assert_eq!(&merged[..shared.len()], shared.s_points());
+        // A Laguerre plan contributes its fixed point set exactly once.
+        let lag = SPointPlan::new(InversionMethod::laguerre(), &[1.0]);
+        let lag_twice = union_s_points([&lag, &lag]);
+        assert_eq!(lag_twice.len(), 400);
     }
 
     #[test]

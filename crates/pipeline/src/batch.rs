@@ -1,0 +1,252 @@
+//! Batch jobs: families of measures solved in one pipeline run.
+//!
+//! Realistic studies rarely ask for a single curve — they ask for *families* of
+//! quantities: passage-time densities and CDFs for several source/target pairs,
+//! transient probabilities for several state sets, all over shared (or
+//! overlapping) time grids.  A [`BatchJob`] is that workload: an ordered list of
+//! [`MeasureSpec`]s, each pairing a Laplace-domain transform with a time grid
+//! and a post-processing kind.  `DistributedPipeline::run_batch` plans the
+//! union of required `s`-points per transform, dedupes against the
+//! measure-keyed cache and checkpoint, and solves everything through one shared
+//! work queue — the paper's "cache results both within and across successive
+//! queries" realised as an API.
+
+use crate::worker::{TransformFn, WorkerStats};
+use smp_numeric::Complex64;
+use std::time::Duration;
+
+/// How a measure's inverted values are derived from its transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// Invert the transform directly — a passage-time *density* `f(t)`.
+    Density,
+    /// Invert `L(s)/s` (the "/s trick"), then clamp into `[0, 1]` and make
+    /// monotone — a passage-time *CDF* `F(t)`.  The cached values are the raw
+    /// density transform, so a CDF measure can share evaluations with a density
+    /// measure over the same transform key.
+    Cdf,
+    /// Invert directly, then clamp into `[0, 1]` — a transient state
+    /// probability `P(Z(t) ∈ targets)`.
+    Transient,
+}
+
+impl MeasureKind {
+    /// Short lower-case name (used in reports and by the `smpq` CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MeasureKind::Density => "density",
+            MeasureKind::Cdf => "cdf",
+            MeasureKind::Transient => "transient",
+        }
+    }
+}
+
+/// One measure of a batch job: a named transform, the time grid to invert it
+/// on, and the post-processing kind.
+pub struct MeasureSpec<'a> {
+    name: String,
+    kind: MeasureKind,
+    t_points: Vec<f64>,
+    transform_key: String,
+    transform: Box<TransformFn<'a>>,
+}
+
+impl std::fmt::Debug for MeasureSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeasureSpec")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("t_points", &self.t_points.len())
+            .field("transform_key", &self.transform_key)
+            .finish()
+    }
+}
+
+impl<'a> MeasureSpec<'a> {
+    /// Creates a measure.  `transform` is the Laplace-domain evaluator — for
+    /// [`MeasureKind::Density`] and [`MeasureKind::Cdf`] the *density*
+    /// transform `L(s)` (the `/s` division happens at inversion time), for
+    /// [`MeasureKind::Transient`] the transient transform.
+    ///
+    /// The measure's cache/checkpoint *transform key* defaults to its name;
+    /// measures that evaluate the same transform should share a key via
+    /// [`MeasureSpec::with_transform_key`] so their evaluations are shared too.
+    pub fn new<F>(
+        name: impl Into<String>,
+        kind: MeasureKind,
+        t_points: &[f64],
+        transform: F,
+    ) -> Self
+    where
+        F: Fn(Complex64) -> Result<Complex64, String> + Sync + 'a,
+    {
+        let name = name.into();
+        MeasureSpec {
+            transform_key: name.clone(),
+            name,
+            kind,
+            t_points: t_points.to_vec(),
+            transform: Box::new(transform),
+        }
+    }
+
+    /// A [`MeasureKind::Density`] measure.
+    pub fn density<F>(name: impl Into<String>, t_points: &[f64], transform: F) -> Self
+    where
+        F: Fn(Complex64) -> Result<Complex64, String> + Sync + 'a,
+    {
+        MeasureSpec::new(name, MeasureKind::Density, t_points, transform)
+    }
+
+    /// A [`MeasureKind::Cdf`] measure over a *density* transform.
+    pub fn cdf<F>(name: impl Into<String>, t_points: &[f64], transform: F) -> Self
+    where
+        F: Fn(Complex64) -> Result<Complex64, String> + Sync + 'a,
+    {
+        MeasureSpec::new(name, MeasureKind::Cdf, t_points, transform)
+    }
+
+    /// A [`MeasureKind::Transient`] measure over a transient transform.
+    pub fn transient<F>(name: impl Into<String>, t_points: &[f64], transform: F) -> Self
+    where
+        F: Fn(Complex64) -> Result<Complex64, String> + Sync + 'a,
+    {
+        MeasureSpec::new(name, MeasureKind::Transient, t_points, transform)
+    }
+
+    /// Overrides the transform key.  Measures with equal keys are assumed to
+    /// evaluate the *same* transform and will share cache entries, checkpoint
+    /// records and work-queue evaluations.
+    pub fn with_transform_key(mut self, key: impl Into<String>) -> Self {
+        self.transform_key = key.into();
+        self
+    }
+
+    /// The measure's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The measure's post-processing kind.
+    pub fn kind(&self) -> MeasureKind {
+        self.kind
+    }
+
+    /// The measure's output time grid.
+    pub fn t_points(&self) -> &[f64] {
+        &self.t_points
+    }
+
+    /// The cache/checkpoint key this measure's transform values live under.
+    pub fn transform_key(&self) -> &str {
+        &self.transform_key
+    }
+
+    pub(crate) fn transform(&self) -> &TransformFn<'a> {
+        self.transform.as_ref()
+    }
+}
+
+/// An ordered collection of measures solved together in one pipeline run.
+#[derive(Debug, Default)]
+pub struct BatchJob<'a> {
+    measures: Vec<MeasureSpec<'a>>,
+}
+
+impl<'a> BatchJob<'a> {
+    /// Creates an empty job.
+    pub fn new() -> Self {
+        BatchJob::default()
+    }
+
+    /// Adds a measure (builder style).
+    pub fn add(mut self, measure: MeasureSpec<'a>) -> Self {
+        self.measures.push(measure);
+        self
+    }
+
+    /// Adds a measure in place.
+    pub fn push(&mut self, measure: MeasureSpec<'a>) {
+        self.measures.push(measure);
+    }
+
+    /// The measures in submission order.
+    pub fn measures(&self) -> &[MeasureSpec<'a>] {
+        &self.measures
+    }
+
+    /// Number of measures in the job.
+    pub fn len(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// True when the job has no measures.
+    pub fn is_empty(&self) -> bool {
+        self.measures.is_empty()
+    }
+
+    pub(crate) fn into_measures(self) -> Vec<MeasureSpec<'a>> {
+        self.measures
+    }
+}
+
+/// The outcome of one measure of a batch run.
+#[derive(Debug, Clone)]
+pub struct MeasureResult {
+    /// The measure's name, copied from its [`MeasureSpec`].
+    pub name: String,
+    /// The measure's post-processing kind.
+    pub kind: MeasureKind,
+    /// The measure's output time grid.
+    pub t_points: Vec<f64>,
+    /// The inverted (and kind-specific post-processed) values on that grid.
+    pub values: Vec<f64>,
+    /// Number of `s`-points this measure caused to be evaluated in this run.
+    pub evaluations: usize,
+    /// Number of this measure's planned `s`-points satisfied from the restored
+    /// cache/checkpoint without any new evaluation.
+    pub cache_hits: usize,
+    /// Number of planned `s`-points satisfied by another measure of the *same
+    /// batch* that shares this measure's transform key (union planning).
+    pub shared_hits: usize,
+}
+
+impl MeasureResult {
+    /// Iterates over `(t, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.t_points
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+}
+
+/// The outcome of a whole batch run.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-measure results, in the job's submission order.
+    pub measures: Vec<MeasureResult>,
+    /// Wall-clock duration of the whole run (planning to inversion).
+    pub elapsed: Duration,
+    /// Total number of `s`-points evaluated in this run.
+    pub evaluations: usize,
+    /// Total number of planned `s`-points satisfied from the restored
+    /// cache/checkpoint (sum of the per-measure `cache_hits`).
+    pub cache_hits: usize,
+    /// Total number of planned `s`-points shared between measures of this
+    /// batch (sum of the per-measure `shared_hits`).
+    pub shared_hits: usize,
+    /// The chunk size the work queue dispensed items with.
+    pub chunk_size: usize,
+    /// Number of chunks dispatched (equals the number of worker messages).
+    pub chunks_dispatched: usize,
+    /// Per-worker accounting.
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+impl BatchResult {
+    /// Looks a measure's result up by name.
+    pub fn measure(&self, name: &str) -> Option<&MeasureResult> {
+        self.measures.iter().find(|m| m.name == name)
+    }
+}

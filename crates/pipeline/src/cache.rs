@@ -1,19 +1,35 @@
-//! The shared in-memory result cache.
+//! The shared in-memory result cache, keyed by measure.
 //!
-//! Workers deposit `(s, L(s))` pairs as they finish; the master reads the complete
-//! cache to perform the final inversion.  The cache also answers "has this point
-//! already been computed?" so that a checkpoint restore (or overlapping time grids
-//! across successive queries) skips redundant work — the paper caches results "both
-//! in memory and on disk so that all computation is checkpointed".
+//! Workers deposit `(s, L(s))` pairs as they finish; the master reads the
+//! complete cache to perform the final inversions.  The cache also answers "has
+//! this point already been computed *for this measure*?" so that a checkpoint
+//! restore (or overlapping time grids across successive queries) skips
+//! redundant work — the paper caches results "both in memory and on disk so
+//! that all computation is checkpointed", and caches them "both within and
+//! across successive queries".
+//!
+//! Values are organised in *shards*: one [`TransformValues`] per **transform
+//! key**.  Measures that evaluate the same underlying transform (say, the
+//! density and the CDF of the same passage) can share a key and therefore share
+//! evaluations; unrelated measures get distinct keys so their values never
+//! collide even when their `s`-points coincide.  The key
+//! [`LEGACY_MEASURE_KEY`] (the empty string) is the shard used by
+//! single-measure runs and by checkpoint records written before measures
+//! existed.
 
 use parking_lot::RwLock;
 use smp_laplace::TransformValues;
 use smp_numeric::Complex64;
+use std::collections::HashMap;
 
-/// A thread-safe wrapper around [`TransformValues`].
+/// The transform key under which untagged (pre-measure) checkpoint records and
+/// single-measure pipeline runs store their values.
+pub const LEGACY_MEASURE_KEY: &str = "";
+
+/// A thread-safe, measure-keyed collection of [`TransformValues`] shards.
 #[derive(Debug, Default)]
 pub struct ResultCache {
-    values: RwLock<TransformValues>,
+    shards: RwLock<HashMap<String, TransformValues>>,
 }
 
 impl ResultCache {
@@ -22,41 +38,77 @@ impl ResultCache {
         ResultCache::default()
     }
 
-    /// Creates a cache seeded from previously computed values (checkpoint restore).
+    /// Creates a cache whose [`LEGACY_MEASURE_KEY`] shard is seeded from
+    /// previously computed values (untagged checkpoint restore).
     pub fn from_values(values: TransformValues) -> Self {
+        let mut shards = HashMap::new();
+        shards.insert(LEGACY_MEASURE_KEY.to_string(), values);
         ResultCache {
-            values: RwLock::new(values),
+            shards: RwLock::new(shards),
         }
     }
 
-    /// Stores a computed value.
-    pub fn insert(&self, s: Complex64, value: Complex64) {
-        self.values.write().insert(s, value);
+    /// Creates a cache from a full measure-keyed restore
+    /// (see `checkpoint::load_checkpoint_by_measure`).
+    pub fn from_shards(shards: HashMap<String, TransformValues>) -> Self {
+        ResultCache {
+            shards: RwLock::new(shards),
+        }
     }
 
-    /// Looks up a previously computed value.
-    pub fn get(&self, s: Complex64) -> Option<Complex64> {
-        self.values.read().get(s)
+    /// Stores a computed value under a transform key.
+    pub fn insert(&self, key: &str, s: Complex64, value: Complex64) {
+        let mut shards = self.shards.write();
+        match shards.get_mut(key) {
+            Some(shard) => shard.insert(s, value),
+            None => {
+                let mut shard = TransformValues::new();
+                shard.insert(s, value);
+                shards.insert(key.to_string(), shard);
+            }
+        }
     }
 
-    /// True when the point has already been computed.
-    pub fn contains(&self, s: Complex64) -> bool {
-        self.values.read().contains(s)
+    /// Looks up a previously computed value for a transform key.
+    pub fn get(&self, key: &str, s: Complex64) -> Option<Complex64> {
+        self.shards.read().get(key).and_then(|shard| shard.get(s))
     }
 
-    /// Number of stored values.
+    /// True when the point has already been computed for the transform key.
+    pub fn contains(&self, key: &str, s: Complex64) -> bool {
+        self.shards
+            .read()
+            .get(key)
+            .is_some_and(|shard| shard.contains(s))
+    }
+
+    /// Total number of stored values across all shards.
     pub fn len(&self) -> usize {
-        self.values.read().len()
+        self.shards.read().values().map(TransformValues::len).sum()
     }
 
-    /// True when the cache is empty.
+    /// Number of values stored for one transform key.
+    pub fn shard_len(&self, key: &str) -> usize {
+        self.shards.read().get(key).map_or(0, TransformValues::len)
+    }
+
+    /// True when no values are stored at all.
     pub fn is_empty(&self) -> bool {
-        self.values.read().is_empty()
+        self.len() == 0
     }
 
-    /// Takes a consistent snapshot of the stored values.
-    pub fn snapshot(&self) -> TransformValues {
-        self.values.read().clone()
+    /// The transform keys that currently have a shard (sorted, for
+    /// deterministic reporting).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.shards.read().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Takes a consistent snapshot of one transform key's values (empty when
+    /// the key has no shard).
+    pub fn snapshot(&self, key: &str) -> TransformValues {
+        self.shards.read().get(key).cloned().unwrap_or_default()
     }
 }
 
@@ -70,30 +122,65 @@ mod tests {
         let cache = ResultCache::new();
         let s = Complex64::new(1.5, -2.0);
         assert!(cache.is_empty());
-        assert!(!cache.contains(s));
-        cache.insert(s, Complex64::I);
-        assert_eq!(cache.get(s), Some(Complex64::I));
-        assert!(cache.contains(s));
+        assert!(!cache.contains("m", s));
+        cache.insert("m", s, Complex64::I);
+        assert_eq!(cache.get("m", s), Some(Complex64::I));
+        assert!(cache.contains("m", s));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shards_are_isolated_by_key() {
+        let cache = ResultCache::new();
+        let s = Complex64::new(0.5, 3.0);
+        cache.insert("density", s, Complex64::ONE);
+        // The same s-point under another key is a distinct entry.
+        assert!(!cache.contains("transient", s));
+        cache.insert("transient", s, Complex64::I);
+        assert_eq!(cache.get("density", s), Some(Complex64::ONE));
+        assert_eq!(cache.get("transient", s), Some(Complex64::I));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.shard_len("density"), 1);
+        assert_eq!(cache.shard_len("never-used"), 0);
+        assert_eq!(
+            cache.keys(),
+            vec!["density".to_string(), "transient".to_string()]
+        );
     }
 
     #[test]
     fn snapshot_is_independent() {
         let cache = ResultCache::new();
-        cache.insert(Complex64::ONE, Complex64::ONE);
-        let snap = cache.snapshot();
-        cache.insert(Complex64::I, Complex64::I);
+        cache.insert("m", Complex64::ONE, Complex64::ONE);
+        let snap = cache.snapshot("m");
+        cache.insert("m", Complex64::I, Complex64::I);
         assert_eq!(snap.len(), 1);
-        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.shard_len("m"), 2);
+        assert!(cache.snapshot("missing").is_empty());
     }
 
     #[test]
-    fn seeded_from_checkpoint_values() {
+    fn seeded_from_legacy_checkpoint_values() {
         let mut values = TransformValues::new();
         values.insert(Complex64::new(2.0, 3.0), Complex64::new(0.5, 0.5));
         let cache = ResultCache::from_values(values);
         assert_eq!(cache.len(), 1);
-        assert!(cache.contains(Complex64::new(2.0, 3.0)));
+        assert!(cache.contains(LEGACY_MEASURE_KEY, Complex64::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn seeded_from_measure_keyed_shards() {
+        let mut shards = HashMap::new();
+        let mut a = TransformValues::new();
+        a.insert(Complex64::ONE, Complex64::I);
+        shards.insert("a".to_string(), a);
+        let mut legacy = TransformValues::new();
+        legacy.insert(Complex64::I, Complex64::ONE);
+        shards.insert(LEGACY_MEASURE_KEY.to_string(), legacy);
+        let cache = ResultCache::from_shards(shards);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains("a", Complex64::ONE));
+        assert!(cache.contains(LEGACY_MEASURE_KEY, Complex64::I));
     }
 
     #[test]
@@ -103,9 +190,10 @@ mod tests {
             for worker in 0..8 {
                 let cache = Arc::clone(&cache);
                 scope.spawn(move |_| {
+                    let key = format!("measure-{}", worker % 2);
                     for k in 0..100 {
                         let s = Complex64::new(worker as f64, k as f64);
-                        cache.insert(s, Complex64::real(k as f64));
+                        cache.insert(&key, s, Complex64::real(k as f64));
                     }
                 });
             }
@@ -113,7 +201,7 @@ mod tests {
         .unwrap();
         assert_eq!(cache.len(), 800);
         assert_eq!(
-            cache.get(Complex64::new(3.0, 42.0)),
+            cache.get("measure-1", Complex64::new(3.0, 42.0)),
             Some(Complex64::real(42.0))
         );
     }

@@ -5,21 +5,69 @@
 //! points already done — the paper stores results "both in memory and on disk so
 //! that all computation is checkpointed".
 //!
-//! The format is a plain text file, one record per line:
+//! The format is a plain text file, one record per line.  A *legacy* record
+//! (everything the tool wrote before batch jobs existed) has four fields:
 //!
 //! ```text
 //! <s.re bits hex> <s.im bits hex> <value.re bits hex> <value.im bits hex>
 //! ```
 //!
-//! Bit-exact hexadecimal encoding of the `f64`s guarantees that a reloaded point
-//! matches its planned `s`-point exactly (the cache is keyed by bit pattern).
-//! Malformed trailing lines (e.g. from a crash mid-write) are ignored on load.
+//! A *measure-tagged* record prefixes those four fields with the percent-encoded
+//! transform key of the measure that produced the value:
+//!
+//! ```text
+//! k=<transform key> <s.re bits hex> <s.im bits hex> <value.re bits hex> <value.im bits hex>
+//! ```
+//!
+//! Both kinds may coexist in one file: legacy records load into the
+//! [`crate::cache::LEGACY_MEASURE_KEY`] shard, tagged records into their own
+//! measure's shard, so checkpoints written by older versions keep working next
+//! to new ones.  Bit-exact hexadecimal encoding of the `f64`s guarantees that a
+//! reloaded point matches its planned `s`-point exactly (the cache is keyed by
+//! bit pattern).  Malformed trailing lines (e.g. from a crash mid-write) are
+//! ignored on load.
 
+use crate::cache::LEGACY_MEASURE_KEY;
 use smp_laplace::TransformValues;
 use smp_numeric::Complex64;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+/// Percent-encodes a transform key so it fits in one whitespace-delimited
+/// checkpoint field (alphanumerics and `-_.:+/` pass through unchanged).
+fn encode_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for byte in key.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b':' | b'+' | b'/' => {
+                out.push(byte as char)
+            }
+            _ => out.push_str(&format!("%{byte:02x}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_key`].  Returns `None` for malformed escapes.
+fn decode_key(field: &str) -> Option<String> {
+    let bytes = field.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
 
 /// An append-only checkpoint writer.
 #[derive(Debug)]
@@ -66,8 +114,25 @@ impl CheckpointWriter {
         })
     }
 
-    /// Appends one computed value and flushes it to disk.
+    /// Appends one computed value in the legacy (untagged) format and flushes
+    /// it to disk.  Equivalent to
+    /// [`record_tagged`](CheckpointWriter::record_tagged) with the legacy key.
     pub fn record(&mut self, s: Complex64, value: Complex64) -> std::io::Result<()> {
+        self.record_tagged(LEGACY_MEASURE_KEY, s, value)
+    }
+
+    /// Appends one computed value for a measure's transform key and flushes it
+    /// to disk.  The legacy key writes an untagged 4-field record, so
+    /// single-measure checkpoints remain readable by older loaders.
+    pub fn record_tagged(
+        &mut self,
+        key: &str,
+        s: Complex64,
+        value: Complex64,
+    ) -> std::io::Result<()> {
+        if key != LEGACY_MEASURE_KEY {
+            write!(self.writer, "k={} ", encode_key(key))?;
+        }
         writeln!(
             self.writer,
             "{:016x} {:016x} {:016x} {:016x}",
@@ -92,19 +157,32 @@ impl CheckpointWriter {
     }
 }
 
-/// Loads every valid record from a checkpoint file.  A missing file yields an empty
-/// cache; malformed lines are skipped.
-pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<TransformValues> {
-    let mut values = TransformValues::new();
+/// Loads every valid record from a checkpoint file into per-measure shards:
+/// tagged records under their transform key, legacy 4-field records under
+/// [`LEGACY_MEASURE_KEY`].  A missing file yields an empty map; malformed lines
+/// are skipped.
+pub fn load_checkpoint_by_measure(
+    path: impl AsRef<Path>,
+) -> std::io::Result<HashMap<String, TransformValues>> {
+    let mut shards: HashMap<String, TransformValues> = HashMap::new();
     let file = match File::open(path.as_ref()) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(values),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(shards),
         Err(e) => return Err(e),
     };
     let reader = BufReader::new(file);
     for line in reader.lines() {
         let line = line?;
-        let mut parts = line.split_whitespace();
+        let mut parts = line.split_whitespace().peekable();
+        let key = match parts.peek() {
+            Some(first) if first.starts_with("k=") => {
+                let Some(key) = decode_key(&parts.next().unwrap()[2..]) else {
+                    continue; // malformed key escape
+                };
+                key
+            }
+            _ => LEGACY_MEASURE_KEY.to_string(),
+        };
         // Every field of a complete record is exactly 16 hex digits; anything
         // shorter is a record truncated mid-field by a crash, which would
         // otherwise still parse as a (tiny, wrong) f64.
@@ -123,9 +201,21 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<TransformValue
         if parts.next().is_some() {
             continue; // trailing junk: not a cleanly written record
         }
-        values.insert(Complex64::new(sre, sim), Complex64::new(vre, vim));
+        shards
+            .entry(key)
+            .or_default()
+            .insert(Complex64::new(sre, sim), Complex64::new(vre, vim));
     }
-    Ok(values)
+    Ok(shards)
+}
+
+/// Loads the legacy (untagged) records of a checkpoint file.  A missing file
+/// yields an empty cache; malformed lines and measure-tagged records are
+/// skipped — use [`load_checkpoint_by_measure`] for the full restore.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<TransformValues> {
+    Ok(load_checkpoint_by_measure(path)?
+        .remove(LEGACY_MEASURE_KEY)
+        .unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -172,6 +262,8 @@ mod tests {
     fn missing_file_loads_empty() {
         let loaded = load_checkpoint(temp_path("never-created")).unwrap();
         assert!(loaded.is_empty());
+        let shards = load_checkpoint_by_measure(temp_path("never-created")).unwrap();
+        assert!(shards.is_empty());
     }
 
     #[test]
@@ -197,5 +289,53 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded.get(Complex64::ONE), Some(Complex64::I));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tagged_and_legacy_records_coexist() {
+        let path = temp_path("mixed");
+        let _ = std::fs::remove_file(&path);
+        let s_old = Complex64::new(1.25, -7.5);
+        let s_new = Complex64::new(0.5, 2.5);
+        {
+            let mut w = CheckpointWriter::open(&path).unwrap();
+            // An old-format record followed by two measure-tagged ones (one of
+            // which reuses the *same* s-point under a different measure).
+            w.record(s_old, Complex64::ONE).unwrap();
+            w.record_tagged("voters:density", s_new, Complex64::I)
+                .unwrap();
+            w.record_tagged("failure cdf", s_old, Complex64::new(0.25, 0.0))
+                .unwrap();
+            assert_eq!(w.records_written(), 3);
+        }
+        let shards = load_checkpoint_by_measure(&path).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[LEGACY_MEASURE_KEY].get(s_old), Some(Complex64::ONE));
+        assert_eq!(shards["voters:density"].get(s_new), Some(Complex64::I));
+        // The space in the key survives the percent-encoding round-trip.
+        assert_eq!(
+            shards["failure cdf"].get(s_old),
+            Some(Complex64::new(0.25, 0.0))
+        );
+        // The legacy loader sees only the untagged record.
+        let legacy = load_checkpoint(&path).unwrap();
+        assert_eq!(legacy.len(), 1);
+        assert_eq!(legacy.get(s_old), Some(Complex64::ONE));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn key_encoding_round_trips_awkward_keys() {
+        for key in ["plain", "with space", "pct%sign", "naïve-ütf8", "a=b k=c"] {
+            let encoded = encode_key(key);
+            assert!(
+                !encoded.contains(char::is_whitespace),
+                "encoded {encoded:?} must be one field"
+            );
+            assert_eq!(decode_key(&encoded).as_deref(), Some(key));
+        }
+        // Truncated escape sequences are rejected rather than mis-read.
+        assert_eq!(decode_key("bad%2"), None);
+        assert_eq!(decode_key("bad%zz"), None);
     }
 }

@@ -23,13 +23,31 @@
 //! what a multi-host deployment would execute; only the transport differs (see
 //! the workspace `README.md`).
 //!
-//! * [`work`] — the global `s`-point work queue;
-//! * [`cache`] — the in-memory result cache shared between workers and master;
-//! * [`checkpoint`] — append-only on-disk checkpoint files and their recovery;
-//! * [`worker`] — the slave loop: pull, evaluate, (optionally delay), push result;
+//! ## Batch jobs
+//!
+//! The paper amortises transform evaluations across many time points and
+//! measures, caching values "both within and across successive queries".  The
+//! pipeline therefore solves whole [`BatchJob`]s: N [`MeasureSpec`]s (densities,
+//! CDFs via the `/s` trick, transients) over shared or distinct time grids, with
+//! per-transform union planning, a measure-keyed cache/checkpoint, and chunked
+//! work dispatch so channel and lock traffic is one round-trip per *chunk*, not
+//! per point.  Single-measure [`DistributedPipeline::run`] /
+//! [`DistributedPipeline::run_cdf`] are thin wrappers over the same machinery.
+//!
+//! * [`work`] — the global chunked `s`-point work queue;
+//! * [`batch`] — measure and batch-job specifications and their results;
+//! * [`cache`] — the measure-keyed in-memory result cache shared between
+//!   workers and master;
+//! * [`checkpoint`] — append-only on-disk checkpoint files (legacy and
+//!   measure-tagged records) and their recovery;
+//! * [`worker`] — the slave loop: pull a chunk, evaluate, (optionally delay),
+//!   push one result message;
 //! * [`master`] — the orchestrating [`DistributedPipeline`];
 //! * [`metrics`] — timing, speedup and efficiency reporting (Table 2).
 
+#![warn(missing_docs)]
+
+pub mod batch;
 pub mod cache;
 pub mod checkpoint;
 pub mod master;
@@ -37,5 +55,8 @@ pub mod metrics;
 pub mod work;
 pub mod worker;
 
-pub use master::{DistributedPipeline, PipelineOptions, PipelineResult};
+pub use batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
+pub use master::{
+    DistributedPipeline, PipelineError, PipelineOptions, PipelineResult, RUN_CDF_TRANSFORM_KEY,
+};
 pub use metrics::{run_scalability_sweep, ScalabilityRow};

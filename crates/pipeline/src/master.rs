@@ -1,14 +1,16 @@
 //! The master process: planning, distribution, checkpointing and final inversion.
 
-use crate::cache::ResultCache;
-use crate::checkpoint::{load_checkpoint, CheckpointWriter};
-use crate::work::WorkQueue;
-use crate::worker::{run_worker, WorkerMessage, WorkerStats};
+use crate::batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
+use crate::cache::{ResultCache, LEGACY_MEASURE_KEY};
+use crate::checkpoint::{load_checkpoint_by_measure, CheckpointWriter};
+use crate::work::{WorkItem, WorkQueue};
+use crate::worker::{run_batch_worker, TransformFn, WorkerMessage, WorkerStats};
 use crossbeam::channel::unbounded;
-use smp_laplace::{InversionMethod, SPointPlan};
+use smp_laplace::{union_s_points, InversionMethod, SPointPlan, TransformValues};
 use smp_numeric::Complex64;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone, Default)]
@@ -18,8 +20,13 @@ pub struct PipelineOptions {
     /// When set, computed values are appended to this file and reloaded on the next
     /// run (checkpointing).
     pub checkpoint_path: Option<PathBuf>,
-    /// Optional simulated master⇄worker network latency applied per result message.
-    pub simulated_latency: Option<Duration>,
+    /// Optional simulated master⇄worker network latency applied per result
+    /// *message* (chunking amortises it across the chunk's points).
+    pub simulated_latency: Option<std::time::Duration>,
+    /// Number of work items dispatched to a worker per queue request and
+    /// answered with a single result message.  `0` picks a size automatically
+    /// (enough chunks for ~4 per worker, capped at 64 items).
+    pub chunk_size: usize,
 }
 
 impl PipelineOptions {
@@ -29,6 +36,21 @@ impl PipelineOptions {
             workers,
             ..Default::default()
         }
+    }
+
+    /// Sets the dispatch chunk size (builder style); `0` means automatic.
+    pub fn chunked(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    fn resolve_chunk_size(&self, outstanding: usize, workers: usize) -> usize {
+        if self.chunk_size > 0 {
+            return self.chunk_size;
+        }
+        // Aim for ~4 chunks per worker so the tail of the run stays balanced,
+        // while capping the per-message payload.
+        (outstanding / (workers * 4)).clamp(1, 64)
     }
 }
 
@@ -44,6 +66,12 @@ pub enum PipelineError {
     },
     /// Reading or writing the checkpoint file failed.
     Io(std::io::Error),
+    /// A measure's plan was left with unevaluated points (e.g. a worker died
+    /// without reporting a value).
+    Incomplete {
+        /// Name of the measure whose plan is not fully covered.
+        measure: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -53,6 +81,9 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "evaluation failed at s = {s}: {message}")
             }
             PipelineError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            PipelineError::Incomplete { measure } => {
+                write!(f, "measure '{measure}' has unevaluated transform points")
+            }
         }
     }
 }
@@ -65,7 +96,13 @@ impl From<std::io::Error> for PipelineError {
     }
 }
 
-/// The outcome of a pipeline run.
+/// The transform key [`DistributedPipeline::run_cdf`] caches and checkpoints
+/// its raw density values under.  Distinct from the legacy (untagged) key so
+/// that checkpoints written by pre-batch versions of `run_cdf` — which stored
+/// `L(s)/s` untagged — can never be misread as raw densities.
+pub const RUN_CDF_TRANSFORM_KEY: &str = "__run_cdf";
+
+/// The outcome of a single-measure pipeline run.
 #[derive(Debug)]
 pub struct PipelineResult {
     /// The user-requested time points.
@@ -74,7 +111,7 @@ pub struct PipelineResult {
     /// probability depending on the transform supplied).
     pub values: Vec<f64>,
     /// Wall-clock duration of the whole run (planning to inversion).
-    pub elapsed: Duration,
+    pub elapsed: std::time::Duration,
     /// Number of `s`-points evaluated in this run.
     pub evaluations: usize,
     /// Number of planned `s`-points satisfied from the checkpoint/cache.
@@ -101,76 +138,186 @@ impl DistributedPipeline {
         &self.options
     }
 
-    /// Runs the pipeline: plans the `s`-points for `t_points`, distributes the
-    /// evaluations of `transform` across the worker pool, checkpoints results, and
-    /// inverts once all values are available.
+    /// Solves a whole [`BatchJob`] — N measures over shared or distinct time
+    /// grids — in one distributed run.
     ///
-    /// `transform` is any Laplace-domain evaluator — for the paper's workloads it is
-    /// a closure around `PassageTimeSolver::transform_at` or
-    /// `TransientSolver::transform_at`; for a CDF it wraps the density transform and
-    /// divides by `s`.
-    pub fn run<F>(&self, transform: F, t_points: &[f64]) -> Result<PipelineResult, PipelineError>
-    where
-        F: Fn(Complex64) -> Result<Complex64, String> + Sync,
-    {
+    /// The master plans the `s`-points of every measure, takes the union per
+    /// transform key (so measures sharing a transform never evaluate a point
+    /// twice), dedupes the union against the measure-keyed cache restored from
+    /// the checkpoint, and dispatches the remaining points in chunks through
+    /// the global work queue.  Each worker answers a chunk with one message;
+    /// every value is cached and checkpointed under its measure's transform
+    /// key; once all values have arrived the master inverts each measure on
+    /// its own time grid, applying the kind-specific post-processing
+    /// (`/s` + monotone clamp for CDFs, `[0, 1]` clamp for transients).
+    ///
+    /// # Example
+    ///
+    /// A two-measure batch — the density *and* the CDF of the same Erlang
+    /// passage — sharing one transform key, so the CDF costs no extra
+    /// transform evaluations:
+    ///
+    /// ```
+    /// use smp_pipeline::{BatchJob, DistributedPipeline, MeasureSpec, PipelineOptions};
+    /// use smp_laplace::InversionMethod;
+    /// use smp_distributions::{Dist, LaplaceTransform};
+    ///
+    /// let d = Dist::erlang(2.0, 3);
+    /// let lst = |s| Ok(d.lst(s));
+    /// let ts: Vec<f64> = (1..=8).map(|k| k as f64 * 0.5).collect();
+    ///
+    /// let job = BatchJob::new()
+    ///     .add(MeasureSpec::density("erlang:density", &ts, lst).with_transform_key("erlang"))
+    ///     .add(MeasureSpec::cdf("erlang:cdf", &ts, lst).with_transform_key("erlang"));
+    ///
+    /// let pipeline =
+    ///     DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(4));
+    /// let result = pipeline.run_batch(job).unwrap();
+    ///
+    /// let density = result.measure("erlang:density").unwrap();
+    /// let cdf = result.measure("erlang:cdf").unwrap();
+    /// // The shared key means the CDF reused every one of the density's points.
+    /// assert_eq!(cdf.evaluations, 0);
+    /// assert_eq!(cdf.shared_hits, density.evaluations);
+    /// // The CDF is monotone and ends near 1.
+    /// assert!(cdf.values.windows(2).all(|w| w[1] >= w[0]));
+    /// assert!(*cdf.values.last().unwrap() > 0.95);
+    /// ```
+    pub fn run_batch(&self, job: BatchJob<'_>) -> Result<BatchResult, PipelineError> {
         let started = Instant::now();
-        let plan = SPointPlan::new(self.method.clone(), t_points);
-
-        // Restore any checkpointed values.
-        let restored = match &self.options.checkpoint_path {
-            Some(path) => load_checkpoint(path)?,
-            None => smp_laplace::TransformValues::new(),
-        };
-        let cache = ResultCache::from_values(restored);
-        let outstanding: Vec<Complex64> = plan
-            .s_points()
+        let measures = job.into_measures();
+        if measures.is_empty() {
+            return Ok(BatchResult {
+                measures: Vec::new(),
+                elapsed: started.elapsed(),
+                evaluations: 0,
+                cache_hits: 0,
+                shared_hits: 0,
+                chunk_size: self.options.chunk_size.max(1),
+                chunks_dispatched: 0,
+                worker_stats: Vec::new(),
+            });
+        }
+        let plans: Vec<SPointPlan> = measures
             .iter()
-            .copied()
-            .filter(|&s| !cache.contains(s))
+            .map(|m| SPointPlan::new(self.method.clone(), m.t_points()))
             .collect();
-        let cache_hits = plan.len() - outstanding.len();
+
+        // Restore any checkpointed values into their measure shards.
+        let restored = match &self.options.checkpoint_path {
+            Some(path) => load_checkpoint_by_measure(path)?,
+            None => HashMap::new(),
+        };
+        let cache = ResultCache::from_shards(restored);
+
+        // Group measures by transform key, preserving first-appearance order.
+        let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+        for (mi, m) in measures.iter().enumerate() {
+            match groups.iter_mut().find(|(k, _)| *k == m.transform_key()) {
+                Some((_, members)) => members.push(mi),
+                None => groups.push((m.transform_key(), vec![mi])),
+            }
+        }
+
+        // Per key group: the union of the members' planned s-points, deduped
+        // against the restored cache.  The first member needing an uncached
+        // point owns its evaluation; other members count it as a shared hit.
+        let mut items: Vec<WorkItem> = Vec::new();
+        let mut cache_hits = vec![0usize; measures.len()];
+        let mut shared_hits = vec![0usize; measures.len()];
+        let mut evaluations = vec![0usize; measures.len()];
+        for (key, members) in &groups {
+            let union = union_s_points(members.iter().map(|&mi| &plans[mi]));
+            let wanted: Vec<HashSet<(u64, u64)>> = members
+                .iter()
+                .map(|&mi| {
+                    plans[mi]
+                        .s_points()
+                        .iter()
+                        .map(|s| (s.re.to_bits(), s.im.to_bits()))
+                        .collect()
+                })
+                .collect();
+            for &s in &union {
+                let bits = (s.re.to_bits(), s.im.to_bits());
+                let mut needing = members
+                    .iter()
+                    .zip(&wanted)
+                    .filter(|(_, set)| set.contains(&bits))
+                    .map(|(&mi, _)| mi);
+                if cache.contains(key, s) {
+                    for mi in needing {
+                        cache_hits[mi] += 1;
+                    }
+                } else {
+                    let owner = needing.next().expect("union point wanted by someone");
+                    evaluations[owner] += 1;
+                    for mi in needing {
+                        shared_hits[mi] += 1;
+                    }
+                    items.push(WorkItem {
+                        measure: owner,
+                        index: items.len(),
+                        s,
+                    });
+                }
+            }
+        }
 
         let mut checkpoint = match &self.options.checkpoint_path {
             Some(path) => Some(CheckpointWriter::open(path)?),
             None => None,
         };
 
-        let queue = WorkQueue::new(&outstanding);
-        let expected = outstanding.len();
         let workers = self.options.workers.max(1);
+        let expected_items = items.len();
+        let chunk_size = self.options.resolve_chunk_size(expected_items, workers);
+        let queue = WorkQueue::with_chunk_size(items, chunk_size);
+        let evaluators: Vec<&TransformFn<'_>> = measures.iter().map(|m| m.transform()).collect();
+        let keys: Vec<&str> = measures.iter().map(|m| m.transform_key()).collect();
         let latency = self.options.simulated_latency;
         let (tx, rx) = unbounded::<WorkerMessage>();
 
         let mut first_error: Option<PipelineError> = None;
+        let mut received = 0usize;
+        let mut chunks_dispatched = 0usize;
         let worker_stats: Vec<WorkerStats> = crossbeam::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for id in 0..workers {
                 let queue = &queue;
-                let transform = &transform;
+                let evaluators = &evaluators;
                 let tx = tx.clone();
-                handles.push(scope.spawn(move |_| run_worker(id, queue, transform, latency, &tx)));
+                handles.push(
+                    scope.spawn(move |_| run_batch_worker(id, queue, evaluators, latency, &tx)),
+                );
             }
             drop(tx);
 
-            // The master collects results as they arrive, caching and checkpointing
-            // each one (this is also where a multi-host deployment would receive
-            // messages from the network).
-            for _ in 0..expected {
+            // The master collects chunk messages as they arrive, caching and
+            // checkpointing every value under its measure's transform key (this
+            // is also where a multi-host deployment would receive messages from
+            // the network).
+            while received < expected_items {
                 let Ok(message) = rx.recv() else { break };
-                match message.outcome {
-                    Ok(value) => {
-                        cache.insert(message.item.s, value);
-                        if let Some(writer) = checkpoint.as_mut() {
-                            if let Err(e) = writer.record(message.item.s, value) {
-                                first_error.get_or_insert(PipelineError::Io(e));
+                chunks_dispatched += 1;
+                for outcome in message.results {
+                    received += 1;
+                    match outcome.outcome {
+                        Ok(value) => {
+                            let key = keys[outcome.item.measure];
+                            cache.insert(key, outcome.item.s, value);
+                            if let Some(writer) = checkpoint.as_mut() {
+                                if let Err(e) = writer.record_tagged(key, outcome.item.s, value) {
+                                    first_error.get_or_insert(PipelineError::Io(e));
+                                }
                             }
                         }
-                    }
-                    Err(message_text) => {
-                        first_error.get_or_insert(PipelineError::Evaluation {
-                            s: message.item.s,
-                            message: message_text,
-                        });
+                        Err(message_text) => {
+                            first_error.get_or_insert(PipelineError::Evaluation {
+                                s: outcome.item.s,
+                                message: message_text,
+                            });
+                        }
                     }
                 }
             }
@@ -186,20 +333,112 @@ impl DistributedPipeline {
             return Err(error);
         }
 
-        let values = plan.invert(&cache.snapshot());
-        Ok(PipelineResult {
-            t_points: t_points.to_vec(),
-            values,
+        // Invert each measure on its own grid with kind-specific
+        // post-processing.
+        let mut measure_results = Vec::with_capacity(measures.len());
+        for (mi, m) in measures.iter().enumerate() {
+            let shard = cache.snapshot(m.transform_key());
+            if !plans[mi].is_satisfied_by(&shard) {
+                return Err(PipelineError::Incomplete {
+                    measure: m.name().to_string(),
+                });
+            }
+            let values = match m.kind() {
+                MeasureKind::Density => plans[mi].invert(&shard),
+                MeasureKind::Cdf => {
+                    // The "/s trick": invert L(s)/s, derived from the cached raw
+                    // density values so they stay sharable with density measures.
+                    let mut derived = TransformValues::new();
+                    for &s in plans[mi].s_points() {
+                        let value = shard.get(s).expect("plan satisfied above");
+                        derived.insert(s, value / s);
+                    }
+                    let mut values = plans[mi].invert(&derived);
+                    let mut running_max: f64 = 0.0;
+                    for v in values.iter_mut() {
+                        *v = v.clamp(0.0, 1.0).max(running_max);
+                        running_max = *v;
+                    }
+                    values
+                }
+                MeasureKind::Transient => plans[mi]
+                    .invert(&shard)
+                    .into_iter()
+                    .map(|p| p.clamp(0.0, 1.0))
+                    .collect(),
+            };
+            measure_results.push(MeasureResult {
+                name: m.name().to_string(),
+                kind: m.kind(),
+                t_points: m.t_points().to_vec(),
+                values,
+                evaluations: evaluations[mi],
+                cache_hits: cache_hits[mi],
+                shared_hits: shared_hits[mi],
+            });
+        }
+
+        Ok(BatchResult {
+            measures: measure_results,
             elapsed: started.elapsed(),
-            evaluations: expected,
-            cache_hits,
+            evaluations: evaluations.iter().sum(),
+            cache_hits: cache_hits.iter().sum(),
+            shared_hits: shared_hits.iter().sum(),
+            chunk_size,
+            chunks_dispatched,
             worker_stats,
+        })
+    }
+
+    /// Runs the pipeline for a single measure: plans the `s`-points for
+    /// `t_points`, distributes the evaluations of `transform` across the worker
+    /// pool, checkpoints results, and inverts once all values are available.
+    ///
+    /// `transform` is any Laplace-domain evaluator — for the paper's workloads it is
+    /// a closure around `PassageTimeSolver::transform_at` or
+    /// `TransientSolver::transform_at`; for a CDF it wraps the density transform and
+    /// divides by `s`.
+    ///
+    /// Values are cached and checkpointed under the *legacy* (untagged)
+    /// transform key, so checkpoints written by pre-batch versions of the tool
+    /// are reused and new checkpoints remain readable by them.
+    pub fn run<F>(&self, transform: F, t_points: &[f64]) -> Result<PipelineResult, PipelineError>
+    where
+        F: Fn(Complex64) -> Result<Complex64, String> + Sync,
+    {
+        self.run_single(
+            MeasureSpec::density("single", t_points, transform)
+                .with_transform_key(LEGACY_MEASURE_KEY),
+        )
+    }
+
+    /// Runs a one-measure batch and flattens the result into a
+    /// [`PipelineResult`].
+    fn run_single(&self, measure: MeasureSpec<'_>) -> Result<PipelineResult, PipelineError> {
+        let mut batch = self.run_batch(BatchJob::new().add(measure))?;
+        let measure = batch.measures.pop().expect("single-measure batch");
+        Ok(PipelineResult {
+            t_points: measure.t_points,
+            values: measure.values,
+            elapsed: batch.elapsed,
+            evaluations: batch.evaluations,
+            cache_hits: batch.cache_hits,
+            worker_stats: batch.worker_stats,
         })
     }
 
     /// Runs the pipeline for the *cumulative distribution* of a density transform:
     /// identical to [`DistributedPipeline::run`] but inverting `L(s)/s`, with the
     /// result clamped into `[0, 1]` and made monotone.
+    ///
+    /// The cached/checkpointed values are the *raw* density transform (the `/s`
+    /// division happens at inversion), stored under the dedicated
+    /// [`RUN_CDF_TRANSFORM_KEY`].  Versions of this tool predating batch jobs
+    /// checkpointed `L(s)/s` from `run_cdf` as *untagged* records; keeping the
+    /// new records under their own key means such a stale file simply misses
+    /// the cache and is recomputed, rather than being divided by `s` twice.  To
+    /// share evaluations between a density and a CDF over one transform, use
+    /// [`DistributedPipeline::run_batch`] with a common transform key.
     pub fn run_cdf<F>(
         &self,
         density_transform: F,
@@ -208,13 +447,10 @@ impl DistributedPipeline {
     where
         F: Fn(Complex64) -> Result<Complex64, String> + Sync,
     {
-        let mut result = self.run(|s| density_transform(s).map(|value| value / s), t_points)?;
-        let mut running_max: f64 = 0.0;
-        for v in result.values.iter_mut() {
-            *v = v.clamp(0.0, 1.0).max(running_max);
-            running_max = *v;
-        }
-        Ok(result)
+        self.run_single(
+            MeasureSpec::cdf("single", t_points, density_transform)
+                .with_transform_key(RUN_CDF_TRANSFORM_KEY),
+        )
     }
 }
 
@@ -272,6 +508,24 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_does_not_change_the_answer() {
+        let d = Dist::erlang(1.5, 2);
+        let ts = linspace(0.25, 4.0, 10);
+        let mut previous: Option<Vec<f64>> = None;
+        for chunk_size in [1, 7, 64] {
+            let pipeline = DistributedPipeline::new(
+                InversionMethod::euler(),
+                PipelineOptions::with_workers(3).chunked(chunk_size),
+            );
+            let result = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
+            if let Some(prev) = &previous {
+                assert_eq!(&result.values, prev);
+            }
+            previous = Some(result.values);
+        }
+    }
+
+    #[test]
     fn checkpoint_restart_skips_evaluations() {
         let d = Dist::erlang(1.0, 2);
         let ts = linspace(0.5, 3.0, 6);
@@ -282,7 +536,7 @@ mod tests {
         let options = PipelineOptions {
             workers: 2,
             checkpoint_path: Some(path.clone()),
-            simulated_latency: None,
+            ..Default::default()
         };
         let pipeline = DistributedPipeline::new(InversionMethod::euler(), options);
         let first = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
@@ -365,5 +619,95 @@ mod tests {
             let expect = 4.0 * t * (-2.0 * t).exp();
             assert!((v - expect).abs() < 1e-5, "f({t}) = {v} vs {expect}");
         }
+    }
+
+    #[test]
+    fn batch_of_three_kinds_matches_single_measure_runs() {
+        let d = Dist::erlang(2.0, 2);
+        let ts = linspace(0.3, 5.0, 14);
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(4));
+
+        // A density, a CDF over the same transform (shared key), and a
+        // "transient" measure over an unrelated transform.
+        let job = BatchJob::new()
+            .add(
+                MeasureSpec::density("d", &ts, density_evaluator(d.clone()))
+                    .with_transform_key("erlang"),
+            )
+            .add(
+                MeasureSpec::cdf("F", &ts, density_evaluator(d.clone()))
+                    .with_transform_key("erlang"),
+            )
+            .add(MeasureSpec::transient("p", &ts, |s: Complex64| {
+                // L{0.5 e^{-t}} — a transient-like bounded function.
+                Ok(Complex64::real(0.5) / (Complex64::ONE + s))
+            }));
+        let batch = pipeline.run_batch(job).unwrap();
+        assert_eq!(batch.measures.len(), 3);
+
+        // Density matches a plain run.
+        let reference = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
+        assert_eq!(batch.measure("d").unwrap().values, reference.values);
+
+        // CDF matches run_cdf.
+        let cdf_reference = pipeline.run_cdf(density_evaluator(d.clone()), &ts).unwrap();
+        let cdf = batch.measure("F").unwrap();
+        for (a, b) in cdf.values.iter().zip(&cdf_reference.values) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        // The CDF shared every point with the density measure.
+        assert_eq!(cdf.evaluations, 0);
+        assert_eq!(cdf.shared_hits, batch.measure("d").unwrap().evaluations);
+
+        // Transient values are 0.5 e^{-t}, clamped into [0, 1].
+        let p = batch.measure("p").unwrap();
+        for (t, v) in p.iter() {
+            let expect = 0.5 * (-t).exp();
+            assert!((v - expect).abs() < 1e-6, "p({t}) = {v} vs {expect}");
+            assert!((0.0..=1.0).contains(&v));
+        }
+
+        // Totals are consistent.
+        assert_eq!(
+            batch.evaluations,
+            batch.measures.iter().map(|m| m.evaluations).sum::<usize>()
+        );
+        let by_workers: usize = batch.worker_stats.iter().map(|w| w.evaluated).sum();
+        assert_eq!(by_workers, batch.evaluations);
+        let messages: usize = batch.worker_stats.iter().map(|w| w.messages).sum();
+        assert_eq!(messages, batch.chunks_dispatched);
+        assert!(batch.chunk_size >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(2));
+        let batch = pipeline.run_batch(BatchJob::new()).unwrap();
+        assert!(batch.measures.is_empty());
+        assert_eq!(batch.evaluations, 0);
+        assert_eq!(batch.chunks_dispatched, 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share_even_with_identical_grids() {
+        let a = Dist::exponential(1.0);
+        let b = Dist::exponential(3.0);
+        let ts = linspace(0.5, 4.0, 8);
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(2));
+        let job = BatchJob::new()
+            .add(MeasureSpec::density("a", &ts, density_evaluator(a)))
+            .add(MeasureSpec::density("b", &ts, density_evaluator(b)));
+        let batch = pipeline.run_batch(job).unwrap();
+        let union = SPointPlan::new(InversionMethod::euler(), &ts).len();
+        // Default keys are the measure names: no sharing, |union| evaluations each.
+        for m in &batch.measures {
+            assert_eq!(m.evaluations, union);
+            assert_eq!(m.shared_hits, 0);
+            assert_eq!(m.cache_hits, 0);
+        }
+        assert_eq!(batch.evaluations, 2 * union);
     }
 }

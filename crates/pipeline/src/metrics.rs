@@ -65,8 +65,13 @@ where
             method.clone(),
             PipelineOptions {
                 workers,
-                checkpoint_path: None,
                 simulated_latency,
+                // One point per message, as in the paper's protocol: automatic
+                // chunk sizing depends on the worker count, which would make the
+                // per-message latency cost differ between rows and corrupt the
+                // speedup/efficiency comparison.
+                chunk_size: 1,
+                ..Default::default()
             },
         );
         let result = pipeline.run(&transform, t_points)?;

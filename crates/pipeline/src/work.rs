@@ -1,12 +1,22 @@
 //! The global work queue of `s`-point evaluations.
+//!
+//! The paper's master places every outstanding transform evaluation in a global
+//! queue from which the slave processors request work.  To keep channel and lock
+//! traffic proportional to the number of *chunks* rather than the number of
+//! *points*, the queue hands out work in configurable-size chunks: one lock
+//! acquisition per [`WorkQueue::pop_chunk`] call returns up to `chunk_size`
+//! items, and the worker answers with a single message per chunk.
 
 use parking_lot::Mutex;
 use smp_numeric::Complex64;
 use std::collections::VecDeque;
 
-/// One unit of work: evaluate the transform at `s`.
+/// One unit of work: evaluate the transform of measure `measure` at `s`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkItem {
+    /// Index of the measure (within the running batch job) whose transform is to
+    /// be evaluated.  Single-measure runs use measure `0` throughout.
+    pub measure: usize,
     /// Position of the point in the evaluation plan (used for bookkeeping only).
     pub index: usize,
     /// The complex evaluation point.
@@ -14,28 +24,62 @@ pub struct WorkItem {
 }
 
 /// A shared, lock-protected FIFO work queue — the paper's "global work-queue to
-/// which the slave processors make requests".
-#[derive(Debug, Default)]
+/// which the slave processors make requests" — that dispenses work in chunks.
+#[derive(Debug)]
 pub struct WorkQueue {
     items: Mutex<VecDeque<WorkItem>>,
+    chunk_size: usize,
+}
+
+impl Default for WorkQueue {
+    fn default() -> Self {
+        WorkQueue {
+            items: Mutex::new(VecDeque::new()),
+            chunk_size: 1,
+        }
+    }
 }
 
 impl WorkQueue {
-    /// Creates a queue pre-loaded with the given evaluation points.
+    /// Creates a queue pre-loaded with the given evaluation points for a single
+    /// measure, dispensed one item at a time (the paper's original protocol).
     pub fn new(points: &[Complex64]) -> Self {
         let items = points
             .iter()
             .enumerate()
-            .map(|(index, &s)| WorkItem { index, s })
+            .map(|(index, &s)| WorkItem {
+                measure: 0,
+                index,
+                s,
+            })
             .collect();
         WorkQueue {
             items: Mutex::new(items),
+            chunk_size: 1,
         }
     }
 
-    /// Creates an empty queue.
+    /// Creates a queue pre-loaded with arbitrary work items, dispensed up to
+    /// `chunk_size` at a time.
+    ///
+    /// # Panics
+    /// Panics when `chunk_size` is zero.
+    pub fn with_chunk_size(items: Vec<WorkItem>, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be at least 1");
+        WorkQueue {
+            items: Mutex::new(items.into()),
+            chunk_size,
+        }
+    }
+
+    /// Creates an empty queue (chunk size 1).
     pub fn empty() -> Self {
         WorkQueue::default()
+    }
+
+    /// The number of items handed out per [`WorkQueue::pop_chunk`] call.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
     }
 
     /// Adds a work item to the back of the queue.
@@ -43,9 +87,21 @@ impl WorkQueue {
         self.items.lock().push_back(item);
     }
 
-    /// Takes the next work item, if any (this is the slave's "request").
+    /// Takes the next single work item, if any.
     pub fn pop(&self) -> Option<WorkItem> {
         self.items.lock().pop_front()
+    }
+
+    /// Takes the next chunk of up to `chunk_size` items under one lock
+    /// acquisition (this is the slave's "request").  Returns `None` when the
+    /// queue is empty; the final chunk may be shorter than `chunk_size`.
+    pub fn pop_chunk(&self) -> Option<Vec<WorkItem>> {
+        let mut items = self.items.lock();
+        if items.is_empty() {
+            return None;
+        }
+        let take = self.chunk_size.min(items.len());
+        Some(items.drain(..take).collect())
     }
 
     /// Number of outstanding items.
@@ -64,14 +120,26 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn items(n: usize) -> Vec<WorkItem> {
+        (0..n)
+            .map(|index| WorkItem {
+                measure: index % 3,
+                index,
+                s: Complex64::new(index as f64, 0.0),
+            })
+            .collect()
+    }
+
     #[test]
     fn fifo_order() {
         let points: Vec<Complex64> = (0..5).map(|k| Complex64::new(k as f64, 0.0)).collect();
         let queue = WorkQueue::new(&points);
         assert_eq!(queue.len(), 5);
+        assert_eq!(queue.chunk_size(), 1);
         for k in 0..5 {
             let item = queue.pop().unwrap();
             assert_eq!(item.index, k);
+            assert_eq!(item.measure, 0);
             assert_eq!(item.s.re, k as f64);
         }
         assert!(queue.pop().is_none());
@@ -82,11 +150,48 @@ mod tests {
     fn push_appends() {
         let queue = WorkQueue::empty();
         queue.push(WorkItem {
+            measure: 2,
             index: 7,
             s: Complex64::I,
         });
         assert_eq!(queue.len(), 1);
-        assert_eq!(queue.pop().unwrap().index, 7);
+        let item = queue.pop().unwrap();
+        assert_eq!(item.index, 7);
+        assert_eq!(item.measure, 2);
+    }
+
+    #[test]
+    fn chunked_pop_respects_chunk_size_and_order() {
+        let queue = WorkQueue::with_chunk_size(items(10), 4);
+        assert_eq!(queue.chunk_size(), 4);
+        let first = queue.pop_chunk().unwrap();
+        assert_eq!(first.len(), 4);
+        assert_eq!(
+            first.iter().map(|i| i.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        let second = queue.pop_chunk().unwrap();
+        assert_eq!(second.len(), 4);
+        // The final chunk is short: 10 = 4 + 4 + 2.
+        let last = queue.pop_chunk().unwrap();
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[1].index, 9);
+        assert!(queue.pop_chunk().is_none());
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn chunk_size_larger_than_queue_drains_in_one_pop() {
+        let queue = WorkQueue::with_chunk_size(items(3), 64);
+        let chunk = queue.pop_chunk().unwrap();
+        assert_eq!(chunk.len(), 3);
+        assert!(queue.pop_chunk().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be at least 1")]
+    fn zero_chunk_size_rejected() {
+        let _ = WorkQueue::with_chunk_size(Vec::new(), 0);
     }
 
     #[test]
@@ -114,5 +219,32 @@ mod tests {
         let mut seen = seen;
         seen.sort_unstable();
         assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_chunked_pops_drain_exactly_once() {
+        let queue = Arc::new(WorkQueue::with_chunk_size(items(997), 8));
+        let seen: Vec<usize> = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..6 {
+                let queue = Arc::clone(&queue);
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    while let Some(chunk) = queue.pop_chunk() {
+                        assert!(chunk.len() <= 8);
+                        local.extend(chunk.iter().map(|i| i.index));
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+        .unwrap();
+        let mut seen = seen;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..997).collect::<Vec<_>>());
     }
 }

@@ -1,16 +1,24 @@
 //! The slave-processor loop.
 //!
-//! A worker repeatedly requests the next `s`-value from the global work queue,
-//! evaluates the transform there (for passage-time analysis this means building `U`
-//! and `U'` and running the iterative algorithm to convergence), optionally sleeps
-//! for a configurable simulated network latency, and returns the result to the
-//! master.  Workers never talk to each other — the property that gives the pipeline
-//! its near-linear scalability.
+//! A worker repeatedly requests the next *chunk* of `s`-values from the global
+//! work queue, evaluates the transform of the measure each item belongs to (for
+//! passage-time analysis this means building `U` and `U'` and running the
+//! iterative algorithm to convergence), optionally sleeps for a configurable
+//! simulated network latency, and returns the whole chunk's results to the
+//! master in a single message.  Workers never talk to each other — the property
+//! that gives the pipeline its near-linear scalability — and chunking keeps the
+//! master⇄worker message count proportional to the number of chunks, not the
+//! number of points.
 
 use crate::work::{WorkItem, WorkQueue};
 use crossbeam::channel::Sender;
 use smp_numeric::Complex64;
 use std::time::{Duration, Instant};
+
+/// The transform evaluator a worker applies to an `s`-point: any Laplace-domain
+/// function, typically a closure around a `PassageTimeSolver` or
+/// `TransientSolver`.
+pub type TransformFn<'a> = dyn Fn(Complex64) -> Result<Complex64, String> + Sync + 'a;
 
 /// Per-worker accounting, reported back to the master when the queue drains.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,21 +27,78 @@ pub struct WorkerStats {
     pub id: usize,
     /// Number of `s`-points this worker evaluated.
     pub evaluated: usize,
+    /// Number of result messages (chunks) this worker sent to the master.
+    pub messages: usize,
     /// Total time spent evaluating (excludes queue waiting and simulated latency).
     pub busy: Duration,
 }
 
-/// A result message from a worker to the master.
+/// One evaluated item inside a [`WorkerMessage`].
 #[derive(Debug, Clone)]
-pub struct WorkerMessage {
+pub struct WorkItemOutcome {
     /// The work item that was evaluated.
     pub item: WorkItem,
     /// The transform value, or an error description.
     pub outcome: Result<Complex64, String>,
 }
 
-/// Runs one worker until the queue is empty.  `evaluator` is the transform being
-/// computed; `latency` simulates the master⇄slave network round-trip per result.
+/// A result message from a worker to the master: every outcome of one chunk.
+#[derive(Debug, Clone)]
+pub struct WorkerMessage {
+    /// The sending worker's identifier.
+    pub worker: usize,
+    /// The evaluated chunk, in the order the items were popped.
+    pub results: Vec<WorkItemOutcome>,
+}
+
+/// Runs one worker until the queue is empty, evaluating each item with the
+/// evaluator of the measure it belongs to.  `latency` simulates the
+/// master⇄slave network round-trip per *message* (i.e. per chunk — batching is
+/// exactly what amortises it).
+pub fn run_batch_worker(
+    id: usize,
+    queue: &WorkQueue,
+    evaluators: &[&TransformFn<'_>],
+    latency: Option<Duration>,
+    results: &Sender<WorkerMessage>,
+) -> WorkerStats {
+    let mut stats = WorkerStats {
+        id,
+        evaluated: 0,
+        messages: 0,
+        busy: Duration::ZERO,
+    };
+    while let Some(chunk) = queue.pop_chunk() {
+        let started = Instant::now();
+        let outcomes: Vec<WorkItemOutcome> = chunk
+            .into_iter()
+            .map(|item| WorkItemOutcome {
+                outcome: (evaluators[item.measure])(item.s),
+                item,
+            })
+            .collect();
+        stats.busy += started.elapsed();
+        stats.evaluated += outcomes.len();
+        stats.messages += 1;
+        if let Some(latency) = latency {
+            std::thread::sleep(latency);
+        }
+        if results
+            .send(WorkerMessage {
+                worker: id,
+                results: outcomes,
+            })
+            .is_err()
+        {
+            // The master has gone away; stop quietly.
+            break;
+        }
+    }
+    stats
+}
+
+/// Runs one single-measure worker until the queue is empty (the paper's
+/// original one-point-per-message protocol when the queue's chunk size is 1).
 pub fn run_worker<F>(
     id: usize,
     queue: &WorkQueue,
@@ -44,25 +109,8 @@ pub fn run_worker<F>(
 where
     F: Fn(Complex64) -> Result<Complex64, String> + Sync + ?Sized,
 {
-    let mut stats = WorkerStats {
-        id,
-        evaluated: 0,
-        busy: Duration::ZERO,
-    };
-    while let Some(item) = queue.pop() {
-        let started = Instant::now();
-        let outcome = evaluator(item.s);
-        stats.busy += started.elapsed();
-        stats.evaluated += 1;
-        if let Some(latency) = latency {
-            std::thread::sleep(latency);
-        }
-        if results.send(WorkerMessage { item, outcome }).is_err() {
-            // The master has gone away; stop quietly.
-            break;
-        }
-    }
-    stats
+    let evaluators: [&TransformFn<'_>; 1] = [&|s| evaluator(s)];
+    run_batch_worker(id, queue, &evaluators, latency, results)
 }
 
 #[cfg(test)]
@@ -80,13 +128,66 @@ mod tests {
         drop(tx);
         assert_eq!(stats.id, 3);
         assert_eq!(stats.evaluated, 20);
-        let received: Vec<WorkerMessage> = rx.iter().collect();
+        // Chunk size 1: one message per point.
+        assert_eq!(stats.messages, 20);
+        let received: Vec<WorkItemOutcome> =
+            rx.iter().flat_map(|message| message.results).collect();
         assert_eq!(received.len(), 20);
-        for msg in received {
-            let expect = msg.item.s * msg.item.s;
-            assert_eq!(msg.outcome.unwrap(), expect);
+        for outcome in received {
+            let expect = outcome.item.s * outcome.item.s;
+            assert_eq!(outcome.outcome.unwrap(), expect);
         }
         assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn chunked_worker_sends_one_message_per_chunk() {
+        let items: Vec<WorkItem> = (0..17)
+            .map(|index| WorkItem {
+                measure: 0,
+                index,
+                s: Complex64::new(index as f64, 0.0),
+            })
+            .collect();
+        let queue = WorkQueue::with_chunk_size(items, 5);
+        let (tx, rx) = unbounded();
+        let evaluator = |s: Complex64| -> Result<Complex64, String> { Ok(s + Complex64::ONE) };
+        let evaluators: [&TransformFn<'_>; 1] = [&evaluator];
+        let stats = run_batch_worker(1, &queue, &evaluators, None, &tx);
+        drop(tx);
+        // 17 items at chunk size 5: 5 + 5 + 5 + 2 → 4 messages.
+        assert_eq!(stats.evaluated, 17);
+        assert_eq!(stats.messages, 4);
+        let messages: Vec<WorkerMessage> = rx.iter().collect();
+        assert_eq!(messages.len(), 4);
+        assert!(messages.iter().all(|m| m.worker == 1));
+        let total: usize = messages.iter().map(|m| m.results.len()).sum();
+        assert_eq!(total, 17);
+    }
+
+    #[test]
+    fn items_are_routed_to_their_measure_evaluator() {
+        let items: Vec<WorkItem> = (0..12)
+            .map(|index| WorkItem {
+                measure: index % 2,
+                index,
+                s: Complex64::new(index as f64, 0.0),
+            })
+            .collect();
+        let queue = WorkQueue::with_chunk_size(items, 4);
+        let (tx, rx) = unbounded();
+        let double = |s: Complex64| -> Result<Complex64, String> { Ok(s * Complex64::real(2.0)) };
+        let negate = |s: Complex64| -> Result<Complex64, String> { Ok(-s) };
+        let evaluators: [&TransformFn<'_>; 2] = [&double, &negate];
+        run_batch_worker(0, &queue, &evaluators, None, &tx);
+        drop(tx);
+        for outcome in rx.iter().flat_map(|m| m.results) {
+            let expect = match outcome.item.measure {
+                0 => outcome.item.s * Complex64::real(2.0),
+                _ => -outcome.item.s,
+            };
+            assert_eq!(outcome.outcome.unwrap(), expect);
+        }
     }
 
     #[test]
@@ -104,34 +205,44 @@ mod tests {
         let stats = run_worker(0, &queue, &evaluator, None, &tx);
         drop(tx);
         assert_eq!(stats.evaluated, 3);
-        let errors: Vec<_> = rx.iter().filter(|m| m.outcome.is_err()).collect();
+        let errors: Vec<_> = rx
+            .iter()
+            .flat_map(|m| m.results)
+            .filter(|o| o.outcome.is_err())
+            .collect();
         assert_eq!(errors.len(), 1);
         assert_eq!(errors[0].item.s, Complex64::I);
     }
 
     #[test]
-    fn simulated_latency_slows_the_worker() {
-        let points: Vec<Complex64> = (0..5).map(|k| Complex64::real(k as f64)).collect();
+    fn simulated_latency_is_per_message_so_chunking_amortises_it() {
+        let points: Vec<Complex64> = (0..6).map(|k| Complex64::real(k as f64)).collect();
         let (tx, _rx) = unbounded();
         let evaluator = |s: Complex64| -> Result<Complex64, String> { Ok(s) };
+        let latency = Some(Duration::from_millis(5));
 
-        let fast_queue = WorkQueue::new(&points);
+        // Chunk size 1: six messages, so at least 30 ms of simulated latency.
+        let queue = WorkQueue::new(&points);
         let started = Instant::now();
-        run_worker(0, &fast_queue, &evaluator, None, &tx);
-        let fast = started.elapsed();
+        let stats = run_worker(0, &queue, &evaluator, latency, &tx);
+        let unchunked = started.elapsed();
+        assert_eq!(stats.messages, 6);
+        assert!(unchunked >= Duration::from_millis(30));
 
-        let slow_queue = WorkQueue::new(&points);
+        // Chunk size 6: a single message pays the latency once.
+        let items: Vec<WorkItem> = (0..6)
+            .map(|index| WorkItem {
+                measure: 0,
+                index,
+                s: Complex64::real(index as f64),
+            })
+            .collect();
+        let chunked_queue = WorkQueue::with_chunk_size(items, 6);
+        let evaluators: [&TransformFn<'_>; 1] = [&evaluator];
         let started = Instant::now();
-        run_worker(
-            0,
-            &slow_queue,
-            &evaluator,
-            Some(Duration::from_millis(5)),
-            &tx,
-        );
-        let slow = started.elapsed();
-
-        assert!(slow >= Duration::from_millis(25));
-        assert!(slow > fast);
+        let stats = run_batch_worker(0, &chunked_queue, &evaluators, latency, &tx);
+        let chunked = started.elapsed();
+        assert_eq!(stats.messages, 1);
+        assert!(chunked < unchunked);
     }
 }

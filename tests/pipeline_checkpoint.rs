@@ -25,7 +25,7 @@ fn checkpoint_restart_recomputes_nothing_and_reproduces_results() {
     let options = PipelineOptions {
         workers: 3,
         checkpoint_path: Some(checkpoint.clone()),
-        simulated_latency: None,
+        ..Default::default()
     };
     let pipeline = DistributedPipeline::new(InversionMethod::euler(), options);
     let evaluator = |s| {
