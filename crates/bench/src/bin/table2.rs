@@ -68,8 +68,15 @@ fn main() {
     .expect("scalability sweep failed");
 
     println!(
-        "{:>6}  {:>10}  {:>8}  {:>10}  ({} s-point evaluations per run)",
-        "slaves", "time(s)", "speedup", "efficiency", rows[0].evaluations
+        "{:>6}  {:>10}  {:>8}  {:>10}  {:>8}  {:>10}  ({} s-point evaluations per run, {} backend)",
+        "slaves",
+        "time(s)",
+        "speedup",
+        "efficiency",
+        "messages",
+        "wire-B",
+        rows[0].evaluations,
+        rows[0].backend
     );
     for row in &rows {
         println!("{}", row.formatted());

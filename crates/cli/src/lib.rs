@@ -30,10 +30,18 @@ use smp_core::transient::TransientSolver;
 use smp_core::PassageTimeSolver;
 use smp_laplace::InversionMethod;
 use smp_numeric::stats::linspace;
-use smp_pipeline::{BatchJob, DistributedPipeline, MeasureKind, MeasureSpec, PipelineOptions};
-use smp_smspn::{Marking, StateSpace};
+use smp_pipeline::{
+    run_tcp_worker, BatchJob, DistributedPipeline, MeasureKind, MeasureSpec, ModelSpec,
+    PipelineOptions, TcpTransport, TcpWorkerOptions, TransformSpec,
+};
+use smp_smspn::StateSpace;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// The target predicate type — the serializable [`smp_pipeline::TargetSpec`],
+/// re-exported under the name this CLI has always used.
+pub type Predicate = smp_pipeline::TargetSpec;
+pub use smp_pipeline::{model_fingerprint, CompareOp};
 
 /// Everything `smpq` needs for one invocation, parsed from the command line.
 #[derive(Debug, Clone)]
@@ -48,8 +56,8 @@ pub struct CliOptions {
     pub t_stop: f64,
     /// Shared output time grid: number of points.
     pub t_count: usize,
-    /// Worker thread count (the paper's slave processors).
-    pub workers: usize,
+    /// Where the evaluations run: worker threads or TCP worker processes.
+    pub workers: WorkerBackend,
     /// Work-queue chunk size; 0 lets the pipeline choose.
     pub chunk_size: usize,
     /// Optional checkpoint file shared across invocations.
@@ -67,6 +75,16 @@ pub enum ModelSource {
     File(PathBuf),
     /// Generate the built-in voting model for `(voters, polling, central)`.
     Voting(u32, u32, u32),
+}
+
+/// Where the master farms its transform evaluations out to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerBackend {
+    /// In-process worker threads (the paper's slave processors as threads).
+    Threads(usize),
+    /// One TCP worker process per listed rendezvous address: the master binds
+    /// each address and waits for an `smpq worker --connect` to dial in.
+    Tcp(Vec<String>),
 }
 
 /// The inversion algorithm selected with `--method`.
@@ -113,78 +131,11 @@ impl MeasureRequest {
     pub fn transform_key(&self, model_fingerprint: &str) -> String {
         match self.kind {
             MeasureKind::Density | MeasureKind::Cdf => {
-                format!("m{model_fingerprint}:passage:{}", self.predicate)
+                TransformSpec::passage_key(model_fingerprint, &self.predicate)
             }
             MeasureKind::Transient => {
-                format!("m{model_fingerprint}:transient:{}", self.predicate)
+                TransformSpec::transient_key(model_fingerprint, &self.predicate)
             }
-        }
-    }
-}
-
-/// A 64-bit FNV-1a fingerprint of the model source text, rendered as hex.
-/// Baked into every transform key so checkpoints are model-specific.
-pub fn model_fingerprint(source: &str) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in source.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{hash:016x}")
-}
-
-/// A token-count predicate `PLACE OP N` selecting target markings.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Predicate {
-    /// The place whose marking is compared.
-    pub place: String,
-    /// The comparison operator.
-    pub op: CompareOp,
-    /// The right-hand token count.
-    pub count: u32,
-}
-
-impl Predicate {
-    /// True when `tokens` satisfies the predicate.
-    pub fn matches(&self, tokens: u32) -> bool {
-        match self.op {
-            CompareOp::Ge => tokens >= self.count,
-            CompareOp::Le => tokens <= self.count,
-            CompareOp::Gt => tokens > self.count,
-            CompareOp::Lt => tokens < self.count,
-            CompareOp::Eq => tokens == self.count,
-            CompareOp::Ne => tokens != self.count,
-        }
-    }
-}
-
-impl std::fmt::Display for Predicate {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}{}{}", self.place, self.op.symbol(), self.count)
-    }
-}
-
-/// Comparison operators accepted in a measure predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub enum CompareOp {
-    Ge,
-    Le,
-    Gt,
-    Lt,
-    Eq,
-    Ne,
-}
-
-impl CompareOp {
-    fn symbol(self) -> &'static str {
-        match self {
-            CompareOp::Ge => ">=",
-            CompareOp::Le => "<=",
-            CompareOp::Gt => ">",
-            CompareOp::Lt => "<",
-            CompareOp::Eq => "==",
-            CompareOp::Ne => "!=",
         }
     }
 }
@@ -218,6 +169,7 @@ pub fn usage() -> &'static str {
 
 USAGE:
     smpq (--model FILE | --voting CC,MM,NN) --measure KIND:PRED [options]
+    smpq worker --connect HOST:PORT [--exit-after-chunks N]
 
 MODEL:
     --model FILE        extended-DNAmaca model specification file
@@ -241,11 +193,23 @@ TIME GRID (shared by all measures):
 
 PIPELINE:
     --workers N         worker threads (default 4)
+    --workers tcp:ADDR[,ADDR...]
+                        distribute over TCP worker *processes* instead: the
+                        master binds each ADDR (one per worker) and waits for
+                        an 'smpq worker --connect HOST:PORT' to dial in
     --chunk-size N      work items per dispatch chunk (default: automatic)
     --checkpoint PATH   append computed transform values to PATH and reuse
                         them on the next run (warm cache across invocations)
     --method NAME       euler (default) | laguerre
-    --help              print this text"
+    --help              print this text
+
+WORKER MODE (one per terminal/host):
+    smpq worker --connect HOST:PORT
+                        dial the master's rendezvous address, rebuild the
+                        job's evaluators from its transform specs, answer
+                        work chunks until the master says done
+    --exit-after-chunks N
+                        fault injection: drop the connection after N chunks"
 }
 
 fn parse_voting(value: &str) -> Result<ModelSource, CliError> {
@@ -266,39 +230,7 @@ fn parse_voting(value: &str) -> Result<ModelSource, CliError> {
 }
 
 fn parse_predicate(text: &str) -> Result<Predicate, CliError> {
-    // Two-character operators first so `p>=3` is not read as `p > =3`.
-    const OPS: [(&str, CompareOp); 6] = [
-        (">=", CompareOp::Ge),
-        ("<=", CompareOp::Le),
-        ("==", CompareOp::Eq),
-        ("!=", CompareOp::Ne),
-        (">", CompareOp::Gt),
-        ("<", CompareOp::Lt),
-    ];
-    for (symbol, op) in OPS {
-        if let Some(pos) = text.find(symbol) {
-            let place = text[..pos].trim();
-            let count = text[pos + symbol.len()..].trim();
-            if place.is_empty() {
-                return Err(CliError::Usage(format!(
-                    "predicate '{text}' is missing a place name"
-                )));
-            }
-            let count = count.parse().map_err(|_| {
-                CliError::Usage(format!(
-                    "predicate '{text}' needs an integer after {symbol}"
-                ))
-            })?;
-            return Ok(Predicate {
-                place: place.to_string(),
-                op,
-                count,
-            });
-        }
-    }
-    Err(CliError::Usage(format!(
-        "predicate '{text}' has no comparison operator (expected e.g. p2>=3)"
-    )))
+    Predicate::parse(text).map_err(CliError::Usage)
 }
 
 fn parse_measure(value: &str) -> Result<MeasureRequest, CliError> {
@@ -330,7 +262,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let mut t_start = 1.0;
     let mut t_stop = 10.0;
     let mut t_count = 10usize;
-    let mut workers = 4usize;
+    let mut workers = WorkerBackend::Threads(4);
     let mut chunk_size = 0usize;
     let mut checkpoint = None;
     let mut method = MethodChoice::Euler;
@@ -362,9 +294,24 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     .map_err(|_| CliError::Usage("--t-count expects an integer".into()))?
             }
             "--workers" => {
-                workers = value_of("--workers")?
-                    .parse()
-                    .map_err(|_| CliError::Usage("--workers expects an integer".into()))?
+                let value = value_of("--workers")?;
+                workers = if let Some(list) = value.strip_prefix("tcp:") {
+                    let addrs: Vec<String> = list
+                        .split(',')
+                        .map(|a| a.trim().to_string())
+                        .filter(|a| !a.is_empty())
+                        .collect();
+                    if addrs.is_empty() {
+                        return Err(CliError::Usage(
+                            "--workers tcp: needs at least one ADDR".into(),
+                        ));
+                    }
+                    WorkerBackend::Tcp(addrs)
+                } else {
+                    WorkerBackend::Threads(value.parse().map_err(|_| {
+                        CliError::Usage("--workers expects an integer or tcp:ADDR[,ADDR...]".into())
+                    })?)
+                }
             }
             "--chunk-size" => {
                 chunk_size = value_of("--chunk-size")?
@@ -435,6 +382,14 @@ enum MeasureSolver<'a> {
 
 /// Runs one `smpq` invocation, writing the report to `out`.  Returns the
 /// rendered report too (the binary prints it; tests inspect it).
+///
+/// With the default [`WorkerBackend::Threads`] backend the model is explored
+/// in-process and the measures are closure-based; with
+/// [`WorkerBackend::Tcp`] the measures are built from serializable
+/// [`TransformSpec`]s, the master binds the rendezvous addresses, and the
+/// state space is explored by the worker *processes* that dial in.  Both
+/// backends write identical transform keys (model fingerprint included), so a
+/// `--checkpoint` file warms runs across backends too.
 pub fn run(options: &CliOptions) -> Result<String, CliError> {
     let mut out = String::new();
     let source = model_source_text(&options.model)?;
@@ -443,7 +398,87 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
         return Ok(out);
     }
 
-    let net = smp_dnamaca::parse_model(&source).map_err(|e| CliError::Model(e.to_string()))?;
+    let ts = linspace(options.t_start, options.t_stop, options.t_count);
+    let pipeline = DistributedPipeline::new(
+        options.method.to_method(),
+        PipelineOptions {
+            workers: match &options.workers {
+                WorkerBackend::Threads(n) => *n,
+                WorkerBackend::Tcp(addrs) => addrs.len(),
+            },
+            checkpoint_path: options.checkpoint.clone(),
+            chunk_size: options.chunk_size,
+            ..Default::default()
+        },
+    );
+
+    let result = match &options.workers {
+        WorkerBackend::Threads(_) => run_in_process(&mut out, options, &source, &ts, &pipeline)?,
+        WorkerBackend::Tcp(addrs) => {
+            run_over_tcp(&mut out, options, &source, &ts, &pipeline, addrs)?
+        }
+    };
+
+    // One combined table: a column per measure over the shared grid.
+    let _ = writeln!(out);
+    let mut header = format!("{:>10}", "t");
+    for measure in &result.measures {
+        let _ = write!(header, "  {:>18}", measure.name);
+    }
+    let _ = writeln!(out, "{header}");
+    for (row, &t) in ts.iter().enumerate() {
+        let mut line = format!("{t:>10.3}");
+        for measure in &result.measures {
+            let _ = write!(line, "  {:>18.6}", measure.values[row]);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "pipeline: {} worker(s) [{}], chunk size {}, {} chunk message(s), \
+{} wire message(s), {} wire byte(s), {:.3}s elapsed",
+        result.worker_stats.len(),
+        result.backend,
+        result.chunk_size,
+        result.chunks_dispatched,
+        result.messages,
+        result.bytes_on_wire,
+        result.elapsed.as_secs_f64()
+    );
+    if result.disconnects > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} worker(s) disconnected mid-run; their chunks were requeued",
+            result.disconnects
+        );
+    }
+    let _ = writeln!(
+        out,
+        "evaluations: {} new, {} from checkpoint/cache, {} shared between measures",
+        result.evaluations, result.cache_hits, result.shared_hits
+    );
+    for measure in &result.measures {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>6} evaluated  {:>6} cached  {:>6} shared",
+            measure.name, measure.evaluations, measure.cache_hits, measure.shared_hits
+        );
+    }
+    Ok(out)
+}
+
+/// The in-process path: explore the state space locally, build (and share)
+/// solvers, run closure-based measures over the thread backend.
+fn run_in_process(
+    out: &mut String,
+    options: &CliOptions,
+    source: &str,
+    ts: &[f64],
+    pipeline: &DistributedPipeline,
+) -> Result<smp_pipeline::BatchResult, CliError> {
+    let net = smp_dnamaca::parse_model(source).map_err(|e| CliError::Model(e.to_string()))?;
     let space = StateSpace::explore(&net).map_err(|e| CliError::Model(e.to_string()))?;
     let smp = space.smp();
     let initial = space.initial_state();
@@ -470,19 +505,17 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             solver_index.push(found);
             continue;
         }
-        let place = net.place_index(&request.predicate.place).ok_or_else(|| {
-            CliError::Model(format!(
-                "place '{}' does not exist in the model",
-                request.predicate.place
-            ))
-        })?;
-        let predicate = &request.predicate;
-        let targets = space.states_where(|m: &Marking| predicate.matches(m.get(place)));
-        if targets.is_empty() {
-            return Err(CliError::Analysis(format!(
-                "predicate {predicate} matches no reachable marking"
-            )));
-        }
+        let targets = request
+            .predicate
+            .resolve(&net, &space)
+            .map_err(|e| match e {
+                smp_pipeline::TargetResolveError::UnknownPlace { .. } => {
+                    CliError::Model(e.to_string())
+                }
+                smp_pipeline::TargetResolveError::NoMatchingMarking { .. } => {
+                    CliError::Analysis(e.to_string())
+                }
+            })?;
         let _ = writeln!(
             out,
             "measure {}: {} target markings",
@@ -508,79 +541,175 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
     // Assemble the batch: every measure shares the CLI's time grid.  Keys are
     // model-fingerprinted so a reused checkpoint file never leaks values
     // computed for a different (or since-edited) model.
-    let fingerprint = model_fingerprint(&source);
-    let ts = linspace(options.t_start, options.t_stop, options.t_count);
+    let fingerprint = model_fingerprint(source);
     let mut job = BatchJob::new();
     for (request, &si) in options.measures.iter().zip(&solver_index) {
-        let solver = &solvers[si];
-        let spec = match solver {
+        let spec = match &solvers[si] {
             MeasureSolver::Passage(solver) => {
-                MeasureSpec::new(request.name(), request.kind, &ts, move |s| {
-                    solver
-                        .transform_at(s)
-                        .map(|p| p.value)
-                        .map_err(|e| e.to_string())
-                })
+                MeasureSpec::new(request.name(), request.kind, ts, solver.transform_fn())
             }
             MeasureSolver::Transient(solver) => {
-                MeasureSpec::transient(request.name(), &ts, move |s| {
-                    solver.transform_at(s).map_err(|e| e.to_string())
-                })
+                MeasureSpec::transient(request.name(), ts, solver.transform_fn())
             }
         };
         job.push(spec.with_transform_key(request.transform_key(&fingerprint)));
     }
 
-    let pipeline = DistributedPipeline::new(
-        options.method.to_method(),
-        PipelineOptions {
-            workers: options.workers,
-            checkpoint_path: options.checkpoint.clone(),
-            chunk_size: options.chunk_size,
-            ..Default::default()
-        },
-    );
-    let result = pipeline
+    pipeline
         .run_batch(job)
-        .map_err(|e| CliError::Analysis(e.to_string()))?;
+        .map_err(|e| CliError::Analysis(e.to_string()))
+}
 
-    // One combined table: a column per measure over the shared grid.
-    let _ = writeln!(out);
-    let mut header = format!("{:>10}", "t");
-    for measure in &result.measures {
-        let _ = write!(header, "  {:>18}", measure.name);
-    }
-    let _ = writeln!(out, "{header}");
-    for (row, &t) in ts.iter().enumerate() {
-        let mut line = format!("{t:>10.3}");
-        for measure in &result.measures {
-            let _ = write!(line, "  {:>18.6}", measure.values[row]);
+/// The TCP path: ship serializable specs, let worker processes explore the
+/// state space.  Place names are still validated locally (parsing the model
+/// is cheap; exploring it is the workers' job).
+fn run_over_tcp(
+    out: &mut String,
+    options: &CliOptions,
+    source: &str,
+    ts: &[f64],
+    pipeline: &DistributedPipeline,
+    addrs: &[String],
+) -> Result<smp_pipeline::BatchResult, CliError> {
+    let net = smp_dnamaca::parse_model(source).map_err(|e| CliError::Model(e.to_string()))?;
+    for request in &options.measures {
+        if net.place_index(&request.predicate.place).is_none() {
+            return Err(CliError::Model(format!(
+                "place '{}' does not exist in the model",
+                request.predicate.place
+            )));
         }
-        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(
+        out,
+        "model: {} places, {} transitions (state space explored by the workers)",
+        net.num_places(),
+        net.num_transitions(),
+    );
+
+    let model_spec = match &options.model {
+        ModelSource::Voting(cc, mm, nn) => ModelSpec::Voting {
+            voters: *cc,
+            polling: *mm,
+            central: *nn,
+        },
+        ModelSource::File(_) => ModelSpec::Dnamaca(source.to_string()),
+    };
+    let mut job = BatchJob::new();
+    for request in &options.measures {
+        let transform = match request.kind {
+            // Density and CDF measures both evaluate the raw passage
+            // transform; the /s division happens at inversion, so the pair
+            // shares a transform key (and hence every worker evaluation).
+            MeasureKind::Density | MeasureKind::Cdf => {
+                TransformSpec::passage(model_spec.clone(), request.predicate.clone())
+            }
+            MeasureKind::Transient => {
+                TransformSpec::transient(model_spec.clone(), request.predicate.clone())
+            }
+        };
+        job.push(MeasureSpec::from_spec(
+            request.name(),
+            request.kind,
+            ts,
+            transform,
+        ));
     }
 
-    let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "pipeline: {} worker(s), chunk size {}, {} chunk message(s), {:.3}s elapsed",
-        result.worker_stats.len(),
-        result.chunk_size,
-        result.chunks_dispatched,
-        result.elapsed.as_secs_f64()
-    );
-    let _ = writeln!(
-        out,
-        "evaluations: {} new, {} from checkpoint/cache, {} shared between measures",
-        result.evaluations, result.cache_hits, result.shared_hits
-    );
-    for measure in &result.measures {
-        let _ = writeln!(
-            out,
-            "  {:<24} {:>6} evaluated  {:>6} cached  {:>6} shared",
-            measure.name, measure.evaluations, measure.cache_hits, measure.shared_hits
+    let transport = TcpTransport::bind(addrs)
+        .map_err(|e| CliError::Analysis(format!("cannot bind tcp rendezvous address: {e}")))?;
+    for (worker, addr) in transport.local_addrs().iter().enumerate() {
+        let hint = format!(
+            "tcp master: worker {worker} rendezvous at {addr} \
+(start it with: smpq worker --connect {addr})"
         );
+        // The run blocks in accept until the workers dial in, and the report
+        // string is only printed afterwards — the operator needs the
+        // rendezvous address *now*, so the hint also goes to stderr eagerly.
+        eprintln!("{hint}");
+        let _ = writeln!(out, "{hint}");
     }
-    Ok(out)
+    let result = pipeline
+        .execute(job, &transport)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    if result.chunks_dispatched == 0 {
+        // Fully warmed from the checkpoint: the pipeline never opened the
+        // rendezvous, so the hints above are moot.  Say so eagerly — a worker
+        // started per those hints will retry against a closed port and exit.
+        let note = "tcp master: run satisfied entirely from the checkpoint; \
+no worker connections were used (any started workers will retry briefly and exit)";
+        eprintln!("{note}");
+        let _ = writeln!(out, "{note}");
+    }
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode
+// ---------------------------------------------------------------------------
+
+/// Options for the `smpq worker` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerCliOptions {
+    /// The master's rendezvous address (`HOST:PORT`).
+    pub connect: String,
+    /// Fault injection: drop the connection after this many chunks.
+    pub exit_after_chunks: Option<usize>,
+}
+
+/// Parses the arguments after `smpq worker`.
+pub fn parse_worker_args(args: &[String]) -> Result<WorkerCliOptions, CliError> {
+    let mut connect: Option<String> = None;
+    let mut exit_after_chunks = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value_of = |name: &str| -> Result<&String, CliError> {
+            iter.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value_of("--connect")?.clone()),
+            "--exit-after-chunks" => {
+                exit_after_chunks =
+                    Some(value_of("--exit-after-chunks")?.parse().map_err(|_| {
+                        CliError::Usage("--exit-after-chunks expects an integer".into())
+                    })?)
+            }
+            "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
+            other => return Err(CliError::Usage(format!("unknown worker flag '{other}'"))),
+        }
+    }
+    let Some(connect) = connect else {
+        return Err(CliError::Usage(
+            "smpq worker needs --connect HOST:PORT (the master's rendezvous address)".into(),
+        ));
+    };
+    Ok(WorkerCliOptions {
+        connect,
+        exit_after_chunks,
+    })
+}
+
+/// Runs one worker process: dial the master, rebuild the evaluators from the
+/// job's transform specs, answer chunks until released.  Returns the summary
+/// line the binary prints.
+pub fn run_worker(options: &WorkerCliOptions) -> Result<String, CliError> {
+    let worker_options = TcpWorkerOptions {
+        exit_after_chunks: options.exit_after_chunks,
+        ..Default::default()
+    };
+    let summary = run_tcp_worker(&options.connect, &worker_options).map_err(CliError::Analysis)?;
+    Ok(format!(
+        "worker {} done: {} chunk(s), {} evaluation(s){}\n",
+        summary.worker_id,
+        summary.chunks,
+        summary.evaluated,
+        if summary.dropped_early {
+            " (connection dropped by fault injection)"
+        } else {
+            ""
+        }
+    ))
 }
 
 #[cfg(test)]
@@ -624,7 +753,7 @@ mod tests {
         assert_eq!(options.measures[0].name(), "density:p2>=3");
         assert_eq!(options.measures[2].predicate.op, CompareOp::Eq);
         assert_eq!(options.t_count, 12);
-        assert_eq!(options.workers, 8);
+        assert_eq!(options.workers, WorkerBackend::Threads(8));
         assert_eq!(options.chunk_size, 16);
         assert_eq!(options.method, MethodChoice::Laguerre);
         assert_eq!(options.checkpoint, Some(PathBuf::from("/tmp/x.ckpt")));
@@ -642,6 +771,109 @@ mod tests {
         assert_ne!(
             options.measures[0].transform_key("fp"),
             options.measures[0].transform_key("other-model")
+        );
+    }
+
+    #[test]
+    fn parse_tcp_backend_and_worker_flags() {
+        let options = parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "density:p2>=2",
+            "--workers",
+            "tcp:127.0.0.1:9001, 127.0.0.1:9002",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.workers,
+            WorkerBackend::Tcp(vec![
+                "127.0.0.1:9001".to_string(),
+                "127.0.0.1:9002".to_string()
+            ])
+        );
+
+        // Worker subcommand flags.
+        let worker = parse_worker_args(&args(&["--connect", "10.0.0.5:9000"])).unwrap();
+        assert_eq!(worker.connect, "10.0.0.5:9000");
+        assert_eq!(worker.exit_after_chunks, None);
+        let worker = parse_worker_args(&args(&[
+            "--connect",
+            "localhost:1234",
+            "--exit-after-chunks",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(worker.exit_after_chunks, Some(3));
+
+        // Bad input.
+        for bad in [
+            vec![
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "density:p2>=2",
+                "--workers",
+                "tcp:",
+            ],
+            vec![
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "density:p2>=2",
+                "--workers",
+                "seven",
+            ],
+        ] {
+            assert!(matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))));
+        }
+        assert!(matches!(
+            parse_worker_args(&args(&[])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_worker_args(&args(&["--connect", "x:1", "--frob"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn tcp_and_thread_backends_write_identical_transform_keys() {
+        // The spec-based (TCP) path defaults its transform key to
+        // TransformSpec::transform_key(); the closure-based path uses
+        // MeasureRequest::transform_key().  They must agree, or a checkpoint
+        // warmed by one backend would miss (or worse) under the other.
+        let request = MeasureRequest {
+            kind: MeasureKind::Density,
+            predicate: parse_predicate("p2>=2").unwrap(),
+        };
+        let source = smp_voting::spec::dnamaca_source(smp_voting::VotingConfig::new(3, 1, 1));
+        let fingerprint = model_fingerprint(&source);
+        let spec = TransformSpec::passage(
+            ModelSpec::Voting {
+                voters: 3,
+                polling: 1,
+                central: 1,
+            },
+            request.predicate.clone(),
+        );
+        assert_eq!(spec.transform_key(), request.transform_key(&fingerprint));
+
+        let transient_request = MeasureRequest {
+            kind: MeasureKind::Transient,
+            predicate: parse_predicate("p2>=2").unwrap(),
+        };
+        let transient_spec = TransformSpec::transient(
+            ModelSpec::Voting {
+                voters: 3,
+                polling: 1,
+                central: 1,
+            },
+            transient_request.predicate.clone(),
+        );
+        assert_eq!(
+            transient_spec.transform_key(),
+            transient_request.transform_key(&fingerprint)
         );
     }
 

@@ -5,6 +5,30 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `smpq worker ...` — the slave-processor mode of the TCP transport.
+    if args.first().map(String::as_str) == Some("worker") {
+        let options = match smp_cli::parse_worker_args(&args[1..]) {
+            Ok(options) => options,
+            Err(error) => {
+                if matches!(&error, smp_cli::CliError::Usage(m) if m == "help requested") {
+                    println!("{}", smp_cli::usage());
+                    return;
+                }
+                eprintln!("{error}\n\n{}", smp_cli::usage());
+                std::process::exit(2);
+            }
+        };
+        match smp_cli::run_worker(&options) {
+            Ok(summary) => print!("{summary}"),
+            Err(error) => {
+                eprintln!("{error}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let options = match smp_cli::parse_args(&args) {
         Ok(options) => options,
         Err(error) => {

@@ -92,6 +92,12 @@ impl<'a> TransientSolver<'a> {
         &self.sources
     }
 
+    /// The closure form of this solver consumed by the distributed pipeline's
+    /// measure specs (see `PassageTimeSolver::transform_fn`).
+    pub fn transform_fn(&self) -> impl Fn(Complex64) -> Result<Complex64, String> + Sync + '_ {
+        move |s| self.transform_at(s).map_err(|e| e.to_string())
+    }
+
     /// Evaluates `T*_{i→j}(s)` at one complex point.
     ///
     /// The computation performs one vector-valued passage solve per target state

@@ -33,11 +33,23 @@ impl InversionMethod {
         InversionMethod::Laguerre(Laguerre::standard())
     }
 
-    /// Human-readable name (used by the pipeline's progress reports).
+    /// Human-readable name (used by the pipeline's progress reports and
+    /// carried in transport job frames).
     pub fn name(&self) -> &'static str {
         match self {
             InversionMethod::Euler(_) => "euler",
             InversionMethod::Laguerre(_) => "laguerre",
+        }
+    }
+
+    /// Parses a name produced by [`InversionMethod::name`] back into that
+    /// method's standard configuration — the inverse a worker or CLI needs
+    /// when a method arrives as a string.  Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<InversionMethod> {
+        match name {
+            "euler" => Some(InversionMethod::euler()),
+            "laguerre" => Some(InversionMethod::laguerre()),
+            _ => None,
         }
     }
 }
@@ -342,8 +354,12 @@ mod tests {
     }
 
     #[test]
-    fn method_names() {
-        assert_eq!(InversionMethod::euler().name(), "euler");
-        assert_eq!(InversionMethod::laguerre().name(), "laguerre");
+    fn method_names_round_trip_through_from_name() {
+        for method in [InversionMethod::euler(), InversionMethod::laguerre()] {
+            let name = method.name();
+            let parsed = InversionMethod::from_name(name).unwrap();
+            assert_eq!(parsed.name(), name);
+        }
+        assert!(InversionMethod::from_name("talbot").is_none());
     }
 }

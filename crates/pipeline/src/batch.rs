@@ -11,7 +11,10 @@
 //! work queue — the paper's "cache results both within and across successive
 //! queries" realised as an API.
 
+use crate::transform::TransformSpec;
+use crate::transport::Evaluator;
 use crate::worker::{TransformFn, WorkerStats};
+use smp_laplace::{SPointPlan, TransformValues};
 use smp_numeric::Complex64;
 use std::time::Duration;
 
@@ -39,6 +42,49 @@ impl MeasureKind {
             MeasureKind::Transient => "transient",
         }
     }
+
+    /// Inverts a measure's plan from its cached transform shard, applying the
+    /// kind-specific post-processing.  This is the *only* place the `/s`
+    /// trick's inversion side lives: a CDF measure's shard holds the **raw**
+    /// density values (so they stay sharable with density measures over the
+    /// same transform key), and the division happens here, on a derived copy,
+    /// followed by the `[0, 1]` clamp and the monotone sweep.
+    ///
+    /// # Panics
+    /// Panics when the shard does not cover the plan (callers check
+    /// `plan.is_satisfied_by(shard)` first).
+    pub fn postprocess(&self, plan: &SPointPlan, shard: &TransformValues) -> Vec<f64> {
+        match self {
+            MeasureKind::Density => plan.invert(shard),
+            MeasureKind::Cdf => {
+                let mut derived = TransformValues::new();
+                for &s in plan.s_points() {
+                    let value = shard.get(s).expect("plan satisfied by shard");
+                    derived.insert(s, value / s);
+                }
+                let mut values = plan.invert(&derived);
+                let mut running_max: f64 = 0.0;
+                for v in values.iter_mut() {
+                    *v = v.clamp(0.0, 1.0).max(running_max);
+                    running_max = *v;
+                }
+                values
+            }
+            MeasureKind::Transient => plan
+                .invert(shard)
+                .into_iter()
+                .map(|p| p.clamp(0.0, 1.0))
+                .collect(),
+        }
+    }
+}
+
+/// How a measure's transform is evaluated: a live in-process closure, or a
+/// serializable [`TransformSpec`] that any backend — including a worker on the
+/// other end of a socket — can rebuild into an evaluator.
+enum MeasureTransform<'a> {
+    Closure(Box<TransformFn<'a>>),
+    Spec(TransformSpec),
 }
 
 /// One measure of a batch job: a named transform, the time grid to invert it
@@ -48,7 +94,7 @@ pub struct MeasureSpec<'a> {
     kind: MeasureKind,
     t_points: Vec<f64>,
     transform_key: String,
-    transform: Box<TransformFn<'a>>,
+    transform: MeasureTransform<'a>,
 }
 
 impl std::fmt::Debug for MeasureSpec<'_> {
@@ -86,7 +132,27 @@ impl<'a> MeasureSpec<'a> {
             name,
             kind,
             t_points: t_points.to_vec(),
-            transform: Box::new(transform),
+            transform: MeasureTransform::Closure(Box::new(transform)),
+        }
+    }
+
+    /// Creates a measure from a serializable [`TransformSpec`] instead of a
+    /// closure.  Spec-based measures run on *every* transport backend — the
+    /// TCP backend requires them, since a closure cannot cross a process
+    /// boundary — and default their transform key to
+    /// [`TransformSpec::transform_key`], which folds the model fingerprint in.
+    pub fn from_spec(
+        name: impl Into<String>,
+        kind: MeasureKind,
+        t_points: &[f64],
+        spec: TransformSpec,
+    ) -> MeasureSpec<'static> {
+        MeasureSpec {
+            transform_key: spec.transform_key(),
+            name: name.into(),
+            kind,
+            t_points: t_points.to_vec(),
+            transform: MeasureTransform::Spec(spec),
         }
     }
 
@@ -142,8 +208,20 @@ impl<'a> MeasureSpec<'a> {
         &self.transform_key
     }
 
-    pub(crate) fn transform(&self) -> &TransformFn<'a> {
-        self.transform.as_ref()
+    /// The measure's transform spec, when it was built with
+    /// [`MeasureSpec::from_spec`].
+    pub fn transform_spec(&self) -> Option<&TransformSpec> {
+        match &self.transform {
+            MeasureTransform::Spec(spec) => Some(spec),
+            MeasureTransform::Closure(_) => None,
+        }
+    }
+
+    pub(crate) fn evaluator(&self) -> Evaluator<'_> {
+        match &self.transform {
+            MeasureTransform::Closure(f) => Evaluator::Closure(f.as_ref()),
+            MeasureTransform::Spec(spec) => Evaluator::Spec(spec),
+        }
     }
 }
 
@@ -240,6 +318,17 @@ pub struct BatchResult {
     pub chunk_size: usize,
     /// Number of chunks dispatched (equals the number of worker messages).
     pub chunks_dispatched: usize,
+    /// Name of the transport backend that ran the evaluations.
+    pub backend: &'static str,
+    /// Protocol messages exchanged with the workers (see
+    /// [`crate::transport::TransportReport::messages`]).
+    pub messages: usize,
+    /// Bytes shipped (or, for the simulated-latency backend, bytes that
+    /// *would* be shipped) over the wire; zero in-process.
+    pub bytes_on_wire: u64,
+    /// Workers lost before the queue drained (their outstanding chunks were
+    /// requeued onto the survivors).
+    pub disconnects: usize,
     /// Per-worker accounting.
     pub worker_stats: Vec<WorkerStats>,
 }

@@ -28,6 +28,7 @@
 //! ignored on load.
 
 use crate::cache::LEGACY_MEASURE_KEY;
+use crate::wire;
 use smp_laplace::TransformValues;
 use smp_numeric::Complex64;
 use std::collections::HashMap;
@@ -35,39 +36,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-/// Percent-encodes a transform key so it fits in one whitespace-delimited
-/// checkpoint field (alphanumerics and `-_.:+/` pass through unchanged).
-fn encode_key(key: &str) -> String {
-    let mut out = String::with_capacity(key.len());
-    for byte in key.bytes() {
-        match byte {
-            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b':' | b'+' | b'/' => {
-                out.push(byte as char)
-            }
-            _ => out.push_str(&format!("%{byte:02x}")),
-        }
-    }
-    out
-}
-
-/// Inverse of [`encode_key`].  Returns `None` for malformed escapes.
-fn decode_key(field: &str) -> Option<String> {
-    let bytes = field.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
-            let hex = bytes.get(i + 1..i + 3)?;
-            let hex = std::str::from_utf8(hex).ok()?;
-            out.push(u8::from_str_radix(hex, 16).ok()?);
-            i += 3;
-        } else {
-            out.push(bytes[i]);
-            i += 1;
-        }
-    }
-    String::from_utf8(out).ok()
-}
+// Key and float fields use the workspace wire encoding (`crate::wire`), so a
+// checkpoint record and a TCP result frame are built from the same primitives:
+// percent-encoded strings, 16-hex-digit bit patterns for `f64`s.
 
 /// An append-only checkpoint writer.
 #[derive(Debug)]
@@ -131,15 +102,15 @@ impl CheckpointWriter {
         value: Complex64,
     ) -> std::io::Result<()> {
         if key != LEGACY_MEASURE_KEY {
-            write!(self.writer, "k={} ", encode_key(key))?;
+            write!(self.writer, "k={} ", wire::encode_str(key))?;
         }
         writeln!(
             self.writer,
-            "{:016x} {:016x} {:016x} {:016x}",
-            s.re.to_bits(),
-            s.im.to_bits(),
-            value.re.to_bits(),
-            value.im.to_bits()
+            "{} {} {} {}",
+            wire::encode_f64(s.re),
+            wire::encode_f64(s.im),
+            wire::encode_f64(value.re),
+            wire::encode_f64(value.im)
         )?;
         self.writer.flush()?;
         self.records += 1;
@@ -176,23 +147,17 @@ pub fn load_checkpoint_by_measure(
         let mut parts = line.split_whitespace().peekable();
         let key = match parts.peek() {
             Some(first) if first.starts_with("k=") => {
-                let Some(key) = decode_key(&parts.next().unwrap()[2..]) else {
+                let Some(key) = wire::decode_str(&parts.next().unwrap()[2..]) else {
                     continue; // malformed key escape
                 };
                 key
             }
             _ => LEGACY_MEASURE_KEY.to_string(),
         };
-        // Every field of a complete record is exactly 16 hex digits; anything
+        // `wire::decode_f64` insists on exactly 16 hex digits; anything
         // shorter is a record truncated mid-field by a crash, which would
         // otherwise still parse as a (tiny, wrong) f64.
-        let mut next_f64 = || -> Option<f64> {
-            parts
-                .next()
-                .filter(|p| p.len() == 16)
-                .and_then(|p| u64::from_str_radix(p, 16).ok())
-                .map(f64::from_bits)
-        };
+        let mut next_f64 = || -> Option<f64> { parts.next().and_then(wire::decode_f64) };
         let (Some(sre), Some(sim), Some(vre), Some(vim)) =
             (next_f64(), next_f64(), next_f64(), next_f64())
         else {
@@ -325,17 +290,17 @@ mod tests {
     }
 
     #[test]
-    fn key_encoding_round_trips_awkward_keys() {
+    fn key_encoding_is_the_shared_wire_string_field() {
+        // Records written with the shared primitives stay readable and
+        // single-field for awkward keys (escape-sequence edge cases are
+        // covered by the wire module's own tests).
         for key in ["plain", "with space", "pct%sign", "naïve-ütf8", "a=b k=c"] {
-            let encoded = encode_key(key);
+            let encoded = wire::encode_str(key);
             assert!(
                 !encoded.contains(char::is_whitespace),
                 "encoded {encoded:?} must be one field"
             );
-            assert_eq!(decode_key(&encoded).as_deref(), Some(key));
+            assert_eq!(wire::decode_str(&encoded).as_deref(), Some(key));
         }
-        // Truncated escape sequences are rejected rather than mis-read.
-        assert_eq!(decode_key("bad%2"), None);
-        assert_eq!(decode_key("bad%zz"), None);
     }
 }

@@ -11,17 +11,28 @@
 //! Because no inter-slave communication is needed, the pipeline scales almost
 //! linearly (Table 2).
 //!
-//! ## Substitution note
+//! ## Transports
 //!
 //! The original tool ran on a cluster of PCs over 100 Mbps Ethernet via a
-//! master–slave message-passing harness.  Rust MPI bindings are not mature enough to
-//! depend on here, and the algorithm requires no inter-worker communication, so this
-//! crate reproduces the architecture **in-process**: worker threads stand in for
-//! slave processors, a shared lock-protected queue is the global work queue, and an
-//! optional, configurable per-result latency simulates the network round-trip.  The
-//! scheduling, caching, checkpointing and convergence code paths are identical to
-//! what a multi-host deployment would execute; only the transport differs (see
-//! the workspace `README.md`).
+//! master–slave message-passing harness.  That layer is abstracted behind the
+//! [`transport::Transport`] trait, so one planning/caching/checkpointing core
+//! ([`DistributedPipeline::execute`]) drives three interchangeable backends:
+//!
+//! * [`transport::InProcess`] (default) — worker threads stand in for slave
+//!   processors, a shared lock-protected queue is the global work queue;
+//! * [`transport::SimulatedLatency`] — the same threads plus a configurable
+//!   per-message delay and wire-byte accounting, for Table-2 style scalability
+//!   measurements with a network in the loop;
+//! * [`transport::TcpTransport`] — real worker **processes** over
+//!   length-prefixed frames on TCP sockets (`smpq worker --connect`), which
+//!   rebuild their evaluators from serializable [`transform::TransformSpec`]s
+//!   and survive mid-run disconnects by requeueing outstanding chunks.
+//!
+//! The scheduling, caching, checkpointing and convergence code paths are
+//! identical across backends — a TCP run inverts from bit-identical transform
+//! values — and the closure-based [`DistributedPipeline::run`] remains as an
+//! in-process-only convenience (closures cannot cross a process boundary; see
+//! the workspace `README.md` for the two-terminal walkthrough).
 //!
 //! ## Batch jobs
 //!
@@ -36,6 +47,11 @@
 //!
 //! * [`work`] — the global chunked `s`-point work queue;
 //! * [`batch`] — measure and batch-job specifications and their results;
+//! * [`transform`] — serializable evaluator descriptions ([`TransformSpec`])
+//!   and their reconstruction into solvers on a worker;
+//! * [`transport`] — the pluggable master⇄worker backends;
+//! * [`wire`] — the shared field/frame encoding (checkpoint records and TCP
+//!   frames are built from the same primitives);
 //! * [`cache`] — the measure-keyed in-memory result cache shared between
 //!   workers and master;
 //! * [`checkpoint`] — append-only on-disk checkpoint files (legacy and
@@ -52,6 +68,9 @@ pub mod cache;
 pub mod checkpoint;
 pub mod master;
 pub mod metrics;
+pub mod transform;
+pub mod transport;
+pub mod wire;
 pub mod work;
 pub mod worker;
 
@@ -60,3 +79,11 @@ pub use master::{
     DistributedPipeline, PipelineError, PipelineOptions, PipelineResult, RUN_CDF_TRANSFORM_KEY,
 };
 pub use metrics::{run_scalability_sweep, ScalabilityRow};
+pub use transform::{
+    model_fingerprint, CompareOp, CompiledModelSet, DistSpec, ModelSpec, TargetResolveError,
+    TargetSpec, TransformSpec,
+};
+pub use transport::{
+    run_tcp_worker, InProcess, SimulatedLatency, TcpTransport, TcpWorkerOptions, TcpWorkerSummary,
+    Transport, TransportReport,
+};

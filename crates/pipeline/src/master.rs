@@ -1,12 +1,12 @@
 //! The master process: planning, distribution, checkpointing and final inversion.
 
-use crate::batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
+use crate::batch::{BatchJob, BatchResult, MeasureResult, MeasureSpec};
 use crate::cache::{ResultCache, LEGACY_MEASURE_KEY};
 use crate::checkpoint::{load_checkpoint_by_measure, CheckpointWriter};
-use crate::work::{WorkItem, WorkQueue};
-use crate::worker::{run_batch_worker, TransformFn, WorkerMessage, WorkerStats};
-use crossbeam::channel::unbounded;
-use smp_laplace::{union_s_points, InversionMethod, SPointPlan, TransformValues};
+use crate::transport::{ExecutionPlan, InProcess, SimulatedLatency, Transport};
+use crate::work::WorkItem;
+use crate::worker::WorkerStats;
+use smp_laplace::{union_s_points, InversionMethod, SPointPlan};
 use smp_numeric::Complex64;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -72,6 +72,13 @@ pub enum PipelineError {
         /// Name of the measure whose plan is not fully covered.
         measure: String,
     },
+    /// The transport backend itself failed: a spec would not compile or
+    /// encode, every worker was lost with work outstanding, or a closure-based
+    /// measure was handed to a process-boundary backend.
+    Transport {
+        /// Description of the backend failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -84,6 +91,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Incomplete { measure } => {
                 write!(f, "measure '{measure}' has unevaluated transform points")
             }
+            PipelineError::Transport { message } => write!(f, "transport error: {message}"),
         }
     }
 }
@@ -116,6 +124,12 @@ pub struct PipelineResult {
     pub evaluations: usize,
     /// Number of planned `s`-points satisfied from the checkpoint/cache.
     pub cache_hits: usize,
+    /// Name of the transport backend that ran the evaluations.
+    pub backend: &'static str,
+    /// Protocol messages exchanged with the workers.
+    pub messages: usize,
+    /// Bytes shipped (or simulated) on the wire; zero in-process.
+    pub bytes_on_wire: u64,
     /// Per-worker accounting.
     pub worker_stats: Vec<WorkerStats>,
 }
@@ -184,7 +198,31 @@ impl DistributedPipeline {
     /// assert!(*cdf.values.last().unwrap() > 0.95);
     /// ```
     pub fn run_batch(&self, job: BatchJob<'_>) -> Result<BatchResult, PipelineError> {
+        match self.options.simulated_latency {
+            Some(latency) => {
+                self.execute(job, &SimulatedLatency::new(self.options.workers, latency))
+            }
+            None => self.execute(job, &InProcess::new(self.options.workers)),
+        }
+    }
+
+    /// The generic pipeline core: plans, dedupes, dispatches and inverts a
+    /// batch over **any** [`Transport`] backend.
+    ///
+    /// [`DistributedPipeline::run_batch`], [`DistributedPipeline::run`] and
+    /// [`DistributedPipeline::run_cdf`] are all thin shims over this method
+    /// with the backend chosen from [`PipelineOptions`]; pass a
+    /// [`crate::transport::TcpTransport`] here (or from the `smpq` CLI via
+    /// `--workers tcp:ADDR,...`) to farm the evaluations out to worker
+    /// *processes*.  Process-boundary backends require every measure to be
+    /// built with [`MeasureSpec::from_spec`].
+    pub fn execute(
+        &self,
+        job: BatchJob<'_>,
+        transport: &dyn Transport,
+    ) -> Result<BatchResult, PipelineError> {
         let started = Instant::now();
+        let backend = transport.name();
         let measures = job.into_measures();
         if measures.is_empty() {
             return Ok(BatchResult {
@@ -195,6 +233,10 @@ impl DistributedPipeline {
                 shared_hits: 0,
                 chunk_size: self.options.chunk_size.max(1),
                 chunks_dispatched: 0,
+                backend,
+                messages: 0,
+                bytes_on_wire: 0,
+                disconnects: 0,
                 worker_stats: Vec::new(),
             });
         }
@@ -269,42 +311,48 @@ impl DistributedPipeline {
             None => None,
         };
 
-        let workers = self.options.workers.max(1);
-        let expected_items = items.len();
-        let chunk_size = self.options.resolve_chunk_size(expected_items, workers);
-        let queue = WorkQueue::with_chunk_size(items, chunk_size);
-        let evaluators: Vec<&TransformFn<'_>> = measures.iter().map(|m| m.transform()).collect();
+        let chunk_size = self
+            .options
+            .resolve_chunk_size(items.len(), transport.parallelism().max(1));
+        let plan = ExecutionPlan {
+            evaluators: measures.iter().map(|m| m.evaluator()).collect(),
+            items,
+            chunk_size,
+            method: self.method.name().to_string(),
+        };
         let keys: Vec<&str> = measures.iter().map(|m| m.transform_key()).collect();
-        let latency = self.options.simulated_latency;
-        let (tx, rx) = unbounded::<WorkerMessage>();
 
+        // The transport drains the plan; the master caches and checkpoints
+        // every arriving value under its measure's transform key inside the
+        // collection callback (this is the code path a multi-host deployment
+        // runs when messages come off the network).
         let mut first_error: Option<PipelineError> = None;
-        let mut received = 0usize;
         let mut chunks_dispatched = 0usize;
-        let worker_stats: Vec<WorkerStats> = crossbeam::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for id in 0..workers {
-                let queue = &queue;
-                let evaluators = &evaluators;
-                let tx = tx.clone();
-                handles.push(
-                    scope.spawn(move |_| run_batch_worker(id, queue, evaluators, latency, &tx)),
-                );
-            }
-            drop(tx);
-
-            // The master collects chunk messages as they arrive, caching and
-            // checkpointing every value under its measure's transform key (this
-            // is also where a multi-host deployment would receive messages from
-            // the network).
-            while received < expected_items {
-                let Ok(message) = rx.recv() else { break };
+        // A fully-warm run has nothing to dispatch: skip the transport
+        // entirely rather than (for the TCP backend) blocking on a worker
+        // rendezvous that no worker has any reason to attend.
+        let transport_result = if plan.items.is_empty() {
+            Ok(crate::transport::TransportReport::default())
+        } else {
+            transport.execute(plan, &mut |message| {
                 chunks_dispatched += 1;
                 for outcome in message.results {
-                    received += 1;
+                    // The measure index ultimately comes off the wire for the
+                    // TCP backend; an out-of-range echo must fail the run,
+                    // not panic it (handlers already reject mismatched
+                    // echoes — this is the transport-independent backstop).
+                    let Some(key) = keys.get(outcome.item.measure).copied() else {
+                        first_error.get_or_insert(PipelineError::Transport {
+                            message: format!(
+                                "result references measure {} but the batch has {}",
+                                outcome.item.measure,
+                                keys.len()
+                            ),
+                        });
+                        continue;
+                    };
                     match outcome.outcome {
                         Ok(value) => {
-                            let key = keys[outcome.item.measure];
                             cache.insert(key, outcome.item.s, value);
                             if let Some(writer) = checkpoint.as_mut() {
                                 if let Err(e) = writer.record_tagged(key, outcome.item.s, value) {
@@ -320,21 +368,19 @@ impl DistributedPipeline {
                         }
                     }
                 }
-            }
+            })
+        };
 
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        })
-        .expect("pipeline scope failed");
-
+        // A per-point evaluation failure is more specific than a transport
+        // failure it may have caused; report it first.
         if let Some(error) = first_error {
             return Err(error);
         }
+        let report = transport_result?;
 
         // Invert each measure on its own grid with kind-specific
-        // post-processing.
+        // post-processing (the /s trick for CDFs lives in
+        // `MeasureKind::postprocess`).
         let mut measure_results = Vec::with_capacity(measures.len());
         for (mi, m) in measures.iter().enumerate() {
             let shard = cache.snapshot(m.transform_key());
@@ -343,35 +389,11 @@ impl DistributedPipeline {
                     measure: m.name().to_string(),
                 });
             }
-            let values = match m.kind() {
-                MeasureKind::Density => plans[mi].invert(&shard),
-                MeasureKind::Cdf => {
-                    // The "/s trick": invert L(s)/s, derived from the cached raw
-                    // density values so they stay sharable with density measures.
-                    let mut derived = TransformValues::new();
-                    for &s in plans[mi].s_points() {
-                        let value = shard.get(s).expect("plan satisfied above");
-                        derived.insert(s, value / s);
-                    }
-                    let mut values = plans[mi].invert(&derived);
-                    let mut running_max: f64 = 0.0;
-                    for v in values.iter_mut() {
-                        *v = v.clamp(0.0, 1.0).max(running_max);
-                        running_max = *v;
-                    }
-                    values
-                }
-                MeasureKind::Transient => plans[mi]
-                    .invert(&shard)
-                    .into_iter()
-                    .map(|p| p.clamp(0.0, 1.0))
-                    .collect(),
-            };
             measure_results.push(MeasureResult {
                 name: m.name().to_string(),
                 kind: m.kind(),
                 t_points: m.t_points().to_vec(),
-                values,
+                values: m.kind().postprocess(&plans[mi], &shard),
                 evaluations: evaluations[mi],
                 cache_hits: cache_hits[mi],
                 shared_hits: shared_hits[mi],
@@ -386,7 +408,11 @@ impl DistributedPipeline {
             shared_hits: shared_hits.iter().sum(),
             chunk_size,
             chunks_dispatched,
-            worker_stats,
+            backend,
+            messages: report.messages,
+            bytes_on_wire: report.bytes_on_wire,
+            disconnects: report.disconnects,
+            worker_stats: report.worker_stats,
         })
     }
 
@@ -423,6 +449,9 @@ impl DistributedPipeline {
             elapsed: batch.elapsed,
             evaluations: batch.evaluations,
             cache_hits: batch.cache_hits,
+            backend: batch.backend,
+            messages: batch.messages,
+            bytes_on_wire: batch.bytes_on_wire,
             worker_stats: batch.worker_stats,
         })
     }
@@ -458,7 +487,6 @@ impl DistributedPipeline {
 mod tests {
     use super::*;
     use smp_distributions::Dist;
-    use smp_distributions::LaplaceTransform as _;
     use smp_laplace::Euler;
     use smp_numeric::stats::linspace;
 
@@ -678,6 +706,92 @@ mod tests {
         let messages: usize = batch.worker_stats.iter().map(|w| w.messages).sum();
         assert_eq!(messages, batch.chunks_dispatched);
         assert!(batch.chunk_size >= 1);
+    }
+
+    #[test]
+    fn spec_based_measures_match_closure_based_ones_bitwise() {
+        use crate::batch::MeasureKind;
+        use crate::transform::{ModelSpec, TargetSpec, TransformSpec};
+        use smp_core::PassageTimeSolver;
+        use smp_smspn::StateSpace;
+
+        let model = ModelSpec::Voting {
+            voters: 3,
+            polling: 1,
+            central: 1,
+        };
+        let targets = TargetSpec::parse("p2>=2").unwrap();
+        let ts = linspace(1.0, 12.0, 6);
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(3));
+
+        // Spec-based: the measure carries a description, the transport
+        // compiles it (exactly what a TCP worker process would do).
+        let spec = TransformSpec::passage(model.clone(), targets.clone());
+        let job = BatchJob::new().add(MeasureSpec::from_spec(
+            "voting:density",
+            MeasureKind::Density,
+            &ts,
+            spec.clone(),
+        ));
+        let from_spec = pipeline.run_batch(job).unwrap();
+
+        // Closure-based: the CLI's historical construction path.
+        let source = model.source();
+        let net = smp_dnamaca::parse_model(&source).unwrap();
+        let space = StateSpace::explore(&net).unwrap();
+        let target_states = targets.resolve(&net, &space).unwrap();
+        let solver =
+            PassageTimeSolver::new(space.smp(), &[space.initial_state()], &target_states).unwrap();
+        let from_closure = pipeline
+            .run(
+                |s| {
+                    solver
+                        .transform_at(s)
+                        .map(|p| p.value)
+                        .map_err(|e| e.to_string())
+                },
+                &ts,
+            )
+            .unwrap();
+
+        let spec_values = &from_spec.measures[0].values;
+        assert_eq!(spec_values, &from_closure.values, "bitwise identical");
+        // The spec-based measure's default key folds the model fingerprint in.
+        assert_eq!(from_spec.measures[0].name, "voting:density",);
+        assert_eq!(spec.transform_key(), {
+            let fp = model.fingerprint();
+            format!("m{fp}:passage:p2>=2")
+        });
+    }
+
+    #[test]
+    fn batch_reports_backend_and_protocol_counters() {
+        let d = Dist::erlang(1.0, 2);
+        let ts = linspace(0.5, 3.0, 5);
+        let pipeline =
+            DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(2));
+        let job = BatchJob::new().add(MeasureSpec::density("d", &ts, density_evaluator(d)));
+        let batch = pipeline.run_batch(job).unwrap();
+        assert_eq!(batch.backend, "in-process");
+        assert_eq!(batch.bytes_on_wire, 0);
+        assert_eq!(batch.disconnects, 0);
+        assert_eq!(batch.messages, batch.chunks_dispatched);
+
+        // The same job over the simulated-latency backend accounts bytes.
+        let d = Dist::erlang(1.0, 2);
+        let pipeline = DistributedPipeline::new(
+            InversionMethod::euler(),
+            PipelineOptions {
+                workers: 2,
+                simulated_latency: Some(std::time::Duration::from_micros(100)),
+                ..Default::default()
+            },
+        );
+        let job = BatchJob::new().add(MeasureSpec::density("d", &ts, density_evaluator(d)));
+        let batch = pipeline.run_batch(job).unwrap();
+        assert_eq!(batch.backend, "sim-latency");
+        assert!(batch.bytes_on_wire > 0);
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! evaluation plan is solved repeatedly with an increasing worker count, and each
 //! run's wall-clock time is reported relative to the single-worker baseline.
 
+use crate::batch::{BatchJob, MeasureSpec};
+use crate::cache::LEGACY_MEASURE_KEY;
 use crate::master::{DistributedPipeline, PipelineError, PipelineOptions};
+use crate::transport::{InProcess, SimulatedLatency, Transport};
 use smp_laplace::InversionMethod;
 use smp_numeric::Complex64;
 use std::time::Duration;
@@ -24,17 +27,28 @@ pub struct ScalabilityRow {
     pub efficiency: f64,
     /// Number of `s`-point evaluations performed.
     pub evaluations: usize,
+    /// Name of the transport backend the row ran on.
+    pub backend: &'static str,
+    /// Protocol messages exchanged between master and workers.
+    pub messages: usize,
+    /// Bytes shipped (or, for the simulated-latency backend, bytes that
+    /// *would* be shipped) over the wire — the protocol overhead column.
+    pub bytes_on_wire: u64,
 }
 
 impl ScalabilityRow {
-    /// Formats the row like the paper's table: `workers  time  speedup  efficiency`.
+    /// Formats the row like the paper's table, extended with the protocol
+    /// overhead columns:
+    /// `workers  time  speedup  efficiency  messages  wire-bytes`.
     pub fn formatted(&self) -> String {
         format!(
-            "{:>6}  {:>10.3}  {:>8.2}  {:>10.3}",
+            "{:>6}  {:>10.3}  {:>8.2}  {:>10.3}  {:>8}  {:>10}",
             self.workers,
             self.elapsed.as_secs_f64(),
             self.speedup,
-            self.efficiency
+            self.efficiency,
+            self.messages,
+            self.bytes_on_wire
         )
     }
 }
@@ -42,8 +56,11 @@ impl ScalabilityRow {
 /// Runs the same analysis with each worker count in `worker_counts` and reports
 /// time, speedup and efficiency against the first entry (conventionally 1 worker).
 ///
-/// `simulated_latency` optionally adds a per-result delay representing the network
-/// round-trip of the original cluster deployment.
+/// `simulated_latency` selects the backend: `None` runs on [`InProcess`],
+/// `Some(d)` runs on [`SimulatedLatency`] — the same per-message delay the
+/// old ad-hoc sleep injection produced, but routed through the transport
+/// layer, so the row also reports the messages and bytes a network deployment
+/// would have exchanged.
 pub fn run_scalability_sweep<F>(
     method: InversionMethod,
     transform: F,
@@ -61,20 +78,27 @@ where
     let mut rows = Vec::with_capacity(worker_counts.len());
     let mut baseline: Option<Duration> = None;
     for &workers in worker_counts {
+        let transport: Box<dyn Transport> = match simulated_latency {
+            Some(latency) => Box::new(SimulatedLatency::new(workers, latency)),
+            None => Box::new(InProcess::new(workers)),
+        };
+        // One point per message, as in the paper's protocol: automatic chunk
+        // sizing depends on the worker count, which would make the per-message
+        // latency cost differ between rows and corrupt the speedup/efficiency
+        // comparison.
         let pipeline = DistributedPipeline::new(
             method.clone(),
             PipelineOptions {
                 workers,
-                simulated_latency,
-                // One point per message, as in the paper's protocol: automatic
-                // chunk sizing depends on the worker count, which would make the
-                // per-message latency cost differ between rows and corrupt the
-                // speedup/efficiency comparison.
                 chunk_size: 1,
                 ..Default::default()
             },
         );
-        let result = pipeline.run(&transform, t_points)?;
+        let job = BatchJob::new().add(
+            MeasureSpec::density("scalability", t_points, &transform)
+                .with_transform_key(LEGACY_MEASURE_KEY),
+        );
+        let result = pipeline.execute(job, transport.as_ref())?;
         let elapsed = result.elapsed;
         let base = *baseline.get_or_insert(elapsed);
         let speedup = base.as_secs_f64() / elapsed.as_secs_f64().max(1e-12);
@@ -84,6 +108,9 @@ where
             speedup,
             efficiency: speedup / workers as f64,
             evaluations: result.evaluations,
+            backend: result.backend,
+            messages: result.messages,
+            bytes_on_wire: result.bytes_on_wire,
         });
     }
     Ok(rows)
@@ -93,7 +120,6 @@ where
 mod tests {
     use super::*;
     use smp_distributions::Dist;
-    use smp_distributions::LaplaceTransform as _;
 
     #[test]
     fn sweep_reports_rows_for_every_worker_count() {
@@ -121,9 +147,43 @@ mod tests {
             rows[0].elapsed
         );
         assert!(rows[2].speedup > 1.0);
-        // The formatted row carries all four columns.
+        // In-process rows ship no bytes and name their backend.
+        assert!(rows.iter().all(|r| r.backend == "in-process"));
+        assert!(rows.iter().all(|r| r.bytes_on_wire == 0));
+        assert!(
+            rows.iter().all(|r| r.messages == r.evaluations),
+            "chunk size 1: one result message per point"
+        );
+        // The formatted row carries all six columns.
         let text = rows[1].formatted();
-        assert_eq!(text.split_whitespace().count(), 4);
+        assert_eq!(text.split_whitespace().count(), 6);
+    }
+
+    #[test]
+    fn simulated_latency_rows_report_protocol_overhead() {
+        let d = Dist::exponential(1.0);
+        let evaluator = move |s: Complex64| -> Result<Complex64, String> { Ok(d.lst(s)) };
+        let ts = [1.0, 2.0];
+        let rows = run_scalability_sweep(
+            InversionMethod::euler(),
+            evaluator,
+            &ts,
+            &[1, 2],
+            Some(Duration::from_micros(200)),
+        )
+        .unwrap();
+        for row in &rows {
+            assert_eq!(row.backend, "sim-latency");
+            assert!(row.bytes_on_wire > 0, "latency rows account wire bytes");
+            // Chunk size 1, counted like the TCP backend: one request and
+            // one result frame per point (this closure-based sweep has no
+            // job frame to ship).
+            assert_eq!(row.messages, 2 * row.evaluations);
+        }
+        // The per-chunk protocol work is identical across worker counts:
+        // same points, same chunk size, so the overhead column is comparable
+        // between rows.
+        assert_eq!(rows[0].bytes_on_wire, rows[1].bytes_on_wire);
     }
 
     #[test]

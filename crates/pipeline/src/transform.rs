@@ -1,0 +1,885 @@
+//! Serializable transform specifications — *descriptions* of evaluators.
+//!
+//! The closure-based pipeline API (`Fn(Complex64) -> Result<Complex64, String>`)
+//! cannot cross a process boundary, so everything a remote worker needs to
+//! rebuild an evaluator is captured in a [`TransformSpec`]: which model (a
+//! built-in voting configuration or raw extended-DNAmaca source), which target
+//! markings (a token-count predicate), and what to do with the transform (raw
+//! passage density, the `/s` CDF trick, a transient row, or a named analytic
+//! distribution's LST for testing and calibration).
+//!
+//! A spec has a **canonical single-line wire encoding**
+//! ([`TransformSpec::encode`] / [`TransformSpec::decode`]) built from the same
+//! field primitives as the checkpoint format, and a **transform key**
+//! ([`TransformSpec::transform_key`]) that folds the model source's FNV-1a
+//! fingerprint in, so cache shards and checkpoint records written against one
+//! model can never be replayed against another.
+//!
+//! Workers turn a spec back into a running evaluator in two steps that mirror
+//! the life cycle of the paper's slave processors: [`CompiledModelSet::compile`]
+//! parses the model and explores its state space once per *distinct* model
+//! (several measures over one model share the exploration), and
+//! [`CompiledModelSet::evaluator`] builds the per-measure solver borrowing that
+//! shared state space.
+
+use crate::wire::{decode_str, encode_finite_f64, encode_str, WireError};
+use smp_core::transient::TransientSolver;
+use smp_core::PassageTimeSolver;
+use smp_distributions::Dist;
+use smp_numeric::Complex64;
+use smp_smspn::{Marking, StateSpace};
+
+/// Wire-format version of the spec encoding (first field of every spec line).
+pub const SPEC_VERSION: u32 = 1;
+
+fn malformed(message: impl Into<String>) -> WireError {
+    WireError::Malformed {
+        message: message.into(),
+    }
+}
+
+/// A 64-bit FNV-1a fingerprint of a model's source text, rendered as 16 hex
+/// digits.  Folded into every transform key so that a checkpoint file reused
+/// with a different (or since-edited) model misses the cache instead of
+/// feeding it stale transform values.
+pub fn model_fingerprint(source: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in source.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+// ---------------------------------------------------------------------------
+// Model specification
+// ---------------------------------------------------------------------------
+
+/// Where the model a transform is evaluated over comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// The built-in voting model for `(voters, polling units, central units)`
+    /// — the paper's case study, generated on the worker.
+    Voting {
+        /// Number of voters `CC`.
+        voters: u32,
+        /// Number of polling units `MM`.
+        polling: u32,
+        /// Number of central voting units `NN`.
+        central: u32,
+    },
+    /// Raw extended-DNAmaca model source, shipped verbatim.
+    Dnamaca(String),
+}
+
+impl ModelSpec {
+    /// The extended-DNAmaca source text of the model (generated for
+    /// [`ModelSpec::Voting`]).
+    pub fn source(&self) -> String {
+        match self {
+            ModelSpec::Voting {
+                voters,
+                polling,
+                central,
+            } => smp_voting::spec::dnamaca_source(smp_voting::VotingConfig::new(
+                *voters, *polling, *central,
+            )),
+            ModelSpec::Dnamaca(source) => source.clone(),
+        }
+    }
+
+    /// The FNV-1a fingerprint of [`ModelSpec::source`].
+    pub fn fingerprint(&self) -> String {
+        model_fingerprint(&self.source())
+    }
+
+    fn encode(&self) -> String {
+        match self {
+            ModelSpec::Voting {
+                voters,
+                polling,
+                central,
+            } => format!("voting:{voters},{polling},{central}"),
+            ModelSpec::Dnamaca(source) => format!("dnamaca:{}", encode_str(source)),
+        }
+    }
+
+    fn decode(field: &str) -> Result<ModelSpec, WireError> {
+        if let Some(rest) = field.strip_prefix("voting:") {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 3 {
+                return Err(malformed(format!("voting model needs CC,MM,NN: '{rest}'")));
+            }
+            let mut numbers = [0u32; 3];
+            for (slot, part) in numbers.iter_mut().zip(&parts) {
+                *slot = part
+                    .parse()
+                    .map_err(|_| malformed(format!("bad voting component '{part}'")))?;
+            }
+            return Ok(ModelSpec::Voting {
+                voters: numbers[0],
+                polling: numbers[1],
+                central: numbers[2],
+            });
+        }
+        if let Some(rest) = field.strip_prefix("dnamaca:") {
+            let source =
+                decode_str(rest).ok_or_else(|| malformed("bad DNAmaca source encoding"))?;
+            return Ok(ModelSpec::Dnamaca(source));
+        }
+        Err(malformed(format!("unknown model spec '{field}'")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Target specification
+// ---------------------------------------------------------------------------
+
+/// Comparison operators accepted in a target predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CompareOp {
+    Ge,
+    Le,
+    Gt,
+    Lt,
+    Eq,
+    Ne,
+}
+
+impl CompareOp {
+    /// The operator's source form, e.g. `>=`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Ge => ">=",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Lt => "<",
+            CompareOp::Eq => "==",
+            CompareOp::Ne => "!=",
+        }
+    }
+}
+
+/// A token-count predicate `PLACE OP N` selecting a model's target markings —
+/// the serializable form of "the set of states the passage ends in".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetSpec {
+    /// The place whose marking is compared.
+    pub place: String,
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// The right-hand token count.
+    pub count: u32,
+}
+
+impl TargetSpec {
+    /// True when a token count satisfies the predicate.
+    pub fn matches(&self, tokens: u32) -> bool {
+        match self.op {
+            CompareOp::Ge => tokens >= self.count,
+            CompareOp::Le => tokens <= self.count,
+            CompareOp::Gt => tokens > self.count,
+            CompareOp::Lt => tokens < self.count,
+            CompareOp::Eq => tokens == self.count,
+            CompareOp::Ne => tokens != self.count,
+        }
+    }
+
+    /// Parses the source form, e.g. `p2>=3`.  Two-character operators are
+    /// tried first so `p>=3` is not read as `p > =3`.
+    pub fn parse(text: &str) -> Result<TargetSpec, String> {
+        const OPS: [(&str, CompareOp); 6] = [
+            (">=", CompareOp::Ge),
+            ("<=", CompareOp::Le),
+            ("==", CompareOp::Eq),
+            ("!=", CompareOp::Ne),
+            (">", CompareOp::Gt),
+            ("<", CompareOp::Lt),
+        ];
+        for (symbol, op) in OPS {
+            if let Some(pos) = text.find(symbol) {
+                let place = text[..pos].trim();
+                let count = text[pos + symbol.len()..].trim();
+                if place.is_empty() {
+                    return Err(format!("predicate '{text}' is missing a place name"));
+                }
+                let count = count
+                    .parse()
+                    .map_err(|_| format!("predicate '{text}' needs an integer after {symbol}"))?;
+                return Ok(TargetSpec {
+                    place: place.to_string(),
+                    op,
+                    count,
+                });
+            }
+        }
+        Err(format!(
+            "predicate '{text}' has no comparison operator (expected e.g. p2>=3)"
+        ))
+    }
+
+    /// Resolves the predicate against an explored state space, returning the
+    /// indices of the matching markings.
+    pub fn resolve(
+        &self,
+        net: &smp_smspn::SmSpn,
+        space: &StateSpace,
+    ) -> Result<Vec<usize>, TargetResolveError> {
+        let place =
+            net.place_index(&self.place)
+                .ok_or_else(|| TargetResolveError::UnknownPlace {
+                    place: self.place.clone(),
+                })?;
+        let targets = space.states_where(|m: &Marking| self.matches(m.get(place)));
+        if targets.is_empty() {
+            return Err(TargetResolveError::NoMatchingMarking {
+                predicate: self.to_string(),
+            });
+        }
+        Ok(targets)
+    }
+}
+
+/// Why a [`TargetSpec`] failed to resolve against a state space.  A typed
+/// error, so callers can distinguish a model problem (unknown place) from an
+/// analysis problem (predicate matches nothing) without matching on message
+/// text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetResolveError {
+    /// The predicate names a place the model does not have.
+    UnknownPlace {
+        /// The offending place name.
+        place: String,
+    },
+    /// The predicate is well-formed but matches no reachable marking.
+    NoMatchingMarking {
+        /// The predicate's source form.
+        predicate: String,
+    },
+}
+
+impl std::fmt::Display for TargetResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetResolveError::UnknownPlace { place } => {
+                write!(f, "place '{place}' does not exist in the model")
+            }
+            TargetResolveError::NoMatchingMarking { predicate } => {
+                write!(f, "predicate {predicate} matches no reachable marking")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetResolveError {}
+
+impl std::fmt::Display for TargetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}{}", self.place, self.op.symbol(), self.count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analytic distribution specification
+// ---------------------------------------------------------------------------
+
+/// A named analytic distribution whose Laplace–Stieltjes transform serves as
+/// the evaluator — exact references for calibrating a distributed deployment
+/// without shipping a model.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum DistSpec {
+    Exponential { rate: f64 },
+    Erlang { rate: f64, phases: u32 },
+    Uniform { lower: f64, upper: f64 },
+    Deterministic { value: f64 },
+    Weibull { shape: f64, scale: f64 },
+}
+
+impl DistSpec {
+    /// Builds the concrete distribution.
+    pub fn to_dist(&self) -> Dist {
+        match *self {
+            DistSpec::Exponential { rate } => Dist::exponential(rate),
+            DistSpec::Erlang { rate, phases } => Dist::erlang(rate, phases),
+            DistSpec::Uniform { lower, upper } => Dist::uniform(lower, upper),
+            DistSpec::Deterministic { value } => Dist::deterministic(value),
+            DistSpec::Weibull { shape, scale } => Dist::weibull(shape, scale),
+        }
+    }
+
+    fn encode(&self) -> Result<String, WireError> {
+        let f = |v: f64| encode_finite_f64(v, "distribution parameter");
+        Ok(match *self {
+            DistSpec::Exponential { rate } => format!("exponential:{}", f(rate)?),
+            DistSpec::Erlang { rate, phases } => format!("erlang:{}:{phases}", f(rate)?),
+            DistSpec::Uniform { lower, upper } => format!("uniform:{}:{}", f(lower)?, f(upper)?),
+            DistSpec::Deterministic { value } => format!("deterministic:{}", f(value)?),
+            DistSpec::Weibull { shape, scale } => format!("weibull:{}:{}", f(shape)?, f(scale)?),
+        })
+    }
+
+    fn decode(field: &str) -> Result<DistSpec, WireError> {
+        let mut parts = field.split(':');
+        let name = parts.next().unwrap_or("");
+        let mut f64_arg = |what: &'static str| -> Result<f64, WireError> {
+            let part = parts
+                .next()
+                .ok_or_else(|| malformed(format!("distribution missing parameter '{what}'")))?;
+            crate::wire::decode_finite_f64(part, "distribution parameter")
+        };
+        let spec = match name {
+            "exponential" => DistSpec::Exponential {
+                rate: f64_arg("rate")?,
+            },
+            "erlang" => {
+                let rate = f64_arg("rate")?;
+                let phases = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| malformed("erlang needs an integer phase count"))?;
+                DistSpec::Erlang { rate, phases }
+            }
+            "uniform" => DistSpec::Uniform {
+                lower: f64_arg("lower")?,
+                upper: f64_arg("upper")?,
+            },
+            "deterministic" => DistSpec::Deterministic {
+                value: f64_arg("value")?,
+            },
+            "weibull" => DistSpec::Weibull {
+                shape: f64_arg("shape")?,
+                scale: f64_arg("scale")?,
+            },
+            other => return Err(malformed(format!("unknown distribution '{other}'"))),
+        };
+        if parts.next().is_some() {
+            return Err(malformed("trailing distribution parameters"));
+        }
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TransformSpec
+// ---------------------------------------------------------------------------
+
+/// A complete, serializable description of a Laplace-domain evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformSpec {
+    /// The first-passage transform `L(s)` from a model's initial marking into
+    /// the predicate's markings.
+    Passage {
+        /// The model the passage is measured on.
+        model: ModelSpec,
+        /// The target-marking predicate.
+        targets: TargetSpec,
+    },
+    /// The transient state-distribution transform: the probability of being in
+    /// the predicate's markings at time `t`, started from the initial marking.
+    Transient {
+        /// The model the probability is measured on.
+        model: ModelSpec,
+        /// The target-marking predicate.
+        targets: TargetSpec,
+    },
+    /// The `/s` trick applied to an inner transform: evaluates the inner spec
+    /// and divides by `s`, turning a density transform into a CDF transform
+    /// *at evaluation time*.  (Batch CDF measures usually prefer caching the
+    /// raw density and dividing at inversion — see
+    /// [`crate::MeasureKind::Cdf`] — but a worker evaluating `L(s)/s` directly
+    /// is part of the protocol so single-measure CDF jobs stay expressible.)
+    CdfOf(Box<TransformSpec>),
+    /// A named analytic distribution's LST.
+    Analytic(DistSpec),
+}
+
+impl TransformSpec {
+    /// Convenience constructor for a passage spec.
+    pub fn passage(model: ModelSpec, targets: TargetSpec) -> Self {
+        TransformSpec::Passage { model, targets }
+    }
+
+    /// Convenience constructor for a transient spec.
+    pub fn transient(model: ModelSpec, targets: TargetSpec) -> Self {
+        TransformSpec::Transient { model, targets }
+    }
+
+    /// The model the spec is evaluated over, if any (analytic specs have none).
+    pub fn model(&self) -> Option<&ModelSpec> {
+        match self {
+            TransformSpec::Passage { model, .. } | TransformSpec::Transient { model, .. } => {
+                Some(model)
+            }
+            TransformSpec::CdfOf(inner) => inner.model(),
+            TransformSpec::Analytic(_) => None,
+        }
+    }
+
+    /// The canonical cache/checkpoint transform key of the spec, with the
+    /// model fingerprint folded in.  Matches the keys the `smpq` CLI has
+    /// always written: `m<fingerprint>:passage:<pred>` and
+    /// `m<fingerprint>:transient:<pred>`; `CdfOf` shares its inner spec's key
+    /// **only when the inner values are cached raw** — because a `CdfOf`
+    /// worker returns `L(s)/s`, its values live under a distinct `cdf-of:`
+    /// key so they can never collide with raw density values.
+    pub fn transform_key(&self) -> String {
+        match self {
+            TransformSpec::Passage { model, targets } => {
+                Self::passage_key(&model.fingerprint(), targets)
+            }
+            TransformSpec::Transient { model, targets } => {
+                Self::transient_key(&model.fingerprint(), targets)
+            }
+            TransformSpec::CdfOf(inner) => format!("cdf-of:{}", inner.transform_key()),
+            TransformSpec::Analytic(dist) => {
+                format!("analytic:{}", dist.encode().unwrap_or_default())
+            }
+        }
+    }
+
+    /// The canonical passage transform key for a model fingerprint and target
+    /// predicate — the one format every producer (spec-based measures, the
+    /// `smpq` CLI's closure path) must agree on for checkpoints to warm
+    /// across backends.
+    pub fn passage_key(fingerprint: &str, targets: &TargetSpec) -> String {
+        format!("m{fingerprint}:passage:{targets}")
+    }
+
+    /// The canonical transient transform key (see
+    /// [`TransformSpec::passage_key`]).
+    pub fn transient_key(fingerprint: &str, targets: &TargetSpec) -> String {
+        format!("m{fingerprint}:transient:{targets}")
+    }
+
+    /// Encodes the spec as one canonical line of the wire format.
+    pub fn encode(&self) -> Result<String, WireError> {
+        Ok(match self {
+            TransformSpec::Passage { model, targets } => format!(
+                "passage v={SPEC_VERSION} model={} targets={}",
+                model.encode(),
+                encode_str(&targets.to_string())
+            ),
+            TransformSpec::Transient { model, targets } => format!(
+                "transient v={SPEC_VERSION} model={} targets={}",
+                model.encode(),
+                encode_str(&targets.to_string())
+            ),
+            TransformSpec::CdfOf(inner) => format!("cdf-of {}", inner.encode()?),
+            TransformSpec::Analytic(dist) => {
+                format!("analytic v={SPEC_VERSION} dist={}", dist.encode()?)
+            }
+        })
+    }
+
+    /// Decodes one wire line back into a spec.
+    pub fn decode(line: &str) -> Result<TransformSpec, WireError> {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("cdf-of ") {
+            return Ok(TransformSpec::CdfOf(Box::new(TransformSpec::decode(rest)?)));
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().ok_or_else(|| malformed("empty spec line"))?;
+        let version_field = parts
+            .next()
+            .and_then(|p| p.strip_prefix("v="))
+            .ok_or_else(|| malformed("spec missing v=N"))?;
+        let version: u32 = version_field
+            .parse()
+            .map_err(|_| malformed("bad spec version"))?;
+        if version != SPEC_VERSION {
+            return Err(WireError::Version { got: version });
+        }
+        let mut field = |key: &str| -> Result<String, WireError> {
+            parts
+                .next()
+                .and_then(|p| p.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+                .map(str::to_string)
+                .ok_or_else(|| malformed(format!("spec missing {key}=...")))
+        };
+        let spec = match tag {
+            "passage" | "transient" => {
+                let model = ModelSpec::decode(&field("model")?)?;
+                let targets_text =
+                    decode_str(&field("targets")?).ok_or_else(|| malformed("bad targets"))?;
+                let targets = TargetSpec::parse(&targets_text).map_err(malformed)?;
+                if tag == "passage" {
+                    TransformSpec::Passage { model, targets }
+                } else {
+                    TransformSpec::Transient { model, targets }
+                }
+            }
+            "analytic" => TransformSpec::Analytic(DistSpec::decode(&field("dist")?)?),
+            other => return Err(malformed(format!("unknown spec tag '{other}'"))),
+        };
+        if parts.next().is_some() {
+            return Err(malformed("trailing fields after spec"));
+        }
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation: spec → evaluator
+// ---------------------------------------------------------------------------
+
+/// Everything of a spec that needs the model: which solver to build and how
+/// many `/s` divisions to apply.  `targets` holds the *resolved* state
+/// indices — the predicate is matched against the state space exactly once,
+/// at compile time.
+struct ResolvedSpec {
+    /// Index into [`CompiledModelSet::models`], or `None` for analytic specs.
+    model: Option<usize>,
+    targets: Option<Vec<usize>>,
+    transient: bool,
+    dist: Option<Dist>,
+    s_divisions: u32,
+}
+
+/// A set of parsed-and-explored models shared by the evaluators of one job.
+///
+/// Workers compile the measures' specs in two steps: this set owns the heavy
+/// state (one [`StateSpace`] per *distinct* model source), then
+/// [`CompiledModelSet::evaluator`] builds cheap per-measure solvers that borrow
+/// it.  The two-step split is what lets several measures over one model share
+/// a single state-space exploration, exactly as the in-process CLI shares its
+/// solvers.
+pub struct CompiledModelSet {
+    models: Vec<(String, smp_smspn::SmSpn, StateSpace)>,
+    resolved: Vec<ResolvedSpec>,
+}
+
+impl std::fmt::Debug for CompiledModelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledModelSet")
+            .field("models", &self.models.len())
+            .field("specs", &self.resolved.len())
+            .finish()
+    }
+}
+
+impl CompiledModelSet {
+    /// Parses and explores every distinct model among `specs`, in order.
+    /// Returns an error naming the first spec that fails to compile.
+    pub fn compile(specs: &[TransformSpec]) -> Result<CompiledModelSet, String> {
+        let mut models: Vec<(String, smp_smspn::SmSpn, StateSpace)> = Vec::new();
+        let mut resolved = Vec::with_capacity(specs.len());
+        for spec in specs {
+            resolved.push(Self::resolve(spec, &mut models, 0)?);
+        }
+        Ok(CompiledModelSet { models, resolved })
+    }
+
+    fn resolve(
+        spec: &TransformSpec,
+        models: &mut Vec<(String, smp_smspn::SmSpn, StateSpace)>,
+        s_divisions: u32,
+    ) -> Result<ResolvedSpec, String> {
+        match spec {
+            TransformSpec::CdfOf(inner) => Self::resolve(inner, models, s_divisions + 1),
+            TransformSpec::Analytic(dist) => Ok(ResolvedSpec {
+                model: None,
+                targets: None,
+                transient: false,
+                dist: Some(dist.to_dist()),
+                s_divisions,
+            }),
+            TransformSpec::Passage { model, targets }
+            | TransformSpec::Transient { model, targets } => {
+                let fingerprint = model.fingerprint();
+                let index = match models.iter().position(|(fp, _, _)| *fp == fingerprint) {
+                    Some(index) => index,
+                    None => {
+                        let source = model.source();
+                        let net = smp_dnamaca::parse_model(&source)
+                            .map_err(|e| format!("model parse error: {e}"))?;
+                        let space = StateSpace::explore(&net)
+                            .map_err(|e| format!("state-space exploration failed: {e}"))?;
+                        models.push((fingerprint, net, space));
+                        models.len() - 1
+                    }
+                };
+                // Resolving the predicate here both validates it (a bad spec
+                // fails at compile time, not at the first s-point) and does
+                // the full state-space scan exactly once.
+                let (_, net, space) = &models[index];
+                let target_states = targets.resolve(net, space).map_err(|e| e.to_string())?;
+                Ok(ResolvedSpec {
+                    model: Some(index),
+                    targets: Some(target_states),
+                    transient: matches!(spec, TransformSpec::Transient { .. }),
+                    dist: None,
+                    s_divisions,
+                })
+            }
+        }
+    }
+
+    /// Number of distinct models compiled.
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Builds the evaluator of the `index`-th compiled spec, borrowing the
+    /// model set.
+    pub fn evaluator(&self, index: usize) -> Result<CompiledEvaluator<'_>, String> {
+        let resolved = self
+            .resolved
+            .get(index)
+            .ok_or_else(|| format!("no compiled spec at index {index}"))?;
+        let kind = match (&resolved.dist, resolved.model) {
+            (Some(dist), _) => EvaluatorKind::Analytic(dist.clone()),
+            (None, Some(model)) => {
+                let (_, _net, space) = &self.models[model];
+                let targets = resolved
+                    .targets
+                    .as_deref()
+                    .expect("model specs always carry resolved targets");
+                let smp = space.smp();
+                let initial = space.initial_state();
+                if resolved.transient {
+                    EvaluatorKind::Transient(
+                        TransientSolver::new(smp, initial, targets).map_err(|e| e.to_string())?,
+                    )
+                } else {
+                    EvaluatorKind::Passage(
+                        PassageTimeSolver::new(smp, &[initial], targets)
+                            .map_err(|e| e.to_string())?,
+                    )
+                }
+            }
+            (None, None) => unreachable!("resolved spec has neither model nor distribution"),
+        };
+        Ok(CompiledEvaluator {
+            kind,
+            s_divisions: resolved.s_divisions,
+        })
+    }
+
+    /// Builds all evaluators, in spec order.
+    pub fn evaluators(&self) -> Result<Vec<CompiledEvaluator<'_>>, String> {
+        (0..self.resolved.len())
+            .map(|i| self.evaluator(i))
+            .collect()
+    }
+}
+
+enum EvaluatorKind<'a> {
+    Passage(PassageTimeSolver<'a>),
+    Transient(TransientSolver<'a>),
+    Analytic(Dist),
+}
+
+/// A ready-to-run evaluator reconstructed from a [`TransformSpec`], borrowing
+/// its [`CompiledModelSet`].
+pub struct CompiledEvaluator<'a> {
+    kind: EvaluatorKind<'a>,
+    s_divisions: u32,
+}
+
+impl std::fmt::Debug for CompiledEvaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            EvaluatorKind::Passage(_) => "passage",
+            EvaluatorKind::Transient(_) => "transient",
+            EvaluatorKind::Analytic(_) => "analytic",
+        };
+        f.debug_struct("CompiledEvaluator")
+            .field("kind", &kind)
+            .field("s_divisions", &self.s_divisions)
+            .finish()
+    }
+}
+
+impl CompiledEvaluator<'_> {
+    /// Evaluates the transform at one `s`-point — the same computation the
+    /// closure-based API would run in-process.
+    pub fn eval(&self, s: Complex64) -> Result<Complex64, String> {
+        let mut value = match &self.kind {
+            EvaluatorKind::Passage(solver) => solver
+                .transform_at(s)
+                .map(|p| p.value)
+                .map_err(|e| e.to_string())?,
+            EvaluatorKind::Transient(solver) => {
+                solver.transform_at(s).map_err(|e| e.to_string())?
+            }
+            EvaluatorKind::Analytic(dist) => dist.lst(s),
+        };
+        for _ in 0..self.s_divisions {
+            value = value / s;
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voting() -> ModelSpec {
+        ModelSpec::Voting {
+            voters: 3,
+            polling: 1,
+            central: 1,
+        }
+    }
+
+    fn pred(text: &str) -> TargetSpec {
+        TargetSpec::parse(text).unwrap()
+    }
+
+    #[test]
+    fn spec_encoding_round_trips() {
+        let specs = vec![
+            TransformSpec::passage(voting(), pred("p2>=2")),
+            TransformSpec::transient(ModelSpec::Dnamaca("\\place{p}{1}".into()), pred("p==0")),
+            TransformSpec::CdfOf(Box::new(TransformSpec::passage(voting(), pred("p2>=2")))),
+            TransformSpec::Analytic(DistSpec::Erlang {
+                rate: 2.0,
+                phases: 3,
+            }),
+            TransformSpec::Analytic(DistSpec::Weibull {
+                shape: 1.5,
+                scale: 0.5,
+            }),
+        ];
+        for spec in specs {
+            let line = spec.encode().unwrap();
+            assert!(!line.contains('\n'), "one line per spec: {line:?}");
+            assert_eq!(TransformSpec::decode(&line).unwrap(), spec, "{line}");
+        }
+    }
+
+    #[test]
+    fn awkward_dnamaca_source_survives_the_wire() {
+        let source = "\\place{p}{1}\n% naïve comment with spaces + 100%\n".to_string();
+        let spec = TransformSpec::transient(ModelSpec::Dnamaca(source.clone()), pred("p>=1"));
+        let decoded = TransformSpec::decode(&spec.encode().unwrap()).unwrap();
+        assert_eq!(decoded.model().unwrap().source(), source);
+    }
+
+    #[test]
+    fn non_finite_distribution_parameters_are_rejected() {
+        let spec = TransformSpec::Analytic(DistSpec::Exponential { rate: f64::NAN });
+        assert!(matches!(spec.encode(), Err(WireError::NonFinite { .. })));
+        let inf = TransformSpec::Analytic(DistSpec::Uniform {
+            lower: 0.0,
+            upper: f64::INFINITY,
+        });
+        assert!(matches!(inf.encode(), Err(WireError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn transform_keys_fold_the_model_fingerprint_in() {
+        let a = TransformSpec::passage(voting(), pred("p2>=2")).transform_key();
+        let b = TransformSpec::passage(
+            ModelSpec::Voting {
+                voters: 4,
+                polling: 1,
+                central: 1,
+            },
+            pred("p2>=2"),
+        )
+        .transform_key();
+        assert_ne!(a, b, "different models must never share cache shards");
+        let fingerprint = voting().fingerprint();
+        assert_eq!(a, format!("m{fingerprint}:passage:p2>=2"));
+        // CdfOf values are L(s)/s — never the raw density's shard.
+        let c = TransformSpec::CdfOf(Box::new(TransformSpec::passage(voting(), pred("p2>=2"))))
+            .transform_key();
+        assert_eq!(c, format!("cdf-of:{a}"));
+        // Transient and passage transforms are distinct even on one model.
+        let t = TransformSpec::transient(voting(), pred("p2>=2")).transform_key();
+        assert_ne!(t, a);
+    }
+
+    #[test]
+    fn fingerprint_matches_the_cli_convention() {
+        // Deterministic, 16 hex digits, sensitive to single-character edits.
+        let a = model_fingerprint("\\place{p}{1}");
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, model_fingerprint("\\place{p}{1}"));
+        assert_ne!(a, model_fingerprint("\\place{p}{2}"));
+    }
+
+    #[test]
+    fn compile_shares_state_spaces_between_specs() {
+        let specs = vec![
+            TransformSpec::passage(voting(), pred("p2>=2")),
+            TransformSpec::passage(voting(), pred("p2>=3")),
+            TransformSpec::transient(voting(), pred("p2>=2")),
+            TransformSpec::Analytic(DistSpec::Exponential { rate: 1.0 }),
+        ];
+        let compiled = CompiledModelSet::compile(&specs).unwrap();
+        assert_eq!(compiled.num_models(), 1, "one exploration for one model");
+        let evaluators = compiled.evaluators().unwrap();
+        assert_eq!(evaluators.len(), 4);
+        // The analytic evaluator reproduces the LST exactly.
+        let s = Complex64::new(0.7, 1.3);
+        let expect = Dist::exponential(1.0).lst(s);
+        assert_eq!(evaluators[3].eval(s).unwrap(), expect);
+    }
+
+    #[test]
+    fn compiled_passage_matches_a_hand_built_solver() {
+        let spec = TransformSpec::passage(voting(), pred("p2>=2"));
+        let compiled = CompiledModelSet::compile(std::slice::from_ref(&spec)).unwrap();
+        let evaluator = compiled.evaluator(0).unwrap();
+
+        // Reference: the CLI's construction path.
+        let source = voting().source();
+        let net = smp_dnamaca::parse_model(&source).unwrap();
+        let space = StateSpace::explore(&net).unwrap();
+        let targets = pred("p2>=2").resolve(&net, &space).unwrap();
+        let solver =
+            PassageTimeSolver::new(space.smp(), &[space.initial_state()], &targets).unwrap();
+
+        for k in 1..=4 {
+            let s = Complex64::new(0.5 * k as f64, 0.3 * k as f64);
+            let expect = solver.transform_at(s).unwrap().value;
+            assert_eq!(evaluator.eval(s).unwrap(), expect, "bitwise at {s}");
+        }
+    }
+
+    #[test]
+    fn cdf_of_divides_by_s() {
+        let inner = TransformSpec::Analytic(DistSpec::Exponential { rate: 2.0 });
+        let spec = TransformSpec::CdfOf(Box::new(inner.clone()));
+        let both = [inner, spec];
+        let compiled = CompiledModelSet::compile(&both).unwrap();
+        let evaluators = compiled.evaluators().unwrap();
+        let s = Complex64::new(1.5, -0.5);
+        let raw = evaluators[0].eval(s).unwrap();
+        let divided = evaluators[1].eval(s).unwrap();
+        assert_eq!(divided, raw / s);
+    }
+
+    #[test]
+    fn bad_specs_fail_at_compile_time() {
+        let missing_place = TransformSpec::passage(voting(), pred("nosuch>=1"));
+        let err = CompiledModelSet::compile(std::slice::from_ref(&missing_place)).unwrap_err();
+        assert!(err.contains("nosuch"), "{err}");
+
+        let empty = TransformSpec::passage(voting(), pred("p2>=99"));
+        let err = CompiledModelSet::compile(std::slice::from_ref(&empty)).unwrap_err();
+        assert!(err.contains("no reachable marking"), "{err}");
+
+        let unparsable =
+            TransformSpec::passage(ModelSpec::Dnamaca("\\bogus{".into()), pred("p>=1"));
+        let err = CompiledModelSet::compile(std::slice::from_ref(&unparsable)).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_future_versions_and_junk() {
+        assert!(matches!(
+            TransformSpec::decode("passage v=99 model=voting:1,1,1 targets=p%3e%3d1"),
+            Err(WireError::Version { got: 99 })
+        ));
+        assert!(TransformSpec::decode("passage v=1 model=voting:1,1").is_err());
+        assert!(TransformSpec::decode("frob v=1").is_err());
+        assert!(TransformSpec::decode("").is_err());
+        assert!(TransformSpec::decode("analytic v=1 dist=erlang:xx:3").is_err());
+    }
+}

@@ -1,0 +1,1218 @@
+//! Pluggable master⇄worker transports.
+//!
+//! The paper's pipeline ran on a cluster of PCs: the master placed `s`-point
+//! evaluations in a global work queue and slave processors collected them over
+//! a message-passing layer.  This module abstracts that layer behind the
+//! [`Transport`] trait so the *same* planning, caching, checkpointing and
+//! inversion code drives three deployments:
+//!
+//! * [`InProcess`] — worker threads and crossbeam channels (the default; the
+//!   substitution documented in the crate root),
+//! * [`SimulatedLatency`] — in-process threads plus a configurable per-message
+//!   delay and wire-size accounting, standing in for the cluster's network
+//!   round-trips when measuring Table-2 style scalability,
+//! * [`TcpTransport`] — real worker *processes* on real sockets: the master
+//!   listens, each `smpq worker --connect HOST:PORT` dials in, receives the
+//!   job's [`TransformSpec`]s, rebuilds the evaluators from bytes and answers
+//!   chunks until the queue drains.  A worker that disconnects mid-run loses
+//!   nothing: its outstanding chunk is requeued and the surviving workers
+//!   finish it.
+//!
+//! All three speak about the same [`ExecutionPlan`]; only [`TcpTransport`]
+//! requires every measure to carry a serializable spec (closures cannot cross
+//! a process boundary — that is the whole point of [`TransformSpec`]).
+
+use crate::master::PipelineError;
+use crate::transform::{CompiledEvaluator, CompiledModelSet, TransformSpec};
+use crate::wire::{frame_wire_size, read_frame, write_frame, Frame, WIRE_VERSION};
+use crate::work::{WorkItem, WorkQueue};
+use crate::worker::{run_batch_worker, TransformFn, WorkItemOutcome, WorkerMessage, WorkerStats};
+use crossbeam::channel::unbounded;
+use smp_numeric::Complex64;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How one measure of a plan is evaluated.
+pub enum Evaluator<'a> {
+    /// A live in-process closure (cannot cross a process boundary).
+    Closure(&'a TransformFn<'a>),
+    /// A serializable description a remote worker can rebuild.
+    Spec(&'a TransformSpec),
+}
+
+impl std::fmt::Debug for Evaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Evaluator::Closure(_) => f.write_str("Evaluator::Closure(..)"),
+            Evaluator::Spec(spec) => f.debug_tuple("Evaluator::Spec").field(spec).finish(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecutionPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionPlan")
+            .field("evaluators", &self.evaluators)
+            .field("items", &self.items.len())
+            .field("chunk_size", &self.chunk_size)
+            .field("method", &self.method)
+            .finish()
+    }
+}
+
+/// Everything a transport needs to run one distributed evaluation: the
+/// per-measure evaluators, the outstanding work items, and the dispatch chunk
+/// size.  Produced by `DistributedPipeline::execute` after planning and cache
+/// dedup.
+pub struct ExecutionPlan<'a> {
+    /// Per-measure evaluators, indexed by [`WorkItem::measure`].
+    pub evaluators: Vec<Evaluator<'a>>,
+    /// The work items still to evaluate (cache misses only).
+    pub items: Vec<WorkItem>,
+    /// Work items dispatched per request; the final chunk may be shorter.
+    pub chunk_size: usize,
+    /// Name of the inversion method driving the plan (diagnostics only).
+    pub method: String,
+}
+
+/// What a transport reports back after draining a plan.
+#[derive(Debug, Clone, Default)]
+pub struct TransportReport {
+    /// Per-worker accounting, in worker-id order.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Number of protocol messages exchanged (chunk requests + results for
+    /// socket-backed transports; result messages for in-process ones).
+    pub messages: usize,
+    /// Bytes put on (or, for [`SimulatedLatency`], bytes that *would* go on)
+    /// the wire.  Zero for [`InProcess`] — shared memory ships no bytes.
+    pub bytes_on_wire: u64,
+    /// Number of workers that disconnected or failed before the queue drained.
+    pub disconnects: usize,
+}
+
+/// A pluggable master⇄worker message-passing backend.
+pub trait Transport {
+    /// Short backend name for reports (`in-process`, `sim-latency`, `tcp`).
+    fn name(&self) -> &'static str;
+
+    /// How many workers the backend runs in parallel — the master's hint for
+    /// automatic chunk sizing.
+    fn parallelism(&self) -> usize;
+
+    /// Drains the plan, delivering every [`WorkerMessage`] to `on_message` as
+    /// it arrives (the master caches and checkpoints inside the callback).
+    ///
+    /// A transport returns `Ok` when the run ended in an orderly way even if
+    /// individual evaluations failed — per-point failures travel inside the
+    /// messages.  `Err` means the backend itself broke (could not compile a
+    /// spec, lost every worker, I/O on the checkpoint socket…).
+    fn execute(
+        &self,
+        plan: ExecutionPlan<'_>,
+        on_message: &mut dyn FnMut(WorkerMessage),
+    ) -> Result<TransportReport, PipelineError>;
+}
+
+fn transport_error(message: impl Into<String>) -> PipelineError {
+    PipelineError::Transport {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process backends
+// ---------------------------------------------------------------------------
+
+/// The default backend: worker threads inside the master process, one shared
+/// lock-protected queue, crossbeam result channels.
+#[derive(Debug, Clone)]
+pub struct InProcess {
+    /// Number of worker threads; 0 or 1 means a single worker.
+    pub workers: usize,
+}
+
+impl InProcess {
+    /// An in-process backend with `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        InProcess { workers }
+    }
+}
+
+impl Transport for InProcess {
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    fn execute(
+        &self,
+        plan: ExecutionPlan<'_>,
+        on_message: &mut dyn FnMut(WorkerMessage),
+    ) -> Result<TransportReport, PipelineError> {
+        run_threaded(self.workers, plan, None, false, on_message)
+    }
+}
+
+/// In-process evaluation plus a simulated per-message network round-trip and
+/// wire-size accounting that mirrors the TCP backend's frame traffic: each
+/// chunk costs a request *and* a response frame, and (for spec-expressible
+/// plans) every worker also pays the hello/job/done handshake — so the
+/// report's messages/bytes columns are directly comparable to a real
+/// [`TcpTransport`] run.  Closure-based plans have no wire form for the job
+/// frame, so only their chunk/result traffic is counted.  This replaces the
+/// ad-hoc sleep injection the scalability sweep used to thread through the
+/// pipeline options.
+#[derive(Debug, Clone)]
+pub struct SimulatedLatency {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Delay applied per result message (chunking amortises it).
+    pub latency: Duration,
+}
+
+impl SimulatedLatency {
+    /// A simulated-latency backend with `workers` threads and `latency` per
+    /// message.
+    pub fn new(workers: usize, latency: Duration) -> Self {
+        SimulatedLatency { workers, latency }
+    }
+}
+
+impl Transport for SimulatedLatency {
+    fn name(&self) -> &'static str {
+        "sim-latency"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    fn execute(
+        &self,
+        plan: ExecutionPlan<'_>,
+        on_message: &mut dyn FnMut(WorkerMessage),
+    ) -> Result<TransportReport, PipelineError> {
+        run_threaded(self.workers, plan, Some(self.latency), true, on_message)
+    }
+}
+
+/// The shared thread-backed engine behind [`InProcess`] and
+/// [`SimulatedLatency`].
+fn run_threaded(
+    workers: usize,
+    plan: ExecutionPlan<'_>,
+    latency: Option<Duration>,
+    account_wire_bytes: bool,
+    on_message: &mut dyn FnMut(WorkerMessage),
+) -> Result<TransportReport, PipelineError> {
+    let workers = workers.max(1);
+
+    // Compile every spec-based measure locally: one state-space exploration
+    // per distinct model, exactly what a remote worker would do on receipt of
+    // the job frame.
+    let specs: Vec<TransformSpec> = plan
+        .evaluators
+        .iter()
+        .filter_map(|e| match e {
+            Evaluator::Spec(spec) => Some((*spec).clone()),
+            Evaluator::Closure(_) => None,
+        })
+        .collect();
+    let compiled_set = CompiledModelSet::compile(&specs).map_err(transport_error)?;
+    let compiled: Vec<CompiledEvaluator<'_>> =
+        compiled_set.evaluators().map_err(transport_error)?;
+
+    // Per-measure evaluation closures: live closures pass straight through,
+    // spec measures call their compiled evaluator.
+    let mut next_spec = 0usize;
+    let boxed: Vec<Box<TransformFn<'_>>> = plan
+        .evaluators
+        .iter()
+        .map(|evaluator| match evaluator {
+            Evaluator::Closure(f) => {
+                let f = *f;
+                Box::new(move |s: Complex64| f(s)) as Box<TransformFn<'_>>
+            }
+            Evaluator::Spec(_) => {
+                let compiled = &compiled[next_spec];
+                next_spec += 1;
+                Box::new(move |s: Complex64| compiled.eval(s)) as Box<TransformFn<'_>>
+            }
+        })
+        .collect();
+    let evaluators: Vec<&TransformFn<'_>> = boxed.iter().map(|b| b.as_ref()).collect();
+
+    // For wire accounting: the handshake frames a TCP run would ship, when
+    // the plan is spec-expressible at all.
+    let spec_lines: Option<Vec<String>> = plan
+        .evaluators
+        .iter()
+        .map(|e| match e {
+            Evaluator::Spec(spec) => spec.encode().ok(),
+            Evaluator::Closure(_) => None,
+        })
+        .collect();
+
+    let queue = WorkQueue::with_chunk_size(plan.items, plan.chunk_size.max(1));
+    let (tx, rx) = unbounded::<WorkerMessage>();
+    let mut messages = 0usize;
+    let mut bytes_on_wire = 0u64;
+    if account_wire_bytes {
+        if let Some(lines) = &spec_lines {
+            for worker in 0..workers {
+                let hello = Frame::Hello {
+                    version: WIRE_VERSION,
+                };
+                let job = Frame::Job {
+                    version: WIRE_VERSION,
+                    worker,
+                    method: plan.method.clone(),
+                    specs: lines.clone(),
+                };
+                bytes_on_wire += frame_wire_size(&hello).unwrap_or(0)
+                    + frame_wire_size(&job).unwrap_or(0)
+                    + frame_wire_size(&Frame::Done).unwrap_or(0);
+                messages += 3;
+            }
+        }
+    }
+
+    let worker_stats: Vec<WorkerStats> = crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let queue = &queue;
+            let evaluators = &evaluators;
+            let tx = tx.clone();
+            handles
+                .push(scope.spawn(move |_| run_batch_worker(id, queue, evaluators, latency, &tx)));
+        }
+        drop(tx);
+
+        // The master-side collection loop (where a cluster deployment would
+        // read from the network instead of a channel).
+        for message in rx {
+            if account_wire_bytes {
+                // A chunk round-trip is two wire messages: request out,
+                // result back — exactly how the TCP backend counts.
+                messages += 2;
+                bytes_on_wire += simulated_wire_bytes(&message);
+            } else {
+                messages += 1;
+            }
+            on_message(message);
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("transport scope failed");
+
+    Ok(TransportReport {
+        worker_stats,
+        messages,
+        bytes_on_wire,
+        disconnects: 0,
+    })
+}
+
+/// The bytes the TCP backend would have spent on one request/response pair for
+/// this chunk: the chunk frame out plus the result frame back.  Encodes from
+/// references — this runs on the master's collection path during timed
+/// scalability runs, so it must not clone the message.
+fn simulated_wire_bytes(message: &WorkerMessage) -> u64 {
+    let chunk = Frame::Chunk {
+        items: message.results.iter().map(|o| o.item).collect(),
+    };
+    let result_bytes = crate::wire::encode_worker_message(message, 0)
+        .map(|payload| 4 + payload.len() as u64)
+        .unwrap_or(0);
+    frame_wire_size(&chunk).unwrap_or(0) + result_bytes
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend — master side
+// ---------------------------------------------------------------------------
+
+/// Real multi-process distribution over TCP.
+///
+/// The master binds one listener per expected worker (so each worker has an
+/// unambiguous rendezvous address) and hands each accepted connection its own
+/// handler thread.  Handlers pull chunks from the shared [`WorkQueue`] — the
+/// same global queue the thread backends use — so work naturally balances
+/// across workers of different speeds, and a dead worker's outstanding chunk
+/// is pushed back for the survivors.
+pub struct TcpTransport {
+    listeners: Vec<TcpListener>,
+    accept_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("addrs", &self.local_addrs())
+            .field("accept_timeout", &self.accept_timeout)
+            .field("io_timeout", &self.io_timeout)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Binds one listener per address (use port `0` for an ephemeral port and
+    /// read the real one back with [`TcpTransport::local_addrs`]).  Each
+    /// listener serves exactly one worker connection per run.
+    pub fn bind<A: ToSocketAddrs>(addrs: &[A]) -> std::io::Result<TcpTransport> {
+        let listeners: Vec<TcpListener> = addrs
+            .iter()
+            .map(TcpListener::bind)
+            .collect::<std::io::Result<_>>()?;
+        Ok(TcpTransport {
+            listeners,
+            accept_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(600),
+        })
+    }
+
+    /// Overrides how long `execute` waits for each worker to dial in.
+    pub fn with_accept_timeout(mut self, timeout: Duration) -> Self {
+        self.accept_timeout = timeout;
+        self
+    }
+
+    /// Overrides the per-read socket timeout on accepted connections.  A
+    /// worker that connects but goes silent — a SIGSTOPped process, a
+    /// network partition with no RST — must not hang the run forever: after
+    /// this long without a frame the handler declares the worker lost and
+    /// requeues its outstanding chunk.  Size it above the slowest expected
+    /// chunk evaluation (default: 10 minutes).
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// The bound rendezvous addresses, in worker-id order.
+    pub fn local_addrs(&self) -> Vec<SocketAddr> {
+        self.listeners
+            .iter()
+            .filter_map(|l| l.local_addr().ok())
+            .collect()
+    }
+
+    /// Number of workers this transport expects.
+    pub fn num_workers(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// Accepts this listener's worker.  `Ok(None)` means the run finished
+    /// (every item answered by the other workers) before anyone dialed in —
+    /// not a failure, just an unused rendezvous address; without this check a
+    /// spare address would stall the completed run for the full accept
+    /// timeout and then be misreported as a disconnect.
+    fn accept_one(
+        &self,
+        index: usize,
+        remaining: &std::sync::atomic::AtomicUsize,
+    ) -> std::io::Result<Option<TcpStream>> {
+        let listener = &self.listeners[index];
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + self.accept_timeout;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.io_timeout))?;
+                    return Ok(Some(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if remaining.load(std::sync::atomic::Ordering::SeqCst) == 0 {
+                        return Ok(None);
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("no worker connected within {:?}", self.accept_timeout),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Everything one connection handler reports back to `execute`.
+struct HandlerOutcome {
+    stats: WorkerStats,
+    messages: usize,
+    bytes: u64,
+    failure: Option<String>,
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.listeners.len().max(1)
+    }
+
+    fn execute(
+        &self,
+        plan: ExecutionPlan<'_>,
+        on_message: &mut dyn FnMut(WorkerMessage),
+    ) -> Result<TransportReport, PipelineError> {
+        // Closures cannot be shipped; every measure must carry a spec.
+        let specs: Vec<String> = plan
+            .evaluators
+            .iter()
+            .map(|evaluator| match evaluator {
+                Evaluator::Spec(spec) => spec
+                    .encode()
+                    .map_err(|e| transport_error(format!("unencodable transform spec: {e}"))),
+                Evaluator::Closure(_) => Err(transport_error(
+                    "closure-based measures cannot cross a process boundary; \
+                     build the batch from TransformSpecs to use the TCP backend",
+                )),
+            })
+            .collect::<Result<_, _>>()?;
+
+        let total_items = plan.items.len();
+        let queue = WorkQueue::with_chunk_size(plan.items, plan.chunk_size.max(1));
+        // Items not yet answered by *any* worker.  Handlers stay on duty while
+        // this is non-zero even when the queue is momentarily empty: a chunk
+        // in flight at a dying worker will be requeued, and someone must
+        // still be around to pick it up.
+        let remaining = std::sync::atomic::AtomicUsize::new(total_items);
+        let (tx, rx) = unbounded::<WorkerMessage>();
+        let method = plan.method.clone();
+
+        let outcomes: Vec<HandlerOutcome> = crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.listeners.len());
+            for worker_id in 0..self.listeners.len() {
+                let queue = &queue;
+                let specs = &specs;
+                let method = &method;
+                let remaining = &remaining;
+                let tx = tx.clone();
+                handles.push(scope.spawn(move |_| {
+                    serve_worker_connection(self, worker_id, queue, specs, method, remaining, &tx)
+                }));
+            }
+            drop(tx);
+
+            for message in rx {
+                on_message(message);
+            }
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tcp handler thread panicked"))
+                .collect()
+        })
+        .expect("tcp transport scope failed");
+
+        let mut report = TransportReport::default();
+        let mut failures = Vec::new();
+        for outcome in outcomes {
+            report.messages += outcome.messages;
+            report.bytes_on_wire += outcome.bytes;
+            if let Some(failure) = outcome.failure {
+                report.disconnects += 1;
+                failures.push(format!("worker {}: {failure}", outcome.stats.id));
+            }
+            report.worker_stats.push(outcome.stats);
+        }
+
+        // Losing workers is survivable as long as every item was answered;
+        // losing *all* of them with work outstanding is not.
+        let undone = remaining.load(std::sync::atomic::Ordering::SeqCst);
+        if undone > 0 {
+            return Err(transport_error(format!(
+                "{undone} work item(s) left undone: {}",
+                failures.join("; ")
+            )));
+        }
+        Ok(report)
+    }
+}
+
+/// Runs one master-side connection: accept, handshake, stream chunks, forward
+/// results.  On any I/O failure the outstanding chunk goes back into the queue
+/// and the handler retires — the remaining workers absorb the load.  A handler
+/// whose queue pop comes up empty does **not** retire while other handlers
+/// still have chunks in flight: if one of those workers dies, its requeued
+/// chunk must find someone still on duty.
+fn serve_worker_connection(
+    transport: &TcpTransport,
+    worker_id: usize,
+    queue: &WorkQueue,
+    specs: &[String],
+    method: &str,
+    remaining: &std::sync::atomic::AtomicUsize,
+    results: &crossbeam::channel::Sender<WorkerMessage>,
+) -> HandlerOutcome {
+    let mut outcome = HandlerOutcome {
+        stats: WorkerStats {
+            id: worker_id,
+            evaluated: 0,
+            messages: 0,
+            busy: Duration::ZERO,
+        },
+        messages: 0,
+        bytes: 0,
+        failure: None,
+    };
+
+    let mut stream = match transport.accept_one(worker_id, remaining) {
+        Ok(Some(stream)) => stream,
+        Ok(None) => return outcome, // run finished without needing this worker
+        Err(e) => {
+            outcome.failure = Some(format!("accept failed: {e}"));
+            return outcome;
+        }
+    };
+
+    // Handshake: the worker announces its wire version, the master answers
+    // with the job header (worker id, method, one spec line per measure).
+    let handshake = (|| -> std::io::Result<()> {
+        let (frame, n) = read_frame(&mut stream)?;
+        outcome.bytes += n;
+        outcome.messages += 1;
+        match frame {
+            Frame::Hello { version } if version == WIRE_VERSION => {}
+            Frame::Hello { version } => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("worker speaks wire version {version}, master speaks {WIRE_VERSION}"),
+                ))
+            }
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected hello frame, got {other:?}"),
+                ))
+            }
+        }
+        let job = Frame::Job {
+            version: WIRE_VERSION,
+            worker: worker_id,
+            method: method.to_string(),
+            specs: specs.to_vec(),
+        };
+        outcome.bytes += write_frame(&mut stream, &job)?;
+        outcome.messages += 1;
+        Ok(())
+    })();
+    if let Err(e) = handshake {
+        outcome.failure = Some(format!("handshake failed: {e}"));
+        return outcome;
+    }
+
+    use std::sync::atomic::Ordering;
+    loop {
+        let Some(chunk) = queue.pop_chunk() else {
+            if remaining.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // Another worker's chunk is still in flight; its failure would
+            // requeue it here.  Idle briefly and look again.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let roundtrip = (|| -> std::io::Result<(WorkerMessage, u64)> {
+            let frame = Frame::Chunk {
+                items: chunk.clone(),
+            };
+            outcome.bytes += write_frame(&mut stream, &frame)?;
+            outcome.messages += 1;
+            let (reply, n) = read_frame(&mut stream)?;
+            outcome.bytes += n;
+            outcome.messages += 1;
+            match reply {
+                // A result must answer exactly the dispatched chunk, item for
+                // item — anything else would corrupt the outstanding-item
+                // accounting, or (worse) cache a value under the wrong
+                // measure's transform key and poison the checkpoint file.
+                Frame::Result {
+                    message,
+                    busy_nanos,
+                } if message.results.len() == chunk.len()
+                    && message
+                        .results
+                        .iter()
+                        .zip(&chunk)
+                        .all(|(outcome, sent)| outcome.item == *sent) =>
+                {
+                    Ok((message, busy_nanos))
+                }
+                Frame::Result { message, .. } => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "worker answered {} item(s) that do not match the {} dispatched",
+                        message.results.len(),
+                        chunk.len()
+                    ),
+                )),
+                Frame::Fatal { message } => Err(std::io::Error::new(
+                    std::io::ErrorKind::Other,
+                    format!("worker reported: {message}"),
+                )),
+                other => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected result frame, got {other:?}"),
+                )),
+            }
+        })();
+        match roundtrip {
+            Ok((message, busy_nanos)) => {
+                outcome.stats.evaluated += message.results.len();
+                outcome.stats.messages += 1;
+                outcome.stats.busy += Duration::from_nanos(busy_nanos);
+                remaining.fetch_sub(chunk.len(), Ordering::SeqCst);
+                if results.send(message).is_err() {
+                    break; // master collection loop has gone away
+                }
+            }
+            Err(e) => {
+                // The chunk was sent but never (fully) answered: every item in
+                // it is still outstanding.  Requeue and retire this handler.
+                for item in chunk {
+                    queue.push(item);
+                }
+                outcome.failure = Some(format!("connection lost mid-run: {e}"));
+                return outcome;
+            }
+        }
+    }
+
+    // Every item answered: release the worker.  Its socket may already be gone
+    // if it crashed right after its last result — nothing is outstanding
+    // either way.
+    if let Ok(n) = write_frame(&mut stream, &Frame::Done) {
+        outcome.bytes += n;
+        outcome.messages += 1;
+    }
+    outcome
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend — worker side
+// ---------------------------------------------------------------------------
+
+/// Options for a worker process's connection loop.
+#[derive(Debug, Clone)]
+pub struct TcpWorkerOptions {
+    /// How many times to retry the initial dial (the master may still be
+    /// binding when the worker starts).
+    pub connect_attempts: u32,
+    /// Delay between dial attempts.
+    pub retry_delay: Duration,
+    /// How long to wait for the master's next frame before declaring it lost
+    /// and exiting — the mirror image of the master's io timeout, so a
+    /// SIGSTOPped or partitioned master cannot leave zombie workers behind.
+    /// `None` waits forever.  An idle worker legitimately waits while its
+    /// peers finish the tail of the queue, so size this above the expected
+    /// run length (default: 10 minutes, matching the master's default).
+    pub idle_timeout: Option<Duration>,
+    /// Drop the connection (without farewell) after evaluating this many
+    /// chunks — an operational fault-injection hook, used by the disconnect
+    /// recovery tests.
+    pub exit_after_chunks: Option<usize>,
+}
+
+impl Default for TcpWorkerOptions {
+    fn default() -> Self {
+        TcpWorkerOptions {
+            connect_attempts: 40,
+            retry_delay: Duration::from_millis(250),
+            idle_timeout: Some(Duration::from_secs(600)),
+            exit_after_chunks: None,
+        }
+    }
+}
+
+/// What a worker process did during one connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpWorkerSummary {
+    /// The id the master assigned in the job frame.
+    pub worker_id: usize,
+    /// Chunks evaluated and answered.
+    pub chunks: usize,
+    /// Individual `s`-points evaluated.
+    pub evaluated: usize,
+    /// True when the worker dropped the link early via
+    /// [`TcpWorkerOptions::exit_after_chunks`].
+    pub dropped_early: bool,
+}
+
+/// Runs one worker process end to end: dial the master, handshake, rebuild
+/// the evaluators from the job's [`TransformSpec`]s, answer chunks until the
+/// master says `done` (or the fault-injection limit drops the link).
+///
+/// This is what `smpq worker --connect HOST:PORT` executes.
+pub fn run_tcp_worker(
+    connect: &str,
+    options: &TcpWorkerOptions,
+) -> Result<TcpWorkerSummary, String> {
+    let mut stream = dial(connect, options)?;
+
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .map_err(|e| format!("handshake write failed: {e}"))?;
+    let (job, _) = read_frame(&mut stream).map_err(|e| format!("job read failed: {e}"))?;
+    let (worker_id, method, spec_lines) = match job {
+        Frame::Job {
+            version,
+            worker,
+            method,
+            specs,
+        } if version == WIRE_VERSION => (worker, method, specs),
+        Frame::Job { version, .. } => {
+            return Err(format!(
+                "master speaks wire version {version}, this worker speaks {WIRE_VERSION}"
+            ))
+        }
+        other => return Err(format!("expected job frame, got {other:?}")),
+    };
+    // Report a failure the master must hear about (it would otherwise wait on
+    // a result that never comes), then fail the worker with the same message.
+    fn fatal(stream: &mut TcpStream, message: String) -> String {
+        let _ = write_frame(
+            stream,
+            &Frame::Fatal {
+                message: message.clone(),
+            },
+        );
+        message
+    }
+
+    // The s-points arrive explicitly in chunks, but a method this build does
+    // not know signals a master from a future protocol era — refuse loudly
+    // rather than compute something subtly incompatible.
+    if smp_laplace::InversionMethod::from_name(&method).is_none() {
+        return Err(fatal(
+            &mut stream,
+            format!("unknown inversion method '{method}'"),
+        ));
+    }
+
+    // Rebuild the evaluators from bytes.  A compile failure is reported to the
+    // master as a fatal frame so the run fails with a message, not a timeout.
+    let specs: Result<Vec<TransformSpec>, _> = spec_lines
+        .iter()
+        .map(|l| TransformSpec::decode(l))
+        .collect();
+    let compiled = specs
+        .map_err(|e| e.to_string())
+        .and_then(|specs| CompiledModelSet::compile(&specs));
+    let compiled_set = match compiled {
+        Ok(set) => set,
+        Err(message) => {
+            return Err(format!(
+                "spec compile failed: {}",
+                fatal(&mut stream, message)
+            ))
+        }
+    };
+    let evaluators = match compiled_set.evaluators() {
+        Ok(evaluators) => evaluators,
+        Err(message) => {
+            return Err(format!(
+                "evaluator construction failed: {}",
+                fatal(&mut stream, message)
+            ))
+        }
+    };
+
+    let mut summary = TcpWorkerSummary {
+        worker_id,
+        chunks: 0,
+        evaluated: 0,
+        dropped_early: false,
+    };
+    loop {
+        let (frame, _) = match read_frame(&mut stream) {
+            Ok(ok) => ok,
+            Err(e) => return Err(format!("master connection lost: {e}")),
+        };
+        match frame {
+            Frame::Chunk { items } => {
+                let started = Instant::now();
+                let results: Vec<WorkItemOutcome> = items
+                    .into_iter()
+                    .map(|item| WorkItemOutcome {
+                        outcome: match evaluators.get(item.measure) {
+                            Some(evaluator) => evaluator.eval(item.s),
+                            None => Err(format!(
+                                "work item references measure {} but the job has {}",
+                                item.measure,
+                                evaluators.len()
+                            )),
+                        },
+                        item,
+                    })
+                    .collect();
+                let busy_nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                summary.evaluated += results.len();
+                summary.chunks += 1;
+                let reply = Frame::Result {
+                    message: WorkerMessage {
+                        worker: worker_id,
+                        results,
+                    },
+                    busy_nanos,
+                };
+                write_frame(&mut stream, &reply)
+                    .map_err(|e| format!("result write failed: {e}"))?;
+                if let Some(limit) = options.exit_after_chunks {
+                    if summary.chunks >= limit {
+                        // Fault injection: vanish without a farewell, exactly
+                        // like a crashed slave processor.
+                        summary.dropped_early = true;
+                        return Ok(summary);
+                    }
+                }
+            }
+            Frame::Done => return Ok(summary),
+            other => return Err(format!("unexpected frame from master: {other:?}")),
+        }
+    }
+}
+
+fn dial(connect: &str, options: &TcpWorkerOptions) -> Result<TcpStream, String> {
+    let attempts = options.connect_attempts.max(1);
+    let mut last_error = String::new();
+    for attempt in 0..attempts {
+        match TcpStream::connect(connect) {
+            Ok(stream) => {
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| format!("set_nodelay failed: {e}"))?;
+                stream
+                    .set_read_timeout(options.idle_timeout)
+                    .map_err(|e| format!("set_read_timeout failed: {e}"))?;
+                return Ok(stream);
+            }
+            Err(e) => {
+                last_error = e.to_string();
+                if attempt + 1 < attempts {
+                    std::thread::sleep(options.retry_delay);
+                }
+            }
+        }
+    }
+    Err(format!(
+        "could not connect to master at {connect} after {attempts} attempt(s): {last_error}"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{DistSpec, ModelSpec, TargetSpec};
+    use smp_distributions::Dist;
+
+    fn items_for(points: &[Complex64], measure: usize) -> Vec<WorkItem> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(index, &s)| WorkItem { measure, index, s })
+            .collect()
+    }
+
+    fn collect(
+        transport: &dyn Transport,
+        plan: ExecutionPlan<'_>,
+    ) -> (Vec<WorkItemOutcome>, TransportReport) {
+        let mut outcomes = Vec::new();
+        let report = transport
+            .execute(plan, &mut |message| outcomes.extend(message.results))
+            .unwrap();
+        outcomes.sort_by_key(|o| o.item.index);
+        (outcomes, report)
+    }
+
+    #[test]
+    fn in_process_closure_plan_evaluates_everything() {
+        let points: Vec<Complex64> = (1..=9).map(|k| Complex64::new(k as f64, 0.5)).collect();
+        let square = |s: Complex64| -> Result<Complex64, String> { Ok(s * s) };
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Closure(&square)],
+            items: items_for(&points, 0),
+            chunk_size: 2,
+            method: "euler".to_string(),
+        };
+        let transport = InProcess::new(3);
+        assert_eq!(transport.name(), "in-process");
+        let (outcomes, report) = collect(&transport, plan);
+        assert_eq!(outcomes.len(), 9);
+        for outcome in &outcomes {
+            assert_eq!(
+                outcome.outcome.clone().unwrap(),
+                outcome.item.s * outcome.item.s
+            );
+        }
+        assert_eq!(report.bytes_on_wire, 0, "shared memory ships no bytes");
+        assert_eq!(report.disconnects, 0);
+        let evaluated: usize = report.worker_stats.iter().map(|w| w.evaluated).sum();
+        assert_eq!(evaluated, 9);
+        assert_eq!(
+            report.messages,
+            report
+                .worker_stats
+                .iter()
+                .map(|w| w.messages)
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn in_process_spec_plan_matches_the_analytic_transform() {
+        let spec = TransformSpec::Analytic(DistSpec::Erlang {
+            rate: 2.0,
+            phases: 3,
+        });
+        let points: Vec<Complex64> = (1..=5)
+            .map(|k| Complex64::new(0.3 * k as f64, 1.0))
+            .collect();
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Spec(&spec)],
+            items: items_for(&points, 0),
+            chunk_size: 3,
+            method: "euler".to_string(),
+        };
+        let (outcomes, _) = collect(&InProcess::new(2), plan);
+        let d = Dist::erlang(2.0, 3);
+        for outcome in outcomes {
+            assert_eq!(outcome.outcome.unwrap(), d.lst(outcome.item.s));
+        }
+    }
+
+    #[test]
+    fn simulated_latency_accounts_wire_bytes() {
+        let points: Vec<Complex64> = (1..=6).map(|k| Complex64::new(k as f64, 2.0)).collect();
+        let identity = |s: Complex64| -> Result<Complex64, String> { Ok(s) };
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Closure(&identity)],
+            items: items_for(&points, 0),
+            chunk_size: 3,
+            method: "euler".to_string(),
+        };
+        let transport = SimulatedLatency::new(2, Duration::from_millis(1));
+        assert_eq!(transport.name(), "sim-latency");
+        let (outcomes, report) = collect(&transport, plan);
+        assert_eq!(outcomes.len(), 6);
+        assert!(
+            report.bytes_on_wire > 0,
+            "simulated backend reports the bytes a network would ship"
+        );
+        // 6 points at chunk size 3 → 2 request/response pairs, counted in
+        // both directions like the TCP backend (no job frame: closure plan).
+        assert_eq!(report.messages, 4);
+    }
+
+    #[test]
+    fn tcp_transport_rejects_closure_plans() {
+        let transport = TcpTransport::bind(&["127.0.0.1:0"]).unwrap();
+        let f = |s: Complex64| -> Result<Complex64, String> { Ok(s) };
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Closure(&f)],
+            items: Vec::new(),
+            chunk_size: 1,
+            method: "euler".to_string(),
+        };
+        let error = transport.execute(plan, &mut |_| {}).unwrap_err();
+        assert!(error.to_string().contains("process boundary"), "{error}");
+    }
+
+    #[test]
+    fn tcp_round_trip_with_in_process_worker_threads() {
+        // A miniature cluster inside one test: the master side binds two
+        // listeners, two "processes" (threads running the real worker loop)
+        // dial in, and the whole frame protocol runs over real sockets.
+        let spec = TransformSpec::Analytic(DistSpec::Exponential { rate: 1.5 });
+        let points: Vec<Complex64> = (1..=20)
+            .map(|k| Complex64::new(0.2 * k as f64, -1.0))
+            .collect();
+        let transport = TcpTransport::bind(&["127.0.0.1:0", "127.0.0.1:0"])
+            .unwrap()
+            .with_accept_timeout(Duration::from_secs(10));
+        assert_eq!(transport.name(), "tcp");
+        assert_eq!(transport.num_workers(), 2);
+        let addrs = transport.local_addrs();
+
+        let workers: Vec<std::thread::JoinHandle<Result<TcpWorkerSummary, String>>> = addrs
+            .iter()
+            .map(|addr| {
+                let connect = addr.to_string();
+                std::thread::spawn(move || run_tcp_worker(&connect, &TcpWorkerOptions::default()))
+            })
+            .collect();
+
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Spec(&spec)],
+            items: items_for(&points, 0),
+            chunk_size: 4,
+            method: "euler".to_string(),
+        };
+        let (outcomes, report) = collect(&transport, plan);
+        assert_eq!(outcomes.len(), 20);
+        let d = Dist::exponential(1.5);
+        for outcome in &outcomes {
+            assert_eq!(
+                outcome.outcome.clone().unwrap(),
+                d.lst(outcome.item.s),
+                "bit-exact through the wire"
+            );
+        }
+        assert!(report.bytes_on_wire > 0);
+        assert_eq!(report.disconnects, 0);
+        let by_workers: usize = report.worker_stats.iter().map(|w| w.evaluated).sum();
+        assert_eq!(by_workers, 20);
+
+        let mut total = 0;
+        for handle in workers {
+            let summary = handle.join().unwrap().unwrap();
+            assert!(!summary.dropped_early);
+            total += summary.evaluated;
+        }
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn worker_disconnect_requeues_its_outstanding_chunk() {
+        let spec = TransformSpec::Analytic(DistSpec::Exponential { rate: 1.0 });
+        let points: Vec<Complex64> = (1..=12)
+            .map(|k| Complex64::new(0.5 * k as f64, 1.0))
+            .collect();
+        let transport = TcpTransport::bind(&["127.0.0.1:0", "127.0.0.1:0"])
+            .unwrap()
+            .with_accept_timeout(Duration::from_secs(10));
+        let addrs = transport.local_addrs();
+
+        // Worker 0 vanishes after a single chunk; worker 1 is healthy.
+        let flaky_addr = addrs[0].to_string();
+        let flaky = std::thread::spawn(move || {
+            run_tcp_worker(
+                &flaky_addr,
+                &TcpWorkerOptions {
+                    exit_after_chunks: Some(1),
+                    ..Default::default()
+                },
+            )
+        });
+        let healthy_addr = addrs[1].to_string();
+        let healthy =
+            std::thread::spawn(move || run_tcp_worker(&healthy_addr, &TcpWorkerOptions::default()));
+
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Spec(&spec)],
+            items: items_for(&points, 0),
+            chunk_size: 2,
+            method: "euler".to_string(),
+        };
+        let (outcomes, report) = collect(&transport, plan);
+        // Every point was evaluated exactly once despite the disconnect…
+        assert_eq!(outcomes.len(), 12);
+        let d = Dist::exponential(1.0);
+        for outcome in &outcomes {
+            assert_eq!(outcome.outcome.clone().unwrap(), d.lst(outcome.item.s));
+        }
+        // …and the report records the casualty.
+        assert_eq!(report.disconnects, 1);
+        let flaky_summary = flaky.join().unwrap().unwrap();
+        assert!(flaky_summary.dropped_early);
+        assert_eq!(flaky_summary.chunks, 1);
+        healthy.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn worker_reports_fatal_on_uncompilable_specs() {
+        let bad = TransformSpec::passage(
+            ModelSpec::Voting {
+                voters: 2,
+                polling: 1,
+                central: 1,
+            },
+            TargetSpec::parse("nosuchplace>=1").unwrap(),
+        );
+        let transport = TcpTransport::bind(&["127.0.0.1:0"])
+            .unwrap()
+            .with_accept_timeout(Duration::from_secs(10));
+        let addr = transport.local_addrs()[0].to_string();
+        let worker =
+            std::thread::spawn(move || run_tcp_worker(&addr, &TcpWorkerOptions::default()));
+
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Spec(&bad)],
+            items: items_for(&[Complex64::ONE], 0),
+            chunk_size: 1,
+            method: "euler".to_string(),
+        };
+        let error = transport.execute(plan, &mut |_| {}).unwrap_err();
+        assert!(error.to_string().contains("nosuchplace"), "{error}");
+        let summary = worker.join().unwrap();
+        assert!(summary.unwrap_err().contains("nosuchplace"));
+    }
+
+    #[test]
+    fn silent_connected_worker_times_out_instead_of_hanging_the_run() {
+        // A client that dials the rendezvous port and never speaks (a port
+        // scanner, a SIGSTOPped worker) must not hang execute() forever: the
+        // per-read io timeout declares it lost and the run fails cleanly.
+        let spec = TransformSpec::Analytic(DistSpec::Exponential { rate: 1.0 });
+        let transport = TcpTransport::bind(&["127.0.0.1:0"])
+            .unwrap()
+            .with_accept_timeout(Duration::from_secs(5))
+            .with_io_timeout(Duration::from_millis(200));
+        let addr = transport.local_addrs()[0];
+        let mute = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_secs(3));
+            drop(stream);
+        });
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Spec(&spec)],
+            items: items_for(&[Complex64::ONE], 0),
+            chunk_size: 1,
+            method: "euler".to_string(),
+        };
+        let started = Instant::now();
+        let error = transport.execute(plan, &mut |_| {}).unwrap_err();
+        assert!(error.to_string().contains("left undone"), "{error}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "timed out via io timeout, not by luck: {:?}",
+            started.elapsed()
+        );
+        mute.join().unwrap();
+    }
+
+    #[test]
+    fn accept_timeout_fails_cleanly_when_no_worker_dials_in() {
+        let spec = TransformSpec::Analytic(DistSpec::Exponential { rate: 1.0 });
+        let transport = TcpTransport::bind(&["127.0.0.1:0"])
+            .unwrap()
+            .with_accept_timeout(Duration::from_millis(100));
+        let plan = ExecutionPlan {
+            evaluators: vec![Evaluator::Spec(&spec)],
+            items: items_for(&[Complex64::ONE], 0),
+            chunk_size: 1,
+            method: "euler".to_string(),
+        };
+        let error = transport.execute(plan, &mut |_| {}).unwrap_err();
+        assert!(error.to_string().contains("left undone"), "{error}");
+    }
+}

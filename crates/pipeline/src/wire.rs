@@ -1,0 +1,705 @@
+//! Stable wire encoding shared by the checkpoint format and the TCP transport.
+//!
+//! The original tool shipped `s`-point requests and transform values between
+//! the master and its slave processors as messages over the cluster's
+//! message-passing layer.  This module is that layer's encoding: a small,
+//! versioned, text-based format with two primitives —
+//!
+//! * **strings** are percent-encoded into a single whitespace-free field
+//!   (exactly the encoding the measure-tagged checkpoint records use for their
+//!   transform keys), and
+//! * **floats** are written as the 16-hex-digit big-endian bit pattern of the
+//!   `f64` (exactly the encoding checkpoint records use for `s` and `L(s)`),
+//!   so a value survives the master⇄worker round trip *bit for bit* and a
+//!   TCP-backed run inverts from identical inputs to an in-process run.
+//!
+//! On top of the field primitives sit the protocol [`Frame`]s exchanged over a
+//! transport connection (see [`crate::transport`]) and the serialization of
+//! [`WorkItem`], [`WorkItemOutcome`] and [`WorkerMessage`].  Frames on a socket
+//! are length-prefixed (`u32` big-endian byte count, then that many bytes of
+//! UTF-8 payload), so the stream needs no sentinel characters and payloads may
+//! contain newlines.
+//!
+//! Numbers that are *quantities* (an `s`-point, a transform value's components)
+//! are rejected when non-finite: a NaN or infinity entering the cache or the
+//! checkpoint would silently poison every inversion that touches it, so the
+//! encoder turns such outcomes into errors at the boundary instead.
+
+use crate::work::WorkItem;
+use crate::worker::{WorkItemOutcome, WorkerMessage};
+use smp_numeric::Complex64;
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build (first field of `hello`/`job` frames).
+pub const WIRE_VERSION: u32 = 1;
+
+/// An encoding or decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A float field was NaN or infinite where a finite quantity is required.
+    NonFinite {
+        /// Which field was non-finite.
+        field: &'static str,
+    },
+    /// The payload could not be parsed.
+    Malformed {
+        /// What went wrong.
+        message: String,
+    },
+    /// The peer speaks an incompatible protocol version.
+    Version {
+        /// The version the peer announced.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::NonFinite { field } => {
+                write!(f, "non-finite value in wire field '{field}'")
+            }
+            WireError::Malformed { message } => write!(f, "malformed wire payload: {message}"),
+            WireError::Version { got } => {
+                write!(
+                    f,
+                    "peer speaks wire version {got}, this build speaks {WIRE_VERSION}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn malformed(message: impl Into<String>) -> WireError {
+    WireError::Malformed {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field primitives
+// ---------------------------------------------------------------------------
+
+/// Percent-encodes a string into one whitespace-free field (alphanumerics and
+/// `-_.:+/` pass through unchanged).  Shared with the checkpoint format's
+/// measure-tagged records.
+pub fn encode_str(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for byte in text.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b':' | b'+' | b'/' => {
+                out.push(byte as char)
+            }
+            _ => out.push_str(&format!("%{byte:02x}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_str`].  Returns `None` for malformed escapes or invalid
+/// UTF-8.
+pub fn decode_str(field: &str) -> Option<String> {
+    let bytes = field.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Encodes an `f64` as its 16-hex-digit bit pattern (bit-exact; shared with
+/// the checkpoint format).  Accepts any value, including NaN — use
+/// [`encode_finite_f64`] for quantity fields.
+pub fn encode_f64(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+/// Encodes a *quantity* `f64`, rejecting NaN and infinities.
+pub fn encode_finite_f64(value: f64, field: &'static str) -> Result<String, WireError> {
+    if !value.is_finite() {
+        return Err(WireError::NonFinite { field });
+    }
+    Ok(encode_f64(value))
+}
+
+/// Decodes a 16-hex-digit `f64` field (any bit pattern).
+pub fn decode_f64(field: &str) -> Option<f64> {
+    if field.len() != 16 {
+        return None; // a short field is a record truncated mid-write
+    }
+    u64::from_str_radix(field, 16).ok().map(f64::from_bits)
+}
+
+/// Decodes a *quantity* `f64` field, rejecting NaN and infinities.
+pub fn decode_finite_f64(field: &str, name: &'static str) -> Result<f64, WireError> {
+    let value =
+        decode_f64(field).ok_or_else(|| malformed(format!("bad f64 field '{name}': {field}")))?;
+    if !value.is_finite() {
+        return Err(WireError::NonFinite { field: name });
+    }
+    Ok(value)
+}
+
+/// Encodes a complex quantity as two finite-`f64` fields.
+pub fn encode_complex(value: Complex64, field: &'static str) -> Result<String, WireError> {
+    Ok(format!(
+        "{} {}",
+        encode_finite_f64(value.re, field)?,
+        encode_finite_f64(value.im, field)?
+    ))
+}
+
+fn take<'a>(parts: &mut impl Iterator<Item = &'a str>, name: &str) -> Result<&'a str, WireError> {
+    parts
+        .next()
+        .ok_or_else(|| malformed(format!("missing field '{name}'")))
+}
+
+fn take_usize<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    name: &str,
+) -> Result<usize, WireError> {
+    take(parts, name)?
+        .parse()
+        .map_err(|_| malformed(format!("bad integer field '{name}'")))
+}
+
+fn take_complex<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    name: &'static str,
+) -> Result<Complex64, WireError> {
+    let re = decode_finite_f64(take(parts, name)?, name)?;
+    let im = decode_finite_f64(take(parts, name)?, name)?;
+    Ok(Complex64::new(re, im))
+}
+
+// ---------------------------------------------------------------------------
+// Work item / outcome / message encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes one [`WorkItem`] as `"<measure> <index> <s.re> <s.im>"`.
+pub fn encode_work_item(item: &WorkItem) -> Result<String, WireError> {
+    Ok(format!(
+        "{} {} {}",
+        item.measure,
+        item.index,
+        encode_complex(item.s, "work item s-point")?
+    ))
+}
+
+fn decode_work_item_fields<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+) -> Result<WorkItem, WireError> {
+    let measure = take_usize(parts, "measure")?;
+    let index = take_usize(parts, "index")?;
+    let s = take_complex(parts, "work item s-point")?;
+    Ok(WorkItem { measure, index, s })
+}
+
+/// Decodes one [`WorkItem`] line.
+pub fn decode_work_item(line: &str) -> Result<WorkItem, WireError> {
+    let mut parts = line.split_whitespace();
+    let item = decode_work_item_fields(&mut parts)?;
+    if parts.next().is_some() {
+        return Err(malformed("trailing fields after work item"));
+    }
+    Ok(item)
+}
+
+/// Encodes one [`WorkItemOutcome`]: the item's fields followed by
+/// `ok <v.re> <v.im>` or `err <message>`.  A *non-finite* success value is
+/// encoded as an error outcome — a NaN transform value must never enter the
+/// master's cache or checkpoint as a number.
+pub fn encode_outcome(outcome: &WorkItemOutcome) -> Result<String, WireError> {
+    let mut line = encode_work_item(&outcome.item)?;
+    match &outcome.outcome {
+        Ok(value) if value.re.is_finite() && value.im.is_finite() => {
+            line.push_str(&format!(
+                " ok {}",
+                encode_complex(*value, "transform value")?
+            ));
+        }
+        Ok(value) => {
+            line.push_str(&format!(
+                " err {}",
+                encode_str(&format!("non-finite transform value {value}"))
+            ));
+        }
+        Err(message) => {
+            line.push_str(&format!(" err {}", encode_str(message)));
+        }
+    }
+    Ok(line)
+}
+
+/// Decodes one [`WorkItemOutcome`] line.
+pub fn decode_outcome(line: &str) -> Result<WorkItemOutcome, WireError> {
+    let mut parts = line.split_whitespace();
+    let item = decode_work_item_fields(&mut parts)?;
+    let outcome = match take(&mut parts, "outcome tag")? {
+        "ok" => Ok(take_complex(&mut parts, "transform value")?),
+        "err" => {
+            let field = take(&mut parts, "error message")?;
+            Err(decode_str(field).ok_or_else(|| malformed("bad error message encoding"))?)
+        }
+        other => return Err(malformed(format!("unknown outcome tag '{other}'"))),
+    };
+    if parts.next().is_some() {
+        return Err(malformed("trailing fields after outcome"));
+    }
+    Ok(WorkItemOutcome { item, outcome })
+}
+
+/// Encodes a [`WorkerMessage`] (plus the chunk's busy time) as a multi-line
+/// `result` frame payload.
+pub fn encode_worker_message(
+    message: &WorkerMessage,
+    busy_nanos: u64,
+) -> Result<String, WireError> {
+    let mut out = format!(
+        "result worker={} busy_ns={} n={}",
+        message.worker,
+        busy_nanos,
+        message.results.len()
+    );
+    for outcome in &message.results {
+        out.push('\n');
+        out.push_str(&encode_outcome(outcome)?);
+    }
+    Ok(out)
+}
+
+fn parse_kv(field: &str, key: &str) -> Result<u64, WireError> {
+    let value = field
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| malformed(format!("expected '{key}=N', got '{field}'")))?;
+    value
+        .parse()
+        .map_err(|_| malformed(format!("bad integer in '{field}'")))
+}
+
+/// Decodes a `result` frame payload back into a [`WorkerMessage`] and the
+/// chunk's busy time in nanoseconds.
+pub fn decode_worker_message(payload: &str) -> Result<(WorkerMessage, u64), WireError> {
+    let mut lines = payload.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("empty result frame"))?;
+    let mut parts = header.split_whitespace();
+    match take(&mut parts, "frame tag")? {
+        "result" => {}
+        other => return Err(malformed(format!("expected result frame, got '{other}'"))),
+    }
+    let worker = parse_kv(take(&mut parts, "worker")?, "worker")? as usize;
+    let busy_nanos = parse_kv(take(&mut parts, "busy_ns")?, "busy_ns")?;
+    let n = parse_kv(take(&mut parts, "n")?, "n")? as usize;
+    // No Vec::with_capacity(n): the header is unvalidated wire input, and a
+    // huge announced count must produce a decode error below, not a
+    // capacity-overflow panic here.
+    let mut results = Vec::new();
+    for line in lines {
+        results.push(decode_outcome(line)?);
+    }
+    if results.len() != n {
+        return Err(malformed(format!(
+            "result frame announced {n} outcomes but carried {}",
+            results.len()
+        )));
+    }
+    Ok((WorkerMessage { worker, results }, busy_nanos))
+}
+
+// ---------------------------------------------------------------------------
+// Protocol frames
+// ---------------------------------------------------------------------------
+
+/// One protocol message between master and worker.
+///
+/// Master → worker: [`Frame::Job`], [`Frame::Chunk`], [`Frame::Done`].
+/// Worker → master: [`Frame::Hello`], [`Frame::Result`], [`Frame::Fatal`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker greeting: announces its wire version.
+    Hello {
+        /// Protocol version the worker speaks.
+        version: u32,
+    },
+    /// Job header: the worker's assigned id, the inversion method's name (for
+    /// diagnostics; `s`-points arrive explicitly in chunks) and one encoded
+    /// [`crate::transform::TransformSpec`] line per measure.
+    Job {
+        /// Protocol version the master speaks.
+        version: u32,
+        /// Worker id assigned by the master (stable across the run's stats).
+        worker: usize,
+        /// Name of the inversion method driving the plan.
+        method: String,
+        /// Encoded transform specs, one per measure, in measure order.
+        specs: Vec<String>,
+    },
+    /// A chunk of work items to evaluate.
+    Chunk {
+        /// The items, in queue order.
+        items: Vec<WorkItem>,
+    },
+    /// All work is done; the worker should exit.
+    Done,
+    /// One evaluated chunk.
+    Result {
+        /// The outcomes, tagged with the sending worker.
+        message: WorkerMessage,
+        /// Time the worker spent evaluating this chunk, in nanoseconds.
+        busy_nanos: u64,
+    },
+    /// The worker cannot continue (e.g. its transform specs failed to compile).
+    Fatal {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Encodes the frame into a payload string (no length prefix).
+    pub fn encode(&self) -> Result<String, WireError> {
+        match self {
+            Frame::Hello { version } => Ok(format!("hello v={version}")),
+            Frame::Job {
+                version,
+                worker,
+                method,
+                specs,
+            } => {
+                let mut out = format!(
+                    "job v={version} worker={worker} method={} specs={}",
+                    encode_str(method),
+                    specs.len()
+                );
+                for spec in specs {
+                    out.push('\n');
+                    out.push_str(spec);
+                }
+                Ok(out)
+            }
+            Frame::Chunk { items } => {
+                let mut out = format!("chunk n={}", items.len());
+                for item in items {
+                    out.push('\n');
+                    out.push_str(&encode_work_item(item)?);
+                }
+                Ok(out)
+            }
+            Frame::Done => Ok("done".to_string()),
+            Frame::Result {
+                message,
+                busy_nanos,
+            } => encode_worker_message(message, *busy_nanos),
+            Frame::Fatal { message } => Ok(format!("fatal {}", encode_str(message))),
+        }
+    }
+
+    /// Decodes a payload string back into a frame.
+    pub fn decode(payload: &str) -> Result<Frame, WireError> {
+        let mut lines = payload.lines();
+        let header = lines.next().ok_or_else(|| malformed("empty frame"))?;
+        let mut parts = header.split_whitespace();
+        match take(&mut parts, "frame tag")? {
+            "hello" => {
+                let version = parse_kv(take(&mut parts, "v")?, "v")? as u32;
+                Ok(Frame::Hello { version })
+            }
+            "job" => {
+                let version = parse_kv(take(&mut parts, "v")?, "v")? as u32;
+                let worker = parse_kv(take(&mut parts, "worker")?, "worker")? as usize;
+                let method_field = take(&mut parts, "method")?
+                    .strip_prefix("method=")
+                    .ok_or_else(|| malformed("expected method=NAME"))?
+                    .to_string();
+                let method =
+                    decode_str(&method_field).ok_or_else(|| malformed("bad method encoding"))?;
+                let n = parse_kv(take(&mut parts, "specs")?, "specs")? as usize;
+                let specs: Vec<String> = lines.map(str::to_string).collect();
+                if specs.len() != n {
+                    return Err(malformed(format!(
+                        "job frame announced {n} specs but carried {}",
+                        specs.len()
+                    )));
+                }
+                Ok(Frame::Job {
+                    version,
+                    worker,
+                    method,
+                    specs,
+                })
+            }
+            "chunk" => {
+                let n = parse_kv(take(&mut parts, "n")?, "n")? as usize;
+                let items: Result<Vec<WorkItem>, WireError> = lines.map(decode_work_item).collect();
+                let items = items?;
+                if items.len() != n {
+                    return Err(malformed(format!(
+                        "chunk frame announced {n} items but carried {}",
+                        items.len()
+                    )));
+                }
+                Ok(Frame::Chunk { items })
+            }
+            "done" => Ok(Frame::Done),
+            "result" => {
+                let (message, busy_nanos) = decode_worker_message(payload)?;
+                Ok(Frame::Result {
+                    message,
+                    busy_nanos,
+                })
+            }
+            "fatal" => {
+                let field = take(&mut parts, "message")?;
+                let message =
+                    decode_str(field).ok_or_else(|| malformed("bad fatal message encoding"))?;
+                Ok(Frame::Fatal { message })
+            }
+            other => Err(malformed(format!("unknown frame tag '{other}'"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Length-prefixed frame I/O
+// ---------------------------------------------------------------------------
+
+/// Upper bound on an accepted frame payload (64 MiB) — a corrupted length
+/// prefix must not trigger a multi-gigabyte allocation.
+const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Writes one length-prefixed frame to a stream and flushes it.  Returns the
+/// number of bytes put on the wire (prefix included).
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> std::io::Result<u64> {
+    let payload = frame
+        .encode()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()?;
+    Ok(4 + bytes.len() as u64)
+}
+
+/// Reads one length-prefixed frame from a stream.  Returns the frame and the
+/// number of bytes taken off the wire.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<(Frame, u64)> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 frame"))?;
+    let frame = Frame::decode(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((frame, 4 + len as u64))
+}
+
+/// The wire size of a frame without writing it anywhere — used by the
+/// simulated-latency backend to report the bytes a real network deployment
+/// would have shipped.
+pub fn frame_wire_size(frame: &Frame) -> Result<u64, WireError> {
+    Ok(4 + frame.encode()?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(measure: usize, index: usize, re: f64, im: f64) -> WorkItem {
+        WorkItem {
+            measure,
+            index,
+            s: Complex64::new(re, im),
+        }
+    }
+
+    #[test]
+    fn string_field_round_trips() {
+        for text in [
+            "plain",
+            "with space",
+            "pct%sign",
+            "naïve-ütf8",
+            "a=b k=c",
+            "",
+        ] {
+            let encoded = encode_str(text);
+            assert!(!encoded.contains(char::is_whitespace));
+            assert_eq!(decode_str(&encoded).as_deref(), Some(text));
+        }
+        assert_eq!(decode_str("bad%2"), None);
+        assert_eq!(decode_str("bad%zz"), None);
+    }
+
+    #[test]
+    fn f64_fields_are_bit_exact() {
+        for value in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, -f64::MAX] {
+            let field = encode_f64(value);
+            assert_eq!(field.len(), 16);
+            assert_eq!(decode_f64(&field).map(f64::to_bits), Some(value.to_bits()));
+        }
+        // Short fields are truncation damage, not tiny numbers.
+        assert_eq!(decode_f64("deadbeef"), None);
+    }
+
+    #[test]
+    fn non_finite_quantities_are_rejected() {
+        assert_eq!(
+            encode_finite_f64(f64::NAN, "s"),
+            Err(WireError::NonFinite { field: "s" })
+        );
+        assert_eq!(
+            encode_finite_f64(f64::INFINITY, "s"),
+            Err(WireError::NonFinite { field: "s" })
+        );
+        // Decoding a NaN bit pattern into a quantity field fails too.
+        let nan_field = encode_f64(f64::NAN);
+        assert!(matches!(
+            decode_finite_f64(&nan_field, "s"),
+            Err(WireError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn outcome_round_trips_ok_and_err() {
+        let ok = WorkItemOutcome {
+            item: item(2, 17, 0.25, -3.5),
+            outcome: Ok(Complex64::new(1.0 / 3.0, 2e-15)),
+        };
+        let err = WorkItemOutcome {
+            item: item(0, 0, 9.5, 0.0),
+            outcome: Err("did not converge after 64 iterations".to_string()),
+        };
+        for outcome in [&ok, &err] {
+            let line = encode_outcome(outcome).unwrap();
+            assert_eq!(&decode_outcome(&line).unwrap(), outcome);
+        }
+    }
+
+    #[test]
+    fn non_finite_success_value_becomes_an_error_outcome() {
+        let poisoned = WorkItemOutcome {
+            item: item(0, 3, 1.0, 2.0),
+            outcome: Ok(Complex64::new(f64::NAN, 0.0)),
+        };
+        let line = encode_outcome(&poisoned).unwrap();
+        let decoded = decode_outcome(&line).unwrap();
+        assert_eq!(decoded.item, poisoned.item);
+        let message = decoded.outcome.unwrap_err();
+        assert!(message.contains("non-finite"), "{message}");
+    }
+
+    #[test]
+    fn worker_message_round_trips() {
+        let message = WorkerMessage {
+            worker: 3,
+            results: vec![
+                WorkItemOutcome {
+                    item: item(0, 0, 0.5, 1.5),
+                    outcome: Ok(Complex64::new(-0.25, 0.75)),
+                },
+                WorkItemOutcome {
+                    item: item(1, 1, 0.5, 3.0),
+                    outcome: Err("synthetic failure".to_string()),
+                },
+            ],
+        };
+        let payload = encode_worker_message(&message, 12_345).unwrap();
+        let (decoded, busy) = decode_worker_message(&payload).unwrap();
+        assert_eq!(decoded, message);
+        assert_eq!(busy, 12_345);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::Hello { version: 1 },
+            Frame::Job {
+                version: 1,
+                worker: 2,
+                method: "euler".to_string(),
+                specs: vec!["analytic v=1 key=x dist=exponential:3ff0000000000000".to_string()],
+            },
+            Frame::Chunk {
+                items: vec![item(0, 0, 1.0, 2.0), item(1, 5, 3.0, -4.0)],
+            },
+            Frame::Done,
+            Frame::Result {
+                message: WorkerMessage {
+                    worker: 0,
+                    results: vec![WorkItemOutcome {
+                        item: item(0, 0, 1.0, 2.0),
+                        outcome: Ok(Complex64::I),
+                    }],
+                },
+                busy_nanos: 77,
+            },
+            Frame::Fatal {
+                message: "spec compile failed: place 'p9' does not exist".to_string(),
+            },
+        ];
+        for frame in frames {
+            let payload = frame.encode().unwrap();
+            assert_eq!(Frame::decode(&payload).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn frame_io_over_a_buffer() {
+        let frame = Frame::Chunk {
+            items: (0..10)
+                .map(|k| item(k % 2, k, k as f64, -(k as f64)))
+                .collect(),
+        };
+        let mut buffer = Vec::new();
+        let written = write_frame(&mut buffer, &frame).unwrap();
+        assert_eq!(written, buffer.len() as u64);
+        assert_eq!(written, frame_wire_size(&frame).unwrap());
+        let mut cursor = std::io::Cursor::new(buffer);
+        let (decoded, read) = read_frame(&mut cursor).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(read, written);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = vec![0xff, 0xff, 0xff, 0xff];
+        bytes.extend_from_slice(b"junk");
+        let mut cursor = std::io::Cursor::new(bytes);
+        let error = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        assert!(decode_work_item("0 1 3ff0000000000000").is_err());
+        assert!(decode_work_item("0 1 3ff0000000000000 3ff0000000000000 extra").is_err());
+        assert!(Frame::decode("chunk n=2\n0 0 3ff0000000000000 3ff0000000000000").is_err());
+        assert!(Frame::decode("warble n=1").is_err());
+        assert!(Frame::decode("").is_err());
+    }
+}

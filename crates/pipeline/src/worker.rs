@@ -34,7 +34,7 @@ pub struct WorkerStats {
 }
 
 /// One evaluated item inside a [`WorkerMessage`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkItemOutcome {
     /// The work item that was evaluated.
     pub item: WorkItem,
@@ -43,7 +43,7 @@ pub struct WorkItemOutcome {
 }
 
 /// A result message from a worker to the master: every outcome of one chunk.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkerMessage {
     /// The sending worker's identifier.
     pub worker: usize,

@@ -1,0 +1,193 @@
+//! Property tests for the wire protocol: `TransformSpec` and `WorkerMessage`
+//! encodings round-trip for arbitrary payloads, and non-finite quantities are
+//! rejected at the boundary instead of poisoning the cache.
+
+use proptest::prelude::*;
+use smp_numeric::Complex64;
+use smp_pipeline::wire::{
+    decode_finite_f64, decode_worker_message, encode_f64, encode_finite_f64, encode_worker_message,
+    WireError,
+};
+use smp_pipeline::work::WorkItem;
+use smp_pipeline::worker::{WorkItemOutcome, WorkerMessage};
+use smp_pipeline::{DistSpec, ModelSpec, TargetSpec, TransformSpec};
+
+/// Builds a printable-but-awkward string (spaces, escapes, UTF-8) from raw
+/// bytes — the vendored proptest has no string strategy, so payload strings
+/// are derived from byte vectors.
+fn string_from(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// A place name restricted to identifier characters: predicate round-trips go
+/// through the `PLACE OP N` source form, which (like DNAmaca itself) cannot
+/// represent operator characters inside a place name.
+fn place_from(bytes: &[u8]) -> String {
+    let mut place: String = bytes.iter().map(|b| (b'a' + (b % 26)) as char).collect();
+    if place.is_empty() {
+        place.push('p');
+    }
+    place
+}
+
+const OPS: [smp_pipeline::CompareOp; 6] = [
+    smp_pipeline::CompareOp::Ge,
+    smp_pipeline::CompareOp::Le,
+    smp_pipeline::CompareOp::Gt,
+    smp_pipeline::CompareOp::Lt,
+    smp_pipeline::CompareOp::Eq,
+    smp_pipeline::CompareOp::Ne,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn worker_messages_round_trip(
+        worker in 0usize..1024,
+        busy in 0u64..u64::MAX,
+        raw in collection::vec(
+            (0usize..16, 0usize..100_000, -1e300f64..1e300, -1e300f64..1e300,
+             -1e12f64..1e12, 0u8..3),
+            0..24),
+        message_bytes in collection::vec(0u8..255, 0..32))
+    {
+        let results: Vec<WorkItemOutcome> = raw
+            .iter()
+            .enumerate()
+            .map(|(k, &(measure, index, re, im, value, tag))| WorkItemOutcome {
+                item: WorkItem {
+                    measure,
+                    index,
+                    s: Complex64::new(re, im),
+                },
+                outcome: match tag {
+                    0 => Ok(Complex64::new(value, -value / 3.0)),
+                    1 => Ok(Complex64::new(0.0, value)),
+                    _ => Err(format!("case {k}: {}", string_from(&message_bytes))),
+                },
+            })
+            .collect();
+        let message = WorkerMessage { worker, results };
+        let payload = encode_worker_message(&message, busy).unwrap();
+        let (decoded, decoded_busy) = decode_worker_message(&payload).unwrap();
+        // Bit-exact: every s-point and value survives, error text included.
+        prop_assert_eq!(decoded, message);
+        prop_assert_eq!(decoded_busy, busy);
+    }
+
+    #[test]
+    fn non_finite_values_never_survive_as_numbers(
+        re in -1e300f64..1e300,
+        pick in 0u8..3)
+    {
+        let bad = match pick {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        // Quantity fields reject NaN/∞ at encode time…
+        prop_assert!(matches!(
+            encode_finite_f64(bad, "s"),
+            Err(WireError::NonFinite { .. })
+        ));
+        // …and at decode time, even when the hex bit pattern itself is valid.
+        prop_assert!(matches!(
+            decode_finite_f64(&encode_f64(bad), "s"),
+            Err(WireError::NonFinite { .. })
+        ));
+        // A poisoned success outcome is demoted to an error outcome on the
+        // wire rather than entering the master's cache as a number.
+        let outcome = WorkItemOutcome {
+            item: WorkItem {
+                measure: 0,
+                index: 0,
+                s: Complex64::new(re, 1.0),
+            },
+            outcome: Ok(Complex64::new(bad, 0.0)),
+        };
+        let message = WorkerMessage { worker: 0, results: vec![outcome] };
+        let payload = encode_worker_message(&message, 0).unwrap();
+        let (decoded, _) = decode_worker_message(&payload).unwrap();
+        let text = decoded.results[0].outcome.clone().unwrap_err();
+        prop_assert!(text.contains("non-finite"), "{}", text);
+    }
+
+    #[test]
+    fn voting_and_analytic_specs_round_trip(
+        (voters, polling, central) in (1u32..2000, 1u32..50, 1u32..50),
+        place_bytes in collection::vec(0u8..255, 0..12),
+        op_index in 0usize..6,
+        count in 0u32..10_000,
+        (rate, shape) in (1e-6f64..1e6, 0.1f64..50.0),
+        phases in 1u32..64,
+        wrap_in_cdf in 0u8..2)
+    {
+        let targets = TargetSpec {
+            place: place_from(&place_bytes),
+            op: OPS[op_index],
+            count,
+        };
+        let model = ModelSpec::Voting { voters, polling, central };
+        let specs = [
+            TransformSpec::passage(model.clone(), targets.clone()),
+            TransformSpec::transient(model, targets),
+            TransformSpec::Analytic(DistSpec::Erlang { rate, phases }),
+            TransformSpec::Analytic(DistSpec::Weibull { shape, scale: rate }),
+        ];
+        for spec in specs {
+            let spec = if wrap_in_cdf == 1 {
+                TransformSpec::CdfOf(Box::new(spec))
+            } else {
+                spec
+            };
+            let line = spec.encode().unwrap();
+            prop_assert!(!line.contains('\n'));
+            prop_assert_eq!(TransformSpec::decode(&line).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn arbitrary_dnamaca_sources_round_trip(
+        source_bytes in collection::vec(0u8..255, 0..200),
+        place_bytes in collection::vec(0u8..255, 1..8))
+    {
+        // The model source is shipped verbatim — whitespace, escapes and
+        // multi-byte UTF-8 included.
+        let source = string_from(&source_bytes);
+        let spec = TransformSpec::transient(
+            ModelSpec::Dnamaca(source.clone()),
+            TargetSpec {
+                place: place_from(&place_bytes),
+                op: smp_pipeline::CompareOp::Ge,
+                count: 1,
+            },
+        );
+        let decoded = TransformSpec::decode(&spec.encode().unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &spec);
+        match decoded.model().unwrap() {
+            ModelSpec::Dnamaca(decoded_source) => prop_assert_eq!(decoded_source, &source),
+            other => panic!("expected a DNAmaca model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_distribution_parameters_are_rejected(pick in 0u8..3) {
+        let bad = match pick {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        for spec in [
+            TransformSpec::Analytic(DistSpec::Exponential { rate: bad }),
+            TransformSpec::Analytic(DistSpec::Uniform { lower: 0.0, upper: bad }),
+            TransformSpec::Analytic(DistSpec::Deterministic { value: bad }),
+            TransformSpec::CdfOf(Box::new(TransformSpec::Analytic(DistSpec::Weibull {
+                shape: bad,
+                scale: 1.0,
+            }))),
+        ] {
+            prop_assert!(matches!(spec.encode(), Err(WireError::NonFinite { .. })));
+        }
+    }
+}
