@@ -1,45 +1,50 @@
 //! # smp-cli
 //!
 //! The `smpq` command line tool: drive the whole analysis tool chain — DNAmaca
-//! model parsing, SM-SPN state-space generation, and the distributed batched
-//! pipeline — the way a modeller drove the paper's original tool.
+//! model parsing, SM-SPN state-space generation, and the unified measure
+//! engines — the way a modeller drove the paper's original tool.
 //!
 //! ```text
-//! smpq --model voting.mod --measure 'density:p2>=3' --measure 'cdf:p2>=3' \
-//!      --t-start 2 --t-stop 60 --t-count 12 --workers 8 --chunk-size 16 \
-//!      --checkpoint voting.ckpt
+//! smpq --model voting.mod --measure 'cdf:p2>=3' --measure 'quantile:p2>=3@0.5,0.9,0.99' \
+//!      --t-start 2 --t-stop 60 --t-count 12 --engine distributed --validate-sim 1e-2
 //! ```
 //!
 //! (The quotes matter: an unquoted `>=` is a shell redirection.)
 //!
 //! A model comes either from a file (`--model`) or from the built-in voting
-//! system generator (`--voting CC,MM,NN` — the same extended-DNAmaca source the
-//! `dnamaca_spec` example prints).  Each repeated `--measure KIND:PLACE OP N`
-//! flag adds one measure to the batch: the predicate selects the target
-//! markings by token count, `density`/`cdf` measure the first passage from the
-//! initial marking into those targets, `transient` their time-dependent state
-//! probability.  All measures share one time grid and are solved in a single
-//! [`smp_pipeline::DistributedPipeline::run_batch`] call, so a `density` and a
-//! `cdf` over the same predicate share every transform evaluation, and a
-//! checkpoint file warms all of them across invocations.
+//! system generator (`--voting CC,MM,NN`).  Each repeated `--measure` flag adds
+//! one [`MeasureRequest`] to the batch — densities, CDFs, transient
+//! probabilities, quantiles, means and higher moments — and `--engine` selects
+//! which implementation of the [`Engine`] trait answers it:
+//!
+//! * `distributed` (default) — the master–worker pipeline over worker threads,
+//!   or over TCP worker processes with `--workers tcp:ADDR,...`;
+//! * `analytic` — sequential in-process Laplace inversion (bitwise identical
+//!   to `distributed`);
+//! * `sim` — discrete-event simulation of the same model with
+//!   `--replications`/`--seed` control.
+//!
+//! `--validate-sim TOL` runs the chosen engine *and* the simulation engine and
+//! fails if any shared point disagrees beyond `TOL` (relative) plus the
+//! simulation's own 95% confidence bound — the paper's analytic-vs-simulation
+//! validation loop as a one-flag feature.
 //!
 //! The binary in `src/main.rs` is a thin wrapper around [`parse_args`] and
 //! [`run`], which are kept in this library so the whole flow is unit-testable.
 
-use smp_core::transient::TransientSolver;
-use smp_core::PassageTimeSolver;
+use smp_core::query::{Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest};
 use smp_laplace::InversionMethod;
 use smp_numeric::stats::linspace;
 use smp_pipeline::{
-    run_tcp_worker, BatchJob, DistributedPipeline, MeasureKind, MeasureSpec, ModelSpec,
-    PipelineOptions, TcpTransport, TcpWorkerOptions, TransformSpec,
+    run_tcp_worker, AnalyticEngine, DistributedEngine, ModelSpec, PipelineOptions,
+    SimulationEngine, SimulationOptions, TcpTransport, TcpWorkerOptions,
 };
-use smp_smspn::StateSpace;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
-/// The target predicate type — the serializable [`smp_pipeline::TargetSpec`],
-/// re-exported under the name this CLI has always used.
+/// The target predicate type — `smp_core::query::TargetSpec`, re-exported
+/// under the name this CLI has always used.
 pub type Predicate = smp_pipeline::TargetSpec;
 pub use smp_pipeline::{model_fingerprint, CompareOp};
 
@@ -48,7 +53,8 @@ pub use smp_pipeline::{model_fingerprint, CompareOp};
 pub struct CliOptions {
     /// Where the model text comes from.
     pub model: ModelSource,
-    /// The requested measures, in command-line order.
+    /// The requested measures, in command-line order (time grids are filled
+    /// in from the `--t-*` flags when the run starts).
     pub measures: Vec<MeasureRequest>,
     /// Shared output time grid: first point.
     pub t_start: f64,
@@ -56,7 +62,10 @@ pub struct CliOptions {
     pub t_stop: f64,
     /// Shared output time grid: number of points.
     pub t_count: usize,
-    /// Where the evaluations run: worker threads or TCP worker processes.
+    /// Which engine answers the requests.
+    pub engine: EngineChoice,
+    /// Where the distributed engine's evaluations run: worker threads or TCP
+    /// worker processes.
     pub workers: WorkerBackend,
     /// Work-queue chunk size; 0 lets the pipeline choose.
     pub chunk_size: usize,
@@ -66,6 +75,13 @@ pub struct CliOptions {
     pub method: MethodChoice,
     /// Print the model source instead of solving.
     pub emit_model: bool,
+    /// Cross-validate the chosen engine against the simulation engine with
+    /// this relative tolerance.
+    pub validate_sim: Option<f64>,
+    /// Simulation replications (simulation engine and `--validate-sim`).
+    pub replications: usize,
+    /// Simulation RNG seed.
+    pub sim_seed: u64,
 }
 
 /// Where the model specification text comes from.
@@ -77,7 +93,28 @@ pub enum ModelSource {
     Voting(u32, u32, u32),
 }
 
-/// Where the master farms its transform evaluations out to.
+/// The engine selected with `--engine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Sequential in-process Laplace inversion.
+    Analytic,
+    /// Discrete-event simulation.
+    Sim,
+    /// The distributed master–worker pipeline (default).
+    Distributed,
+}
+
+impl EngineChoice {
+    fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Analytic => "analytic",
+            EngineChoice::Sim => "sim",
+            EngineChoice::Distributed => "distributed",
+        }
+    }
+}
+
+/// Where the distributed engine farms its transform evaluations out to.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkerBackend {
     /// In-process worker threads (the paper's slave processors as threads).
@@ -105,41 +142,6 @@ impl MethodChoice {
     }
 }
 
-/// One `--measure KIND:PLACE OP N` request.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MeasureRequest {
-    /// What to compute over the target set.
-    pub kind: MeasureKind,
-    /// The target-marking predicate.
-    pub predicate: Predicate,
-}
-
-impl MeasureRequest {
-    /// The measure's display name, e.g. `density:p2>=3`.
-    pub fn name(&self) -> String {
-        format!("{}:{}", self.kind.name(), self.predicate)
-    }
-
-    /// The cache/checkpoint transform key: `density` and `cdf` over the same
-    /// predicate share the passage transform (and hence its evaluations);
-    /// `transient` uses a different transform and gets its own key.
-    ///
-    /// `model_fingerprint` (a hash of the model source, see
-    /// [`model_fingerprint`]) is baked into the key so that a `--checkpoint`
-    /// file reused with a *different* model — or the same model after an edit —
-    /// can never feed stale transform values into the analysis.
-    pub fn transform_key(&self, model_fingerprint: &str) -> String {
-        match self.kind {
-            MeasureKind::Density | MeasureKind::Cdf => {
-                TransformSpec::passage_key(model_fingerprint, &self.predicate)
-            }
-            MeasureKind::Transient => {
-                TransformSpec::transient_key(model_fingerprint, &self.predicate)
-            }
-        }
-    }
-}
-
 /// An `smpq` failure: bad flags, unreadable/invalid model, or analysis error.
 #[derive(Debug)]
 pub enum CliError {
@@ -147,7 +149,7 @@ pub enum CliError {
     Usage(String),
     /// The model could not be read, parsed or explored.
     Model(String),
-    /// The analysis itself failed (solver or pipeline).
+    /// The analysis itself failed (solver, pipeline or validation).
     Analysis(String),
 }
 
@@ -163,12 +165,22 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Model(m) => CliError::Model(m),
+            EngineError::Unsupported(m) | EngineError::Analysis(m) => CliError::Analysis(m),
+        }
+    }
+}
+
 /// The `--help` text.
 pub fn usage() -> &'static str {
-    "smpq — distributed passage-time and transient analysis of semi-Markov models
+    "smpq — passage-time and transient analysis of semi-Markov models
+        (analytic, simulated, or distributed — one typed query layer)
 
 USAGE:
-    smpq (--model FILE | --voting CC,MM,NN) --measure KIND:PRED [options]
+    smpq (--model FILE | --voting CC,MM,NN) --measure KIND:TARGET[@ARGS] [options]
     smpq worker --connect HOST:PORT [--exit-after-chunks N]
 
 MODEL:
@@ -178,20 +190,34 @@ MODEL:
     --emit-model        print the model source and exit
 
 MEASURES (repeatable, at least one):
-    --measure KIND:PRED
-        KIND  density | cdf | transient
-        PRED  a target predicate PLACE OP N, e.g. p2>=3
-              (OP is one of >= <= > < == !=)
-        density/cdf measure the first passage from the initial marking into
-        the predicate's markings; transient their state probability at t.
-        density and cdf over the same predicate share transform evaluations.
+    --measure KIND:TARGET[@ARGS]
+        KIND    density | cdf | transient | quantile | mean | moment
+        TARGET  a predicate PLACE OP N, e.g. p2>=3
+                (OP is one of >= <= > < == !=)
+        ARGS    quantile: probabilities, e.g. quantile:p2>=3@0.5,0.9,0.99
+                moment:   the order 1..=4, e.g. moment:p2>=3@2
+        density/cdf/quantile/mean/moment measure the first passage from the
+        initial marking into the target's markings; transient measures their
+        time-dependent state probability.
 
-TIME GRID (shared by all measures):
+ENGINE:
+    --engine NAME       distributed (default) | analytic | sim
+                        analytic and distributed agree bitwise; sim is the
+                        discrete-event reference with confidence bounds
+    --validate-sim TOL  also run the simulation engine and fail if any shared
+                        point deviates more than TOL (relative) plus the
+                        simulation's 95% confidence bound (density measures
+                        are reported but not enforced: the simulated density
+                        is a biased kernel estimate)
+    --replications N    simulation replications (default 10000)
+    --seed N            simulation RNG seed (default 24301)
+
+TIME GRID (shared by all curve measures; quantile searches start at --t-stop):
     --t-start X         first output time (default 1)
     --t-stop X          last output time (default 10)
     --t-count N         number of output times (default 10, minimum 2)
 
-PIPELINE:
+PIPELINE (distributed engine):
     --workers N         worker threads (default 4)
     --workers tcp:ADDR[,ADDR...]
                         distribute over TCP worker *processes* instead: the
@@ -199,7 +225,8 @@ PIPELINE:
                         an 'smpq worker --connect HOST:PORT' to dial in
     --chunk-size N      work items per dispatch chunk (default: automatic)
     --checkpoint PATH   append computed transform values to PATH and reuse
-                        them on the next run (warm cache across invocations)
+                        them on the next run (warm cache across invocations;
+                        also warms the quantile refinement rounds)
     --method NAME       euler (default) | laguerre
     --help              print this text
 
@@ -229,32 +256,6 @@ fn parse_voting(value: &str) -> Result<ModelSource, CliError> {
     Ok(ModelSource::Voting(numbers[0], numbers[1], numbers[2]))
 }
 
-fn parse_predicate(text: &str) -> Result<Predicate, CliError> {
-    Predicate::parse(text).map_err(CliError::Usage)
-}
-
-fn parse_measure(value: &str) -> Result<MeasureRequest, CliError> {
-    let Some((kind_text, predicate_text)) = value.split_once(':') else {
-        return Err(CliError::Usage(format!(
-            "--measure expects KIND:PRED (got '{value}')"
-        )));
-    };
-    let kind = match kind_text {
-        "density" => MeasureKind::Density,
-        "cdf" => MeasureKind::Cdf,
-        "transient" => MeasureKind::Transient,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown measure kind '{other}' (expected density, cdf or transient)"
-            )))
-        }
-    };
-    Ok(MeasureRequest {
-        kind,
-        predicate: parse_predicate(predicate_text)?,
-    })
-}
-
 /// Parses command-line arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let mut model: Option<ModelSource> = None;
@@ -262,11 +263,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let mut t_start = 1.0;
     let mut t_stop = 10.0;
     let mut t_count = 10usize;
+    let mut engine = EngineChoice::Distributed;
     let mut workers = WorkerBackend::Threads(4);
     let mut chunk_size = 0usize;
     let mut checkpoint = None;
     let mut method = MethodChoice::Euler;
     let mut emit_model = false;
+    let mut validate_sim = None;
+    let mut replications = 10_000usize;
+    let mut sim_seed = 0x5eedu64;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -277,7 +282,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         match flag.as_str() {
             "--model" => model = Some(ModelSource::File(PathBuf::from(value_of("--model")?))),
             "--voting" => model = Some(parse_voting(value_of("--voting")?)?),
-            "--measure" => measures.push(parse_measure(value_of("--measure")?)?),
+            "--measure" => measures
+                .push(MeasureRequest::parse(value_of("--measure")?).map_err(CliError::Usage)?),
             "--t-start" => {
                 t_start = value_of("--t-start")?
                     .parse()
@@ -292,6 +298,42 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                 t_count = value_of("--t-count")?
                     .parse()
                     .map_err(|_| CliError::Usage("--t-count expects an integer".into()))?
+            }
+            "--engine" => {
+                engine = match value_of("--engine")?.as_str() {
+                    "analytic" => EngineChoice::Analytic,
+                    "sim" | "simulation" => EngineChoice::Sim,
+                    "distributed" => EngineChoice::Distributed,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown engine '{other}' (expected analytic, sim or distributed)"
+                        )))
+                    }
+                }
+            }
+            "--validate-sim" => {
+                let tol: f64 = value_of("--validate-sim")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--validate-sim expects a tolerance".into()))?;
+                if !(tol > 0.0 && tol.is_finite()) {
+                    return Err(CliError::Usage(
+                        "--validate-sim tolerance must be a positive number".into(),
+                    ));
+                }
+                validate_sim = Some(tol);
+            }
+            "--replications" => {
+                replications = value_of("--replications")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--replications expects an integer".into()))?;
+                if replications == 0 {
+                    return Err(CliError::Usage("--replications must be at least 1".into()));
+                }
+            }
+            "--seed" => {
+                sim_seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed expects an integer".into()))?
             }
             "--workers" => {
                 let value = value_of("--workers")?;
@@ -343,7 +385,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     };
     if measures.is_empty() && !emit_model {
         return Err(CliError::Usage(
-            "at least one --measure KIND:PRED is required".into(),
+            "at least one --measure KIND:TARGET is required".into(),
         ));
     }
     if !(t_start > 0.0 && t_stop >= t_start) || t_count < 2 {
@@ -351,17 +393,27 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             "the time grid needs 0 < --t-start <= --t-stop and --t-count >= 2".into(),
         ));
     }
+    if matches!(workers, WorkerBackend::Tcp(_)) && engine != EngineChoice::Distributed {
+        return Err(CliError::Usage(format!(
+            "--workers tcp: applies to the distributed engine only (got --engine {})",
+            engine.name()
+        )));
+    }
     Ok(CliOptions {
         model,
         measures,
         t_start,
         t_stop,
         t_count,
+        engine,
         workers,
         chunk_size,
         checkpoint,
         method,
         emit_model,
+        validate_sim,
+        replications,
+        sim_seed,
     })
 }
 
@@ -375,21 +427,37 @@ fn model_source_text(model: &ModelSource) -> Result<String, CliError> {
     }
 }
 
-enum MeasureSolver<'a> {
-    Passage(PassageTimeSolver<'a>),
-    Transient(TransientSolver<'a>),
+fn model_spec(model: &ModelSource, source: &str) -> ModelSpec {
+    match model {
+        ModelSource::Voting(cc, mm, nn) => ModelSpec::Voting {
+            voters: *cc,
+            polling: *mm,
+            central: *nn,
+        },
+        ModelSource::File(_) => ModelSpec::Dnamaca(source.to_string()),
+    }
 }
 
-/// Runs one `smpq` invocation, writing the report to `out`.  Returns the
-/// rendered report too (the binary prints it; tests inspect it).
+fn sim_options(options: &CliOptions) -> SimulationOptions {
+    SimulationOptions {
+        replications: options.replications,
+        seed: options.sim_seed,
+        threads: match &options.workers {
+            WorkerBackend::Threads(n) => (*n).max(1),
+            WorkerBackend::Tcp(_) => 1,
+        },
+        ..Default::default()
+    }
+}
+
+/// Runs one `smpq` invocation, writing the report to a string the binary
+/// prints (tests inspect it).
 ///
-/// With the default [`WorkerBackend::Threads`] backend the model is explored
-/// in-process and the measures are closure-based; with
-/// [`WorkerBackend::Tcp`] the measures are built from serializable
-/// [`TransformSpec`]s, the master binds the rendezvous addresses, and the
-/// state space is explored by the worker *processes* that dial in.  Both
-/// backends write identical transform keys (model fingerprint included), so a
-/// `--checkpoint` file warms runs across backends too.
+/// The whole measure-resolution flow is a shim over
+/// [`smp_core::query::Engine::solve`]: the flags select and configure one of
+/// the three engines, the `--measure` requests go through unchanged, and the
+/// report is rendered from the returned [`MeasureReport`]s — including their
+/// provenance (backend, wire traffic, cache hits, error bounds).
 pub fn run(options: &CliOptions) -> Result<String, CliError> {
     let mut out = String::new();
     let source = model_source_text(&options.model)?;
@@ -398,250 +466,306 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
         return Ok(out);
     }
 
+    // Parse the net locally for the model summary (cheap: no exploration).
+    let net = smp_dnamaca::parse_model(&source).map_err(|e| CliError::Model(e.to_string()))?;
+    let spec = model_spec(&options.model, &source);
     let ts = linspace(options.t_start, options.t_stop, options.t_count);
-    let pipeline = DistributedPipeline::new(
-        options.method.to_method(),
-        PipelineOptions {
-            workers: match &options.workers {
-                WorkerBackend::Threads(n) => *n,
-                WorkerBackend::Tcp(addrs) => addrs.len(),
-            },
-            checkpoint_path: options.checkpoint.clone(),
-            chunk_size: options.chunk_size,
-            ..Default::default()
-        },
-    );
+    let requests: Vec<MeasureRequest> = options
+        .measures
+        .iter()
+        .map(|m| m.clone().with_t_points(&ts))
+        .collect();
 
-    let result = match &options.workers {
-        WorkerBackend::Threads(_) => run_in_process(&mut out, options, &source, &ts, &pipeline)?,
-        WorkerBackend::Tcp(addrs) => {
-            run_over_tcp(&mut out, options, &source, &ts, &pipeline, addrs)?
+    // Build the chosen engine.  The TCP transport is bound here so the
+    // rendezvous hints can be printed *before* solve blocks in accept.
+    let engine: Box<dyn Engine> = match (&options.engine, &options.workers) {
+        (EngineChoice::Analytic, _) => {
+            Box::new(AnalyticEngine::new(spec, options.method.to_method()))
+        }
+        (EngineChoice::Sim, _) => Box::new(SimulationEngine::new(spec, sim_options(options))),
+        (EngineChoice::Distributed, WorkerBackend::Threads(n)) => {
+            Box::new(DistributedEngine::in_process(
+                spec,
+                options.method.to_method(),
+                PipelineOptions {
+                    workers: (*n).max(1),
+                    checkpoint_path: options.checkpoint.clone(),
+                    chunk_size: options.chunk_size,
+                    ..Default::default()
+                },
+            ))
+        }
+        (EngineChoice::Distributed, WorkerBackend::Tcp(addrs)) => {
+            let transport = TcpTransport::bind(addrs).map_err(|e| {
+                CliError::Analysis(format!("cannot bind tcp rendezvous address: {e}"))
+            })?;
+            for (worker, addr) in transport.local_addrs().iter().enumerate() {
+                let hint = format!(
+                    "tcp master: worker {worker} rendezvous at {addr} \
+(start it with: smpq worker --connect {addr})"
+                );
+                // solve() blocks in accept until the workers dial in, and the
+                // report string is only printed afterwards — the operator
+                // needs the rendezvous address *now*, so the hint also goes
+                // to stderr eagerly.
+                eprintln!("{hint}");
+                let _ = writeln!(out, "{hint}");
+            }
+            Box::new(DistributedEngine::with_transport(
+                spec,
+                options.method.to_method(),
+                PipelineOptions {
+                    workers: addrs.len(),
+                    checkpoint_path: options.checkpoint.clone(),
+                    chunk_size: options.chunk_size,
+                    ..Default::default()
+                },
+                Box::new(transport),
+            ))
         }
     };
 
-    // One combined table: a column per measure over the shared grid.
-    let _ = writeln!(out);
-    let mut header = format!("{:>10}", "t");
-    for measure in &result.measures {
-        let _ = write!(header, "  {:>18}", measure.name);
-    }
-    let _ = writeln!(out, "{header}");
-    for (row, &t) in ts.iter().enumerate() {
-        let mut line = format!("{t:>10.3}");
-        for measure in &result.measures {
-            let _ = write!(line, "  {:>18.6}", measure.values[row]);
-        }
-        let _ = writeln!(out, "{line}");
+    let started = Instant::now();
+    let reports = engine.solve(&requests)?;
+    let elapsed = started.elapsed();
+
+    if matches!(options.workers, WorkerBackend::Tcp(_))
+        && reports.iter().all(|r| r.provenance.messages == 0)
+    {
+        // No frame ever crossed the rendezvous.  Say why eagerly — a worker
+        // started per the hints above will retry against a closed port and
+        // exit (cleanly, as released).
+        let note = if requests.iter().any(|r| r.kind.is_curve()) {
+            // Curve measures were planned but nothing was dispatched: the
+            // checkpoint satisfied the whole plan.
+            "tcp master: run satisfied entirely from the checkpoint; \
+no worker connections were used (any started workers exit cleanly)"
+        } else {
+            // Only derived measures, which are computed master-side on the
+            // single-rendezvous TCP transport.
+            "tcp master: no distributed work was dispatched (all requested \
+measures are computed master-side); any started workers exit cleanly"
+        };
+        eprintln!("{note}");
+        let _ = writeln!(out, "{note}");
     }
 
-    let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "pipeline: {} worker(s) [{}], chunk size {}, {} chunk message(s), \
-{} wire message(s), {} wire byte(s), {:.3}s elapsed",
-        result.worker_stats.len(),
-        result.backend,
-        result.chunk_size,
-        result.chunks_dispatched,
-        result.messages,
-        result.bytes_on_wire,
-        result.elapsed.as_secs_f64()
-    );
-    if result.disconnects > 0 {
-        let _ = writeln!(
-            out,
-            "warning: {} worker(s) disconnected mid-run; their chunks were requeued",
-            result.disconnects
-        );
-    }
-    let _ = writeln!(
-        out,
-        "evaluations: {} new, {} from checkpoint/cache, {} shared between measures",
-        result.evaluations, result.cache_hits, result.shared_hits
-    );
-    for measure in &result.measures {
-        let _ = writeln!(
-            out,
-            "  {:<24} {:>6} evaluated  {:>6} cached  {:>6} shared",
-            measure.name, measure.evaluations, measure.cache_hits, measure.shared_hits
-        );
+    render_model_line(&mut out, &net, options.engine, &reports);
+    render_reports(&mut out, &ts, &reports);
+    render_summary(&mut out, options, &engine, &reports, elapsed);
+
+    if let Some(tolerance) = options.validate_sim {
+        // With --engine sim the primary reports *are* the simulation's: reuse
+        // them instead of burning a second identical replication set (the
+        // comparison is then a self-consistency statement, flagged as such).
+        let sim_reports = if options.engine == EngineChoice::Sim {
+            reports.clone()
+        } else {
+            SimulationEngine::new(model_spec(&options.model, &source), sim_options(options))
+                .solve(&requests)?
+        };
+        render_validation(&mut out, tolerance, options, &reports, &sim_reports)?;
     }
     Ok(out)
 }
 
-/// The in-process path: explore the state space locally, build (and share)
-/// solvers, run closure-based measures over the thread backend.
-fn run_in_process(
+fn render_model_line(
     out: &mut String,
-    options: &CliOptions,
-    source: &str,
-    ts: &[f64],
-    pipeline: &DistributedPipeline,
-) -> Result<smp_pipeline::BatchResult, CliError> {
-    let net = smp_dnamaca::parse_model(source).map_err(|e| CliError::Model(e.to_string()))?;
-    let space = StateSpace::explore(&net).map_err(|e| CliError::Model(e.to_string()))?;
-    let smp = space.smp();
-    let initial = space.initial_state();
+    net: &smp_smspn::SmSpn,
+    engine: EngineChoice,
+    reports: &[MeasureReport],
+) {
+    let states = reports.iter().find_map(|r| r.provenance.states);
+    let suffix = match states {
+        Some(states) => format!("{states} reachable markings"),
+        None if engine == EngineChoice::Sim => {
+            "(state space not built: discrete-event simulation)".to_string()
+        }
+        None if reports.iter().any(|r| r.provenance.backend.contains("tcp")) => {
+            "(state space explored by the workers)".to_string()
+        }
+        None => "(state space not explored: run satisfied from cache/checkpoint)".to_string(),
+    };
     let _ = writeln!(
         out,
-        "model: {} places, {} transitions, {} reachable markings",
+        "model: {} places, {} transitions, {suffix}",
         net.num_places(),
         net.num_transitions(),
-        space.num_states()
     );
-
-    // Resolve each measure's target set and build its solver.  Measures that
-    // share a solver class and predicate (the advertised density+cdf pairing)
-    // also share one solver: building a second identical solver would allocate
-    // state-space-sized matrices that union planning never evaluates.
-    let mut solvers: Vec<MeasureSolver<'_>> = Vec::new();
-    let mut solver_index: Vec<usize> = Vec::with_capacity(options.measures.len());
-    let mut solver_keys: Vec<(bool, String)> = Vec::new();
-    for request in &options.measures {
-        let is_transient = request.kind == MeasureKind::Transient;
-        let key = (is_transient, request.predicate.to_string());
-        if let Some(found) = solver_keys.iter().position(|k| *k == key) {
-            let _ = writeln!(out, "measure {}: shares targets above", request.name());
-            solver_index.push(found);
-            continue;
-        }
-        let targets = request
-            .predicate
-            .resolve(&net, &space)
-            .map_err(|e| match e {
-                smp_pipeline::TargetResolveError::UnknownPlace { .. } => {
-                    CliError::Model(e.to_string())
-                }
-                smp_pipeline::TargetResolveError::NoMatchingMarking { .. } => {
-                    CliError::Analysis(e.to_string())
-                }
-            })?;
-        let _ = writeln!(
-            out,
-            "measure {}: {} target markings",
-            request.name(),
-            targets.len()
-        );
-        let solver = if is_transient {
-            MeasureSolver::Transient(
-                TransientSolver::new(smp, initial, &targets)
-                    .map_err(|e| CliError::Analysis(e.to_string()))?,
-            )
-        } else {
-            MeasureSolver::Passage(
-                PassageTimeSolver::new(smp, &[initial], &targets)
-                    .map_err(|e| CliError::Analysis(e.to_string()))?,
-            )
-        };
-        solver_index.push(solvers.len());
-        solver_keys.push(key);
-        solvers.push(solver);
-    }
-
-    // Assemble the batch: every measure shares the CLI's time grid.  Keys are
-    // model-fingerprinted so a reused checkpoint file never leaks values
-    // computed for a different (or since-edited) model.
-    let fingerprint = model_fingerprint(source);
-    let mut job = BatchJob::new();
-    for (request, &si) in options.measures.iter().zip(&solver_index) {
-        let spec = match &solvers[si] {
-            MeasureSolver::Passage(solver) => {
-                MeasureSpec::new(request.name(), request.kind, ts, solver.transform_fn())
-            }
-            MeasureSolver::Transient(solver) => {
-                MeasureSpec::transient(request.name(), ts, solver.transform_fn())
-            }
-        };
-        job.push(spec.with_transform_key(request.transform_key(&fingerprint)));
-    }
-
-    pipeline
-        .run_batch(job)
-        .map_err(|e| CliError::Analysis(e.to_string()))
 }
 
-/// The TCP path: ship serializable specs, let worker processes explore the
-/// state space.  Place names are still validated locally (parsing the model
-/// is cheap; exploring it is the workers' job).
-fn run_over_tcp(
-    out: &mut String,
-    options: &CliOptions,
-    source: &str,
-    ts: &[f64],
-    pipeline: &DistributedPipeline,
-    addrs: &[String],
-) -> Result<smp_pipeline::BatchResult, CliError> {
-    let net = smp_dnamaca::parse_model(source).map_err(|e| CliError::Model(e.to_string()))?;
-    for request in &options.measures {
-        if net.place_index(&request.predicate.place).is_none() {
-            return Err(CliError::Model(format!(
-                "place '{}' does not exist in the model",
-                request.predicate.place
-            )));
+fn render_reports(out: &mut String, ts: &[f64], reports: &[MeasureReport]) {
+    // One combined table for the curve measures: a column per measure over
+    // the shared grid.
+    let curves: Vec<&MeasureReport> = reports.iter().filter(|r| r.kind.is_curve()).collect();
+    if !curves.is_empty() {
+        let _ = writeln!(out);
+        let mut header = format!("{:>10}", "t");
+        for report in &curves {
+            let _ = write!(header, "  {:>18}", report.name);
+        }
+        let _ = writeln!(out, "{header}");
+        for (row, &t) in ts.iter().enumerate() {
+            let mut line = format!("{t:>10.3}");
+            for report in &curves {
+                let _ = write!(line, "  {:>18.6}", report.values[row]);
+            }
+            let _ = writeln!(out, "{line}");
         }
     }
+
+    // Derived measures get their own sections.
+    for report in reports.iter().filter(|r| !r.kind.is_curve()) {
+        let _ = writeln!(out);
+        match &report.kind {
+            MeasureKind::Quantile { .. } => {
+                let _ = writeln!(out, "{}:", report.name);
+                for (p, q) in report.iter() {
+                    let _ = writeln!(out, "    p = {p:<6} ->  t = {q:.6}");
+                }
+            }
+            MeasureKind::Mean | MeasureKind::Moment { .. } => {
+                let value = report.scalar().unwrap_or(f64::NAN);
+                match report.provenance.error_bound {
+                    Some(ci) => {
+                        let _ = writeln!(out, "{} = {value:.6} (95% CI ±{ci:.6})", report.name);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{} = {value:.6}", report.name);
+                    }
+                }
+            }
+            _ => unreachable!("curve kinds rendered above"),
+        }
+    }
+}
+
+fn render_summary(
+    out: &mut String,
+    options: &CliOptions,
+    engine: &Box<dyn Engine>,
+    reports: &[MeasureReport],
+    elapsed: std::time::Duration,
+) {
+    let backend = match options.engine {
+        EngineChoice::Analytic => "sequential".to_string(),
+        EngineChoice::Sim => format!("monte-carlo seed={:#x}", options.sim_seed),
+        EngineChoice::Distributed => match &options.workers {
+            WorkerBackend::Threads(_) => "in-process".to_string(),
+            WorkerBackend::Tcp(_) => "tcp".to_string(),
+        },
+    };
+    let workers = reports
+        .iter()
+        .map(|r| r.provenance.workers)
+        .max()
+        .unwrap_or(1);
+    // Run-level counters are attributed to the first measure of each shared
+    // run, so summing across reports gives the true totals.
+    let messages: usize = reports.iter().map(|r| r.provenance.messages).sum();
+    let bytes: u64 = reports.iter().map(|r| r.provenance.bytes_on_wire).sum();
+    let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "model: {} places, {} transitions (state space explored by the workers)",
-        net.num_places(),
-        net.num_transitions(),
+        "engine: {} [{backend}], {workers} worker(s), {messages} wire message(s), \
+{bytes} wire byte(s), {:.3}s elapsed",
+        engine.name(),
+        elapsed.as_secs_f64()
     );
-
-    let model_spec = match &options.model {
-        ModelSource::Voting(cc, mm, nn) => ModelSpec::Voting {
-            voters: *cc,
-            polling: *mm,
-            central: *nn,
-        },
-        ModelSource::File(_) => ModelSpec::Dnamaca(source.to_string()),
-    };
-    let mut job = BatchJob::new();
-    for request in &options.measures {
-        let transform = match request.kind {
-            // Density and CDF measures both evaluate the raw passage
-            // transform; the /s division happens at inversion, so the pair
-            // shares a transform key (and hence every worker evaluation).
-            MeasureKind::Density | MeasureKind::Cdf => {
-                TransformSpec::passage(model_spec.clone(), request.predicate.clone())
-            }
-            MeasureKind::Transient => {
-                TransformSpec::transient(model_spec.clone(), request.predicate.clone())
-            }
-        };
-        job.push(MeasureSpec::from_spec(
-            request.name(),
-            request.kind,
-            ts,
-            transform,
-        ));
-    }
-
-    let transport = TcpTransport::bind(addrs)
-        .map_err(|e| CliError::Analysis(format!("cannot bind tcp rendezvous address: {e}")))?;
-    for (worker, addr) in transport.local_addrs().iter().enumerate() {
-        let hint = format!(
-            "tcp master: worker {worker} rendezvous at {addr} \
-(start it with: smpq worker --connect {addr})"
+    let evaluations: usize = reports.iter().map(|r| r.provenance.evaluations).sum();
+    let cache_hits: usize = reports.iter().map(|r| r.provenance.cache_hits).sum();
+    let shared_hits: usize = reports.iter().map(|r| r.provenance.shared_hits).sum();
+    let _ = writeln!(
+        out,
+        "evaluations: {evaluations} new, {cache_hits} from checkpoint/cache, \
+{shared_hits} shared between measures",
+    );
+    for report in reports {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>6} evaluated  {:>6} cached  {:>6} shared",
+            report.name,
+            report.provenance.evaluations,
+            report.provenance.cache_hits,
+            report.provenance.shared_hits
         );
-        // The run blocks in accept until the workers dial in, and the report
-        // string is only printed afterwards — the operator needs the
-        // rendezvous address *now*, so the hint also goes to stderr eagerly.
-        eprintln!("{hint}");
-        let _ = writeln!(out, "{hint}");
     }
-    let result = pipeline
-        .execute(job, &transport)
-        .map_err(|e| CliError::Analysis(e.to_string()))?;
-    if result.chunks_dispatched == 0 {
-        // Fully warmed from the checkpoint: the pipeline never opened the
-        // rendezvous, so the hints above are moot.  Say so eagerly — a worker
-        // started per those hints will retry against a closed port and exit.
-        let note = "tcp master: run satisfied entirely from the checkpoint; \
-no worker connections were used (any started workers will retry briefly and exit)";
-        eprintln!("{note}");
-        let _ = writeln!(out, "{note}");
+}
+
+/// Compares the chosen engine's reports against the simulation engine's:
+/// every shared point must satisfy
+/// `|a − b| ≤ TOL · max(1, |a|, |b|) + sim 95% bound`.
+///
+/// Density measures are compared *advisorily* only: the simulation side is a
+/// kernel-density estimate whose smoothing bias does not vanish with more
+/// replications, so a mismatch there is expected and must not fail the run.
+fn render_validation(
+    out: &mut String,
+    tolerance: f64,
+    options: &CliOptions,
+    reports: &[MeasureReport],
+    sim_reports: &[MeasureReport],
+) -> Result<(), CliError> {
+    let self_check = options.engine == EngineChoice::Sim;
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "validation vs simulation (tolerance {tolerance}, {} replications, seed {:#x}){}:",
+        options.replications,
+        options.sim_seed,
+        if self_check {
+            " — self-consistency only: the chosen engine IS the simulation"
+        } else {
+            ""
+        }
+    );
+    let mut failures = Vec::new();
+    for (report, sim) in reports.iter().zip(sim_reports) {
+        debug_assert_eq!(report.name, sim.name);
+        let advisory = matches!(report.kind, MeasureKind::Density);
+        let bound = sim.provenance.error_bound.unwrap_or(0.0);
+        // Track the largest deviation for the per-measure summary line.
+        let mut worst: Option<(f64, f64)> = None; // (Δ, allowed at that point)
+        for ((&point, &a), &b) in report.points.iter().zip(&report.values).zip(&sim.values) {
+            let delta = (a - b).abs();
+            let allowed = tolerance * a.abs().max(b.abs()).max(1.0) + bound;
+            if worst.map_or(true, |(d, _)| delta > d) {
+                worst = Some((delta, allowed));
+            }
+            if delta > allowed && !advisory {
+                failures.push(format!(
+                    "{} at {point}: {} {a:.6} vs sim {b:.6} (|Δ| {delta:.6} > allowed {allowed:.6})",
+                    report.name,
+                    report.provenance.engine,
+                ));
+            }
+        }
+        if let Some((delta, allowed)) = worst {
+            let _ = writeln!(
+                out,
+                "  {:<32} max |Δ| {delta:.6} (allowed {allowed:.6}){}",
+                report.name,
+                if advisory {
+                    "  [advisory: kernel-density estimate, not enforced]"
+                } else {
+                    ""
+                }
+            );
+        }
     }
-    Ok(result)
+    if failures.is_empty() {
+        let _ = writeln!(
+            out,
+            "validation passed: {} measure(s) agree with the simulation",
+            reports.len()
+        );
+        Ok(())
+    } else {
+        Err(CliError::Analysis(format!(
+            "validation against simulation failed:\n  {}",
+            failures.join("\n  ")
+        )))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -699,6 +823,13 @@ pub fn run_worker(options: &WorkerCliOptions) -> Result<String, CliError> {
         ..Default::default()
     };
     let summary = run_tcp_worker(&options.connect, &worker_options).map_err(CliError::Analysis)?;
+    if summary.released_before_work {
+        return Ok(
+            "worker released: the master finished before assigning work (warm run \
+or a faster peer drained the queue)\n"
+                .to_string(),
+        );
+    }
     Ok(format!(
         "worker {} done: {} chunk(s), {} evaluation(s){}\n",
         summary.worker_id,
@@ -720,6 +851,10 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn parse_predicate(text: &str) -> Result<Predicate, CliError> {
+        Predicate::parse(text).map_err(CliError::Usage)
+    }
+
     #[test]
     fn parse_full_flag_set() {
         let options = parse_args(&args(&[
@@ -731,12 +866,20 @@ mod tests {
             "cdf:p2>=3",
             "--measure",
             "transient:p6==0",
+            "--measure",
+            "quantile:p2>=3@0.5,0.9,0.99",
+            "--measure",
+            "mean:p2>=3",
+            "--measure",
+            "moment:p2>=3@2",
             "--t-start",
             "2",
             "--t-stop",
             "60",
             "--t-count",
             "12",
+            "--engine",
+            "distributed",
             "--workers",
             "8",
             "--chunk-size",
@@ -745,33 +888,81 @@ mod tests {
             "/tmp/x.ckpt",
             "--method",
             "laguerre",
+            "--validate-sim",
+            "1e-2",
+            "--replications",
+            "5000",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(options.model, ModelSource::Voting(5, 2, 2));
-        assert_eq!(options.measures.len(), 3);
+        assert_eq!(options.measures.len(), 6);
         assert_eq!(options.measures[0].kind, MeasureKind::Density);
         assert_eq!(options.measures[0].name(), "density:p2>=3");
-        assert_eq!(options.measures[2].predicate.op, CompareOp::Eq);
+        assert_eq!(options.measures[2].target.op, CompareOp::Eq);
+        assert_eq!(
+            options.measures[3].kind,
+            MeasureKind::Quantile {
+                probs: vec![0.5, 0.9, 0.99]
+            }
+        );
+        assert_eq!(options.measures[4].kind, MeasureKind::Mean);
+        assert_eq!(options.measures[5].kind, MeasureKind::Moment { order: 2 });
         assert_eq!(options.t_count, 12);
+        assert_eq!(options.engine, EngineChoice::Distributed);
         assert_eq!(options.workers, WorkerBackend::Threads(8));
         assert_eq!(options.chunk_size, 16);
         assert_eq!(options.method, MethodChoice::Laguerre);
         assert_eq!(options.checkpoint, Some(PathBuf::from("/tmp/x.ckpt")));
-        // density and cdf over one predicate share a transform key…
-        assert_eq!(
-            options.measures[0].transform_key("fp"),
-            options.measures[1].transform_key("fp")
-        );
-        // …but the transient lives under its own…
-        assert_ne!(
-            options.measures[0].transform_key("fp"),
-            options.measures[2].transform_key("fp")
-        );
-        // …and the model fingerprint separates checkpoints between models.
-        assert_ne!(
-            options.measures[0].transform_key("fp"),
-            options.measures[0].transform_key("other-model")
-        );
+        assert_eq!(options.validate_sim, Some(1e-2));
+        assert_eq!(options.replications, 5000);
+        assert_eq!(options.sim_seed, 7);
+    }
+
+    #[test]
+    fn parse_engine_choices() {
+        for (value, expect) in [
+            ("analytic", EngineChoice::Analytic),
+            ("sim", EngineChoice::Sim),
+            ("simulation", EngineChoice::Sim),
+            ("distributed", EngineChoice::Distributed),
+        ] {
+            let options = parse_args(&args(&[
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "mean:p2>=2",
+                "--engine",
+                value,
+            ]))
+            .unwrap();
+            assert_eq!(options.engine, expect, "{value}");
+        }
+        assert!(matches!(
+            parse_args(&args(&[
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "mean:p2>=2",
+                "--engine",
+                "quantum",
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        // TCP workers only make sense for the distributed engine.
+        let e = parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "mean:p2>=2",
+            "--engine",
+            "analytic",
+            "--workers",
+            "tcp:127.0.0.1:9000",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("distributed engine only"), "{e}");
     }
 
     #[test]
@@ -838,46 +1029,6 @@ mod tests {
     }
 
     #[test]
-    fn tcp_and_thread_backends_write_identical_transform_keys() {
-        // The spec-based (TCP) path defaults its transform key to
-        // TransformSpec::transform_key(); the closure-based path uses
-        // MeasureRequest::transform_key().  They must agree, or a checkpoint
-        // warmed by one backend would miss (or worse) under the other.
-        let request = MeasureRequest {
-            kind: MeasureKind::Density,
-            predicate: parse_predicate("p2>=2").unwrap(),
-        };
-        let source = smp_voting::spec::dnamaca_source(smp_voting::VotingConfig::new(3, 1, 1));
-        let fingerprint = model_fingerprint(&source);
-        let spec = TransformSpec::passage(
-            ModelSpec::Voting {
-                voters: 3,
-                polling: 1,
-                central: 1,
-            },
-            request.predicate.clone(),
-        );
-        assert_eq!(spec.transform_key(), request.transform_key(&fingerprint));
-
-        let transient_request = MeasureRequest {
-            kind: MeasureKind::Transient,
-            predicate: parse_predicate("p2>=2").unwrap(),
-        };
-        let transient_spec = TransformSpec::transient(
-            ModelSpec::Voting {
-                voters: 3,
-                polling: 1,
-                central: 1,
-            },
-            transient_request.predicate.clone(),
-        );
-        assert_eq!(
-            transient_spec.transform_key(),
-            transient_request.transform_key(&fingerprint)
-        );
-    }
-
-    #[test]
     fn model_fingerprint_distinguishes_models() {
         let a = model_fingerprint("\\place{p}{1}");
         let b = model_fingerprint("\\place{p}{2}");
@@ -927,11 +1078,22 @@ mod tests {
             vec!["--voting", "5,2"],                               // malformed triple
             vec!["--voting", "5,2,2"],                             // no measure
             vec!["--voting", "5,2,2", "--measure", "p2>=3"],       // missing kind
-            vec!["--voting", "5,2,2", "--measure", "mean:p2>=3"],  // unknown kind
+            vec!["--voting", "5,2,2", "--measure", "frob:p2>=3"],  // unknown kind
             vec!["--voting", "5,2,2", "--measure", "density:p2"],  // no operator
             vec!["--voting", "5,2,2", "--measure", "density:>=3"], // no place
             vec!["--voting", "5,2,2", "--measure", "density:p2>=x"], // bad count
+            vec!["--voting", "5,2,2", "--measure", "quantile:p2>=3"], // no probs
+            vec!["--voting", "5,2,2", "--measure", "quantile:p2>=3@2"], // prob out of range
+            vec!["--voting", "5,2,2", "--measure", "moment:p2>=3@7"], // order out of range
             vec!["--voting", "5,2,2", "--method", "talbot"],       // unknown method
+            vec![
+                "--voting",
+                "5,2,2",
+                "--measure",
+                "cdf:p2>=1",
+                "--validate-sim",
+                "-1",
+            ],
             // a 1-point grid would panic linspace; rejected up front
             vec![
                 "--voting",
@@ -948,6 +1110,23 @@ mod tests {
                 "expected a usage error for {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn measure_parse_errors_name_the_token_and_list_kinds() {
+        let err = parse_args(&args(&["--voting", "3,1,1", "--measure", "frob:p2>=3"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("'frob'"), "{err}");
+        assert!(
+            err.contains("density, cdf, transient, quantile, mean, moment"),
+            "{err}"
+        );
+        let err = parse_args(&args(&["--voting", "3,1,1", "--measure", "density:p2"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("'p2'"), "{err}");
+        assert!(err.contains(">= <= > < == !="), "{err}");
     }
 
     #[test]
@@ -1024,5 +1203,126 @@ mod tests {
             .expect("a t = 20 row");
         let p: f64 = last_row.split_whitespace().nth(1).unwrap().parse().unwrap();
         assert!((0.0..=1.0).contains(&p), "P = {p}");
+    }
+
+    #[test]
+    fn engines_agree_through_the_cli() {
+        // The same quantile+cdf request through all three engines: analytic
+        // and distributed render identical tables; the simulation engine
+        // passes --validate-sim against itself trivially.
+        let base = |engine: &str| {
+            args(&[
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "cdf:p2>=2",
+                "--measure",
+                "quantile:p2>=2@0.5,0.9",
+                "--t-start",
+                "1",
+                "--t-stop",
+                "12",
+                "--t-count",
+                "4",
+                "--engine",
+                engine,
+                "--replications",
+                "4000",
+            ])
+        };
+        let analytic = run(&parse_args(&base("analytic")).unwrap()).unwrap();
+        let distributed = run(&parse_args(&base("distributed")).unwrap()).unwrap();
+        let numeric_rows = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| {
+                    l.trim_start().starts_with(|c: char| c.is_ascii_digit())
+                        || l.trim_start().starts_with("p =")
+                })
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(numeric_rows(&analytic), numeric_rows(&distributed));
+        assert!(
+            analytic.contains("engine: analytic [sequential]"),
+            "{analytic}"
+        );
+        assert!(
+            distributed.contains("engine: distributed [in-process]"),
+            "{distributed}"
+        );
+        assert!(analytic.contains("quantile:p2>=2@0.5,0.9:"), "{analytic}");
+
+        let sim = run(&parse_args(&base("sim")).unwrap()).unwrap();
+        assert!(sim.contains("engine: simulation [monte-carlo"), "{sim}");
+    }
+
+    #[test]
+    fn validate_sim_passes_and_fails_as_expected() {
+        // A generous tolerance passes…
+        let mut ok_args = args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "cdf:p2>=2",
+            "--measure",
+            "mean:p2>=2",
+            "--t-start",
+            "2",
+            "--t-stop",
+            "12",
+            "--t-count",
+            "4",
+            "--engine",
+            "analytic",
+            "--replications",
+            "6000",
+            "--validate-sim",
+            "0.05",
+        ]);
+        let report = run(&parse_args(&ok_args).unwrap()).unwrap();
+        assert!(report.contains("validation passed"), "{report}");
+        assert!(report.contains("validation vs simulation"), "{report}");
+
+        // …an absurdly tight one fails with a named offender.
+        let n = ok_args.len();
+        ok_args[n - 1] = "1e-12".to_string();
+        // Tiny replication count so the sim bound cannot rescue the check.
+        ok_args[n - 3] = "50".to_string();
+        match run(&parse_args(&ok_args).unwrap()) {
+            Err(CliError::Analysis(m)) => {
+                assert!(m.contains("validation against simulation failed"), "{m}");
+                assert!(m.contains("p2>=2"), "{m}");
+            }
+            other => panic!("expected validation failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantile_report_round_trips_against_the_cdf_column() {
+        // quantile@p read back through a dense CDF: F(q) ≈ p.
+        let options = parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "quantile:p2>=2@0.5",
+            "--t-start",
+            "1",
+            "--t-stop",
+            "12",
+            "--t-count",
+            "4",
+            "--engine",
+            "analytic",
+        ]))
+        .unwrap();
+        let report = run(&options).unwrap();
+        let q: f64 = report
+            .lines()
+            .find(|l| l.trim_start().starts_with("p = 0.5"))
+            .and_then(|l| l.split("t =").nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("a quantile line");
+        assert!(q > 0.0, "{report}");
     }
 }

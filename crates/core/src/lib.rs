@@ -26,6 +26,11 @@
 //!   source/target sets straight to densities, CDFs, quantiles and transients.
 //!   (The distributed work-queue version of the same computation lives in
 //!   `smp-pipeline`.)
+//! * [`query`] — the typed measure-query layer: [`MeasureRequest`] /
+//!   [`MeasureReport`] and the [`Engine`] trait that the analytic, simulation
+//!   and distributed engines in `smp-pipeline` all implement, so every
+//!   consumer-facing quantity (densities, CDFs, transients, quantiles,
+//!   moments) is served through one front door.
 //!
 //! ## Quick example
 //!
@@ -54,6 +59,7 @@
 pub mod embedded;
 pub mod error;
 pub mod passage;
+pub mod query;
 pub mod smp;
 pub mod solver;
 pub mod steady;
@@ -61,5 +67,9 @@ pub mod transient;
 
 pub use error::SmpError;
 pub use passage::{IterationOptions, PassageTimeSolver};
+pub use query::{
+    CompareOp, Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest, Provenance,
+    TargetSpec,
+};
 pub use smp::{SemiMarkovProcess, SmpBuilder, StateSet};
 pub use solver::{PassageTimeAnalysis, TransientAnalysis};

@@ -38,6 +38,23 @@ impl EmpiricalDistribution {
         self.sorted.len()
     }
 
+    /// The samples, sorted ascending.  Exposed so consumers (the simulation
+    /// measure engine, determinism tests) can compare or re-aggregate the raw
+    /// data without round-tripping through summary statistics.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The raw sample moment `mean(Xᵏ)` and the 95% confidence half-width of
+    /// that mean.  `raw_moment(1)` is `(mean(), ci95_half_width())`.
+    pub fn raw_moment(&self, order: u32) -> (f64, f64) {
+        let mut stats = RunningStats::new();
+        for &x in &self.sorted {
+            stats.push(x.powi(order as i32));
+        }
+        (stats.mean(), stats.ci95_half_width())
+    }
+
     /// True when there are no samples.
     pub fn is_empty(&self) -> bool {
         self.sorted.is_empty()
@@ -224,6 +241,22 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan_samples() {
         EmpiricalDistribution::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn samples_accessor_and_raw_moments() {
+        let e = EmpiricalDistribution::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.samples(), &[1.0, 2.0, 3.0]);
+        let (m1, _) = e.raw_moment(1);
+        assert!((m1 - 2.0).abs() < 1e-12);
+        let (m2, ci2) = e.raw_moment(2);
+        assert!((m2 - (1.0 + 4.0 + 9.0) / 3.0).abs() < 1e-12);
+        assert!(ci2 > 0.0);
+        // Second raw moment of Exp(2) is 2/λ² = 0.5.
+        let samples = exponential_samples(50_000, 2.0, 13);
+        let e = EmpiricalDistribution::from_samples(samples);
+        let (m2, ci2) = e.raw_moment(2);
+        assert!((m2 - 0.5).abs() < 4.0 * ci2, "E[X²] = {m2} ± {ci2}");
     }
 
     proptest! {

@@ -37,5 +37,5 @@ pub mod splan;
 pub use cdf::CdfCurve;
 pub use euler::{Euler, EulerParams};
 pub use laguerre::{Laguerre, LaguerreParams};
-pub use quantile::{probability_of_completion_by, quantile};
+pub use quantile::{probability_of_completion_by, quantile, quantiles_from_cdf};
 pub use splan::{union_s_points, InversionMethod, SPointPlan, TransformValues};

@@ -66,25 +66,87 @@ where
     InversionMethod: Clone,
 {
     assert!((0.0..1.0).contains(&p) || p == 1.0, "p must be in [0, 1]");
-    assert!(initial_horizon > 0.0 && max_horizon >= initial_horizon);
+    let result: Result<Vec<Option<f64>>, std::convert::Infallible> =
+        quantiles_from_cdf(&[p], initial_horizon, max_horizon, &mut |ts: &[f64]| {
+            Ok(
+                CdfCurve::from_density_transform(method.clone(), density_transform, ts)
+                    .values()
+                    .to_vec(),
+            )
+        });
+    match result {
+        Ok(mut quantiles) => quantiles.pop().flatten(),
+        Err(never) => match never {},
+    }
+}
+
+/// The generic quantile search: horizon expansion plus local refinement over
+/// **any** CDF-on-grid provider.
+///
+/// `cdf_on_grid` receives a strictly increasing time grid and returns the CDF
+/// values on it — by in-process inversion ([`quantile`] wraps this function
+/// that way), by a distributed pipeline run, or by anything else.  This is the
+/// single home of the search policy, so every engine that layers quantiles on
+/// the CDF machinery produces **identical** grids and therefore (given
+/// identical CDF values) bitwise-identical quantiles.
+///
+/// Starting from `initial_horizon`, invert the CDF on a 128-point grid over
+/// `(0, horizon]`; every still-unresolved probability that the curve reaches
+/// is then refined on its own 64-point grid around the bracketing interval;
+/// the horizon doubles (up to `max_horizon`) until every probability is
+/// resolved.  One coarse grid per horizon level serves *all* probabilities —
+/// a batch costs one sweep, not one per probability — and each probability
+/// resolves at the same horizon, coarse grid and refinement grid as a
+/// single-probability search would use, so batching never changes the
+/// values.  The entry for a probability not reached within `max_horizon` is
+/// `None` (e.g. defective distributions).
+///
+/// Returned values are clamped/monotone-repaired via [`CdfCurve::from_samples`]
+/// (idempotent for already-repaired inputs).  Errors from `cdf_on_grid`
+/// propagate immediately.
+pub fn quantiles_from_cdf<E>(
+    probs: &[f64],
+    initial_horizon: f64,
+    max_horizon: f64,
+    cdf_on_grid: &mut dyn FnMut(&[f64]) -> Result<Vec<f64>, E>,
+) -> Result<Vec<Option<f64>>, E> {
+    assert!(
+        initial_horizon > 0.0 && max_horizon >= initial_horizon,
+        "horizons must satisfy 0 < initial <= max"
+    );
+    assert!(
+        probs.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
+    let mut out: Vec<Option<f64>> = vec![None; probs.len()];
+    let mut pending: Vec<usize> = (0..probs.len()).collect();
     let mut horizon = initial_horizon;
-    loop {
+    while !pending.is_empty() {
         let ts = linspace(horizon / 128.0, horizon, 128);
-        let curve = CdfCurve::from_density_transform(method.clone(), density_transform, &ts);
-        if let Some(q) = curve.quantile(p) {
-            // Refine around the bracketing interval with a 10× denser local grid.
-            let lo = (q - horizon / 128.0).max(horizon / 1024.0);
-            let hi = q + horizon / 128.0;
-            let fine = linspace(lo, hi, 64);
-            let fine_curve =
-                CdfCurve::from_density_transform(method.clone(), density_transform, &fine);
-            return fine_curve.quantile(p).or(Some(q));
+        let curve = CdfCurve::from_samples(ts.clone(), cdf_on_grid(&ts)?);
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for index in pending {
+            let p = probs[index];
+            match curve.quantile(p) {
+                Some(q) => {
+                    // Refine around the bracketing interval with a 10× denser
+                    // local grid.
+                    let lo = (q - horizon / 128.0).max(horizon / 1024.0);
+                    let hi = q + horizon / 128.0;
+                    let fine = linspace(lo, hi, 64);
+                    let fine_curve = CdfCurve::from_samples(fine.clone(), cdf_on_grid(&fine)?);
+                    out[index] = fine_curve.quantile(p).or(Some(q));
+                }
+                None => still_pending.push(index),
+            }
         }
+        pending = still_pending;
         if horizon >= max_horizon {
-            return None;
+            break;
         }
         horizon = (horizon * 2.0).min(max_horizon);
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -126,5 +188,64 @@ mod tests {
     #[should_panic(expected = "deadline must be positive")]
     fn rejects_bad_deadline() {
         probability_of_completion_by(InversionMethod::euler(), &Dist::exponential(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_from_cdf_matches_the_transform_wrapper() {
+        // The generic search fed by in-process inversion must agree bitwise
+        // with the historical `quantile()` API, which now wraps it.
+        let d = Dist::erlang(2.0, 3);
+        let method = InversionMethod::euler();
+        let probs = [0.25, 0.5, 0.9];
+        let mut sweeps = 0usize;
+        let generic: Vec<Option<f64>> = quantiles_from_cdf::<std::convert::Infallible>(
+            &probs,
+            1.0,
+            64.0,
+            &mut |ts: &[f64]| {
+                sweeps += 1;
+                Ok(CdfCurve::from_density_transform(method.clone(), &d, ts)
+                    .values()
+                    .to_vec())
+            },
+        )
+        .unwrap();
+        for (&p, &q) in probs.iter().zip(&generic) {
+            let wrapped = quantile(InversionMethod::euler(), &d, p, 1.0, 64.0);
+            assert_eq!(q, wrapped, "p = {p}");
+            assert!(q.is_some());
+        }
+        // Batching shares the coarse sweeps: per horizon level one coarse grid
+        // serves every probability, plus one refinement grid per probability.
+        // An Erlang(2, 3) CDF tops 0.9 well within a horizon of 8, so at most
+        // 4 coarse levels (1, 2, 4, 8) + 3 refinements.
+        assert!(sweeps <= 7, "expected shared coarse sweeps, got {sweeps}");
+    }
+
+    #[test]
+    fn quantiles_from_cdf_propagates_provider_errors() {
+        let result =
+            quantiles_from_cdf::<String>(
+                &[0.5],
+                1.0,
+                8.0,
+                &mut |_| Err("backend lost".to_string()),
+            );
+        assert_eq!(result.unwrap_err(), "backend lost");
+    }
+
+    #[test]
+    fn quantiles_from_cdf_reports_unreachable_probs_as_none() {
+        // A defective CDF that tops out at 0.4: the 0.9-quantile is never
+        // reached, the 0.25-quantile is.
+        let result = quantiles_from_cdf::<std::convert::Infallible>(
+            &[0.25, 0.9],
+            1.0,
+            16.0,
+            &mut |ts: &[f64]| Ok(ts.iter().map(|t| 0.4 * (1.0 - (-t).exp())).collect()),
+        )
+        .unwrap();
+        assert!(result[0].is_some());
+        assert_eq!(result[1], None);
     }
 }

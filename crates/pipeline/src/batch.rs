@@ -329,6 +329,11 @@ pub struct BatchResult {
     /// Workers lost before the queue drained (their outstanding chunks were
     /// requeued onto the survivors).
     pub disconnects: usize,
+    /// Reachable markings of the state space, when the backend compiled the
+    /// job's specs in-process (`None` for closure-based jobs, TCP runs —
+    /// whose workers explore remotely — and fully-warm runs that never
+    /// touched the transport).
+    pub states: Option<usize>,
     /// Per-worker accounting.
     pub worker_stats: Vec<WorkerStats>,
 }

@@ -1,0 +1,1014 @@
+//! The three measure engines behind the typed query layer.
+//!
+//! `smp_core::query` defines *what* can be asked ([`MeasureRequest`]) and what
+//! comes back ([`MeasureReport`]); this module supplies the three
+//! implementations of its [`Engine`] trait — the paper's full validation
+//! triangle behind one call:
+//!
+//! * [`AnalyticEngine`] — in-process Laplace inversion: compile the model,
+//!   evaluate the transform sequentially, invert.  The single-machine
+//!   reference.
+//! * [`DistributedEngine`] — the same numbers through the master–worker
+//!   pipeline over any [`Transport`] (worker threads, simulated latency, TCP
+//!   worker processes).  **Bitwise identical** to the analytic engine: both
+//!   build their evaluators from the same [`TransformSpec`]s and invert with
+//!   the same post-processing.
+//! * [`SimulationEngine`] — discrete-event simulation of the same high-level
+//!   model (wrapping `smp-simulator` with seed, replication and thread
+//!   control), reporting confidence bounds so the deterministic engines can be
+//!   cross-validated against it — the paper's "Simulation" curves of Figs. 4
+//!   and 6 as an API, and the substance of `smpq --validate-sim`.
+//!
+//! Derived measure kinds are layered on shared machinery so engines cannot
+//! drift apart: quantiles run `smp_laplace::quantiles_from_cdf` over a
+//! CDF-on-grid provider (sequential inversion for the analytic engine, one
+//! pipeline run per refinement round for the distributed engine), and
+//! means/moments read the transform's derivatives at the origin with one
+//! finite-difference stencil used by both.
+
+use crate::batch::{BatchJob, MeasureKind as CurveKind, MeasureSpec};
+use crate::master::{DistributedPipeline, PipelineOptions};
+use crate::transform::{CompiledEvaluator, CompiledModelSet, ModelSpec, TransformSpec};
+use crate::transport::{InProcess, SimulatedLatency, Transport};
+use smp_core::query::{
+    Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest, Provenance,
+};
+use smp_laplace::{quantiles_from_cdf, InversionMethod, SPointPlan, TransformValues};
+use smp_numeric::Complex64;
+use smp_simulator::{
+    simulate_passage_times, simulate_transient, PassageSimulationOptions,
+    TransientSimulationOptions,
+};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Parses the model and checks every request's target place against it, so
+/// that a bad place name fails as a *model* error before any engine work (and
+/// before a TCP job ships).  Returns the parsed net for further use.
+fn validate_requests(
+    model: &ModelSpec,
+    requests: &[MeasureRequest],
+) -> Result<smp_smspn::SmSpn, EngineError> {
+    let source = model.source();
+    let net = smp_dnamaca::parse_model(&source).map_err(|e| EngineError::Model(e.to_string()))?;
+    for request in requests {
+        if net.place_index(&request.target.place).is_none() {
+            return Err(EngineError::Model(format!(
+                "place '{}' does not exist in the model",
+                request.target.place
+            )));
+        }
+        if request.kind.is_curve() && request.t_points.len() < 2 {
+            return Err(EngineError::Analysis(format!(
+                "curve measure '{}' needs a time grid of at least two points",
+                request.name()
+            )));
+        }
+    }
+    Ok(net)
+}
+
+/// The serializable transform spec a request's values derive from.
+fn transform_spec_for(model: &ModelSpec, request: &MeasureRequest) -> TransformSpec {
+    if request.kind.uses_passage_transform() {
+        TransformSpec::passage(model.clone(), request.target.clone())
+    } else {
+        TransformSpec::transient(model.clone(), request.target.clone())
+    }
+}
+
+/// The batch-level post-processing kind of a curve request.
+fn curve_kind_of(kind: &MeasureKind) -> CurveKind {
+    match kind {
+        MeasureKind::Density => CurveKind::Density,
+        MeasureKind::Cdf => CurveKind::Cdf,
+        MeasureKind::Transient => CurveKind::Transient,
+        _ => unreachable!("not a curve kind"),
+    }
+}
+
+/// The quantile search horizons of a request: start at the request grid's last
+/// point (the caller's idea of the interesting time scale) and allow a
+/// 2¹²-fold expansion before giving up.
+fn quantile_horizons(request: &MeasureRequest) -> (f64, f64) {
+    let initial = request
+        .t_points
+        .last()
+        .copied()
+        .filter(|t| *t > 0.0)
+        .unwrap_or(1.0);
+    (initial, initial * 4096.0)
+}
+
+/// Evaluates a plan's `s`-points through a compiled evaluator into a value
+/// shard, counting the evaluations.
+fn eval_plan(
+    plan: &SPointPlan,
+    evaluator: &CompiledEvaluator<'_>,
+    evaluations: &mut usize,
+) -> Result<TransformValues, EngineError> {
+    let mut shard = TransformValues::new();
+    for &s in plan.s_points() {
+        let value = evaluator
+            .eval(s)
+            .map_err(|e| EngineError::Analysis(format!("evaluation failed at s = {s}: {e}")))?;
+        shard.insert(s, value);
+        *evaluations += 1;
+    }
+    Ok(shard)
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    (1..=k).fold(1.0, |acc, i| acc * f64::from(n - k + i) / f64::from(i))
+}
+
+/// `E[Tᵏ] = (−1)ᵏ L⁽ᵏ⁾(0)`: the k-th raw moment of a passage time from the
+/// k-th central finite difference of its density transform at the origin.
+/// One implementation shared by the analytic and distributed engines, so the
+/// two are bitwise identical by construction.
+fn moment_from_transform(
+    evaluator: &CompiledEvaluator<'_>,
+    order: u32,
+    evaluations: &mut usize,
+) -> Result<f64, EngineError> {
+    if !(1..=4).contains(&order) {
+        return Err(EngineError::Unsupported(format!(
+            "moment order {order} is out of range (supported: 1..=4)"
+        )));
+    }
+    // Step sizes balance truncation against cancellation per stencil order.
+    let h = match order {
+        1 => 1e-5,
+        2 => 1e-4,
+        3 => 1e-3,
+        _ => 3e-3,
+    };
+    let k = order as i32;
+    let mut acc = 0.0;
+    for j in 0..=order {
+        let coeff = if j % 2 == 0 { 1.0 } else { -1.0 } * binomial(order, j);
+        let x = (f64::from(order) / 2.0 - f64::from(j)) * h;
+        let value = evaluator
+            .eval(Complex64::real(x))
+            .map_err(|e| EngineError::Analysis(format!("evaluation failed at s = {x}: {e}")))?;
+        *evaluations += 1;
+        acc += coeff * value.re;
+    }
+    let derivative = acc / h.powi(k);
+    Ok(if order % 2 == 0 {
+        derivative
+    } else {
+        -derivative
+    })
+}
+
+/// Turns the generic quantile search's per-probability options into values,
+/// failing loudly on an unreachable probability.
+fn require_quantiles(
+    name: &str,
+    probs: &[f64],
+    found: Vec<Option<f64>>,
+    max_horizon: f64,
+) -> Result<Vec<f64>, EngineError> {
+    probs
+        .iter()
+        .zip(found)
+        .map(|(&p, q)| {
+            q.ok_or_else(|| {
+                EngineError::Analysis(format!(
+                    "quantile p = {p} of '{name}' not reached within the search horizon \
+                     {max_horizon:.3} (defective or very heavy-tailed passage)"
+                ))
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// AnalyticEngine
+// ---------------------------------------------------------------------------
+
+/// In-process Laplace inversion: the sequential reference engine.
+///
+/// Compiles the model once per [`Engine::solve`] call (one state-space
+/// exploration shared by all requests and by requests over the same target),
+/// evaluates every transform point in the calling thread, and inverts with the
+/// same post-processing the distributed pipeline uses — which is why the two
+/// agree bitwise.
+#[derive(Debug, Clone)]
+pub struct AnalyticEngine {
+    model: ModelSpec,
+    method: InversionMethod,
+}
+
+impl AnalyticEngine {
+    /// An analytic engine over `model` using `method` for inversion planning.
+    pub fn new(model: ModelSpec, method: InversionMethod) -> Self {
+        AnalyticEngine { model, method }
+    }
+}
+
+/// Solves one request against a compiled evaluator — the sequential core
+/// shared by [`AnalyticEngine`] and the [`DistributedEngine`]'s master-side
+/// fallback.  Returns `(points, values, evaluations)`.
+fn solve_locally(
+    request: &MeasureRequest,
+    evaluator: &CompiledEvaluator<'_>,
+    method: &InversionMethod,
+) -> Result<(Vec<f64>, Vec<f64>, usize), EngineError> {
+    let mut evaluations = 0usize;
+    match &request.kind {
+        MeasureKind::Density | MeasureKind::Cdf | MeasureKind::Transient => {
+            let plan = SPointPlan::new(method.clone(), &request.t_points);
+            let shard = eval_plan(&plan, evaluator, &mut evaluations)?;
+            let values = curve_kind_of(&request.kind).postprocess(&plan, &shard);
+            Ok((request.t_points.clone(), values, evaluations))
+        }
+        MeasureKind::Quantile { probs } => {
+            let (initial, max_horizon) = quantile_horizons(request);
+            let found = quantiles_from_cdf(probs, initial, max_horizon, &mut |ts: &[f64]| {
+                let plan = SPointPlan::new(method.clone(), ts);
+                let shard = eval_plan(&plan, evaluator, &mut evaluations)?;
+                Ok::<Vec<f64>, EngineError>(CurveKind::Cdf.postprocess(&plan, &shard))
+            })?;
+            let values = require_quantiles(&request.name(), probs, found, max_horizon)?;
+            Ok((probs.clone(), values, evaluations))
+        }
+        MeasureKind::Mean => {
+            let mean = moment_from_transform(evaluator, 1, &mut evaluations)?;
+            Ok((vec![1.0], vec![mean], evaluations))
+        }
+        MeasureKind::Moment { order } => {
+            let moment = moment_from_transform(evaluator, *order, &mut evaluations)?;
+            Ok((vec![f64::from(*order)], vec![moment], evaluations))
+        }
+    }
+}
+
+/// Compiles the unique transform specs of `requests`, returning the set and a
+/// per-request index into it (so repeated targets share one solver).
+fn compile_unique_specs(
+    model: &ModelSpec,
+    requests: &[&MeasureRequest],
+) -> Result<(CompiledModelSet, Vec<usize>), EngineError> {
+    let mut specs: Vec<TransformSpec> = Vec::new();
+    let mut index_of = Vec::with_capacity(requests.len());
+    for request in requests {
+        let spec = transform_spec_for(model, request);
+        let index = match specs.iter().position(|s| *s == spec) {
+            Some(found) => found,
+            None => {
+                specs.push(spec);
+                specs.len() - 1
+            }
+        };
+        index_of.push(index);
+    }
+    let set = CompiledModelSet::compile(&specs).map_err(EngineError::Analysis)?;
+    Ok((set, index_of))
+}
+
+impl Engine for AnalyticEngine {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn solve(&self, requests: &[MeasureRequest]) -> Result<Vec<MeasureReport>, EngineError> {
+        validate_requests(&self.model, requests)?;
+        let refs: Vec<&MeasureRequest> = requests.iter().collect();
+        let (set, spec_of) = compile_unique_specs(&self.model, &refs)?;
+        let evaluators = set.evaluators().map_err(EngineError::Analysis)?;
+        let states = Some(set.num_states());
+        let mut reports = Vec::with_capacity(requests.len());
+        for (request, &si) in requests.iter().zip(&spec_of) {
+            let started = Instant::now();
+            let (points, values, evaluations) =
+                solve_locally(request, &evaluators[si], &self.method)?;
+            let mut provenance = Provenance::local("analytic", "sequential");
+            provenance.states = states;
+            provenance.evaluations = evaluations;
+            provenance.wall = started.elapsed();
+            reports.push(MeasureReport {
+                name: request.name(),
+                kind: request.kind.clone(),
+                points,
+                values,
+                provenance,
+            });
+        }
+        Ok(reports)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DistributedEngine
+// ---------------------------------------------------------------------------
+
+/// The distributed pipeline behind the typed query layer: one engine, three
+/// wire backends (worker threads, simulated latency, TCP worker processes).
+///
+/// Curve measures of one solve are planned as a single [`BatchJob`] — shared
+/// transform keys, union `s`-point planning, measure-keyed cache and
+/// checkpoint all apply — and executed over the configured [`Transport`].
+/// Quantiles run the shared search of `smp_laplace::quantiles_from_cdf` with
+/// one *pipeline run per refinement round* on reusable (in-process)
+/// transports; with a configured checkpoint the rounds warm each other and
+/// any later run.  The TCP transport is single-rendezvous (workers dial in
+/// once per run), so quantile refinement and the mean/moment stencils are
+/// evaluated master-side there — same shared code paths, same bitwise
+/// values, noted in the report's provenance backend.
+pub struct DistributedEngine {
+    model: ModelSpec,
+    method: InversionMethod,
+    pipeline: DistributedPipeline,
+    transport: Box<dyn Transport>,
+}
+
+impl std::fmt::Debug for DistributedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedEngine")
+            .field("model", &self.model)
+            .field("backend", &self.transport.name())
+            .finish()
+    }
+}
+
+impl DistributedEngine {
+    /// A distributed engine over the in-process thread backend (or the
+    /// simulated-latency backend when `options.simulated_latency` is set) —
+    /// the default deployment.
+    pub fn in_process(model: ModelSpec, method: InversionMethod, options: PipelineOptions) -> Self {
+        let workers = options.workers.max(1);
+        let transport: Box<dyn Transport> = match options.simulated_latency {
+            Some(latency) => Box::new(SimulatedLatency::new(workers, latency)),
+            None => Box::new(InProcess::new(workers)),
+        };
+        Self::with_transport(model, method, options, transport)
+    }
+
+    /// A distributed engine over an explicit transport (e.g. a bound
+    /// [`crate::TcpTransport`] whose rendezvous addresses worker processes
+    /// dial).
+    pub fn with_transport(
+        model: ModelSpec,
+        method: InversionMethod,
+        options: PipelineOptions,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        DistributedEngine {
+            model,
+            method: method.clone(),
+            pipeline: DistributedPipeline::new(method, options),
+            transport,
+        }
+    }
+
+    /// The transport's backend name (`in-process`, `sim-latency`, `tcp`).
+    pub fn backend(&self) -> &'static str {
+        self.transport.name()
+    }
+}
+
+impl Engine for DistributedEngine {
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn solve(&self, requests: &[MeasureRequest]) -> Result<Vec<MeasureReport>, EngineError> {
+        validate_requests(&self.model, requests)?;
+        let workers = self.transport.parallelism();
+        let mut reports: Vec<Option<MeasureReport>> = requests.iter().map(|_| None).collect();
+        let mut states: Option<usize> = None;
+
+        // 1. All curve measures go through the pipeline as one batch: shared
+        //    transform keys mean a density and a CDF over one target share
+        //    every evaluation, exactly as run_batch always promised.
+        let curve_indices: Vec<usize> = requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind.is_curve())
+            .map(|(i, _)| i)
+            .collect();
+        if !curve_indices.is_empty() {
+            let mut job = BatchJob::new();
+            for &ri in &curve_indices {
+                let request = &requests[ri];
+                job.push(MeasureSpec::from_spec(
+                    request.name(),
+                    curve_kind_of(&request.kind),
+                    &request.t_points,
+                    transform_spec_for(&self.model, request),
+                ));
+            }
+            let batch = self
+                .pipeline
+                .execute(job, self.transport.as_ref())
+                .map_err(|e| EngineError::Analysis(e.to_string()))?;
+            states = states.or(batch.states);
+            for (slot, (&ri, result)) in curve_indices.iter().zip(batch.measures).enumerate() {
+                let mut provenance = Provenance::local("distributed", batch.backend);
+                provenance.workers = workers;
+                provenance.states = batch.states;
+                // Run-level wire counters are attributed to the *first*
+                // measure of the shared run, so summing across a solve's
+                // reports gives the true totals.
+                if slot == 0 {
+                    provenance.messages = batch.messages;
+                    provenance.bytes_on_wire = batch.bytes_on_wire;
+                }
+                provenance.evaluations = result.evaluations;
+                provenance.cache_hits = result.cache_hits;
+                provenance.shared_hits = result.shared_hits;
+                provenance.wall = batch.elapsed;
+                reports[ri] = Some(MeasureReport {
+                    name: result.name,
+                    kind: requests[ri].kind.clone(),
+                    points: result.t_points,
+                    values: result.values,
+                    provenance,
+                });
+            }
+        }
+
+        // 2. Derived measures.  Quantiles refine through repeated pipeline
+        //    runs when the transport supports them; otherwise (TCP) they fall
+        //    back to the same master-side code the analytic engine runs.
+        //    Mean/moment stencils are a handful of near-origin evaluations —
+        //    always master-side.
+        let derived: Vec<usize> = requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.kind.is_curve())
+            .map(|(i, _)| i)
+            .collect();
+        let needs_local = derived.iter().any(|&ri| {
+            !matches!(requests[ri].kind, MeasureKind::Quantile { .. }) || !self.transport.reusable()
+        });
+        let local = if needs_local {
+            let local_requests: Vec<&MeasureRequest> =
+                derived.iter().map(|&ri| &requests[ri]).collect();
+            Some(compile_unique_specs(&self.model, &local_requests)?)
+        } else {
+            None
+        };
+        let local_evaluators = match &local {
+            Some((set, _)) => {
+                states = states.or(Some(set.num_states()));
+                Some(set.evaluators().map_err(EngineError::Analysis)?)
+            }
+            None => None,
+        };
+
+        for (di, &ri) in derived.iter().enumerate() {
+            let request = &requests[ri];
+            let started = Instant::now();
+            let is_quantile = matches!(request.kind, MeasureKind::Quantile { .. });
+            let report = if is_quantile && self.transport.reusable() {
+                // Multi-round distributed refinement: one Cdf batch per grid
+                // the search asks for.  A configured checkpoint warms every
+                // round (and any later run) under the spec's canonical key.
+                let MeasureKind::Quantile { probs } = &request.kind else {
+                    unreachable!()
+                };
+                let spec = transform_spec_for(&self.model, request);
+                let (initial, max_horizon) = quantile_horizons(request);
+                let name = request.name();
+                let mut provenance = Provenance::local("distributed", self.transport.name());
+                provenance.workers = workers;
+                let found =
+                    quantiles_from_cdf(probs, initial, max_horizon, &mut |ts: &[f64]| {
+                        let job = BatchJob::new().add(MeasureSpec::from_spec(
+                            name.clone(),
+                            CurveKind::Cdf,
+                            ts,
+                            spec.clone(),
+                        ));
+                        let batch = self
+                            .pipeline
+                            .execute(job, self.transport.as_ref())
+                            .map_err(|e| EngineError::Analysis(e.to_string()))?;
+                        provenance.messages += batch.messages;
+                        provenance.bytes_on_wire += batch.bytes_on_wire;
+                        provenance.states = provenance.states.or(batch.states);
+                        let result = batch.measures.into_iter().next().expect("one measure");
+                        provenance.evaluations += result.evaluations;
+                        provenance.cache_hits += result.cache_hits;
+                        Ok::<Vec<f64>, EngineError>(result.values)
+                    })?;
+                let values = require_quantiles(&name, probs, found, max_horizon)?;
+                states = states.or(provenance.states);
+                provenance.wall = started.elapsed();
+                MeasureReport {
+                    name,
+                    kind: request.kind.clone(),
+                    points: probs.clone(),
+                    values,
+                    provenance,
+                }
+            } else {
+                let (_, index_of) = local.as_ref().expect("local compile present");
+                let evaluators = local_evaluators.as_ref().expect("local evaluators present");
+                let (points, values, evaluations) =
+                    solve_locally(request, &evaluators[index_of[di]], &self.method)?;
+                let backend = if is_quantile {
+                    format!(
+                        "master-side ({} transport is single-rendezvous)",
+                        self.transport.name()
+                    )
+                } else {
+                    "master-side (near-origin stencil)".to_string()
+                };
+                let mut provenance = Provenance::local("distributed", backend);
+                provenance.workers = workers;
+                provenance.states = states;
+                provenance.evaluations = evaluations;
+                provenance.wall = started.elapsed();
+                MeasureReport {
+                    name: request.name(),
+                    kind: request.kind.clone(),
+                    points,
+                    values,
+                    provenance,
+                }
+            };
+            reports[ri] = Some(report);
+        }
+
+        // Backfill the state-space size for reports issued before it was
+        // known (e.g. a curve batch over TCP followed by a local stencil).
+        let reports: Vec<MeasureReport> = reports
+            .into_iter()
+            .map(|r| {
+                let mut report = r.expect("every request answered");
+                report.provenance.states = report.provenance.states.or(states);
+                report
+            })
+            .collect();
+        Ok(reports)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimulationEngine
+// ---------------------------------------------------------------------------
+
+/// Replication control for the [`SimulationEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationOptions {
+    /// Independent replications per distinct passage/transient target.
+    pub replications: usize,
+    /// Base RNG seed; fixed seed ⇒ bitwise-reproducible estimates regardless
+    /// of thread count (see `smp_simulator::passage::replication_seed`).
+    pub seed: u64,
+    /// Worker threads for the replications.
+    pub threads: usize,
+    /// Per-replication passage-time horizon; later hits count as censored.
+    pub max_time: f64,
+    /// Per-replication cap on the number of transition firings.
+    pub max_steps: u64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        SimulationOptions {
+            replications: 10_000,
+            seed: 0x5eed,
+            threads: 1,
+            max_time: 1e9,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// Discrete-event simulation of the same high-level model — the paper's
+/// validation reference, wrapped as an [`Engine`].
+///
+/// Passage-based kinds (density, CDF, quantiles, mean, moments) are all read
+/// off one empirical distribution per distinct target, so a request batch
+/// costs one set of replications per target, not per measure.  Reports carry
+/// a 95% confidence bound in [`Provenance::error_bound`] where the estimator
+/// has one, which is what `--validate-sim` compares against.
+#[derive(Debug, Clone)]
+pub struct SimulationEngine {
+    model: ModelSpec,
+    options: SimulationOptions,
+}
+
+impl SimulationEngine {
+    /// A simulation engine over `model` with the given replication control.
+    pub fn new(model: ModelSpec, options: SimulationOptions) -> Self {
+        SimulationEngine { model, options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SimulationOptions {
+        &self.options
+    }
+}
+
+impl Engine for SimulationEngine {
+    fn name(&self) -> &'static str {
+        "simulation"
+    }
+
+    fn solve(&self, requests: &[MeasureRequest]) -> Result<Vec<MeasureReport>, EngineError> {
+        let net = validate_requests(&self.model, requests)?;
+        let n = self.options.replications.max(1) as f64;
+        let backend = format!(
+            "monte-carlo r={} seed={:#x}",
+            self.options.replications, self.options.seed
+        );
+        // One empirical passage distribution per distinct target.
+        let mut passage_cache: Vec<(String, smp_simulator::passage::PassageSimulationResult)> =
+            Vec::new();
+        let mut reports = Vec::with_capacity(requests.len());
+        for request in requests {
+            let started = Instant::now();
+            let place = net
+                .place_index(&request.target.place)
+                .expect("validated above");
+            let target = request.target.clone();
+            let mut provenance = Provenance::local("simulation", backend.clone());
+            provenance.workers = self.options.threads.max(1);
+            provenance.evaluations = self.options.replications;
+
+            let (points, values) =
+                if request.kind.is_curve() && !request.kind.uses_passage_transform() {
+                    // Transient probabilities: fresh replications on the grid.
+                    let probs = simulate_transient(
+                        &net,
+                        |m| target.matches(m.get(place)),
+                        &request.t_points,
+                        &TransientSimulationOptions {
+                            replications: self.options.replications,
+                            max_steps: self.options.max_steps,
+                            seed: self.options.seed,
+                            threads: self.options.threads,
+                        },
+                    );
+                    // Worst-case binomial half-width over the grid.
+                    let band = probs
+                        .iter()
+                        .map(|p| 1.96 * (p * (1.0 - p) / n).sqrt())
+                        .fold(0.0, f64::max);
+                    provenance.error_bound = Some(band);
+                    (request.t_points.clone(), probs)
+                } else {
+                    // Passage-based kinds share one simulated distribution.
+                    let key = target.to_string();
+                    if !passage_cache.iter().any(|(k, _)| *k == key) {
+                        let initial = smp_simulator::SimulationEngine::new(&net).marking().clone();
+                        if target.matches(initial.get(place)) {
+                            return Err(EngineError::Unsupported(format!(
+                                "the initial marking already satisfies '{target}': the simulated \
+                             first-passage time is identically zero and not comparable with \
+                             the analytic first-return semantics"
+                            )));
+                        }
+                        let result = simulate_passage_times(
+                            &net,
+                            |m| target.matches(m.get(place)),
+                            &PassageSimulationOptions {
+                                replications: self.options.replications,
+                                max_time: self.options.max_time,
+                                max_steps: self.options.max_steps,
+                                threads: self.options.threads,
+                                seed: self.options.seed,
+                            },
+                        );
+                        if result.distribution.is_empty() {
+                            return Err(EngineError::Analysis(format!(
+                                "no replication reached '{target}' within the simulation limits \
+                             (max_time {}, max_steps {})",
+                                self.options.max_time, self.options.max_steps
+                            )));
+                        }
+                        passage_cache.push((key.clone(), result));
+                    } else {
+                        // Reused distribution: no fresh replications were spent.
+                        provenance.evaluations = 0;
+                        provenance.shared_hits = self.options.replications;
+                    }
+                    let result = &passage_cache
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .expect("just inserted")
+                        .1;
+                    let dist = &result.distribution;
+                    if result.censored > 0 {
+                        // Censored replications bias every passage estimator;
+                        // surface it through the error bound being unavailable.
+                        provenance.error_bound = None;
+                    }
+                    match &request.kind {
+                        MeasureKind::Density => {
+                            let values = dist.kernel_density(&request.t_points);
+                            (request.t_points.clone(), values)
+                        }
+                        MeasureKind::Cdf => {
+                            let values: Vec<f64> =
+                                request.t_points.iter().map(|&t| dist.cdf(t)).collect();
+                            if result.censored == 0 {
+                                let band = values
+                                    .iter()
+                                    .map(|p| 1.96 * (p * (1.0 - p) / n).sqrt())
+                                    .fold(0.0, f64::max);
+                                provenance.error_bound = Some(band);
+                            }
+                            (request.t_points.clone(), values)
+                        }
+                        MeasureKind::Quantile { probs } => {
+                            let mut values = Vec::with_capacity(probs.len());
+                            let mut bound: f64 = 0.0;
+                            for &p in probs {
+                                let q = dist.quantile(p).ok_or_else(|| {
+                                    EngineError::Analysis(format!(
+                                        "quantile p = {p} of '{}' is beyond the simulated samples",
+                                        request.name()
+                                    ))
+                                })?;
+                                values.push(q);
+                                // Order-statistic band: quantiles at p ± the
+                                // binomial CDF half-width bracket the estimate.
+                                let band = 1.96 * (p * (1.0 - p) / n).sqrt();
+                                let lo = dist.quantile((p - band).max(1e-9)).unwrap_or(q);
+                                let hi = dist.quantile((p + band).min(1.0)).unwrap_or(q);
+                                bound = bound.max((hi - lo) / 2.0);
+                            }
+                            if result.censored == 0 {
+                                provenance.error_bound = Some(bound);
+                            }
+                            (probs.clone(), values)
+                        }
+                        MeasureKind::Mean => {
+                            let (mean, ci) = dist.raw_moment(1);
+                            if result.censored == 0 {
+                                provenance.error_bound = Some(ci);
+                            }
+                            (vec![1.0], vec![mean])
+                        }
+                        MeasureKind::Moment { order } => {
+                            let (moment, ci) = dist.raw_moment(*order);
+                            if result.censored == 0 {
+                                provenance.error_bound = Some(ci);
+                            }
+                            (vec![f64::from(*order)], vec![moment])
+                        }
+                        MeasureKind::Transient => unreachable!("handled above"),
+                    }
+                };
+            provenance.wall = started.elapsed();
+            reports.push(MeasureReport {
+                name: request.name(),
+                kind: request.kind.clone(),
+                points,
+                values,
+                provenance,
+            });
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_core::query::TargetSpec;
+    use smp_numeric::stats::linspace;
+
+    fn voting() -> ModelSpec {
+        ModelSpec::Voting {
+            voters: 3,
+            polling: 1,
+            central: 1,
+        }
+    }
+
+    fn target(text: &str) -> TargetSpec {
+        TargetSpec::parse(text).unwrap()
+    }
+
+    fn full_request_set() -> Vec<MeasureRequest> {
+        let ts = linspace(1.0, 14.0, 6);
+        vec![
+            MeasureRequest::density(target("p2>=2"), &ts),
+            MeasureRequest::cdf(target("p2>=2"), &ts),
+            MeasureRequest::transient(target("p2>=2"), &ts),
+            MeasureRequest::quantile(target("p2>=2"), &[0.5, 0.9]).with_t_points(&ts),
+            MeasureRequest::mean(target("p2>=2")).with_t_points(&ts),
+            MeasureRequest::moment(target("p2>=2"), 2).with_t_points(&ts),
+        ]
+    }
+
+    #[test]
+    fn analytic_and_distributed_agree_bitwise_on_every_kind() {
+        let requests = full_request_set();
+        let analytic = AnalyticEngine::new(voting(), InversionMethod::euler())
+            .solve(&requests)
+            .unwrap();
+        let distributed = DistributedEngine::in_process(
+            voting(),
+            InversionMethod::euler(),
+            PipelineOptions::with_workers(3),
+        )
+        .solve(&requests)
+        .unwrap();
+        assert_eq!(analytic.len(), requests.len());
+        for (a, d) in analytic.iter().zip(&distributed) {
+            assert_eq!(a.name, d.name);
+            assert_eq!(a.points, d.points);
+            assert_eq!(a.values, d.values, "{} differs between engines", a.name);
+            assert_eq!(a.provenance.engine, "analytic");
+            assert_eq!(d.provenance.engine, "distributed");
+        }
+        // Worker count does not change distributed values either.
+        let more_workers = DistributedEngine::in_process(
+            voting(),
+            InversionMethod::euler(),
+            PipelineOptions::with_workers(7),
+        )
+        .solve(&requests)
+        .unwrap();
+        for (a, b) in distributed.iter().zip(&more_workers) {
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn provenance_is_populated() {
+        let requests = full_request_set();
+        let reports = DistributedEngine::in_process(
+            voting(),
+            InversionMethod::euler(),
+            PipelineOptions::with_workers(2),
+        )
+        .solve(&requests)
+        .unwrap();
+        let density = &reports[0];
+        assert_eq!(density.provenance.backend, "in-process");
+        assert_eq!(density.provenance.workers, 2);
+        assert!(density.provenance.states.is_some());
+        assert!(density.provenance.evaluations > 0);
+        // The CDF shares every evaluation with the density (one transform key).
+        let cdf = &reports[1];
+        assert_eq!(cdf.provenance.evaluations, 0);
+        assert_eq!(cdf.provenance.shared_hits, density.provenance.evaluations);
+        // Quantile rounds accumulate evaluations of their own.
+        let quantile = &reports[3];
+        assert!(quantile.provenance.evaluations > 0);
+        assert_eq!(quantile.provenance.workers, 2);
+    }
+
+    #[test]
+    fn quantile_round_trips_through_the_cdf() {
+        // F(q_p) == p up to grid resolution: read the CDF at the reported
+        // quantiles off a fine analytic curve.
+        let probs = [0.5, 0.9];
+        let requests = vec![MeasureRequest::quantile(target("p2>=2"), &probs)
+            .with_t_points(&linspace(1.0, 14.0, 6))];
+        let engine = AnalyticEngine::new(voting(), InversionMethod::euler());
+        let quantiles = engine.solve(&requests).unwrap().remove(0);
+        let grid = linspace(0.05, 60.0, 600);
+        let cdf = engine
+            .solve(&[MeasureRequest::cdf(target("p2>=2"), &grid)])
+            .unwrap()
+            .remove(0);
+        for (&p, &q) in probs.iter().zip(&quantiles.values) {
+            // Interpolate the CDF at q.
+            let f = smp_numeric::stats::lerp_table(&cdf.points, &cdf.values, q);
+            assert!((f - p).abs() < 0.01, "F({q}) = {f} vs p = {p}");
+        }
+    }
+
+    #[test]
+    fn simulation_agrees_with_analytic_within_tolerance() {
+        let ts = linspace(2.0, 16.0, 5);
+        let requests = vec![
+            MeasureRequest::cdf(target("p2>=2"), &ts),
+            MeasureRequest::transient(target("p2>=2"), &ts),
+            MeasureRequest::quantile(target("p2>=2"), &[0.5]).with_t_points(&ts),
+            MeasureRequest::mean(target("p2>=2")),
+        ];
+        let analytic = AnalyticEngine::new(voting(), InversionMethod::euler())
+            .solve(&requests)
+            .unwrap();
+        let sim = SimulationEngine::new(
+            voting(),
+            SimulationOptions {
+                replications: 20_000,
+                threads: 2,
+                ..Default::default()
+            },
+        )
+        .solve(&requests)
+        .unwrap();
+        for (a, s) in analytic.iter().zip(&sim) {
+            assert_eq!(a.points, s.points);
+            let bound = s.provenance.error_bound.expect("sim reports a bound");
+            for (&va, &vs) in a.values.iter().zip(&s.values) {
+                let allowed = 0.02 * va.abs().max(1.0) + bound;
+                assert!(
+                    (va - vs).abs() <= allowed,
+                    "{}: analytic {va} vs sim {vs} (allowed {allowed})",
+                    a.name
+                );
+            }
+        }
+        // Same seed, different thread count: bitwise-reproducible simulation.
+        let sim_again = SimulationEngine::new(
+            voting(),
+            SimulationOptions {
+                replications: 20_000,
+                threads: 5,
+                ..Default::default()
+            },
+        )
+        .solve(&requests)
+        .unwrap();
+        for (a, b) in sim.iter().zip(&sim_again) {
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn simulation_shares_replications_across_passage_measures() {
+        let ts = linspace(2.0, 16.0, 4);
+        let requests = vec![
+            MeasureRequest::cdf(target("p2>=2"), &ts),
+            MeasureRequest::mean(target("p2>=2")),
+        ];
+        let reports = SimulationEngine::new(
+            voting(),
+            SimulationOptions {
+                replications: 2_000,
+                ..Default::default()
+            },
+        )
+        .solve(&requests)
+        .unwrap();
+        assert_eq!(reports[0].provenance.evaluations, 2_000);
+        assert_eq!(reports[1].provenance.evaluations, 0);
+        assert_eq!(reports[1].provenance.shared_hits, 2_000);
+    }
+
+    #[test]
+    fn unknown_place_is_a_model_error_on_every_engine() {
+        let requests = vec![MeasureRequest::mean(target("nosuch>=1"))];
+        let engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(AnalyticEngine::new(voting(), InversionMethod::euler())),
+            Box::new(DistributedEngine::in_process(
+                voting(),
+                InversionMethod::euler(),
+                PipelineOptions::with_workers(2),
+            )),
+            Box::new(SimulationEngine::new(
+                voting(),
+                SimulationOptions::default(),
+            )),
+        ];
+        for engine in engines {
+            match engine.solve(&requests) {
+                Err(EngineError::Model(m)) => assert!(m.contains("nosuch"), "{m}"),
+                other => panic!("{}: expected a model error, got {other:?}", engine.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_rejects_degenerate_passage_targets() {
+        // p1 starts with all voters, so p1>=1 holds initially.
+        let requests = vec![MeasureRequest::mean(target("p1>=1"))];
+        match SimulationEngine::new(voting(), SimulationOptions::default()).solve(&requests) {
+            Err(EngineError::Unsupported(m)) => assert!(m.contains("initial marking"), "{m}"),
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn moment_one_matches_mean_and_known_values() {
+        let model = voting();
+        let engine = AnalyticEngine::new(model, InversionMethod::euler());
+        let mean = engine
+            .solve(&[MeasureRequest::mean(target("p2>=2"))])
+            .unwrap()
+            .remove(0);
+        let m1 = engine
+            .solve(&[MeasureRequest::moment(target("p2>=2"), 1)])
+            .unwrap()
+            .remove(0);
+        assert_eq!(mean.values, m1.values);
+        let m2 = engine
+            .solve(&[MeasureRequest::moment(target("p2>=2"), 2)])
+            .unwrap()
+            .remove(0);
+        // E[T²] ≥ E[T]² always; sanity-check the stencil is in a plausible range.
+        let (mu, mu2) = (mean.values[0], m2.values[0]);
+        assert!(
+            mu > 0.0 && mu2 >= mu * mu * 0.99,
+            "E[T] = {mu}, E[T²] = {mu2}"
+        );
+    }
+}

@@ -66,6 +66,7 @@
 pub mod batch;
 pub mod cache;
 pub mod checkpoint;
+pub mod engine;
 pub mod master;
 pub mod metrics;
 pub mod transform;
@@ -75,13 +76,14 @@ pub mod work;
 pub mod worker;
 
 pub use batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
+pub use engine::{AnalyticEngine, DistributedEngine, SimulationEngine, SimulationOptions};
 pub use master::{
     DistributedPipeline, PipelineError, PipelineOptions, PipelineResult, RUN_CDF_TRANSFORM_KEY,
 };
 pub use metrics::{run_scalability_sweep, ScalabilityRow};
 pub use transform::{
-    model_fingerprint, CompareOp, CompiledModelSet, DistSpec, ModelSpec, TargetResolveError,
-    TargetSpec, TransformSpec,
+    model_fingerprint, CompareOp, CompiledModelSet, DistSpec, ModelSpec, ResolveTarget,
+    TargetResolveError, TargetSpec, TransformSpec,
 };
 pub use transport::{
     run_tcp_worker, InProcess, SimulatedLatency, TcpTransport, TcpWorkerOptions, TcpWorkerSummary,

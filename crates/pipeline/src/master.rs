@@ -237,6 +237,7 @@ impl DistributedPipeline {
                 messages: 0,
                 bytes_on_wire: 0,
                 disconnects: 0,
+                states: None,
                 worker_stats: Vec::new(),
             });
         }
@@ -412,6 +413,7 @@ impl DistributedPipeline {
             messages: report.messages,
             bytes_on_wire: report.bytes_on_wire,
             disconnects: report.disconnects,
+            states: report.states,
             worker_stats: report.worker_stats,
         })
     }
@@ -711,7 +713,7 @@ mod tests {
     #[test]
     fn spec_based_measures_match_closure_based_ones_bitwise() {
         use crate::batch::MeasureKind;
-        use crate::transform::{ModelSpec, TargetSpec, TransformSpec};
+        use crate::transform::{ModelSpec, ResolveTarget, TargetSpec, TransformSpec};
         use smp_core::PassageTimeSolver;
         use smp_smspn::StateSpace;
 

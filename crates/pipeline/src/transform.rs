@@ -135,93 +135,28 @@ impl ModelSpec {
 // Target specification
 // ---------------------------------------------------------------------------
 
-/// Comparison operators accepted in a target predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(missing_docs)]
-pub enum CompareOp {
-    Ge,
-    Le,
-    Gt,
-    Lt,
-    Eq,
-    Ne,
-}
+// The predicate *syntax* (place, operator, count, parsing, matching) moved
+// into the typed query layer in `smp-core` so that `MeasureRequest`s can carry
+// targets without depending on this crate; re-exported here under the names
+// this crate has always used.  The state-space *resolution* below is
+// pipeline-side: it needs an explored `StateSpace`.
+pub use smp_core::query::{CompareOp, TargetSpec};
 
-impl CompareOp {
-    /// The operator's source form, e.g. `>=`.
-    pub fn symbol(self) -> &'static str {
-        match self {
-            CompareOp::Ge => ">=",
-            CompareOp::Le => "<=",
-            CompareOp::Gt => ">",
-            CompareOp::Lt => "<",
-            CompareOp::Eq => "==",
-            CompareOp::Ne => "!=",
-        }
-    }
-}
-
-/// A token-count predicate `PLACE OP N` selecting a model's target markings —
-/// the serializable form of "the set of states the passage ends in".
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TargetSpec {
-    /// The place whose marking is compared.
-    pub place: String,
-    /// The comparison operator.
-    pub op: CompareOp,
-    /// The right-hand token count.
-    pub count: u32,
-}
-
-impl TargetSpec {
-    /// True when a token count satisfies the predicate.
-    pub fn matches(&self, tokens: u32) -> bool {
-        match self.op {
-            CompareOp::Ge => tokens >= self.count,
-            CompareOp::Le => tokens <= self.count,
-            CompareOp::Gt => tokens > self.count,
-            CompareOp::Lt => tokens < self.count,
-            CompareOp::Eq => tokens == self.count,
-            CompareOp::Ne => tokens != self.count,
-        }
-    }
-
-    /// Parses the source form, e.g. `p2>=3`.  Two-character operators are
-    /// tried first so `p>=3` is not read as `p > =3`.
-    pub fn parse(text: &str) -> Result<TargetSpec, String> {
-        const OPS: [(&str, CompareOp); 6] = [
-            (">=", CompareOp::Ge),
-            ("<=", CompareOp::Le),
-            ("==", CompareOp::Eq),
-            ("!=", CompareOp::Ne),
-            (">", CompareOp::Gt),
-            ("<", CompareOp::Lt),
-        ];
-        for (symbol, op) in OPS {
-            if let Some(pos) = text.find(symbol) {
-                let place = text[..pos].trim();
-                let count = text[pos + symbol.len()..].trim();
-                if place.is_empty() {
-                    return Err(format!("predicate '{text}' is missing a place name"));
-                }
-                let count = count
-                    .parse()
-                    .map_err(|_| format!("predicate '{text}' needs an integer after {symbol}"))?;
-                return Ok(TargetSpec {
-                    place: place.to_string(),
-                    op,
-                    count,
-                });
-            }
-        }
-        Err(format!(
-            "predicate '{text}' has no comparison operator (expected e.g. p2>=3)"
-        ))
-    }
-
+/// Pipeline-side extension of [`TargetSpec`]: resolving the predicate against
+/// an explored state space.  (The syntax type lives in `smp_core::query`; a
+/// trait is how this crate keeps `targets.resolve(&net, &space)` callable.)
+pub trait ResolveTarget {
     /// Resolves the predicate against an explored state space, returning the
     /// indices of the matching markings.
-    pub fn resolve(
+    fn resolve(
+        &self,
+        net: &smp_smspn::SmSpn,
+        space: &StateSpace,
+    ) -> Result<Vec<usize>, TargetResolveError>;
+}
+
+impl ResolveTarget for TargetSpec {
+    fn resolve(
         &self,
         net: &smp_smspn::SmSpn,
         space: &StateSpace,
@@ -273,12 +208,6 @@ impl std::fmt::Display for TargetResolveError {
 }
 
 impl std::error::Error for TargetResolveError {}
-
-impl std::fmt::Display for TargetSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}{}{}", self.place, self.op.symbol(), self.count)
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Analytic distribution specification
@@ -619,6 +548,16 @@ impl CompiledModelSet {
     /// Number of distinct models compiled.
     pub fn num_models(&self) -> usize {
         self.models.len()
+    }
+
+    /// Total reachable markings across the compiled models (engines compile a
+    /// single model, so this is simply its state-space size — reported in
+    /// [`smp_core::query::Provenance::states`]).
+    pub fn num_states(&self) -> usize {
+        self.models
+            .iter()
+            .map(|(_, _, space)| space.num_states())
+            .sum()
     }
 
     /// Builds the evaluator of the `index`-th compiled spec, borrowing the

@@ -88,6 +88,10 @@ pub struct TransportReport {
     pub bytes_on_wire: u64,
     /// Number of workers that disconnected or failed before the queue drained.
     pub disconnects: usize,
+    /// Reachable markings of the state space, when this backend explored it
+    /// in-process (`None` for the TCP backend, whose workers explore it on
+    /// their side of the wire).
+    pub states: Option<usize>,
 }
 
 /// A pluggable master⇄worker message-passing backend.
@@ -98,6 +102,16 @@ pub trait Transport {
     /// How many workers the backend runs in parallel — the master's hint for
     /// automatic chunk sizing.
     fn parallelism(&self) -> usize;
+
+    /// True when [`Transport::execute`] may be called repeatedly on the same
+    /// instance (in-process backends).  The TCP backend returns `false`: its
+    /// rendezvous listeners serve one worker connection per run, so
+    /// multi-round computations (the distributed engine's quantile
+    /// refinement) must fall back to master-side evaluation rather than
+    /// expecting workers to dial in again.
+    fn reusable(&self) -> bool {
+        true
+    }
 
     /// Drains the plan, delivering every [`WorkerMessage`] to `on_message` as
     /// it arrives (the master caches and checkpoints inside the callback).
@@ -222,6 +236,7 @@ fn run_threaded(
         })
         .collect();
     let compiled_set = CompiledModelSet::compile(&specs).map_err(transport_error)?;
+    let states = (compiled_set.num_models() > 0).then(|| compiled_set.num_states());
     let compiled: Vec<CompiledEvaluator<'_>> =
         compiled_set.evaluators().map_err(transport_error)?;
 
@@ -317,6 +332,7 @@ fn run_threaded(
         messages,
         bytes_on_wire,
         disconnects: 0,
+        states,
     })
 }
 
@@ -421,6 +437,13 @@ impl TcpTransport {
         let listener = &self.listeners[index];
         listener.set_nonblocking(true)?;
         let deadline = Instant::now() + self.accept_timeout;
+        // Once the run is finished (remaining == 0) this worker is not
+        // needed, but one may already be dialing — its connection would land
+        // in the listener backlog, never be accepted, and die with an error
+        // when the listener drops.  A short grace window (longer than the
+        // worker-side dial retry delay) lets such a worker be accepted,
+        // handshaked and released cleanly with a `done` frame instead.
+        let mut grace_deadline: Option<Instant> = None;
         loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -431,9 +454,12 @@ impl TcpTransport {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if remaining.load(std::sync::atomic::Ordering::SeqCst) == 0 {
-                        return Ok(None);
-                    }
-                    if Instant::now() >= deadline {
+                        let grace = *grace_deadline
+                            .get_or_insert_with(|| Instant::now() + Duration::from_millis(400));
+                        if Instant::now() >= grace {
+                            return Ok(None);
+                        }
+                    } else if Instant::now() >= deadline {
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::TimedOut,
                             format!("no worker connected within {:?}", self.accept_timeout),
@@ -462,6 +488,12 @@ impl Transport for TcpTransport {
 
     fn parallelism(&self) -> usize {
         self.listeners.len().max(1)
+    }
+
+    fn reusable(&self) -> bool {
+        // One rendezvous per listener per run: a second execute() would wait
+        // for workers that have already been released.
+        false
     }
 
     fn execute(
@@ -751,6 +783,10 @@ pub struct TcpWorkerSummary {
     /// True when the worker dropped the link early via
     /// [`TcpWorkerOptions::exit_after_chunks`].
     pub dropped_early: bool,
+    /// True when the master's run finished before this worker was assigned a
+    /// job: the link closed cleanly between the hello and the job frame.
+    /// Not a failure — the queue simply drained without this worker.
+    pub released_before_work: bool,
 }
 
 /// Runs one worker process end to end: dial the master, handshake, rebuild
@@ -771,7 +807,31 @@ pub fn run_tcp_worker(
         },
     )
     .map_err(|e| format!("handshake write failed: {e}"))?;
-    let (job, _) = read_frame(&mut stream).map_err(|e| format!("job read failed: {e}"))?;
+    let job = match read_frame(&mut stream) {
+        Ok((job, _)) => job,
+        // A link that closes before any job was assigned means the master's
+        // queue drained without this worker (e.g. the run was warm, or a
+        // faster peer finished everything).  That is a clean release, not a
+        // failure — exiting non-zero here made `smpq worker` flaky whenever
+        // it lost the race for the last chunk.
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ) =>
+        {
+            return Ok(TcpWorkerSummary {
+                worker_id: 0,
+                chunks: 0,
+                evaluated: 0,
+                dropped_early: false,
+                released_before_work: true,
+            })
+        }
+        Err(e) => return Err(format!("job read failed: {e}")),
+    };
     let (worker_id, method, spec_lines) = match job {
         Frame::Job {
             version,
@@ -795,6 +855,16 @@ pub fn run_tcp_worker(
                 message: message.clone(),
             },
         );
+        // Half-close and drain: the master may already have a chunk frame in
+        // flight, and closing a socket with unread data sends an RST that can
+        // destroy the fatal frame before the master reads it.  Shut down the
+        // write half (the master sees orderly EOF after the fatal) and sink
+        // incoming data until the master closes or goes quiet.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut sink = [0u8; 1024];
+        use std::io::Read;
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
         message
     }
 
@@ -841,6 +911,7 @@ pub fn run_tcp_worker(
         chunks: 0,
         evaluated: 0,
         dropped_early: false,
+        released_before_work: false,
     };
     loop {
         let (frame, _) = match read_frame(&mut stream) {

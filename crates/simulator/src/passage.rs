@@ -1,10 +1,26 @@
 //! Passage-time estimation by independent replications.
+//!
+//! Replication `i` draws from its own RNG stream derived from `(seed, i)`
+//! (see [`replication_seed`]), so for a fixed seed the estimates are
+//! **bitwise-identical across runs and across thread counts** — the worker
+//! split only decides who executes a replication, never which random numbers
+//! it sees.
 
 use crate::engine::SimulationEngine;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use smp_distributions::EmpiricalDistribution;
 use smp_smspn::{Marking, SmSpn};
+
+/// The RNG seed of replication `index` under a base `seed`: a SplitMix64-style
+/// mix, so per-replication streams are decorrelated and, crucially,
+/// independent of how replications are partitioned across threads.
+pub fn replication_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Options for passage-time simulation.
 #[derive(Debug, Clone, Copy)]
@@ -16,9 +32,11 @@ pub struct PassageSimulationOptions {
     pub max_time: f64,
     /// Per-replication cap on the number of firings.
     pub max_steps: u64,
-    /// Number of worker threads (1 = run in the calling thread).
+    /// Number of worker threads (1 = run in the calling thread).  The thread
+    /// count never changes the estimates: replication `i` always draws from
+    /// the stream seeded by [`replication_seed`]`(seed, i)`.
     pub threads: usize,
-    /// Base RNG seed; worker `k` uses `seed + k`.
+    /// Base RNG seed for the per-replication streams.
     pub seed: u64,
 }
 
@@ -56,28 +74,26 @@ pub fn simulate_passage_times(
     let threads = options.threads.max(1);
     let replications = options.replications;
     if threads == 1 {
-        let mut rng = StdRng::seed_from_u64(options.seed);
-        let (samples, censored) = run_replications(net, &target, replications, options, &mut rng);
+        let (samples, censored) = run_replications(net, &target, 0..replications, options);
         return PassageSimulationResult {
             distribution: EmpiricalDistribution::from_samples(samples),
             censored,
         };
     }
 
+    // Contiguous index ranges per worker; joined in worker order the samples
+    // come back in replication order, so the result is the single-thread one.
     let per_thread = replications.div_ceil(threads);
     let results: Vec<(Vec<f64>, usize)> = crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for worker in 0..threads {
             let target = &target;
-            let count = per_thread.min(replications.saturating_sub(worker * per_thread));
-            if count == 0 {
+            let start = worker * per_thread;
+            let end = ((worker + 1) * per_thread).min(replications);
+            if start >= end {
                 break;
             }
-            let seed = options.seed + worker as u64 + 1;
-            handles.push(scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                run_replications(net, target, count, options, &mut rng)
-            }));
+            handles.push(scope.spawn(move |_| run_replications(net, target, start..end, options)));
         }
         handles
             .into_iter()
@@ -101,15 +117,15 @@ pub fn simulate_passage_times(
 fn run_replications(
     net: &SmSpn,
     target: &(impl Fn(&Marking) -> bool + ?Sized),
-    count: usize,
+    range: std::ops::Range<usize>,
     options: &PassageSimulationOptions,
-    rng: &mut impl Rng,
 ) -> (Vec<f64>, usize) {
-    let mut samples = Vec::with_capacity(count);
+    let mut samples = Vec::with_capacity(range.len());
     let mut censored = 0usize;
-    for _ in 0..count {
+    for index in range {
+        let mut rng = StdRng::seed_from_u64(replication_seed(options.seed, index as u64));
         let mut engine = SimulationEngine::new(net);
-        match engine.run_until(rng, |m| target(m), options.max_time, options.max_steps) {
+        match engine.run_until(&mut rng, |m| target(m), options.max_time, options.max_steps) {
             Some(t) => samples.push(t),
             None => censored += 1,
         }
@@ -166,7 +182,10 @@ mod tests {
     }
 
     #[test]
-    fn multithreaded_matches_single_thread_statistics() {
+    fn multithreaded_is_bitwise_identical_to_single_thread() {
+        // Per-replication seeding makes the thread count an execution detail:
+        // the multi-threaded run is *the same* estimate, not merely a
+        // statistically compatible one.
         let net = erlang_chain(2, 1.0);
         let single = simulate_passage_times(
             &net,
@@ -187,7 +206,8 @@ mod tests {
             },
         );
         assert_eq!(multi.distribution.len(), 20_000);
-        assert!((single.distribution.mean() - multi.distribution.mean()).abs() < 0.05);
+        assert_eq!(single.distribution.samples(), multi.distribution.samples());
+        assert_eq!(single.censored, multi.censored);
     }
 
     #[test]

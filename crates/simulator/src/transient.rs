@@ -1,6 +1,11 @@
 //! Transient state-probability estimation by independent replications.
+//!
+//! Like [`crate::passage`], replication `i` draws from its own RNG stream
+//! derived from `(seed, i)`, so for a fixed seed the estimates are
+//! bitwise-identical across runs and thread counts.
 
 use crate::engine::SimulationEngine;
+use crate::passage::replication_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smp_smspn::{Marking, SmSpn};
@@ -12,8 +17,11 @@ pub struct TransientSimulationOptions {
     pub replications: usize,
     /// Per-replication cap on the number of firings.
     pub max_steps: u64,
-    /// RNG seed.
+    /// Base RNG seed for the per-replication streams.
     pub seed: u64,
+    /// Number of worker threads (1 = run in the calling thread).  The thread
+    /// count never changes the estimates.
+    pub threads: usize,
 }
 
 impl Default for TransientSimulationOptions {
@@ -22,6 +30,7 @@ impl Default for TransientSimulationOptions {
             replications: 10_000,
             max_steps: 10_000_000,
             seed: 0xd1ce,
+            threads: 1,
         }
     }
 }
@@ -34,7 +43,7 @@ impl Default for TransientSimulationOptions {
 /// `t_points` must be sorted in increasing order.
 pub fn simulate_transient(
     net: &SmSpn,
-    target: impl Fn(&Marking) -> bool,
+    target: impl Fn(&Marking) -> bool + Send + Sync,
     t_points: &[f64],
     options: &TransientSimulationOptions,
 ) -> Vec<f64> {
@@ -43,11 +52,60 @@ pub fn simulate_transient(
         t_points.windows(2).all(|w| w[0] < w[1]),
         "t-points must be strictly increasing"
     );
+    let threads = options.threads.max(1);
+    let replications = options.replications;
+
+    let hits = if threads == 1 {
+        run_transient_replications(net, &target, t_points, 0..replications, options)
+    } else {
+        let per_thread = replications.div_ceil(threads);
+        let partial: Vec<Vec<u64>> = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let target = &target;
+                let start = worker * per_thread;
+                let end = ((worker + 1) * per_thread).min(replications);
+                if start >= end {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    run_transient_replications(net, target, t_points, start..end, options)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("transient simulation worker panicked"))
+                .collect()
+        })
+        .expect("transient simulation scope failed");
+        // Integer hit counts: summation order cannot change the result.
+        let mut total = vec![0u64; t_points.len()];
+        for part in partial {
+            for (slot, h) in total.iter_mut().zip(part) {
+                *slot += h;
+            }
+        }
+        total
+    };
+
+    hits.into_iter()
+        .map(|h| h as f64 / options.replications as f64)
+        .collect()
+}
+
+/// Runs the replications of one index range, returning per-grid-point hit
+/// counts.
+fn run_transient_replications(
+    net: &SmSpn,
+    target: &(impl Fn(&Marking) -> bool + ?Sized),
+    t_points: &[f64],
+    range: std::ops::Range<usize>,
+    options: &TransientSimulationOptions,
+) -> Vec<u64> {
     let horizon = *t_points.last().expect("non-empty");
     let mut hits = vec![0u64; t_points.len()];
-    let mut rng = StdRng::seed_from_u64(options.seed);
-
-    for _ in 0..options.replications {
+    for index in range {
+        let mut rng = StdRng::seed_from_u64(replication_seed(options.seed, index as u64));
         let mut engine = SimulationEngine::new(net);
         let mut grid_index = 0usize;
         let mut previous_marking = engine.marking().clone();
@@ -77,10 +135,7 @@ pub fn simulate_transient(
             grid_index += 1;
         }
     }
-
-    hits.into_iter()
-        .map(|h| h as f64 / options.replications as f64)
-        .collect()
+    hits
 }
 
 #[cfg(test)]
@@ -153,8 +208,38 @@ mod tests {
         let in_a = simulate_transient(&net, |m| m.get(0) == 1, &ts, &opts);
         let in_b = simulate_transient(&net, |m| m.get(1) == 1, &ts, &opts);
         for (pa, pb) in in_a.iter().zip(&in_b) {
-            assert!((pa + pb - 1.0).abs() < 0.03);
+            // Per-replication seeding means both runs walk the *same* trajectories,
+            // so complementary targets partition every hit exactly (up to the
+            // two divisions' rounding).
+            assert!((pa + pb - 1.0).abs() < 1e-12, "{pa} + {pb}");
         }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_estimate() {
+        let net = two_state_net();
+        let ts = linspace(0.2, 3.0, 6);
+        let single = simulate_transient(
+            &net,
+            |m| m.get(0) == 1,
+            &ts,
+            &TransientSimulationOptions {
+                replications: 4_000,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let multi = simulate_transient(
+            &net,
+            |m| m.get(0) == 1,
+            &ts,
+            &TransientSimulationOptions {
+                replications: 4_000,
+                threads: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(single, multi);
     }
 
     #[test]

@@ -9,10 +9,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use smp_suite::core::query::{Engine, MeasureRequest, TargetSpec};
 use smp_suite::core::{PassageTimeAnalysis, StateSet};
 use smp_suite::distributions::Dist;
 use smp_suite::laplace::InversionMethod;
 use smp_suite::numeric::stats::linspace;
+use smp_suite::pipeline::{AnalyticEngine, ModelSpec, SimulationEngine, SimulationOptions};
 use smp_suite::simulator::smp_sim::simulate_smp_passage_times;
 use smp_suite::smspn::ReachabilityOptions;
 use smp_suite::voting::model::VotingDistributions;
@@ -72,6 +74,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "simulation: {} replications observed the failure, sample mean {:.2} s",
         sim.len(),
         sim.mean()
+    );
+
+    // ---------------------------------------------------------------------
+    // The same quantiles through the unified measure-engine API: one typed
+    // MeasureRequest answered by the analytic engine and cross-checked by the
+    // simulation engine — what `smpq --measure quantile:... --validate-sim`
+    // does behind one flag.
+    // ---------------------------------------------------------------------
+    let model = ModelSpec::Voting {
+        voters: 5,
+        polling: 2,
+        central: 2,
+    };
+    let request = MeasureRequest::quantile(TargetSpec::parse("p2>=3")?, &[0.5, 0.9, 0.99])
+        .with_t_points(&linspace(2.0, 60.0, 8));
+    println!("\nunified engine API: {} on voting(5,2,2)", request.name());
+
+    let analytic = AnalyticEngine::new(model.clone(), InversionMethod::euler())
+        .solve(std::slice::from_ref(&request))?
+        .remove(0);
+    let simulated = SimulationEngine::new(
+        model,
+        SimulationOptions {
+            replications: 10_000,
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .solve(std::slice::from_ref(&request))?
+    .remove(0);
+
+    let ci = simulated.provenance.error_bound.unwrap_or(0.0);
+    println!("  p        analytic t      simulated t   (sim 95% band ±{ci:.3})");
+    for ((p, qa), (_, qs)) in analytic.iter().zip(simulated.iter()) {
+        println!("  {p:<5}  {qa:>12.3} s  {qs:>12.3} s");
+    }
+    println!(
+        "  [{} engine: {} evaluations, {:?}; {} engine: {} replications]",
+        analytic.provenance.engine,
+        analytic.provenance.evaluations,
+        analytic.provenance.wall,
+        simulated.provenance.engine,
+        simulated.provenance.evaluations,
     );
     Ok(())
 }

@@ -1,0 +1,142 @@
+//! Acceptance tests for the unified measure-engine API: all three engines
+//! answer the same [`MeasureRequest`]s on the voting model, the deterministic
+//! pair (analytic, distributed) agree **bitwise**, the simulation engine
+//! agrees within its confidence bound, and the `smpq --validate-sim` flag
+//! performs the paper's validation loop end to end.
+
+use smp_suite::core::query::{Engine, MeasureRequest, TargetSpec};
+use smp_suite::laplace::InversionMethod;
+use smp_suite::numeric::stats::linspace;
+use smp_suite::pipeline::{
+    AnalyticEngine, DistributedEngine, ModelSpec, PipelineOptions, SimulationEngine,
+    SimulationOptions,
+};
+
+fn voting(voters: u32) -> ModelSpec {
+    ModelSpec::Voting {
+        voters,
+        polling: 2,
+        central: 2,
+    }
+}
+
+fn target(text: &str) -> TargetSpec {
+    TargetSpec::parse(text).unwrap()
+}
+
+#[test]
+fn all_three_engines_serve_the_same_requests() {
+    let ts = linspace(2.0, 40.0, 6);
+    let requests = vec![
+        MeasureRequest::cdf(target("p2>=3"), &ts),
+        MeasureRequest::transient(target("p2>=3"), &ts),
+        MeasureRequest::quantile(target("p2>=3"), &[0.5, 0.9, 0.99]).with_t_points(&ts),
+        MeasureRequest::mean(target("p2>=3")),
+    ];
+
+    let analytic = AnalyticEngine::new(voting(5), InversionMethod::euler())
+        .solve(&requests)
+        .unwrap();
+    let distributed = DistributedEngine::in_process(
+        voting(5),
+        InversionMethod::euler(),
+        PipelineOptions::with_workers(4),
+    )
+    .solve(&requests)
+    .unwrap();
+    let sim = SimulationEngine::new(
+        voting(5),
+        SimulationOptions {
+            replications: 10_000,
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .solve(&requests)
+    .unwrap();
+
+    for ((a, d), s) in analytic.iter().zip(&distributed).zip(&sim) {
+        // Identical shapes everywhere.
+        assert_eq!(a.name, d.name);
+        assert_eq!(a.name, s.name);
+        assert_eq!(a.points, d.points);
+        assert_eq!(a.points, s.points);
+
+        // Analytic vs distributed: bitwise.
+        assert_eq!(a.values, d.values, "{}: analytic vs distributed", a.name);
+
+        // Simulation: within tolerance + its own reported bound.
+        let bound = s.provenance.error_bound.unwrap_or(0.0);
+        for ((&point, &va), &vs) in a.points.iter().zip(&a.values).zip(&s.values) {
+            let allowed = 1e-2 * va.abs().max(vs.abs()).max(1.0) + bound;
+            assert!(
+                (va - vs).abs() <= allowed,
+                "{} at {point}: analytic {va} vs sim {vs} (allowed {allowed})",
+                a.name
+            );
+        }
+
+        // Provenance populated on every report.
+        assert_eq!(a.provenance.engine, "analytic");
+        assert_eq!(d.provenance.engine, "distributed");
+        assert_eq!(s.provenance.engine, "simulation");
+        assert!(a.provenance.states.is_some());
+        assert!(d.provenance.states.is_some());
+        assert!(s.provenance.backend.contains("monte-carlo"));
+        assert!(a.provenance.evaluations + a.provenance.shared_hits > 0);
+    }
+}
+
+#[test]
+fn smpq_validate_sim_passes_on_the_voting_model() {
+    // The issue's acceptance command, driven through the CLI library:
+    //   smpq --voting 5,2,2 --measure 'quantile:p2>=3@0.5,0.9,0.99' \
+    //        --engine distributed --validate-sim 1e-2
+    let run_with_engine = |engine: &str| -> String {
+        let args: Vec<String> = [
+            "--voting",
+            "5,2,2",
+            "--measure",
+            "quantile:p2>=3@0.5,0.9,0.99",
+            "--measure",
+            "cdf:p2>=3",
+            "--t-start",
+            "2",
+            "--t-stop",
+            "60",
+            "--t-count",
+            "8",
+            "--engine",
+            engine,
+            "--validate-sim",
+            "1e-2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let options = smp_cli::parse_args(&args).unwrap();
+        smp_cli::run(&options)
+            .unwrap_or_else(|e| panic!("smpq --engine {engine} --validate-sim failed: {e}"))
+    };
+
+    let analytic = run_with_engine("analytic");
+    let distributed = run_with_engine("distributed");
+    let sim = run_with_engine("sim");
+    for report in [&analytic, &distributed, &sim] {
+        assert!(report.contains("validation passed"), "{report}");
+        assert!(report.contains("quantile:p2>=3@0.5,0.9,0.99"), "{report}");
+    }
+
+    // Analytic and distributed render identical numbers, quantiles included.
+    let numeric = |report: &str| -> Vec<String> {
+        report
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.starts_with(|c: char| c.is_ascii_digit()) || t.starts_with("p =")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(numeric(&analytic), numeric(&distributed));
+}

@@ -1,0 +1,53 @@
+//! Quantile round-trip on the voting model: the `p`-quantile answers "by which
+//! time does the completion probability reach `p`?", so reading the CDF back
+//! at the returned quantile must recover `p` — the inverse-function property
+//! that makes the paper's response-time quantiles (Fig. 5) trustworthy.
+
+use smp_suite::core::PassageTimeSolver;
+use smp_suite::laplace::{probability_of_completion_by, quantile, InversionMethod};
+use smp_suite::numeric::Complex64;
+use smp_suite::pipeline::{ModelSpec, ResolveTarget, TargetSpec};
+use smp_suite::smspn::StateSpace;
+
+/// The inverter's end-to-end round-trip tolerance: quantile grid resolution
+/// plus inversion noise.
+const TOLERANCE: f64 = 0.01;
+
+#[test]
+fn completion_probability_at_the_quantile_recovers_p() {
+    // The paper's case study: the passage from the initial marking of the
+    // voting system until at least 2 voters have voted.
+    let model = ModelSpec::Voting {
+        voters: 3,
+        polling: 1,
+        central: 1,
+    };
+    let source = model.source();
+    let net = smp_suite::dnamaca::parse_model(&source).unwrap();
+    let space = StateSpace::explore(&net).unwrap();
+    let targets = TargetSpec::parse("p2>=2")
+        .unwrap()
+        .resolve(&net, &space)
+        .unwrap();
+    let solver = PassageTimeSolver::new(space.smp(), &[space.initial_state()], &targets).unwrap();
+    // The solver's transform as a LaplaceTransform (closures implement it).
+    let transform = |s: Complex64| solver.transform_at(s).expect("transform evaluates").value;
+
+    for p in [0.5, 0.9, 0.99] {
+        let q = quantile(InversionMethod::euler(), &transform, p, 1.0, 16_384.0)
+            .unwrap_or_else(|| panic!("quantile p = {p} not found"));
+        assert!(q > 0.0, "q({p}) = {q}");
+        let recovered = probability_of_completion_by(InversionMethod::euler(), &transform, q);
+        assert!(
+            (recovered - p).abs() < TOLERANCE,
+            "round trip p = {p}: q = {q}, F(q) = {recovered}"
+        );
+    }
+
+    // Quantiles are monotone in p.
+    let qs: Vec<f64> = [0.5, 0.9, 0.99]
+        .iter()
+        .map(|&p| quantile(InversionMethod::euler(), &transform, p, 1.0, 16_384.0).unwrap())
+        .collect();
+    assert!(qs.windows(2).all(|w| w[0] < w[1]), "{qs:?}");
+}
