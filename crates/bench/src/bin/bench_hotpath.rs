@@ -1,0 +1,211 @@
+//! Hot-path benchmark: the symbolic/numeric split (`PassageWorkspace`)
+//! against the legacy build-per-point evaluation, per `s`-point.
+//!
+//! ```text
+//! cargo run -p smp-bench --release --bin bench_hotpath
+//!     [-- --quick | --full | --system N] [--points P] [--threads T] [--check-only]
+//! ```
+//!
+//! For each voting-model configuration the harness evaluates the same Euler
+//! `s`-points through both paths, asserts **bitwise identity** of every
+//! transform value and iteration count (the binary exits non-zero on any
+//! mismatch — this is the CI perf-smoke equivalence gate), and reports:
+//!
+//! * median wall time per `s`-point, legacy vs workspace, and the speedup;
+//! * an allocation proxy per `s`-point: the bytes of matrix/scratch state the
+//!   legacy path allocates and frees at *every* point, all of which the
+//!   workspace allocates once per `(model, target set)` and then reuses;
+//! * the `HotPathStats` counters (rebuilds avoided, pooled LST evaluations).
+//!
+//! The default ladder is the scaled demo system plus paper system 0; `--full`
+//! adds system 1 (106K states); `--system N` runs exactly one paper system
+//! (up to 5, the paper's 1.1M-state configuration — expect a long state-space
+//! generation for 3+).  `--check-only` skips the timing loops' extra
+//! repetitions (CI asserts equivalence, not timings).  Emits
+//! `BENCH_hotpath.json` in the working directory and echoes it to stdout.
+
+use smp_bench::{build_paper_system, grid_around_mean, Args};
+use smp_core::{PassageTimeAnalysis, PassageTimeSolver};
+use smp_laplace::{InversionMethod, SPointPlan};
+use smp_voting::{VotingConfig, VotingSystem};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    label: String,
+    states: usize,
+    transitions: usize,
+    points: usize,
+    avg_iterations: usize,
+    legacy_ms: f64,
+    workspace_ms: f64,
+    speedup: f64,
+    legacy_alloc_bytes_per_point: usize,
+    workspace_alloc_bytes_per_point: usize,
+    rebuilds_avoided: u64,
+    pooled_lst_evaluations: u64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_system(label: &str, system: &VotingSystem, points: usize, threads: usize) -> Row {
+    let smp = system.smp();
+    let source = system.initial_state();
+    let targets = system.states_with_voted_at_least(system.config().voters);
+    assert!(!targets.is_empty(), "no target states for {label}");
+
+    // Centre the probed Euler s-points on the passage's own time scale.
+    let analysis = PassageTimeAnalysis::new(smp, &[source], &targets).expect("analysis");
+    let mean = analysis.mean_from_transform(1e-6).expect("mean");
+    let t_points = grid_around_mean(mean, 0.3, 2.0, 8.max(points / 4));
+    let plan = SPointPlan::new(InversionMethod::euler(), &t_points);
+    let probe: Vec<_> = plan.s_points().iter().copied().take(points).collect();
+
+    let solver = PassageTimeSolver::new(smp, &[source], &targets)
+        .expect("solver")
+        .with_intra_point_threads(threads);
+
+    // Warm both paths once (skeleton build, caches).
+    let mut ws = solver.checkout_workspace();
+    solver.transform_at_with(&mut ws, probe[0]).expect("warmup");
+    let _ = solver.transform_at_legacy(probe[0]).expect("warmup");
+
+    let mut legacy_samples = Vec::with_capacity(probe.len());
+    let mut workspace_samples = Vec::with_capacity(probe.len());
+    let mut iterations = 0usize;
+    for &s in &probe {
+        let t0 = Instant::now();
+        let legacy = solver.transform_at_legacy(s).expect("legacy eval");
+        legacy_samples.push(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let fast = solver
+            .transform_at_with(&mut ws, s)
+            .expect("workspace eval");
+        workspace_samples.push(t1.elapsed().as_secs_f64());
+
+        // The acceptance gate: bitwise identity on every measured point.
+        assert_eq!(
+            legacy.value, fast.value,
+            "BITWISE MISMATCH at s = {s} on {label}"
+        );
+        assert_eq!(
+            legacy.iterations, fast.iterations,
+            "iteration-count mismatch at s = {s} on {label}"
+        );
+        iterations += fast.iterations;
+    }
+    solver.give_back(ws);
+
+    // Allocation proxy: what the legacy path allocates and frees per point —
+    // the U triplets (24 B per raw entry), the (U, U') CSR pair, the complex
+    // α vector and three n-length iteration vectors — versus the workspace
+    // path, which allocates nothing after its one-time construction.
+    let n = smp.num_states();
+    let nnz = smp.num_transitions();
+    let csr_bytes = (n + 1) * 8 + nnz * (4 + 16);
+    let legacy_alloc = nnz * 24 + 2 * csr_bytes + 4 * n * 16;
+
+    let stats = solver.hotpath_stats();
+    Row {
+        label: label.to_string(),
+        states: n,
+        transitions: nnz,
+        points: probe.len(),
+        avg_iterations: iterations / probe.len(),
+        legacy_ms: 1e3 * median(&mut legacy_samples),
+        workspace_ms: 1e3 * median(&mut workspace_samples),
+        speedup: median(&mut legacy_samples) / median(&mut workspace_samples),
+        legacy_alloc_bytes_per_point: legacy_alloc,
+        workspace_alloc_bytes_per_point: 0,
+        rebuilds_avoided: stats.matrix_rebuilds_avoided,
+        pooled_lst_evaluations: stats.pooled_lst_evaluations,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick") || args.flag("check-only");
+    let full = args.flag("full");
+    let points = args.value_or(
+        "points",
+        if args.flag("check-only") {
+            6
+        } else if quick {
+            8
+        } else {
+            12
+        },
+    );
+    let threads = args.value_or("threads", 1usize);
+
+    let mut systems: Vec<(String, VotingSystem)> = Vec::new();
+    let chosen = args.value_or("system", -1i64);
+    if chosen >= 0 {
+        let system = build_paper_system(chosen as u32);
+        systems.push((format!("voting-system-{chosen}"), system));
+    } else {
+        systems.push((
+            "voting-scaled-8,3,2".to_string(),
+            VotingSystem::build(VotingConfig::new(8, 3, 2)).expect("scaled build"),
+        ));
+        systems.push(("voting-system-0".to_string(), build_paper_system(0)));
+        if full {
+            systems.push(("voting-system-1".to_string(), build_paper_system(1)));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (label, system) in &systems {
+        eprintln!("# benchmarking {label} ({} states)…", system.num_states());
+        let row = bench_system(label, system, points, threads);
+        eprintln!(
+            "#   legacy {:.3} ms/point, workspace {:.3} ms/point → {:.2}x (r̄ = {}, bitwise ok)",
+            row.legacy_ms, row.workspace_ms, row.speedup, row.avg_iterations
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"hotpath\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"symbolic/numeric split vs legacy build-per-point, per s-point\","
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"bitwise_identical\": true,");
+    let _ = writeln!(json, "  \"systems\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"states\": {}, \"transitions\": {}, \
+\"s_points\": {}, \"avg_iterations\": {}, \"legacy_ms_per_point\": {:.4}, \
+\"workspace_ms_per_point\": {:.4}, \"speedup\": {:.3}, \
+\"legacy_alloc_bytes_per_point\": {}, \"workspace_alloc_bytes_per_point\": {}, \
+\"matrix_rebuilds_avoided\": {}, \"pooled_lst_evaluations\": {}}}{comma}",
+            row.label,
+            row.states,
+            row.transitions,
+            row.points,
+            row.avg_iterations,
+            row.legacy_ms,
+            row.workspace_ms,
+            row.speedup,
+            row.legacy_alloc_bytes_per_point,
+            row.workspace_alloc_bytes_per_point,
+            row.rebuilds_avoided,
+            row.pooled_lst_evaluations,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    print!("{json}");
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    eprintln!("wrote BENCH_hotpath.json");
+}

@@ -680,6 +680,25 @@ fn render_summary(
         "evaluations: {evaluations} new, {cache_hits} from checkpoint/cache, \
 {shared_hits} shared between measures",
     );
+    // The symbolic/numeric split's savings: each avoided rebuild is one
+    // s-point that refilled a prebuilt CSR skeleton instead of constructing
+    // the (U, U') pair, and LST evaluations are counted per *distinct*
+    // pooled distribution, not per transition.
+    let rebuilds_avoided: u64 = reports
+        .iter()
+        .map(|r| r.provenance.matrix_rebuilds_avoided)
+        .sum();
+    let pooled_lsts: u64 = reports
+        .iter()
+        .map(|r| r.provenance.pooled_lst_evaluations)
+        .sum();
+    if rebuilds_avoided > 0 || pooled_lsts > 0 {
+        let _ = writeln!(
+            out,
+            "hot path: {rebuilds_avoided} matrix rebuild(s) avoided, \
+{pooled_lsts} pooled LST evaluation(s)",
+        );
+    }
     for report in reports {
         let _ = writeln!(
             out,

@@ -23,7 +23,18 @@ pub struct EmbeddedChain {
 
 impl EmbeddedChain {
     /// Solves `π P = π` for the embedded chain of the process.
+    ///
+    /// Memoized per process: the first call over a given
+    /// [`SemiMarkovProcess`] runs the solver, later calls (from any solver or
+    /// clone of the process) reuse the shared result — see
+    /// [`SemiMarkovProcess::embedded_chain`], which returns the cached value
+    /// without cloning the stationary vector.
     pub fn solve(smp: &SemiMarkovProcess) -> Result<Self, SmpError> {
+        Ok((*smp.embedded_chain()?).clone())
+    }
+
+    /// Solves `π P = π` without consulting or filling the per-process cache.
+    pub(crate) fn solve_uncached(smp: &SemiMarkovProcess) -> Result<Self, SmpError> {
         Self::solve_with(smp, &SteadyStateOptions::default())
     }
 

@@ -18,6 +18,11 @@
 //!   accumulator, converging to `L_ij(s)` without ever factorising a matrix, plus a
 //!   dense Gaussian-elimination reference solver (the `O(N³)` baseline the paper
 //!   compares against).
+//! * [`workspace`] — the symbolic/numeric split behind the per-`s`-point hot
+//!   path: build the CSR skeleton of `U` and its fill plan once per
+//!   (model, target set), refill a reusable values buffer per point, apply
+//!   `U'` as a row mask — bitwise identical to the legacy build-per-point
+//!   path at a fraction of the cost.
 //! * [`transient`] — transient state distributions from passage-time transforms via
 //!   Pyke's relations (Eqs. 6–7).
 //! * [`steady`] — SMP steady-state probabilities (embedded-chain stationary vector
@@ -64,6 +69,7 @@ pub mod smp;
 pub mod solver;
 pub mod steady;
 pub mod transient;
+pub mod workspace;
 
 pub use error::SmpError;
 pub use passage::{IterationOptions, PassageTimeSolver};
@@ -73,3 +79,4 @@ pub use query::{
 };
 pub use smp::{SemiMarkovProcess, SmpBuilder, StateSet};
 pub use solver::{PassageTimeAnalysis, TransientAnalysis};
+pub use workspace::{HotPathStats, PassageSkeleton, PassageWorkspace, WorkspacePool};

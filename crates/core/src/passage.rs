@@ -22,12 +22,13 @@
 //! [`dense_reference_solve`], which this module also provides as the validation
 //! baseline.
 
-use crate::embedded::EmbeddedChain;
 use crate::error::SmpError;
 use crate::smp::{SemiMarkovProcess, StateSet};
+use crate::workspace::{HotPathStats, PassageWorkspace, WorkspacePool};
 use smp_distributions::LaplaceTransform;
 use smp_numeric::Complex64;
 use smp_sparse::CsrMatrix;
+use std::sync::Arc;
 
 /// Convergence controls for the iterative sum (Eq. 11).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +65,16 @@ pub struct PassagePoint {
 
 /// Evaluates passage-time transforms for one (source set, target set) pair of a
 /// semi-Markov process.
+///
+/// Construction runs the one-time *symbolic* phase: the CSR skeleton of `U`
+/// and its per-nonzero fill plan (see [`crate::workspace`]), the complex
+/// α-vector, and the target-index list of the `· ẽ` inner products.  Each
+/// [`PassageTimeSolver::transform_at`] call then performs only the *numeric*
+/// phase — evaluate each pooled LST once, refill a reusable values buffer,
+/// iterate — through a checked-out [`PassageWorkspace`], so a batch of
+/// `s`-points allocates nothing after the first.  Results are bitwise
+/// identical to the legacy build-per-point path
+/// ([`PassageTimeSolver::transform_at_legacy`]).
 #[derive(Debug, Clone)]
 pub struct PassageTimeSolver<'a> {
     smp: &'a SemiMarkovProcess,
@@ -71,6 +82,14 @@ pub struct PassageTimeSolver<'a> {
     targets: StateSet,
     alpha: Vec<f64>,
     options: IterationOptions,
+    /// `α` lifted to ℂ once (the legacy path re-materialised it per point).
+    alpha_c: Vec<Complex64>,
+    /// Shared symbolic skeleton + reusable numeric workspaces.
+    pool: Arc<WorkspacePool>,
+    /// Intra-point parallelism (threads for the masked products); 1 =
+    /// sequential and bitwise reproducible — see
+    /// [`PassageTimeSolver::with_intra_point_threads`].
+    intra_threads: usize,
 }
 
 impl<'a> PassageTimeSolver<'a> {
@@ -108,15 +127,35 @@ impl<'a> PassageTimeSolver<'a> {
             a[sources.indices()[0]] = 1.0;
             a
         } else {
-            EmbeddedChain::solve(smp)?.alpha_weights(&sources)?
+            // Memoized per process: a batch of solvers over one model runs
+            // the embedded steady-state solve exactly once.
+            smp.embedded_chain()?.alpha_weights(&sources)?
         };
-        Ok(PassageTimeSolver {
+        Ok(Self::assemble(smp, sources, targets, alpha, options))
+    }
+
+    /// Shared tail of the constructors: precomputes the complex α-vector and
+    /// the symbolic skeleton (the one-time phase of the symbolic/numeric
+    /// split).
+    fn assemble(
+        smp: &'a SemiMarkovProcess,
+        sources: StateSet,
+        targets: StateSet,
+        alpha: Vec<f64>,
+        options: IterationOptions,
+    ) -> Self {
+        let alpha_c: Vec<Complex64> = alpha.iter().map(|&a| Complex64::real(a)).collect();
+        let pool = Arc::new(WorkspacePool::build(smp, &targets));
+        PassageTimeSolver {
             smp,
             sources,
             targets,
             alpha,
             options,
-        })
+            alpha_c,
+            pool,
+            intra_threads: 1,
+        }
     }
 
     /// Creates a solver with caller-supplied α-weights (must be a full-length vector
@@ -150,13 +189,27 @@ impl<'a> PassageTimeSolver<'a> {
             return Err(SmpError::EmptyStateSet { which: "source" });
         }
         let sources = StateSet::new(n, &source_indices)?;
-        Ok(PassageTimeSolver {
-            smp,
-            sources,
-            targets,
-            alpha,
-            options,
-        })
+        Ok(Self::assemble(smp, sources, targets, alpha, options))
+    }
+
+    /// Opts in to intra-point parallelism: the dense-phase `x·U'` products of
+    /// the iteration are split over `threads` threads through the skeleton's
+    /// column-blocked layout.
+    ///
+    /// The paper parallelises across independent `s`-points first; this is
+    /// the second-level split for very large state spaces.  Every output
+    /// column is accumulated by exactly one thread in the same ascending
+    /// source-row order as the sequential scatter, so results stay **bitwise
+    /// identical for every thread count** — including the legacy
+    /// build-per-point path.
+    ///
+    /// Each dense-phase step currently spawns its scoped threads afresh
+    /// (tens of microseconds per step), so the split only pays off when a
+    /// single step's scatter work dominates that overhead — roughly
+    /// `num_states ≫ 10⁵`.  Leave it at 1 for smaller models.
+    pub fn with_intra_point_threads(mut self, threads: usize) -> Self {
+        self.intra_threads = threads.max(1);
+        self
     }
 
     /// The source state set.
@@ -197,11 +250,120 @@ impl<'a> PassageTimeSolver<'a> {
         }
     }
 
+    /// A workspace built over another solver's skeleton would silently
+    /// compute against the wrong target set; the pointer comparison is free
+    /// next to a transform evaluation, so this guards release builds too.
+    fn check_workspace(&self, ws: &PassageWorkspace) {
+        assert!(
+            Arc::ptr_eq(ws.skeleton_arc(), self.pool.skeleton()),
+            "workspace belongs to a different solver (checkout_workspace \
+             and transform_at_with must use the same solver)"
+        );
+    }
+
+    /// Checks a reusable workspace out of this solver's pool.  Pair with
+    /// [`PassageTimeSolver::give_back`] around a batch of
+    /// [`PassageTimeSolver::transform_at_with`] calls to evaluate a whole
+    /// chunk of `s`-points through one workspace explicitly (the convenience
+    /// wrappers do this per call, which costs one pool lock round-trip).
+    pub fn checkout_workspace(&self) -> PassageWorkspace {
+        self.pool.checkout()
+    }
+
+    /// Returns a workspace to the pool, folding its counters into
+    /// [`PassageTimeSolver::hotpath_stats`].
+    pub fn give_back(&self, workspace: PassageWorkspace) {
+        self.pool.give_back(workspace);
+    }
+
+    /// Runs `f` with a workspace checked out of this solver's pool and
+    /// returns it afterwards — the scoped form of
+    /// [`PassageTimeSolver::checkout_workspace`] /
+    /// [`PassageTimeSolver::give_back`] that centralises the return-to-pool
+    /// discipline (early `?` returns inside `f` still give the workspace
+    /// back; a panic merely forfeits one pooled buffer).
+    pub fn with_workspace<R>(&self, f: impl FnOnce(&mut PassageWorkspace) -> R) -> R {
+        let mut ws = self.pool.checkout();
+        let result = f(&mut ws);
+        self.pool.give_back(ws);
+        result
+    }
+
+    /// Aggregate symbolic/numeric-split counters for this solver (matrix
+    /// rebuilds avoided, pooled LST evaluations) — surfaced through
+    /// `Provenance` in engine reports.
+    pub fn hotpath_stats(&self) -> HotPathStats {
+        self.pool.stats()
+    }
+
     /// Evaluates the α-weighted passage-time transform `L_{i→j}(s)` at one complex
     /// point by the iterative algorithm of Eq. (10).
     pub fn transform_at(&self, s: Complex64) -> Result<PassagePoint, SmpError> {
-        let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
-        self.iterate_row(&u, &u_prime, s)
+        self.with_workspace(|ws| self.transform_at_with(ws, s))
+    }
+
+    /// [`PassageTimeSolver::transform_at`] through an explicit, reusable
+    /// workspace: the numeric phase refills the workspace's `U` values in
+    /// place (one pooled LST evaluation per distinct distribution) and runs
+    /// the iteration in its scratch buffers — no matrix construction, no
+    /// sort, no allocation.
+    pub fn transform_at_with(
+        &self,
+        ws: &mut PassageWorkspace,
+        s: Complex64,
+    ) -> Result<PassagePoint, SmpError> {
+        self.check_workspace(ws);
+        if !ws.refill(self.smp, s) {
+            // A kernel entry evaluated to exact zero (an LST underflowing at
+            // extreme Re(s)·delay, or cancelling duplicates): the fixed
+            // skeleton cannot reproduce build_u's structural drop, so this
+            // point takes the legacy path — bitwise identity holds
+            // unconditionally.
+            return self.transform_at_legacy(s);
+        }
+        let sk = Arc::clone(ws.skeleton_arc());
+        // Accumulator initialised to αU (the leading U term of Eq. 9/10 ensures
+        // cycle times L_ii register correctly instead of collapsing to zero).
+        ws.u.vec_mul_into(&self.alpha_c, &mut ws.term);
+        ws.begin_point();
+        let mut total = sk.dot_e(&ws.term);
+        let mut quiet = 0usize;
+        let mut last_delta = f64::INFINITY;
+        for r in 1..=self.options.max_iterations {
+            self.masked_vec_mul_step(ws);
+            let delta = sk.dot_e(&ws.term);
+            total += delta;
+            last_delta = delta.re.abs().max(delta.im.abs());
+            // Also require the whole accumulator to have gone quiet: a passage
+            // whose shortest route to the target is long produces exact zero
+            // increments for the first few transitions even though mass is
+            // still in flight.  `term_is_quiet` reaches the same decision as
+            // the legacy full `max(norm)` fold, lazily.
+            if last_delta < self.options.epsilon && term_is_quiet(&ws.term, self.options.epsilon) {
+                quiet += 1;
+                if quiet >= self.options.consecutive {
+                    return Ok(PassagePoint {
+                        value: total,
+                        iterations: r,
+                    });
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        Err(SmpError::ConvergenceFailure {
+            s: (s.re, s.im),
+            iterations: self.options.max_iterations,
+            last_delta,
+        })
+    }
+
+    /// One `term ← term · U'` step through the workspace's sparsity-aware
+    /// kernels, split over the configured intra-point threads when the dense
+    /// phase is reached (bit-identical for every thread count — see
+    /// `PassageWorkspace::step_term_times_u_prime`).
+    fn masked_vec_mul_step(&self, ws: &mut PassageWorkspace) {
+        ws.step_term_times_u_prime(self.intra_threads);
     }
 
     /// Evaluates the full vector `L̃_j(s) = (L_{1j}(s), …, L_{Nj}(s))` at one complex
@@ -210,9 +372,138 @@ impl<'a> PassageTimeSolver<'a> {
     /// transient computation (Eq. 7) consumes, since it needs `L_{ik}(s)` together
     /// with the cycle-time transforms `L_{kk}(s)`.
     pub fn transform_vector_at(&self, s: Complex64) -> Result<Vec<Complex64>, SmpError> {
+        self.with_workspace(|ws| self.transform_vector_at_with(ws, s))
+    }
+
+    /// [`PassageTimeSolver::transform_vector_at`] through an explicit,
+    /// reusable workspace.
+    pub fn transform_vector_at_with(
+        &self,
+        ws: &mut PassageWorkspace,
+        s: Complex64,
+    ) -> Result<Vec<Complex64>, SmpError> {
+        self.check_workspace(ws);
+        if !ws.refill(self.smp, s) {
+            // See transform_at_with: exact-zero kernel entries take the
+            // legacy path so results stay bitwise identical.
+            return self.transform_vector_at_legacy(s);
+        }
+        let sk = Arc::clone(ws.skeleton_arc());
+        let mask = sk.target_mask();
+        // v_r = U'^r ẽ ;   acc = Σ_{r=0}^{R-1} v_r ;   L̃ = U · acc
+        // (v lives in ws.term, U'·v in ws.scratch.)
+        for (k, slot) in ws.term.iter_mut().enumerate() {
+            *slot = if self.targets.contains(k) {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
+        }
+        ws.acc.copy_from_slice(&ws.term);
+        let mut quiet = 0usize;
+        let mut iterations = 0usize;
+        while iterations < self.options.max_iterations {
+            iterations += 1;
+            ws.u.mul_vec_into_masked(&ws.term, &mut ws.scratch, mask);
+            std::mem::swap(&mut ws.term, &mut ws.scratch);
+            let mut max_delta = 0.0f64;
+            for (a, d) in ws.acc.iter_mut().zip(&ws.term) {
+                *a += *d;
+                max_delta = max_delta.max(d.re.abs()).max(d.im.abs());
+            }
+            if max_delta < self.options.epsilon {
+                quiet += 1;
+                if quiet >= self.options.consecutive {
+                    return Ok(ws.u.mul_vec(&ws.acc));
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        Err(SmpError::ConvergenceFailure {
+            s: (s.re, s.im),
+            iterations,
+            last_delta: ws.term.iter().map(|c| c.norm()).fold(0.0, f64::max),
+        })
+    }
+
+    /// Evaluates the truncated `r`-transition transform `L^{(r)}_{i→j}(s)` exactly —
+    /// no convergence test, precisely `r` terms of the sum.  Used to study the
+    /// convergence behaviour of the iteration (the paper's stated future work) and
+    /// by the ablation benchmarks.
+    pub fn r_transition_transform(&self, s: Complex64, r: usize) -> Complex64 {
+        if r == 0 {
+            return Complex64::ZERO;
+        }
+        let mut ws = self.pool.checkout();
+        if !ws.refill(self.smp, s) {
+            // See transform_at_with: exact-zero kernel entries take the
+            // legacy path so results stay bitwise identical.
+            self.pool.give_back(ws);
+            return self.r_transition_transform_legacy(s, r);
+        }
+        let sk = Arc::clone(ws.skeleton_arc());
+        ws.u.vec_mul_into(&self.alpha_c, &mut ws.term);
+        ws.begin_point();
+        let mut total = sk.dot_e(&ws.term);
+        for _ in 1..r {
+            self.masked_vec_mul_step(&mut ws);
+            total += sk.dot_e(&ws.term);
+        }
+        self.pool.give_back(ws);
+        total
+    }
+
+    /// The legacy build-per-point form of the truncated transform (the
+    /// exact-zero fallback of [`PassageTimeSolver::r_transition_transform`]).
+    fn r_transition_transform_legacy(&self, s: Complex64, r: usize) -> Complex64 {
+        let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
+        let alpha_c: Vec<Complex64> = self.alpha.iter().map(|&a| Complex64::real(a)).collect();
+        let e_mask = self.targets.mask();
+        let dot_e = |vec: &[Complex64]| -> Complex64 {
+            vec.iter()
+                .zip(e_mask)
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| *v)
+                .sum()
+        };
+        if r == 0 {
+            return Complex64::ZERO;
+        }
+        let mut term = u.vec_mul(&alpha_c);
+        let mut total = dot_e(&term);
+        let mut scratch = vec![Complex64::ZERO; term.len()];
+        for _ in 1..r {
+            u_prime.vec_mul_into(&term, &mut scratch);
+            std::mem::swap(&mut term, &mut scratch);
+            total += dot_e(&term);
+        }
+        total
+    }
+
+    // -----------------------------------------------------------------------
+    // Legacy build-per-point path — the validation baseline.
+    // -----------------------------------------------------------------------
+
+    /// The legacy per-point evaluation: materialises the `(U, U')` pair from
+    /// triplets at every call (`SemiMarkovProcess::build_u_pair`) and iterates
+    /// with freshly-allocated buffers.
+    ///
+    /// Kept as the validation baseline for the symbolic/numeric split: the
+    /// equivalence proptests and `bench_hotpath` assert that
+    /// [`PassageTimeSolver::transform_at`] reproduces this bitwise while
+    /// skipping all of the per-point construction.
+    pub fn transform_at_legacy(&self, s: Complex64) -> Result<PassagePoint, SmpError> {
+        let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
+        self.iterate_row_legacy(&u, &u_prime, s)
+    }
+
+    /// The legacy build-per-point form of
+    /// [`PassageTimeSolver::transform_vector_at`] (see
+    /// [`PassageTimeSolver::transform_at_legacy`]).
+    pub fn transform_vector_at_legacy(&self, s: Complex64) -> Result<Vec<Complex64>, SmpError> {
         let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
         let n = self.smp.num_states();
-        // v_r = U'^r ẽ ;   acc = Σ_{r=0}^{R-1} v_r ;   L̃ = U · acc
         let mut v: Vec<Complex64> = (0..n)
             .map(|k| {
                 if self.targets.contains(k) {
@@ -251,45 +542,13 @@ impl<'a> PassageTimeSolver<'a> {
         })
     }
 
-    /// Evaluates the truncated `r`-transition transform `L^{(r)}_{i→j}(s)` exactly —
-    /// no convergence test, precisely `r` terms of the sum.  Used to study the
-    /// convergence behaviour of the iteration (the paper's stated future work) and
-    /// by the ablation benchmarks.
-    pub fn r_transition_transform(&self, s: Complex64, r: usize) -> Complex64 {
-        let (u, u_prime) = self.smp.build_u_pair(s, &self.targets);
-        let alpha_c: Vec<Complex64> = self.alpha.iter().map(|&a| Complex64::real(a)).collect();
-        let alpha_u = u.vec_mul(&alpha_c);
-        let e_mask = self.targets.mask();
-        let dot_e = |vec: &[Complex64]| -> Complex64 {
-            vec.iter()
-                .zip(e_mask)
-                .filter(|(_, &m)| m)
-                .map(|(v, _)| *v)
-                .sum()
-        };
-        if r == 0 {
-            return Complex64::ZERO;
-        }
-        let mut term = alpha_u.clone();
-        let mut total = dot_e(&term);
-        let mut scratch = vec![Complex64::ZERO; term.len()];
-        for _ in 1..r {
-            u_prime.vec_mul_into(&term, &mut scratch);
-            std::mem::swap(&mut term, &mut scratch);
-            total += dot_e(&term);
-        }
-        total
-    }
-
-    fn iterate_row(
+    fn iterate_row_legacy(
         &self,
         u: &CsrMatrix<Complex64>,
         u_prime: &CsrMatrix<Complex64>,
         s: Complex64,
     ) -> Result<PassagePoint, SmpError> {
         let alpha_c: Vec<Complex64> = self.alpha.iter().map(|&a| Complex64::real(a)).collect();
-        // Accumulator initialised to αU (the leading U term of Eq. 9/10 ensures cycle
-        // times L_ii register correctly instead of collapsing to zero).
         let mut term = u.vec_mul(&alpha_c);
         let e_mask = self.targets.mask();
         let dot_e = |vec: &[Complex64]| -> Complex64 {
@@ -309,9 +568,6 @@ impl<'a> PassageTimeSolver<'a> {
             let delta = dot_e(&term);
             total += delta;
             last_delta = delta.re.abs().max(delta.im.abs());
-            // Also require the whole accumulator to have gone quiet: a passage whose
-            // shortest route to the target is long produces exact zero increments for
-            // the first few transitions even though mass is still in flight.
             let term_mass: f64 = term.iter().map(|c| c.norm()).fold(0.0, f64::max);
             if last_delta < self.options.epsilon && term_mass < self.options.epsilon {
                 quiet += 1;
@@ -331,6 +587,49 @@ impl<'a> PassageTimeSolver<'a> {
             last_delta,
         })
     }
+}
+
+/// Exactly the legacy quiet test `max_i |term_i| < ε` (the fold of `hypot`
+/// norms compared against ε), decided lazily: `hypot(a, b) ≥ max(|a|, |b|)`
+/// holds in floating point, so any component at or above ε settles the answer
+/// without computing the norm — and this runs at all only on iterations whose
+/// increment already went quiet (the `&&` above short-circuits), instead of
+/// `N` square roots on *every* transition.
+///
+/// NaN components mirror the legacy `f64::max` fold, which ignores NaN: a NaN
+/// norm contributes nothing, while an infinite component (whose norm is +∞
+/// even when the other component is NaN) is loud.
+fn term_is_quiet(term: &[Complex64], epsilon: f64) -> bool {
+    if !(epsilon > 0.0) {
+        // The legacy fold starts at 0.0, so its mass is never below a
+        // non-positive (or NaN) ε.
+        return false;
+    }
+    let half = epsilon * 0.5;
+    for c in term {
+        let a = c.re.abs();
+        let b = c.im.abs();
+        // Provably quiet without the hypot: both components below ε/2 bound
+        // the true norm by √2·ε/2 ≈ 0.707·ε, and correct rounding cannot
+        // carry that across ε.  Near convergence this covers almost every
+        // element.
+        if a < half && b < half {
+            continue;
+        }
+        if a.is_nan() || b.is_nan() {
+            if a == f64::INFINITY || b == f64::INFINITY {
+                return false;
+            }
+            continue;
+        }
+        if a >= epsilon || b >= epsilon {
+            return false;
+        }
+        if a.hypot(b) >= epsilon {
+            return false;
+        }
+    }
+    true
 }
 
 impl LaplaceTransform for PassageTimeSolver<'_> {

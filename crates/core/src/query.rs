@@ -424,6 +424,16 @@ pub struct Provenance {
     /// Transform evaluations (analytic/distributed) or simulation
     /// replications (simulation) spent on this measure.
     pub evaluations: usize,
+    /// Kernel-matrix constructions the symbolic/numeric split avoided: one
+    /// per `s`-point served by refilling a prebuilt CSR skeleton instead of
+    /// rebuilding the `(U, U')` pair (see `smp_core::workspace`).  Zero for
+    /// engines that never ran a local evaluator (e.g. TCP workers count on
+    /// their side of the wire).
+    pub matrix_rebuilds_avoided: u64,
+    /// Pooled Laplace–Stieltjes transform evaluations spent: one per
+    /// *distinct* holding-time distribution per `s`-point, never one per
+    /// transition.
+    pub pooled_lst_evaluations: u64,
     /// Evaluation-grid points satisfied from a warm cache or checkpoint.
     pub cache_hits: usize,
     /// Evaluation-grid points shared with other measures of the same solve.
@@ -447,6 +457,8 @@ impl Provenance {
             messages: 0,
             bytes_on_wire: 0,
             evaluations: 0,
+            matrix_rebuilds_avoided: 0,
+            pooled_lst_evaluations: 0,
             cache_hits: 0,
             shared_hits: 0,
             wall: Duration::ZERO,

@@ -12,10 +12,12 @@
 //! * `U'` equal to `U` with the rows of target states zeroed (targets made
 //!   absorbing).
 
+use crate::embedded::EmbeddedChain;
 use crate::error::SmpError;
 use smp_distributions::Dist;
 use smp_numeric::Complex64;
 use smp_sparse::{CsrMatrix, TripletMatrix};
+use std::sync::Arc;
 
 /// Identifier of a distribution in the de-duplicated pool.
 pub type DistId = u32;
@@ -102,12 +104,26 @@ impl StateSet {
 }
 
 /// A finite, time-homogeneous semi-Markov process.
+///
+/// Cloning is cheap on the solver state: the memoized embedded-chain solve
+/// (see [`SemiMarkovProcess::embedded_chain`]) is shared between clones, so a
+/// clone of an already-analysed process never re-runs the steady-state solver.
 #[derive(Debug, Clone)]
 pub struct SemiMarkovProcess {
     num_states: usize,
     transitions: Vec<Vec<Transition>>,
     dist_pool: Vec<Dist>,
     num_transitions: usize,
+    /// Lazily-memoized stationary solve of the embedded DTMC: every
+    /// `PassageTimeSolver`/`TransientSolver` built over this process for a
+    /// multiple-source measure needs the same α-weight solve, so a
+    /// multi-measure batch pays for it exactly once.
+    embedded_cache: Arc<parking_lot::Mutex<Option<Arc<EmbeddedChain>>>>,
+    /// Lazily-memoized target-independent CSR structure + fill plan of `U(s)`
+    /// (see `crate::workspace::UStructure`): shared by every passage skeleton
+    /// built over this process, so a solver per target state (the transient
+    /// computation) pays the `O(nnz log)` compression once.
+    structure_cache: Arc<parking_lot::Mutex<Option<Arc<crate::workspace::UStructure>>>>,
 }
 
 impl SemiMarkovProcess {
@@ -134,6 +150,33 @@ impl SemiMarkovProcess {
     /// Looks up a pooled distribution.
     pub fn distribution(&self, id: DistId) -> &Dist {
         &self.dist_pool[id as usize]
+    }
+
+    /// The memoized stationary solve of the embedded DTMC (default solver
+    /// options).  The first call runs the Gauss–Seidel solver; every later
+    /// call — from any solver or clone of this process — returns the shared
+    /// result.  Use [`EmbeddedChain::solve_with`] directly for non-default
+    /// solver options (those results are not cached).
+    pub fn embedded_chain(&self) -> Result<Arc<EmbeddedChain>, SmpError> {
+        let mut cache = self.embedded_cache.lock();
+        if let Some(chain) = cache.as_ref() {
+            return Ok(Arc::clone(chain));
+        }
+        let chain = Arc::new(EmbeddedChain::solve_uncached(self)?);
+        *cache = Some(Arc::clone(&chain));
+        Ok(chain)
+    }
+
+    /// The memoized target-independent `U(s)` structure + fill plan shared by
+    /// every passage skeleton over this process.
+    pub(crate) fn u_structure(&self) -> Arc<crate::workspace::UStructure> {
+        let mut cache = self.structure_cache.lock();
+        if let Some(structure) = cache.as_ref() {
+            return Arc::clone(structure);
+        }
+        let structure = Arc::new(crate::workspace::UStructure::build(self));
+        *cache = Some(Arc::clone(&structure));
+        structure
     }
 
     /// The embedded discrete-time Markov chain `P = [p_ij]`.
@@ -322,6 +365,8 @@ impl SmpBuilder {
             transitions,
             dist_pool: self.dist_pool,
             num_transitions,
+            embedded_cache: Arc::new(parking_lot::Mutex::new(None)),
+            structure_cache: Arc::new(parking_lot::Mutex::new(None)),
         })
     }
 }

@@ -96,13 +96,17 @@ impl<'a> PassageTimeAnalysis<'a> {
 
     /// Evaluates the passage-time transform at every point of a plan, returning the
     /// filled value cache (this is the sequential analogue of the distributed
-    /// pipeline's work queue).
+    /// pipeline's work queue).  One workspace is checked out for the whole
+    /// plan, so the symbolic phase and all scratch buffers are shared across
+    /// every `s`-point.
     pub fn compute_transform_values(&self, plan: &SPointPlan) -> Result<TransformValues, SmpError> {
-        let mut values = TransformValues::new();
-        for &s in plan.s_points() {
-            values.insert(s, self.solver.transform_at(s)?.value);
-        }
-        Ok(values)
+        self.solver.with_workspace(|ws| {
+            let mut values = TransformValues::new();
+            for &s in plan.s_points() {
+                values.insert(s, self.solver.transform_at_with(ws, s)?.value);
+            }
+            Ok(values)
+        })
     }
 
     /// The passage-time *density* `f(t)` on the given time grid.
@@ -116,10 +120,13 @@ impl<'a> PassageTimeAnalysis<'a> {
     /// obtained by inverting `L(s)/s` (Fig. 5 of the paper).
     pub fn cdf(&self, method: InversionMethod, t_points: &[f64]) -> Result<CdfCurve, SmpError> {
         let plan = SPointPlan::new(method, t_points);
-        let mut values = TransformValues::new();
-        for &s in plan.s_points() {
-            values.insert(s, self.solver.transform_at(s)?.value / s);
-        }
+        let values = self.solver.with_workspace(|ws| {
+            let mut values = TransformValues::new();
+            for &s in plan.s_points() {
+                values.insert(s, self.solver.transform_at_with(ws, s)?.value / s);
+            }
+            Ok::<TransformValues, SmpError>(values)
+        })?;
         Ok(CdfCurve::from_samples(
             t_points.to_vec(),
             plan.invert(&values),

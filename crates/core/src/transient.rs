@@ -26,7 +26,19 @@ use crate::smp::{SemiMarkovProcess, StateSet};
 use smp_distributions::LaplaceTransform;
 use smp_numeric::Complex64;
 
+/// Largest target-set size whose per-target cycle solvers are pre-built and
+/// kept for the solver's lifetime (amortising their symbolic skeletons across
+/// every `s`-point); larger sets build them per evaluation to bound memory.
+const CYCLE_PREBUILD_LIMIT: usize = 32;
+
 /// Evaluates transient state-distribution transforms `T*_{i→j}(s)`.
+///
+/// For target sets up to `CYCLE_PREBUILD_LIMIT` (32) states, construction
+/// pre-builds one cycle solver per target state `k` (the `L_·k(s)` column
+/// solves of Eq. 7) so their symbolic skeletons — and the reusable numeric
+/// workspaces behind them — are amortised across every `s`-point this solver
+/// evaluates, instead of being rebuilt per point as the legacy path did.
+/// Larger sets rebuild per evaluation to keep at most one skeleton alive.
 #[derive(Debug, Clone)]
 pub struct TransientSolver<'a> {
     smp: &'a SemiMarkovProcess,
@@ -36,6 +48,10 @@ pub struct TransientSolver<'a> {
     sources: StateSet,
     targets: StateSet,
     options: IterationOptions,
+    /// One vector-valued passage solver per target state `k`, in
+    /// `targets.indices()` order; each yields the column `L_·k(s)` including
+    /// the cycle time `L_kk(s)`.
+    cycle_solvers: Vec<PassageTimeSolver<'a>>,
 }
 
 impl<'a> TransientSolver<'a> {
@@ -71,7 +87,24 @@ impl<'a> TransientSolver<'a> {
             a[source_set.indices()[0]] = 1.0;
             a
         } else {
-            crate::embedded::EmbeddedChain::solve(smp)?.alpha_weights(&source_set)?
+            // Memoized per process (`SemiMarkovProcess::embedded_chain`).
+            smp.embedded_chain()?.alpha_weights(&source_set)?
+        };
+        // Pre-build the per-target cycle solvers only for reasonably small
+        // target sets: each one holds a symbolic skeleton (O(nnz) indices),
+        // and a predicate matching thousands of markings would otherwise pin
+        // |targets| skeletons in memory at once where the legacy path peaked
+        // at a single transient build.  Above the cap, cycle solvers are
+        // built per evaluation (still benefiting from the memoized embedded
+        // chain and the workspace-backed iteration).
+        let cycle_solvers = if target_set.len() <= CYCLE_PREBUILD_LIMIT {
+            target_set
+                .indices()
+                .iter()
+                .map(|&k| PassageTimeSolver::with_options(smp, &[k], &[k], options))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
         };
         Ok(TransientSolver {
             smp,
@@ -79,6 +112,7 @@ impl<'a> TransientSolver<'a> {
             sources: source_set,
             targets: target_set,
             options,
+            cycle_solvers,
         })
     }
 
@@ -90,6 +124,23 @@ impl<'a> TransientSolver<'a> {
     /// The source state set.
     pub fn sources(&self) -> &StateSet {
         &self.sources
+    }
+
+    /// The convergence options in use (shared by every per-target cycle
+    /// solver).
+    pub fn options(&self) -> &IterationOptions {
+        &self.options
+    }
+
+    /// Aggregate symbolic/numeric-split counters over the *pre-built*
+    /// per-target cycle solvers (see `PassageTimeSolver::hotpath_stats`);
+    /// empty — all zeros — for target sets above `CYCLE_PREBUILD_LIMIT` (32),
+    /// whose solvers are transient by design.
+    pub fn hotpath_stats(&self) -> crate::workspace::HotPathStats {
+        self.cycle_solvers
+            .iter()
+            .map(|s| s.hotpath_stats())
+            .fold(Default::default(), |acc, s| acc.merged(s))
     }
 
     /// The closure form of this solver consumed by the distributed pipeline's
@@ -109,10 +160,16 @@ impl<'a> TransientSolver<'a> {
         let mut lambda = vec![Complex64::ZERO; self.targets.len()];
         let mut l_columns: Vec<Vec<Complex64>> = Vec::with_capacity(self.targets.len());
         for (idx, &k) in self.targets.indices().iter().enumerate() {
-            let cycle_solver = PassageTimeSolver::with_options(self.smp, &[k], &[k], self.options)?;
             // The column solve for target {k} gives L_ik(s) for every i, including
-            // the cycle time L_kk(s) itself.
-            let column = cycle_solver.transform_vector_at(s)?;
+            // the cycle time L_kk(s) itself.  For small target sets the solver
+            // (and its workspace) was built once at construction and is reused
+            // for every s-point; above CYCLE_PREBUILD_LIMIT it is rebuilt per
+            // evaluation so only one skeleton is alive at a time.
+            let column = match self.cycle_solvers.get(idx) {
+                Some(solver) => solver.transform_vector_at(s)?,
+                None => PassageTimeSolver::with_options(self.smp, &[k], &[k], self.options)?
+                    .transform_vector_at(s)?,
+            };
             let l_kk = column[k];
             let h_k = self.smp.sojourn_lst(k, s);
             let denom = Complex64::ONE - l_kk;

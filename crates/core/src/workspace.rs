@@ -1,0 +1,923 @@
+//! Symbolic/numeric split for the per-`s`-point hot path.
+//!
+//! The paper's cost model (Section 4) is *number of transform evaluations ×
+//! cost per evaluation*, yet the kernel matrix `U(s)` of Eq. (9) has a fixed
+//! sparsity **structure** for a given model — only its numeric entries vary
+//! with the transform variable `s`.  This module factors the per-point work
+//! accordingly:
+//!
+//! * [`PassageSkeleton`] — the one-time *symbolic* phase per `(model, target
+//!   set)` pair: the sorted CSR skeleton (`indptr` / `col_indices`) of `U`
+//!   plus a per-nonzero fill plan of `(pool distribution id, probability)`
+//!   contributions, and the target-set bookkeeping the iteration needs
+//!   (membership mask, ascending index list).
+//! * [`PassageWorkspace`] — the reusable *numeric* state: a CSR matrix whose
+//!   values buffer is refilled in place per `s`-point (each pooled LST
+//!   evaluated exactly once), and the iteration scratch vectors, so a batch
+//!   of `s`-points allocates nothing after the first.
+//! * [`WorkspacePool`] — a shared checkout pool so several worker threads can
+//!   evaluate points of one measure concurrently, each amortising its own
+//!   workspace, with aggregate [`HotPathStats`] for provenance reports.
+//!
+//! `U'` (targets made absorbing, Eq. 9) is never materialised: the masked
+//! sparse kernels of `smp-sparse` (`vec_mul_into_masked` /
+//! `mul_vec_into_masked`) apply the target-row mask on the fly, which is
+//! bitwise identical to multiplying by `U.zero_rows(mask)`.
+//!
+//! ## Bitwise equivalence with the legacy path
+//!
+//! [`PassageWorkspace::refill`] reproduces `SemiMarkovProcess::build_u`
+//! exactly: the skeleton is built by running the *same* triplet compression
+//! (`TripletMatrix::to_csr`) with each entry's identity as the payload, so
+//! duplicate `(row, col)` contributions are summed in the same order the
+//! legacy path sums them, and every slot holds bit-for-bit the value the
+//! legacy construction would produce.  The one structural difference:
+//! `build_u` drops entries whose value is *exactly* zero at a particular `s`
+//! (possible when an LST underflows at extreme `Re(s)·delay`, e.g.
+//! `e^{-s·d}` past ~745), where the fixed skeleton keeps the slot.  `refill`
+//! detects this and returns `false`; the solvers then route that point
+//! through the legacy path, so results are bitwise identical
+//! **unconditionally**.
+
+use crate::smp::{DistId, SemiMarkovProcess, StateSet};
+use smp_numeric::Complex64;
+use smp_sparse::{CsrMatrix, Scalar, TripletMatrix};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate counters of the symbolic/numeric split, surfaced through
+/// `Provenance` so reports can show what the workspace saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Matrix constructions avoided: one per `s`-point served by refilling an
+    /// existing skeleton instead of building the `(U, U')` pair from triplets.
+    pub matrix_rebuilds_avoided: u64,
+    /// Pooled Laplace–Stieltjes transform evaluations performed (one per
+    /// *distinct* holding-time distribution per `s`-point — never one per
+    /// transition).
+    pub pooled_lst_evaluations: u64,
+    /// Symbolic skeleton builds (one per `(model, target set)` per workspace
+    /// actually created — bounded by the number of concurrent threads).
+    pub skeleton_builds: u64,
+}
+
+impl HotPathStats {
+    /// Element-wise sum of two stat snapshots.
+    pub fn merged(self, other: HotPathStats) -> HotPathStats {
+        HotPathStats {
+            matrix_rebuilds_avoided: self.matrix_rebuilds_avoided + other.matrix_rebuilds_avoided,
+            pooled_lst_evaluations: self.pooled_lst_evaluations + other.pooled_lst_evaluations,
+            skeleton_builds: self.skeleton_builds + other.skeleton_builds,
+        }
+    }
+
+    /// Element-wise difference against an earlier snapshot of the same
+    /// counters (saturating, so a reset pool cannot underflow).
+    pub fn since(self, earlier: HotPathStats) -> HotPathStats {
+        HotPathStats {
+            matrix_rebuilds_avoided: self
+                .matrix_rebuilds_avoided
+                .saturating_sub(earlier.matrix_rebuilds_avoided),
+            pooled_lst_evaluations: self
+                .pooled_lst_evaluations
+                .saturating_sub(earlier.pooled_lst_evaluations),
+            skeleton_builds: self.skeleton_builds.saturating_sub(earlier.skeleton_builds),
+        }
+    }
+}
+
+/// The target-independent half of the symbolic phase: the sorted CSR
+/// structure of `U` and its per-nonzero fill plan.  Every target set over one
+/// model shares it, so it is memoized per [`SemiMarkovProcess`]
+/// (`SemiMarkovProcess::u_structure`) and building a [`PassageSkeleton`] for
+/// another target set of an already-analysed process costs only `O(N)` for
+/// the target bookkeeping — which is what keeps `TransientSolver`'s
+/// one-cycle-solver-per-target construction (and its large-target-set
+/// per-point fallback) cheap.
+#[derive(Debug)]
+pub(crate) struct UStructure {
+    num_states: usize,
+    num_dists: usize,
+    indptr: Vec<u64>,
+    col_indices: Vec<u32>,
+    /// `slot_ptr[k] .. slot_ptr[k + 1]` indexes the contributions of CSR slot
+    /// `k` in `contrib_dist` / `contrib_prob`, in legacy summation order.
+    slot_ptr: Vec<u32>,
+    /// True when every slot has exactly one contribution (no duplicate
+    /// `(row, col)` transitions) — the common case, refilled by a plain zip.
+    uniform_slots: bool,
+    contrib_dist: Vec<DistId>,
+    contrib_prob: Vec<f64>,
+}
+
+/// The symbolic phase: everything about `U(s)` and the target set that does
+/// not depend on `s`, computed once per `(model, target set)` pair (the
+/// target-independent structure is shared across skeletons of one process).
+#[derive(Debug)]
+pub struct PassageSkeleton {
+    structure: Arc<UStructure>,
+    target_mask: Vec<bool>,
+    /// Target indices in ascending order — the order the legacy `dot_e`
+    /// mask-filter visits them in, so the inner products sum identically.
+    target_indices: Vec<usize>,
+    /// Column-blocked layout of the row-masked `U'` view for the
+    /// *bitwise-deterministic* parallel scatter — built lazily on the first
+    /// threaded step, since intra-point parallelism is opt-in and the layout
+    /// costs ~12 B per nonzero.
+    blocked: std::sync::OnceLock<BlockedLayout>,
+}
+
+/// The column-blocked `U'` layout of the deterministic parallel scatter (see
+/// [`PassageSkeleton`]): entries regrouped into fixed-width column blocks
+/// ([`COLUMN_BLOCK_WIDTH`]), each block holding row *segments* in ascending
+/// row order.  Every output column belongs to exactly one block and receives
+/// its contributions in ascending source row order — the same order as the
+/// sequential full-scan scatter — so the result is bit-identical for any
+/// thread count, including one.
+///
+/// `blk_seg_ptr[b] .. blk_seg_ptr[b+1]` are block `b`'s segments; segment `g`
+/// is row `seg_row[g]`, entries `seg_ptr[g] .. seg_ptr[g+1]` of `blk_cols` /
+/// the workspace's mirrored blocked values (`blk_from_u`).
+#[derive(Debug)]
+struct BlockedLayout {
+    blk_seg_ptr: Vec<u32>,
+    seg_row: Vec<u32>,
+    seg_ptr: Vec<u32>,
+    blk_cols: Vec<u32>,
+    blk_from_u: Vec<u32>,
+}
+
+impl UStructure {
+    /// Runs the same triplet compression as `SemiMarkovProcess::build_u`, with
+    /// each raw entry's index as the payload, so the resulting slot order and
+    /// per-slot contribution order match the legacy construction exactly.
+    pub(crate) fn build(smp: &SemiMarkovProcess) -> UStructure {
+        let n = smp.num_states();
+        // The raw entry stream of build_u, in push order.
+        let mut entry_dist = Vec::with_capacity(smp.num_transitions());
+        let mut entry_prob = Vec::with_capacity(smp.num_transitions());
+        let mut tracer = TripletMatrix::<Complex64>::with_capacity(n, n, smp.num_transitions());
+        for i in 0..n {
+            for tr in smp.transitions(i) {
+                // Payload: this entry's index, smuggled through the value bits
+                // so the compression applies the identical permutation it
+                // applies to the real values (same element type, same keys).
+                let index = entry_dist.len() as u64;
+                entry_dist.push(tr.dist);
+                entry_prob.push(tr.probability);
+                tracer.push(i, tr.target, Complex64::new(f64::from_bits(index), 1.0));
+            }
+        }
+        // The compression merges duplicate coordinates (summing the payloads,
+        // whose im = 1.0 keeps every merged value nonzero so no slot is
+        // dropped); only its *structure* is kept.
+        let traced = tracer.to_csr();
+
+        // Recover each slot's contribution order by replaying the sort on the
+        // raw stream: counting-sort by row (stable, matching to_csr), then
+        // the identical `sort_unstable_by_key` call on `(u32, Complex64)`
+        // pairs — same element type, same key sequence, same permutation.
+        let mut row_counts = vec![0usize; n + 1];
+        for i in 0..n {
+            row_counts[i + 1] = row_counts[i] + smp.transitions(i).len();
+        }
+        let mut slot_ptr: Vec<u32> = Vec::with_capacity(traced.nnz() + 1);
+        let mut contrib_dist: Vec<DistId> = Vec::with_capacity(entry_dist.len());
+        let mut contrib_prob: Vec<f64> = Vec::with_capacity(entry_prob.len());
+        slot_ptr.push(0);
+        let mut scratch: Vec<(u32, Complex64)> = Vec::new();
+        for i in 0..n {
+            scratch.clear();
+            for (offset, tr) in smp.transitions(i).iter().enumerate() {
+                let index = (row_counts[i] + offset) as u64;
+                scratch.push((tr.target as u32, Complex64::new(f64::from_bits(index), 1.0)));
+            }
+            // The exact call to_csr makes on the same element type with the
+            // same key sequence — guaranteed to apply the same permutation.
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0usize;
+            while k < scratch.len() {
+                let c = scratch[k].0;
+                while k < scratch.len() && scratch[k].0 == c {
+                    let index = scratch[k].1.re.to_bits() as usize;
+                    contrib_dist.push(entry_dist[index]);
+                    contrib_prob.push(entry_prob[index]);
+                    k += 1;
+                }
+                slot_ptr.push(contrib_dist.len() as u32);
+            }
+        }
+        debug_assert_eq!(slot_ptr.len(), traced.nnz() + 1);
+        let uniform_slots = slot_ptr.windows(2).all(|w| w[1] - w[0] == 1);
+
+        UStructure {
+            num_states: n,
+            num_dists: smp.num_distributions(),
+            indptr: traced.indptr().to_vec(),
+            col_indices: traced.col_indices().to_vec(),
+            slot_ptr,
+            uniform_slots,
+            contrib_dist,
+            contrib_prob,
+        }
+    }
+}
+
+impl PassageSkeleton {
+    /// Builds the skeleton for a process and target set.
+    ///
+    /// The expensive target-independent structure (CSR skeleton + fill plan)
+    /// comes from the process's memoized copy; only the `O(N)` target
+    /// bookkeeping is built here.
+    pub fn build(smp: &SemiMarkovProcess, targets: &StateSet) -> PassageSkeleton {
+        let target_mask = targets.mask().to_vec();
+        let target_indices: Vec<usize> = target_mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
+        PassageSkeleton {
+            structure: smp.u_structure(),
+            target_mask,
+            target_indices,
+            blocked: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The column-blocked `U'` layout, built on first use (threaded steps
+    /// only): bucket each unmasked row's entries by column block, rows in
+    /// ascending order within every block.
+    fn blocked_layout(&self) -> &BlockedLayout {
+        self.blocked.get_or_init(|| {
+            let n = self.structure.num_states;
+            let indptr = &self.structure.indptr;
+            let cols = &self.structure.col_indices;
+            let num_blocks = n.div_ceil(COLUMN_BLOCK_WIDTH).max(1);
+            let mut blk_segments: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); num_blocks];
+            for r in 0..n {
+                if self.target_mask[r] {
+                    continue;
+                }
+                let (a, b) = (indptr[r] as usize, indptr[r + 1] as usize);
+                let mut k = a;
+                while k < b {
+                    let block = cols[k] as usize / COLUMN_BLOCK_WIDTH;
+                    let start = k;
+                    // Columns are ascending within the row, so a block's
+                    // entries form one contiguous run.
+                    while k < b && cols[k] as usize / COLUMN_BLOCK_WIDTH == block {
+                        k += 1;
+                    }
+                    blk_segments[block].push((r as u32, start as u32, (k - start) as u32));
+                }
+            }
+            let mut blk_seg_ptr = Vec::with_capacity(num_blocks + 1);
+            let mut seg_row = Vec::new();
+            let mut seg_ptr = vec![0u32];
+            let mut blk_cols = Vec::new();
+            let mut blk_from_u = Vec::new();
+            blk_seg_ptr.push(0u32);
+            for segments in &blk_segments {
+                for &(r, start, len) in segments {
+                    seg_row.push(r);
+                    for k in start..start + len {
+                        blk_cols.push(cols[k as usize]);
+                        blk_from_u.push(k);
+                    }
+                    seg_ptr.push(blk_cols.len() as u32);
+                }
+                blk_seg_ptr.push(seg_row.len() as u32);
+            }
+            BlockedLayout {
+                blk_seg_ptr,
+                seg_row,
+                seg_ptr,
+                blk_cols,
+                blk_from_u,
+            }
+        })
+    }
+
+    /// Number of states (matrix dimension).
+    pub fn num_states(&self) -> usize {
+        self.structure.num_states
+    }
+
+    /// Number of stored non-zeros in the `U` skeleton.
+    pub fn nnz(&self) -> usize {
+        self.structure.col_indices.len()
+    }
+
+    /// The target-state membership mask (the row mask of the `U'` view).
+    pub fn target_mask(&self) -> &[bool] {
+        &self.target_mask
+    }
+
+    /// The target-state indices, ascending — the summation order of the
+    /// `· ẽ` inner products of Eq. (9)/(10).
+    pub fn target_indices(&self) -> &[usize] {
+        &self.target_indices
+    }
+
+    /// Inner product of a state-indexed vector with the target indicator `ẽ`,
+    /// in the same ascending order (and therefore with bitwise the same value)
+    /// as the legacy full-mask filter — but in `O(|targets|)` instead of
+    /// `O(N)` per transition.
+    #[inline]
+    pub fn dot_e(&self, vec: &[Complex64]) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for &t in &self.target_indices {
+            acc += vec[t];
+        }
+        acc
+    }
+
+    /// An all-zero CSR matrix with this skeleton's structure, ready for
+    /// refilling.
+    fn empty_matrix(&self) -> CsrMatrix<Complex64> {
+        CsrMatrix::from_raw_parts(
+            self.structure.num_states,
+            self.structure.num_states,
+            self.structure.indptr.clone(),
+            self.structure.col_indices.clone(),
+            vec![Complex64::ZERO; self.structure.col_indices.len()],
+        )
+    }
+}
+
+/// Leave the sparse active-list iteration mode once the live fraction of the
+/// term vector exceeds `1 / DENSE_SWITCH_DIVISOR` — past that point the plain
+/// full-scan scatter's predictable branches beat the list bookkeeping.
+const DENSE_SWITCH_DIVISOR: usize = 4;
+
+/// Column-block width of the deterministic parallel scatter layout.  Each
+/// block's 8192-column output slice (128 KiB of `Complex64`) stays
+/// cache-resident per thread, and a ~100K-state model still yields a dozen
+/// blocks to balance across threads.
+const COLUMN_BLOCK_WIDTH: usize = 8192;
+
+/// The numeric phase: reusable per-thread buffers for evaluating the
+/// passage-time iteration at one `s`-point after another without allocating.
+///
+/// Obtain one from a [`WorkspacePool`] (or directly via
+/// [`PassageWorkspace::new`]) and pass it to
+/// `PassageTimeSolver::transform_at_with` to evaluate a whole chunk of
+/// `s`-points through a single workspace.
+#[derive(Debug)]
+pub struct PassageWorkspace {
+    skeleton: Arc<PassageSkeleton>,
+    pub(crate) u: CsrMatrix<Complex64>,
+    /// Values of the column-blocked `U'` layout, mirrored out of `u`'s values
+    /// buffer lazily (first parallel step after each refill).  Intra-point
+    /// threading is opt-in, so the buffer itself is only allocated on the
+    /// first threaded step — a sequential workspace never pays the extra
+    /// 16 B/nnz.
+    blk_values: Vec<Complex64>,
+    blk_filled: bool,
+    pool_values: Vec<Complex64>,
+    /// Iteration scratch, all `num_states` long.
+    pub(crate) term: Vec<Complex64>,
+    pub(crate) acc: Vec<Complex64>,
+    pub(crate) scratch: Vec<Complex64>,
+    /// Sparse-phase bookkeeping for the `term · U'` steps: the rows where
+    /// `term` may be nonzero, ascending (empty + `dense = true` once the
+    /// frontier saturates).  The passage iteration's term vector starts with
+    /// a handful of nonzeros (the source states' successors) and fills in
+    /// over the transitions — the active list makes the early iterations cost
+    /// `O(live rows)` instead of `O(N)`.
+    active: Vec<u32>,
+    touched: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+    dense: bool,
+    filled: bool,
+    stats: HotPathStats,
+}
+
+impl PassageWorkspace {
+    /// Creates a workspace over a shared skeleton.
+    pub fn new(skeleton: Arc<PassageSkeleton>) -> PassageWorkspace {
+        let n = skeleton.structure.num_states;
+        let u = skeleton.empty_matrix();
+        let pool_values = vec![Complex64::ZERO; skeleton.structure.num_dists];
+        PassageWorkspace {
+            skeleton,
+            u,
+            blk_values: Vec::new(),
+            blk_filled: false,
+            pool_values,
+            term: vec![Complex64::ZERO; n],
+            acc: vec![Complex64::ZERO; n],
+            scratch: vec![Complex64::ZERO; n],
+            active: Vec::new(),
+            touched: Vec::new(),
+            stamp: vec![0; n],
+            generation: 0,
+            dense: true,
+            filled: false,
+            stats: HotPathStats {
+                skeleton_builds: 0,
+                ..HotPathStats::default()
+            },
+        }
+    }
+
+    /// The shared symbolic skeleton.
+    pub fn skeleton(&self) -> &PassageSkeleton {
+        &self.skeleton
+    }
+
+    /// The skeleton's shared handle (lets the iteration hold the skeleton
+    /// while mutably borrowing the scratch buffers).
+    pub(crate) fn skeleton_arc(&self) -> &Arc<PassageSkeleton> {
+        &self.skeleton
+    }
+
+    /// The refilled `U(s)` matrix of the most recent [`PassageWorkspace::refill`].
+    ///
+    /// Use the masked products of `smp-sparse` with
+    /// [`PassageSkeleton::target_mask`] to read it as `U'`.
+    pub fn u(&self) -> &CsrMatrix<Complex64> {
+        &self.u
+    }
+
+    /// Numeric phase: evaluates each pooled LST once at `s` and refills the
+    /// values buffer in place — no triplet matrix, no sort, no allocation.
+    ///
+    /// Returns `true` when the refilled matrix is bit-for-bit what
+    /// `SemiMarkovProcess::build_u(s)` would construct (see the module docs).
+    /// The one case where it is not: a kernel entry evaluating to *exactly*
+    /// zero (an LST underflowing at extreme `Re(s)·delay`, or duplicate
+    /// contributions cancelling), which the legacy construction drops
+    /// structurally while the fixed skeleton keeps the slot.  Callers fall
+    /// back to the legacy path for such points, so results stay bitwise
+    /// identical unconditionally.
+    #[must_use = "a false return means the skeleton does not reproduce build_u at this point"]
+    pub fn refill(&mut self, smp: &SemiMarkovProcess, s: Complex64) -> bool {
+        debug_assert_eq!(smp.num_states(), self.skeleton.structure.num_states);
+        for (id, slot) in self.pool_values.iter_mut().enumerate() {
+            *slot = smp.distribution(id as DistId).lst(s);
+        }
+        let sk = &*self.skeleton.structure;
+        let mut faithful = true;
+        if sk.uniform_slots {
+            // One contribution per slot — refill is a straight zip.
+            for ((value, &dist), &prob) in self
+                .u
+                .values_mut()
+                .iter_mut()
+                .zip(&sk.contrib_dist)
+                .zip(&sk.contrib_prob)
+            {
+                let v = self.pool_values[dist as usize].scale(prob);
+                faithful &= !v.is_zero();
+                *value = v;
+            }
+        } else {
+            for (k, value) in self.u.values_mut().iter_mut().enumerate() {
+                let start = sk.slot_ptr[k] as usize;
+                let end = sk.slot_ptr[k + 1] as usize;
+                // Same accumulation order as to_csr's duplicate merge: first
+                // contribution initialises, the rest add in sorted-stream order.
+                // A legacy zero *contribution* is skipped pre-sort, so any
+                // zero factor (not just a zero sum) voids faithfulness.
+                let mut acc =
+                    self.pool_values[sk.contrib_dist[start] as usize].scale(sk.contrib_prob[start]);
+                faithful &= !acc.is_zero();
+                for j in start + 1..end {
+                    let v = self.pool_values[sk.contrib_dist[j] as usize].scale(sk.contrib_prob[j]);
+                    faithful &= !v.is_zero();
+                    acc += v;
+                }
+                faithful &= !acc.is_zero();
+                *value = acc;
+            }
+        }
+        self.blk_filled = false;
+        if faithful {
+            if self.filled {
+                self.stats.matrix_rebuilds_avoided += 1;
+            }
+            self.filled = true;
+        }
+        self.stats.pooled_lst_evaluations += self.pool_values.len() as u64;
+        faithful
+    }
+
+    /// Prepares the sparse/dense iteration state for a fresh `s`-point, after
+    /// the caller has written the point's initial vector into `term`: scans
+    /// `term` once for its live rows, (re-)zeroes `scratch`, and picks the
+    /// starting mode.  Must be called before the first
+    /// [`PassageWorkspace::step_term_times_u_prime`] of every point.
+    pub(crate) fn begin_point(&mut self) {
+        let n = self.skeleton.structure.num_states;
+        for slot in self.scratch.iter_mut() {
+            *slot = Complex64::ZERO;
+        }
+        self.active.clear();
+        for (r, value) in self.term.iter().enumerate() {
+            if !value.is_zero() {
+                self.active.push(r as u32);
+            }
+        }
+        self.dense = self.active.len() > n / DENSE_SWITCH_DIVISOR;
+    }
+
+    /// One `term ← term · U'` step of the iteration (Eq. 10), exploiting term
+    /// sparsity while it lasts.
+    ///
+    /// Sparse mode scatters only the rows on the active list — ascending, so
+    /// each output accumulates its contributions in exactly the order the
+    /// full-scan scatter produces them (rows absent from the list hold exact
+    /// zeros, which the full scan skips anyway): bitwise identical to
+    /// `U.zero_rows(targets).vec_mul_into(term, out)`, at `O(live)` instead
+    /// of `O(N + nnz)`.  Once the live fraction saturates, the step switches
+    /// to the full-scan masked scatter — or, with `threads > 1`, to the
+    /// column-blocked *deterministic parallel* scatter, which partitions the
+    /// output columns so every column is accumulated by exactly one thread
+    /// in the same ascending row order: bit-identical for every thread
+    /// count.
+    pub(crate) fn step_term_times_u_prime(&mut self, threads: usize) {
+        let sk = &*self.skeleton;
+        if self.dense {
+            // More than one column block is needed for the split to help.
+            if threads > 1 && sk.num_states() > COLUMN_BLOCK_WIDTH {
+                self.parallel_dense_step(threads);
+            } else {
+                self.u
+                    .vec_mul_into_masked(&self.term, &mut self.scratch, &sk.target_mask);
+            }
+            std::mem::swap(&mut self.term, &mut self.scratch);
+            return;
+        }
+        // Sparse mode invariant: scratch is all-zero here (established by
+        // begin_point and restored below), so first touches need no clear.
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // A wrapped generation could collide with stale stamps and drop a
+            // live row from the active list; reset instead.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.touched.clear();
+        let indptr = self.u.indptr();
+        let cols = self.u.col_indices();
+        let values = self.u.values();
+        for &r in &self.active {
+            let r = r as usize;
+            if sk.target_mask[r] {
+                continue;
+            }
+            let xr = self.term[r];
+            if xr.is_zero() {
+                continue;
+            }
+            let start = indptr[r] as usize;
+            let end = indptr[r + 1] as usize;
+            for (&v, &c) in values[start..end].iter().zip(&cols[start..end]) {
+                let c = c as usize;
+                if self.stamp[c] != self.generation {
+                    self.stamp[c] = self.generation;
+                    self.touched.push(c as u32);
+                }
+                self.scratch[c] += v * xr;
+            }
+        }
+        // Restore the all-zero invariant on the buffer about to become
+        // scratch: only the old active rows can be nonzero in it.
+        for &r in &self.active {
+            self.term[r as usize] = Complex64::ZERO;
+        }
+        std::mem::swap(&mut self.term, &mut self.scratch);
+        // The next round's active rows, ascending for the bitwise order: an
+        // O(touched·log) sort while the frontier is small, an O(N) sequential
+        // stamp scan once sorting would cost more.
+        if self.touched.len() < sk.num_states() / 32 {
+            self.touched.sort_unstable();
+            std::mem::swap(&mut self.active, &mut self.touched);
+        } else {
+            self.active.clear();
+            let generation = self.generation;
+            for (c, &stamp) in self.stamp.iter().enumerate() {
+                if stamp == generation {
+                    self.active.push(c as u32);
+                }
+            }
+        }
+        if self.active.len() > sk.num_states() / DENSE_SWITCH_DIVISOR {
+            self.dense = true;
+        }
+    }
+
+    /// The dense-phase column-partitioned parallel scatter (see
+    /// [`PassageWorkspace::step_term_times_u_prime`]): block `b` of the
+    /// output is cleared and accumulated entirely by one thread, contributions
+    /// per column in ascending source-row order — bit-identical to the
+    /// sequential full-scan scatter for every thread count.
+    fn parallel_dense_step(&mut self, threads: usize) {
+        let blocked = self.skeleton.blocked_layout();
+        if !self.blk_filled {
+            if self.blk_values.len() != blocked.blk_cols.len() {
+                self.blk_values = vec![Complex64::ZERO; blocked.blk_cols.len()];
+            }
+            let u_values = self.u.values();
+            for (slot, &src) in self.blk_values.iter_mut().zip(&blocked.blk_from_u) {
+                *slot = u_values[src as usize];
+            }
+            self.blk_filled = true;
+        }
+        let term = &self.term;
+        let blk_values = &self.blk_values;
+        let num_blocks = blocked.blk_seg_ptr.len() - 1;
+        let threads = threads.min(num_blocks).max(1);
+        let slices: Vec<(usize, &mut [Complex64])> = self
+            .scratch
+            .chunks_mut(COLUMN_BLOCK_WIDTH)
+            .enumerate()
+            .collect();
+        let mut per_thread: Vec<Vec<(usize, &mut [Complex64])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, entry) in slices.into_iter().enumerate() {
+            per_thread[i % threads].push(entry);
+        }
+        crossbeam::scope(|scope| {
+            for group in per_thread {
+                scope.spawn(move |_| {
+                    for (b, slice) in group {
+                        let base = b * COLUMN_BLOCK_WIDTH;
+                        for out in slice.iter_mut() {
+                            *out = Complex64::ZERO;
+                        }
+                        let s0 = blocked.blk_seg_ptr[b] as usize;
+                        let s1 = blocked.blk_seg_ptr[b + 1] as usize;
+                        for g in s0..s1 {
+                            let xr = term[blocked.seg_row[g] as usize];
+                            if xr.is_zero() {
+                                continue;
+                            }
+                            let e0 = blocked.seg_ptr[g] as usize;
+                            let e1 = blocked.seg_ptr[g + 1] as usize;
+                            for (&c, &v) in blocked.blk_cols[e0..e1].iter().zip(&blk_values[e0..e1])
+                            {
+                                slice[c as usize - base] += v * xr;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("parallel dense step scope failed");
+    }
+
+    /// Counters accumulated by this workspace since creation (or the last
+    /// [`WorkspacePool`] check-in, which drains them into the pool).
+    pub fn stats(&self) -> HotPathStats {
+        self.stats
+    }
+
+    fn take_stats(&mut self) -> HotPathStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// A checkout pool of [`PassageWorkspace`]s over one shared
+/// [`PassageSkeleton`].
+///
+/// Solvers are shared across worker threads (`transform_fn` closures are
+/// `Sync`), so the per-point buffers cannot live in the solver directly; the
+/// pool hands each thread its own workspace and takes it back afterwards.
+/// The number of workspaces ever created is bounded by the peak number of
+/// concurrent threads, and each is reused for every subsequent point its
+/// thread evaluates — which is what amortises the symbolic phase across a
+/// whole work-queue chunk.
+pub struct WorkspacePool {
+    skeleton: Arc<PassageSkeleton>,
+    idle: parking_lot::Mutex<Vec<PassageWorkspace>>,
+    rebuilds_avoided: AtomicU64,
+    lst_evaluations: AtomicU64,
+    skeleton_builds: AtomicU64,
+    created: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkspacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkspacePool")
+            .field("states", &self.skeleton.num_states())
+            .field("nnz", &self.skeleton.nnz())
+            .field("created", &self.created.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WorkspacePool {
+    /// Builds the skeleton for `(smp, targets)` and an initially-empty pool
+    /// over it.
+    pub fn build(smp: &SemiMarkovProcess, targets: &StateSet) -> WorkspacePool {
+        WorkspacePool {
+            skeleton: Arc::new(PassageSkeleton::build(smp, targets)),
+            idle: parking_lot::Mutex::new(Vec::new()),
+            rebuilds_avoided: AtomicU64::new(0),
+            lst_evaluations: AtomicU64::new(0),
+            skeleton_builds: AtomicU64::new(1),
+            created: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared skeleton.
+    pub fn skeleton(&self) -> &Arc<PassageSkeleton> {
+        &self.skeleton
+    }
+
+    /// Checks a workspace out (reusing an idle one when available).
+    pub fn checkout(&self) -> PassageWorkspace {
+        if let Some(ws) = self.idle.lock().pop() {
+            return ws;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        PassageWorkspace::new(self.skeleton.clone())
+    }
+
+    /// Returns a workspace to the pool, folding its counters into the pool's
+    /// aggregate stats.
+    ///
+    /// # Panics
+    /// Panics if the workspace was built over a different skeleton — adopting
+    /// it would hand later checkouts the wrong target set.
+    pub fn give_back(&self, mut workspace: PassageWorkspace) {
+        assert!(
+            Arc::ptr_eq(&workspace.skeleton, &self.skeleton),
+            "workspace returned to a pool it was not checked out from"
+        );
+        let stats = workspace.take_stats();
+        self.rebuilds_avoided
+            .fetch_add(stats.matrix_rebuilds_avoided, Ordering::Relaxed);
+        self.lst_evaluations
+            .fetch_add(stats.pooled_lst_evaluations, Ordering::Relaxed);
+        self.skeleton_builds
+            .fetch_add(stats.skeleton_builds, Ordering::Relaxed);
+        self.idle.lock().push(workspace);
+    }
+
+    /// Aggregate counters over everything this pool's workspaces have done
+    /// (checked-in work only; a workspace currently on loan reports at
+    /// check-in).
+    pub fn stats(&self) -> HotPathStats {
+        HotPathStats {
+            matrix_rebuilds_avoided: self.rebuilds_avoided.load(Ordering::Relaxed),
+            pooled_lst_evaluations: self.lst_evaluations.load(Ordering::Relaxed),
+            skeleton_builds: self.skeleton_builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smp::SmpBuilder;
+    use smp_distributions::Dist;
+
+    /// A kernel with duplicate (row, col) transitions carrying different
+    /// distributions — the case where contribution order matters.
+    fn duplicate_edge_smp() -> SemiMarkovProcess {
+        let mut b = SmpBuilder::new(3);
+        b.add_transition(0, 1, 1.0, Dist::exponential(1.0));
+        b.add_transition(0, 1, 2.0, Dist::erlang(2.0, 2));
+        b.add_transition(0, 1, 0.5, Dist::uniform(0.1, 0.9));
+        b.add_transition(0, 2, 1.0, Dist::deterministic(0.4));
+        b.add_transition(1, 2, 1.0, Dist::exponential(3.0));
+        b.add_transition(1, 0, 1.0, Dist::erlang(2.0, 2));
+        b.add_transition(2, 0, 1.0, Dist::exponential(0.7));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn refilled_matrix_is_bitwise_build_u() {
+        let smp = duplicate_edge_smp();
+        let targets = StateSet::new(3, &[2]).unwrap();
+        let pool = WorkspacePool::build(&smp, &targets);
+        let mut ws = pool.checkout();
+        for &(re, im) in &[(0.5, 0.0), (1.0, 2.0), (0.2, -3.0), (3.0, 7.0), (0.5, 0.0)] {
+            let s = Complex64::new(re, im);
+            ws.refill(&smp, s);
+            let legacy = smp.build_u(s);
+            assert_eq!(ws.u().indptr(), legacy.indptr());
+            assert_eq!(ws.u().col_indices(), legacy.col_indices());
+            assert_eq!(ws.u().values(), legacy.values(), "values differ at s={s}");
+        }
+        pool.give_back(ws);
+        let stats = pool.stats();
+        assert_eq!(stats.matrix_rebuilds_avoided, 4); // 5 refills, first builds
+        assert_eq!(
+            stats.pooled_lst_evaluations,
+            5 * smp.num_distributions() as u64
+        );
+        assert_eq!(stats.skeleton_builds, 1);
+    }
+
+    #[test]
+    fn masked_view_matches_zero_rows_bitwise() {
+        let smp = duplicate_edge_smp();
+        let targets = StateSet::new(3, &[1, 2]).unwrap();
+        let pool = WorkspacePool::build(&smp, &targets);
+        let mut ws = pool.checkout();
+        let s = Complex64::new(0.8, 1.3);
+        ws.refill(&smp, s);
+        let (u, u_prime) = smp.build_u_pair(s, &targets);
+        let x = vec![
+            Complex64::new(1.0, -0.25),
+            Complex64::new(0.5, 0.75),
+            Complex64::new(-2.0, 0.125),
+        ];
+        let mut masked = vec![Complex64::ZERO; 3];
+        ws.u()
+            .vec_mul_into_masked(&x, &mut masked, pool.skeleton().target_mask());
+        assert_eq!(masked, u_prime.vec_mul(&x));
+        ws.u()
+            .mul_vec_into_masked(&x, &mut masked, pool.skeleton().target_mask());
+        assert_eq!(masked, u_prime.mul_vec(&x));
+        assert_eq!(ws.u().values(), u.values());
+    }
+
+    #[test]
+    fn dot_e_matches_mask_filter_order() {
+        let smp = duplicate_edge_smp();
+        // Insertion order deliberately descending: dot_e must still sum in
+        // ascending state order like the legacy mask filter.
+        let targets = StateSet::new(3, &[2, 0]).unwrap();
+        let skeleton = PassageSkeleton::build(&smp, &targets);
+        assert_eq!(skeleton.target_indices(), &[0, 2]);
+        let v = vec![
+            Complex64::new(0.1, 0.2),
+            Complex64::new(9.0, 9.0),
+            Complex64::new(0.4, -0.3),
+        ];
+        let legacy: Complex64 = v
+            .iter()
+            .zip(targets.mask())
+            .filter(|(_, &m)| m)
+            .map(|(c, _)| *c)
+            .sum();
+        assert_eq!(skeleton.dot_e(&v), legacy);
+    }
+
+    #[test]
+    fn parallel_dense_step_is_bitwise_on_multi_block_models() {
+        use crate::passage::PassageTimeSolver;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // More states than one column block, so the threaded step genuinely
+        // partitions the output; long-range random edges make the term vector
+        // saturate (dense phase) within a few transitions.
+        let n = COLUMN_BLOCK_WIDTH + 2_000;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut b = SmpBuilder::new(n);
+        for i in 0..n {
+            b.add_transition(
+                i,
+                (i + 1) % n,
+                1.0,
+                Dist::exponential(1.0 + (i % 7) as f64 * 0.3),
+            );
+            for _ in 0..3 {
+                b.add_transition(
+                    i,
+                    rng.gen_range(0..n),
+                    rng.gen_range(0.2..1.0),
+                    Dist::erlang(1.5, 2),
+                );
+            }
+        }
+        let smp = b.build().unwrap();
+        let solver = PassageTimeSolver::new(&smp, &[0], &[n - 1]).unwrap();
+        let threaded = PassageTimeSolver::new(&smp, &[0], &[n - 1])
+            .unwrap()
+            .with_intra_point_threads(4);
+        for &(re, im) in &[(0.6, 1.1), (0.2, -2.5)] {
+            let s = Complex64::new(re, im);
+            let legacy = solver.transform_at_legacy(s).unwrap();
+            let sequential = solver.transform_at(s).unwrap();
+            let parallel = threaded.transform_at(s).unwrap();
+            assert_eq!(sequential.value, legacy.value);
+            assert_eq!(parallel.value, legacy.value, "threaded mismatch at {s}");
+            assert_eq!(parallel.iterations, legacy.iterations);
+        }
+    }
+
+    #[test]
+    fn pool_checkout_bounded_by_concurrency() {
+        let smp = duplicate_edge_smp();
+        let targets = StateSet::new(3, &[2]).unwrap();
+        let pool = WorkspacePool::build(&smp, &targets);
+        for _ in 0..10 {
+            let ws = pool.checkout();
+            pool.give_back(ws);
+        }
+        assert_eq!(pool.created.load(Ordering::Relaxed), 1);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        pool.give_back(a);
+        pool.give_back(b);
+        assert_eq!(pool.created.load(Ordering::Relaxed), 2);
+    }
+}

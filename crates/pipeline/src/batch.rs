@@ -320,6 +320,11 @@ pub struct BatchResult {
     pub chunks_dispatched: usize,
     /// Name of the transport backend that ran the evaluations.
     pub backend: &'static str,
+    /// Aggregate symbolic/numeric-split counters of the run's local
+    /// evaluators: kernel-matrix rebuilds avoided and pooled LST evaluations
+    /// (see `smp_core::workspace`).  Zero for TCP runs, whose workers count
+    /// on their side of the wire.
+    pub hotpath: smp_core::HotPathStats,
     /// Protocol messages exchanged with the workers (see
     /// [`crate::transport::TransportReport::messages`]).
     pub messages: usize,

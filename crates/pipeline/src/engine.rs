@@ -285,11 +285,15 @@ impl Engine for AnalyticEngine {
         let mut reports = Vec::with_capacity(requests.len());
         for (request, &si) in requests.iter().zip(&spec_of) {
             let started = Instant::now();
+            let stats_before = evaluators[si].hotpath_stats();
             let (points, values, evaluations) =
                 solve_locally(request, &evaluators[si], &self.method)?;
+            let hotpath = evaluators[si].hotpath_stats().since(stats_before);
             let mut provenance = Provenance::local("analytic", "sequential");
             provenance.states = states;
             provenance.evaluations = evaluations;
+            provenance.matrix_rebuilds_avoided = hotpath.matrix_rebuilds_avoided;
+            provenance.pooled_lst_evaluations = hotpath.pooled_lst_evaluations;
             provenance.wall = started.elapsed();
             reports.push(MeasureReport {
                 name: request.name(),
@@ -418,6 +422,8 @@ impl Engine for DistributedEngine {
                 if slot == 0 {
                     provenance.messages = batch.messages;
                     provenance.bytes_on_wire = batch.bytes_on_wire;
+                    provenance.matrix_rebuilds_avoided = batch.hotpath.matrix_rebuilds_avoided;
+                    provenance.pooled_lst_evaluations = batch.hotpath.pooled_lst_evaluations;
                 }
                 provenance.evaluations = result.evaluations;
                 provenance.cache_hits = result.cache_hits;
@@ -492,6 +498,8 @@ impl Engine for DistributedEngine {
                             .map_err(|e| EngineError::Analysis(e.to_string()))?;
                         provenance.messages += batch.messages;
                         provenance.bytes_on_wire += batch.bytes_on_wire;
+                        provenance.matrix_rebuilds_avoided += batch.hotpath.matrix_rebuilds_avoided;
+                        provenance.pooled_lst_evaluations += batch.hotpath.pooled_lst_evaluations;
                         provenance.states = provenance.states.or(batch.states);
                         let result = batch.measures.into_iter().next().expect("one measure");
                         provenance.evaluations += result.evaluations;
@@ -511,8 +519,10 @@ impl Engine for DistributedEngine {
             } else {
                 let (_, index_of) = local.as_ref().expect("local compile present");
                 let evaluators = local_evaluators.as_ref().expect("local evaluators present");
+                let stats_before = evaluators[index_of[di]].hotpath_stats();
                 let (points, values, evaluations) =
                     solve_locally(request, &evaluators[index_of[di]], &self.method)?;
+                let hotpath = evaluators[index_of[di]].hotpath_stats().since(stats_before);
                 let backend = if is_quantile {
                     format!(
                         "master-side ({} transport is single-rendezvous)",
@@ -525,6 +535,8 @@ impl Engine for DistributedEngine {
                 provenance.workers = workers;
                 provenance.states = states;
                 provenance.evaluations = evaluations;
+                provenance.matrix_rebuilds_avoided = hotpath.matrix_rebuilds_avoided;
+                provenance.pooled_lst_evaluations = hotpath.pooled_lst_evaluations;
                 provenance.wall = started.elapsed();
                 MeasureReport {
                     name: request.name(),
@@ -852,6 +864,10 @@ mod tests {
         assert_eq!(density.provenance.workers, 2);
         assert!(density.provenance.states.is_some());
         assert!(density.provenance.evaluations > 0);
+        // The symbolic/numeric split's savings are surfaced (attributed to
+        // the first measure of the shared run, like the wire counters).
+        assert!(density.provenance.matrix_rebuilds_avoided > 0);
+        assert!(density.provenance.pooled_lst_evaluations > 0);
         // The CDF shares every evaluation with the density (one transform key).
         let cdf = &reports[1];
         assert_eq!(cdf.provenance.evaluations, 0);
@@ -871,6 +887,7 @@ mod tests {
             .with_t_points(&linspace(1.0, 14.0, 6))];
         let engine = AnalyticEngine::new(voting(), InversionMethod::euler());
         let quantiles = engine.solve(&requests).unwrap().remove(0);
+        assert!(quantiles.provenance.matrix_rebuilds_avoided > 0);
         let grid = linspace(0.05, 60.0, 600);
         let cdf = engine
             .solve(&[MeasureRequest::cdf(target("p2>=2"), &grid)])

@@ -238,6 +238,7 @@ impl DistributedPipeline {
                 bytes_on_wire: 0,
                 disconnects: 0,
                 states: None,
+                hotpath: Default::default(),
                 worker_stats: Vec::new(),
             });
         }
@@ -414,6 +415,7 @@ impl DistributedPipeline {
             bytes_on_wire: report.bytes_on_wire,
             disconnects: report.disconnects,
             states: report.states,
+            hotpath: report.hotpath,
             worker_stats: report.worker_stats,
         })
     }

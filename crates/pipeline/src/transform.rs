@@ -632,6 +632,17 @@ impl std::fmt::Debug for CompiledEvaluator<'_> {
 }
 
 impl CompiledEvaluator<'_> {
+    /// Aggregate symbolic/numeric-split counters of the underlying solver
+    /// (matrix rebuilds avoided, pooled LST evaluations) — zero for analytic
+    /// distribution evaluators, which have no kernel matrix at all.
+    pub fn hotpath_stats(&self) -> smp_core::HotPathStats {
+        match &self.kind {
+            EvaluatorKind::Passage(solver) => solver.hotpath_stats(),
+            EvaluatorKind::Transient(solver) => solver.hotpath_stats(),
+            EvaluatorKind::Analytic(_) => smp_core::HotPathStats::default(),
+        }
+    }
+
     /// Evaluates the transform at one `s`-point — the same computation the
     /// closure-based API would run in-process.
     pub fn eval(&self, s: Complex64) -> Result<Complex64, String> {

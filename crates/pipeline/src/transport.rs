@@ -92,6 +92,10 @@ pub struct TransportReport {
     /// in-process (`None` for the TCP backend, whose workers explore it on
     /// their side of the wire).
     pub states: Option<usize>,
+    /// Aggregate symbolic/numeric-split counters of the backend's local
+    /// evaluators (zero for the TCP backend — its workers count on their own
+    /// side of the wire).
+    pub hotpath: smp_core::HotPathStats,
 }
 
 /// A pluggable master⇄worker message-passing backend.
@@ -327,12 +331,17 @@ fn run_threaded(
     })
     .expect("transport scope failed");
 
+    let hotpath = compiled
+        .iter()
+        .map(|evaluator| evaluator.hotpath_stats())
+        .fold(smp_core::HotPathStats::default(), |acc, s| acc.merged(s));
     Ok(TransportReport {
         worker_stats,
         messages,
         bytes_on_wire,
         disconnects: 0,
         states,
+        hotpath,
     })
 }
 

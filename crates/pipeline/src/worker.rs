@@ -2,13 +2,20 @@
 //!
 //! A worker repeatedly requests the next *chunk* of `s`-values from the global
 //! work queue, evaluates the transform of the measure each item belongs to (for
-//! passage-time analysis this means building `U` and `U'` and running the
-//! iterative algorithm to convergence), optionally sleeps for a configurable
-//! simulated network latency, and returns the whole chunk's results to the
-//! master in a single message.  Workers never talk to each other — the property
-//! that gives the pipeline its near-linear scalability — and chunking keeps the
-//! master⇄worker message count proportional to the number of chunks, not the
-//! number of points.
+//! passage-time analysis: refill the prebuilt `U` skeleton's values for the
+//! point and run the iterative algorithm to convergence — the symbolic phase
+//! ran once at solver construction, see `smp_core::workspace`), optionally
+//! sleeps for a configurable simulated network latency, and returns the whole
+//! chunk's results to the master in a single message.  Workers never talk to
+//! each other — the property that gives the pipeline its near-linear
+//! scalability — and chunking keeps the master⇄worker message count
+//! proportional to the number of chunks, not the number of points.  Chunking
+//! also feeds the hot path: a thread that owns a chunk evaluates its points
+//! back-to-back, and each evaluation checks a `PassageWorkspace` out of the
+//! solver's pool — the pool hands the thread the workspace it just returned
+//! (one uncontended lock round-trip, trivial next to an evaluation), so the
+//! per-point numeric phase allocates nothing and the number of workspaces
+//! ever built is bounded by the worker count.
 
 use crate::work::{WorkItem, WorkQueue};
 use crossbeam::channel::Sender;

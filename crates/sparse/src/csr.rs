@@ -115,6 +115,36 @@ impl<T: Scalar> CsrMatrix<T> {
         self.values.len()
     }
 
+    /// The stored values, in row-major CSR order.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values, in row-major CSR order.
+    ///
+    /// The sparsity *structure* (`indptr`, `col_indices`) stays fixed — this is
+    /// the numeric half of a symbolic/numeric split: a caller that knows the
+    /// skeleton can refill the values for a new transform point in place,
+    /// without re-sorting triplets or reallocating (see
+    /// `smp_core::workspace::PassageWorkspace`).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[u64] {
+        &self.indptr
+    }
+
+    /// The column indices, in row-major CSR order.
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
     /// Approximate heap footprint in bytes (used by the pipeline's memory report).
     pub fn memory_bytes(&self) -> usize {
         self.indptr.len() * std::mem::size_of::<u64>()
@@ -213,6 +243,70 @@ impl<T: Scalar> CsrMatrix<T> {
             let end = self.indptr[r + 1] as usize;
             for i in start..end {
                 y[self.col_indices[i] as usize] += self.values[i] * xr;
+            }
+        }
+    }
+
+    /// In-place matrix–vector product `y = A·x` that *skips* the rows flagged in
+    /// `skip_rows` (their outputs are written as `T::ZERO`).
+    ///
+    /// With `skip_rows` set to a target-state mask this computes `U'·x` directly
+    /// from `U` — bitwise identical to materialising `U' = U.zero_rows(mask)`
+    /// and calling [`CsrMatrix::mul_vec_into`], because a structurally-removed
+    /// row also yields an exact zero, and every kept row accumulates in the
+    /// same order.  Halves the memory and build work of the passage-time hot
+    /// path (Eq. 9's `U'` never needs to exist).
+    pub fn mul_vec_into_masked(&self, x: &[T], y: &mut [T], skip_rows: &[bool]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec_into");
+        assert_eq!(y.len(), self.rows, "output dimension mismatch");
+        assert_eq!(skip_rows.len(), self.rows, "mask dimension mismatch");
+        for r in 0..self.rows {
+            if skip_rows[r] {
+                y[r] = T::ZERO;
+                continue;
+            }
+            let start = self.indptr[r] as usize;
+            let end = self.indptr[r + 1] as usize;
+            let mut acc = T::ZERO;
+            for (&v, &c) in self.values[start..end]
+                .iter()
+                .zip(&self.col_indices[start..end])
+            {
+                acc += v * x[c as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// In-place row-vector–matrix product `y = x·A` that skips the rows flagged
+    /// in `skip_rows` (as if those rows of `A` were zero).
+    ///
+    /// This is the fundamental operation of the passage-time iteration with the
+    /// row-masked view of `U'`: bitwise identical to
+    /// `U.zero_rows(mask).vec_mul_into(x, y)` — the scatter visits the kept
+    /// rows in the same order with the same per-entry arithmetic.
+    pub fn vec_mul_into_masked(&self, x: &[T], y: &mut [T], skip_rows: &[bool]) {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in vec_mul_into");
+        assert_eq!(y.len(), self.cols, "output dimension mismatch");
+        assert_eq!(skip_rows.len(), self.rows, "mask dimension mismatch");
+        for v in y.iter_mut() {
+            *v = T::ZERO;
+        }
+        for r in 0..self.rows {
+            if skip_rows[r] {
+                continue;
+            }
+            let xr = x[r];
+            if xr.is_zero() {
+                continue;
+            }
+            let start = self.indptr[r] as usize;
+            let end = self.indptr[r + 1] as usize;
+            for (&v, &c) in self.values[start..end]
+                .iter()
+                .zip(&self.col_indices[start..end])
+            {
+                y[c as usize] += v * xr;
             }
         }
     }
@@ -403,6 +497,45 @@ mod tests {
         assert_eq!(z.get(0, 0), 1.0);
         assert_eq!(z.get(2, 2), 5.0);
         assert_eq!(z.nnz(), m.nnz() - 1);
+    }
+
+    #[test]
+    fn masked_products_match_zero_rows_bitwise() {
+        let m = sample_matrix();
+        let mask = [false, true, false];
+        let zeroed = m.zero_rows(&mask);
+        let x = vec![1.25, -0.5, 3.0];
+
+        let mut masked = vec![0.0; 3];
+        let mut reference = vec![0.0; 3];
+        m.vec_mul_into_masked(&x, &mut masked, &mask);
+        zeroed.vec_mul_into(&x, &mut reference);
+        assert_eq!(masked, reference);
+
+        m.mul_vec_into_masked(&x, &mut masked, &mask);
+        zeroed.mul_vec_into(&x, &mut reference);
+        assert_eq!(masked, reference);
+
+        // An all-false mask reproduces the unmasked products.
+        let none = [false; 3];
+        m.vec_mul_into_masked(&x, &mut masked, &none);
+        assert_eq!(masked, m.vec_mul(&x));
+        m.mul_vec_into_masked(&x, &mut masked, &none);
+        assert_eq!(masked, m.mul_vec(&x));
+    }
+
+    #[test]
+    fn values_mut_refills_in_place() {
+        let mut m = sample_matrix();
+        let before = m.nnz();
+        for v in m.values_mut() {
+            *v *= 2.0;
+        }
+        assert_eq!(m.nnz(), before);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.indptr().len(), 4);
+        assert_eq!(m.col_indices().len(), before);
+        assert_eq!(m.values().len(), before);
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`TripletMatrix`] — a coordinate-format builder that tolerates duplicate and
 //!   unsorted insertions (the natural output of state-space exploration).
 //! * [`CsrMatrix`] — compressed sparse row storage with row access, row-vector and
-//!   column-vector products, scaling, and transposition.
+//!   column-vector products, scaling, and transposition.  The row-*masked*
+//!   products (`vec_mul_into_masked` / `mul_vec_into_masked`) compute against
+//!   `U'` — `U` with target rows absorbed — without ever materialising it,
+//!   and `values_mut` lets a prebuilt skeleton be refilled per transform
+//!   point (the symbolic/numeric split of `smp_core::workspace`).
 //! * [`parallel`] — chunked multi-threaded products built on `crossbeam::scope`,
 //!   used when a single `s`-point evaluation is large enough to be worth splitting
 //!   (the distributed pipeline parallelises across `s`-points first, within one
