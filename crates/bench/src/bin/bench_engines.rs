@@ -84,7 +84,7 @@ fn main() {
         MeasureRequest::quantile(target, &[0.5, 0.9, 0.99]).with_t_points(&ts),
     ];
 
-    let rows = vec![
+    let rows = [
         measure(
             &AnalyticEngine::new(model.clone(), InversionMethod::euler()),
             &requests,

@@ -552,7 +552,7 @@ measures are computed master-side); any started workers exit cleanly"
 
     render_model_line(&mut out, &net, options.engine, &reports);
     render_reports(&mut out, &ts, &reports);
-    render_summary(&mut out, options, &engine, &reports, elapsed);
+    render_summary(&mut out, options, engine.as_ref(), &reports, elapsed);
 
     if let Some(tolerance) = options.validate_sim {
         // With --engine sim the primary reports *are* the simulation's: reuse
@@ -643,7 +643,7 @@ fn render_reports(out: &mut String, ts: &[f64], reports: &[MeasureReport]) {
 fn render_summary(
     out: &mut String,
     options: &CliOptions,
-    engine: &Box<dyn Engine>,
+    engine: &dyn Engine,
     reports: &[MeasureReport],
     elapsed: std::time::Duration,
 ) {
@@ -748,7 +748,7 @@ fn render_validation(
         for ((&point, &a), &b) in report.points.iter().zip(&report.values).zip(&sim.values) {
             let delta = (a - b).abs();
             let allowed = tolerance * a.abs().max(b.abs()).max(1.0) + bound;
-            if worst.map_or(true, |(d, _)| delta > d) {
+            if worst.is_none_or(|(d, _)| delta > d) {
                 worst = Some((delta, allowed));
             }
             if delta > allowed && !advisory {

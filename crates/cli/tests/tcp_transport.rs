@@ -42,19 +42,19 @@ fn voting_job(ts: &[f64]) -> BatchJob<'static> {
     let passage = TransformSpec::passage(voting_model(), targets.clone());
     let transient = TransformSpec::transient(voting_model(), targets);
     BatchJob::new()
-        .add(MeasureSpec::from_spec(
+        .with_measure(MeasureSpec::from_spec(
             "density:p2>=2",
             MeasureKind::Density,
             ts,
             passage.clone(),
         ))
-        .add(MeasureSpec::from_spec(
+        .with_measure(MeasureSpec::from_spec(
             "cdf:p2>=2",
             MeasureKind::Cdf,
             ts,
             passage,
         ))
-        .add(MeasureSpec::from_spec(
+        .with_measure(MeasureSpec::from_spec(
             "transient:p2>=2",
             MeasureKind::Transient,
             ts,

@@ -600,9 +600,9 @@ impl<'a> PassageTimeSolver<'a> {
 /// norm contributes nothing, while an infinite component (whose norm is +∞
 /// even when the other component is NaN) is loud.
 fn term_is_quiet(term: &[Complex64], epsilon: f64) -> bool {
-    if !(epsilon > 0.0) {
-        // The legacy fold starts at 0.0, so its mass is never below a
-        // non-positive (or NaN) ε.
+    // The legacy fold starts at 0.0, so its mass is never below a
+    // non-positive (or NaN) ε.
+    if epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return false;
     }
     let half = epsilon * 0.5;
@@ -674,7 +674,7 @@ pub fn dense_reference_solve(
             if targets.contains(k) {
                 b[i] += v;
             } else {
-                a[i][k] = a[i][k] - v;
+                a[i][k] -= v;
             }
         }
     }
@@ -691,17 +691,19 @@ pub fn dense_reference_solve(
             pivot.norm() > 1e-300,
             "singular passage-time system at column {col}"
         );
-        for row in col + 1..n {
-            let factor = a[row][col] / pivot;
+        let (pivot_rows, lower_rows) = a.split_at_mut(col + 1);
+        let pivot_cells = &pivot_rows[col][col..n];
+        for (off, row_cells) in lower_rows.iter_mut().enumerate() {
+            let factor = row_cells[col] / pivot;
             if factor.norm() == 0.0 {
                 continue;
             }
-            for k in col..n {
-                let sub = factor * a[col][k];
-                a[row][k] = a[row][k] - sub;
+            for (cell, &p) in row_cells[col..n].iter_mut().zip(pivot_cells) {
+                let sub = factor * p;
+                *cell -= sub;
             }
             let sub = factor * b[col];
-            b[row] = b[row] - sub;
+            b[col + 1 + off] -= sub;
         }
     }
     // Back substitution.
@@ -709,7 +711,7 @@ pub fn dense_reference_solve(
     for row in (0..n).rev() {
         let mut acc = b[row];
         for k in row + 1..n {
-            acc = acc - a[row][k] * x[k];
+            acc -= a[row][k] * x[k];
         }
         x[row] = acc / a[row][row];
     }
@@ -841,13 +843,13 @@ mod tests {
         let targets = &[3usize];
         let vector_solver = PassageTimeSolver::new(&smp, &[0], targets).unwrap();
         let vec = vector_solver.transform_vector_at(s).unwrap();
-        for source in 0..3 {
+        for (source, &from_vector) in vec.iter().enumerate().take(3) {
             let scalar = PassageTimeSolver::new(&smp, &[source], targets)
                 .unwrap()
                 .transform_at(s)
                 .unwrap()
                 .value;
-            assert!(close(vec[source], scalar, 1e-7), "source {source}");
+            assert!(close(from_vector, scalar, 1e-7), "source {source}");
         }
     }
 

@@ -67,9 +67,9 @@ impl StateSet {
     pub fn from_predicate(num_states: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
         let mut mask = vec![false; num_states];
         let mut indices = Vec::new();
-        for s in 0..num_states {
+        for (s, member) in mask.iter_mut().enumerate() {
             if pred(s) {
-                mask[s] = true;
+                *member = true;
                 indices.push(s);
             }
         }

@@ -181,8 +181,7 @@ impl<'a> TransientSolver<'a> {
 
         // Assemble Eq. (7) for each source state i, weighted by alpha_i.
         let mut total = Complex64::ZERO;
-        for i in 0..n {
-            let a = self.alpha[i];
+        for (i, &a) in self.alpha.iter().enumerate().take(n) {
             if a == 0.0 {
                 continue;
             }

@@ -186,10 +186,10 @@ impl UStructure {
         let mut contrib_prob: Vec<f64> = Vec::with_capacity(entry_prob.len());
         slot_ptr.push(0);
         let mut scratch: Vec<(u32, Complex64)> = Vec::new();
-        for i in 0..n {
+        for (i, &row_base) in row_counts.iter().take(n).enumerate() {
             scratch.clear();
             for (offset, tr) in smp.transitions(i).iter().enumerate() {
-                let index = (row_counts[i] + offset) as u64;
+                let index = (row_base + offset) as u64;
                 scratch.push((tr.target as u32, Complex64::new(f64::from_bits(index), 1.0)));
             }
             // The exact call to_csr makes on the same element type with the
@@ -799,7 +799,7 @@ mod tests {
         let mut ws = pool.checkout();
         for &(re, im) in &[(0.5, 0.0), (1.0, 2.0), (0.2, -3.0), (3.0, 7.0), (0.5, 0.0)] {
             let s = Complex64::new(re, im);
-            ws.refill(&smp, s);
+            assert!(ws.refill(&smp, s), "refill not faithful at s={s}");
             let legacy = smp.build_u(s);
             assert_eq!(ws.u().indptr(), legacy.indptr());
             assert_eq!(ws.u().col_indices(), legacy.col_indices());
@@ -822,7 +822,7 @@ mod tests {
         let pool = WorkspacePool::build(&smp, &targets);
         let mut ws = pool.checkout();
         let s = Complex64::new(0.8, 1.3);
-        ws.refill(&smp, s);
+        assert!(ws.refill(&smp, s), "refill not faithful at s={s}");
         let (u, u_prime) = smp.build_u_pair(s, &targets);
         let x = vec![
             Complex64::new(1.0, -0.25),

@@ -198,8 +198,8 @@ mod tests {
     fn cdf_matches_analytic_for_large_sample() {
         let samples = exponential_samples(100_000, 1.0, 7);
         let e = EmpiricalDistribution::from_samples(samples);
-        for &t in &[0.25, 0.5, 1.0, 2.0, 4.0] {
-            let analytic = 1.0 - (-t as f64).exp();
+        for &t in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
+            let analytic = 1.0 - (-t).exp();
             assert!(
                 (e.cdf(t) - analytic).abs() < 0.01,
                 "cdf({t}) = {} vs {}",
@@ -232,7 +232,7 @@ mod tests {
         let pts = vec![0.5, 1.0, 2.0];
         let kd = e.kernel_density(&pts);
         for (t, d) in pts.iter().zip(kd) {
-            let analytic = (-t as f64).exp();
+            let analytic = (-t).exp();
             assert!((d - analytic).abs() < 0.1, "kde({t}) = {d} vs {analytic}");
         }
     }

@@ -23,6 +23,8 @@
 //!   CDFs) used to post-process simulator output into the curves plotted in
 //!   Figs. 4 and 6.
 
+#![forbid(unsafe_code)]
+
 pub mod continuous;
 pub mod empirical;
 pub mod lst;

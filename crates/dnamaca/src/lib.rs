@@ -33,6 +33,8 @@
 //! against a marking) → [`build`] (assembling an `smp_smspn::SmSpn` whose closures
 //! interpret the parsed expressions).  [`parse_model`] runs the whole pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod build;
 pub mod eval;

@@ -190,7 +190,7 @@ mod tests {
         let d = Dist::exponential(1.0);
         for &t in &[0.1, 0.5, 1.0, 2.0, 5.0] {
             let f = euler.invert(&d, t);
-            let expect = (-t as f64).exp();
+            let expect = (-t).exp();
             assert!((f - expect).abs() < 1e-7, "f({t}) = {f} vs {expect}");
         }
     }

@@ -199,7 +199,7 @@ mod tests {
         let d = Dist::exponential(1.0);
         for &t in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
             let f = laguerre.invert(&d, t);
-            let expect = (-t as f64).exp();
+            let expect = (-t).exp();
             assert!((f - expect).abs() < 1e-5, "f({t}) = {f} vs {expect}");
         }
     }
@@ -210,7 +210,7 @@ mod tests {
         let d = Dist::erlang(1.0, 4);
         for &t in &[0.5, 1.0, 2.0, 4.0, 8.0] {
             let f = laguerre.invert(&d, t);
-            let expect = t.powi(3) * (-t as f64).exp() / 6.0;
+            let expect = t.powi(3) * (-t).exp() / 6.0;
             assert!((f - expect).abs() < 1e-5, "f({t}) = {f} vs {expect}");
         }
     }

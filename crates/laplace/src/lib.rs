@@ -27,6 +27,7 @@
 //! paper).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cdf;
 pub mod euler;

@@ -80,6 +80,10 @@ where
     }
 }
 
+/// A batched CDF evaluator: maps a strictly increasing `t`-grid to the CDF
+/// values on it.  The callback form taken by [`quantiles_from_cdf`].
+pub type CdfOnGrid<'a, E> = dyn FnMut(&[f64]) -> Result<Vec<f64>, E> + 'a;
+
 /// The generic quantile search: horizon expansion plus local refinement over
 /// **any** CDF-on-grid provider.
 ///
@@ -108,7 +112,7 @@ pub fn quantiles_from_cdf<E>(
     probs: &[f64],
     initial_horizon: f64,
     max_horizon: f64,
-    cdf_on_grid: &mut dyn FnMut(&[f64]) -> Result<Vec<f64>, E>,
+    cdf_on_grid: &mut CdfOnGrid<'_, E>,
 ) -> Result<Vec<Option<f64>>, E> {
     assert!(
         initial_horizon > 0.0 && max_horizon >= initial_horizon,

@@ -11,7 +11,7 @@
 use crate::euler::Euler;
 use crate::laguerre::Laguerre;
 use smp_numeric::Complex64;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Which numerical inversion algorithm drives the plan.
 #[derive(Debug, Clone)]
@@ -54,8 +54,11 @@ impl InversionMethod {
     }
 }
 
-/// Bit-exact hash key for a complex point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Bit-exact key for a complex point.  `Ord` (over the raw bit patterns) lets
+/// [`TransformValues`] live in a `BTreeMap`, so iterating a value cache visits
+/// points in a platform- and insertion-order-independent order — nothing
+/// downstream of an iteration can accidentally depend on hash-map ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct PointKey(u64, u64);
 
 impl PointKey {
@@ -180,9 +183,13 @@ pub fn union_s_points<'a>(plans: impl IntoIterator<Item = &'a SPointPlan>) -> Ve
 }
 
 /// A cache of computed transform values keyed by their (bit-exact) `s`-point.
+///
+/// Backed by a `BTreeMap` ordered on the raw bit patterns so that
+/// [`TransformValues::iter`] (and anything built on it — merges, snapshots,
+/// future serializers) is deterministic regardless of insertion order.
 #[derive(Debug, Clone, Default)]
 pub struct TransformValues {
-    map: HashMap<PointKey, Complex64>,
+    map: BTreeMap<PointKey, Complex64>,
 }
 
 impl TransformValues {
@@ -223,7 +230,8 @@ impl TransformValues {
         }
     }
 
-    /// Iterates over stored `(s, value)` pairs in arbitrary order.
+    /// Iterates over stored `(s, value)` pairs in ascending bit-pattern order
+    /// of `s` (deterministic for any insertion order).
     pub fn iter(&self) -> impl Iterator<Item = (Complex64, Complex64)> + '_ {
         self.map
             .iter()

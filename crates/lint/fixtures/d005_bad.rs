@@ -1,0 +1,16 @@
+// D005 bad fixture — analyzed as crates/pipeline/src/transport.rs.
+// Lock guards held across blocking channel/socket calls: hold time becomes
+// coupled to network latency.
+
+pub fn broadcast(state: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = state.lock();
+    for v in guard.clone() {
+        tx.send(v);
+    }
+}
+
+pub fn flush_under_read_lock(shards: &RwLock<Vec<u8>>, stream: &mut TcpStream) {
+    let snapshot = shards.read();
+    stream.write_all(&snapshot);
+    stream.flush();
+}

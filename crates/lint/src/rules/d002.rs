@@ -1,0 +1,128 @@
+//! D002 — nothing ordered iterates a `HashMap`/`HashSet`.
+//!
+//! `std`'s hash containers use a per-process random seed: two runs (or two
+//! workers) iterating the same logical map visit entries in different orders.
+//! Anywhere that order becomes observable — a serialized wire frame, a
+//! checkpoint file, the work-queue dispatch order — the run stops being
+//! reproducible even though every individual value is bit-exact.  Ordered
+//! sinks must iterate `BTreeMap`/`BTreeSet` (or sort first); hash containers
+//! stay fine for pure keyed lookup.
+//!
+//! Fires in the serialization and scheduling modules (wire, checkpoint,
+//! cache, master, work, batch, splan) on iteration over a binding declared
+//! as (or initialized from) `HashMap`/`HashSet`: explicit `.iter()`,
+//! `.keys()`, `.values()`, `.drain()`, `.into_iter()` chains and `for … in`
+//! loops alike.
+
+use super::Finding;
+use crate::analysis::SourceFile;
+use crate::lexer::TokenKind;
+
+/// File stems patrolled by D002 (the modules whose iteration order reaches
+/// wire frames, checkpoint files, or the dispatch queue).
+const SCOPE_STEMS: &[&str] = &[
+    "wire",
+    "checkpoint",
+    "cache",
+    "master",
+    "work",
+    "batch",
+    "splan",
+];
+
+/// Iterator-producing methods on maps/sets.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Runs D002 over the file set.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !SCOPE_STEMS.contains(&file.stem()) {
+            continue;
+        }
+        let hash_bindings = file.bindings_matching(|ty| {
+            ty.split_whitespace()
+                .any(|w| matches!(w, "HashMap" | "HashSet"))
+        });
+        if hash_bindings.is_empty() {
+            continue;
+        }
+        let toks = &file.tokens;
+        let mut reported_lines = Vec::new();
+        for i in 0..toks.len() {
+            if toks[i].kind != TokenKind::Ident
+                || !hash_bindings.contains(&toks[i].text)
+                || file.in_test_code(i)
+            {
+                continue;
+            }
+            // Method-chain form: within a short window after the binding,
+            // before the expression ends, an iterator-producing method call
+            // (`shards.read().iter()`, `map.keys()`, …).
+            let mut iterated = false;
+            let mut j = i + 1;
+            while j + 2 < toks.len() && j < i + 12 {
+                if matches!(toks[j].text.as_str(), ";" | "," | "=" | "{") {
+                    break;
+                }
+                if toks[j].is_punct(".")
+                    && toks[j + 1].kind == TokenKind::Ident
+                    && ITER_METHODS.contains(&toks[j + 1].text.as_str())
+                    && toks[j + 2].is_punct("(")
+                {
+                    iterated = true;
+                    break;
+                }
+                j += 1;
+            }
+            // `for … in [&]binding {` form: the binding appears between an
+            // `in` keyword and the loop body's `{`.
+            if !iterated && i >= 1 {
+                let mut k = i;
+                while k > 0 && i - k < 8 {
+                    k -= 1;
+                    if toks[k].is_ident("in") {
+                        let mut m = i + 1;
+                        let mut direct = true;
+                        while m < toks.len() && !toks[m].is_punct("{") {
+                            if toks[m].is_punct(";") || toks[m].is_punct(")") {
+                                direct = false;
+                                break;
+                            }
+                            m += 1;
+                        }
+                        iterated = direct && m < toks.len();
+                        break;
+                    }
+                    if matches!(toks[k].text.as_str(), ";" | "{" | "}") {
+                        break;
+                    }
+                }
+            }
+            if iterated && !reported_lines.contains(&toks[i].line) {
+                reported_lines.push(toks[i].line);
+                findings.push(Finding {
+                    rule: "D002",
+                    path: file.path.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "iteration over hash container `{}` in an order-sensitive module; \
+                         use BTreeMap/BTreeSet (or sort) so wire frames, checkpoints, and \
+                         dispatch order are reproducible",
+                        toks[i].text
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,113 @@
+//! D004 — code reachable from untrusted-input decoders never panics.
+//!
+//! The wire decoder parses bytes from a TCP peer; the checkpoint loader
+//! parses a file that may be truncated, hand-edited, or written by another
+//! version.  A stray `.unwrap()` on those paths turns one malformed record
+//! into a dead worker (or a master that loses the whole run), when the
+//! protocol is designed to *skip* or *reject* bad input via typed errors.
+//!
+//! The rule builds a name-based call graph over the pipeline crate, seeds it
+//! with the decode roots (`decode*` in `wire.rs`, `load_checkpoint*` in
+//! `checkpoint.rs`, `read_frame` anywhere), walks reachability, and flags
+//! every `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` inside a reachable non-test function.
+
+use super::Finding;
+use crate::analysis::{FnDef, SourceFile};
+use crate::lexer::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The crate whose decoders consume untrusted input.
+const SCOPE_CRATE: &str = "pipeline";
+
+/// Runs D004 over the file set.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    // Gather every non-test fn in the pipeline crate, with its calls.
+    struct Node<'a> {
+        file: &'a SourceFile,
+        def: FnDef,
+        calls: Vec<String>,
+    }
+    let mut nodes: Vec<Node<'_>> = Vec::new();
+    for file in files {
+        if file.crate_name() != SCOPE_CRATE {
+            continue;
+        }
+        for def in file.functions() {
+            if def.in_test {
+                continue;
+            }
+            let calls = file.calls_in(def.tokens);
+            nodes.push(Node { file, def, calls });
+        }
+    }
+
+    // Roots: the functions that first touch untrusted bytes.
+    let is_root = |file: &SourceFile, name: &str| {
+        (file.stem() == "wire" && name.starts_with("decode"))
+            || (file.stem() == "checkpoint" && name.starts_with("load_checkpoint"))
+            || name == "read_frame"
+    };
+
+    // Name-indexed reachability: calling `foo` may land in any `fn foo` in
+    // the crate (method receivers are not resolved — conservative by design).
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(n.def.name.as_str()).or_default().push(i);
+    }
+    let mut reachable: BTreeSet<usize> = BTreeSet::new();
+    let mut frontier: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| is_root(n.file, &n.def.name))
+        .map(|(i, _)| i)
+        .collect();
+    while let Some(i) = frontier.pop() {
+        if !reachable.insert(i) {
+            continue;
+        }
+        for call in &nodes[i].calls {
+            if let Some(targets) = by_name.get(call.as_str()) {
+                frontier.extend(targets.iter().copied());
+            }
+        }
+    }
+
+    // Flag panic sites inside reachable functions.
+    let mut findings = Vec::new();
+    for &i in &reachable {
+        let n = &nodes[i];
+        let toks = &n.file.tokens;
+        for j in n.def.tokens.0..n.def.tokens.1.min(toks.len()) {
+            if toks[j].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = toks[j].text.as_str();
+            let method_panic = matches!(name, "unwrap" | "expect")
+                && j >= 1
+                && toks[j - 1].is_punct(".")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("("));
+            let macro_panic = matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("!"));
+            if method_panic || macro_panic {
+                let rendered = if method_panic {
+                    format!(".{name}()")
+                } else {
+                    format!("{name}!")
+                };
+                findings.push(Finding {
+                    rule: "D004",
+                    path: n.file.path.clone(),
+                    line: toks[j].line,
+                    message: format!(
+                        "`{rendered}` in `{}`, which is reachable from the untrusted-input \
+                         decoders; malformed wire/checkpoint data must surface as a typed \
+                         error, never a panic",
+                        n.def.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,93 @@
+//! Fixture self-tests: every rule fires on its bad fixture and stays quiet
+//! on its good twin.
+//!
+//! Fixtures are analyzed under *synthetic* workspace paths so the rules'
+//! module scoping engages (e.g. D001 only patrols the pipeline crate's
+//! wire/checkpoint/cache stems) without touching the real tree.
+
+use smp_lint::analyze_files;
+use smp_lint::config::Config;
+
+/// Runs the analyzer on one fixture under the given synthetic path.
+fn findings(path: &str, source: &str) -> Vec<smp_lint::rules::Finding> {
+    analyze_files(
+        &[(path.to_string(), source.to_string())],
+        &Config::default(),
+    )
+}
+
+/// Asserts the bad fixture yields findings, all of them `rule`, and the good
+/// fixture yields none at all (from any rule).
+fn assert_rule(rule: &str, path: &str, bad: &str, good: &str) {
+    let bad_findings = findings(path, bad);
+    assert!(
+        !bad_findings.is_empty(),
+        "{rule}: bad fixture produced no findings"
+    );
+    for f in &bad_findings {
+        assert_eq!(
+            f.rule,
+            rule,
+            "{rule}: bad fixture tripped an unexpected rule: {}",
+            f.render()
+        );
+        assert!(f.line > 0, "{rule}: finding without a line: {}", f.render());
+        assert_eq!(f.path, path);
+    }
+    let good_findings = findings(path, good);
+    assert!(
+        good_findings.is_empty(),
+        "{rule}: good fixture is not clean: {:?}",
+        good_findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn d001_float_to_text_on_wire_paths() {
+    let bad = include_str!("../fixtures/d001_bad.rs");
+    let good = include_str!("../fixtures/d001_good.rs");
+    assert_rule("D001", "crates/pipeline/src/wire.rs", bad, good);
+    // Expect one finding per offending fn: plain {}, inline captures,
+    // precision spec, and an `as f64` cast.
+    assert_eq!(findings("crates/pipeline/src/wire.rs", bad).len(), 4);
+    // The same source outside the wire/checkpoint/cache scope is no finding:
+    // a CLI table printer may format floats freely.
+    assert!(findings("crates/cli/src/lib.rs", bad).is_empty());
+}
+
+#[test]
+fn d002_hash_iteration_feeding_ordered_sinks() {
+    let bad = include_str!("../fixtures/d002_bad.rs");
+    let good = include_str!("../fixtures/d002_good.rs");
+    assert_rule("D002", "crates/pipeline/src/checkpoint.rs", bad, good);
+    assert_eq!(findings("crates/pipeline/src/checkpoint.rs", bad).len(), 3);
+}
+
+#[test]
+fn d003_wall_clock_and_entropy_in_results() {
+    let bad = include_str!("../fixtures/d003_bad.rs");
+    let good = include_str!("../fixtures/d003_good.rs");
+    assert_rule("D003", "crates/core/src/passage.rs", bad, good);
+    assert_eq!(findings("crates/core/src/passage.rs", bad).len(), 3);
+    // transport.rs is exempt wholesale: timeouts are genuinely about wall time.
+    assert!(findings("crates/pipeline/src/transport.rs", bad).is_empty());
+}
+
+#[test]
+fn d004_panics_reachable_from_decoders() {
+    let bad = include_str!("../fixtures/d004_bad.rs");
+    let good = include_str!("../fixtures/d004_good.rs");
+    assert_rule("D004", "crates/pipeline/src/wire.rs", bad, good);
+    // unwrap in the root, expect in a callee, panic! in a transitive callee.
+    assert_eq!(findings("crates/pipeline/src/wire.rs", bad).len(), 3);
+}
+
+#[test]
+fn d005_guard_across_blocking_calls() {
+    let bad = include_str!("../fixtures/d005_bad.rs");
+    let good = include_str!("../fixtures/d005_good.rs");
+    assert_rule("D005", "crates/pipeline/src/transport.rs", bad, good);
+    assert_eq!(findings("crates/pipeline/src/transport.rs", bad).len(), 3);
+    // Outside transport.rs/master.rs the same code is not D005's business.
+    assert!(findings("crates/pipeline/src/work.rs", bad).is_empty());
+}

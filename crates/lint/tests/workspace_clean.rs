@@ -1,0 +1,53 @@
+//! Meta-test: the real workspace is clean under every rule.
+//!
+//! This is the same check CI runs via `cargo run -p smp-lint -- --deny`,
+//! kept as a test so `cargo test` alone catches a determinism regression.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_has_no_findings() {
+    // crates/lint/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels under the workspace root");
+    let report = smp_lint::analyze_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "determinism lints fired on the real workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn allowlist_entries_all_still_match_something() {
+    // A stale lint.toml entry (file renamed, line rewritten) silently
+    // broadens what is allowed; require every entry to keep earning its keep.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let config = smp_lint::load_config(root).expect("lint.toml parses");
+    for entry in &config.allow {
+        let path = root.join(&entry.file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("lint.toml names {} which cannot be read: {e}", entry.file));
+        assert!(
+            text.lines().any(|l| l.contains(&entry.context)),
+            "stale lint.toml entry: no line of {} contains {:?}",
+            entry.file,
+            entry.context
+        );
+    }
+}

@@ -238,7 +238,7 @@ impl<'a> BatchJob<'a> {
     }
 
     /// Adds a measure (builder style).
-    pub fn add(mut self, measure: MeasureSpec<'a>) -> Self {
+    pub fn with_measure(mut self, measure: MeasureSpec<'a>) -> Self {
         self.measures.push(measure);
         self
     }

@@ -20,7 +20,7 @@
 use parking_lot::RwLock;
 use smp_laplace::TransformValues;
 use smp_numeric::Complex64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The transform key under which untagged (pre-measure) checkpoint records and
 /// single-measure pipeline runs store their values.
@@ -29,7 +29,7 @@ pub const LEGACY_MEASURE_KEY: &str = "";
 /// A thread-safe, measure-keyed collection of [`TransformValues`] shards.
 #[derive(Debug, Default)]
 pub struct ResultCache {
-    shards: RwLock<HashMap<String, TransformValues>>,
+    shards: RwLock<BTreeMap<String, TransformValues>>,
 }
 
 impl ResultCache {
@@ -41,7 +41,7 @@ impl ResultCache {
     /// Creates a cache whose [`LEGACY_MEASURE_KEY`] shard is seeded from
     /// previously computed values (untagged checkpoint restore).
     pub fn from_values(values: TransformValues) -> Self {
-        let mut shards = HashMap::new();
+        let mut shards = BTreeMap::new();
         shards.insert(LEGACY_MEASURE_KEY.to_string(), values);
         ResultCache {
             shards: RwLock::new(shards),
@@ -50,7 +50,7 @@ impl ResultCache {
 
     /// Creates a cache from a full measure-keyed restore
     /// (see `checkpoint::load_checkpoint_by_measure`).
-    pub fn from_shards(shards: HashMap<String, TransformValues>) -> Self {
+    pub fn from_shards(shards: BTreeMap<String, TransformValues>) -> Self {
         ResultCache {
             shards: RwLock::new(shards),
         }
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn seeded_from_measure_keyed_shards() {
-        let mut shards = HashMap::new();
+        let mut shards = BTreeMap::new();
         let mut a = TransformValues::new();
         a.insert(Complex64::ONE, Complex64::I);
         shards.insert("a".to_string(), a);

@@ -31,7 +31,7 @@ use crate::cache::LEGACY_MEASURE_KEY;
 use crate::wire;
 use smp_laplace::TransformValues;
 use smp_numeric::Complex64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -134,8 +134,8 @@ impl CheckpointWriter {
 /// are skipped.
 pub fn load_checkpoint_by_measure(
     path: impl AsRef<Path>,
-) -> std::io::Result<HashMap<String, TransformValues>> {
-    let mut shards: HashMap<String, TransformValues> = HashMap::new();
+) -> std::io::Result<BTreeMap<String, TransformValues>> {
+    let mut shards: BTreeMap<String, TransformValues> = BTreeMap::new();
     let file = match File::open(path.as_ref()) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(shards),
@@ -145,14 +145,17 @@ pub fn load_checkpoint_by_measure(
     for line in reader.lines() {
         let line = line?;
         let mut parts = line.split_whitespace().peekable();
-        let key = match parts.peek() {
-            Some(first) if first.starts_with("k=") => {
-                let Some(key) = wire::decode_str(&parts.next().unwrap()[2..]) else {
+        // A checkpoint file is untrusted input (it may be truncated, edited,
+        // or from another run), so this loop never panics: every malformed
+        // construct is skipped, never unwrapped (smp-lint D004).
+        let key = match parts.next_if(|first| first.starts_with("k=")) {
+            Some(field) => {
+                let Some(key) = wire::decode_str(&field[2..]) else {
                     continue; // malformed key escape
                 };
                 key
             }
-            _ => LEGACY_MEASURE_KEY.to_string(),
+            None => LEGACY_MEASURE_KEY.to_string(),
         };
         // `wire::decode_f64` insists on exactly 16 hex digits; anything
         // shorter is a record truncated mid-field by a crash, which would
@@ -203,7 +206,7 @@ mod tests {
                 Complex64::new(1.0 / 3.0, 2.0e-15),
             ),
             (
-                Complex64::new(9.55, 3.1415926535),
+                Complex64::new(9.55, std::f64::consts::PI),
                 Complex64::new(-0.25, 0.75),
             ),
         ];

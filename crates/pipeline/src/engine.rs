@@ -158,7 +158,7 @@ fn moment_from_transform(
         acc += coeff * value.re;
     }
     let derivative = acc / h.powi(k);
-    Ok(if order % 2 == 0 {
+    Ok(if order.is_multiple_of(2) {
         derivative
     } else {
         -derivative
@@ -486,7 +486,7 @@ impl Engine for DistributedEngine {
                 provenance.workers = workers;
                 let found =
                     quantiles_from_cdf(probs, initial, max_horizon, &mut |ts: &[f64]| {
-                        let job = BatchJob::new().add(MeasureSpec::from_spec(
+                        let job = BatchJob::new().with_measure(MeasureSpec::from_spec(
                             name.clone(),
                             CurveKind::Cdf,
                             ts,

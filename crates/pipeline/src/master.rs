@@ -8,7 +8,7 @@ use crate::work::WorkItem;
 use crate::worker::WorkerStats;
 use smp_laplace::{union_s_points, InversionMethod, SPointPlan};
 use smp_numeric::Complex64;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -181,8 +181,8 @@ impl DistributedPipeline {
     /// let ts: Vec<f64> = (1..=8).map(|k| k as f64 * 0.5).collect();
     ///
     /// let job = BatchJob::new()
-    ///     .add(MeasureSpec::density("erlang:density", &ts, lst).with_transform_key("erlang"))
-    ///     .add(MeasureSpec::cdf("erlang:cdf", &ts, lst).with_transform_key("erlang"));
+    ///     .with_measure(MeasureSpec::density("erlang:density", &ts, lst).with_transform_key("erlang"))
+    ///     .with_measure(MeasureSpec::cdf("erlang:cdf", &ts, lst).with_transform_key("erlang"));
     ///
     /// let pipeline =
     ///     DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(4));
@@ -250,7 +250,7 @@ impl DistributedPipeline {
         // Restore any checkpointed values into their measure shards.
         let restored = match &self.options.checkpoint_path {
             Some(path) => load_checkpoint_by_measure(path)?,
-            None => HashMap::new(),
+            None => BTreeMap::new(),
         };
         let cache = ResultCache::from_shards(restored);
 
@@ -445,7 +445,7 @@ impl DistributedPipeline {
     /// Runs a one-measure batch and flattens the result into a
     /// [`PipelineResult`].
     fn run_single(&self, measure: MeasureSpec<'_>) -> Result<PipelineResult, PipelineError> {
-        let mut batch = self.run_batch(BatchJob::new().add(measure))?;
+        let mut batch = self.run_batch(BatchJob::new().with_measure(measure))?;
         let measure = batch.measures.pop().expect("single-measure batch");
         Ok(PipelineResult {
             t_points: measure.t_points,
@@ -663,15 +663,15 @@ mod tests {
         // A density, a CDF over the same transform (shared key), and a
         // "transient" measure over an unrelated transform.
         let job = BatchJob::new()
-            .add(
+            .with_measure(
                 MeasureSpec::density("d", &ts, density_evaluator(d.clone()))
                     .with_transform_key("erlang"),
             )
-            .add(
+            .with_measure(
                 MeasureSpec::cdf("F", &ts, density_evaluator(d.clone()))
                     .with_transform_key("erlang"),
             )
-            .add(MeasureSpec::transient("p", &ts, |s: Complex64| {
+            .with_measure(MeasureSpec::transient("p", &ts, |s: Complex64| {
                 // L{0.5 e^{-t}} — a transient-like bounded function.
                 Ok(Complex64::real(0.5) / (Complex64::ONE + s))
             }));
@@ -732,7 +732,7 @@ mod tests {
         // Spec-based: the measure carries a description, the transport
         // compiles it (exactly what a TCP worker process would do).
         let spec = TransformSpec::passage(model.clone(), targets.clone());
-        let job = BatchJob::new().add(MeasureSpec::from_spec(
+        let job = BatchJob::new().with_measure(MeasureSpec::from_spec(
             "voting:density",
             MeasureKind::Density,
             &ts,
@@ -775,7 +775,8 @@ mod tests {
         let ts = linspace(0.5, 3.0, 5);
         let pipeline =
             DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(2));
-        let job = BatchJob::new().add(MeasureSpec::density("d", &ts, density_evaluator(d)));
+        let job =
+            BatchJob::new().with_measure(MeasureSpec::density("d", &ts, density_evaluator(d)));
         let batch = pipeline.run_batch(job).unwrap();
         assert_eq!(batch.backend, "in-process");
         assert_eq!(batch.bytes_on_wire, 0);
@@ -792,7 +793,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        let job = BatchJob::new().add(MeasureSpec::density("d", &ts, density_evaluator(d)));
+        let job =
+            BatchJob::new().with_measure(MeasureSpec::density("d", &ts, density_evaluator(d)));
         let batch = pipeline.run_batch(job).unwrap();
         assert_eq!(batch.backend, "sim-latency");
         assert!(batch.bytes_on_wire > 0);
@@ -816,8 +818,8 @@ mod tests {
         let pipeline =
             DistributedPipeline::new(InversionMethod::euler(), PipelineOptions::with_workers(2));
         let job = BatchJob::new()
-            .add(MeasureSpec::density("a", &ts, density_evaluator(a)))
-            .add(MeasureSpec::density("b", &ts, density_evaluator(b)));
+            .with_measure(MeasureSpec::density("a", &ts, density_evaluator(a)))
+            .with_measure(MeasureSpec::density("b", &ts, density_evaluator(b)));
         let batch = pipeline.run_batch(job).unwrap();
         let union = SPointPlan::new(InversionMethod::euler(), &ts).len();
         // Default keys are the measure names: no sharing, |union| evaluations each.

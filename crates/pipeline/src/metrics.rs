@@ -94,7 +94,7 @@ where
                 ..Default::default()
             },
         );
-        let job = BatchJob::new().add(
+        let job = BatchJob::new().with_measure(
             MeasureSpec::density("scalability", t_points, &transform)
                 .with_transform_key(LEGACY_MEASURE_KEY),
         );
@@ -189,6 +189,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker count")]
     fn empty_worker_counts_rejected() {
-        let _ = run_scalability_sweep(InversionMethod::euler(), |s| Ok(s), &[1.0], &[], None);
+        let _ = run_scalability_sweep(InversionMethod::euler(), Ok, &[1.0], &[], None);
     }
 }

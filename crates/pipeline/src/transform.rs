@@ -657,7 +657,7 @@ impl CompiledEvaluator<'_> {
             EvaluatorKind::Analytic(dist) => dist.lst(s),
         };
         for _ in 0..self.s_divisions {
-            value = value / s;
+            value /= s;
         }
         Ok(value)
     }

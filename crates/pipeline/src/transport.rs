@@ -702,10 +702,9 @@ fn serve_worker_connection(
                         chunk.len()
                     ),
                 )),
-                Frame::Fatal { message } => Err(std::io::Error::new(
-                    std::io::ErrorKind::Other,
-                    format!("worker reported: {message}"),
-                )),
+                Frame::Fatal { message } => {
+                    Err(std::io::Error::other(format!("worker reported: {message}")))
+                }
                 other => Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("expected result frame, got {other:?}"),

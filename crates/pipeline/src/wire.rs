@@ -231,9 +231,17 @@ pub fn encode_outcome(outcome: &WorkItemOutcome) -> Result<String, WireError> {
             ));
         }
         Ok(value) => {
+            // The offending value is reported by its exact bit pattern (the
+            // same 16-hex-digit codec as every wire f64), not by `{}`: decimal
+            // float formatting is banned on wire paths (smp-lint D001) so that
+            // no text on the wire ever depends on a float-to-decimal routine.
             line.push_str(&format!(
                 " err {}",
-                encode_str(&format!("non-finite transform value {value}"))
+                encode_str(&format!(
+                    "non-finite transform value bits={}/{}",
+                    encode_f64(value.re),
+                    encode_f64(value.im)
+                ))
             ));
         }
         Err(message) => {

@@ -24,6 +24,8 @@
 //!   state-set selection (used to express "all polling units failed" as a target
 //!   set).
 
+#![forbid(unsafe_code)]
+
 pub mod enabling;
 pub mod marking;
 pub mod net;

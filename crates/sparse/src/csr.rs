@@ -205,14 +205,14 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn mul_vec_into(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec_into");
         assert_eq!(y.len(), self.rows, "output dimension mismatch");
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let start = self.indptr[r] as usize;
             let end = self.indptr[r + 1] as usize;
             let mut acc = T::ZERO;
             for i in start..end {
                 acc += self.values[i] * x[self.col_indices[i] as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 
@@ -234,8 +234,7 @@ impl<T: Scalar> CsrMatrix<T> {
         for v in y.iter_mut() {
             *v = T::ZERO;
         }
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr.is_zero() {
                 continue;
             }
@@ -334,8 +333,8 @@ impl<T: Scalar> CsrMatrix<T> {
         let mut col_indices = Vec::with_capacity(self.nnz());
         let mut values = Vec::with_capacity(self.nnz());
         indptr.push(0u64);
-        for r in 0..self.rows {
-            if !rows_to_zero[r] {
+        for (r, &zeroed) in rows_to_zero.iter().enumerate() {
+            if !zeroed {
                 let start = self.indptr[r] as usize;
                 let end = self.indptr[r + 1] as usize;
                 col_indices.extend_from_slice(&self.col_indices[start..end]);
@@ -392,9 +391,9 @@ impl<T: Scalar> CsrMatrix<T> {
             "refusing to densify a large sparse matrix"
         );
         let mut dense = vec![vec![T::ZERO; self.cols]; self.rows];
-        for r in 0..self.rows {
+        for (r, dense_row) in dense.iter_mut().enumerate() {
             for (c, v) in self.row(r) {
-                dense[r][c] = v;
+                dense_row[c] = v;
             }
         }
         dense

@@ -28,6 +28,8 @@
 //! which keeps the per-nonzero footprint at 12 bytes for real and 20 bytes for
 //! complex matrices.
 
+#![forbid(unsafe_code)]
+
 pub mod csr;
 pub mod parallel;
 pub mod scalar;

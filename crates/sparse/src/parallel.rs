@@ -68,12 +68,11 @@ pub fn par_vec_mul<T: Scalar>(a: &CsrMatrix<T>, x: &[T], threads: usize) -> Vec<
             }
             handles.push(scope.spawn(move |_| {
                 let mut local = vec![T::ZERO; cols];
-                for r in start_row..end_row {
-                    let xr = x[r];
+                for (off, &xr) in x[start_row..end_row].iter().enumerate() {
                     if xr.is_zero() {
                         continue;
                     }
-                    for (c, v) in a.row(r) {
+                    for (c, v) in a.row(start_row + off) {
                         local[c] += v * xr;
                     }
                 }

@@ -210,9 +210,9 @@ mod tests {
                 t.push(r, c, v);
             }
             let m = t.to_csr();
-            for r in 0..8 {
-                for c in 0..8 {
-                    prop_assert!((m.get(r, c) - dense[r][c]).abs() < 1e-9);
+            for (r, dense_row) in dense.iter().enumerate() {
+                for (c, &cell) in dense_row.iter().enumerate() {
+                    prop_assert!((m.get(r, c) - cell).abs() < 1e-9);
                 }
             }
             // nnz never exceeds number of distinct coordinates pushed
@@ -234,9 +234,9 @@ mod tests {
                 sums[r] += v;
             }
             let m = t.to_csr();
-            for r in 0..6 {
+            for (r, &expected) in sums.iter().enumerate() {
                 let row_sum: f64 = m.row(r).map(|(_, v)| v).sum();
-                prop_assert!((row_sum - sums[r]).abs() < 1e-9);
+                prop_assert!((row_sum - expected).abs() < 1e-9);
             }
         }
     }

@@ -21,6 +21,8 @@
 //! * helpers to express the paper's source/target sets (voters voted, failure
 //!   modes) as SMP state sets.
 
+#![forbid(unsafe_code)]
+
 pub mod configs;
 pub mod model;
 pub mod spec;

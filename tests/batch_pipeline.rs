@@ -55,9 +55,9 @@ fn batch_evaluation_count_is_union_times_measures_and_warm_reruns_hit_cache() {
     }
     let job = || {
         BatchJob::new()
-            .add(MeasureSpec::density("0->2", &ts, passage(&to_half)))
-            .add(MeasureSpec::density("0->3", &ts, passage(&to_end)))
-            .add(MeasureSpec::cdf("1->0", &ts, passage(&back_home)))
+            .with_measure(MeasureSpec::density("0->2", &ts, passage(&to_half)))
+            .with_measure(MeasureSpec::density("0->3", &ts, passage(&to_end)))
+            .with_measure(MeasureSpec::cdf("1->0", &ts, passage(&back_home)))
     };
 
     // Cold cache: |union| × M evaluations, no hits.
@@ -118,8 +118,10 @@ fn batch_values_match_single_process_analysis() {
     let batch = pipeline
         .run_batch(
             BatchJob::new()
-                .add(MeasureSpec::density("f", &ts, evaluator).with_transform_key("passage"))
-                .add(MeasureSpec::cdf("F", &ts, evaluator).with_transform_key("passage")),
+                .with_measure(
+                    MeasureSpec::density("f", &ts, evaluator).with_transform_key("passage"),
+                )
+                .with_measure(MeasureSpec::cdf("F", &ts, evaluator).with_transform_key("passage")),
         )
         .unwrap();
 
@@ -173,7 +175,7 @@ fn mixed_format_checkpoint_feeds_both_legacy_and_batch_runs() {
     assert!(legacy.evaluations > 0);
     // …a batch run appends tagged records to the same file…
     let batch = pipeline
-        .run_batch(BatchJob::new().add(MeasureSpec::density("erlang", &ts, &evaluator)))
+        .run_batch(BatchJob::new().with_measure(MeasureSpec::density("erlang", &ts, &evaluator)))
         .unwrap();
     assert_eq!(batch.evaluations, legacy.evaluations); // distinct shard: re-evaluated
 
@@ -183,7 +185,7 @@ fn mixed_format_checkpoint_feeds_both_legacy_and_batch_runs() {
     assert_eq!(legacy_again.evaluations, 0);
     assert_eq!(legacy_again.cache_hits, legacy.evaluations);
     let batch_again = pipeline
-        .run_batch(BatchJob::new().add(MeasureSpec::density("erlang", &ts, &evaluator)))
+        .run_batch(BatchJob::new().with_measure(MeasureSpec::density("erlang", &ts, &evaluator)))
         .unwrap();
     assert_eq!(batch_again.evaluations, 0);
     assert_eq!(batch_again.measures[0].cache_hits, legacy.evaluations);

@@ -135,7 +135,7 @@ pub mod channel {
 mod tests {
     #[test]
     fn scope_joins_and_collects() {
-        let data = vec![1, 2, 3];
+        let data = [1, 2, 3];
         let sum: i32 = super::scope(|s| {
             let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()

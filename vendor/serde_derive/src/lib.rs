@@ -11,17 +11,14 @@ use proc_macro::{TokenStream, TokenTree};
 fn type_name(input: TokenStream) -> String {
     let mut saw_keyword = false;
     for tt in input {
-        match tt {
-            TokenTree::Ident(id) => {
-                let s = id.to_string();
-                if saw_keyword {
-                    return s;
-                }
-                if s == "struct" || s == "enum" {
-                    saw_keyword = true;
-                }
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
             }
-            _ => {}
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
         }
     }
     panic!("derive input contained no struct or enum name");
