@@ -22,7 +22,11 @@
 //! * `analytic` — sequential in-process Laplace inversion (bitwise identical
 //!   to `distributed`);
 //! * `sim` — discrete-event simulation of the same model with
-//!   `--replications`/`--seed` control.
+//!   `--replications`/`--seed` control;
+//! * `uniform` — CTMC uniformization for models whose holding times are all
+//!   exponential, with an a-priori truncation error bound and no Laplace
+//!   inversion (when `--engine analytic` is asked to solve such a model, the
+//!   report carries a hint that `uniform` applies).
 //!
 //! `--validate-sim TOL` runs the chosen engine *and* the simulation engine and
 //! fails if any shared point disagrees beyond `TOL` (relative) plus the
@@ -32,12 +36,15 @@
 //! The binary in `src/main.rs` is a thin wrapper around [`parse_args`] and
 //! [`run`], which are kept in this library so the whole flow is unit-testable.
 
-use smp_core::query::{Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest};
+use smp_core::query::{
+    Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest, MEASURE_KIND_NAMES,
+};
 use smp_laplace::InversionMethod;
 use smp_numeric::stats::linspace;
 use smp_pipeline::{
-    run_tcp_worker, AnalyticEngine, DistributedEngine, ModelSpec, PipelineOptions,
-    SimulationEngine, SimulationOptions, TcpTransport, TcpWorkerOptions,
+    run_tcp_worker, uniformization_applies, AnalyticEngine, DistributedEngine, ModelSpec,
+    PipelineOptions, SimulationEngine, SimulationOptions, TcpTransport, TcpWorkerOptions,
+    UniformizationEngine,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -102,6 +109,8 @@ pub enum EngineChoice {
     Sim,
     /// The distributed master–worker pipeline (default).
     Distributed,
+    /// CTMC uniformization (all-exponential models only).
+    Uniform,
 }
 
 impl EngineChoice {
@@ -110,7 +119,14 @@ impl EngineChoice {
             EngineChoice::Analytic => "analytic",
             EngineChoice::Sim => "sim",
             EngineChoice::Distributed => "distributed",
+            EngineChoice::Uniform => "uniform",
         }
+    }
+
+    /// The measure kinds the chosen engine supports, for engine-scoped
+    /// `--measure` parse errors.  Every shipped engine answers the full set.
+    fn supported_kinds(self) -> &'static str {
+        MEASURE_KIND_NAMES
     }
 }
 
@@ -201,9 +217,12 @@ MEASURES (repeatable, at least one):
         time-dependent state probability.
 
 ENGINE:
-    --engine NAME       distributed (default) | analytic | sim
+    --engine NAME       distributed (default) | analytic | sim | uniform
                         analytic and distributed agree bitwise; sim is the
-                        discrete-event reference with confidence bounds
+                        discrete-event reference with confidence bounds;
+                        uniform solves all-exponential models by CTMC
+                        uniformization with an a-priori truncation bound
+                        (rejects models with any non-exponential holding time)
     --validate-sim TOL  also run the simulation engine and fail if any shared
                         point deviates more than TOL (relative) plus the
                         simulation's 95% confidence bound (density measures
@@ -259,7 +278,9 @@ fn parse_voting(value: &str) -> Result<ModelSource, CliError> {
 /// Parses command-line arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let mut model: Option<ModelSource> = None;
-    let mut measures = Vec::new();
+    // Raw `--measure` texts; parsed after the loop so kind errors can speak
+    // for whichever engine `--engine` picked, regardless of flag order.
+    let mut measure_texts: Vec<String> = Vec::new();
     let mut t_start = 1.0;
     let mut t_stop = 10.0;
     let mut t_count = 10usize;
@@ -282,8 +303,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         match flag.as_str() {
             "--model" => model = Some(ModelSource::File(PathBuf::from(value_of("--model")?))),
             "--voting" => model = Some(parse_voting(value_of("--voting")?)?),
-            "--measure" => measures
-                .push(MeasureRequest::parse(value_of("--measure")?).map_err(CliError::Usage)?),
+            "--measure" => measure_texts.push(value_of("--measure")?.clone()),
             "--t-start" => {
                 t_start = value_of("--t-start")?
                     .parse()
@@ -304,9 +324,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     "analytic" => EngineChoice::Analytic,
                     "sim" | "simulation" => EngineChoice::Sim,
                     "distributed" => EngineChoice::Distributed,
+                    "uniform" | "uniformization" => EngineChoice::Uniform,
                     other => {
                         return Err(CliError::Usage(format!(
-                            "unknown engine '{other}' (expected analytic, sim or distributed)"
+                            "unknown engine '{other}' \
+                             (expected analytic, sim, distributed or uniform)"
                         )))
                     }
                 }
@@ -383,6 +405,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             "a model is required: --model FILE or --voting CC,MM,NN".into(),
         ));
     };
+    let measures: Vec<MeasureRequest> = measure_texts
+        .iter()
+        .map(|text| {
+            MeasureRequest::parse_for_engine(text, engine.name(), engine.supported_kinds())
+                .map_err(CliError::Usage)
+        })
+        .collect::<Result<_, _>>()?;
     if measures.is_empty() && !emit_model {
         return Err(CliError::Usage(
             "at least one --measure KIND:TARGET is required".into(),
@@ -455,7 +484,7 @@ fn sim_options(options: &CliOptions) -> SimulationOptions {
 ///
 /// The whole measure-resolution flow is a shim over
 /// [`smp_core::query::Engine::solve`]: the flags select and configure one of
-/// the three engines, the `--measure` requests go through unchanged, and the
+/// the four engines, the `--measure` requests go through unchanged, and the
 /// report is rendered from the returned [`MeasureReport`]s — including their
 /// provenance (backend, wire traffic, cache hits, error bounds).
 pub fn run(options: &CliOptions) -> Result<String, CliError> {
@@ -476,6 +505,17 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
         .map(|m| m.clone().with_t_points(&ts))
         .collect();
 
+    // The uniformization engine solves all-exponential models exactly with an
+    // a-priori truncation bound; tell the modeller when their model qualifies
+    // but they picked the Laplace-inversion path.
+    if options.engine == EngineChoice::Analytic && uniformization_applies(&spec) {
+        let _ = writeln!(
+            out,
+            "hint: every holding-time distribution in this model is exponential; \
+--engine uniform solves it by CTMC uniformization with an a-priori truncation bound"
+        );
+    }
+
     // Build the chosen engine.  The TCP transport is bound here so the
     // rendezvous hints can be printed *before* solve blocks in accept.
     let engine: Box<dyn Engine> = match (&options.engine, &options.workers) {
@@ -483,6 +523,7 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
             Box::new(AnalyticEngine::new(spec, options.method.to_method()))
         }
         (EngineChoice::Sim, _) => Box::new(SimulationEngine::new(spec, sim_options(options))),
+        (EngineChoice::Uniform, _) => Box::new(UniformizationEngine::new(spec)),
         (EngineChoice::Distributed, WorkerBackend::Threads(n)) => {
             Box::new(DistributedEngine::in_process(
                 spec,
@@ -627,8 +668,13 @@ fn render_reports(out: &mut String, ts: &[f64], reports: &[MeasureReport]) {
             MeasureKind::Mean | MeasureKind::Moment { .. } => {
                 let value = report.scalar().unwrap_or(f64::NAN);
                 match report.provenance.error_bound {
-                    Some(ci) => {
+                    // The simulation's bound is a confidence interval; every
+                    // other engine reports a numerical error bound.
+                    Some(ci) if report.provenance.engine == "simulation" => {
                         let _ = writeln!(out, "{} = {value:.6} (95% CI ±{ci:.6})", report.name);
+                    }
+                    Some(bound) => {
+                        let _ = writeln!(out, "{} = {value:.6} (±{bound:.6})", report.name);
                     }
                     None => {
                         let _ = writeln!(out, "{} = {value:.6}", report.name);
@@ -654,6 +700,7 @@ fn render_summary(
             WorkerBackend::Threads(_) => "in-process".to_string(),
             WorkerBackend::Tcp(_) => "tcp".to_string(),
         },
+        EngineChoice::Uniform => "poisson".to_string(),
     };
     let workers = reports
         .iter()
@@ -946,6 +993,8 @@ mod tests {
             ("sim", EngineChoice::Sim),
             ("simulation", EngineChoice::Sim),
             ("distributed", EngineChoice::Distributed),
+            ("uniform", EngineChoice::Uniform),
+            ("uniformization", EngineChoice::Uniform),
         ] {
             let options = parse_args(&args(&[
                 "--voting",
@@ -1274,6 +1323,153 @@ mod tests {
 
         let sim = run(&parse_args(&base("sim")).unwrap()).unwrap();
         assert!(sim.contains("engine: simulation [monte-carlo"), "{sim}");
+    }
+
+    /// A three-state all-exponential ring, written to a temp file for
+    /// `--model` runs of the uniformization engine and its analytic hint.
+    fn exp_ring_model_file(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("smpq-exp-ring-{tag}-{}.mod", std::process::id()));
+        std::fs::write(
+            &path,
+            r"
+\place{a}{1}
+\place{b}{0}
+\place{c}{0}
+
+\transition{ab}{
+    \condition{a > 0}
+    \action{ next->a = a - 1; next->b = b + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(2.0, s); }
+}
+\transition{bc}{
+    \condition{b > 0}
+    \action{ next->b = b - 1; next->c = c + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(1.0, s); }
+}
+\transition{ca}{
+    \condition{c > 0}
+    \action{ next->c = c - 1; next->a = a + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(3.0, s); }
+}
+",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn uniform_engine_end_to_end_with_analytic_hint() {
+        let model = exp_ring_model_file("e2e");
+        let base = |engine: &str| {
+            args(&[
+                "--model",
+                model.to_str().unwrap(),
+                "--measure",
+                "cdf:c>=1",
+                "--measure",
+                "mean:c>=1",
+                "--t-start",
+                "0.5",
+                "--t-stop",
+                "8",
+                "--t-count",
+                "4",
+                "--engine",
+                engine,
+            ])
+        };
+
+        // The uniformization engine answers both measures; the hint is absent
+        // (the user already picked the right engine).
+        let uniform = run(&parse_args(&base("uniform")).unwrap()).unwrap();
+        assert!(
+            uniform.contains("engine: uniformization [poisson]"),
+            "{uniform}"
+        );
+        assert!(uniform.contains("mean:c>=1 = 1.5000"), "{uniform}");
+        assert!(!uniform.contains("hint:"), "{uniform}");
+
+        // The analytic engine on the same all-exponential model carries the
+        // routing hint, and the two engines' mean passage times agree.
+        let analytic = run(&parse_args(&base("analytic")).unwrap()).unwrap();
+        assert!(
+            analytic.contains("hint: every holding-time distribution in this model is exponential"),
+            "{analytic}"
+        );
+        assert!(analytic.contains("--engine uniform"), "{analytic}");
+        assert!(analytic.contains("mean:c>=1 = 1.5000"), "{analytic}");
+
+        // A mixed-distribution model must NOT carry the hint.
+        let voting = run(&parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "mean:p2>=2",
+            "--engine",
+            "analytic",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(!voting.contains("hint:"), "{voting}");
+
+        std::fs::remove_file(&model).unwrap();
+    }
+
+    #[test]
+    fn uniform_engine_rejects_non_exponential_models() {
+        // The built-in voting model mixes Erlang/uniform/deterministic holding
+        // times: the uniformization engine must refuse it, naming the cure.
+        let options = parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "mean:p2>=2",
+            "--engine",
+            "uniform",
+        ]))
+        .unwrap();
+        match run(&options) {
+            Err(CliError::Analysis(m)) => {
+                assert!(m.contains("not exponential"), "{m}");
+                assert!(m.contains("analytic"), "{m}");
+            }
+            other => panic!("expected an analysis error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_parse_errors_name_the_chosen_engines_kinds() {
+        // Engine-scoped kind errors flow through the CLI regardless of the
+        // order of --engine and --measure on the command line.
+        for flags in [
+            vec![
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "frob:p2>=3",
+                "--engine",
+                "uniform",
+            ],
+            vec![
+                "--voting",
+                "3,1,1",
+                "--engine",
+                "uniform",
+                "--measure",
+                "frob:p2>=3",
+            ],
+        ] {
+            let err = parse_args(&args(&flags)).unwrap_err().to_string();
+            assert!(
+                err.contains("kinds supported by the uniform engine"),
+                "{err}"
+            );
+            assert!(err.contains(MEASURE_KIND_NAMES), "{err}");
+        }
     }
 
     #[test]

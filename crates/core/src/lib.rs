@@ -32,10 +32,15 @@
 //!   (The distributed work-queue version of the same computation lives in
 //!   `smp-pipeline`.)
 //! * [`query`] — the typed measure-query layer: [`MeasureRequest`] /
-//!   [`MeasureReport`] and the [`Engine`] trait that the analytic, simulation
-//!   and distributed engines in `smp-pipeline` all implement, so every
-//!   consumer-facing quantity (densities, CDFs, transients, quantiles,
-//!   moments) is served through one front door.
+//!   [`MeasureReport`] and the [`Engine`] trait that the analytic, simulation,
+//!   distributed and uniformization engines in `smp-pipeline` all implement,
+//!   so every consumer-facing quantity (densities, CDFs, transients,
+//!   quantiles, moments) is served through one front door.
+//! * [`uniform`] — the all-exponential special case: when every holding time
+//!   is structurally exponential the SMP reduces exactly to a phase-space
+//!   CTMC ([`PhaseCtmc`]) and transients / passage distributions come from
+//!   Poisson-weighted power iteration (uniformization) with an a-priori
+//!   truncation bound, no Laplace inversion involved.
 //!
 //! ## Quick example
 //!
@@ -70,6 +75,7 @@ pub mod smp;
 pub mod solver;
 pub mod steady;
 pub mod transient;
+pub mod uniform;
 pub mod workspace;
 
 pub use error::SmpError;
@@ -80,4 +86,5 @@ pub use query::{
 };
 pub use smp::{SemiMarkovProcess, SmpBuilder, StateSet};
 pub use solver::{PassageTimeAnalysis, TransientAnalysis};
+pub use uniform::{PhaseCtmc, UniformError};
 pub use workspace::{HotPathStats, PassageSkeleton, PassageWorkspace, WorkspacePool};

@@ -99,6 +99,22 @@ impl Dist {
         Dist::Convolution(parts)
     }
 
+    /// `Some(rate)` iff this distribution **is** the exponential variant, i.e.
+    /// it was built with [`Dist::exponential`].
+    ///
+    /// The probe is deliberately structural, not distributional: a one-phase
+    /// Erlang, a single-branch mixture over an exponential, or a one-part
+    /// convolution are all *distributionally* exponential but return `None`.
+    /// Callers (the uniformization backend's all-exponential detection) rely
+    /// on this strictness so that the memoryless-reduction precondition is
+    /// visible in the model text rather than inferred by numeric accident.
+    pub fn is_exponential(&self) -> Option<f64> {
+        match self {
+            Dist::Exponential { rate } => Some(*rate),
+            _ => None,
+        }
+    }
+
     /// Mean of the distribution.
     pub fn mean(&self) -> f64 {
         match self {
@@ -508,6 +524,26 @@ mod tests {
         Dist::mixture(vec![]);
     }
 
+    #[test]
+    fn is_exponential_is_structural_not_distributional() {
+        assert_eq!(Dist::exponential(2.5).is_exponential(), Some(2.5));
+        // Lookalikes that are distributionally exponential (or degenerate
+        // wrappers around one) must NOT pass the probe.
+        assert_eq!(Dist::erlang(2.5, 1).is_exponential(), None);
+        assert_eq!(
+            Dist::mixture(vec![(1.0, Dist::exponential(2.5))]).is_exponential(),
+            None
+        );
+        assert_eq!(
+            Dist::convolution(vec![Dist::exponential(2.5)]).is_exponential(),
+            None
+        );
+        // Plainly non-exponential shapes.
+        assert_eq!(Dist::deterministic(0.4).is_exponential(), None);
+        assert_eq!(Dist::uniform(0.0, 1.0).is_exponential(), None);
+        assert_eq!(Dist::weibull(2.0, 1.0).is_exponential(), None);
+    }
+
     proptest! {
         /// Every LST satisfies |L(s)| ≤ 1 for Re(s) ≥ 0 and L(0) = 1.
         #[test]
@@ -551,6 +587,29 @@ mod tests {
                 (-derivative - d.mean()).abs() < 1e-3 * (1.0 + d.mean()),
                 "-L'(0) = {} vs mean {}", -derivative, d.mean()
             );
+        }
+
+        /// `is_exponential` returns `Some(rate)` exactly for values built via
+        /// `Dist::exponential`, and `None` for every lookalike — including a
+        /// one-phase Erlang with the same rate, a Weibull with shape 1 (also
+        /// distributionally exponential), and trivial mixture/convolution
+        /// wrappers around an exponential.
+        #[test]
+        fn prop_is_exponential_iff_built_as_exponential(
+            rate in 0.05f64..50.0,
+            which in 0usize..5)
+        {
+            let built = Dist::exponential(rate);
+            prop_assert_eq!(built.is_exponential(), Some(rate));
+
+            let lookalike = match which {
+                0 => Dist::erlang(rate, 1),
+                1 => Dist::weibull(1.0, 1.0 / rate),
+                2 => Dist::mixture(vec![(1.0, Dist::exponential(rate))]),
+                3 => Dist::convolution(vec![Dist::exponential(rate)]),
+                _ => Dist::deterministic(1.0 / rate),
+            };
+            prop_assert_eq!(lookalike.is_exponential(), None);
         }
 
         /// CDFs are monotone non-decreasing and land in [0, 1].

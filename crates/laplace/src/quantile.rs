@@ -239,6 +239,51 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_from_cdf_edge_probabilities() {
+        // Synthetic CDF F(t) = min(1, t/2): linear ramp that reaches 1 exactly
+        // at t = 2, so every edge case has a known answer.
+        let mut ramp = |ts: &[f64]| -> Result<Vec<f64>, std::convert::Infallible> {
+            Ok(ts.iter().map(|t| (t / 2.0).min(1.0)).collect())
+        };
+
+        // p -> 0: resolved on the first coarse grid; the answer is the first
+        // point of the refinement grid, i.e. the search's resolution floor,
+        // never a negative or zero time.
+        let result = quantiles_from_cdf(&[0.0, 1e-12], 1.0, 16.0, &mut ramp).unwrap();
+        for (p, q) in [0.0, 1e-12].iter().zip(&result) {
+            let q = q.expect("tiny probabilities resolve immediately");
+            assert!(q > 0.0 && q <= 1.0 / 64.0, "q({p}) = {q}");
+        }
+
+        // p = 1: reached exactly at t = 2 (the coarse grid has points past 2).
+        let result = quantiles_from_cdf(&[1.0], 1.0, 16.0, &mut ramp).unwrap();
+        let q = result[0].expect("the ramp reaches 1 within the horizon");
+        assert!((q - 2.0).abs() < 0.1, "q(1.0) = {q}");
+
+        // p = 1 against an asymptotic CDF that never *equals* 1 on the grid:
+        // reported as unreachable, not as the horizon cap.
+        let mut asymptotic = |ts: &[f64]| -> Result<Vec<f64>, std::convert::Infallible> {
+            Ok(ts.iter().map(|t| 1.0 - (-t).exp()).collect())
+        };
+        let result = quantiles_from_cdf(&[1.0], 1.0, 16.0, &mut asymptotic).unwrap();
+        assert_eq!(result[0], None);
+
+        // Non-bracketing (far too large) initial horizon: the true median of
+        // the ramp (t = 1) sits below the first coarse grid point at
+        // 1024/128 = 8.  The search still resolves -- to the refinement
+        // grid's floor, never below the true quantile and never above the
+        // coarse cell that first crossed p.
+        let result = quantiles_from_cdf(&[0.5], 1024.0, 1024.0, &mut ramp).unwrap();
+        let q = result[0].expect("resolved on the oversized grid");
+        assert!((1.0..=16.0).contains(&q), "q(0.5) = {q} on a 1024 horizon");
+
+        // Non-bracketing (too small) initial horizon with no room to expand:
+        // max_horizon == initial_horizon < q(p) means None, not a clamp.
+        let result = quantiles_from_cdf(&[0.9], 0.25, 0.25, &mut ramp).unwrap();
+        assert_eq!(result[0], None);
+    }
+
+    #[test]
     fn quantiles_from_cdf_reports_unreachable_probs_as_none() {
         // A defective CDF that tops out at 0.4: the 0.9-quantile is never
         // reached, the 0.25-quantile is.

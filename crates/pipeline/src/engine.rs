@@ -1,9 +1,10 @@
-//! The three measure engines behind the typed query layer.
+//! The four measure engines behind the typed query layer.
 //!
 //! `smp_core::query` defines *what* can be asked ([`MeasureRequest`]) and what
-//! comes back ([`MeasureReport`]); this module supplies the three
+//! comes back ([`MeasureReport`]); this module supplies the four
 //! implementations of its [`Engine`] trait — the paper's full validation
-//! triangle behind one call:
+//! triangle behind one call, plus a third independent oracle for the
+//! all-exponential special case:
 //!
 //! * [`AnalyticEngine`] — in-process Laplace inversion: compile the model,
 //!   evaluate the transform sequentially, invert.  The single-machine
@@ -18,6 +19,13 @@
 //!   control), reporting confidence bounds so the deterministic engines can be
 //!   cross-validated against it — the paper's "Simulation" curves of Figs. 4
 //!   and 6 as an API, and the substance of `smpq --validate-sim`.
+//! * [`UniformizationEngine`] — the all-exponential special case: when every
+//!   holding time is structurally exponential the SMP reduces exactly to a
+//!   phase-space CTMC (`smp_core::uniform`) and every measure kind is
+//!   answered by Poisson-weighted power iteration (plus exact linear solves
+//!   for moments) — no Laplace inversion, and an a-priori truncation bound in
+//!   `Provenance::error_bound`.  Models with any non-exponential holding time
+//!   are rejected with an `Unsupported` error.
 //!
 //! Derived measure kinds are layered on shared machinery so engines cannot
 //! drift apart: quantiles run `smp_laplace::quantiles_from_cdf` over a
@@ -28,11 +36,16 @@
 
 use crate::batch::{BatchJob, MeasureKind as CurveKind, MeasureSpec};
 use crate::master::{DistributedPipeline, PipelineOptions};
-use crate::transform::{CompiledEvaluator, CompiledModelSet, ModelSpec, TransformSpec};
+use crate::transform::{
+    CompiledEvaluator, CompiledModelSet, ModelSpec, ResolveTarget, TargetResolveError,
+    TransformSpec,
+};
 use crate::transport::{InProcess, SimulatedLatency, Transport};
 use smp_core::query::{
     Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest, Provenance,
 };
+use smp_core::uniform::{self, PhaseCtmc};
+use smp_core::StateSet;
 use smp_laplace::{quantiles_from_cdf, InversionMethod, SPointPlan, TransformValues};
 use smp_numeric::Complex64;
 use smp_simulator::{
@@ -785,6 +798,225 @@ impl Engine for SimulationEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// UniformizationEngine
+// ---------------------------------------------------------------------------
+
+/// `true` iff the uniformization engine can solve `model`: the model parses,
+/// its state space explores, and every pooled holding-time distribution is
+/// structurally exponential.
+///
+/// This performs a full state-space exploration (distribution parameters may
+/// be marking-dependent, so the check cannot be purely syntactic); callers on
+/// a hot path should cache the answer.
+pub fn uniformization_applies(model: &ModelSpec) -> bool {
+    let source = model.source();
+    let Ok(net) = smp_dnamaca::parse_model(&source) else {
+        return false;
+    };
+    let Ok(space) = smp_smspn::StateSpace::explore(&net) else {
+        return false;
+    };
+    uniform::is_all_exponential(space.smp())
+}
+
+/// Uniformization over the phase-space CTMC of an all-exponential model.
+///
+/// Solves every [`MeasureKind`] without Laplace inversion: transients and
+/// passage CDFs/densities by Poisson-weighted power iteration (truncation
+/// bound in `Provenance::error_bound`), quantiles through the shared
+/// `smp_laplace::quantiles_from_cdf` search over a uniformized CDF provider,
+/// and means/moments from the absorbing chain's exact linear systems.  Models
+/// with any non-exponential holding time fail with
+/// [`EngineError::Unsupported`] naming the offending distribution.
+#[derive(Debug, Clone)]
+pub struct UniformizationEngine {
+    model: ModelSpec,
+    tolerance: f64,
+}
+
+impl UniformizationEngine {
+    /// A uniformization engine over `model` with the default Poisson
+    /// truncation tolerance ([`smp_core::uniform::DEFAULT_TOLERANCE`]).
+    pub fn new(model: ModelSpec) -> Self {
+        Self::with_tolerance(model, uniform::DEFAULT_TOLERANCE)
+    }
+
+    /// A uniformization engine with an explicit truncation tolerance in
+    /// `(0, 1)` — the Poisson tail mass the power iteration may neglect at
+    /// each time point.
+    pub fn with_tolerance(model: ModelSpec, tolerance: f64) -> Self {
+        assert!(
+            tolerance > 0.0 && tolerance < 1.0,
+            "truncation tolerance must be in (0, 1), got {tolerance}"
+        );
+        UniformizationEngine { model, tolerance }
+    }
+}
+
+/// Maps a target-resolution failure onto the engine error taxonomy the other
+/// engines use: unknown places are *model* errors, an unsatisfiable predicate
+/// is an *analysis* error.
+fn resolve_error(e: TargetResolveError) -> EngineError {
+    match e {
+        TargetResolveError::UnknownPlace { .. } => EngineError::Model(e.to_string()),
+        TargetResolveError::NoMatchingMarking { .. } => EngineError::Analysis(e.to_string()),
+    }
+}
+
+fn uniform_error(e: uniform::UniformError) -> EngineError {
+    EngineError::Analysis(e.to_string())
+}
+
+impl Engine for UniformizationEngine {
+    fn name(&self) -> &'static str {
+        "uniformization"
+    }
+
+    fn solve(&self, requests: &[MeasureRequest]) -> Result<Vec<MeasureReport>, EngineError> {
+        let net = validate_requests(&self.model, requests)?;
+        let space =
+            smp_smspn::StateSpace::explore(&net).map_err(|e| EngineError::Model(e.to_string()))?;
+        let smp = space.smp();
+        if let Err(e) = uniform::exponential_rates(smp) {
+            // Not an analysis failure: the model is simply outside this
+            // engine's scenario family.
+            return Err(EngineError::Unsupported(format!(
+                "{e}; use the analytic, distributed or simulation engine for \
+                 general holding-time distributions"
+            )));
+        }
+        let initial = space.initial_state();
+        let states = Some(space.num_states());
+
+        // One transient chain serves every occupancy request; passage chains
+        // are cached per distinct target predicate so e.g. density + cdf +
+        // quantile over one target share a single reduction.
+        let mut transient_chain: Option<PhaseCtmc> = None;
+        let mut passage_chains: Vec<(String, PhaseCtmc)> = Vec::new();
+
+        let mut reports = Vec::with_capacity(requests.len());
+        for request in requests {
+            let started = Instant::now();
+            let target_states = request
+                .target
+                .resolve(&net, &space)
+                .map_err(resolve_error)?;
+            let targets = StateSet::new(smp.num_states(), &target_states)
+                .map_err(|e| EngineError::Analysis(e.to_string()))?;
+
+            let mut provenance = Provenance::local("uniformization", "poisson");
+            provenance.states = states;
+
+            let (points, values) = match &request.kind {
+                MeasureKind::Transient => {
+                    if transient_chain.is_none() {
+                        transient_chain =
+                            Some(PhaseCtmc::transient(smp, initial).map_err(uniform_error)?);
+                    }
+                    let chain = transient_chain.as_ref().expect("just built");
+                    let out = chain
+                        .transient_probability(&targets, &request.t_points, self.tolerance)
+                        .map_err(uniform_error)?;
+                    provenance.evaluations = out.iterations;
+                    provenance.error_bound = Some(out.truncation_bound);
+                    let values = out.values.iter().map(|v| v.clamp(0.0, 1.0)).collect();
+                    (request.t_points.clone(), values)
+                }
+                kind => {
+                    let key = request.target.to_string();
+                    if !passage_chains.iter().any(|(k, _)| *k == key) {
+                        let built =
+                            PhaseCtmc::passage(smp, initial, &targets).map_err(uniform_error)?;
+                        passage_chains.push((key.clone(), built));
+                    }
+                    let chain = &passage_chains
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .expect("just inserted")
+                        .1;
+                    match kind {
+                        MeasureKind::Cdf => {
+                            let out = chain
+                                .cdf(&request.t_points, self.tolerance)
+                                .map_err(uniform_error)?;
+                            provenance.evaluations = out.iterations;
+                            provenance.error_bound = Some(out.truncation_bound);
+                            // Same monotone repair the inversion engines apply
+                            // to their CDF curves.
+                            let mut running = 0.0f64;
+                            let values = out
+                                .values
+                                .iter()
+                                .map(|v| {
+                                    running = running.max(v.clamp(0.0, 1.0));
+                                    running
+                                })
+                                .collect();
+                            (request.t_points.clone(), values)
+                        }
+                        MeasureKind::Density => {
+                            let out = chain
+                                .density(&request.t_points, self.tolerance)
+                                .map_err(uniform_error)?;
+                            provenance.evaluations = out.iterations;
+                            provenance.error_bound = Some(out.truncation_bound);
+                            let values = out.values.iter().map(|v| v.max(0.0)).collect();
+                            (request.t_points.clone(), values)
+                        }
+                        MeasureKind::Quantile { probs } => {
+                            let (initial_horizon, max_horizon) = quantile_horizons(request);
+                            let mut iterations = 0usize;
+                            let mut bound = 0.0f64;
+                            let found = quantiles_from_cdf(
+                                probs,
+                                initial_horizon,
+                                max_horizon,
+                                &mut |ts: &[f64]| {
+                                    let out =
+                                        chain.cdf(ts, self.tolerance).map_err(uniform_error)?;
+                                    iterations += out.iterations;
+                                    bound = bound.max(out.truncation_bound);
+                                    Ok::<Vec<f64>, EngineError>(out.values)
+                                },
+                            )?;
+                            let values =
+                                require_quantiles(&request.name(), probs, found, max_horizon)?;
+                            provenance.evaluations = iterations;
+                            // The bound is on the CDF values the search read,
+                            // not on the inverted time axis.
+                            provenance.error_bound = Some(bound);
+                            (probs.clone(), values)
+                        }
+                        MeasureKind::Mean => {
+                            let m = chain.moment(1).map_err(uniform_error)?;
+                            provenance.evaluations = m.iterations;
+                            provenance.error_bound = Some(m.residual);
+                            (vec![1.0], vec![m.value])
+                        }
+                        MeasureKind::Moment { order } => {
+                            let m = chain.moment(*order).map_err(uniform_error)?;
+                            provenance.evaluations = m.iterations;
+                            provenance.error_bound = Some(m.residual);
+                            (vec![f64::from(*order)], vec![m.value])
+                        }
+                        MeasureKind::Transient => unreachable!("handled above"),
+                    }
+                }
+            };
+            provenance.wall = started.elapsed();
+            reports.push(MeasureReport {
+                name: request.name(),
+                kind: request.kind.clone(),
+                points,
+                values,
+                provenance,
+            });
+        }
+        Ok(reports)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -985,6 +1217,7 @@ mod tests {
                 voting(),
                 SimulationOptions::default(),
             )),
+            Box::new(UniformizationEngine::new(voting())),
         ];
         for engine in engines {
             match engine.solve(&requests) {
@@ -992,6 +1225,103 @@ mod tests {
                 other => panic!("{}: expected a model error, got {other:?}", engine.name()),
             }
         }
+    }
+
+    /// A one-token three-state ring with exponential holding times: the
+    /// passage a → {c} is hypoexponential(2, 1), so the engines have a shared
+    /// closed-form anchor.
+    fn exp_ring() -> ModelSpec {
+        ModelSpec::Dnamaca(
+            r"
+\place{a}{1}
+\place{b}{0}
+\place{c}{0}
+
+\transition{ab}{
+    \condition{a > 0}
+    \action{ next->a = a - 1; next->b = b + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(2.0, s); }
+}
+\transition{bc}{
+    \condition{b > 0}
+    \action{ next->b = b - 1; next->c = c + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(1.0, s); }
+}
+\transition{ca}{
+    \condition{c > 0}
+    \action{ next->c = c - 1; next->a = a + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(3.0, s); }
+}
+"
+            .to_string(),
+        )
+    }
+
+    #[test]
+    fn uniformization_agrees_with_analytic_on_every_kind() {
+        let ts = linspace(0.5, 8.0, 6);
+        let requests = vec![
+            MeasureRequest::cdf(target("c>=1"), &ts),
+            MeasureRequest::transient(target("c>=1"), &ts),
+            MeasureRequest::density(target("c>=1"), &ts),
+            MeasureRequest::quantile(target("c>=1"), &[0.5, 0.9]).with_t_points(&ts),
+            MeasureRequest::mean(target("c>=1")),
+            MeasureRequest::moment(target("c>=1"), 2),
+        ];
+        let uniform = UniformizationEngine::new(exp_ring())
+            .solve(&requests)
+            .unwrap();
+        let analytic = AnalyticEngine::new(exp_ring(), InversionMethod::euler())
+            .solve(&requests)
+            .unwrap();
+        for (u, a) in uniform.iter().zip(&analytic) {
+            assert_eq!(u.name, a.name);
+            assert_eq!(u.provenance.engine, "uniformization");
+            let bound = u
+                .provenance
+                .error_bound
+                .expect("uniformization reports a bound");
+            // The dominant discrepancy is the analytic engine's inversion
+            // error (the uniformization bound is ~1e-12); quantiles also see
+            // the shared search's grid resolution.
+            let slack = match &u.kind {
+                MeasureKind::Quantile { .. } => 2e-2,
+                _ => 1e-4,
+            };
+            for (x, y) in u.values.iter().zip(&a.values) {
+                assert!(
+                    (x - y).abs() <= bound + slack * x.abs().max(y.abs()).max(1.0),
+                    "{}: uniformization {x} vs analytic {y} (bound {bound})",
+                    u.name
+                );
+            }
+        }
+        // The closed-form hypoexponential mean: 1/2 + 1/1.
+        let mean = &uniform[4];
+        assert!((mean.values[0] - 1.5).abs() < 1e-9, "{}", mean.values[0]);
+    }
+
+    #[test]
+    fn uniformization_rejects_non_exponential_models() {
+        let requests = vec![MeasureRequest::cdf(
+            target("p2>=2"),
+            &linspace(1.0, 10.0, 4),
+        )];
+        match UniformizationEngine::new(voting()).solve(&requests) {
+            Err(EngineError::Unsupported(m)) => {
+                assert!(m.contains("exponential"), "{m}");
+            }
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uniformization_applies_detects_the_scenario_family() {
+        assert!(uniformization_applies(&exp_ring()));
+        assert!(!uniformization_applies(&voting()));
     }
 
     #[test]

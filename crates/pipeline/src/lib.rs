@@ -76,7 +76,10 @@ pub mod work;
 pub mod worker;
 
 pub use batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
-pub use engine::{AnalyticEngine, DistributedEngine, SimulationEngine, SimulationOptions};
+pub use engine::{
+    uniformization_applies, AnalyticEngine, DistributedEngine, SimulationEngine, SimulationOptions,
+    UniformizationEngine,
+};
 pub use master::{
     DistributedPipeline, PipelineError, PipelineOptions, PipelineResult, RUN_CDF_TRANSFORM_KEY,
 };

@@ -1,0 +1,105 @@
+//! The cross-engine conformance corpus: a reusable library of models with
+//! known structure, shared by the conformance matrix and the quantile edge
+//! tests.
+//!
+//! Each entry names a model, says whether every holding-time distribution is
+//! *structurally* exponential (the uniformization engine's precondition), and
+//! carries a target predicate plus a time window sized so the passage and
+//! transient curves have visible shape on the grid.
+//!
+//! The `.mod` files next to this module are extended-DNAmaca sources; they
+//! are embedded with `include_str!` so the corpus needs no runtime file I/O
+//! and `smpq --model tests/corpus/<name>.mod` runs the very same text.
+
+// Shared by several test binaries, each of which uses a different subset.
+#![allow(dead_code)]
+
+use smp_suite::core::query::MeasureRequest;
+use smp_suite::core::TargetSpec;
+use smp_suite::pipeline::ModelSpec;
+
+/// One corpus entry: a model plus the query window the matrix drives it with.
+pub struct CorpusModel {
+    /// Short unique name, used in cell labels and the deltas artifact.
+    pub name: &'static str,
+    /// The model itself, in the engines' native spec form.
+    pub spec: ModelSpec,
+    /// Whether every holding time is built as `Dist::exponential` — i.e.
+    /// whether the uniformization engine must accept (true) or reject (false)
+    /// the model.
+    pub all_exponential: bool,
+    /// The target predicate all measures of this model query.
+    pub target: &'static str,
+    /// First output time.
+    pub t_start: f64,
+    /// Last output time.
+    pub t_stop: f64,
+}
+
+/// The three-state all-exponential ring (rates 2, 1, 3); the uniformization
+/// engine's simplest non-trivial model, with closed-form passage moments.
+pub const RING_EXP: &str = include_str!("ring_exp.mod");
+
+/// An all-exponential voting-style model: CC voters, MM voting units, a
+/// joint `&&` enabling condition and competing transitions — 12 states.
+pub const VOTING_EXP: &str = include_str!("voting_exp.mod");
+
+/// The exp ring with one `erlangLT(2.0, 1, s)` holding time: distributionally
+/// identical to `RING_EXP`, but *structurally* not exponential, so the
+/// uniformization engine must refuse it while every other engine solves it.
+pub const ERLANG_LOOKALIKE: &str = include_str!("erlang_lookalike.mod");
+
+/// The full corpus, smallest model first.
+pub fn corpus() -> Vec<CorpusModel> {
+    vec![
+        CorpusModel {
+            name: "ring-exp",
+            spec: ModelSpec::Dnamaca(RING_EXP.to_string()),
+            all_exponential: true,
+            target: "c>=1",
+            t_start: 0.5,
+            t_stop: 8.0,
+        },
+        CorpusModel {
+            name: "voting-exp",
+            spec: ModelSpec::Dnamaca(VOTING_EXP.to_string()),
+            all_exponential: true,
+            target: "p2>=2",
+            t_start: 0.5,
+            t_stop: 12.0,
+        },
+        CorpusModel {
+            name: "ring-erlang-lookalike",
+            spec: ModelSpec::Dnamaca(ERLANG_LOOKALIKE.to_string()),
+            all_exponential: false,
+            target: "c>=1",
+            t_start: 0.5,
+            t_stop: 8.0,
+        },
+        CorpusModel {
+            name: "voting-3-1-1",
+            spec: ModelSpec::Voting {
+                voters: 3,
+                polling: 1,
+                central: 1,
+            },
+            all_exponential: false,
+            target: "p2>=2",
+            t_start: 2.0,
+            t_stop: 40.0,
+        },
+    ]
+}
+
+/// The measure battery every corpus model is queried with: all six kinds.
+pub fn measures(target: &str, ts: &[f64]) -> Vec<MeasureRequest> {
+    let target = TargetSpec::parse(target).unwrap();
+    vec![
+        MeasureRequest::cdf(target.clone(), ts),
+        MeasureRequest::transient(target.clone(), ts),
+        MeasureRequest::density(target.clone(), ts),
+        MeasureRequest::quantile(target.clone(), &[0.5, 0.9]).with_t_points(ts),
+        MeasureRequest::mean(target.clone()),
+        MeasureRequest::moment(target, 2),
+    ]
+}

@@ -1,0 +1,22 @@
+\place{a}{1}
+\place{b}{0}
+\place{c}{0}
+
+\transition{ab}{
+    \condition{a > 0}
+    \action{ next->a = a - 1; next->b = b + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(2.0, s); }
+}
+\transition{bc}{
+    \condition{b > 0}
+    \action{ next->b = b - 1; next->c = c + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(1.0, s); }
+}
+\transition{ca}{
+    \condition{c > 0}
+    \action{ next->c = c - 1; next->a = a + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(3.0, s); }
+}

@@ -1,0 +1,26 @@
+\constant{CC}{3}
+\constant{MM}{2}
+
+\place{p1}{CC}
+\place{p2}{0}
+\place{p3}{MM}
+\place{p4}{0}
+
+\transition{vote}{
+    \condition{p1 > 0 && p3 > 0}
+    \action{ next->p1 = p1 - 1; next->p2 = p2 + 1; next->p3 = p3 - 1; next->p4 = p4 + 1; }
+    \weight{2.0}
+    \sojourntimeLT{ return expLT(1.0, s); }
+}
+\transition{recover_unit}{
+    \condition{p4 > 0}
+    \action{ next->p4 = p4 - 1; next->p3 = p3 + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(0.8, s); }
+}
+\transition{reset_voter}{
+    \condition{p2 > 0}
+    \action{ next->p2 = p2 - 1; next->p1 = p1 + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(0.5, s); }
+}

@@ -1,0 +1,59 @@
+//! Regression tests for quantile edge probabilities through the engines: tiny
+//! and near-one probabilities, and a quantile search whose initial horizon
+//! (the measure's last grid point) does not bracket the answer, forcing the
+//! geometric horizon expansion — on both the analytic and the uniformization
+//! engine, which share the `quantiles_from_cdf` search policy and must
+//! therefore land on (nearly) the same times.
+
+mod corpus;
+
+use corpus::CorpusModel;
+use smp_suite::core::query::{Engine, MeasureRequest, TargetSpec};
+use smp_suite::laplace::InversionMethod;
+use smp_suite::pipeline::{AnalyticEngine, UniformizationEngine};
+
+fn ring() -> CorpusModel {
+    corpus::corpus()
+        .into_iter()
+        .find(|m| m.name == "ring-exp")
+        .unwrap()
+}
+
+#[test]
+fn edge_quantiles_agree_across_analytic_and_uniformization() {
+    // The grid deliberately stops at t = 0.5, far below the 0.995-quantile of
+    // the ring passage (≈ 6): the search must expand its horizon, and the
+    // 0.05-quantile must resolve near the bottom of the very first grid.
+    let probs = [0.05, 0.5, 0.995];
+    let ts = [0.1, 0.3, 0.5];
+    let request = MeasureRequest::quantile(TargetSpec::parse(ring().target).unwrap(), &probs)
+        .with_t_points(&ts);
+
+    let analytic = AnalyticEngine::new(ring().spec, InversionMethod::euler())
+        .solve(std::slice::from_ref(&request))
+        .unwrap();
+    let uniform = UniformizationEngine::new(ring().spec)
+        .solve(std::slice::from_ref(&request))
+        .unwrap();
+
+    let a = &analytic[0].values;
+    let u = &uniform[0].values;
+    assert_eq!(a.len(), probs.len());
+    for ((&p, &qa), &qu) in probs.iter().zip(a).zip(u) {
+        assert!(qa.is_finite() && qa > 0.0, "analytic q({p}) = {qa}");
+        assert!(qu.is_finite() && qu > 0.0, "uniformization q({p}) = {qu}");
+        // Shared search policy + near-identical CDFs: within 2% + grid floor.
+        let allowed = 2e-2 * qa.abs().max(qu.abs()).max(1.0);
+        assert!(
+            (qa - qu).abs() <= allowed,
+            "q({p}): analytic {qa} vs uniformization {qu}"
+        );
+    }
+    // The quantiles are ordered and the horizon expansion really was needed
+    // for the top one.
+    assert!(a[0] < a[1] && a[1] < a[2], "{a:?}");
+    assert!(a[2] > ts[2], "q(0.995) = {} must exceed the grid end", a[2]);
+    // The bottom quantile is small but not degenerate (clamped to the search
+    // resolution floor, never zero).
+    assert!(a[0] > 0.0 && a[0] < 1.0, "q(0.05) = {}", a[0]);
+}
