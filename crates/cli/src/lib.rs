@@ -43,12 +43,13 @@ use smp_laplace::InversionMethod;
 use smp_numeric::stats::linspace;
 use smp_pipeline::{
     run_tcp_worker, uniformization_applies, AnalyticEngine, DistributedEngine, ModelSpec,
-    PipelineOptions, SimulationEngine, SimulationOptions, TcpTransport, TcpWorkerOptions,
-    UniformizationEngine,
+    PipelineOptions, PoolSpec, QueryClient, QueryError, QueryRequest, QueryServer,
+    QueryServerOptions, RefusalKind, SimulationEngine, SimulationOptions, TcpTransport,
+    TcpWorkerOptions, UniformizationEngine,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The target predicate type — `smp_core::query::TargetSpec`, re-exported
 /// under the name this CLI has always used.
@@ -111,6 +112,10 @@ pub enum EngineChoice {
     Distributed,
     /// CTMC uniformization (all-exponential models only).
     Uniform,
+    /// Route automatically: uniformization when every holding time is
+    /// exponential, the distributed pipeline otherwise.  The default for
+    /// `smpq query` (the server memoizes the routing probe per model).
+    Auto,
 }
 
 impl EngineChoice {
@@ -120,6 +125,7 @@ impl EngineChoice {
             EngineChoice::Sim => "sim",
             EngineChoice::Distributed => "distributed",
             EngineChoice::Uniform => "uniform",
+            EngineChoice::Auto => "auto",
         }
     }
 
@@ -190,6 +196,20 @@ impl From<EngineError> for CliError {
     }
 }
 
+impl From<QueryError> for CliError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Refused(refusal) => match refusal.kind {
+                RefusalKind::Model => CliError::Model(refusal.message),
+                RefusalKind::Protocol => CliError::Usage(refusal.message),
+                kind => CliError::Analysis(format!("{}: {}", kind.name(), refusal.message)),
+            },
+            QueryError::Protocol(m) => CliError::Analysis(format!("protocol error: {m}")),
+            QueryError::Io(e) => CliError::Analysis(format!("connection error: {e}")),
+        }
+    }
+}
+
 /// The `--help` text.
 pub fn usage() -> &'static str {
     "smpq — passage-time and transient analysis of semi-Markov models
@@ -198,6 +218,9 @@ pub fn usage() -> &'static str {
 USAGE:
     smpq (--model FILE | --voting CC,MM,NN) --measure KIND:TARGET[@ARGS] [options]
     smpq worker --connect HOST:PORT [--exit-after-chunks N]
+    smpq serve --listen ADDR [--workers N|tcp:ADDR,...] [cache/admission options]
+    smpq query --server ADDR (--model FILE | --voting CC,MM,NN) --measure ... [options]
+    smpq shutdown --server ADDR
 
 MODEL:
     --model FILE        extended-DNAmaca model specification file
@@ -217,12 +240,14 @@ MEASURES (repeatable, at least one):
         time-dependent state probability.
 
 ENGINE:
-    --engine NAME       distributed (default) | analytic | sim | uniform
+    --engine NAME       distributed (default) | analytic | sim | uniform | auto
                         analytic and distributed agree bitwise; sim is the
                         discrete-event reference with confidence bounds;
                         uniform solves all-exponential models by CTMC
                         uniformization with an a-priori truncation bound
-                        (rejects models with any non-exponential holding time)
+                        (rejects models with any non-exponential holding time);
+                        auto probes the model and routes to uniform when every
+                        holding time is exponential, distributed otherwise
     --validate-sim TOL  also run the simulation engine and fail if any shared
                         point deviates more than TOL (relative) plus the
                         simulation's 95% confidence bound (density measures
@@ -255,7 +280,55 @@ WORKER MODE (one per terminal/host):
                         job's evaluators from its transform specs, answer
                         work chunks until the master says done
     --exit-after-chunks N
-                        fault injection: drop the connection after N chunks"
+                        fault injection: drop the connection after N chunks
+
+QUERY SERVICE (always-on daemon; see ARCHITECTURE.md 'Query service'):
+    smpq serve --listen ADDR
+                        bind the query port and answer smpq query requests
+                        until an smpq shutdown arrives; caches compiled model
+                        sets and transform values across queries
+    --workers N         solve on N in-process threads (default 2), or
+    --workers tcp:ADDR[,ADDR...]
+                        bind one rendezvous per ADDR and wait for resident
+                        'smpq worker --connect' processes to attach once
+    --cache-models N    compiled-model-set LRU capacity (default 8)
+    --cache-results MB  transform-value cache byte budget (default 64)
+    --max-inflight N    concurrent solves (default 4)
+    --max-queued N      waiting requests before Busy refusals (default 16)
+
+    smpq query --server ADDR (--model FILE | --voting CC,MM,NN) --measure ...
+                        ship one query to a running server; results are
+                        bitwise identical to the same one-shot smpq run
+    --engine NAME       auto (default) | analytic | distributed | uniform
+                        (sim is one-shot only: the server refuses it)
+    --deadline-ms N     refuse the request (typed: deadline) if it has not
+                        completed after N ms, queue time included
+                        (also --t-start/--t-stop/--t-count/--method as above)
+
+    smpq shutdown --server ADDR
+                        ask the server to drain in-flight queries and exit"
+}
+
+/// Parses a `--workers` value: a thread count, or `tcp:` plus a list of
+/// rendezvous addresses (shared by one-shot runs and `smpq serve`).
+fn parse_workers_value(value: &str) -> Result<WorkerBackend, CliError> {
+    if let Some(list) = value.strip_prefix("tcp:") {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if addrs.is_empty() {
+            return Err(CliError::Usage(
+                "--workers tcp: needs at least one ADDR".into(),
+            ));
+        }
+        Ok(WorkerBackend::Tcp(addrs))
+    } else {
+        Ok(WorkerBackend::Threads(value.parse().map_err(|_| {
+            CliError::Usage("--workers expects an integer or tcp:ADDR[,ADDR...]".into())
+        })?))
+    }
 }
 
 fn parse_voting(value: &str) -> Result<ModelSource, CliError> {
@@ -325,10 +398,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     "sim" | "simulation" => EngineChoice::Sim,
                     "distributed" => EngineChoice::Distributed,
                     "uniform" | "uniformization" => EngineChoice::Uniform,
+                    "auto" => EngineChoice::Auto,
                     other => {
                         return Err(CliError::Usage(format!(
                             "unknown engine '{other}' \
-                             (expected analytic, sim, distributed or uniform)"
+                             (expected auto, analytic, sim, distributed or uniform)"
                         )))
                     }
                 }
@@ -357,26 +431,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--seed expects an integer".into()))?
             }
-            "--workers" => {
-                let value = value_of("--workers")?;
-                workers = if let Some(list) = value.strip_prefix("tcp:") {
-                    let addrs: Vec<String> = list
-                        .split(',')
-                        .map(|a| a.trim().to_string())
-                        .filter(|a| !a.is_empty())
-                        .collect();
-                    if addrs.is_empty() {
-                        return Err(CliError::Usage(
-                            "--workers tcp: needs at least one ADDR".into(),
-                        ));
-                    }
-                    WorkerBackend::Tcp(addrs)
-                } else {
-                    WorkerBackend::Threads(value.parse().map_err(|_| {
-                        CliError::Usage("--workers expects an integer or tcp:ADDR[,ADDR...]".into())
-                    })?)
-                }
-            }
+            "--workers" => workers = parse_workers_value(value_of("--workers")?)?,
             "--chunk-size" => {
                 chunk_size = value_of("--chunk-size")?
                     .parse()
@@ -422,7 +477,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             "the time grid needs 0 < --t-start <= --t-stop and --t-count >= 2".into(),
         ));
     }
-    if matches!(workers, WorkerBackend::Tcp(_)) && engine != EngineChoice::Distributed {
+    if matches!(workers, WorkerBackend::Tcp(_))
+        && !matches!(engine, EngineChoice::Distributed | EngineChoice::Auto)
+    {
         return Err(CliError::Usage(format!(
             "--workers tcp: applies to the distributed engine only (got --engine {})",
             engine.name()
@@ -516,15 +573,39 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
         );
     }
 
+    // `--engine auto` routes here, one-shot: the all-exponential fast path
+    // when the probe says yes, the distributed pipeline otherwise (mirroring
+    // the query server's routing, minus its memo).
+    let routed = match options.engine {
+        EngineChoice::Auto => {
+            if uniformization_applies(&spec) {
+                let _ = writeln!(
+                    out,
+                    "engine auto: every holding time is exponential; \
+routing to uniformization"
+                );
+                EngineChoice::Uniform
+            } else {
+                let _ = writeln!(
+                    out,
+                    "engine auto: non-exponential holding times present; \
+routing to the distributed pipeline"
+                );
+                EngineChoice::Distributed
+            }
+        }
+        chosen => chosen,
+    };
+
     // Build the chosen engine.  The TCP transport is bound here so the
     // rendezvous hints can be printed *before* solve blocks in accept.
-    let engine: Box<dyn Engine> = match (&options.engine, &options.workers) {
+    let engine: Box<dyn Engine> = match (&routed, &options.workers) {
         (EngineChoice::Analytic, _) => {
             Box::new(AnalyticEngine::new(spec, options.method.to_method()))
         }
         (EngineChoice::Sim, _) => Box::new(SimulationEngine::new(spec, sim_options(options))),
         (EngineChoice::Uniform, _) => Box::new(UniformizationEngine::new(spec)),
-        (EngineChoice::Distributed, WorkerBackend::Threads(n)) => {
+        (EngineChoice::Distributed | EngineChoice::Auto, WorkerBackend::Threads(n)) => {
             Box::new(DistributedEngine::in_process(
                 spec,
                 options.method.to_method(),
@@ -536,7 +617,7 @@ pub fn run(options: &CliOptions) -> Result<String, CliError> {
                 },
             ))
         }
-        (EngineChoice::Distributed, WorkerBackend::Tcp(addrs)) => {
+        (EngineChoice::Distributed | EngineChoice::Auto, WorkerBackend::Tcp(addrs)) => {
             let transport = TcpTransport::bind(addrs).map_err(|e| {
                 CliError::Analysis(format!("cannot bind tcp rendezvous address: {e}"))
             })?;
@@ -591,9 +672,16 @@ measures are computed master-side); any started workers exit cleanly"
         let _ = writeln!(out, "{note}");
     }
 
-    render_model_line(&mut out, &net, options.engine, &reports);
+    render_model_line(&mut out, &net, routed, &reports);
     render_reports(&mut out, &ts, &reports);
-    render_summary(&mut out, options, engine.as_ref(), &reports, elapsed);
+    render_summary(
+        &mut out,
+        options,
+        routed,
+        engine.as_ref(),
+        &reports,
+        elapsed,
+    );
 
     if let Some(tolerance) = options.validate_sim {
         // With --engine sim the primary reports *are* the simulation's: reuse
@@ -689,19 +777,34 @@ fn render_reports(out: &mut String, ts: &[f64], reports: &[MeasureReport]) {
 fn render_summary(
     out: &mut String,
     options: &CliOptions,
+    routed: EngineChoice,
     engine: &dyn Engine,
     reports: &[MeasureReport],
     elapsed: std::time::Duration,
 ) {
-    let backend = match options.engine {
+    let backend = match routed {
         EngineChoice::Analytic => "sequential".to_string(),
         EngineChoice::Sim => format!("monte-carlo seed={:#x}", options.sim_seed),
-        EngineChoice::Distributed => match &options.workers {
+        // `Auto` has been resolved before solve; keep the arm for exhaustiveness.
+        EngineChoice::Distributed | EngineChoice::Auto => match &options.workers {
             WorkerBackend::Threads(_) => "in-process".to_string(),
             WorkerBackend::Tcp(_) => "tcp".to_string(),
         },
         EngineChoice::Uniform => "poisson".to_string(),
     };
+    render_engine_summary(out, engine.name(), &backend, reports, elapsed);
+}
+
+/// The engine/backend/traffic/cache block shared between one-shot runs and
+/// `smpq query` (which learns the engine and backend from the returned
+/// provenance rather than from local flags).
+fn render_engine_summary(
+    out: &mut String,
+    engine_name: &str,
+    backend: &str,
+    reports: &[MeasureReport],
+    elapsed: std::time::Duration,
+) {
     let workers = reports
         .iter()
         .map(|r| r.provenance.workers)
@@ -714,9 +817,8 @@ fn render_summary(
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "engine: {} [{backend}], {workers} worker(s), {messages} wire message(s), \
+        "engine: {engine_name} [{backend}], {workers} worker(s), {messages} wire message(s), \
 {bytes} wire byte(s), {:.3}s elapsed",
-        engine.name(),
         elapsed.as_secs_f64()
     );
     let evaluations: usize = reports.iter().map(|r| r.provenance.evaluations).sum();
@@ -744,6 +846,22 @@ fn render_summary(
             out,
             "hot path: {rebuilds_avoided} matrix rebuild(s) avoided, \
 {pooled_lsts} pooled LST evaluation(s)",
+        );
+    }
+    // Query-server counters: always zero on one-shot runs, so these lines
+    // only appear for `smpq query` answers (and the one-shot output stays
+    // byte-identical to earlier releases).
+    let queued: std::time::Duration = reports.iter().map(|r| r.provenance.queue_wait).sum();
+    let model_hits: usize = reports.iter().map(|r| r.provenance.model_cache_hits).sum();
+    let model_misses: usize = reports
+        .iter()
+        .map(|r| r.provenance.model_cache_misses)
+        .sum();
+    if queued > std::time::Duration::ZERO || model_hits > 0 || model_misses > 0 {
+        let _ = writeln!(
+            out,
+            "server: {:.3}s queued, model cache {model_hits} hit(s) / {model_misses} miss(es)",
+            queued.as_secs_f64()
         );
     }
     for report in reports {
@@ -909,6 +1027,364 @@ or a faster peer drained the queue)\n"
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Query-service modes: serve / query / shutdown
+// ---------------------------------------------------------------------------
+
+/// Options for the `smpq serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeCliOptions {
+    /// Address the query listener binds (`HOST:PORT`; port 0 picks freely).
+    pub listen: String,
+    /// The solve backend: in-process threads or resident TCP workers.
+    pub workers: WorkerBackend,
+    /// Compiled-model-set LRU capacity (entries).
+    pub cache_models: usize,
+    /// Transform-value cache byte budget, in MiB.
+    pub cache_results_mb: usize,
+    /// Maximum solves running concurrently.
+    pub max_inflight: usize,
+    /// Maximum requests waiting for a solve slot before Busy refusals.
+    pub max_queued: usize,
+}
+
+impl Default for ServeCliOptions {
+    fn default() -> Self {
+        ServeCliOptions {
+            listen: "127.0.0.1:0".to_string(),
+            workers: WorkerBackend::Threads(2),
+            cache_models: 8,
+            cache_results_mb: 64,
+            max_inflight: 4,
+            max_queued: 16,
+        }
+    }
+}
+
+/// Parses the arguments after `smpq serve`.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, CliError> {
+    let mut options = ServeCliOptions::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value_of = |name: &str| -> Result<&String, CliError> {
+            iter.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--listen" => options.listen = value_of("--listen")?.clone(),
+            "--workers" => options.workers = parse_workers_value(value_of("--workers")?)?,
+            "--cache-models" => {
+                options.cache_models = value_of("--cache-models")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--cache-models expects an integer".into()))?
+            }
+            "--cache-results" => {
+                options.cache_results_mb = value_of("--cache-results")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--cache-results expects a size in MiB".into()))?
+            }
+            "--max-inflight" => {
+                options.max_inflight = value_of("--max-inflight")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--max-inflight expects an integer".into()))?
+            }
+            "--max-queued" => {
+                options.max_queued = value_of("--max-queued")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--max-queued expects an integer".into()))?
+            }
+            "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
+            other => return Err(CliError::Usage(format!("unknown serve flag '{other}'"))),
+        }
+    }
+    if options.cache_models == 0 {
+        return Err(CliError::Usage("--cache-models must be at least 1".into()));
+    }
+    if options.max_inflight == 0 {
+        return Err(CliError::Usage("--max-inflight must be at least 1".into()));
+    }
+    Ok(options)
+}
+
+/// Runs the always-on query server: bind, attach any TCP workers, then
+/// answer `smpq query` requests until an `smpq shutdown` arrives.  Returns
+/// the summary line the binary prints after a clean shutdown.
+///
+/// The listening address and the worker rendezvous addresses are printed to
+/// stderr *eagerly* (before the accept loop blocks), since the operator —
+/// or the integration test — needs them to start clients and workers.
+pub fn run_serve(options: &ServeCliOptions) -> Result<String, CliError> {
+    let pool = match &options.workers {
+        WorkerBackend::Threads(n) => PoolSpec::InProcess((*n).max(1)),
+        WorkerBackend::Tcp(addrs) => PoolSpec::Tcp(addrs.clone()),
+    };
+    let server = QueryServer::bind(QueryServerOptions {
+        listen: options.listen.clone(),
+        pool,
+        cache_models: options.cache_models,
+        cache_result_bytes: options.cache_results_mb.saturating_mul(1 << 20),
+        max_inflight: options.max_inflight,
+        max_queued: options.max_queued,
+    })
+    .map_err(|e| CliError::Analysis(format!("cannot bind the query server: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Analysis(format!("cannot read the bound address: {e}")))?;
+    eprintln!("serve: listening on {addr} (query it with: smpq query --server {addr} ...)");
+    let worker_addrs = server
+        .worker_addrs()
+        .map_err(|e| CliError::Analysis(format!("cannot read a worker rendezvous address: {e}")))?;
+    for (worker, waddr) in worker_addrs.iter().enumerate() {
+        eprintln!(
+            "serve: worker {worker} rendezvous at {waddr} \
+(start it with: smpq worker --connect {waddr})"
+        );
+    }
+    if !worker_addrs.is_empty() {
+        let attached = server
+            .attach_workers()
+            .map_err(|e| CliError::Analysis(format!("worker attachment failed: {e}")))?;
+        eprintln!("serve: pool attached: {attached} resident worker(s)");
+    }
+    server
+        .run()
+        .map_err(|e| CliError::Analysis(format!("query server failed: {e}")))?;
+    Ok(format!("serve: shut down cleanly ({addr})\n"))
+}
+
+/// Options for the `smpq query` subcommand.
+#[derive(Debug, Clone)]
+pub struct QueryCliOptions {
+    /// The running server's address (`HOST:PORT`).
+    pub server: String,
+    /// Where the model text comes from (read locally; shipped in the query).
+    pub model: ModelSource,
+    /// Raw `--measure` texts, shipped verbatim (the server re-parses them).
+    pub measure_texts: Vec<String>,
+    /// Shared output time grid: first point.
+    pub t_start: f64,
+    /// Shared output time grid: last point.
+    pub t_stop: f64,
+    /// Shared output time grid: number of points.
+    pub t_count: usize,
+    /// Engine selector shipped to the server (default [`EngineChoice::Auto`]).
+    pub engine: EngineChoice,
+    /// Inversion method driving the server's `s`-point plan.
+    pub method: MethodChoice,
+    /// Per-request deadline in milliseconds (queue time included).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses the arguments after `smpq query`.
+pub fn parse_query_args(args: &[String]) -> Result<QueryCliOptions, CliError> {
+    let mut server: Option<String> = None;
+    let mut model: Option<ModelSource> = None;
+    let mut measure_texts: Vec<String> = Vec::new();
+    let mut t_start = 1.0;
+    let mut t_stop = 10.0;
+    let mut t_count = 10usize;
+    let mut engine = EngineChoice::Auto;
+    let mut method = MethodChoice::Euler;
+    let mut deadline_ms = None;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value_of = |name: &str| -> Result<&String, CliError> {
+            iter.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--server" => server = Some(value_of("--server")?.clone()),
+            "--model" => model = Some(ModelSource::File(PathBuf::from(value_of("--model")?))),
+            "--voting" => model = Some(parse_voting(value_of("--voting")?)?),
+            "--measure" => measure_texts.push(value_of("--measure")?.clone()),
+            "--t-start" => {
+                t_start = value_of("--t-start")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--t-start expects a number".into()))?
+            }
+            "--t-stop" => {
+                t_stop = value_of("--t-stop")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--t-stop expects a number".into()))?
+            }
+            "--t-count" => {
+                t_count = value_of("--t-count")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--t-count expects an integer".into()))?
+            }
+            "--engine" => {
+                engine = match value_of("--engine")?.as_str() {
+                    "auto" => EngineChoice::Auto,
+                    "analytic" => EngineChoice::Analytic,
+                    "distributed" => EngineChoice::Distributed,
+                    "uniform" | "uniformization" => EngineChoice::Uniform,
+                    "sim" | "simulation" => {
+                        return Err(CliError::Usage(
+                            "the query server does not serve the simulation engine; \
+run `smpq --engine sim` one-shot instead"
+                                .into(),
+                        ))
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown engine '{other}' \
+                             (expected auto, analytic, distributed or uniform)"
+                        )))
+                    }
+                }
+            }
+            "--method" => {
+                method = match value_of("--method")?.as_str() {
+                    "euler" => MethodChoice::Euler,
+                    "laguerre" => MethodChoice::Laguerre,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown method '{other}' (expected euler or laguerre)"
+                        )))
+                    }
+                }
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value_of("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--deadline-ms expects milliseconds".into()))?;
+                if ms == 0 {
+                    return Err(CliError::Usage("--deadline-ms must be at least 1".into()));
+                }
+                deadline_ms = Some(ms);
+            }
+            "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
+            other => return Err(CliError::Usage(format!("unknown query flag '{other}'"))),
+        }
+    }
+
+    let Some(server) = server else {
+        return Err(CliError::Usage(
+            "smpq query needs --server HOST:PORT (a running smpq serve)".into(),
+        ));
+    };
+    let Some(model) = model else {
+        return Err(CliError::Usage(
+            "a model is required: --model FILE or --voting CC,MM,NN".into(),
+        ));
+    };
+    if measure_texts.is_empty() {
+        return Err(CliError::Usage(
+            "at least one --measure KIND:TARGET is required".into(),
+        ));
+    }
+    // Validate measure syntax client-side so typos fail before a round trip
+    // (the server re-parses the same texts — same grammar, same errors).
+    for text in &measure_texts {
+        MeasureRequest::parse_for_engine(text, engine.name(), MEASURE_KIND_NAMES)
+            .map_err(CliError::Usage)?;
+    }
+    if !(t_start > 0.0 && t_stop >= t_start) || t_count < 2 {
+        return Err(CliError::Usage(
+            "the time grid needs 0 < --t-start <= --t-stop and --t-count >= 2".into(),
+        ));
+    }
+    Ok(QueryCliOptions {
+        server,
+        model,
+        measure_texts,
+        t_start,
+        t_stop,
+        t_count,
+        engine,
+        method,
+        deadline_ms,
+    })
+}
+
+/// Ships one query to a running server and renders its answer with the same
+/// table/summary code as a one-shot run — the output differs only in the
+/// backend label (`... via ADDR`) and the server-side cache/queue counters.
+pub fn run_query(options: &QueryCliOptions) -> Result<String, CliError> {
+    let mut out = String::new();
+    let source = model_source_text(&options.model)?;
+    // Parse the net locally for the model summary line (cheap: no
+    // exploration; the server does the real work).
+    let net = smp_dnamaca::parse_model(&source).map_err(|e| CliError::Model(e.to_string()))?;
+    let ts = linspace(options.t_start, options.t_stop, options.t_count);
+    let request = QueryRequest {
+        model: model_spec(&options.model, &source),
+        engine: options.engine.name().to_string(),
+        method: match options.method {
+            MethodChoice::Euler => "euler",
+            MethodChoice::Laguerre => "laguerre",
+        }
+        .to_string(),
+        deadline: options.deadline_ms.map(Duration::from_millis),
+        t_points: ts.clone(),
+        measures: options.measure_texts.clone(),
+    };
+
+    let started = Instant::now();
+    let mut client = QueryClient::connect(&options.server)?;
+    let reports = client.query(&request)?;
+    let elapsed = started.elapsed();
+
+    // The engine that actually answered (auto-routing happens server-side)
+    // comes back in the provenance.
+    let engine_name = reports
+        .first()
+        .map(|r| r.provenance.engine)
+        .unwrap_or("remote");
+    let backend = format!(
+        "{} via {}",
+        reports
+            .first()
+            .map(|r| r.provenance.backend.as_str())
+            .unwrap_or("server"),
+        options.server
+    );
+    render_model_line(&mut out, &net, options.engine, &reports);
+    render_reports(&mut out, &ts, &reports);
+    render_engine_summary(&mut out, engine_name, &backend, &reports, elapsed);
+    Ok(out)
+}
+
+/// Options for the `smpq shutdown` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownCliOptions {
+    /// The running server's address (`HOST:PORT`).
+    pub server: String,
+}
+
+/// Parses the arguments after `smpq shutdown`.
+pub fn parse_shutdown_args(args: &[String]) -> Result<ShutdownCliOptions, CliError> {
+    let mut server: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value_of = |name: &str| -> Result<&String, CliError> {
+            iter.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--server" => server = Some(value_of("--server")?.clone()),
+            "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
+            other => return Err(CliError::Usage(format!("unknown shutdown flag '{other}'"))),
+        }
+    }
+    let Some(server) = server else {
+        return Err(CliError::Usage(
+            "smpq shutdown needs --server HOST:PORT (a running smpq serve)".into(),
+        ));
+    };
+    Ok(ShutdownCliOptions { server })
+}
+
+/// Asks a running server to drain and exit; returns the confirmation line.
+pub fn run_shutdown(options: &ShutdownCliOptions) -> Result<String, CliError> {
+    QueryClient::connect(&options.server)?.shutdown()?;
+    Ok(format!(
+        "server at {} acknowledged shutdown\n",
+        options.server
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -995,6 +1471,7 @@ mod tests {
             ("distributed", EngineChoice::Distributed),
             ("uniform", EngineChoice::Uniform),
             ("uniformization", EngineChoice::Uniform),
+            ("auto", EngineChoice::Auto),
         ] {
             let options = parse_args(&args(&[
                 "--voting",
@@ -1539,5 +2016,171 @@ mod tests {
             .and_then(|v| v.trim().parse().ok())
             .expect("a quantile line");
         assert!(q > 0.0, "{report}");
+    }
+
+    #[test]
+    fn engine_auto_routes_and_says_so() {
+        // The 3,1,1 voting model has deterministic holding times, so auto
+        // must route to the distributed pipeline — and say which way it went.
+        let options = parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "mean:p2>=2",
+            "--engine",
+            "auto",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        let report = run(&options).unwrap();
+        assert!(
+            report.contains("engine auto: non-exponential holding times present"),
+            "{report}"
+        );
+        assert!(report.contains("engine: distributed"), "{report}");
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let options = parse_serve_args(&args(&[
+            "--listen",
+            "127.0.0.1:7070",
+            "--workers",
+            "tcp:127.0.0.1:0,127.0.0.1:0",
+            "--cache-models",
+            "3",
+            "--cache-results",
+            "16",
+            "--max-inflight",
+            "2",
+            "--max-queued",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(options.listen, "127.0.0.1:7070");
+        assert_eq!(
+            options.workers,
+            WorkerBackend::Tcp(vec!["127.0.0.1:0".to_string(), "127.0.0.1:0".to_string()])
+        );
+        assert_eq!(options.cache_models, 3);
+        assert_eq!(options.cache_results_mb, 16);
+        assert_eq!(options.max_inflight, 2);
+        assert_eq!(options.max_queued, 5);
+
+        // Defaults stand when no flags are given.
+        let defaults = parse_serve_args(&[]).unwrap();
+        assert_eq!(defaults, ServeCliOptions::default());
+
+        // Degenerate capacities are rejected up front.
+        assert!(matches!(
+            parse_serve_args(&args(&["--max-inflight", "0"])),
+            Err(CliError::Usage(m)) if m.contains("--max-inflight")
+        ));
+    }
+
+    #[test]
+    fn parse_query_flags() {
+        let options = parse_query_args(&args(&[
+            "--server",
+            "127.0.0.1:7070",
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "cdf:p2>=2",
+            "--deadline-ms",
+            "1500",
+        ]))
+        .unwrap();
+        assert_eq!(options.server, "127.0.0.1:7070");
+        assert_eq!(options.engine, EngineChoice::Auto);
+        assert_eq!(options.deadline_ms, Some(1500));
+        assert_eq!(options.measure_texts, vec!["cdf:p2>=2".to_string()]);
+
+        // --server is mandatory; sim is refused client-side; measure syntax
+        // is validated before any round trip.
+        assert!(matches!(
+            parse_query_args(&args(&["--voting", "3,1,1", "--measure", "cdf:p2>=2"])),
+            Err(CliError::Usage(m)) if m.contains("--server")
+        ));
+        assert!(matches!(
+            parse_query_args(&args(&[
+                "--server", "x:1", "--voting", "3,1,1",
+                "--measure", "cdf:p2>=2", "--engine", "sim",
+            ])),
+            Err(CliError::Usage(m)) if m.contains("one-shot")
+        ));
+        assert!(matches!(
+            parse_query_args(&args(&[
+                "--server", "x:1", "--voting", "3,1,1", "--measure", "frobnicate:p2>=2",
+            ])),
+            Err(CliError::Usage(m)) if m.contains("frobnicate")
+        ));
+    }
+
+    #[test]
+    fn parse_shutdown_flags() {
+        let options = parse_shutdown_args(&args(&["--server", "127.0.0.1:7070"])).unwrap();
+        assert_eq!(options.server, "127.0.0.1:7070");
+        assert!(matches!(
+            parse_shutdown_args(&[]),
+            Err(CliError::Usage(m)) if m.contains("--server")
+        ));
+    }
+
+    #[test]
+    fn served_query_round_trips_against_a_local_server() {
+        // In-process end-to-end: bind a server with thread workers, ship one
+        // query through run_query, compare against the same one-shot run.
+        let server = QueryServer::bind(QueryServerOptions {
+            pool: PoolSpec::InProcess(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let query = parse_query_args(&args(&[
+            "--server",
+            &addr,
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "cdf:p2>=2",
+            "--t-count",
+            "4",
+            "--engine",
+            "distributed",
+        ]))
+        .unwrap();
+        let served = run_query(&query).unwrap();
+        assert!(served.contains("engine: distributed"), "{served}");
+        assert!(served.contains(&format!("via {addr}")), "{served}");
+
+        let oneshot = run(&parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "cdf:p2>=2",
+            "--t-count",
+            "4",
+            "--engine",
+            "distributed",
+        ]))
+        .unwrap())
+        .unwrap();
+        // The numeric table must agree line for line (the summary blocks
+        // differ: backend label, timings, server counters).
+        let table = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(table(&served), table(&oneshot), "{served}\n---\n{oneshot}");
+
+        run_shutdown(&parse_shutdown_args(&args(&["--server", &addr])).unwrap()).unwrap();
+        handle.join().unwrap().unwrap();
     }
 }

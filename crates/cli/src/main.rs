@@ -3,33 +3,15 @@
 //! All the logic lives in the `smp_cli` library so it can be unit-tested; this
 //! file only handles process concerns (argv, exit codes, stderr).
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-
-    // `smpq worker ...` — the slave-processor mode of the TCP transport.
-    if args.first().map(String::as_str) == Some("worker") {
-        let options = match smp_cli::parse_worker_args(&args[1..]) {
-            Ok(options) => options,
-            Err(error) => {
-                if matches!(&error, smp_cli::CliError::Usage(m) if m == "help requested") {
-                    println!("{}", smp_cli::usage());
-                    return;
-                }
-                eprintln!("{error}\n\n{}", smp_cli::usage());
-                std::process::exit(2);
-            }
-        };
-        match smp_cli::run_worker(&options) {
-            Ok(summary) => print!("{summary}"),
-            Err(error) => {
-                eprintln!("{error}");
-                std::process::exit(1);
-            }
-        }
-        return;
-    }
-
-    let options = match smp_cli::parse_args(&args) {
+/// Parses a subcommand's arguments and runs it with the shared exit-code
+/// convention: usage errors print the help text and exit 2, runtime errors
+/// exit 1, `--help` prints the help text and exits 0.
+fn dispatch<O>(
+    args: &[String],
+    parse: impl Fn(&[String]) -> Result<O, smp_cli::CliError>,
+    run: impl Fn(&O) -> Result<String, smp_cli::CliError>,
+) {
+    let options = match parse(args) {
         Ok(options) => options,
         Err(error) => {
             if matches!(&error, smp_cli::CliError::Usage(m) if m == "help requested") {
@@ -40,11 +22,32 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match smp_cli::run(&options) {
+    match run(&options) {
         Ok(report) => print!("{report}"),
         Err(error) => {
             eprintln!("{error}");
             std::process::exit(1);
         }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    match args.first().map(String::as_str) {
+        // `smpq worker ...` — the slave-processor mode of the TCP transport.
+        Some("worker") => dispatch(&args[1..], smp_cli::parse_worker_args, smp_cli::run_worker),
+        // `smpq serve ...` — the always-on query daemon.
+        Some("serve") => dispatch(&args[1..], smp_cli::parse_serve_args, smp_cli::run_serve),
+        // `smpq query ...` — ship one query to a running daemon.
+        Some("query") => dispatch(&args[1..], smp_cli::parse_query_args, smp_cli::run_query),
+        // `smpq shutdown ...` — ask a running daemon to drain and exit.
+        Some("shutdown") => dispatch(
+            &args[1..],
+            smp_cli::parse_shutdown_args,
+            smp_cli::run_shutdown,
+        ),
+        // No subcommand: a one-shot analysis run.
+        _ => dispatch(&args, smp_cli::parse_args, smp_cli::run),
     }
 }

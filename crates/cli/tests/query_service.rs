@@ -1,0 +1,217 @@
+//! End-to-end query-service tests with a **real `smpq serve` process**.
+//!
+//! The acceptance run of the query daemon: one `smpq serve` with two resident
+//! TCP worker processes answers three concurrent `smpq query` clients with
+//! values bitwise identical to a one-shot `smpq` run; a warm repeat query is
+//! served from the caches (zero new evaluations, zero model-cache misses,
+//! rebuilds visibly avoided); a request with a hopeless deadline is refused
+//! with a typed error while its neighbours complete; and `smpq shutdown`
+//! drains the server cleanly, releasing the resident workers.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn smpq() -> Command {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_smpq"));
+    command.stdout(Stdio::piped()).stderr(Stdio::piped());
+    command
+}
+
+fn spawn_worker(addr: &str) -> Child {
+    smpq()
+        .args(["worker", "--connect", addr])
+        .spawn()
+        .expect("spawn smpq worker")
+}
+
+/// The shared measure/grid flags: every query and the one-shot reference use
+/// the same model, measures and time grid, so their tables must agree.
+const QUERY_FLAGS: &[&str] = &[
+    "--voting",
+    "3,1,1",
+    "--measure",
+    "density:p2>=2",
+    "--measure",
+    "cdf:p2>=2",
+    "--t-start",
+    "2",
+    "--t-stop",
+    "20",
+    "--t-count",
+    "3",
+];
+
+/// The numeric value table of a report (the lines starting with a digit),
+/// formatting included — the bitwise-agreement comparand.
+fn table(report: &str) -> Vec<String> {
+    report
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+        .map(str::to_string)
+        .collect()
+}
+
+fn finish(child: Child) -> (String, String) {
+    let output = child.wait_with_output().expect("process did not exit");
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        output.status.success(),
+        "process exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    (stdout, stderr)
+}
+
+#[test]
+fn query_service_serves_concurrent_clients_warm_caches_and_deadlines() {
+    // One daemon, two resident TCP workers; small admission caps so the test
+    // also exercises queueing (three clients, one pool).
+    let mut serve = smpq()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "tcp:127.0.0.1:0,127.0.0.1:0",
+        ])
+        .spawn()
+        .expect("spawn smpq serve");
+
+    // The daemon prints its addresses to stderr eagerly, before the accept
+    // loop blocks — read them as they appear.
+    let mut serve_stderr = BufReader::new(serve.stderr.take().expect("serve stderr")).lines();
+    let mut next_line = || {
+        serve_stderr
+            .next()
+            .expect("serve stderr ended early")
+            .expect("serve stderr read failed")
+    };
+    let mut server_addr: Option<String> = None;
+    let mut worker_addrs: Vec<String> = Vec::new();
+    while server_addr.is_none() || worker_addrs.len() < 2 {
+        let line = next_line();
+        if let Some(rest) = line.strip_prefix("serve: listening on ") {
+            server_addr = rest.split_whitespace().next().map(str::to_string);
+        } else if let Some(rest) = line.split("rendezvous at ").nth(1) {
+            worker_addrs.push(
+                rest.split_whitespace()
+                    .next()
+                    .expect("rendezvous address")
+                    .to_string(),
+            );
+        }
+    }
+    let server_addr = server_addr.expect("a listening address");
+
+    // Attach the resident workers: they connect once and stay for the whole
+    // daemon lifetime, across every query below.
+    let workers: Vec<Child> = worker_addrs.iter().map(|a| spawn_worker(a)).collect();
+    loop {
+        let line = next_line();
+        if line.contains("pool attached") {
+            assert!(line.contains("2 resident worker(s)"), "{line}");
+            break;
+        }
+    }
+
+    // Three concurrent clients ask the same question; a fourth asks a fresh
+    // (uncached) model with a 1 ms deadline no solve can meet.
+    let spawn_query = |extra: &[&str]| {
+        let mut command = smpq();
+        command.args(["query", "--server", &server_addr]);
+        command.args(QUERY_FLAGS);
+        command.args(extra);
+        command.spawn().expect("spawn smpq query")
+    };
+    let clients: Vec<Child> = (0..3).map(|_| spawn_query(&[])).collect();
+    let doomed = smpq()
+        .args(["query", "--server", &server_addr])
+        .args([
+            "--voting",
+            "4,2,1",
+            "--measure",
+            "cdf:p2>=2",
+            "--engine",
+            "distributed",
+            "--deadline-ms",
+            "1",
+        ])
+        .spawn()
+        .expect("spawn doomed query");
+
+    // The deadline-exceeded request fails with the typed refusal on stderr …
+    let output = doomed
+        .wait_with_output()
+        .expect("doomed query did not exit");
+    assert!(
+        !output.status.success(),
+        "a 1 ms deadline must not be met: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let doomed_stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(doomed_stderr.contains("deadline"), "{doomed_stderr}");
+
+    // … while its three neighbours complete, and agree with each other.
+    let mut reports: Vec<String> = Vec::new();
+    for client in clients {
+        let (stdout, _) = finish(client);
+        assert!(stdout.contains("engine: distributed"), "{stdout}");
+        assert!(stdout.contains(&format!("via {server_addr}")), "{stdout}");
+        reports.push(stdout);
+    }
+    for report in &reports[1..] {
+        assert_eq!(table(&reports[0]), table(report), "clients disagree");
+    }
+
+    // Bitwise agreement with a one-shot run of the same job (in-process
+    // threads — the transport must not change a single printed digit).
+    let oneshot = smpq()
+        .args(QUERY_FLAGS)
+        .args(["--engine", "distributed", "--workers", "2"])
+        .spawn()
+        .expect("spawn one-shot smpq");
+    let (oneshot_stdout, _) = finish(oneshot);
+    assert_eq!(
+        table(&reports[0]),
+        table(&oneshot_stdout),
+        "served:\n{}\none-shot:\n{oneshot_stdout}",
+        reports[0]
+    );
+
+    // A warm repeat of the same query: the route memo and the result cache
+    // answer it without re-exploring or re-evaluating anything.
+    let (warm, _) = finish(spawn_query(&[]));
+    assert_eq!(
+        table(&reports[0]),
+        table(&warm),
+        "warm query changed values"
+    );
+    assert!(warm.contains("evaluations: 0 new"), "{warm}");
+    assert!(warm.contains("/ 0 miss(es)"), "{warm}");
+    let rebuilds_avoided: u64 = warm
+        .lines()
+        .find_map(|l| l.strip_prefix("hot path: "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("a hot-path line in the warm report");
+    assert!(rebuilds_avoided > 0, "{warm}");
+
+    // Drain and exit; the resident workers see orderly EOF and leave cleanly.
+    let (shutdown_stdout, _) = finish(
+        smpq()
+            .args(["shutdown", "--server", &server_addr])
+            .spawn()
+            .expect("spawn smpq shutdown"),
+    );
+    assert!(
+        shutdown_stdout.contains("acknowledged"),
+        "{shutdown_stdout}"
+    );
+
+    let status = serve.wait().expect("serve did not exit");
+    assert!(status.success(), "serve exited with {status:?}");
+    for worker in workers {
+        finish(worker);
+    }
+}

@@ -478,6 +478,18 @@ pub struct Provenance {
     /// simulation engine reports a 95% confidence half-width; deterministic
     /// engines report `None`).
     pub error_bound: Option<f64>,
+    /// Time the request spent queued behind the admission controller before a
+    /// solve slot opened (always zero outside the query server).
+    pub queue_wait: Duration,
+    /// Model-level artifacts served from a warm cache: compiled model sets
+    /// (parse + state-space exploration + target resolution) and memoized
+    /// engine-routing probes reused across requests.  Always zero outside the
+    /// query server.
+    pub model_cache_hits: usize,
+    /// Model-level artifacts built from scratch for this request (each miss is
+    /// a state-space exploration the cache could not avoid).  Always zero
+    /// outside the query server.
+    pub model_cache_misses: usize,
 }
 
 impl Provenance {
@@ -497,6 +509,9 @@ impl Provenance {
             shared_hits: 0,
             wall: Duration::ZERO,
             error_bound: None,
+            queue_wait: Duration::ZERO,
+            model_cache_hits: 0,
+            model_cache_misses: 0,
         }
     }
 }

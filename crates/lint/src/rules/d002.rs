@@ -9,7 +9,7 @@
 //! stay fine for pure keyed lookup.
 //!
 //! Fires in the serialization and scheduling modules (wire, checkpoint,
-//! cache, master, work, batch, splan) on iteration over a binding declared
+//! cache, master, work, batch, splan, server, client) on iteration over a binding declared
 //! as (or initialized from) `HashMap`/`HashSet`: explicit `.iter()`,
 //! `.keys()`, `.values()`, `.drain()`, `.into_iter()` chains and `for … in`
 //! loops alike.
@@ -28,6 +28,8 @@ const SCOPE_STEMS: &[&str] = &[
     "work",
     "batch",
     "splan",
+    "server",
+    "client",
 ];
 
 /// Iterator-producing methods on maps/sets.

@@ -7,8 +7,9 @@
 //! protocol is designed to *skip* or *reject* bad input via typed errors.
 //!
 //! The rule builds a name-based call graph over the pipeline crate, seeds it
-//! with the decode roots (`decode*` in `wire.rs`, `load_checkpoint*` in
-//! `checkpoint.rs`, `read_frame` anywhere), walks reachability, and flags
+//! with the decode roots (`decode*` in `wire.rs`, `server.rs` and
+//! `client.rs`, `load_checkpoint*` in `checkpoint.rs`, `read_frame`
+//! anywhere), walks reachability, and flags
 //! every `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` /
 //! `unimplemented!` inside a reachable non-test function.
 
@@ -46,6 +47,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
     let is_root = |file: &SourceFile, name: &str| {
         (file.stem() == "wire" && name.starts_with("decode"))
             || (file.stem() == "checkpoint" && name.starts_with("load_checkpoint"))
+            || ((file.stem() == "server" || file.stem() == "client") && name.starts_with("decode"))
             || name == "read_frame"
     };
 

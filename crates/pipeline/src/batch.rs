@@ -339,6 +339,13 @@ pub struct BatchResult {
     /// whose workers explore remotely — and fully-warm runs that never
     /// touched the transport).
     pub states: Option<usize>,
+    /// Compiled model sets served from a shared
+    /// [`CompiledSetCache`](crate::transform::CompiledSetCache) without
+    /// re-exploring the state space (zero without an attached cache).
+    pub model_cache_hits: usize,
+    /// Compiled model sets this run compiled — each one a state-space
+    /// exploration per distinct model in the job.
+    pub model_cache_misses: usize,
     /// Per-worker accounting.
     pub worker_stats: Vec<WorkerStats>,
 }

@@ -16,26 +16,66 @@
 //! [`LEGACY_MEASURE_KEY`] (the empty string) is the shard used by
 //! single-measure runs and by checkpoint records written before measures
 //! existed.
+//!
+//! ## Bounded operation
+//!
+//! One-shot runs build a cache, use it, and drop it, so the unbounded default
+//! is fine there.  The always-on query server ([`crate::server`]) keeps one
+//! cache alive across every request it ever answers, so it opts into a byte
+//! limit ([`ResultCache::with_byte_limit`]): each shard's footprint is
+//! approximated from its entry count and key length, and when an insert pushes
+//! the total past the limit, whole shards are evicted least-recently-used
+//! first (shard granularity — a transform's values are only useful together).
+//! The most recently touched shard is never evicted, so a single request whose
+//! working set exceeds the limit still completes; the limit should nonetheless
+//! be sized well above the largest expected per-request working set.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use smp_laplace::TransformValues;
 use smp_numeric::Complex64;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The transform key under which untagged (pre-measure) checkpoint records and
 /// single-measure pipeline runs store their values.
 pub const LEGACY_MEASURE_KEY: &str = "";
 
-/// A thread-safe, measure-keyed collection of [`TransformValues`] shards.
+/// Approximate heap bytes per cached `(s, L(s))` entry: two `Complex64`s plus
+/// ordered-map node overhead.  The figure is deliberately conservative (an
+/// overestimate keeps a limited cache *under* its limit).
+pub const APPROX_BYTES_PER_ENTRY: usize = 64;
+
+/// A thread-safe, measure-keyed collection of [`TransformValues`] shards,
+/// optionally bounded by an approximate byte limit with least-recently-used
+/// shard eviction.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     shards: RwLock<BTreeMap<String, TransformValues>>,
+    /// Approximate byte ceiling; `None` (the default) grows without bound.
+    limit_bytes: Option<usize>,
+    /// Recency stamps per shard key, advanced by the logical clock below on
+    /// every touch (insert or lookup).  Kept outside the shard lock so read
+    /// paths can bump recency without taking the write lock on the data.
+    stamps: Mutex<BTreeMap<String, u64>>,
+    clock: AtomicU64,
+    evicted_shards: AtomicU64,
+    evicted_values: AtomicU64,
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         ResultCache::default()
+    }
+
+    /// Creates an empty cache that evicts least-recently-used shards once its
+    /// approximate footprint exceeds `limit_bytes` (see
+    /// [`ResultCache::approx_bytes`] for the accounting).
+    pub fn with_byte_limit(limit_bytes: usize) -> Self {
+        ResultCache {
+            limit_bytes: Some(limit_bytes),
+            ..ResultCache::default()
+        }
     }
 
     /// Creates a cache whose [`LEGACY_MEASURE_KEY`] shard is seeded from
@@ -45,6 +85,7 @@ impl ResultCache {
         shards.insert(LEGACY_MEASURE_KEY.to_string(), values);
         ResultCache {
             shards: RwLock::new(shards),
+            ..ResultCache::default()
         }
     }
 
@@ -53,33 +94,136 @@ impl ResultCache {
     pub fn from_shards(shards: BTreeMap<String, TransformValues>) -> Self {
         ResultCache {
             shards: RwLock::new(shards),
+            ..ResultCache::default()
+        }
+    }
+
+    /// The configured byte limit, if any.
+    pub fn byte_limit(&self) -> Option<usize> {
+        self.limit_bytes
+    }
+
+    /// Advances the logical clock and stamps `key` as the most recently used
+    /// shard.
+    fn touch(&self, key: &str) {
+        // Relaxed is fine: the clock only needs to be monotonic, not ordered
+        // with respect to the data it stamps.
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut stamps = self.stamps.lock();
+        match stamps.get_mut(key) {
+            Some(stamp) => *stamp = now,
+            None => {
+                stamps.insert(key.to_string(), now);
+            }
+        }
+    }
+
+    /// Approximate footprint of one shard.
+    fn shard_bytes(key: &str, shard: &TransformValues) -> usize {
+        key.len() + shard.len() * APPROX_BYTES_PER_ENTRY
+    }
+
+    /// Approximate total footprint of every shard, in bytes (entry counts and
+    /// key lengths; allocator slack is not measured).
+    pub fn approx_bytes(&self) -> usize {
+        self.shards
+            .read()
+            .iter()
+            .map(|(key, shard)| ResultCache::shard_bytes(key, shard))
+            .sum()
+    }
+
+    /// Number of whole shards evicted to stay under the byte limit.
+    pub fn evicted_shards(&self) -> u64 {
+        self.evicted_shards.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached values lost to shard evictions.
+    pub fn evicted_values(&self) -> u64 {
+        self.evicted_values.load(Ordering::Relaxed)
+    }
+
+    /// Evicts least-recently-used shards until the footprint fits the limit.
+    /// The most recently touched shard is exempt, so one oversized working set
+    /// degrades to "no cross-request reuse" instead of failing its own run.
+    fn enforce_limit(&self) {
+        let Some(limit) = self.limit_bytes else {
+            return;
+        };
+        let mut shards = self.shards.write();
+        let mut total: usize = shards
+            .iter()
+            .map(|(key, shard)| ResultCache::shard_bytes(key, shard))
+            .sum();
+        while total > limit && shards.len() > 1 {
+            // Victim: the live shard with the oldest stamp, ties broken by key
+            // order (both maps iterate in key order, so the choice is
+            // deterministic).  A shard without a stamp sorts oldest; the shard
+            // carrying the newest stamp is exempt.
+            let victim = {
+                let stamps = self.stamps.lock();
+                let newest = shards
+                    .keys()
+                    .map(|key| stamps.get(key).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                shards
+                    .keys()
+                    .map(|key| (stamps.get(key).copied().unwrap_or(0), key))
+                    .filter(|(stamp, _)| *stamp < newest)
+                    .min()
+                    .map(|(_, key)| key.clone())
+            };
+            let Some(victim) = victim else {
+                break; // every shard shares the newest stamp; nothing safe to drop
+            };
+            if let Some(shard) = shards.remove(&victim) {
+                total = total.saturating_sub(ResultCache::shard_bytes(&victim, &shard));
+                self.evicted_shards.fetch_add(1, Ordering::Relaxed);
+                self.evicted_values
+                    .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            }
+            self.stamps.lock().remove(&victim);
         }
     }
 
     /// Stores a computed value under a transform key.
     pub fn insert(&self, key: &str, s: Complex64, value: Complex64) {
-        let mut shards = self.shards.write();
-        match shards.get_mut(key) {
-            Some(shard) => shard.insert(s, value),
-            None => {
-                let mut shard = TransformValues::new();
-                shard.insert(s, value);
-                shards.insert(key.to_string(), shard);
+        {
+            let mut shards = self.shards.write();
+            match shards.get_mut(key) {
+                Some(shard) => shard.insert(s, value),
+                None => {
+                    let mut shard = TransformValues::new();
+                    shard.insert(s, value);
+                    shards.insert(key.to_string(), shard);
+                }
             }
         }
+        self.touch(key);
+        self.enforce_limit();
     }
 
     /// Looks up a previously computed value for a transform key.
     pub fn get(&self, key: &str, s: Complex64) -> Option<Complex64> {
-        self.shards.read().get(key).and_then(|shard| shard.get(s))
+        let value = self.shards.read().get(key).and_then(|shard| shard.get(s));
+        if value.is_some() {
+            self.touch(key);
+        }
+        value
     }
 
     /// True when the point has already been computed for the transform key.
     pub fn contains(&self, key: &str, s: Complex64) -> bool {
-        self.shards
+        let hit = self
+            .shards
             .read()
             .get(key)
-            .is_some_and(|shard| shard.contains(s))
+            .is_some_and(|shard| shard.contains(s));
+        if hit {
+            self.touch(key);
+        }
+        hit
     }
 
     /// Total number of stored values across all shards.
@@ -108,7 +252,11 @@ impl ResultCache {
     /// Takes a consistent snapshot of one transform key's values (empty when
     /// the key has no shard).
     pub fn snapshot(&self, key: &str) -> TransformValues {
-        self.shards.read().get(key).cloned().unwrap_or_default()
+        let snapshot = self.shards.read().get(key).cloned().unwrap_or_default();
+        if !snapshot.is_empty() {
+            self.touch(key);
+        }
+        snapshot
     }
 }
 
@@ -204,5 +352,82 @@ mod tests {
             cache.get("measure-1", Complex64::new(3.0, 42.0)),
             Some(Complex64::real(42.0))
         );
+    }
+
+    /// Fills one shard with `n` entries at distinct s-points.
+    fn fill(cache: &ResultCache, key: &str, n: usize) {
+        for k in 0..n {
+            cache.insert(key, Complex64::new(k as f64, 1.0), Complex64::ONE);
+        }
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ResultCache::new();
+        assert_eq!(cache.byte_limit(), None);
+        for shard in 0..16 {
+            fill(&cache, &format!("m{shard}"), 100);
+        }
+        assert_eq!(cache.len(), 1600);
+        assert_eq!(cache.evicted_shards(), 0);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_entries_and_keys() {
+        let cache = ResultCache::new();
+        assert_eq!(cache.approx_bytes(), 0);
+        fill(&cache, "abcd", 10);
+        assert_eq!(cache.approx_bytes(), 4 + 10 * APPROX_BYTES_PER_ENTRY);
+        fill(&cache, "xy", 5);
+        assert_eq!(cache.approx_bytes(), 4 + 2 + 15 * APPROX_BYTES_PER_ENTRY);
+    }
+
+    #[test]
+    fn byte_limit_evicts_least_recently_used_shard_first() {
+        // Room for about two 10-entry shards.
+        let cache = ResultCache::with_byte_limit(2 * 10 * APPROX_BYTES_PER_ENTRY + 64);
+        fill(&cache, "oldest", 10);
+        fill(&cache, "middle", 10);
+        // Touch "oldest" so "middle" becomes the LRU victim.
+        assert!(cache.contains("oldest", Complex64::new(0.0, 1.0)));
+        fill(&cache, "newest", 10);
+        assert_eq!(cache.evicted_shards(), 1);
+        assert_eq!(cache.evicted_values(), 10);
+        assert_eq!(cache.shard_len("middle"), 0, "LRU shard evicted");
+        assert_eq!(cache.shard_len("oldest"), 10, "recently read shard kept");
+        assert_eq!(cache.shard_len("newest"), 10, "incoming shard kept");
+        assert!(cache.approx_bytes() <= 2 * 10 * APPROX_BYTES_PER_ENTRY + 64);
+    }
+
+    #[test]
+    fn most_recent_shard_survives_even_when_over_limit() {
+        // A limit smaller than a single shard: the active shard must not be
+        // evicted out from under its own run.
+        let cache = ResultCache::with_byte_limit(APPROX_BYTES_PER_ENTRY);
+        fill(&cache, "working-set", 50);
+        assert_eq!(cache.shard_len("working-set"), 50);
+        assert_eq!(cache.evicted_shards(), 0);
+        // A second shard displaces the first the moment it becomes the most
+        // recent one.
+        fill(&cache, "next", 50);
+        assert_eq!(cache.shard_len("next"), 50);
+        assert_eq!(cache.shard_len("working-set"), 0);
+        assert_eq!(cache.evicted_shards(), 1);
+        assert_eq!(cache.evicted_values(), 50);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_under_stamp_ties() {
+        // Three shards inserted in order, then a limit breach: victims are
+        // chosen oldest-stamp-first (ties by key order), so repeated runs
+        // evict identically.
+        let cache = ResultCache::with_byte_limit(10 * APPROX_BYTES_PER_ENTRY);
+        fill(&cache, "a", 4);
+        fill(&cache, "b", 4);
+        fill(&cache, "c", 8); // pushes the total over the limit
+        assert_eq!(cache.shard_len("a"), 0);
+        assert_eq!(cache.shard_len("b"), 0);
+        assert_eq!(cache.shard_len("c"), 8);
+        assert_eq!(cache.evicted_shards(), 2);
     }
 }

@@ -37,8 +37,8 @@
 use crate::batch::{BatchJob, MeasureKind as CurveKind, MeasureSpec};
 use crate::master::{DistributedPipeline, PipelineOptions};
 use crate::transform::{
-    CompiledEvaluator, CompiledModelSet, ModelSpec, ResolveTarget, TargetResolveError,
-    TransformSpec,
+    CompiledEvaluator, CompiledModelSet, CompiledSetCache, ModelSpec, ResolveTarget,
+    TargetResolveError, TransformSpec,
 };
 use crate::transport::{InProcess, SimulatedLatency, Transport};
 use smp_core::query::{
@@ -52,6 +52,7 @@ use smp_simulator::{
     simulate_passage_times, simulate_transient, PassageSimulationOptions,
     TransientSimulationOptions,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -215,12 +216,25 @@ fn require_quantiles(
 pub struct AnalyticEngine {
     model: ModelSpec,
     method: InversionMethod,
+    compiled_cache: Option<Arc<CompiledSetCache>>,
 }
 
 impl AnalyticEngine {
     /// An analytic engine over `model` using `method` for inversion planning.
     pub fn new(model: ModelSpec, method: InversionMethod) -> Self {
-        AnalyticEngine { model, method }
+        AnalyticEngine {
+            model,
+            method,
+            compiled_cache: None,
+        }
+    }
+
+    /// Serves compiled model sets from `cache` instead of re-exploring the
+    /// state space on every solve; hits and misses are reported in the first
+    /// report's provenance (`model_cache_hits` / `model_cache_misses`).
+    pub fn with_compiled_cache(mut self, cache: Arc<CompiledSetCache>) -> Self {
+        self.compiled_cache = Some(cache);
+        self
     }
 }
 
@@ -261,12 +275,15 @@ fn solve_locally(
     }
 }
 
-/// Compiles the unique transform specs of `requests`, returning the set and a
-/// per-request index into it (so repeated targets share one solver).
+/// Compiles the unique transform specs of `requests`, returning the set, a
+/// per-request index into it (so repeated targets share one solver), and the
+/// number of model-cache hits and misses (a hit or miss per distinct model;
+/// without a cache every distinct model is a miss — a fresh exploration).
 fn compile_unique_specs(
     model: &ModelSpec,
     requests: &[&MeasureRequest],
-) -> Result<(CompiledModelSet, Vec<usize>), EngineError> {
+    cache: Option<&CompiledSetCache>,
+) -> Result<(Arc<CompiledModelSet>, Vec<usize>, usize, usize), EngineError> {
     let mut specs: Vec<TransformSpec> = Vec::new();
     let mut index_of = Vec::with_capacity(requests.len());
     for request in requests {
@@ -280,8 +297,21 @@ fn compile_unique_specs(
         };
         index_of.push(index);
     }
-    let set = CompiledModelSet::compile(&specs).map_err(EngineError::Analysis)?;
-    Ok((set, index_of))
+    let (set, hit) = match cache {
+        Some(cache) => cache
+            .get_or_compile(&specs)
+            .map_err(EngineError::Analysis)?,
+        None => (
+            Arc::new(CompiledModelSet::compile(&specs).map_err(EngineError::Analysis)?),
+            false,
+        ),
+    };
+    let (hits, misses) = if hit {
+        (set.num_models(), 0)
+    } else {
+        (0, set.num_models())
+    };
+    Ok((set, index_of, hits, misses))
 }
 
 impl Engine for AnalyticEngine {
@@ -292,7 +322,8 @@ impl Engine for AnalyticEngine {
     fn solve(&self, requests: &[MeasureRequest]) -> Result<Vec<MeasureReport>, EngineError> {
         validate_requests(&self.model, requests)?;
         let refs: Vec<&MeasureRequest> = requests.iter().collect();
-        let (set, spec_of) = compile_unique_specs(&self.model, &refs)?;
+        let (set, spec_of, model_hits, model_misses) =
+            compile_unique_specs(&self.model, &refs, self.compiled_cache.as_deref())?;
         let evaluators = set.evaluators().map_err(EngineError::Analysis)?;
         let states = Some(set.num_states());
         let mut reports = Vec::with_capacity(requests.len());
@@ -308,6 +339,12 @@ impl Engine for AnalyticEngine {
             provenance.matrix_rebuilds_avoided = hotpath.matrix_rebuilds_avoided;
             provenance.pooled_lst_evaluations = hotpath.pooled_lst_evaluations;
             provenance.wall = started.elapsed();
+            // Like the wire counters, model-cache traffic is run-level and
+            // attributed to the first report of the solve.
+            if reports.is_empty() {
+                provenance.model_cache_hits = model_hits;
+                provenance.model_cache_misses = model_misses;
+            }
             reports.push(MeasureReport {
                 name: request.name(),
                 kind: request.kind.clone(),
@@ -342,6 +379,7 @@ pub struct DistributedEngine {
     method: InversionMethod,
     pipeline: DistributedPipeline,
     transport: Box<dyn Transport>,
+    compiled_cache: Option<Arc<CompiledSetCache>>,
 }
 
 impl std::fmt::Debug for DistributedEngine {
@@ -380,7 +418,18 @@ impl DistributedEngine {
             method: method.clone(),
             pipeline: DistributedPipeline::new(method, options),
             transport,
+            compiled_cache: None,
         }
+    }
+
+    /// Serves *master-side* compiled model sets (quantile fallbacks and
+    /// mean/moment stencils) from `cache`.  The transport's own compiles are
+    /// cached separately — attach the same cache to an
+    /// [`InProcess`]/[`SimulatedLatency`] backend via their
+    /// `with_compiled_cache` builders, as the query server does.
+    pub fn with_compiled_cache(mut self, cache: Arc<CompiledSetCache>) -> Self {
+        self.compiled_cache = Some(cache);
+        self
     }
 
     /// The transport's backend name (`in-process`, `sim-latency`, `tcp`).
@@ -399,6 +448,10 @@ impl Engine for DistributedEngine {
         let workers = self.transport.parallelism();
         let mut reports: Vec<Option<MeasureReport>> = requests.iter().map(|_| None).collect();
         let mut states: Option<usize> = None;
+        // Run-level model-cache traffic (transport compiles + master-side
+        // compiles), attributed to the solve's first report at the end.
+        let mut model_hits = 0usize;
+        let mut model_misses = 0usize;
 
         // 1. All curve measures go through the pipeline as one batch: shared
         //    transform keys mean a density and a CDF over one target share
@@ -425,6 +478,8 @@ impl Engine for DistributedEngine {
                 .execute(job, self.transport.as_ref())
                 .map_err(|e| EngineError::Analysis(e.to_string()))?;
             states = states.or(batch.states);
+            model_hits += batch.model_cache_hits;
+            model_misses += batch.model_cache_misses;
             for (slot, (&ri, result)) in curve_indices.iter().zip(batch.measures).enumerate() {
                 let mut provenance = Provenance::local("distributed", batch.backend);
                 provenance.workers = workers;
@@ -469,7 +524,11 @@ impl Engine for DistributedEngine {
         let local = if needs_local {
             let local_requests: Vec<&MeasureRequest> =
                 derived.iter().map(|&ri| &requests[ri]).collect();
-            Some(compile_unique_specs(&self.model, &local_requests)?)
+            let (set, index_of, hits, misses) =
+                compile_unique_specs(&self.model, &local_requests, self.compiled_cache.as_deref())?;
+            model_hits += hits;
+            model_misses += misses;
+            Some((set, index_of))
         } else {
             None
         };
@@ -514,6 +573,8 @@ impl Engine for DistributedEngine {
                         provenance.matrix_rebuilds_avoided += batch.hotpath.matrix_rebuilds_avoided;
                         provenance.pooled_lst_evaluations += batch.hotpath.pooled_lst_evaluations;
                         provenance.states = provenance.states.or(batch.states);
+                        model_hits += batch.model_cache_hits;
+                        model_misses += batch.model_cache_misses;
                         let result = batch.measures.into_iter().next().expect("one measure");
                         provenance.evaluations += result.evaluations;
                         provenance.cache_hits += result.cache_hits;
@@ -564,7 +625,7 @@ impl Engine for DistributedEngine {
 
         // Backfill the state-space size for reports issued before it was
         // known (e.g. a curve batch over TCP followed by a local stencil).
-        let reports: Vec<MeasureReport> = reports
+        let mut reports: Vec<MeasureReport> = reports
             .into_iter()
             .map(|r| {
                 let mut report = r.expect("every request answered");
@@ -572,6 +633,12 @@ impl Engine for DistributedEngine {
                 report
             })
             .collect();
+        // Model-cache traffic is run-level: attribute it to the first report
+        // so summing across a solve's reports gives the true totals.
+        if let Some(first) = reports.first_mut() {
+            first.provenance.model_cache_hits = model_hits;
+            first.provenance.model_cache_misses = model_misses;
+        }
         Ok(reports)
     }
 }

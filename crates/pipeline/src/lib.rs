@@ -59,6 +59,10 @@
 //! * [`worker`] — the slave loop: pull a chunk, evaluate, (optionally delay),
 //!   push one result message;
 //! * [`master`] — the orchestrating [`DistributedPipeline`];
+//! * [`server`] — the always-on query daemon behind `smpq serve`: the
+//!   request/reply protocol, fingerprint-keyed caches, admission control
+//!   and the standing worker pool;
+//! * [`client`] — the matching client side (`smpq query` / `smpq shutdown`);
 //! * [`metrics`] — timing, speedup and efficiency reporting (Table 2).
 
 #![warn(missing_docs)]
@@ -66,9 +70,11 @@
 pub mod batch;
 pub mod cache;
 pub mod checkpoint;
+pub mod client;
 pub mod engine;
 pub mod master;
 pub mod metrics;
+pub mod server;
 pub mod transform;
 pub mod transport;
 pub mod wire;
@@ -76,6 +82,7 @@ pub mod work;
 pub mod worker;
 
 pub use batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
+pub use client::{QueryClient, QueryError};
 pub use engine::{
     uniformization_applies, AnalyticEngine, DistributedEngine, SimulationEngine, SimulationOptions,
     UniformizationEngine,
@@ -84,9 +91,13 @@ pub use master::{
     DistributedPipeline, PipelineError, PipelineOptions, PipelineResult, RUN_CDF_TRANSFORM_KEY,
 };
 pub use metrics::{run_scalability_sweep, ScalabilityRow};
+pub use server::{
+    PoolSpec, QueryReply, QueryRequest, QueryServer, QueryServerOptions, Refusal, RefusalKind,
+    SHUTDOWN_ACK, SHUTDOWN_REQUEST,
+};
 pub use transform::{
-    model_fingerprint, CompareOp, CompiledModelSet, DistSpec, ModelSpec, ResolveTarget,
-    TargetResolveError, TargetSpec, TransformSpec,
+    model_fingerprint, CompareOp, CompiledModelSet, CompiledSetCache, DistSpec, ModelSpec,
+    ResolveTarget, TargetResolveError, TargetSpec, TransformSpec,
 };
 pub use transport::{
     run_tcp_worker, InProcess, SimulatedLatency, TcpTransport, TcpWorkerOptions, TcpWorkerSummary,

@@ -10,6 +10,7 @@ use smp_laplace::{union_s_points, InversionMethod, SPointPlan};
 use smp_numeric::Complex64;
 use std::collections::{BTreeMap, HashSet};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of a pipeline run.
@@ -27,6 +28,14 @@ pub struct PipelineOptions {
     /// answered with a single result message.  `0` picks a size automatically
     /// (enough chunks for ~4 per worker, capped at 64 items).
     pub chunk_size: usize,
+    /// A result cache that outlives single runs.  When set, the pipeline
+    /// dedupes against and deposits into this cache instead of building a
+    /// run-local one, so values computed by one run are warm for the next —
+    /// this is how the query server makes repeated/overlapping grids
+    /// near-free.  Checkpoint *restore* is skipped (the shared cache **is**
+    /// the restored state); checkpoint *writes* still happen when a path is
+    /// configured.
+    pub shared_cache: Option<Arc<ResultCache>>,
 }
 
 impl PipelineOptions {
@@ -239,6 +248,8 @@ impl DistributedPipeline {
                 disconnects: 0,
                 states: None,
                 hotpath: Default::default(),
+                model_cache_hits: 0,
+                model_cache_misses: 0,
                 worker_stats: Vec::new(),
             });
         }
@@ -247,12 +258,21 @@ impl DistributedPipeline {
             .map(|m| SPointPlan::new(self.method.clone(), m.t_points()))
             .collect();
 
-        // Restore any checkpointed values into their measure shards.
-        let restored = match &self.options.checkpoint_path {
-            Some(path) => load_checkpoint_by_measure(path)?,
-            None => BTreeMap::new(),
+        // Restore any checkpointed values into their measure shards — unless a
+        // long-lived shared cache is injected, which already holds every value
+        // deposited by earlier runs.
+        let local_cache;
+        let cache: &ResultCache = match &self.options.shared_cache {
+            Some(shared) => shared.as_ref(),
+            None => {
+                let restored = match &self.options.checkpoint_path {
+                    Some(path) => load_checkpoint_by_measure(path)?,
+                    None => BTreeMap::new(),
+                };
+                local_cache = ResultCache::from_shards(restored);
+                &local_cache
+            }
         };
-        let cache = ResultCache::from_shards(restored);
 
         // Group measures by transform key, preserving first-appearance order.
         let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
@@ -416,6 +436,8 @@ impl DistributedPipeline {
             disconnects: report.disconnects,
             states: report.states,
             hotpath: report.hotpath,
+            model_cache_hits: report.model_cache_hits,
+            model_cache_misses: report.model_cache_misses,
             worker_stats: report.worker_stats,
         })
     }
@@ -582,6 +604,36 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_cache_makes_second_run_fully_warm() {
+        let d = Dist::erlang(2.0, 2);
+        let ts = linspace(0.5, 4.0, 9);
+        let shared = Arc::new(ResultCache::new());
+        let options = PipelineOptions {
+            workers: 2,
+            shared_cache: Some(Arc::clone(&shared)),
+            ..Default::default()
+        };
+        let pipeline = DistributedPipeline::new(InversionMethod::euler(), options);
+        let first = pipeline.run(density_evaluator(d.clone()), &ts).unwrap();
+        assert!(first.evaluations > 0);
+        assert_eq!(first.cache_hits, 0);
+        assert!(!shared.is_empty(), "values deposited into the shared cache");
+
+        // A *different* pipeline holding the same cache is fully warm: zero
+        // evaluations, every planned point a cache hit, identical values.
+        let options = PipelineOptions {
+            workers: 5,
+            shared_cache: Some(Arc::clone(&shared)),
+            ..Default::default()
+        };
+        let pipeline = DistributedPipeline::new(InversionMethod::euler(), options);
+        let second = pipeline.run(density_evaluator(d), &ts).unwrap();
+        assert_eq!(second.evaluations, 0);
+        assert_eq!(second.cache_hits, first.evaluations);
+        assert_eq!(second.values, first.values, "bitwise identical");
     }
 
     #[test]

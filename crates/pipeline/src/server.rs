@@ -1,0 +1,1689 @@
+//! The `smpq serve` query daemon: an always-on master answering measure
+//! queries over TCP.
+//!
+//! The paper observes that its caching pays off "both within and across
+//! successive queries" — but a one-shot CLI throws the warm state away after
+//! every run.  This module keeps the master *resident*: one process binds a
+//! query port, attaches a standing pool of worker processes once, and then
+//! answers any number of [`QueryRequest`]s, each a full measure batch over
+//! any model.  Between requests it retains
+//!
+//! * a bounded-LRU [`CompiledSetCache`] of compiled model sets, so a repeated
+//!   model costs zero state-space explorations;
+//! * a byte-bounded [`crate::cache::ResultCache`] of transform values keyed
+//!   by measure fingerprint, so overlapping evaluation grids are served warm;
+//! * a bounded memo of engine-routing probes (`--engine auto`), so deciding
+//!   "is this model all-exponential?" also costs one exploration ever.
+//!
+//! ## Frames
+//!
+//! The query protocol is layered on the same length-prefixed payload framing
+//! as checkpoints and worker frames ([`crate::wire::write_payload`]).  One
+//! client request is one payload; the server answers with exactly one payload
+//! per request and keeps the connection open for the next request:
+//!
+//! ```text
+//! client → server    query v=1 engine=auto method=euler deadline_ms=0 measures=2 tpoints=3
+//!                    model voting:3:1:1
+//!                    grid 3ff0000000000000 4000000000000000 4008000000000000
+//!                    measure density:p2>=2
+//!                    measure cdf:p2>=2
+//! server → client    reports v=1 n=2
+//!                    report name=density:p2>=2 kind=density
+//!                    points 3 3ff0000000000000 4000000000000000 4008000000000000
+//!                    values 3 3fb3ab167a0df4e4 ...
+//!                    prov engine=distributed backend=tcp-pool workers=2 ...
+//!                    report name=cdf:p2>=2 kind=cdf
+//!                    ...
+//! ```
+//!
+//! A request the server will not answer gets a one-line `refusal` payload
+//! carrying a [`RefusalKind`] — the typed analogue of [`EngineError`] plus
+//! the server-only outcomes (admission rejection, deadline exceeded,
+//! protocol errors).  `shutdown v=1` asks the server to stop accepting and
+//! drain; it acknowledges with `bye v=1`.
+//!
+//! ## Admission and deadlines
+//!
+//! At most `max_inflight` solves run concurrently; up to `max_queued` more
+//! wait on a condition variable (their queue time is reported in
+//! [`Provenance::queue_wait`]).  Anything beyond that is refused immediately
+//! with [`RefusalKind::Busy`] — a bounded queue keeps one flood of queries
+//! from taking the daemon down.  A request may carry a deadline: it is
+//! enforced while queued, between dispatch rounds of the standing worker
+//! pool, and after the solve (a result computed too late is refused, not
+//! returned).  The pool itself survives a deadline — workers are released in
+//! protocol with a `done` frame and stay attached for the next request.
+
+use crate::cache::ResultCache;
+use crate::engine::{
+    uniformization_applies, AnalyticEngine, DistributedEngine, UniformizationEngine,
+};
+use crate::master::{PipelineError, PipelineOptions};
+use crate::transform::{CompiledSetCache, ModelSpec};
+use crate::transport::{
+    drive_connected_worker, encode_plan_specs, expect_hello, send_job, ExecutionPlan,
+    HandlerOutcome, InProcess, Transport, TransportReport,
+};
+use crate::wire::{
+    decode_f64, decode_str, encode_f64, encode_str, read_payload, write_payload, WireError,
+};
+use crate::work::WorkQueue;
+use crate::worker::WorkerMessage;
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use smp_core::query::{
+    Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest, Provenance, MEASURE_KIND_NAMES,
+};
+use smp_laplace::InversionMethod;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
+
+/// The query-protocol version spoken by this build.
+pub const QUERY_PROTOCOL_VERSION: u32 = 1;
+
+/// The payload a client sends to stop the server (drain and exit).
+pub const SHUTDOWN_REQUEST: &str = "shutdown v=1";
+
+/// The server's acknowledgement of [`SHUTDOWN_REQUEST`].
+pub const SHUTDOWN_ACK: &str = "bye v=1";
+
+/// Socket read/write timeout for query connections and pooled workers: long
+/// enough for any realistic solve, short enough that a vanished peer cannot
+/// pin a thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(600);
+
+fn malformed(message: impl Into<String>) -> WireError {
+    WireError::Malformed {
+        message: message.into(),
+    }
+}
+
+/// [`decode_str`] with a typed error naming the field.
+fn decode_text(field: &str, what: &'static str) -> Result<String, WireError> {
+    decode_str(field).ok_or_else(|| {
+        malformed(format!(
+            "{what} field '{field}' is not a valid encoded string"
+        ))
+    })
+}
+
+fn transport_failure(message: impl Into<String>) -> PipelineError {
+    PipelineError::Transport {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One query as shipped to the server: a model, an engine choice, and a batch
+/// of measures over a shared time grid.
+///
+/// Measures travel as their *source text* (`density:p2>=3`), not as parsed
+/// structures: the server re-parses them with
+/// [`MeasureRequest::parse_for_engine`] exactly as the one-shot CLI does, so
+/// a served query and a local run are guaranteed to build identical requests
+/// — the precondition for bitwise-identical results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The model to analyse.
+    pub model: ModelSpec,
+    /// Engine selector: `auto`, `analytic`, `distributed`, `uniform`.
+    pub engine: String,
+    /// Inversion method name (`euler`, `laguerre`).
+    pub method: String,
+    /// Give up on the request after this long (queued time included).
+    /// `None` waits as long as the solve takes.
+    pub deadline: Option<Duration>,
+    /// The shared evaluation time grid.
+    pub t_points: Vec<f64>,
+    /// The measures, in `smpq` source syntax (`KIND:TARGET[@ARGS]`).
+    pub measures: Vec<String>,
+}
+
+/// Encodes a request into one query payload (the inverse of
+/// [`decode_query_request`]).  Time points travel as 16-hex-digit bit
+/// patterns, so the grid the server evaluates is the grid the client typed,
+/// bit for bit.
+pub fn encode_query_request(request: &QueryRequest) -> String {
+    let deadline_ms = match request.deadline {
+        Some(d) => d.as_millis().min(u128::from(u64::MAX)) as u64,
+        None => 0,
+    };
+    let mut out = format!(
+        "query v={QUERY_PROTOCOL_VERSION} engine={} method={} deadline_ms={deadline_ms} \
+         measures={} tpoints={}\n",
+        encode_str(&request.engine),
+        encode_str(&request.method),
+        request.measures.len(),
+        request.t_points.len(),
+    );
+    out.push_str("model ");
+    out.push_str(&request.model.encode());
+    out.push('\n');
+    out.push_str("grid");
+    for t in &request.t_points {
+        out.push(' ');
+        out.push_str(&encode_f64(*t));
+    }
+    out.push('\n');
+    for measure in &request.measures {
+        out.push_str("measure ");
+        out.push_str(&encode_str(measure));
+        out.push('\n');
+    }
+    out
+}
+
+/// Pulls the next `key=value` token off a whitespace token stream.
+fn kv<'a>(
+    tokens: &mut std::str::SplitWhitespace<'a>,
+    key: &'static str,
+) -> Result<&'a str, WireError> {
+    let token = tokens
+        .next()
+        .ok_or_else(|| malformed(format!("payload line ends before its '{key}=' field")))?;
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| malformed(format!("expected '{key}=...', got '{token}'")))
+}
+
+/// Parses a decimal count field, naming it on failure.
+fn decode_count(text: &str, what: &'static str) -> Result<usize, WireError> {
+    text.parse()
+        .map_err(|_| malformed(format!("{what} '{text}' is not a non-negative integer")))
+}
+
+/// Checks a `v=N` token against [`QUERY_PROTOCOL_VERSION`].
+fn decode_version(text: &str) -> Result<(), WireError> {
+    let got: u32 = text
+        .parse()
+        .map_err(|_| malformed(format!("protocol version '{text}' is not an integer")))?;
+    if got == QUERY_PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(WireError::Version { got })
+    }
+}
+
+/// Decodes a space-separated run of 16-hex-digit `f64` bit patterns.
+fn decode_f64_run(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    count: usize,
+    what: &'static str,
+) -> Result<Vec<f64>, WireError> {
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        let token = tokens
+            .next()
+            .ok_or_else(|| malformed(format!("{what} run ends early (expected {count} values)")))?;
+        let value = decode_f64(token)
+            .ok_or_else(|| malformed(format!("{what} value '{token}' is not a hex bit pattern")))?;
+        values.push(value);
+    }
+    Ok(values)
+}
+
+/// Decodes one query payload (the inverse of [`encode_query_request`]).
+/// Malformed input surfaces as a typed [`WireError`], never a panic — this
+/// function parses bytes from an untrusted TCP peer.
+pub fn decode_query_request(payload: &str) -> Result<QueryRequest, WireError> {
+    let mut lines = payload.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("empty query payload"))?;
+    let mut tokens = header.split_whitespace();
+    match tokens.next() {
+        Some("query") => {}
+        other => {
+            return Err(malformed(format!(
+                "expected 'query' header, got '{}'",
+                other.unwrap_or_default()
+            )))
+        }
+    }
+    decode_version(kv(&mut tokens, "v")?)?;
+    let engine = decode_text(kv(&mut tokens, "engine")?, "engine")?;
+    let method = decode_text(kv(&mut tokens, "method")?, "method")?;
+    let deadline_ms: u64 = {
+        let text = kv(&mut tokens, "deadline_ms")?;
+        text.parse()
+            .map_err(|_| malformed(format!("deadline_ms '{text}' is not an integer")))?
+    };
+    let n_measures = decode_count(kv(&mut tokens, "measures")?, "measure count")?;
+    let n_points = decode_count(kv(&mut tokens, "tpoints")?, "grid size")?;
+
+    let model_line = lines
+        .next()
+        .ok_or_else(|| malformed("query payload is missing its 'model' line"))?;
+    let model_field = model_line
+        .strip_prefix("model ")
+        .ok_or_else(|| malformed(format!("expected 'model ...', got '{model_line}'")))?;
+    let model = ModelSpec::decode(model_field)?;
+
+    let grid_line = lines
+        .next()
+        .ok_or_else(|| malformed("query payload is missing its 'grid' line"))?;
+    let grid_rest = grid_line
+        .strip_prefix("grid")
+        .ok_or_else(|| malformed(format!("expected 'grid ...', got '{grid_line}'")))?;
+    let mut grid_tokens = grid_rest.split_whitespace();
+    let t_points = decode_f64_run(&mut grid_tokens, n_points, "grid")?;
+
+    let mut measures = Vec::with_capacity(n_measures);
+    for _ in 0..n_measures {
+        let line = lines.next().ok_or_else(|| {
+            malformed(format!(
+                "query payload announces {n_measures} measures but carries {}",
+                measures.len()
+            ))
+        })?;
+        let field = line
+            .strip_prefix("measure ")
+            .ok_or_else(|| malformed(format!("expected 'measure ...', got '{line}'")))?;
+        measures.push(decode_text(field, "measure")?);
+    }
+
+    Ok(QueryRequest {
+        model,
+        engine,
+        method,
+        deadline: if deadline_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(deadline_ms))
+        },
+        t_points,
+        measures,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------------
+
+/// Why the server refused a request.  `Model`/`Unsupported`/`Analysis`
+/// mirror [`EngineError`]; the rest are server-side outcomes a one-shot run
+/// cannot have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalKind {
+    /// The model or a measure is unreadable or names a missing place.
+    Model,
+    /// The routed engine cannot compute a requested measure kind.
+    Unsupported,
+    /// The computation itself failed.
+    Analysis,
+    /// Admission control: the in-flight limit and the wait queue are full.
+    Busy,
+    /// The request's deadline passed before an answer was ready.
+    Deadline,
+    /// The request frame itself is malformed (bad engine name, bad method,
+    /// no measures, undecodable payload).
+    Protocol,
+}
+
+impl RefusalKind {
+    /// The kind's wire token.
+    pub fn name(self) -> &'static str {
+        match self {
+            RefusalKind::Model => "model",
+            RefusalKind::Unsupported => "unsupported",
+            RefusalKind::Analysis => "analysis",
+            RefusalKind::Busy => "busy",
+            RefusalKind::Deadline => "deadline",
+            RefusalKind::Protocol => "protocol",
+        }
+    }
+
+    /// Parses a wire token back into its kind.
+    pub fn from_name(name: &str) -> Option<RefusalKind> {
+        match name {
+            "model" => Some(RefusalKind::Model),
+            "unsupported" => Some(RefusalKind::Unsupported),
+            "analysis" => Some(RefusalKind::Analysis),
+            "busy" => Some(RefusalKind::Busy),
+            "deadline" => Some(RefusalKind::Deadline),
+            "protocol" => Some(RefusalKind::Protocol),
+            _ => None,
+        }
+    }
+}
+
+/// A typed rejection: the kind plus a human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refusal {
+    /// Why the request was refused.
+    pub kind: RefusalKind,
+    /// The detailed message (engine error text, admission state, …).
+    pub message: String,
+}
+
+impl std::fmt::Display for Refusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.message)
+    }
+}
+
+/// The server's answer to one [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub enum QueryReply {
+    /// One report per requested measure, in request order.
+    Reports(Vec<MeasureReport>),
+    /// The request was refused.
+    Refusal(Refusal),
+}
+
+/// Maps a wire engine name back to the `'static` name [`Provenance`] wants.
+/// Unknown names (a future engine) collapse to `"remote"` rather than
+/// failing — the numbers still carry their own meaning.
+fn engine_static(name: &str) -> &'static str {
+    match name {
+        "analytic" => "analytic",
+        "distributed" => "distributed",
+        "simulation" => "simulation",
+        "uniformization" => "uniformization",
+        _ => "remote",
+    }
+}
+
+/// Rebuilds a [`MeasureKind`] from its wire name plus the report's points
+/// (quantile probabilities and the moment order live in the points vector,
+/// so the kind needs no payload of its own).
+fn decode_kind(name: &str, points: &[f64]) -> Result<MeasureKind, WireError> {
+    match name {
+        "density" => Ok(MeasureKind::Density),
+        "cdf" => Ok(MeasureKind::Cdf),
+        "transient" => Ok(MeasureKind::Transient),
+        "mean" => Ok(MeasureKind::Mean),
+        "quantile" => Ok(MeasureKind::Quantile {
+            probs: points.to_vec(),
+        }),
+        "moment" => {
+            let first = points
+                .first()
+                .ok_or_else(|| malformed("moment report carries no points"))?;
+            // Orders are 1..=4 by construction; the `as` cast saturates on
+            // anything a corrupt peer might send instead of panicking.
+            Ok(MeasureKind::Moment {
+                order: *first as u32,
+            })
+        }
+        other => Err(malformed(format!("unknown measure kind '{other}'"))),
+    }
+}
+
+fn encode_provenance(p: &Provenance) -> String {
+    let states = match p.states {
+        Some(n) => n.to_string(),
+        None => "-".to_string(),
+    };
+    let bound = match p.error_bound {
+        Some(b) => encode_f64(b),
+        None => "-".to_string(),
+    };
+    format!(
+        "prov engine={} backend={} workers={} states={states} messages={} bytes={} \
+         evaluations={} rebuilds={} pooled={} cache={} shared={} wall_ns={} bound={bound} \
+         queue_ns={} mhits={} mmiss={}",
+        encode_str(p.engine),
+        encode_str(&p.backend),
+        p.workers,
+        p.messages,
+        p.bytes_on_wire,
+        p.evaluations,
+        p.matrix_rebuilds_avoided,
+        p.pooled_lst_evaluations,
+        p.cache_hits,
+        p.shared_hits,
+        p.wall.as_nanos().min(u128::from(u64::MAX)) as u64,
+        p.queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
+        p.model_cache_hits,
+        p.model_cache_misses,
+    )
+}
+
+fn decode_provenance(line: &str) -> Result<Provenance, WireError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("prov") => {}
+        other => {
+            return Err(malformed(format!(
+                "expected 'prov ...', got '{}'",
+                other.unwrap_or_default()
+            )))
+        }
+    }
+    let engine = engine_static(&decode_text(kv(&mut tokens, "engine")?, "engine")?);
+    let backend = decode_text(kv(&mut tokens, "backend")?, "backend")?;
+    let workers = decode_count(kv(&mut tokens, "workers")?, "worker count")?;
+    let states = match kv(&mut tokens, "states")? {
+        "-" => None,
+        text => Some(decode_count(text, "state count")?),
+    };
+    let messages = decode_count(kv(&mut tokens, "messages")?, "message count")?;
+    let bytes: u64 = {
+        let text = kv(&mut tokens, "bytes")?;
+        text.parse()
+            .map_err(|_| malformed(format!("byte count '{text}' is not an integer")))?
+    };
+    let evaluations = decode_count(kv(&mut tokens, "evaluations")?, "evaluation count")?;
+    let rebuilds: u64 = {
+        let text = kv(&mut tokens, "rebuilds")?;
+        text.parse()
+            .map_err(|_| malformed(format!("rebuild count '{text}' is not an integer")))?
+    };
+    let pooled: u64 = {
+        let text = kv(&mut tokens, "pooled")?;
+        text.parse()
+            .map_err(|_| malformed(format!("pooled count '{text}' is not an integer")))?
+    };
+    let cache_hits = decode_count(kv(&mut tokens, "cache")?, "cache-hit count")?;
+    let shared_hits = decode_count(kv(&mut tokens, "shared")?, "shared-hit count")?;
+    let wall_ns: u64 = {
+        let text = kv(&mut tokens, "wall_ns")?;
+        text.parse()
+            .map_err(|_| malformed(format!("wall time '{text}' is not an integer")))?
+    };
+    let error_bound = match kv(&mut tokens, "bound")? {
+        "-" => None,
+        text => Some(
+            decode_f64(text)
+                .ok_or_else(|| malformed(format!("error bound '{text}' is not a bit pattern")))?,
+        ),
+    };
+    let queue_ns: u64 = {
+        let text = kv(&mut tokens, "queue_ns")?;
+        text.parse()
+            .map_err(|_| malformed(format!("queue time '{text}' is not an integer")))?
+    };
+    let model_cache_hits = decode_count(kv(&mut tokens, "mhits")?, "model-cache hit count")?;
+    let model_cache_misses = decode_count(kv(&mut tokens, "mmiss")?, "model-cache miss count")?;
+    Ok(Provenance {
+        engine,
+        backend,
+        workers,
+        states,
+        messages,
+        bytes_on_wire: bytes,
+        evaluations,
+        matrix_rebuilds_avoided: rebuilds,
+        pooled_lst_evaluations: pooled,
+        cache_hits,
+        shared_hits,
+        wall: Duration::from_nanos(wall_ns),
+        error_bound,
+        queue_wait: Duration::from_nanos(queue_ns),
+        model_cache_hits,
+        model_cache_misses,
+    })
+}
+
+/// Encodes a reply into one payload (the inverse of [`decode_query_reply`]).
+/// Values travel as bit patterns: the client prints exactly the `f64`s the
+/// server computed.
+pub fn encode_query_reply(reply: &QueryReply) -> String {
+    match reply {
+        QueryReply::Refusal(refusal) => format!(
+            "refusal v={QUERY_PROTOCOL_VERSION} kind={} msg={}\n",
+            refusal.kind.name(),
+            encode_str(&refusal.message)
+        ),
+        QueryReply::Reports(reports) => {
+            let mut out = format!("reports v={QUERY_PROTOCOL_VERSION} n={}\n", reports.len());
+            for report in reports {
+                out.push_str(&format!(
+                    "report name={} kind={}\n",
+                    encode_str(&report.name),
+                    report.kind.name()
+                ));
+                out.push_str(&format!("points {}", report.points.len()));
+                for p in &report.points {
+                    out.push(' ');
+                    out.push_str(&encode_f64(*p));
+                }
+                out.push('\n');
+                out.push_str(&format!("values {}", report.values.len()));
+                for v in &report.values {
+                    out.push(' ');
+                    out.push_str(&encode_f64(*v));
+                }
+                out.push('\n');
+                out.push_str(&encode_provenance(&report.provenance));
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+/// Decodes one reply payload (the inverse of [`encode_query_reply`]).
+/// Malformed input surfaces as a typed [`WireError`], never a panic.
+pub fn decode_query_reply(payload: &str) -> Result<QueryReply, WireError> {
+    let mut lines = payload.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("empty reply payload"))?;
+    let mut tokens = header.split_whitespace();
+    match tokens.next() {
+        Some("refusal") => {
+            decode_version(kv(&mut tokens, "v")?)?;
+            let kind_name = kv(&mut tokens, "kind")?;
+            let kind = RefusalKind::from_name(kind_name)
+                .ok_or_else(|| malformed(format!("unknown refusal kind '{kind_name}'")))?;
+            let message = decode_text(kv(&mut tokens, "msg")?, "refusal message")?;
+            Ok(QueryReply::Refusal(Refusal { kind, message }))
+        }
+        Some("reports") => {
+            decode_version(kv(&mut tokens, "v")?)?;
+            let n = decode_count(kv(&mut tokens, "n")?, "report count")?;
+            let mut reports = Vec::with_capacity(n);
+            for _ in 0..n {
+                let report_line = lines.next().ok_or_else(|| {
+                    malformed(format!(
+                        "reply announces {n} reports but carries {}",
+                        reports.len()
+                    ))
+                })?;
+                let mut tokens = report_line.split_whitespace();
+                match tokens.next() {
+                    Some("report") => {}
+                    other => {
+                        return Err(malformed(format!(
+                            "expected 'report ...', got '{}'",
+                            other.unwrap_or_default()
+                        )))
+                    }
+                }
+                let name = decode_text(kv(&mut tokens, "name")?, "report name")?;
+                let kind_name = decode_text(kv(&mut tokens, "kind")?, "measure kind")?;
+
+                let points_line = lines
+                    .next()
+                    .ok_or_else(|| malformed("report is missing its 'points' line"))?;
+                let points_rest = points_line.strip_prefix("points ").ok_or_else(|| {
+                    malformed(format!("expected 'points ...', got '{points_line}'"))
+                })?;
+                let mut point_tokens = points_rest.split_whitespace();
+                let n_points = decode_count(
+                    point_tokens
+                        .next()
+                        .ok_or_else(|| malformed("'points' line carries no count"))?,
+                    "point count",
+                )?;
+                let points = decode_f64_run(&mut point_tokens, n_points, "points")?;
+
+                let values_line = lines
+                    .next()
+                    .ok_or_else(|| malformed("report is missing its 'values' line"))?;
+                let values_rest = values_line.strip_prefix("values ").ok_or_else(|| {
+                    malformed(format!("expected 'values ...', got '{values_line}'"))
+                })?;
+                let mut value_tokens = values_rest.split_whitespace();
+                let n_values = decode_count(
+                    value_tokens
+                        .next()
+                        .ok_or_else(|| malformed("'values' line carries no count"))?,
+                    "value count",
+                )?;
+                let values = decode_f64_run(&mut value_tokens, n_values, "values")?;
+
+                let prov_line = lines
+                    .next()
+                    .ok_or_else(|| malformed("report is missing its 'prov' line"))?;
+                let provenance = decode_provenance(prov_line)?;
+                let kind = decode_kind(&kind_name, &points)?;
+                reports.push(MeasureReport {
+                    name,
+                    kind,
+                    points,
+                    values,
+                    provenance,
+                });
+            }
+            Ok(QueryReply::Reports(reports))
+        }
+        other => Err(malformed(format!(
+            "expected 'reports' or 'refusal' header, got '{}'",
+            other.unwrap_or_default()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server options
+// ---------------------------------------------------------------------------
+
+/// How the server runs its solves: a standing pool of TCP worker processes,
+/// or in-process threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolSpec {
+    /// Bind one rendezvous listener per address; `smpq worker --connect`
+    /// processes attach once (see [`QueryServer::attach_workers`]) and stay
+    /// resident across requests.
+    Tcp(Vec<String>),
+    /// No worker processes: distributed solves run on this many in-process
+    /// threads.
+    InProcess(usize),
+}
+
+/// Configuration for [`QueryServer::bind`].
+#[derive(Debug, Clone)]
+pub struct QueryServerOptions {
+    /// Address the query listener binds (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// The worker pool behind distributed solves.
+    pub pool: PoolSpec,
+    /// Capacity (entries) of the compiled-model-set LRU cache.
+    pub cache_models: usize,
+    /// Byte budget of the shared transform-value result cache.
+    pub cache_result_bytes: usize,
+    /// Maximum solves running concurrently.
+    pub max_inflight: usize,
+    /// Maximum requests waiting for a solve slot before new arrivals are
+    /// refused with [`RefusalKind::Busy`].
+    pub max_queued: usize,
+}
+
+impl Default for QueryServerOptions {
+    fn default() -> Self {
+        QueryServerOptions {
+            listen: "127.0.0.1:0".to_string(),
+            pool: PoolSpec::InProcess(2),
+            cache_models: 8,
+            cache_result_bytes: 64 << 20,
+            max_inflight: 4,
+            max_queued: 16,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared server state
+// ---------------------------------------------------------------------------
+
+/// One attached worker process: its socket, kept in protocol sync (`done`
+/// received, next `job` expected) between requests.
+struct PoolWorker {
+    id: usize,
+    stream: TcpStream,
+}
+
+/// An `--engine auto` routing probe, memoized per model fingerprint.
+struct RouteSlot {
+    fingerprint: String,
+    uniform: bool,
+    stamp: u64,
+}
+
+/// Bounded-LRU memo of routing probes (a probe explores the state space, so
+/// it is exactly as expensive as the compile it precedes).
+struct RouteMemo {
+    slots: Vec<RouteSlot>,
+    clock: u64,
+}
+
+/// Counters behind the admission condition variable.
+struct AdmissionState {
+    active: usize,
+    waiting: usize,
+}
+
+/// Everything the connection handlers share: the warm caches, the admission
+/// controller, and the standing worker pool.
+struct ServerShared {
+    compiled: Arc<CompiledSetCache>,
+    results: Arc<ResultCache>,
+    routes: Mutex<RouteMemo>,
+    route_capacity: usize,
+    admission: Mutex<AdmissionState>,
+    admission_cv: Condvar,
+    /// `None` while the whole pool is checked out by a solve (or not yet
+    /// attached); `Some` holds the idle workers.
+    pool: Mutex<Option<Vec<PoolWorker>>>,
+    pool_cv: Condvar,
+    pool_size: usize,
+    inproc_workers: usize,
+    max_inflight: usize,
+    max_queued: usize,
+    shutdown: AtomicBool,
+}
+
+/// The std condvar API returns `LockResult`s; the vendored `parking_lot`
+/// guards *are* std guards, so recover them poison-free the same way the
+/// shim does.
+fn ignore_poison<G>(result: Result<G, std::sync::PoisonError<G>>) -> G {
+    match result {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Releases one admission slot on drop, waking a queued request.
+struct AdmissionPermit<'a> {
+    shared: &'a ServerShared,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.shared.admission.lock();
+        state.active = state.active.saturating_sub(1);
+        drop(state);
+        self.shared.admission_cv.notify_all();
+    }
+}
+
+impl ServerShared {
+    /// Takes a solve slot, queueing up to the deadline if all are busy.
+    /// Returns the time spent queued; the matching release happens when the
+    /// returned permit drops.
+    fn admit(&self, deadline: Option<Instant>) -> Result<(AdmissionPermit<'_>, Duration), Refusal> {
+        let started = Instant::now();
+        let mut state = self.admission.lock();
+        if state.active < self.max_inflight {
+            state.active += 1;
+            return Ok((AdmissionPermit { shared: self }, Duration::ZERO));
+        }
+        if state.waiting >= self.max_queued {
+            return Err(Refusal {
+                kind: RefusalKind::Busy,
+                message: format!(
+                    "server is at capacity: {} solve(s) in flight and {} queued \
+                     (limits: --max-inflight {}, --max-queued {})",
+                    state.active, state.waiting, self.max_inflight, self.max_queued
+                ),
+            });
+        }
+        state.waiting += 1;
+        loop {
+            if state.active < self.max_inflight {
+                state.waiting -= 1;
+                state.active += 1;
+                return Ok((AdmissionPermit { shared: self }, started.elapsed()));
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    state.waiting -= 1;
+                    return Err(Refusal {
+                        kind: RefusalKind::Deadline,
+                        message: format!(
+                            "request deadline passed after {:?} in the admission queue",
+                            started.elapsed()
+                        ),
+                    });
+                }
+            }
+            let (guard, _) = ignore_poison(
+                self.admission_cv
+                    .wait_timeout(state, Duration::from_millis(50)),
+            );
+            state = guard;
+        }
+    }
+
+    /// Routes `--engine auto` for a model: is the all-exponential fast path
+    /// applicable?  The probe explores the state space, so its verdict is
+    /// memoized per model fingerprint in a bounded LRU.  Returns the verdict
+    /// plus (memo hits, memo misses) for provenance.
+    fn route_auto(&self, model: &ModelSpec) -> (bool, usize, usize) {
+        let fingerprint = model.fingerprint();
+        {
+            let mut memo = self.routes.lock();
+            memo.clock += 1;
+            let stamp = memo.clock;
+            if let Some(slot) = memo
+                .slots
+                .iter_mut()
+                .find(|slot| slot.fingerprint == fingerprint)
+            {
+                slot.stamp = stamp;
+                return (slot.uniform, 1, 0);
+            }
+        }
+        // The expensive probe runs outside the lock; concurrent first
+        // queries for one model may both pay it, and the second insert below
+        // then defers to the first.
+        let uniform = uniformization_applies(model);
+        let mut memo = self.routes.lock();
+        memo.clock += 1;
+        let stamp = memo.clock;
+        if let Some(slot) = memo
+            .slots
+            .iter_mut()
+            .find(|slot| slot.fingerprint == fingerprint)
+        {
+            slot.stamp = stamp;
+            return (slot.uniform, 0, 1);
+        }
+        memo.slots.push(RouteSlot {
+            fingerprint,
+            uniform,
+            stamp,
+        });
+        while memo.slots.len() > self.route_capacity.max(1) {
+            let mut oldest = 0usize;
+            let mut oldest_stamp = u64::MAX;
+            for (i, slot) in memo.slots.iter().enumerate() {
+                if slot.stamp < oldest_stamp {
+                    oldest = i;
+                    oldest_stamp = slot.stamp;
+                }
+            }
+            memo.slots.swap_remove(oldest);
+        }
+        (uniform, 0, 1)
+    }
+
+    /// Takes the whole idle pool, waiting (deadline-capped) while another
+    /// solve holds it or the workers have not attached yet.
+    fn checkout_pool(&self, deadline: Option<Instant>) -> Result<Vec<PoolWorker>, PipelineError> {
+        let mut slot = self.pool.lock();
+        loop {
+            if let Some(workers) = slot.take() {
+                return Ok(workers);
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(transport_failure(
+                        "request deadline exceeded while waiting for the worker pool",
+                    ));
+                }
+            }
+            let (guard, _) =
+                ignore_poison(self.pool_cv.wait_timeout(slot, Duration::from_millis(50)));
+            slot = guard;
+        }
+    }
+
+    /// Puts the (surviving) workers back and wakes the next solve.
+    fn return_pool(&self, workers: Vec<PoolWorker>) {
+        let mut slot = self.pool.lock();
+        *slot = Some(workers);
+        drop(slot);
+        self.pool_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The standing-pool transport
+// ---------------------------------------------------------------------------
+
+/// A [`Transport`] over the server's resident worker processes.  Unlike
+/// [`crate::TcpTransport`] there is no per-run rendezvous: `execute` checks
+/// the attached sockets out of the shared pool, streams one job over each,
+/// and checks the survivors back in — so it is `reusable` and multi-round
+/// quantile refinement works over real processes.
+struct PoolTransport {
+    shared: Arc<ServerShared>,
+    deadline: Option<Instant>,
+}
+
+impl Transport for PoolTransport {
+    fn name(&self) -> &'static str {
+        "tcp-pool"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.shared.pool_size.max(1)
+    }
+
+    fn reusable(&self) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        plan: ExecutionPlan<'_>,
+        on_message: &mut dyn FnMut(WorkerMessage),
+    ) -> Result<TransportReport, PipelineError> {
+        let specs = encode_plan_specs(&plan.evaluators)?;
+        let total_items = plan.items.len();
+        let queue = WorkQueue::with_chunk_size(plan.items, plan.chunk_size.max(1));
+        let remaining = AtomicUsize::new(total_items);
+        let method = plan.method.clone();
+
+        let workers = self.shared.checkout_pool(self.deadline)?;
+        let mut report = TransportReport::default();
+        let mut failures: Vec<String> = Vec::new();
+
+        // Open this request's job on every worker before dispatching chunks;
+        // a worker whose job frame fails to send is dropped from the pool.
+        let mut live: Vec<PoolWorker> = Vec::new();
+        for mut worker in workers {
+            match send_job(&mut worker.stream, worker.id, &method, &specs) {
+                Ok(bytes) => {
+                    report.bytes_on_wire += bytes;
+                    report.messages += 1;
+                    live.push(worker);
+                }
+                Err(e) => {
+                    report.disconnects += 1;
+                    failures.push(format!("worker {}: job dispatch failed: {e}", worker.id));
+                }
+            }
+        }
+        if live.is_empty() {
+            self.shared.return_pool(Vec::new());
+            return Err(transport_failure(format!(
+                "{total_items} work item(s) left undone: no pool worker accepted the job: {}",
+                failures.join("; ")
+            )));
+        }
+
+        let (tx, rx) = unbounded::<WorkerMessage>();
+        let deadline = self.deadline;
+        let outcomes: Vec<(PoolWorker, bool, HandlerOutcome)> = crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(live.len());
+            for mut worker in live {
+                let queue = &queue;
+                let remaining = &remaining;
+                let tx = tx.clone();
+                handles.push(scope.spawn(move |_| {
+                    let mut outcome = HandlerOutcome::new(worker.id);
+                    let in_sync = drive_connected_worker(
+                        &mut worker.stream,
+                        queue,
+                        remaining,
+                        deadline,
+                        &tx,
+                        &mut outcome,
+                    );
+                    (worker, in_sync, outcome)
+                }));
+            }
+            drop(tx);
+
+            for message in rx {
+                on_message(message);
+            }
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool handler thread panicked"))
+                .collect()
+        })
+        .expect("pool transport scope failed");
+
+        // Workers still in protocol sync (their `done` frame was delivered —
+        // including those released early by a deadline) go back in the pool;
+        // anything else is dropped and its socket closes here.
+        let mut keep = Vec::new();
+        for (worker, in_sync, outcome) in outcomes {
+            report.messages += outcome.messages;
+            report.bytes_on_wire += outcome.bytes;
+            if let Some(failure) = outcome.failure {
+                if !in_sync {
+                    report.disconnects += 1;
+                }
+                failures.push(format!("worker {}: {failure}", outcome.stats.id));
+            }
+            report.worker_stats.push(outcome.stats);
+            if in_sync {
+                keep.push(worker);
+            }
+        }
+        self.shared.return_pool(keep);
+
+        let undone = remaining.load(Ordering::SeqCst);
+        if undone > 0 {
+            return Err(transport_failure(format!(
+                "{undone} work item(s) left undone: {}",
+                failures.join("; ")
+            )));
+        }
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+/// Where a request was routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoutedEngine {
+    Analytic,
+    Distributed,
+    Uniformization,
+}
+
+impl RoutedEngine {
+    fn name(self) -> &'static str {
+        match self {
+            RoutedEngine::Analytic => "analytic",
+            RoutedEngine::Distributed => "distributed",
+            RoutedEngine::Uniformization => "uniformization",
+        }
+    }
+}
+
+fn refuse(kind: RefusalKind, message: impl Into<String>) -> QueryReply {
+    QueryReply::Refusal(Refusal {
+        kind,
+        message: message.into(),
+    })
+}
+
+/// Picks the engine for a request: explicit names pass through, `auto`
+/// consults the memoized uniformization probe (the all-exponential fast path
+/// when it applies, the distributed pipeline otherwise).
+fn route_engine(
+    shared: &ServerShared,
+    engine: &str,
+    model: &ModelSpec,
+) -> Result<(RoutedEngine, usize, usize), Refusal> {
+    match engine {
+        "analytic" => Ok((RoutedEngine::Analytic, 0, 0)),
+        "distributed" => Ok((RoutedEngine::Distributed, 0, 0)),
+        "uniform" | "uniformization" => Ok((RoutedEngine::Uniformization, 0, 0)),
+        "auto" => {
+            let (uniform, hits, misses) = shared.route_auto(model);
+            let routed = if uniform {
+                RoutedEngine::Uniformization
+            } else {
+                RoutedEngine::Distributed
+            };
+            Ok((routed, hits, misses))
+        }
+        "sim" | "simulation" => Err(Refusal {
+            kind: RefusalKind::Unsupported,
+            message: "the query server does not run the simulation engine; \
+                      run `smpq --engine sim` one-shot instead"
+                .to_string(),
+        }),
+        other => Err(Refusal {
+            kind: RefusalKind::Protocol,
+            message: format!(
+                "unknown engine '{other}' (the server accepts auto, analytic, \
+                 distributed, uniform)"
+            ),
+        }),
+    }
+}
+
+/// Runs the routed solve against the shared caches.  Distributed solves go
+/// over the standing worker pool when one is attached, in-process threads
+/// otherwise; either way the transform-value and compiled-model caches are
+/// the server's long-lived ones.
+fn solve_routed(
+    shared: &Arc<ServerShared>,
+    routed: RoutedEngine,
+    model: &ModelSpec,
+    method: &InversionMethod,
+    requests: &[MeasureRequest],
+    deadline: Option<Instant>,
+) -> Result<Vec<MeasureReport>, EngineError> {
+    match routed {
+        RoutedEngine::Analytic => AnalyticEngine::new(model.clone(), method.clone())
+            .with_compiled_cache(shared.compiled.clone())
+            .solve(requests),
+        RoutedEngine::Uniformization => UniformizationEngine::new(model.clone()).solve(requests),
+        RoutedEngine::Distributed => {
+            let workers = if shared.pool_size > 0 {
+                shared.pool_size
+            } else {
+                shared.inproc_workers.max(1)
+            };
+            let mut options = PipelineOptions::with_workers(workers);
+            options.shared_cache = Some(shared.results.clone());
+            let transport: Box<dyn Transport> = if shared.pool_size > 0 {
+                Box::new(PoolTransport {
+                    shared: shared.clone(),
+                    deadline,
+                })
+            } else {
+                Box::new(InProcess::new(workers).with_compiled_cache(shared.compiled.clone()))
+            };
+            DistributedEngine::with_transport(model.clone(), method.clone(), options, transport)
+                .with_compiled_cache(shared.compiled.clone())
+                .solve(requests)
+        }
+    }
+}
+
+/// Answers one decoded request end to end: route, parse measures, pass
+/// admission, solve, and stamp the server-side provenance (queue wait,
+/// model-cache traffic, rebuilds avoided by warm grid points).
+fn answer_query(shared: &Arc<ServerShared>, request: &QueryRequest) -> QueryReply {
+    let deadline = request.deadline.map(|d| Instant::now() + d);
+
+    let Some(method) = InversionMethod::from_name(&request.method) else {
+        return refuse(
+            RefusalKind::Protocol,
+            format!(
+                "unknown inversion method '{}' (expected euler or laguerre)",
+                request.method
+            ),
+        );
+    };
+
+    let (routed, memo_hits, memo_misses) =
+        match route_engine(shared, &request.engine, &request.model) {
+            Ok(routed) => routed,
+            Err(refusal) => return QueryReply::Refusal(refusal),
+        };
+
+    // Re-parse the measure source text exactly as the one-shot CLI would for
+    // the routed engine — the guarantee behind bitwise-identical answers.
+    let mut requests = Vec::with_capacity(request.measures.len());
+    for text in &request.measures {
+        match MeasureRequest::parse_for_engine(text, routed.name(), MEASURE_KIND_NAMES) {
+            Ok(parsed) => requests.push(parsed.with_t_points(&request.t_points)),
+            Err(message) => return refuse(RefusalKind::Model, message),
+        }
+    }
+    if requests.is_empty() {
+        return refuse(RefusalKind::Protocol, "query carries no measures");
+    }
+
+    let (permit, queue_wait) = match shared.admit(deadline) {
+        Ok(admitted) => admitted,
+        Err(refusal) => return QueryReply::Refusal(refusal),
+    };
+    let outcome = solve_routed(shared, routed, &request.model, &method, &requests, deadline);
+    drop(permit);
+
+    if let Some(deadline) = deadline {
+        if Instant::now() >= deadline {
+            // Even a successful solve that finished late is refused: a
+            // deadline is a promise about *when*, not just whether.
+            return refuse(
+                RefusalKind::Deadline,
+                "request deadline exceeded before the solve completed",
+            );
+        }
+    }
+
+    match outcome {
+        Ok(mut reports) => {
+            if let Some(first) = reports.first_mut() {
+                first.provenance.queue_wait = queue_wait;
+                first.provenance.model_cache_hits += memo_hits;
+                first.provenance.model_cache_misses += memo_misses;
+            }
+            for report in &mut reports {
+                // Every grid point served from the warm result cache (or
+                // shared with a sibling measure) is a kernel-matrix build
+                // the server never ran — fold it into the rebuild counter
+                // so warm queries are visibly cheap.
+                let warm = (report.provenance.cache_hits + report.provenance.shared_hits) as u64;
+                report.provenance.matrix_rebuilds_avoided += warm;
+            }
+            QueryReply::Reports(reports)
+        }
+        Err(EngineError::Model(message)) => refuse(RefusalKind::Model, message),
+        Err(EngineError::Unsupported(message)) => refuse(RefusalKind::Unsupported, message),
+        Err(EngineError::Analysis(message)) => {
+            let kind = if message.contains("request deadline exceeded") {
+                RefusalKind::Deadline
+            } else {
+                RefusalKind::Analysis
+            };
+            refuse(kind, message)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// The `smpq serve` daemon: a bound query listener, its worker rendezvous
+/// listeners, and the warm state shared by every connection.
+pub struct QueryServer {
+    listener: TcpListener,
+    worker_listeners: Vec<TcpListener>,
+    shared: Arc<ServerShared>,
+}
+
+impl std::fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("listen", &self.listener.local_addr())
+            .field("pool_size", &self.shared.pool_size)
+            .finish()
+    }
+}
+
+impl QueryServer {
+    /// Binds the query listener and (for a TCP pool) one worker rendezvous
+    /// listener per configured address.  Workers are not yet attached — call
+    /// [`QueryServer::attach_workers`] before [`QueryServer::run`].
+    pub fn bind(options: QueryServerOptions) -> std::io::Result<QueryServer> {
+        let listener = TcpListener::bind(options.listen.as_str())?;
+        let (worker_listeners, pool_size, inproc_workers, initial_pool) = match &options.pool {
+            PoolSpec::Tcp(addrs) => {
+                let mut listeners = Vec::with_capacity(addrs.len());
+                for addr in addrs {
+                    listeners.push(TcpListener::bind(addr.as_str())?);
+                }
+                let size = listeners.len();
+                // The pool slot stays `None` until attach_workers fills it;
+                // early queries wait on the condvar rather than failing.
+                (listeners, size, 0, None)
+            }
+            PoolSpec::InProcess(threads) => (Vec::new(), 0, (*threads).max(1), Some(Vec::new())),
+        };
+        let shared = Arc::new(ServerShared {
+            compiled: Arc::new(CompiledSetCache::new(options.cache_models)),
+            results: Arc::new(ResultCache::with_byte_limit(options.cache_result_bytes)),
+            routes: Mutex::new(RouteMemo {
+                slots: Vec::new(),
+                clock: 0,
+            }),
+            route_capacity: options.cache_models.max(1),
+            admission: Mutex::new(AdmissionState {
+                active: 0,
+                waiting: 0,
+            }),
+            admission_cv: Condvar::new(),
+            pool: Mutex::new(initial_pool),
+            pool_cv: Condvar::new(),
+            pool_size,
+            inproc_workers,
+            max_inflight: options.max_inflight.max(1),
+            max_queued: options.max_queued,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(QueryServer {
+            listener,
+            worker_listeners,
+            shared,
+        })
+    }
+
+    /// The bound query address (what clients dial).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The bound worker rendezvous addresses (what `smpq worker --connect`
+    /// dials).  Empty for an in-process pool.
+    pub fn worker_addrs(&self) -> std::io::Result<Vec<SocketAddr>> {
+        self.worker_listeners
+            .iter()
+            .map(|listener| listener.local_addr())
+            .collect()
+    }
+
+    /// Accepts one worker per rendezvous listener (blocking), verifies each
+    /// handshake, and stocks the standing pool.  Returns the number of
+    /// attached workers.  A no-op for an in-process pool.
+    pub fn attach_workers(&self) -> std::io::Result<usize> {
+        if self.worker_listeners.is_empty() {
+            return Ok(0);
+        }
+        let mut workers = Vec::with_capacity(self.worker_listeners.len());
+        for (id, listener) in self.worker_listeners.iter().enumerate() {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(IO_TIMEOUT))?;
+            stream.set_write_timeout(Some(IO_TIMEOUT))?;
+            expect_hello(&mut stream)?;
+            workers.push(PoolWorker { id, stream });
+        }
+        let attached = workers.len();
+        self.shared.return_pool(workers);
+        Ok(attached)
+    }
+
+    /// Serves queries until a client sends [`SHUTDOWN_REQUEST`], then drains
+    /// the in-flight solves and returns.  Each accepted connection gets its
+    /// own thread; the solve concurrency cap is the admission controller,
+    /// not the thread count.
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+                    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+                    let shared = self.shared.clone();
+                    std::thread::spawn(move || serve_client(shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: give in-flight solves a bounded grace period to finish.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let idle = {
+                let state = self.shared.admission.lock();
+                state.active == 0 && state.waiting == 0
+            };
+            if idle || Instant::now() >= drain_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Ok(())
+    }
+}
+
+/// One client connection: read a payload, answer it, repeat until the client
+/// hangs up or asks for shutdown.
+fn serve_client(shared: Arc<ServerShared>, mut stream: TcpStream) {
+    loop {
+        let payload = match read_payload(&mut stream) {
+            Ok((payload, _)) => payload,
+            Err(_) => return, // client hung up (or timed out): this connection is done
+        };
+        if payload.trim() == SHUTDOWN_REQUEST {
+            let _ = write_payload(&mut stream, SHUTDOWN_ACK);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+        let reply = match decode_query_request(&payload) {
+            Ok(request) => answer_query(&shared, &request),
+            Err(e) => refuse(RefusalKind::Protocol, format!("malformed query: {e}")),
+        };
+        if write_payload(&mut stream, &encode_query_reply(&reply)).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voting() -> ModelSpec {
+        ModelSpec::Voting {
+            voters: 3,
+            polling: 1,
+            central: 1,
+        }
+    }
+
+    fn sample_request() -> QueryRequest {
+        QueryRequest {
+            model: voting(),
+            engine: "auto".to_string(),
+            method: "euler".to_string(),
+            deadline: Some(Duration::from_millis(2500)),
+            t_points: vec![1.0, 2.5, 14.0],
+            measures: vec![
+                "density:p2>=2".to_string(),
+                "quantile:p2>=2@0.5,0.9".to_string(),
+            ],
+        }
+    }
+
+    #[test]
+    fn query_request_round_trips() {
+        let request = sample_request();
+        let decoded = decode_query_request(&encode_query_request(&request)).expect("decodes");
+        assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn query_request_without_deadline_round_trips() {
+        let request = QueryRequest {
+            deadline: None,
+            ..sample_request()
+        };
+        let decoded = decode_query_request(&encode_query_request(&request)).expect("decodes");
+        assert_eq!(decoded.deadline, None);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors_not_panics() {
+        for payload in [
+            "",
+            "reports v=1 n=0\n",
+            "query v=1\n",
+            "query v=9 engine=auto method=euler deadline_ms=0 measures=0 tpoints=0\nmodel x\ngrid\n",
+            "query v=1 engine=auto method=euler deadline_ms=0 measures=1 tpoints=2\nmodel voting:3:1:1\ngrid 3ff0000000000000\n",
+            "query v=1 engine=auto method=euler deadline_ms=0 measures=2 tpoints=0\nmodel voting:3:1:1\ngrid\nmeasure density:p2>=2\n",
+        ] {
+            assert!(
+                decode_query_request(payload).is_err(),
+                "payload should be rejected: {payload:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reply_round_trips_reports_with_full_provenance() {
+        let mut provenance = Provenance::local("distributed", "tcp-pool");
+        provenance.workers = 2;
+        provenance.states = Some(37);
+        provenance.messages = 12;
+        provenance.bytes_on_wire = 4096;
+        provenance.evaluations = 99;
+        provenance.matrix_rebuilds_avoided = 7;
+        provenance.pooled_lst_evaluations = 55;
+        provenance.cache_hits = 3;
+        provenance.shared_hits = 2;
+        provenance.wall = Duration::from_micros(1234);
+        provenance.error_bound = Some(1e-9);
+        provenance.queue_wait = Duration::from_millis(5);
+        provenance.model_cache_hits = 4;
+        provenance.model_cache_misses = 1;
+        let reports = vec![
+            MeasureReport {
+                name: "density:p2>=2".to_string(),
+                kind: MeasureKind::Density,
+                points: vec![1.0, 2.0],
+                values: vec![0.25, 0.125],
+                provenance: provenance.clone(),
+            },
+            MeasureReport {
+                name: "quantile:p2>=2@0.5,0.9".to_string(),
+                kind: MeasureKind::Quantile {
+                    probs: vec![0.5, 0.9],
+                },
+                points: vec![0.5, 0.9],
+                values: vec![3.5, 7.25],
+                provenance: Provenance::local("uniformization", "phase-ctmc"),
+            },
+            MeasureReport {
+                name: "moment:p2>=2@2".to_string(),
+                kind: MeasureKind::Moment { order: 2 },
+                points: vec![2.0],
+                values: vec![42.0],
+                provenance,
+            },
+        ];
+        let encoded = encode_query_reply(&QueryReply::Reports(reports.clone()));
+        let decoded = match decode_query_reply(&encoded).expect("decodes") {
+            QueryReply::Reports(decoded) => decoded,
+            QueryReply::Refusal(refusal) => panic!("unexpected refusal: {refusal}"),
+        };
+        assert_eq!(decoded.len(), reports.len());
+        for (d, r) in decoded.iter().zip(&reports) {
+            assert_eq!(d.name, r.name);
+            assert_eq!(d.kind, r.kind);
+            assert_eq!(d.points, r.points);
+            assert_eq!(d.values, r.values);
+            let (dp, rp) = (&d.provenance, &r.provenance);
+            assert_eq!(dp.engine, rp.engine);
+            assert_eq!(dp.backend, rp.backend);
+            assert_eq!(dp.workers, rp.workers);
+            assert_eq!(dp.states, rp.states);
+            assert_eq!(dp.messages, rp.messages);
+            assert_eq!(dp.bytes_on_wire, rp.bytes_on_wire);
+            assert_eq!(dp.evaluations, rp.evaluations);
+            assert_eq!(dp.matrix_rebuilds_avoided, rp.matrix_rebuilds_avoided);
+            assert_eq!(dp.pooled_lst_evaluations, rp.pooled_lst_evaluations);
+            assert_eq!(dp.cache_hits, rp.cache_hits);
+            assert_eq!(dp.shared_hits, rp.shared_hits);
+            assert_eq!(dp.wall, rp.wall);
+            assert_eq!(dp.error_bound, rp.error_bound);
+            assert_eq!(dp.queue_wait, rp.queue_wait);
+            assert_eq!(dp.model_cache_hits, rp.model_cache_hits);
+            assert_eq!(dp.model_cache_misses, rp.model_cache_misses);
+        }
+    }
+
+    #[test]
+    fn refusals_round_trip_every_kind() {
+        for kind in [
+            RefusalKind::Model,
+            RefusalKind::Unsupported,
+            RefusalKind::Analysis,
+            RefusalKind::Busy,
+            RefusalKind::Deadline,
+            RefusalKind::Protocol,
+        ] {
+            let refusal = Refusal {
+                kind,
+                message: format!("details for {} with spaces / % signs", kind.name()),
+            };
+            let encoded = encode_query_reply(&QueryReply::Refusal(refusal.clone()));
+            match decode_query_reply(&encoded).expect("decodes") {
+                QueryReply::Refusal(decoded) => assert_eq!(decoded, refusal),
+                QueryReply::Reports(_) => panic!("expected a refusal"),
+            }
+        }
+    }
+
+    fn bare_shared(max_inflight: usize, max_queued: usize) -> ServerShared {
+        ServerShared {
+            compiled: Arc::new(CompiledSetCache::new(4)),
+            results: Arc::new(ResultCache::with_byte_limit(1 << 20)),
+            routes: Mutex::new(RouteMemo {
+                slots: Vec::new(),
+                clock: 0,
+            }),
+            route_capacity: 2,
+            admission: Mutex::new(AdmissionState {
+                active: 0,
+                waiting: 0,
+            }),
+            admission_cv: Condvar::new(),
+            pool: Mutex::new(Some(Vec::new())),
+            pool_cv: Condvar::new(),
+            pool_size: 0,
+            inproc_workers: 1,
+            max_inflight,
+            max_queued,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    #[test]
+    fn admission_refuses_busy_beyond_queue_cap_and_releases_on_drop() {
+        let shared = bare_shared(1, 0);
+        let (permit, wait) = shared.admit(None).expect("first admit");
+        assert_eq!(wait, Duration::ZERO);
+        // In flight is full and the queue cap is zero: refuse immediately.
+        match shared.admit(Some(Instant::now() + Duration::from_secs(5))) {
+            Err(refusal) => assert_eq!(refusal.kind, RefusalKind::Busy),
+            Ok(_) => panic!("second admit should be refused busy"),
+        }
+        drop(permit);
+        let (_permit, _) = shared.admit(None).expect("slot freed by drop");
+    }
+
+    #[test]
+    fn admission_queue_times_out_against_the_deadline() {
+        let shared = bare_shared(1, 4);
+        let (_permit, _) = shared.admit(None).expect("first admit");
+        let started = Instant::now();
+        match shared.admit(Some(Instant::now() + Duration::from_millis(120))) {
+            Err(refusal) => assert_eq!(refusal.kind, RefusalKind::Deadline),
+            Ok(_) => panic!("queued admit should hit its deadline"),
+        }
+        assert!(started.elapsed() >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn route_memo_hits_on_repeat_and_evicts_lru() {
+        let shared = bare_shared(1, 1); // route_capacity = 2
+        let a = ModelSpec::Voting {
+            voters: 2,
+            polling: 1,
+            central: 1,
+        };
+        let b = ModelSpec::Voting {
+            voters: 3,
+            polling: 1,
+            central: 1,
+        };
+        let c = ModelSpec::Voting {
+            voters: 4,
+            polling: 1,
+            central: 1,
+        };
+        assert_eq!(shared.route_auto(&a), (false, 0, 1), "first probe misses");
+        assert_eq!(shared.route_auto(&a), (false, 1, 0), "repeat probe hits");
+        assert_eq!(shared.route_auto(&b), (false, 0, 1));
+        // Touch `a`, insert `c`: the LRU entry is now `b`.
+        assert_eq!(shared.route_auto(&a), (false, 1, 0));
+        assert_eq!(shared.route_auto(&c), (false, 0, 1));
+        assert_eq!(shared.route_auto(&a), (false, 1, 0), "a survived eviction");
+        assert_eq!(shared.route_auto(&b), (false, 0, 1), "b was evicted");
+    }
+
+    /// A one-token three-state all-exponential ring, so `--engine auto`'s
+    /// uniformization probe says yes.
+    fn exp_ring() -> ModelSpec {
+        ModelSpec::Dnamaca(
+            r"
+\place{a}{1}
+\place{b}{0}
+\place{c}{0}
+
+\transition{ab}{
+    \condition{a > 0}
+    \action{ next->a = a - 1; next->b = b + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(2.0, s); }
+}
+\transition{bc}{
+    \condition{b > 0}
+    \action{ next->b = b - 1; next->c = c + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(1.0, s); }
+}
+\transition{ca}{
+    \condition{c > 0}
+    \action{ next->c = c - 1; next->a = a + 1; }
+    \weight{1.0}
+    \sojourntimeLT{ return expLT(3.0, s); }
+}
+"
+            .to_string(),
+        )
+    }
+
+    #[test]
+    fn auto_routes_all_exponential_models_to_uniformization() {
+        let shared = bare_shared(1, 1);
+        let exp_model = exp_ring();
+        let (routed, _, misses) = route_engine(&shared, "auto", &exp_model).expect("auto routes");
+        assert_eq!(routed, RoutedEngine::Uniformization);
+        assert_eq!(misses, 1);
+        let (routed, hits, _) = route_engine(&shared, "auto", &exp_model).expect("auto routes");
+        assert_eq!(routed, RoutedEngine::Uniformization);
+        assert_eq!(hits, 1);
+        let (routed, _, _) = route_engine(&shared, "auto", &voting()).expect("auto routes");
+        assert_eq!(routed, RoutedEngine::Distributed);
+    }
+
+    #[test]
+    fn simulation_and_unknown_engines_are_refused() {
+        let shared = bare_shared(1, 1);
+        match route_engine(&shared, "sim", &voting()) {
+            Err(refusal) => assert_eq!(refusal.kind, RefusalKind::Unsupported),
+            Ok(_) => panic!("sim should be refused"),
+        }
+        match route_engine(&shared, "warp-drive", &voting()) {
+            Err(refusal) => assert_eq!(refusal.kind, RefusalKind::Protocol),
+            Ok(_) => panic!("unknown engine should be refused"),
+        }
+    }
+}

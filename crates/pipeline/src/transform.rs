@@ -93,7 +93,9 @@ impl ModelSpec {
         model_fingerprint(&self.source())
     }
 
-    fn encode(&self) -> String {
+    /// Encodes the model as one wire-format field (the `model=` value of a
+    /// spec line).  Also used verbatim by the query protocol's model line.
+    pub fn encode(&self) -> String {
         match self {
             ModelSpec::Voting {
                 voters,
@@ -104,7 +106,8 @@ impl ModelSpec {
         }
     }
 
-    fn decode(field: &str) -> Result<ModelSpec, WireError> {
+    /// Decodes a wire-format model field back into a spec.
+    pub fn decode(field: &str) -> Result<ModelSpec, WireError> {
         if let Some(rest) = field.strip_prefix("voting:") {
             let parts: Vec<&str> = rest.split(',').collect();
             if parts.len() != 3 {
@@ -604,6 +607,153 @@ impl CompiledModelSet {
     }
 }
 
+/// A bounded, thread-safe LRU cache of [`CompiledModelSet`]s keyed by the
+/// canonical wire encoding of their spec lists.
+///
+/// Compiling a model set parses the model and explores its state space — by
+/// far the most expensive part of answering a repeated query. The query
+/// server keeps one of these caches so that a second request against the same
+/// (model, target-set) list reuses the explored state space instead of
+/// re-exploring it. Keys are the joined [`TransformSpec::encode`] lines, so
+/// two spec lists collide only when they would compile to identical sets; a
+/// spec that cannot be encoded (impossible for specs built from parsed
+/// models) falls back to an uncached compile.
+///
+/// Eviction is least-recently-used with a monotonic clock, so the entry set
+/// after any sequence of operations is deterministic.
+pub struct CompiledSetCache {
+    capacity: usize,
+    clock: std::sync::atomic::AtomicU64,
+    entries: parking_lot::Mutex<Vec<CompiledSetSlot>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+struct CompiledSetSlot {
+    key: String,
+    stamp: u64,
+    set: std::sync::Arc<CompiledModelSet>,
+}
+
+impl CompiledSetCache {
+    /// Creates a cache holding at most `capacity` compiled sets (minimum 1).
+    pub fn new(capacity: usize) -> CompiledSetCache {
+        CompiledSetCache {
+            capacity: capacity.max(1),
+            clock: std::sync::atomic::AtomicU64::new(0),
+            entries: parking_lot::Mutex::new(Vec::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Returns the cached set for `specs`, compiling (and caching) it on a
+    /// miss. The boolean is `true` when the set was served from the cache
+    /// without compiling. The compile itself runs outside the cache lock, so
+    /// concurrent misses on different keys do not serialize; two concurrent
+    /// misses on the *same* key may both compile, but only one result is
+    /// retained.
+    pub fn get_or_compile(
+        &self,
+        specs: &[TransformSpec],
+    ) -> Result<(std::sync::Arc<CompiledModelSet>, bool), String> {
+        let mut key = String::new();
+        for spec in specs {
+            match spec.encode() {
+                Ok(line) => {
+                    key.push_str(&line);
+                    key.push('\n');
+                }
+                Err(_) => {
+                    // Unkeyable spec: compile without touching the cache.
+                    self.misses
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let set = CompiledModelSet::compile(specs)?;
+                    return Ok((std::sync::Arc::new(set), false));
+                }
+            }
+        }
+        let stamp = self.tick();
+        {
+            let mut entries = self.entries.lock();
+            if let Some(slot) = entries.iter_mut().find(|slot| slot.key == key) {
+                slot.stamp = stamp;
+                let set = std::sync::Arc::clone(&slot.set);
+                drop(entries);
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Ok((set, true));
+            }
+        }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let set = std::sync::Arc::new(CompiledModelSet::compile(specs)?);
+        let stamp = self.tick();
+        let mut entries = self.entries.lock();
+        if let Some(slot) = entries.iter_mut().find(|slot| slot.key == key) {
+            // Another thread compiled the same key first; keep its copy so
+            // every holder shares one allocation.
+            slot.stamp = stamp;
+            return Ok((std::sync::Arc::clone(&slot.set), false));
+        }
+        entries.push(CompiledSetSlot {
+            key,
+            stamp,
+            set: std::sync::Arc::clone(&set),
+        });
+        while entries.len() > self.capacity {
+            let oldest = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(i, _)| i);
+            match oldest {
+                Some(i) => {
+                    entries.remove(i);
+                }
+                None => break,
+            }
+        }
+        Ok((set, false))
+    }
+
+    /// Number of cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of misses (each one paid for a compile, i.e. a state-space
+    /// exploration per distinct model in the list).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of compiled sets currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` when no compiled set is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl std::fmt::Debug for CompiledSetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSetCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 enum EvaluatorKind<'a> {
     Passage(PassageTimeSolver<'a>),
     Transient(TransientSolver<'a>),
@@ -819,6 +969,52 @@ mod tests {
             TransformSpec::passage(ModelSpec::Dnamaca("\\bogus{".into()), pred("p>=1"));
         let err = CompiledModelSet::compile(std::slice::from_ref(&unparsable)).unwrap_err();
         assert!(err.contains("parse"), "{err}");
+    }
+
+    #[test]
+    fn compiled_set_cache_hits_on_identical_spec_lists() {
+        let cache = CompiledSetCache::new(4);
+        let specs = vec![
+            TransformSpec::passage(voting(), pred("p2>=2")),
+            TransformSpec::transient(voting(), pred("p2>=2")),
+        ];
+        let (first, hit) = cache.get_or_compile(&specs).unwrap();
+        assert!(!hit, "cold lookup must compile");
+        let (second, hit) = cache.get_or_compile(&specs).unwrap();
+        assert!(hit, "identical spec list must be served from cache");
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &second),
+            "both holders share one compiled set"
+        );
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn compiled_set_cache_distinguishes_spec_lists_and_evicts_lru() {
+        let cache = CompiledSetCache::new(2);
+        let a = vec![TransformSpec::passage(voting(), pred("p2>=2"))];
+        let b = vec![TransformSpec::passage(voting(), pred("p2>=3"))];
+        let c = vec![TransformSpec::transient(voting(), pred("p2>=2"))];
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&b).unwrap();
+        // Touch `a` so `b` is the least recently used, then overflow.
+        let (_, hit) = cache.get_or_compile(&a).unwrap();
+        assert!(hit);
+        cache.get_or_compile(&c).unwrap();
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        let (_, hit) = cache.get_or_compile(&a).unwrap();
+        assert!(hit, "recently-touched entry survived eviction");
+        let (_, hit) = cache.get_or_compile(&b).unwrap();
+        assert!(!hit, "least-recently-used entry was evicted");
+    }
+
+    #[test]
+    fn compiled_set_cache_propagates_compile_errors_without_caching() {
+        let cache = CompiledSetCache::new(2);
+        let bad = vec![TransformSpec::passage(voting(), pred("nosuch>=1"))];
+        assert!(cache.get_or_compile(&bad).is_err());
+        assert!(cache.is_empty(), "failed compiles are not cached");
     }
 
     #[test]

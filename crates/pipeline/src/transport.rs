@@ -23,13 +23,14 @@
 //! a process boundary — that is the whole point of [`TransformSpec`]).
 
 use crate::master::PipelineError;
-use crate::transform::{CompiledEvaluator, CompiledModelSet, TransformSpec};
+use crate::transform::{CompiledEvaluator, CompiledModelSet, CompiledSetCache, TransformSpec};
 use crate::wire::{frame_wire_size, read_frame, write_frame, Frame, WIRE_VERSION};
 use crate::work::{WorkItem, WorkQueue};
 use crate::worker::{run_batch_worker, TransformFn, WorkItemOutcome, WorkerMessage, WorkerStats};
 use crossbeam::channel::unbounded;
 use smp_numeric::Complex64;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How one measure of a plan is evaluated.
@@ -96,6 +97,13 @@ pub struct TransportReport {
     /// evaluators (zero for the TCP backend — its workers count on their own
     /// side of the wire).
     pub hotpath: smp_core::HotPathStats,
+    /// Compiled model sets this run served from a shared
+    /// [`CompiledSetCache`] without
+    /// re-exploring (zero when the backend has no cache attached).
+    pub model_cache_hits: usize,
+    /// Compiled model sets this run had to compile — each one a state-space
+    /// exploration per distinct model in the plan.
+    pub model_cache_misses: usize,
 }
 
 /// A pluggable master⇄worker message-passing backend.
@@ -137,6 +145,26 @@ fn transport_error(message: impl Into<String>) -> PipelineError {
     }
 }
 
+/// Encodes every measure of a plan into its wire spec line, rejecting plans
+/// with closure-based measures (they cannot cross a process boundary).  Shared
+/// by the TCP rendezvous backend and the query server's standing worker pool.
+pub(crate) fn encode_plan_specs(
+    evaluators: &[Evaluator<'_>],
+) -> Result<Vec<String>, PipelineError> {
+    evaluators
+        .iter()
+        .map(|evaluator| match evaluator {
+            Evaluator::Spec(spec) => spec
+                .encode()
+                .map_err(|e| transport_error(format!("unencodable transform spec: {e}"))),
+            Evaluator::Closure(_) => Err(transport_error(
+                "closure-based measures cannot cross a process boundary; \
+                 build the batch from TransformSpecs to use the TCP backend",
+            )),
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // In-process backends
 // ---------------------------------------------------------------------------
@@ -147,12 +175,24 @@ fn transport_error(message: impl Into<String>) -> PipelineError {
 pub struct InProcess {
     /// Number of worker threads; 0 or 1 means a single worker.
     pub workers: usize,
+    compiled_cache: Option<Arc<CompiledSetCache>>,
 }
 
 impl InProcess {
     /// An in-process backend with `workers` threads.
     pub fn new(workers: usize) -> Self {
-        InProcess { workers }
+        InProcess {
+            workers,
+            compiled_cache: None,
+        }
+    }
+
+    /// Serves compiled model sets from `cache` instead of re-exploring the
+    /// state space on every run — the query server shares one cache across
+    /// all requests.
+    pub fn with_compiled_cache(mut self, cache: Arc<CompiledSetCache>) -> Self {
+        self.compiled_cache = Some(cache);
+        self
     }
 }
 
@@ -170,7 +210,14 @@ impl Transport for InProcess {
         plan: ExecutionPlan<'_>,
         on_message: &mut dyn FnMut(WorkerMessage),
     ) -> Result<TransportReport, PipelineError> {
-        run_threaded(self.workers, plan, None, false, on_message)
+        run_threaded(
+            self.workers,
+            plan,
+            None,
+            false,
+            self.compiled_cache.as_deref(),
+            on_message,
+        )
     }
 }
 
@@ -189,13 +236,25 @@ pub struct SimulatedLatency {
     pub workers: usize,
     /// Delay applied per result message (chunking amortises it).
     pub latency: Duration,
+    compiled_cache: Option<Arc<CompiledSetCache>>,
 }
 
 impl SimulatedLatency {
     /// A simulated-latency backend with `workers` threads and `latency` per
     /// message.
     pub fn new(workers: usize, latency: Duration) -> Self {
-        SimulatedLatency { workers, latency }
+        SimulatedLatency {
+            workers,
+            latency,
+            compiled_cache: None,
+        }
+    }
+
+    /// Serves compiled model sets from `cache` instead of re-exploring the
+    /// state space on every run.
+    pub fn with_compiled_cache(mut self, cache: Arc<CompiledSetCache>) -> Self {
+        self.compiled_cache = Some(cache);
+        self
     }
 }
 
@@ -213,7 +272,14 @@ impl Transport for SimulatedLatency {
         plan: ExecutionPlan<'_>,
         on_message: &mut dyn FnMut(WorkerMessage),
     ) -> Result<TransportReport, PipelineError> {
-        run_threaded(self.workers, plan, Some(self.latency), true, on_message)
+        run_threaded(
+            self.workers,
+            plan,
+            Some(self.latency),
+            true,
+            self.compiled_cache.as_deref(),
+            on_message,
+        )
     }
 }
 
@@ -224,13 +290,15 @@ fn run_threaded(
     plan: ExecutionPlan<'_>,
     latency: Option<Duration>,
     account_wire_bytes: bool,
+    compiled_cache: Option<&CompiledSetCache>,
     on_message: &mut dyn FnMut(WorkerMessage),
 ) -> Result<TransportReport, PipelineError> {
     let workers = workers.max(1);
 
     // Compile every spec-based measure locally: one state-space exploration
     // per distinct model, exactly what a remote worker would do on receipt of
-    // the job frame.
+    // the job frame.  With a cache attached, a repeated spec list reuses the
+    // explored state space instead.
     let specs: Vec<TransformSpec> = plan
         .evaluators
         .iter()
@@ -239,7 +307,18 @@ fn run_threaded(
             Evaluator::Closure(_) => None,
         })
         .collect();
-    let compiled_set = CompiledModelSet::compile(&specs).map_err(transport_error)?;
+    let (compiled_set, cache_hit) = match compiled_cache {
+        Some(cache) => cache.get_or_compile(&specs).map_err(transport_error)?,
+        None => (
+            Arc::new(CompiledModelSet::compile(&specs).map_err(transport_error)?),
+            false,
+        ),
+    };
+    let (model_cache_hits, model_cache_misses) = if cache_hit {
+        (compiled_set.num_models(), 0)
+    } else {
+        (0, compiled_set.num_models())
+    };
     let states = (compiled_set.num_models() > 0).then(|| compiled_set.num_states());
     let compiled: Vec<CompiledEvaluator<'_>> =
         compiled_set.evaluators().map_err(transport_error)?;
@@ -342,6 +421,8 @@ fn run_threaded(
         disconnects: 0,
         states,
         hotpath,
+        model_cache_hits,
+        model_cache_misses,
     })
 }
 
@@ -482,12 +563,181 @@ impl TcpTransport {
     }
 }
 
-/// Everything one connection handler reports back to `execute`.
-struct HandlerOutcome {
-    stats: WorkerStats,
-    messages: usize,
-    bytes: u64,
-    failure: Option<String>,
+/// Everything one connection handler reports back to `execute`.  Shared with
+/// the query server's standing worker pool, which runs the same dispatch loop
+/// over sockets it keeps alive across requests.
+pub(crate) struct HandlerOutcome {
+    pub(crate) stats: WorkerStats,
+    pub(crate) messages: usize,
+    pub(crate) bytes: u64,
+    pub(crate) failure: Option<String>,
+}
+
+impl HandlerOutcome {
+    pub(crate) fn new(worker_id: usize) -> Self {
+        HandlerOutcome {
+            stats: WorkerStats {
+                id: worker_id,
+                evaluated: 0,
+                messages: 0,
+                busy: Duration::ZERO,
+            },
+            messages: 0,
+            bytes: 0,
+            failure: None,
+        }
+    }
+}
+
+/// Reads one frame and checks it is a version-compatible hello.  Returns the
+/// bytes read so the caller can account them.
+pub(crate) fn expect_hello(stream: &mut TcpStream) -> std::io::Result<u64> {
+    let (frame, n) = read_frame(stream)?;
+    match frame {
+        Frame::Hello { version } if version == WIRE_VERSION => Ok(n),
+        Frame::Hello { version } => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("worker speaks wire version {version}, master speaks {WIRE_VERSION}"),
+        )),
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected hello frame, got {other:?}"),
+        )),
+    }
+}
+
+/// Writes the job header (worker id, method, one spec line per measure) that
+/// opens every dispatch round.  Returns the bytes written.
+pub(crate) fn send_job(
+    stream: &mut TcpStream,
+    worker_id: usize,
+    method: &str,
+    specs: &[String],
+) -> std::io::Result<u64> {
+    write_frame(
+        stream,
+        &Frame::Job {
+            version: WIRE_VERSION,
+            worker: worker_id,
+            method: method.to_string(),
+            specs: specs.to_vec(),
+        },
+    )
+}
+
+/// The post-handshake dispatch loop: stream chunks to one connected worker and
+/// forward its results until the queue drains (or the optional deadline
+/// passes), then release the worker with a `done` frame.  On any I/O failure
+/// the outstanding chunk goes back into the queue, `outcome.failure` is set,
+/// and the function returns with the stream out of protocol sync.
+///
+/// Returns `true` when the connection is still in sync afterwards (the `done`
+/// frame was delivered) — the standing pool uses this to decide whether the
+/// worker can be kept for the next request.
+pub(crate) fn drive_connected_worker(
+    stream: &mut TcpStream,
+    queue: &WorkQueue,
+    remaining: &std::sync::atomic::AtomicUsize,
+    deadline: Option<Instant>,
+    results: &crossbeam::channel::Sender<WorkerMessage>,
+    outcome: &mut HandlerOutcome,
+) -> bool {
+    use std::sync::atomic::Ordering;
+    loop {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                // Nothing from this handler is in flight at a check point, so
+                // there is nothing to requeue — stop taking new chunks and
+                // release the worker in protocol (the `done` below), leaving
+                // the unanswered items in the queue for the caller to count.
+                outcome.failure = Some("request deadline exceeded".to_string());
+                break;
+            }
+        }
+        let Some(chunk) = queue.pop_chunk() else {
+            if remaining.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // Another worker's chunk is still in flight; its failure would
+            // requeue it here.  Idle briefly and look again.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let roundtrip = (|| -> std::io::Result<(WorkerMessage, u64)> {
+            let frame = Frame::Chunk {
+                items: chunk.clone(),
+            };
+            outcome.bytes += write_frame(stream, &frame)?;
+            outcome.messages += 1;
+            let (reply, n) = read_frame(stream)?;
+            outcome.bytes += n;
+            outcome.messages += 1;
+            match reply {
+                // A result must answer exactly the dispatched chunk, item for
+                // item — anything else would corrupt the outstanding-item
+                // accounting, or (worse) cache a value under the wrong
+                // measure's transform key and poison the checkpoint file.
+                Frame::Result {
+                    message,
+                    busy_nanos,
+                } if message.results.len() == chunk.len()
+                    && message
+                        .results
+                        .iter()
+                        .zip(&chunk)
+                        .all(|(outcome, sent)| outcome.item == *sent) =>
+                {
+                    Ok((message, busy_nanos))
+                }
+                Frame::Result { message, .. } => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "worker answered {} item(s) that do not match the {} dispatched",
+                        message.results.len(),
+                        chunk.len()
+                    ),
+                )),
+                Frame::Fatal { message } => {
+                    Err(std::io::Error::other(format!("worker reported: {message}")))
+                }
+                other => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected result frame, got {other:?}"),
+                )),
+            }
+        })();
+        match roundtrip {
+            Ok((message, busy_nanos)) => {
+                outcome.stats.evaluated += message.results.len();
+                outcome.stats.messages += 1;
+                outcome.stats.busy += Duration::from_nanos(busy_nanos);
+                remaining.fetch_sub(chunk.len(), Ordering::SeqCst);
+                if results.send(message).is_err() {
+                    break; // master collection loop has gone away
+                }
+            }
+            Err(e) => {
+                // The chunk was sent but never (fully) answered: every item in
+                // it is still outstanding.  Requeue and retire this handler.
+                for item in chunk {
+                    queue.push(item);
+                }
+                outcome.failure = Some(format!("connection lost mid-run: {e}"));
+                return false;
+            }
+        }
+    }
+
+    // Release the worker.  Its socket may already be gone if it crashed right
+    // after its last result — nothing is outstanding either way.
+    match write_frame(stream, &Frame::Done) {
+        Ok(n) => {
+            outcome.bytes += n;
+            outcome.messages += 1;
+            true
+        }
+        Err(_) => false,
+    }
 }
 
 impl Transport for TcpTransport {
@@ -511,19 +761,7 @@ impl Transport for TcpTransport {
         on_message: &mut dyn FnMut(WorkerMessage),
     ) -> Result<TransportReport, PipelineError> {
         // Closures cannot be shipped; every measure must carry a spec.
-        let specs: Vec<String> = plan
-            .evaluators
-            .iter()
-            .map(|evaluator| match evaluator {
-                Evaluator::Spec(spec) => spec
-                    .encode()
-                    .map_err(|e| transport_error(format!("unencodable transform spec: {e}"))),
-                Evaluator::Closure(_) => Err(transport_error(
-                    "closure-based measures cannot cross a process boundary; \
-                     build the batch from TransformSpecs to use the TCP backend",
-                )),
-            })
-            .collect::<Result<_, _>>()?;
+        let specs = encode_plan_specs(&plan.evaluators)?;
 
         let total_items = plan.items.len();
         let queue = WorkQueue::with_chunk_size(plan.items, plan.chunk_size.max(1));
@@ -600,17 +838,7 @@ fn serve_worker_connection(
     remaining: &std::sync::atomic::AtomicUsize,
     results: &crossbeam::channel::Sender<WorkerMessage>,
 ) -> HandlerOutcome {
-    let mut outcome = HandlerOutcome {
-        stats: WorkerStats {
-            id: worker_id,
-            evaluated: 0,
-            messages: 0,
-            busy: Duration::ZERO,
-        },
-        messages: 0,
-        bytes: 0,
-        failure: None,
-    };
+    let mut outcome = HandlerOutcome::new(worker_id);
 
     let mut stream = match transport.accept_one(worker_id, remaining) {
         Ok(Some(stream)) => stream,
@@ -624,31 +852,9 @@ fn serve_worker_connection(
     // Handshake: the worker announces its wire version, the master answers
     // with the job header (worker id, method, one spec line per measure).
     let handshake = (|| -> std::io::Result<()> {
-        let (frame, n) = read_frame(&mut stream)?;
-        outcome.bytes += n;
+        outcome.bytes += expect_hello(&mut stream)?;
         outcome.messages += 1;
-        match frame {
-            Frame::Hello { version } if version == WIRE_VERSION => {}
-            Frame::Hello { version } => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("worker speaks wire version {version}, master speaks {WIRE_VERSION}"),
-                ))
-            }
-            other => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("expected hello frame, got {other:?}"),
-                ))
-            }
-        }
-        let job = Frame::Job {
-            version: WIRE_VERSION,
-            worker: worker_id,
-            method: method.to_string(),
-            specs: specs.to_vec(),
-        };
-        outcome.bytes += write_frame(&mut stream, &job)?;
+        outcome.bytes += send_job(&mut stream, worker_id, method, specs)?;
         outcome.messages += 1;
         Ok(())
     })();
@@ -657,89 +863,7 @@ fn serve_worker_connection(
         return outcome;
     }
 
-    use std::sync::atomic::Ordering;
-    loop {
-        let Some(chunk) = queue.pop_chunk() else {
-            if remaining.load(Ordering::SeqCst) == 0 {
-                break;
-            }
-            // Another worker's chunk is still in flight; its failure would
-            // requeue it here.  Idle briefly and look again.
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        let roundtrip = (|| -> std::io::Result<(WorkerMessage, u64)> {
-            let frame = Frame::Chunk {
-                items: chunk.clone(),
-            };
-            outcome.bytes += write_frame(&mut stream, &frame)?;
-            outcome.messages += 1;
-            let (reply, n) = read_frame(&mut stream)?;
-            outcome.bytes += n;
-            outcome.messages += 1;
-            match reply {
-                // A result must answer exactly the dispatched chunk, item for
-                // item — anything else would corrupt the outstanding-item
-                // accounting, or (worse) cache a value under the wrong
-                // measure's transform key and poison the checkpoint file.
-                Frame::Result {
-                    message,
-                    busy_nanos,
-                } if message.results.len() == chunk.len()
-                    && message
-                        .results
-                        .iter()
-                        .zip(&chunk)
-                        .all(|(outcome, sent)| outcome.item == *sent) =>
-                {
-                    Ok((message, busy_nanos))
-                }
-                Frame::Result { message, .. } => Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!(
-                        "worker answered {} item(s) that do not match the {} dispatched",
-                        message.results.len(),
-                        chunk.len()
-                    ),
-                )),
-                Frame::Fatal { message } => {
-                    Err(std::io::Error::other(format!("worker reported: {message}")))
-                }
-                other => Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("expected result frame, got {other:?}"),
-                )),
-            }
-        })();
-        match roundtrip {
-            Ok((message, busy_nanos)) => {
-                outcome.stats.evaluated += message.results.len();
-                outcome.stats.messages += 1;
-                outcome.stats.busy += Duration::from_nanos(busy_nanos);
-                remaining.fetch_sub(chunk.len(), Ordering::SeqCst);
-                if results.send(message).is_err() {
-                    break; // master collection loop has gone away
-                }
-            }
-            Err(e) => {
-                // The chunk was sent but never (fully) answered: every item in
-                // it is still outstanding.  Requeue and retire this handler.
-                for item in chunk {
-                    queue.push(item);
-                }
-                outcome.failure = Some(format!("connection lost mid-run: {e}"));
-                return outcome;
-            }
-        }
-    }
-
-    // Every item answered: release the worker.  Its socket may already be gone
-    // if it crashed right after its last result — nothing is outstanding
-    // either way.
-    if let Ok(n) = write_frame(&mut stream, &Frame::Done) {
-        outcome.bytes += n;
-        outcome.messages += 1;
-    }
+    drive_connected_worker(&mut stream, queue, remaining, None, results, &mut outcome);
     outcome
 }
 
@@ -782,24 +906,37 @@ impl Default for TcpWorkerOptions {
 /// What a worker process did during one connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpWorkerSummary {
-    /// The id the master assigned in the job frame.
+    /// The id the master assigned in the most recent job frame.
     pub worker_id: usize,
-    /// Chunks evaluated and answered.
+    /// Jobs served to completion (`done` frames received).  A one-shot run
+    /// serves exactly one; a worker resident behind a query server serves one
+    /// per request it participated in.
+    pub jobs: usize,
+    /// Chunks evaluated and answered, across all jobs.
     pub chunks: usize,
-    /// Individual `s`-points evaluated.
+    /// Individual `s`-points evaluated, across all jobs.
     pub evaluated: usize,
     /// True when the worker dropped the link early via
     /// [`TcpWorkerOptions::exit_after_chunks`].
     pub dropped_early: bool,
-    /// True when the master's run finished before this worker was assigned a
-    /// job: the link closed cleanly between the hello and the job frame.
-    /// Not a failure — the queue simply drained without this worker.
+    /// True when the master's run finished before this worker was assigned
+    /// any job: the link closed cleanly between the hello and the first job
+    /// frame.  Not a failure — the queue simply drained without this worker.
     pub released_before_work: bool,
 }
 
 /// Runs one worker process end to end: dial the master, handshake, rebuild
 /// the evaluators from the job's [`TransformSpec`]s, answer chunks until the
 /// master says `done` (or the fault-injection limit drops the link).
+///
+/// The worker is **resident**: after a `done` frame it stays connected and
+/// waits for the next job, so a long-running master (the query server) can
+/// reuse it across requests without a fresh rendezvous.  The one-shot master
+/// closes the socket after its single run, which the worker sees as a clean
+/// end-of-stream and exits on — so `smpq worker --connect` behaves exactly as
+/// before against a batch run.  The last compiled model set is memoized:
+/// back-to-back jobs over the same specs (the common case behind a server)
+/// skip the parse + state-space exploration entirely.
 ///
 /// This is what `smpq worker --connect HOST:PORT` executes.
 pub fn run_tcp_worker(
@@ -815,45 +952,7 @@ pub fn run_tcp_worker(
         },
     )
     .map_err(|e| format!("handshake write failed: {e}"))?;
-    let job = match read_frame(&mut stream) {
-        Ok((job, _)) => job,
-        // A link that closes before any job was assigned means the master's
-        // queue drained without this worker (e.g. the run was warm, or a
-        // faster peer finished everything).  That is a clean release, not a
-        // failure — exiting non-zero here made `smpq worker` flaky whenever
-        // it lost the race for the last chunk.
-        Err(e)
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::UnexpectedEof
-                    | std::io::ErrorKind::ConnectionReset
-                    | std::io::ErrorKind::ConnectionAborted
-            ) =>
-        {
-            return Ok(TcpWorkerSummary {
-                worker_id: 0,
-                chunks: 0,
-                evaluated: 0,
-                dropped_early: false,
-                released_before_work: true,
-            })
-        }
-        Err(e) => return Err(format!("job read failed: {e}")),
-    };
-    let (worker_id, method, spec_lines) = match job {
-        Frame::Job {
-            version,
-            worker,
-            method,
-            specs,
-        } if version == WIRE_VERSION => (worker, method, specs),
-        Frame::Job { version, .. } => {
-            return Err(format!(
-                "master speaks wire version {version}, this worker speaks {WIRE_VERSION}"
-            ))
-        }
-        other => return Err(format!("expected job frame, got {other:?}")),
-    };
+
     // Report a failure the master must hear about (it would otherwise wait on
     // a result that never comes), then fail the worker with the same message.
     fn fatal(stream: &mut TcpStream, message: String) -> String {
@@ -876,97 +975,169 @@ pub fn run_tcp_worker(
         message
     }
 
-    // The s-points arrive explicitly in chunks, but a method this build does
-    // not know signals a master from a future protocol era — refuse loudly
-    // rather than compute something subtly incompatible.
-    if smp_laplace::InversionMethod::from_name(&method).is_none() {
-        return Err(fatal(
-            &mut stream,
-            format!("unknown inversion method '{method}'"),
-        ));
-    }
-
-    // Rebuild the evaluators from bytes.  A compile failure is reported to the
-    // master as a fatal frame so the run fails with a message, not a timeout.
-    let specs: Result<Vec<TransformSpec>, _> = spec_lines
-        .iter()
-        .map(|l| TransformSpec::decode(l))
-        .collect();
-    let compiled = specs
-        .map_err(|e| e.to_string())
-        .and_then(|specs| CompiledModelSet::compile(&specs));
-    let compiled_set = match compiled {
-        Ok(set) => set,
-        Err(message) => {
-            return Err(format!(
-                "spec compile failed: {}",
-                fatal(&mut stream, message)
-            ))
-        }
-    };
-    let evaluators = match compiled_set.evaluators() {
-        Ok(evaluators) => evaluators,
-        Err(message) => {
-            return Err(format!(
-                "evaluator construction failed: {}",
-                fatal(&mut stream, message)
-            ))
-        }
-    };
-
     let mut summary = TcpWorkerSummary {
-        worker_id,
+        worker_id: 0,
+        jobs: 0,
         chunks: 0,
         evaluated: 0,
         dropped_early: false,
         released_before_work: false,
     };
+    // The last job's spec lines and their compiled model set.  A resident
+    // worker behind a query daemon sees the same model for most jobs, and a
+    // repeat job must not pay the exploration again.
+    let mut cached: Option<(Vec<String>, CompiledModelSet)> = None;
+
     loop {
-        let (frame, _) = match read_frame(&mut stream) {
-            Ok(ok) => ok,
-            Err(e) => return Err(format!("master connection lost: {e}")),
+        let job = match read_frame(&mut stream) {
+            Ok((job, _)) => job,
+            // A link that closes while no job is in progress means the master
+            // released this worker: either its queue drained without the
+            // worker ever being assigned work (a warm run, or a faster peer
+            // took everything), or a long-running master shut down after some
+            // number of jobs.  Both are clean exits, not failures — exiting
+            // non-zero here made `smpq worker` flaky whenever it lost the
+            // race for the last chunk.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::UnexpectedEof
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                summary.released_before_work = summary.jobs == 0;
+                return Ok(summary);
+            }
+            // A read timeout *between* jobs is an idle release: the master is
+            // merely quiet, but a worker cannot idle forever (that is what
+            // `idle_timeout` bounds).  Only the very first job wait treats a
+            // timeout as an error — a master that never sends any job within
+            // the window is indistinguishable from a hung one.
+            Err(e)
+                if summary.jobs > 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(summary);
+            }
+            Err(e) => return Err(format!("job read failed: {e}")),
         };
-        match frame {
-            Frame::Chunk { items } => {
-                let started = Instant::now();
-                let results: Vec<WorkItemOutcome> = items
-                    .into_iter()
-                    .map(|item| WorkItemOutcome {
-                        outcome: match evaluators.get(item.measure) {
-                            Some(evaluator) => evaluator.eval(item.s),
-                            None => Err(format!(
-                                "work item references measure {} but the job has {}",
-                                item.measure,
-                                evaluators.len()
-                            )),
-                        },
-                        item,
-                    })
-                    .collect();
-                let busy_nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                summary.evaluated += results.len();
-                summary.chunks += 1;
-                let reply = Frame::Result {
-                    message: WorkerMessage {
-                        worker: worker_id,
-                        results,
-                    },
-                    busy_nanos,
-                };
-                write_frame(&mut stream, &reply)
-                    .map_err(|e| format!("result write failed: {e}"))?;
-                if let Some(limit) = options.exit_after_chunks {
-                    if summary.chunks >= limit {
-                        // Fault injection: vanish without a farewell, exactly
-                        // like a crashed slave processor.
-                        summary.dropped_early = true;
-                        return Ok(summary);
-                    }
+        let (worker_id, method, spec_lines) = match job {
+            Frame::Job {
+                version,
+                worker,
+                method,
+                specs,
+            } if version == WIRE_VERSION => (worker, method, specs),
+            Frame::Job { version, .. } => {
+                return Err(format!(
+                    "master speaks wire version {version}, this worker speaks {WIRE_VERSION}"
+                ))
+            }
+            other => return Err(format!("expected job frame, got {other:?}")),
+        };
+        summary.worker_id = worker_id;
+
+        // The s-points arrive explicitly in chunks, but a method this build
+        // does not know signals a master from a future protocol era — refuse
+        // loudly rather than compute something subtly incompatible.
+        if smp_laplace::InversionMethod::from_name(&method).is_none() {
+            return Err(fatal(
+                &mut stream,
+                format!("unknown inversion method '{method}'"),
+            ));
+        }
+
+        // Rebuild the evaluators from bytes unless this job repeats the
+        // previous one verbatim.  A compile failure is reported to the master
+        // as a fatal frame so the run fails with a message, not a timeout.
+        let needs_compile = match &cached {
+            Some((lines, _)) => *lines != spec_lines,
+            None => true,
+        };
+        if needs_compile {
+            let specs: Result<Vec<TransformSpec>, _> = spec_lines
+                .iter()
+                .map(|l| TransformSpec::decode(l))
+                .collect();
+            let compiled = specs
+                .map_err(|e| e.to_string())
+                .and_then(|specs| CompiledModelSet::compile(&specs));
+            match compiled {
+                Ok(set) => cached = Some((spec_lines, set)),
+                Err(message) => {
+                    return Err(format!(
+                        "spec compile failed: {}",
+                        fatal(&mut stream, message)
+                    ))
                 }
             }
-            Frame::Done => return Ok(summary),
-            other => return Err(format!("unexpected frame from master: {other:?}")),
         }
+        let Some((_, compiled_set)) = &cached else {
+            return Err("internal error: no compiled model set after compile".to_string());
+        };
+        let evaluators = match compiled_set.evaluators() {
+            Ok(evaluators) => evaluators,
+            Err(message) => {
+                return Err(format!(
+                    "evaluator construction failed: {}",
+                    fatal(&mut stream, message)
+                ))
+            }
+        };
+
+        // One job's chunk loop: evaluate until the master says `done`.
+        loop {
+            let (frame, _) = match read_frame(&mut stream) {
+                Ok(ok) => ok,
+                Err(e) => return Err(format!("master connection lost: {e}")),
+            };
+            match frame {
+                Frame::Chunk { items } => {
+                    let started = Instant::now();
+                    let results: Vec<WorkItemOutcome> = items
+                        .into_iter()
+                        .map(|item| WorkItemOutcome {
+                            outcome: match evaluators.get(item.measure) {
+                                Some(evaluator) => evaluator.eval(item.s),
+                                None => Err(format!(
+                                    "work item references measure {} but the job has {}",
+                                    item.measure,
+                                    evaluators.len()
+                                )),
+                            },
+                            item,
+                        })
+                        .collect();
+                    let busy_nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    summary.evaluated += results.len();
+                    summary.chunks += 1;
+                    let reply = Frame::Result {
+                        message: WorkerMessage {
+                            worker: worker_id,
+                            results,
+                        },
+                        busy_nanos,
+                    };
+                    write_frame(&mut stream, &reply)
+                        .map_err(|e| format!("result write failed: {e}"))?;
+                    if let Some(limit) = options.exit_after_chunks {
+                        if summary.chunks >= limit {
+                            // Fault injection: vanish without a farewell,
+                            // exactly like a crashed slave processor.
+                            summary.dropped_early = true;
+                            return Ok(summary);
+                        }
+                    }
+                }
+                Frame::Done => break,
+                other => return Err(format!("unexpected frame from master: {other:?}")),
+            }
+        }
+        summary.jobs += 1;
     }
 }
 

@@ -490,12 +490,13 @@ impl Frame {
 /// prefix must not trigger a multi-gigabyte allocation.
 const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Writes one length-prefixed frame to a stream and flushes it.  Returns the
-/// number of bytes put on the wire (prefix included).
-pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> std::io::Result<u64> {
-    let payload = frame
-        .encode()
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+/// Writes one length-prefixed UTF-8 payload to a stream and flushes it.
+/// Returns the number of bytes put on the wire (prefix included).
+///
+/// This is the raw layer under [`write_frame`]; the query server's client
+/// protocol layers its own request/response payloads on it so every protocol
+/// in the system shares one framing (and one length cap).
+pub fn write_payload(stream: &mut impl Write, payload: &str) -> std::io::Result<u64> {
     let bytes = payload.as_bytes();
     let len = u32::try_from(bytes.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
@@ -505,9 +506,10 @@ pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> std::io::Result<u6
     Ok(4 + bytes.len() as u64)
 }
 
-/// Reads one length-prefixed frame from a stream.  Returns the frame and the
-/// number of bytes taken off the wire.
-pub fn read_frame(stream: &mut impl Read) -> std::io::Result<(Frame, u64)> {
+/// Reads one length-prefixed UTF-8 payload from a stream.  Returns the text
+/// and the number of bytes taken off the wire.  The raw layer under
+/// [`read_frame`] — see [`write_payload`].
+pub fn read_payload(stream: &mut impl Read) -> std::io::Result<(String, u64)> {
     let mut prefix = [0u8; 4];
     stream.read_exact(&mut prefix)?;
     let len = u32::from_be_bytes(prefix);
@@ -521,9 +523,25 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<(Frame, u64)> {
     stream.read_exact(&mut payload)?;
     let text = String::from_utf8(payload)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 frame"))?;
+    Ok((text, 4 + len as u64))
+}
+
+/// Writes one length-prefixed frame to a stream and flushes it.  Returns the
+/// number of bytes put on the wire (prefix included).
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> std::io::Result<u64> {
+    let payload = frame
+        .encode()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    write_payload(stream, &payload)
+}
+
+/// Reads one length-prefixed frame from a stream.  Returns the frame and the
+/// number of bytes taken off the wire.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<(Frame, u64)> {
+    let (text, n) = read_payload(stream)?;
     let frame = Frame::decode(&text)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    Ok((frame, 4 + len as u64))
+    Ok((frame, n))
 }
 
 /// The wire size of a frame without writing it anywhere — used by the
