@@ -75,6 +75,14 @@ pub struct CliOptions {
     /// Where the distributed engine's evaluations run: worker threads or TCP
     /// worker processes.
     pub workers: WorkerBackend,
+    /// Row shards for the distributed engine over in-process loopback slice
+    /// workers (`--shards N`; 0 = unsharded).
+    pub shards: usize,
+    /// Make the TCP worker processes row-shard holders (`--sharded` with
+    /// `--workers tcp:...`): each worker explores, compiles and iterates only
+    /// its own contiguous slice of the state space, with per-round boundary
+    /// exchange.
+    pub sharded: bool,
     /// Work-queue chunk size; 0 lets the pipeline choose.
     pub chunk_size: usize,
     /// Optional checkpoint file shared across invocations.
@@ -267,6 +275,14 @@ PIPELINE (distributed engine):
                         distribute over TCP worker *processes* instead: the
                         master binds each ADDR (one per worker) and waits for
                         an 'smpq worker --connect HOST:PORT' to dial in
+    --shards N          row-shard the state space into N contiguous blocks
+                        solved by in-process loopback slice workers: each holds
+                        ~1/N of the states and the Laplace iteration runs as
+                        lockstep sharded SpMV with per-round halo exchange;
+                        results are bitwise identical for any N
+    --sharded           with --workers tcp: make each TCP worker process a row
+                        shard holder (one shard per ADDR) instead of an
+                        s-point evaluator
     --chunk-size N      work items per dispatch chunk (default: automatic)
     --checkpoint PATH   append computed transform values to PATH and reuse
                         them on the next run (warm cache across invocations;
@@ -291,6 +307,8 @@ QUERY SERVICE (always-on daemon; see ARCHITECTURE.md 'Query service'):
     --workers tcp:ADDR[,ADDR...]
                         bind one rendezvous per ADDR and wait for resident
                         'smpq worker --connect' processes to attach once
+    --shards N          row-shard distributed solves into N loopback slices
+                        (in-process pools only; answers stay bitwise identical)
     --cache-models N    compiled-model-set LRU capacity (default 8)
     --cache-results MB  transform-value cache byte budget (default 64)
     --max-inflight N    concurrent solves (default 4)
@@ -359,6 +377,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
     let mut t_count = 10usize;
     let mut engine = EngineChoice::Distributed;
     let mut workers = WorkerBackend::Threads(4);
+    let mut shards = 0usize;
+    let mut sharded = false;
     let mut chunk_size = 0usize;
     let mut checkpoint = None;
     let mut method = MethodChoice::Euler;
@@ -432,6 +452,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
                     .map_err(|_| CliError::Usage("--seed expects an integer".into()))?
             }
             "--workers" => workers = parse_workers_value(value_of("--workers")?)?,
+            "--shards" => {
+                shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--shards expects an integer".into()))?;
+                if shards == 0 {
+                    return Err(CliError::Usage("--shards must be at least 1".into()));
+                }
+            }
+            "--sharded" => sharded = true,
             "--chunk-size" => {
                 chunk_size = value_of("--chunk-size")?
                     .parse()
@@ -485,6 +514,24 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
             engine.name()
         )));
     }
+    if (shards > 0 || sharded) && engine != EngineChoice::Distributed {
+        return Err(CliError::Usage(format!(
+            "row sharding applies to the distributed engine only (got --engine {})",
+            engine.name()
+        )));
+    }
+    if shards > 0 && matches!(workers, WorkerBackend::Tcp(_)) {
+        return Err(CliError::Usage(
+            "--shards runs in-process loopback slices; over TCP workers use --sharded              (one shard per rendezvous address)"
+                .into(),
+        ));
+    }
+    if sharded && !matches!(workers, WorkerBackend::Tcp(_)) {
+        return Err(CliError::Usage(
+            "--sharded needs --workers tcp:ADDR[,ADDR...] (one shard per worker              process); for in-process sharding use --shards N"
+                .into(),
+        ));
+    }
     Ok(CliOptions {
         model,
         measures,
@@ -493,6 +540,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, CliError> {
         t_count,
         engine,
         workers,
+        shards,
+        sharded,
         chunk_size,
         checkpoint,
         method,
@@ -606,16 +655,26 @@ routing to the distributed pipeline"
         (EngineChoice::Sim, _) => Box::new(SimulationEngine::new(spec, sim_options(options))),
         (EngineChoice::Uniform, _) => Box::new(UniformizationEngine::new(spec)),
         (EngineChoice::Distributed | EngineChoice::Auto, WorkerBackend::Threads(n)) => {
-            Box::new(DistributedEngine::in_process(
-                spec,
-                options.method.to_method(),
-                PipelineOptions {
-                    workers: (*n).max(1),
-                    checkpoint_path: options.checkpoint.clone(),
-                    chunk_size: options.chunk_size,
-                    ..Default::default()
-                },
-            ))
+            let pipeline = PipelineOptions {
+                workers: (*n).max(1),
+                checkpoint_path: options.checkpoint.clone(),
+                chunk_size: options.chunk_size,
+                ..Default::default()
+            };
+            if options.shards > 0 {
+                Box::new(DistributedEngine::sharded(
+                    spec,
+                    options.method.to_method(),
+                    pipeline,
+                    options.shards,
+                ))
+            } else {
+                Box::new(DistributedEngine::in_process(
+                    spec,
+                    options.method.to_method(),
+                    pipeline,
+                ))
+            }
         }
         (EngineChoice::Distributed | EngineChoice::Auto, WorkerBackend::Tcp(addrs)) => {
             let transport = TcpTransport::bind(addrs).map_err(|e| {
@@ -633,17 +692,27 @@ routing to the distributed pipeline"
                 eprintln!("{hint}");
                 let _ = writeln!(out, "{hint}");
             }
-            Box::new(DistributedEngine::with_transport(
-                spec,
-                options.method.to_method(),
-                PipelineOptions {
-                    workers: addrs.len(),
-                    checkpoint_path: options.checkpoint.clone(),
-                    chunk_size: options.chunk_size,
-                    ..Default::default()
-                },
-                Box::new(transport),
-            ))
+            let pipeline = PipelineOptions {
+                workers: addrs.len(),
+                checkpoint_path: options.checkpoint.clone(),
+                chunk_size: options.chunk_size,
+                ..Default::default()
+            };
+            if options.sharded {
+                Box::new(DistributedEngine::sharded_tcp(
+                    spec,
+                    options.method.to_method(),
+                    pipeline,
+                    transport,
+                ))
+            } else {
+                Box::new(DistributedEngine::with_transport(
+                    spec,
+                    options.method.to_method(),
+                    pipeline,
+                    Box::new(transport),
+                ))
+            }
         }
     };
 
@@ -787,7 +856,9 @@ fn render_summary(
         EngineChoice::Sim => format!("monte-carlo seed={:#x}", options.sim_seed),
         // `Auto` has been resolved before solve; keep the arm for exhaustiveness.
         EngineChoice::Distributed | EngineChoice::Auto => match &options.workers {
+            WorkerBackend::Threads(_) if options.shards > 0 => "sharded-loopback".to_string(),
             WorkerBackend::Threads(_) => "in-process".to_string(),
+            WorkerBackend::Tcp(_) if options.sharded => "sharded-tcp".to_string(),
             WorkerBackend::Tcp(_) => "tcp".to_string(),
         },
         EngineChoice::Uniform => "poisson".to_string(),
@@ -848,6 +919,35 @@ fn render_engine_summary(
 {pooled_lsts} pooled LST evaluation(s)",
         );
     }
+    // Row-sharding counters: zero unless the run was sharded, so unsharded
+    // output stays byte-identical to earlier releases.  The per-shard state
+    // counts sum to the full state space; their maximum is each worker's
+    // memory high-water mark.
+    let shards = reports
+        .iter()
+        .map(|r| r.provenance.shards)
+        .max()
+        .unwrap_or(0);
+    if shards > 0 {
+        let halo: u64 = reports.iter().map(|r| r.provenance.halo_bytes).sum();
+        let rounds: u64 = reports.iter().map(|r| r.provenance.exchange_rounds).sum();
+        let slice = reports
+            .iter()
+            .find(|r| !r.provenance.shard_states.is_empty())
+            .map(|r| {
+                r.provenance
+                    .shard_states
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            })
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "sharding: {shards} row shard(s) [{slice} states], {halo} halo byte(s) over {rounds} exchange round(s)",
+        );
+    }
     // Query-server counters: always zero on one-shot runs, so these lines
     // only appear for `smpq query` answers (and the one-shot output stays
     // byte-identical to earlier releases).
@@ -857,11 +957,15 @@ fn render_engine_summary(
         .iter()
         .map(|r| r.provenance.model_cache_misses)
         .sum();
-    if queued > std::time::Duration::ZERO || model_hits > 0 || model_misses > 0 {
+    // Queue wait is a served-query quantity; the model-cache line also covers
+    // one-shot engines with warm reductions (sharded compiles, phase chains).
+    if queued > std::time::Duration::ZERO {
+        let _ = writeln!(out, "server: {:.3}s queued", queued.as_secs_f64());
+    }
+    if model_hits > 0 || model_misses > 0 {
         let _ = writeln!(
             out,
-            "server: {:.3}s queued, model cache {model_hits} hit(s) / {model_misses} miss(es)",
-            queued.as_secs_f64()
+            "model cache: {model_hits} hit(s) / {model_misses} miss(es)"
         );
     }
     for report in reports {
@@ -1046,6 +1150,9 @@ pub struct ServeCliOptions {
     pub max_inflight: usize,
     /// Maximum requests waiting for a solve slot before Busy refusals.
     pub max_queued: usize,
+    /// Row shards for distributed solves (`--shards N`; 0 = unsharded).
+    /// In-process pools only: each solve runs over loopback slice workers.
+    pub solve_shards: usize,
 }
 
 impl Default for ServeCliOptions {
@@ -1057,6 +1164,7 @@ impl Default for ServeCliOptions {
             cache_results_mb: 64,
             max_inflight: 4,
             max_queued: 16,
+            solve_shards: 0,
         }
     }
 }
@@ -1093,6 +1201,14 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("--max-queued expects an integer".into()))?
             }
+            "--shards" => {
+                options.solve_shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--shards expects an integer".into()))?;
+                if options.solve_shards == 0 {
+                    return Err(CliError::Usage("--shards must be at least 1".into()));
+                }
+            }
             "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
             other => return Err(CliError::Usage(format!("unknown serve flag '{other}'"))),
         }
@@ -1102,6 +1218,12 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, CliError> {
     }
     if options.max_inflight == 0 {
         return Err(CliError::Usage("--max-inflight must be at least 1".into()));
+    }
+    if options.solve_shards > 0 && matches!(options.workers, WorkerBackend::Tcp(_)) {
+        return Err(CliError::Usage(
+            "serve --shards row-shards on in-process loopback slices and cannot be              combined with a resident tcp worker pool"
+                .into(),
+        ));
     }
     Ok(options)
 }
@@ -1125,6 +1247,7 @@ pub fn run_serve(options: &ServeCliOptions) -> Result<String, CliError> {
         cache_result_bytes: options.cache_results_mb.saturating_mul(1 << 20),
         max_inflight: options.max_inflight,
         max_queued: options.max_queued,
+        solve_shards: options.solve_shards,
     })
     .map_err(|e| CliError::Analysis(format!("cannot bind the query server: {e}")))?;
     let addr = server
@@ -1800,6 +1923,118 @@ mod tests {
 
         let sim = run(&parse_args(&base("sim")).unwrap()).unwrap();
         assert!(sim.contains("engine: simulation [monte-carlo"), "{sim}");
+    }
+
+    #[test]
+    fn parse_sharding_flags_and_their_usage_errors() {
+        let options = parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "mean:p2>=2",
+            "--shards",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(options.shards, 3);
+        assert!(!options.sharded);
+
+        // Sharding belongs to the distributed engine only.
+        for extra in [&["--shards", "2"][..], &["--sharded"][..]] {
+            let mut list = args(&[
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "mean:p2>=2",
+                "--engine",
+                "analytic",
+            ]);
+            list.extend(extra.iter().map(|s| s.to_string()));
+            match parse_args(&list) {
+                Err(CliError::Usage(msg)) => assert!(msg.contains("distributed"), "{msg}"),
+                other => panic!("expected a usage error, got {other:?}"),
+            }
+        }
+        // --shards is loopback-only; over TCP it is one shard per address.
+        match parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "mean:p2>=2",
+            "--workers",
+            "tcp:127.0.0.1:0",
+            "--shards",
+            "2",
+        ])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("--sharded"), "{msg}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+        // --sharded needs worker processes to hold the shards.
+        match parse_args(&args(&[
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "mean:p2>=2",
+            "--sharded",
+        ])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("--workers tcp"), "{msg}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+
+        // smpq serve: --shards parses, but refuses a resident tcp pool.
+        let serve = parse_serve_args(&args(&["--shards", "4"])).unwrap();
+        assert_eq!(serve.solve_shards, 4);
+        match parse_serve_args(&args(&["--shards", "2", "--workers", "tcp:127.0.0.1:0"])) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("loopback"), "{msg}"),
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_cli_run_matches_the_unsharded_tables() {
+        // `--shards 3` must render the same numeric tables as the plain
+        // in-process run (the engine guarantees bitwise-identical values),
+        // plus the sharding provenance block.
+        let base = |extra: &[&str]| {
+            let mut list = args(&[
+                "--voting",
+                "3,1,1",
+                "--measure",
+                "cdf:p2>=2",
+                "--measure",
+                "quantile:p2>=2@0.5,0.9",
+                "--measure",
+                "mean:p2>=2",
+                "--t-start",
+                "1",
+                "--t-stop",
+                "12",
+                "--t-count",
+                "4",
+            ]);
+            list.extend(extra.iter().map(|s| s.to_string()));
+            list
+        };
+        let plain = run(&parse_args(&base(&[])).unwrap()).unwrap();
+        let sharded = run(&parse_args(&base(&["--shards", "3"])).unwrap()).unwrap();
+        let numeric_rows = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| {
+                    l.trim_start().starts_with(|c: char| c.is_ascii_digit())
+                        || l.trim_start().starts_with("p =")
+                        || l.trim_start().starts_with("mean:")
+                })
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(numeric_rows(&plain), numeric_rows(&sharded));
+        assert!(
+            sharded.contains("engine: distributed [sharded-loopback]"),
+            "{sharded}"
+        );
+        assert!(sharded.contains("sharding: 3 row shard(s) ["), "{sharded}");
+        assert!(!plain.contains("sharding:"), "{plain}");
     }
 
     /// A three-state all-exponential ring, written to a temp file for

@@ -23,6 +23,11 @@
 //!   (model, target set), refill a reusable values buffer per point, apply
 //!   `U'` as a row mask — bitwise identical to the legacy build-per-point
 //!   path at a fraction of the cost.
+//! * [`shard`] — row-sharded slices of the same iteration (the paper's
+//!   distributed memory model): deterministic contiguous state blocks,
+//!   per-shard sub-skeletons with halo subscriptions, and an in-process
+//!   lockstep [`ShardedSolver`] that is the bitwise-identical executable
+//!   spec for the distributed SpMV transport in `smp-pipeline`.
 //! * [`transient`] — transient state distributions from passage-time transforms via
 //!   Pyke's relations (Eqs. 6–7).
 //! * [`steady`] — SMP steady-state probabilities (embedded-chain stationary vector
@@ -71,6 +76,7 @@ pub mod embedded;
 pub mod error;
 pub mod passage;
 pub mod query;
+pub mod shard;
 pub mod smp;
 pub mod solver;
 pub mod steady;
@@ -83,6 +89,10 @@ pub use passage::{IterationOptions, PassageTimeSolver};
 pub use query::{
     CompareOp, Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest, Provenance,
     TargetSpec,
+};
+pub use shard::{
+    plan_exchange, shard_bounds, ConvergenceFold, ExchangePlan, FoldStatus, ShardWorkspace,
+    ShardedSkeleton, ShardedSolver,
 };
 pub use smp::{SemiMarkovProcess, SmpBuilder, StateSet};
 pub use solver::{PassageTimeAnalysis, TransientAnalysis};

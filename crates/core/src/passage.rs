@@ -599,7 +599,11 @@ impl<'a> PassageTimeSolver<'a> {
 /// NaN components mirror the legacy `f64::max` fold, which ignores NaN: a NaN
 /// norm contributes nothing, while an infinite component (whose norm is +∞
 /// even when the other component is NaN) is loud.
-fn term_is_quiet(term: &[Complex64], epsilon: f64) -> bool {
+///
+/// The test is per-element and order-independent, so the row-sharded solver
+/// (`crate::shard`) applies it to each shard's slice of the term vector and
+/// ANDs the verdicts — exactly the whole-vector answer.
+pub(crate) fn term_is_quiet(term: &[Complex64], epsilon: f64) -> bool {
     // The legacy fold starts at 0.0, so its mass is never below a
     // non-positive (or NaN) ε.
     if epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {

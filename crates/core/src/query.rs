@@ -490,6 +490,18 @@ pub struct Provenance {
     /// a state-space exploration the cache could not avoid).  Always zero
     /// outside the query server.
     pub model_cache_misses: usize,
+    /// Contiguous row shards the state space was partitioned into (0 when the
+    /// solve was not row-sharded).
+    pub shards: usize,
+    /// Reachable markings owned per shard (empty when not sharded).  The
+    /// entries sum to `states`; the largest is the per-worker memory
+    /// high-water mark of the run.
+    pub shard_states: Vec<usize>,
+    /// Bytes of boundary (halo) vector entries shipped between shards during
+    /// lockstep sparse matrix–vector rounds.
+    pub halo_bytes: u64,
+    /// Boundary-exchange rounds driven across all sharded evaluation points.
+    pub exchange_rounds: u64,
 }
 
 impl Provenance {
@@ -512,6 +524,10 @@ impl Provenance {
             queue_wait: Duration::ZERO,
             model_cache_hits: 0,
             model_cache_misses: 0,
+            shards: 0,
+            shard_states: Vec::new(),
+            halo_bytes: 0,
+            exchange_rounds: 0,
         }
     }
 }

@@ -221,6 +221,29 @@ impl UStructure {
             contrib_prob,
         }
     }
+
+    // Read-only views for the row-sharded slices (`crate::shard`), which carve
+    // per-shard sub-skeletons out of one memoized structure.
+
+    pub(crate) fn indptr(&self) -> &[u64] {
+        &self.indptr
+    }
+
+    pub(crate) fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    pub(crate) fn slot_ptr(&self) -> &[u32] {
+        &self.slot_ptr
+    }
+
+    pub(crate) fn contrib_dist(&self) -> &[DistId] {
+        &self.contrib_dist
+    }
+
+    pub(crate) fn contrib_prob(&self) -> &[f64] {
+        &self.contrib_prob
+    }
 }
 
 impl PassageSkeleton {

@@ -17,3 +17,8 @@ pub fn frame_header(count: usize, tag: &str) -> String {
 pub fn debug_dump(value: f64) -> String {
     format!("{:?} {:x}", value.to_bits(), value.to_bits())
 }
+
+pub fn frame_counts(entries: Vec<(u32, Complex64)>) -> String {
+    // A count projected off a float-typed collection is integral.
+    format!("halo n={}", entries.len())
+}

@@ -118,7 +118,15 @@ fn arg_is_unsanctioned_float(arg: &[&Token], float_bindings: &[String]) -> bool 
             TokenKind::Float => return true,
             TokenKind::Ident => {
                 if float_bindings.contains(&t.text) {
-                    return true;
+                    // `values.len()` / `values.is_empty()` on a float-typed
+                    // collection formats a count, not a float.
+                    let integral_projection = arg.get(j + 1).is_some_and(|d| d.is_punct("."))
+                        && arg
+                            .get(j + 2)
+                            .is_some_and(|m| matches!(m.text.as_str(), "len" | "is_empty"));
+                    if !integral_projection {
+                        return true;
+                    }
                 }
                 // `expr as f64` casts and `.re`/`.im`/`.norm()` projections.
                 if (t.text == "f64" || t.text == "f32") && j >= 1 && arg[j - 1].is_ident("as") {

@@ -30,6 +30,7 @@ const SCOPE_STEMS: &[&str] = &[
     "splan",
     "server",
     "client",
+    "shard",
 ];
 
 /// Iterator-producing methods on maps/sets.

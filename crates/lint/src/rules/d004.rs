@@ -48,6 +48,7 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
         (file.stem() == "wire" && name.starts_with("decode"))
             || (file.stem() == "checkpoint" && name.starts_with("load_checkpoint"))
             || ((file.stem() == "server" || file.stem() == "client") && name.starts_with("decode"))
+            || (file.stem() == "shard" && (name.starts_with("recv") || name == "serve_slices"))
             || name == "read_frame"
     };
 

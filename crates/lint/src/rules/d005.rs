@@ -19,7 +19,7 @@ use crate::analysis::SourceFile;
 use crate::lexer::TokenKind;
 
 /// File stems patrolled by D005.
-const SCOPE_STEMS: &[&str] = &["transport", "master", "server", "client"];
+const SCOPE_STEMS: &[&str] = &["transport", "master", "server", "client", "shard"];
 
 /// Guard-producing methods (zero-argument distinguishes the lock APIs from
 /// `io::Read::read(&mut buf)` / `io::Write::write(&buf)`).

@@ -36,11 +36,12 @@
 
 use crate::batch::{BatchJob, MeasureKind as CurveKind, MeasureSpec};
 use crate::master::{DistributedPipeline, PipelineOptions};
+use crate::shard::{ShardedOutcome, SliceFleet};
 use crate::transform::{
     CompiledEvaluator, CompiledModelSet, CompiledSetCache, ModelSpec, ResolveTarget,
     TargetResolveError, TransformSpec,
 };
-use crate::transport::{InProcess, SimulatedLatency, Transport};
+use crate::transport::{InProcess, SimulatedLatency, TcpTransport, Transport};
 use smp_core::query::{
     Engine, EngineError, MeasureKind, MeasureReport, MeasureRequest, Provenance,
 };
@@ -52,6 +53,7 @@ use smp_simulator::{
     simulate_passage_times, simulate_transient, PassageSimulationOptions,
     TransientSimulationOptions,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -380,13 +382,33 @@ pub struct DistributedEngine {
     pipeline: DistributedPipeline,
     transport: Box<dyn Transport>,
     compiled_cache: Option<Arc<CompiledSetCache>>,
+    sharded: Option<ShardBackend>,
+}
+
+/// How a row-sharded [`DistributedEngine`] reaches its slice workers.
+///
+/// Either way the state space is partitioned into contiguous row blocks — a
+/// pure function of the state count and the shard count — and each worker
+/// explores, compiles and iterates only its own `O(N/shards)` slice, with a
+/// per-round boundary (halo) exchange carrying the few vector entries that
+/// cross block edges (see [`crate::shard`]).
+pub enum ShardBackend {
+    /// In-process loopback slice workers (`--shards N` without a cluster):
+    /// the full frame grammar runs, bytes are accounted as if shipped.
+    InProcess {
+        /// Number of contiguous row shards (and loopback workers).
+        shards: usize,
+    },
+    /// One slice-worker process per rendezvous address of a bound
+    /// [`TcpTransport`] (`smpq worker --connect host:port` on each machine).
+    Tcp(TcpTransport),
 }
 
 impl std::fmt::Debug for DistributedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DistributedEngine")
             .field("model", &self.model)
-            .field("backend", &self.transport.name())
+            .field("backend", &self.backend())
             .finish()
     }
 }
@@ -419,7 +441,39 @@ impl DistributedEngine {
             pipeline: DistributedPipeline::new(method, options),
             transport,
             compiled_cache: None,
+            sharded: None,
         }
+    }
+
+    /// A row-sharded engine over in-process loopback slice workers: the state
+    /// space is split into `shards` contiguous row blocks and every passage
+    /// measure runs as lockstep distributed SpMV with boundary exchange —
+    /// bitwise identical to the unsharded engines for any shard count.
+    pub fn sharded(
+        model: ModelSpec,
+        method: InversionMethod,
+        options: PipelineOptions,
+        shards: usize,
+    ) -> Self {
+        let mut engine = Self::in_process(model, method, options);
+        engine.sharded = Some(ShardBackend::InProcess {
+            shards: shards.max(1),
+        });
+        engine
+    }
+
+    /// A row-sharded engine whose slice workers are `smpq worker` processes
+    /// dialing the rendezvous addresses of `transport` — one shard per
+    /// address, each holding only its own row slice of the model.
+    pub fn sharded_tcp(
+        model: ModelSpec,
+        method: InversionMethod,
+        options: PipelineOptions,
+        transport: TcpTransport,
+    ) -> Self {
+        let mut engine = Self::in_process(model, method, options);
+        engine.sharded = Some(ShardBackend::Tcp(transport));
+        engine
     }
 
     /// Serves *master-side* compiled model sets (quantile fallbacks and
@@ -432,9 +486,261 @@ impl DistributedEngine {
         self
     }
 
-    /// The transport's backend name (`in-process`, `sim-latency`, `tcp`).
+    /// The backend name (`in-process`, `sim-latency`, `tcp`, or the sharded
+    /// variants `sharded-loopback` / `sharded-tcp`).
     pub fn backend(&self) -> &'static str {
-        self.transport.name()
+        match &self.sharded {
+            Some(ShardBackend::InProcess { .. }) => "sharded-loopback",
+            Some(ShardBackend::Tcp(_)) => "sharded-tcp",
+            None => self.transport.name(),
+        }
+    }
+}
+
+/// Run-level counters of a sharded solve, folded from every
+/// [`ShardedOutcome`] the fleet produced and attributed to the solve's first
+/// report (like the unsharded wire counters, so summing a solve's reports
+/// gives true totals).
+#[derive(Default)]
+struct ShardTotals {
+    messages: usize,
+    bytes_on_wire: u64,
+    halo_bytes: u64,
+    exchange_rounds: u64,
+    states: Option<usize>,
+    shard_states: Vec<usize>,
+}
+
+impl ShardTotals {
+    fn absorb(&mut self, out: &ShardedOutcome) {
+        self.messages += out.messages;
+        self.bytes_on_wire += out.bytes_on_wire;
+        self.halo_bytes += out.halo_bytes;
+        self.exchange_rounds += out.exchange_rounds as u64;
+        self.states = self.states.or(Some(out.num_states));
+        // Snapshot of the *current* session: shrinks if a worker was lost.
+        self.shard_states.clone_from(&out.shard_states);
+    }
+}
+
+/// Evaluates `spec` at `s_points` through the slice fleet, memoizing values
+/// across the solve's measures (a density and a CDF over one target share
+/// every boundary-exchange round, exactly as the batch pipeline shares
+/// transform keys).  Returns the values in request order plus the number of
+/// fresh evaluations and memo hits.
+fn fleet_eval(
+    fleet: &mut SliceFleet,
+    memo: &mut HashMap<String, TransformValues>,
+    spec: &TransformSpec,
+    s_points: &[Complex64],
+    totals: &mut ShardTotals,
+) -> Result<(Vec<Complex64>, usize, usize), EngineError> {
+    let key = spec
+        .encode()
+        .map_err(|e| EngineError::Analysis(e.to_string()))?;
+    let cached = memo.entry(key).or_default();
+    let missing: Vec<Complex64> = s_points
+        .iter()
+        .copied()
+        .filter(|&s| !cached.contains(s))
+        .collect();
+    let shared = s_points.len() - missing.len();
+    if !missing.is_empty() {
+        let out = fleet
+            .solve(spec, &missing)
+            .map_err(|e| EngineError::Analysis(e.to_string()))?;
+        for (&s, &value) in missing.iter().zip(&out.values) {
+            cached.insert(s, value);
+        }
+        totals.absorb(&out);
+    }
+    let values = s_points
+        .iter()
+        .map(|&s| cached.get(s).expect("every point evaluated or memoized"))
+        .collect();
+    Ok((values, missing.len(), shared))
+}
+
+impl DistributedEngine {
+    /// The sharded solve path: build (or rendezvous) the slice fleet, drive
+    /// every passage measure through it, and always release the session —
+    /// workers return to their outer accept loop even when a measure fails.
+    fn solve_sharded(
+        &self,
+        requests: &[MeasureRequest],
+    ) -> Result<Vec<MeasureReport>, EngineError> {
+        let backend = self.sharded.as_ref().expect("sharded backend configured");
+        let (mut fleet, hello_messages, hello_bytes) = match backend {
+            ShardBackend::InProcess { shards } => (SliceFleet::loopback(*shards), 0usize, 0u64),
+            ShardBackend::Tcp(transport) => {
+                let (channels, messages, bytes) = transport
+                    .accept_slice_channels()
+                    .map_err(|e| EngineError::Analysis(e.to_string()))?;
+                (SliceFleet::from_channels(channels), messages, bytes)
+            }
+        };
+        let result = self.run_sharded(requests, &mut fleet, hello_messages, hello_bytes);
+        fleet.release();
+        result
+    }
+
+    fn run_sharded(
+        &self,
+        requests: &[MeasureRequest],
+        fleet: &mut SliceFleet,
+        hello_messages: usize,
+        hello_bytes: u64,
+    ) -> Result<Vec<MeasureReport>, EngineError> {
+        let backend_name = self.backend();
+        let mut reports: Vec<Option<MeasureReport>> = requests.iter().map(|_| None).collect();
+        let mut memo: HashMap<String, TransformValues> = HashMap::new();
+        let mut totals = ShardTotals {
+            messages: hello_messages,
+            bytes_on_wire: hello_bytes,
+            ..ShardTotals::default()
+        };
+        let mut local_indices: Vec<usize> = Vec::new();
+
+        // 1. Passage measures run on the fleet: curves evaluate their union
+        //    plan once per distinct transform, quantiles refine through
+        //    repeated CDF rounds on the *same* resident sessions (slices
+        //    refill in place per s-point; no re-exploration).
+        for (ri, request) in requests.iter().enumerate() {
+            let started = Instant::now();
+            let spec = transform_spec_for(&self.model, request);
+            let report = match &request.kind {
+                MeasureKind::Density | MeasureKind::Cdf => {
+                    let plan = SPointPlan::new(self.method.clone(), &request.t_points);
+                    let (at_s, evaluated, shared) =
+                        fleet_eval(fleet, &mut memo, &spec, plan.s_points(), &mut totals)?;
+                    let mut shard = TransformValues::new();
+                    for (&s, &value) in plan.s_points().iter().zip(&at_s) {
+                        shard.insert(s, value);
+                    }
+                    let values = curve_kind_of(&request.kind).postprocess(&plan, &shard);
+                    let mut provenance = Provenance::local("distributed", backend_name);
+                    provenance.workers = fleet.shards();
+                    provenance.shards = fleet.shards();
+                    provenance.evaluations = evaluated;
+                    provenance.shared_hits = shared;
+                    provenance.wall = started.elapsed();
+                    MeasureReport {
+                        name: request.name(),
+                        kind: request.kind.clone(),
+                        points: request.t_points.clone(),
+                        values,
+                        provenance,
+                    }
+                }
+                MeasureKind::Quantile { probs } => {
+                    let (initial, max_horizon) = quantile_horizons(request);
+                    let name = request.name();
+                    let mut evaluations = 0usize;
+                    let mut shared_hits = 0usize;
+                    let found =
+                        quantiles_from_cdf(probs, initial, max_horizon, &mut |ts: &[f64]| {
+                            let plan = SPointPlan::new(self.method.clone(), ts);
+                            let (at_s, evaluated, shared) =
+                                fleet_eval(fleet, &mut memo, &spec, plan.s_points(), &mut totals)?;
+                            evaluations += evaluated;
+                            shared_hits += shared;
+                            let mut shard = TransformValues::new();
+                            for (&s, &value) in plan.s_points().iter().zip(&at_s) {
+                                shard.insert(s, value);
+                            }
+                            Ok::<Vec<f64>, EngineError>(CurveKind::Cdf.postprocess(&plan, &shard))
+                        })?;
+                    let values = require_quantiles(&name, probs, found, max_horizon)?;
+                    let mut provenance = Provenance::local("distributed", backend_name);
+                    provenance.workers = fleet.shards();
+                    provenance.shards = fleet.shards();
+                    provenance.evaluations = evaluations;
+                    provenance.shared_hits = shared_hits;
+                    provenance.wall = started.elapsed();
+                    MeasureReport {
+                        name,
+                        kind: request.kind.clone(),
+                        points: probs.clone(),
+                        values,
+                        provenance,
+                    }
+                }
+                // Transient transforms and the near-origin moment stencils
+                // stay master-side (the slice grammar speaks passage only);
+                // same shared code the analytic engine runs, so still
+                // bitwise identical.
+                MeasureKind::Transient | MeasureKind::Mean | MeasureKind::Moment { .. } => {
+                    local_indices.push(ri);
+                    continue;
+                }
+            };
+            reports[ri] = Some(report);
+        }
+
+        // 2. Master-side leftovers, compiled once per distinct spec.
+        let mut model_hits = 0usize;
+        let mut model_misses = 0usize;
+        if !local_indices.is_empty() {
+            let local_requests: Vec<&MeasureRequest> =
+                local_indices.iter().map(|&ri| &requests[ri]).collect();
+            let (set, index_of, hits, misses) =
+                compile_unique_specs(&self.model, &local_requests, self.compiled_cache.as_deref())?;
+            model_hits += hits;
+            model_misses += misses;
+            totals.states = totals.states.or(Some(set.num_states()));
+            let evaluators = set.evaluators().map_err(EngineError::Analysis)?;
+            for (di, &ri) in local_indices.iter().enumerate() {
+                let request = &requests[ri];
+                let started = Instant::now();
+                let stats_before = evaluators[index_of[di]].hotpath_stats();
+                let (points, values, evaluations) =
+                    solve_locally(request, &evaluators[index_of[di]], &self.method)?;
+                let hotpath = evaluators[index_of[di]].hotpath_stats().since(stats_before);
+                let detail = if matches!(request.kind, MeasureKind::Transient) {
+                    "master-side (transient curves are not row-sharded)"
+                } else {
+                    "master-side (near-origin stencil)"
+                };
+                let mut provenance = Provenance::local("distributed", detail);
+                provenance.workers = fleet.shards();
+                provenance.evaluations = evaluations;
+                provenance.matrix_rebuilds_avoided = hotpath.matrix_rebuilds_avoided;
+                provenance.pooled_lst_evaluations = hotpath.pooled_lst_evaluations;
+                provenance.wall = started.elapsed();
+                reports[ri] = Some(MeasureReport {
+                    name: request.name(),
+                    kind: request.kind.clone(),
+                    points,
+                    values,
+                    provenance,
+                });
+            }
+        }
+
+        // Backfill states everywhere; run-level counters (wire traffic, halo
+        // traffic, exchange rounds, per-shard memory, model-cache traffic) go
+        // to the first report so summing a solve's reports gives true totals.
+        let mut reports: Vec<MeasureReport> = reports
+            .into_iter()
+            .map(|r| {
+                let mut report = r.expect("every request answered");
+                report.provenance.states = report.provenance.states.or(totals.states);
+                report
+            })
+            .collect();
+        if let Some(first) = reports.first_mut() {
+            first.provenance.messages = totals.messages;
+            first.provenance.bytes_on_wire = totals.bytes_on_wire;
+            first.provenance.halo_bytes = totals.halo_bytes;
+            first.provenance.exchange_rounds = totals.exchange_rounds;
+            first
+                .provenance
+                .shard_states
+                .clone_from(&totals.shard_states);
+            first.provenance.model_cache_hits = model_hits;
+            first.provenance.model_cache_misses = model_misses;
+        }
+        Ok(reports)
     }
 }
 
@@ -445,6 +751,9 @@ impl Engine for DistributedEngine {
 
     fn solve(&self, requests: &[MeasureRequest]) -> Result<Vec<MeasureReport>, EngineError> {
         validate_requests(&self.model, requests)?;
+        if self.sharded.is_some() {
+            return self.solve_sharded(requests);
+        }
         let workers = self.transport.parallelism();
         let mut reports: Vec<Option<MeasureReport>> = requests.iter().map(|_| None).collect();
         let mut states: Option<usize> = None;
@@ -887,6 +1196,129 @@ pub fn uniformization_applies(model: &ModelSpec) -> bool {
     uniform::is_all_exponential(space.smp())
 }
 
+/// A bounded, thread-safe LRU cache of uniformization phase-chain
+/// reductions, keyed by model fingerprint plus chain kind (`transient`, or
+/// `passage` plus the target predicate).
+///
+/// Reducing an all-exponential SMP to its phase-space CTMC walks the full
+/// kernel once per chain; the query server keeps one of these caches so a
+/// repeated uniformization query reuses the reduction instead of rebuilding
+/// it.  Keys fold in [`crate::transform::model_fingerprint`], so an edited model misses rather
+/// than reading a stale chain.  Eviction is least-recently-used with a
+/// monotonic clock, mirroring [`CompiledSetCache`].
+pub struct PhaseChainCache {
+    capacity: usize,
+    clock: std::sync::atomic::AtomicU64,
+    entries: parking_lot::Mutex<Vec<PhaseChainSlot>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+struct PhaseChainSlot {
+    key: String,
+    stamp: u64,
+    chain: Arc<PhaseCtmc>,
+}
+
+impl PhaseChainCache {
+    /// Creates a cache holding at most `capacity` phase chains (minimum 1).
+    pub fn new(capacity: usize) -> PhaseChainCache {
+        PhaseChainCache {
+            capacity: capacity.max(1),
+            clock: std::sync::atomic::AtomicU64::new(0),
+            entries: parking_lot::Mutex::new(Vec::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Returns the cached chain for `key`, building (and caching) it on a
+    /// miss.  The boolean is `true` on a hit.  The build runs outside the
+    /// cache lock; two concurrent misses on one key may both build, but only
+    /// one result is retained.
+    fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<PhaseCtmc, EngineError>,
+    ) -> Result<(Arc<PhaseCtmc>, bool), EngineError> {
+        let stamp = self.tick();
+        {
+            let mut entries = self.entries.lock();
+            if let Some(slot) = entries.iter_mut().find(|slot| slot.key == key) {
+                slot.stamp = stamp;
+                let chain = Arc::clone(&slot.chain);
+                drop(entries);
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Ok((chain, true));
+            }
+        }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let chain = Arc::new(build()?);
+        let stamp = self.tick();
+        let mut entries = self.entries.lock();
+        if let Some(slot) = entries.iter_mut().find(|slot| slot.key == key) {
+            slot.stamp = stamp;
+            return Ok((Arc::clone(&slot.chain), false));
+        }
+        entries.push(PhaseChainSlot {
+            key: key.to_string(),
+            stamp,
+            chain: Arc::clone(&chain),
+        });
+        while entries.len() > self.capacity {
+            let oldest = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(i, _)| i);
+            match oldest {
+                Some(i) => {
+                    entries.remove(i);
+                }
+                None => break,
+            }
+        }
+        Ok((chain, false))
+    }
+
+    /// Number of cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of misses (each one paid for a phase-chain reduction).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of chains currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no chains are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl std::fmt::Debug for PhaseChainCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseChainCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 /// Uniformization over the phase-space CTMC of an all-exponential model.
 ///
 /// Solves every [`MeasureKind`] without Laplace inversion: transients and
@@ -900,6 +1332,7 @@ pub fn uniformization_applies(model: &ModelSpec) -> bool {
 pub struct UniformizationEngine {
     model: ModelSpec,
     tolerance: f64,
+    phase_cache: Option<Arc<PhaseChainCache>>,
 }
 
 impl UniformizationEngine {
@@ -917,7 +1350,19 @@ impl UniformizationEngine {
             tolerance > 0.0 && tolerance < 1.0,
             "truncation tolerance must be in (0, 1), got {tolerance}"
         );
-        UniformizationEngine { model, tolerance }
+        UniformizationEngine {
+            model,
+            tolerance,
+            phase_cache: None,
+        }
+    }
+
+    /// Serves phase-chain reductions from `cache` instead of rebuilding them
+    /// on every solve; hits and misses are reported in the first report's
+    /// provenance (`model_cache_hits` / `model_cache_misses`).
+    pub fn with_phase_cache(mut self, cache: Arc<PhaseChainCache>) -> Self {
+        self.phase_cache = Some(cache);
+        self
     }
 }
 
@@ -958,9 +1403,15 @@ impl Engine for UniformizationEngine {
 
         // One transient chain serves every occupancy request; passage chains
         // are cached per distinct target predicate so e.g. density + cdf +
-        // quantile over one target share a single reduction.
-        let mut transient_chain: Option<PhaseCtmc> = None;
-        let mut passage_chains: Vec<(String, PhaseCtmc)> = Vec::new();
+        // quantile over one target share a single reduction.  With a
+        // configured [`PhaseChainCache`] the reductions also survive across
+        // solves, keyed by model fingerprint so edits miss instead of
+        // reading a stale chain.
+        let fingerprint = crate::transform::model_fingerprint(&self.model.source());
+        let mut chain_hits = 0usize;
+        let mut chain_misses = 0usize;
+        let mut transient_chain: Option<Arc<PhaseCtmc>> = None;
+        let mut passage_chains: Vec<(String, Arc<PhaseCtmc>)> = Vec::new();
 
         let mut reports = Vec::with_capacity(requests.len());
         for request in requests {
@@ -978,8 +1429,25 @@ impl Engine for UniformizationEngine {
             let (points, values) = match &request.kind {
                 MeasureKind::Transient => {
                     if transient_chain.is_none() {
-                        transient_chain =
-                            Some(PhaseCtmc::transient(smp, initial).map_err(uniform_error)?);
+                        let built = match &self.phase_cache {
+                            Some(cache) => {
+                                let (chain, hit) = cache
+                                    .get_or_build(&format!("{fingerprint}:transient"), || {
+                                        PhaseCtmc::transient(smp, initial).map_err(uniform_error)
+                                    })?;
+                                if hit {
+                                    chain_hits += 1;
+                                } else {
+                                    chain_misses += 1;
+                                }
+                                chain
+                            }
+                            None => {
+                                chain_misses += 1;
+                                Arc::new(PhaseCtmc::transient(smp, initial).map_err(uniform_error)?)
+                            }
+                        };
+                        transient_chain = Some(built);
                     }
                     let chain = transient_chain.as_ref().expect("just built");
                     let out = chain
@@ -993,8 +1461,30 @@ impl Engine for UniformizationEngine {
                 kind => {
                     let key = request.target.to_string();
                     if !passage_chains.iter().any(|(k, _)| *k == key) {
-                        let built =
-                            PhaseCtmc::passage(smp, initial, &targets).map_err(uniform_error)?;
+                        let built = match &self.phase_cache {
+                            Some(cache) => {
+                                let (chain, hit) = cache.get_or_build(
+                                    &format!("{fingerprint}:passage:{key}"),
+                                    || {
+                                        PhaseCtmc::passage(smp, initial, &targets)
+                                            .map_err(uniform_error)
+                                    },
+                                )?;
+                                if hit {
+                                    chain_hits += 1;
+                                } else {
+                                    chain_misses += 1;
+                                }
+                                chain
+                            }
+                            None => {
+                                chain_misses += 1;
+                                Arc::new(
+                                    PhaseCtmc::passage(smp, initial, &targets)
+                                        .map_err(uniform_error)?,
+                                )
+                            }
+                        };
                         passage_chains.push((key.clone(), built));
                     }
                     let chain = &passage_chains
@@ -1079,6 +1569,12 @@ impl Engine for UniformizationEngine {
                 values,
                 provenance,
             });
+        }
+        // Chain-cache traffic is solve-level: attribute it to the first
+        // report, like every other engine's model-cache counters.
+        if let Some(first) = reports.first_mut() {
+            first.provenance.model_cache_hits = chain_hits;
+            first.provenance.model_cache_misses = chain_misses;
         }
         Ok(reports)
     }
@@ -1175,6 +1671,102 @@ mod tests {
         let quantile = &reports[3];
         assert!(quantile.provenance.evaluations > 0);
         assert_eq!(quantile.provenance.workers, 2);
+    }
+
+    #[test]
+    fn sharded_engine_matches_the_analytic_engine_bitwise_for_any_shard_count() {
+        let requests = full_request_set();
+        let analytic = AnalyticEngine::new(voting(), InversionMethod::euler())
+            .solve(&requests)
+            .unwrap();
+        for shards in 1..=4 {
+            let reports = DistributedEngine::sharded(
+                voting(),
+                InversionMethod::euler(),
+                PipelineOptions::with_workers(1),
+                shards,
+            )
+            .solve(&requests)
+            .unwrap();
+            for (a, d) in analytic.iter().zip(&reports) {
+                assert_eq!(a.points, d.points);
+                assert_eq!(a.values, d.values, "{} differs at {shards} shards", a.name);
+            }
+            // The memory claim: per-shard states partition the full space
+            // and the largest slice is the ⌈N/shards⌉ block ceiling.
+            let first = &reports[0].provenance;
+            assert_eq!(first.backend, "sharded-loopback");
+            assert_eq!(first.shards, shards);
+            assert_eq!(first.shard_states.len(), shards);
+            let total: usize = first.shard_states.iter().sum();
+            assert_eq!(first.states, Some(total));
+            let ceiling = total.div_ceil(shards);
+            assert!(first.shard_states.iter().all(|&n| n <= ceiling));
+            if shards > 1 {
+                assert!(first.halo_bytes > 0, "boundary exchange must be real");
+                assert!(first.exchange_rounds > 0);
+            }
+            // The CDF memoizes every s-point the density already drove
+            // through the fleet (one passage transform per target).
+            assert_eq!(reports[1].provenance.evaluations, 0);
+            assert_eq!(
+                reports[1].provenance.shared_hits,
+                reports[0].provenance.evaluations
+            );
+            // Transient curves and moment stencils stay master-side.
+            assert!(reports[2].provenance.backend.contains("transient"));
+            assert!(reports[4].provenance.backend.contains("stencil"));
+        }
+    }
+
+    #[test]
+    fn quantile_refinement_accumulates_wire_traffic_across_rounds() {
+        // Regression lock: the quantile path's provenance sums evaluations,
+        // messages and bytes over *every* refinement round; a bug that kept
+        // only the last round's counters would under-report.
+        let ts = linspace(1.0, 14.0, 6);
+        let probs = [0.5, 0.9];
+        let request = MeasureRequest::quantile(target("p2>=2"), &probs).with_t_points(&ts);
+
+        // Replay the shared search sequentially to learn how many rounds it
+        // drives and how many grid points they evaluate in total.
+        let spec = TransformSpec::passage(voting(), target("p2>=2"));
+        let set = CompiledModelSet::compile(std::slice::from_ref(&spec)).unwrap();
+        let evaluator = set.evaluator(0).unwrap();
+        let (initial, max_horizon) = quantile_horizons(&request);
+        let mut rounds = 0usize;
+        let mut grid_points = 0usize;
+        quantiles_from_cdf(&probs, initial, max_horizon, &mut |ts: &[f64]| {
+            rounds += 1;
+            let plan = SPointPlan::new(InversionMethod::euler(), ts);
+            grid_points += plan.s_points().len();
+            let mut evals = 0usize;
+            let shard = eval_plan(&plan, &evaluator, &mut evals).unwrap();
+            Ok::<Vec<f64>, EngineError>(CurveKind::Cdf.postprocess(&plan, &shard))
+        })
+        .unwrap();
+        assert!(rounds >= 2, "the search must refine for this lock to bite");
+
+        let options = PipelineOptions {
+            workers: 2,
+            simulated_latency: Some(std::time::Duration::from_micros(10)),
+            ..Default::default()
+        };
+        let report = DistributedEngine::in_process(voting(), InversionMethod::euler(), options)
+            .solve(std::slice::from_ref(&request))
+            .unwrap()
+            .remove(0);
+        let p = &report.provenance;
+        assert_eq!(
+            p.evaluations + p.cache_hits,
+            grid_points,
+            "every round's grid points must be accounted, not just the last round's"
+        );
+        assert!(
+            p.messages >= rounds,
+            "at least one message per pipeline run"
+        );
+        assert!(p.bytes_on_wire > 0);
     }
 
     #[test]
@@ -1369,6 +1961,41 @@ mod tests {
         // The closed-form hypoexponential mean: 1/2 + 1/1.
         let mean = &uniform[4];
         assert!((mean.values[0] - 1.5).abs() < 1e-9, "{}", mean.values[0]);
+    }
+
+    #[test]
+    fn phase_chain_cache_serves_repeat_solves_bitwise() {
+        let ts = linspace(0.5, 8.0, 6);
+        let requests = vec![
+            MeasureRequest::cdf(target("c>=1"), &ts),
+            MeasureRequest::transient(target("c>=1"), &ts),
+            MeasureRequest::mean(target("c>=1")),
+        ];
+        let cache = Arc::new(PhaseChainCache::new(4));
+        let engine = UniformizationEngine::new(exp_ring()).with_phase_cache(Arc::clone(&cache));
+        let cold = engine.solve(&requests).unwrap();
+        // First solve builds one passage chain (cdf + mean share the target)
+        // and one transient chain.
+        assert_eq!(cold[0].provenance.model_cache_hits, 0);
+        assert_eq!(cold[0].provenance.model_cache_misses, 2);
+        assert_eq!(cache.len(), 2);
+        let warm = engine.solve(&requests).unwrap();
+        assert_eq!(warm[0].provenance.model_cache_hits, 2);
+        assert_eq!(warm[0].provenance.model_cache_misses, 0);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.values, w.values, "{} changed under the cache", c.name);
+        }
+        // The cache changes nothing about the values: an uncached engine
+        // reports the same numbers bitwise.
+        let uncached = UniformizationEngine::new(exp_ring())
+            .solve(&requests)
+            .unwrap();
+        for (c, u) in cold.iter().zip(&uncached) {
+            assert_eq!(c.values, u.values);
+        }
+        assert_eq!(uncached[0].provenance.model_cache_misses, 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -59,6 +59,11 @@
 //! * [`worker`] — the slave loop: pull a chunk, evaluate, (optionally delay),
 //!   push one result message;
 //! * [`master`] — the orchestrating [`DistributedPipeline`];
+//! * [`shard`] — row-sharded distributed SpMV sessions: each worker holds
+//!   one contiguous `O(N/shards)` row block of the state space and the
+//!   Laplace-domain iteration runs as lockstep sparse products with a
+//!   per-round boundary (halo) exchange — bitwise identical to the
+//!   single-machine solve for any worker count;
 //! * [`server`] — the always-on query daemon behind `smpq serve`: the
 //!   request/reply protocol, fingerprint-keyed caches, admission control
 //!   and the standing worker pool;
@@ -75,6 +80,7 @@ pub mod engine;
 pub mod master;
 pub mod metrics;
 pub mod server;
+pub mod shard;
 pub mod transform;
 pub mod transport;
 pub mod wire;
@@ -84,8 +90,8 @@ pub mod worker;
 pub use batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
 pub use client::{QueryClient, QueryError};
 pub use engine::{
-    uniformization_applies, AnalyticEngine, DistributedEngine, SimulationEngine, SimulationOptions,
-    UniformizationEngine,
+    uniformization_applies, AnalyticEngine, DistributedEngine, PhaseChainCache, ShardBackend,
+    SimulationEngine, SimulationOptions, UniformizationEngine,
 };
 pub use master::{
     DistributedPipeline, PipelineError, PipelineOptions, PipelineResult, RUN_CDF_TRANSFORM_KEY,
@@ -94,6 +100,10 @@ pub use metrics::{run_scalability_sweep, ScalabilityRow};
 pub use server::{
     PoolSpec, QueryReply, QueryRequest, QueryServer, QueryServerOptions, Refusal, RefusalKind,
     SHUTDOWN_ACK, SHUTDOWN_REQUEST,
+};
+pub use shard::{
+    serve_slices, LoopbackSlice, ShardedOutcome, SliceChannel, SliceFleet, SliceServeSummary,
+    SliceWorkerSession, TcpSliceChannel,
 };
 pub use transform::{
     model_fingerprint, CompareOp, CompiledModelSet, CompiledSetCache, DistSpec, ModelSpec,

@@ -57,7 +57,8 @@
 
 use crate::cache::ResultCache;
 use crate::engine::{
-    uniformization_applies, AnalyticEngine, DistributedEngine, UniformizationEngine,
+    uniformization_applies, AnalyticEngine, DistributedEngine, PhaseChainCache,
+    UniformizationEngine,
 };
 use crate::master::{PipelineError, PipelineOptions};
 use crate::transform::{CompiledSetCache, ModelSpec};
@@ -426,10 +427,19 @@ fn encode_provenance(p: &Provenance) -> String {
         Some(b) => encode_f64(b),
         None => "-".to_string(),
     };
+    let shard_states = if p.shard_states.is_empty() {
+        "-".to_string()
+    } else {
+        p.shard_states
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     format!(
         "prov engine={} backend={} workers={} states={states} messages={} bytes={} \
          evaluations={} rebuilds={} pooled={} cache={} shared={} wall_ns={} bound={bound} \
-         queue_ns={} mhits={} mmiss={}",
+         queue_ns={} mhits={} mmiss={} shards={} sstates={shard_states} halo={} rounds={}",
         encode_str(p.engine),
         encode_str(&p.backend),
         p.workers,
@@ -444,6 +454,9 @@ fn encode_provenance(p: &Provenance) -> String {
         p.queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
         p.model_cache_hits,
         p.model_cache_misses,
+        p.shards,
+        p.halo_bytes,
+        p.exchange_rounds,
     )
 }
 
@@ -503,6 +516,24 @@ fn decode_provenance(line: &str) -> Result<Provenance, WireError> {
     };
     let model_cache_hits = decode_count(kv(&mut tokens, "mhits")?, "model-cache hit count")?;
     let model_cache_misses = decode_count(kv(&mut tokens, "mmiss")?, "model-cache miss count")?;
+    let shards = decode_count(kv(&mut tokens, "shards")?, "shard count")?;
+    let shard_states = match kv(&mut tokens, "sstates")? {
+        "-" => Vec::new(),
+        text => text
+            .split(',')
+            .map(|n| decode_count(n, "per-shard state count"))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let halo_bytes: u64 = {
+        let text = kv(&mut tokens, "halo")?;
+        text.parse()
+            .map_err(|_| malformed(format!("halo byte count '{text}' is not an integer")))?
+    };
+    let exchange_rounds: u64 = {
+        let text = kv(&mut tokens, "rounds")?;
+        text.parse()
+            .map_err(|_| malformed(format!("exchange-round count '{text}' is not an integer")))?
+    };
     Ok(Provenance {
         engine,
         backend,
@@ -520,6 +551,10 @@ fn decode_provenance(line: &str) -> Result<Provenance, WireError> {
         queue_wait: Duration::from_nanos(queue_ns),
         model_cache_hits,
         model_cache_misses,
+        shards,
+        shard_states,
+        halo_bytes,
+        exchange_rounds,
     })
 }
 
@@ -687,6 +722,11 @@ pub struct QueryServerOptions {
     /// Maximum requests waiting for a solve slot before new arrivals are
     /// refused with [`RefusalKind::Busy`].
     pub max_queued: usize,
+    /// Row shards for distributed solves (0 = unsharded).  In-process pools
+    /// only: each solve runs over loopback slice workers, each holding one
+    /// contiguous row block of the state space.  Answers are bitwise
+    /// identical for any value.
+    pub solve_shards: usize,
 }
 
 impl Default for QueryServerOptions {
@@ -698,6 +738,7 @@ impl Default for QueryServerOptions {
             cache_result_bytes: 64 << 20,
             max_inflight: 4,
             max_queued: 16,
+            solve_shards: 0,
         }
     }
 }
@@ -737,6 +778,7 @@ struct AdmissionState {
 /// controller, and the standing worker pool.
 struct ServerShared {
     compiled: Arc<CompiledSetCache>,
+    phase_chains: Arc<PhaseChainCache>,
     results: Arc<ResultCache>,
     routes: Mutex<RouteMemo>,
     route_capacity: usize,
@@ -750,6 +792,7 @@ struct ServerShared {
     inproc_workers: usize,
     max_inflight: usize,
     max_queued: usize,
+    solve_shards: usize,
     shutdown: AtomicBool,
 }
 
@@ -1121,7 +1164,9 @@ fn solve_routed(
         RoutedEngine::Analytic => AnalyticEngine::new(model.clone(), method.clone())
             .with_compiled_cache(shared.compiled.clone())
             .solve(requests),
-        RoutedEngine::Uniformization => UniformizationEngine::new(model.clone()).solve(requests),
+        RoutedEngine::Uniformization => UniformizationEngine::new(model.clone())
+            .with_phase_cache(shared.phase_chains.clone())
+            .solve(requests),
         RoutedEngine::Distributed => {
             let workers = if shared.pool_size > 0 {
                 shared.pool_size
@@ -1130,6 +1175,20 @@ fn solve_routed(
             };
             let mut options = PipelineOptions::with_workers(workers);
             options.shared_cache = Some(shared.results.clone());
+            if shared.solve_shards > 0 && shared.pool_size == 0 {
+                // `serve --shards N`: row-shard onto loopback slice workers.
+                // The resident tcp pool speaks the chunked s-point protocol,
+                // not slice jobs, so sharding is in-process only (enforced at
+                // the CLI).
+                return DistributedEngine::sharded(
+                    model.clone(),
+                    method.clone(),
+                    options,
+                    shared.solve_shards,
+                )
+                .with_compiled_cache(shared.compiled.clone())
+                .solve(requests);
+            }
             let transport: Box<dyn Transport> = if shared.pool_size > 0 {
                 Box::new(PoolTransport {
                     shared: shared.clone(),
@@ -1270,6 +1329,7 @@ impl QueryServer {
         };
         let shared = Arc::new(ServerShared {
             compiled: Arc::new(CompiledSetCache::new(options.cache_models)),
+            phase_chains: Arc::new(PhaseChainCache::new(options.cache_models)),
             results: Arc::new(ResultCache::with_byte_limit(options.cache_result_bytes)),
             routes: Mutex::new(RouteMemo {
                 slots: Vec::new(),
@@ -1287,6 +1347,7 @@ impl QueryServer {
             inproc_workers,
             max_inflight: options.max_inflight.max(1),
             max_queued: options.max_queued,
+            solve_shards: options.solve_shards,
             shutdown: AtomicBool::new(false),
         });
         Ok(QueryServer {
@@ -1472,6 +1533,10 @@ mod tests {
         provenance.queue_wait = Duration::from_millis(5);
         provenance.model_cache_hits = 4;
         provenance.model_cache_misses = 1;
+        provenance.shards = 3;
+        provenance.shard_states = vec![13, 12, 12];
+        provenance.halo_bytes = 2048;
+        provenance.exchange_rounds = 17;
         let reports = vec![
             MeasureReport {
                 name: "density:p2>=2".to_string(),
@@ -1525,6 +1590,10 @@ mod tests {
             assert_eq!(dp.queue_wait, rp.queue_wait);
             assert_eq!(dp.model_cache_hits, rp.model_cache_hits);
             assert_eq!(dp.model_cache_misses, rp.model_cache_misses);
+            assert_eq!(dp.shards, rp.shards);
+            assert_eq!(dp.shard_states, rp.shard_states);
+            assert_eq!(dp.halo_bytes, rp.halo_bytes);
+            assert_eq!(dp.exchange_rounds, rp.exchange_rounds);
         }
     }
 
@@ -1553,6 +1622,7 @@ mod tests {
     fn bare_shared(max_inflight: usize, max_queued: usize) -> ServerShared {
         ServerShared {
             compiled: Arc::new(CompiledSetCache::new(4)),
+            phase_chains: Arc::new(PhaseChainCache::new(4)),
             results: Arc::new(ResultCache::with_byte_limit(1 << 20)),
             routes: Mutex::new(RouteMemo {
                 slots: Vec::new(),
@@ -1570,6 +1640,7 @@ mod tests {
             inproc_workers: 1,
             max_inflight,
             max_queued,
+            solve_shards: 0,
             shutdown: AtomicBool::new(false),
         }
     }

@@ -1,0 +1,1040 @@
+//! Row-sharded distributed SpMV sessions — the wire-level counterpart of
+//! [`smp_core::shard`].
+//!
+//! The in-process [`smp_core::ShardedSolver`] is the executable specification
+//! of the protocol; this module runs the same slices behind the length-prefixed
+//! frame transport so each worker holds only its `O(N/shards)` row block:
+//!
+//! * [`SliceWorkerSession`] — the worker half, written once and driven
+//!   frame-by-frame: build the slice from a [`Frame::SliceJob`], answer
+//!   [`Frame::SPoint`] / [`Frame::Halo`] with [`Frame::SState`].
+//! * [`SliceChannel`] — one bidirectional frame channel per worker, with two
+//!   backends: [`LoopbackSlice`] (in-process, synchronous, full wire-size
+//!   accounting) and [`TcpSliceChannel`] (a connected socket).
+//! * [`SliceFleet`] — the master driver: the `SliceJob` → `SliceMeta` →
+//!   `SliceRoute` handshake, the per-point `SPoint` / `Halo` / `SState`
+//!   lockstep rounds with the [`ConvergenceFold`] of the core solver, and
+//!   re-sharding recovery when a worker connection dies mid-run.
+//!
+//! The session protocol, frame by frame (`shards = 3`):
+//!
+//! ```text
+//! master                                  worker k ∈ {0, 1, 2}
+//!   SliceJob{worker: k, shards: 3} ────▶  parse, explore, carve slice k
+//!   ◀──────── SliceMeta{states, nnz, dists, need}   (memory model + halo subscription)
+//!   SliceRoute{rows} ──────────────────▶  rows other shards will ask of k
+//!   SPoint{id, s} ─────────────────────▶  refill + init
+//!   ◀──────── SState{r: 0, faithful, quiet, targets, exports}
+//!   Halo{id, r: 1, entries} ───────────▶  apply halo, one SpMV step
+//!   ◀──────── SState{r: 1, ...}           (… rounds until the master folds
+//!   ⋮                                      the deltas to convergence …)
+//!   Done ──────────────────────────────▶  session over, await next SliceJob
+//! ```
+//!
+//! Values are **bitwise identical for any worker count**: the fold replicates
+//! `PassageTimeSolver::transform_at` exactly (see `smp_core::shard` for the
+//! analysis), any slice's unfaithful refill routes the whole point through the
+//! same legacy local fallback, and every float crosses the wire as its exact
+//! bit pattern.
+
+use crate::master::PipelineError;
+use crate::transform::{CompiledModelSet, ResolveTarget, TransformSpec};
+use crate::wire::{self, Frame, WIRE_VERSION};
+use smp_core::shard::owner_of;
+use smp_core::{
+    plan_exchange, ConvergenceFold, FoldStatus, IterationOptions, ShardWorkspace, ShardedSkeleton,
+    StateSet,
+};
+use smp_numeric::Complex64;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// One worker's half of a sharded session: the slice workspace plus the
+/// export route the master assigned, driven frame-by-frame.
+///
+/// The state machine is written once here; the in-process [`LoopbackSlice`]
+/// and the TCP worker loop ([`serve_slices`]) both delegate to
+/// [`SliceWorkerSession::handle`], so the two deployments cannot drift.
+pub struct SliceWorkerSession {
+    ws: ShardWorkspace,
+    route: Vec<u32>,
+    epsilon: f64,
+}
+
+impl SliceWorkerSession {
+    /// Builds the slice for `worker` of `shards` from an encoded spec line:
+    /// decode → parse → explore → resolve targets → carve the row block.  The
+    /// full net and state space are dropped before returning, so the session
+    /// keeps only its `O(N/shards + halo)` slice resident — the distributed
+    /// memory model the sharded deployment exists for.
+    pub fn new(
+        spec_line: &str,
+        shards: usize,
+        worker: usize,
+    ) -> Result<SliceWorkerSession, String> {
+        let spec = TransformSpec::decode(spec_line).map_err(|e| e.to_string())?;
+        let TransformSpec::Passage { model, targets } = &spec else {
+            return Err(format!(
+                "sharded sessions evaluate passage transforms only, got '{spec_line}'"
+            ));
+        };
+        if shards == 0 || worker >= shards {
+            return Err(format!(
+                "shard index {worker} is out of range for {shards} shards"
+            ));
+        }
+        let source = model.source();
+        let net = smp_dnamaca::parse_model(&source).map_err(|e| e.to_string())?;
+        let space = smp_smspn::StateSpace::explore(&net).map_err(|e| e.to_string())?;
+        let target_states = targets.resolve(&net, &space).map_err(|e| e.to_string())?;
+        let smp = space.smp();
+        let target_set =
+            StateSet::new(smp.num_states(), &target_states).map_err(|e| e.to_string())?;
+        let skeleton =
+            ShardedSkeleton::build(smp, &target_set, space.initial_state(), shards, worker);
+        // `net` and `space` drop here: only the slice survives.
+        Ok(SliceWorkerSession {
+            ws: ShardWorkspace::new(Arc::new(skeleton)),
+            route: Vec::new(),
+            epsilon: IterationOptions::default().epsilon,
+        })
+    }
+
+    /// The [`Frame::SliceMeta`] answer to the job this session was built
+    /// from: the slice's memory-model numbers and its halo subscription.
+    pub fn meta(&self) -> Frame {
+        let skeleton = self.ws.skeleton();
+        Frame::SliceMeta {
+            states: skeleton.owned_states(),
+            nnz: skeleton.nnz(),
+            dists: skeleton.pool_len(),
+            need: skeleton.need_rows().to_vec(),
+        }
+    }
+
+    /// Handles one in-session frame.  [`Frame::SliceRoute`] installs the
+    /// export route and has no answer; [`Frame::SPoint`] and [`Frame::Halo`]
+    /// answer with the round's [`Frame::SState`].  Anything else is a
+    /// protocol error.
+    pub fn handle(&mut self, frame: &Frame) -> Result<Option<Frame>, String> {
+        match frame {
+            Frame::SliceRoute { rows } => {
+                self.route = rows.clone();
+                Ok(None)
+            }
+            Frame::SPoint { id, s } => {
+                if !self.ws.refill(*s) {
+                    // An exact-zero kernel entry: the master must route this
+                    // whole point through the legacy local solve, exactly as
+                    // the unsharded workspace path would.
+                    return Ok(Some(Frame::SState {
+                        id: *id,
+                        r: 0,
+                        faithful: false,
+                        quiet: false,
+                        targets: Vec::new(),
+                        exports: Vec::new(),
+                    }));
+                }
+                self.ws.init();
+                Ok(Some(self.state_frame(*id, 0)))
+            }
+            Frame::Halo { id, r, entries } => {
+                self.ws.apply_halo(entries).map_err(|e| e.to_string())?;
+                self.ws.step();
+                Ok(Some(self.state_frame(*id, *r)))
+            }
+            other => Err(format!("unexpected frame in a slice session: {other:?}")),
+        }
+    }
+
+    fn state_frame(&self, id: u64, r: u64) -> Frame {
+        let mut targets = Vec::new();
+        self.ws.collect_targets(&mut targets);
+        let mut exports = Vec::new();
+        self.ws.export_values(&self.route, &mut exports);
+        Frame::SState {
+            id,
+            r,
+            faithful: true,
+            quiet: self.ws.is_quiet(self.epsilon),
+            targets,
+            exports,
+        }
+    }
+}
+
+/// What a worker-side TCP slice loop did before returning to the outer frame
+/// loop (diagnostics for [`crate::transport::TcpWorkerSummary`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SliceServeSummary {
+    /// `s`-points started (round-0 refills) across (re)assignments.
+    pub points: usize,
+    /// [`Frame::SState`] frames written.
+    pub responses: usize,
+    /// Whether the loop exited through its fault-injection response limit,
+    /// dropping the connection mid-session.
+    pub exited_early: bool,
+}
+
+/// Serves one sharded session on the worker side of `stream`, starting from
+/// the already-read [`Frame::SliceJob`] `job`, until the master sends
+/// [`Frame::Done`].  A mid-session `SliceJob` rebuilds the slice in place —
+/// that is how the master re-shards survivors after losing a worker.
+///
+/// `exit_after_responses` is the fault-injection hook behind
+/// `smpq worker --exit-after`: once that many [`Frame::SState`] frames have
+/// been written the loop returns abruptly *without* answering, simulating a
+/// worker crash for the master's requeue path to absorb.
+pub fn serve_slices<S: Read + Write>(
+    stream: &mut S,
+    job: &Frame,
+    exit_after_responses: Option<usize>,
+) -> io::Result<SliceServeSummary> {
+    let mut summary = SliceServeSummary::default();
+    let Some(mut session) = install_slice(stream, job)? else {
+        return Ok(summary);
+    };
+    loop {
+        let (frame, _) = wire::read_frame(stream)?;
+        match frame {
+            Frame::Done => return Ok(summary),
+            Frame::SliceJob { .. } => {
+                session = match install_slice(stream, &frame)? {
+                    Some(session) => session,
+                    None => return Ok(summary),
+                };
+            }
+            other => match session.handle(&other) {
+                Ok(Some(response)) => {
+                    if exit_after_responses.is_some_and(|limit| summary.responses >= limit) {
+                        summary.exited_early = true;
+                        return Ok(summary);
+                    }
+                    if matches!(other, Frame::SPoint { .. }) {
+                        summary.points += 1;
+                    }
+                    wire::write_frame(stream, &response)?;
+                    summary.responses += 1;
+                }
+                Ok(None) => {}
+                Err(message) => {
+                    let _ = wire::write_frame(stream, &Frame::Fatal { message });
+                    return Ok(summary);
+                }
+            },
+        }
+    }
+}
+
+/// Builds a session from a `SliceJob` frame and answers `SliceMeta` (or
+/// `Fatal`, in which case `None` is returned and the caller abandons the
+/// session).
+fn install_slice<S: Read + Write>(
+    stream: &mut S,
+    job: &Frame,
+) -> io::Result<Option<SliceWorkerSession>> {
+    let Frame::SliceJob {
+        version,
+        worker,
+        shards,
+        spec,
+    } = job
+    else {
+        let _ = wire::write_frame(
+            stream,
+            &Frame::Fatal {
+                message: format!("expected a slice job frame, got {job:?}"),
+            },
+        );
+        return Ok(None);
+    };
+    if *version != WIRE_VERSION {
+        let _ = wire::write_frame(
+            stream,
+            &Frame::Fatal {
+                message: format!(
+                    "wire version mismatch: master speaks v{version}, worker v{WIRE_VERSION}"
+                ),
+            },
+        );
+        return Ok(None);
+    }
+    match SliceWorkerSession::new(spec, *shards, *worker) {
+        Ok(session) => {
+            wire::write_frame(stream, &session.meta())?;
+            Ok(Some(session))
+        }
+        Err(message) => {
+            let _ = wire::write_frame(stream, &Frame::Fatal { message });
+            Ok(None)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channels
+// ---------------------------------------------------------------------------
+
+/// A bidirectional frame channel between the master and one slice worker.
+///
+/// Both directions report the frame's wire size so the in-process backend
+/// accounts the same `bytes_on_wire` a real network deployment would ship.
+/// An `Err` from either direction means the worker is lost: the master drops
+/// the channel and re-shards the session across the survivors.
+pub trait SliceChannel: Send {
+    /// Sends one frame, returning its wire size in bytes.
+    fn send(&mut self, frame: &Frame) -> io::Result<u64>;
+    /// Receives the next frame and its wire size.
+    fn recv(&mut self) -> io::Result<(Frame, u64)>;
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// The in-process [`SliceChannel`]: a [`SliceWorkerSession`] driven
+/// synchronously behind the same frame grammar the TCP deployment speaks,
+/// with full wire-size accounting — the `--shards N` backend.
+#[derive(Default)]
+pub struct LoopbackSlice {
+    session: Option<SliceWorkerSession>,
+    inbox: VecDeque<Frame>,
+    fail_after: Option<usize>,
+    responses: usize,
+}
+
+impl LoopbackSlice {
+    /// A fresh idle loopback worker.
+    pub fn new() -> LoopbackSlice {
+        LoopbackSlice::default()
+    }
+
+    /// A loopback worker that fails (as if its process died) once the master
+    /// has received `responses` frames from it — the in-process counterpart
+    /// of killing a TCP worker mid-run, for exercising the requeue path.
+    pub fn failing_after(responses: usize) -> LoopbackSlice {
+        LoopbackSlice {
+            fail_after: Some(responses),
+            ..LoopbackSlice::default()
+        }
+    }
+}
+
+impl SliceChannel for LoopbackSlice {
+    fn send(&mut self, frame: &Frame) -> io::Result<u64> {
+        let bytes = wire::frame_wire_size(frame).map_err(|e| invalid(e.to_string()))?;
+        match frame {
+            Frame::SliceJob {
+                worker,
+                shards,
+                spec,
+                ..
+            } => match SliceWorkerSession::new(spec, *shards, *worker) {
+                Ok(session) => {
+                    self.inbox.push_back(session.meta());
+                    self.session = Some(session);
+                }
+                Err(message) => self.inbox.push_back(Frame::Fatal { message }),
+            },
+            Frame::Done => self.session = None,
+            other => match self.session.as_mut() {
+                Some(session) => match session.handle(other) {
+                    Ok(Some(response)) => self.inbox.push_back(response),
+                    Ok(None) => {}
+                    Err(message) => self.inbox.push_back(Frame::Fatal { message }),
+                },
+                None => self.inbox.push_back(Frame::Fatal {
+                    message: format!("no slice session is active for {other:?}"),
+                }),
+            },
+        }
+        Ok(bytes)
+    }
+
+    fn recv(&mut self) -> io::Result<(Frame, u64)> {
+        if self.fail_after.is_some_and(|limit| self.responses >= limit) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected slice-worker failure",
+            ));
+        }
+        let frame = self.inbox.pop_front().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "loopback slice has no frame pending",
+            )
+        })?;
+        self.responses += 1;
+        let bytes = wire::frame_wire_size(&frame).map_err(|e| invalid(e.to_string()))?;
+        Ok((frame, bytes))
+    }
+}
+
+/// A [`SliceChannel`] over a connected TCP stream: length-prefixed wire
+/// frames, one resident worker process per shard.
+pub struct TcpSliceChannel {
+    stream: std::net::TcpStream,
+}
+
+impl TcpSliceChannel {
+    /// Wraps an accepted (post-`Hello`) worker connection.
+    pub fn new(stream: std::net::TcpStream) -> TcpSliceChannel {
+        TcpSliceChannel { stream }
+    }
+}
+
+impl SliceChannel for TcpSliceChannel {
+    fn send(&mut self, frame: &Frame) -> io::Result<u64> {
+        wire::write_frame(&mut self.stream, frame)
+    }
+
+    fn recv(&mut self) -> io::Result<(Frame, u64)> {
+        wire::read_frame(&mut self.stream)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Master side
+// ---------------------------------------------------------------------------
+
+/// What one [`SliceFleet::solve`] call did: the transform values plus the
+/// wire, exchange and memory-model counters that feed
+/// [`smp_core::query::Provenance`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedOutcome {
+    /// The transform value at each requested `s`-point, in request order.
+    pub values: Vec<Complex64>,
+    /// Frames sent and received.
+    pub messages: usize,
+    /// Bytes shipped (or, on the loopback backend, that would have shipped).
+    pub bytes_on_wire: u64,
+    /// Bytes of [`Frame::Halo`] boundary traffic within `bytes_on_wire`.
+    pub halo_bytes: u64,
+    /// Boundary-exchange rounds driven across all points.
+    pub exchange_rounds: usize,
+    /// Points routed through the legacy master-side solve because a slice's
+    /// refill was unfaithful at that `s`.
+    pub fallback_points: usize,
+    /// Workers lost (and re-sharded around) during the call.
+    pub disconnects: usize,
+    /// Total states across the slices of the final session.
+    pub num_states: usize,
+    /// Owned states per shard — sums to `num_states`; the largest entry is
+    /// the per-worker memory ceiling `⌈N/shards⌉`.
+    pub shard_states: Vec<usize>,
+    /// Kernel entries stored per shard.
+    pub shard_nnz: Vec<usize>,
+    /// Restricted LST-pool sizes per shard.
+    pub shard_dists: Vec<usize>,
+}
+
+/// One channel plus the number of response frames the master has asked of it
+/// and not yet consumed — drained before any re-handshake so a torn session
+/// can never leave a stale frame in front of a fresh `SliceMeta`.
+struct Slot {
+    channel: Box<dyn SliceChannel>,
+    pending: usize,
+}
+
+impl Slot {
+    fn send(&mut self, frame: &Frame, out: &mut ShardedOutcome) -> io::Result<()> {
+        let bytes = self.channel.send(frame)?;
+        out.messages += 1;
+        out.bytes_on_wire += bytes;
+        if matches!(frame, Frame::Halo { .. }) {
+            out.halo_bytes += bytes;
+        }
+        if matches!(
+            frame,
+            Frame::SliceJob { .. } | Frame::SPoint { .. } | Frame::Halo { .. }
+        ) {
+            self.pending += 1;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, out: &mut ShardedOutcome) -> io::Result<Frame> {
+        let (frame, bytes) = self.channel.recv()?;
+        out.messages += 1;
+        out.bytes_on_wire += bytes;
+        self.pending = self.pending.saturating_sub(1);
+        Ok(frame)
+    }
+
+    fn drain(&mut self, out: &mut ShardedOutcome) -> io::Result<()> {
+        while self.pending > 0 {
+            self.recv(out)?;
+        }
+        Ok(())
+    }
+}
+
+/// The routing state of one handshaken session.
+struct SessionState {
+    shards: usize,
+    num_states: usize,
+    /// Per-shard halo subscriptions, as reported in the `SliceMeta` frames.
+    needs: Vec<Vec<u32>>,
+}
+
+/// A worker lost mid-operation (recoverable by re-sharding) versus a
+/// protocol or evaluation failure (not).
+enum PointError {
+    Channel(usize, io::Error),
+    Hard(PipelineError),
+}
+
+fn transport(message: String) -> PipelineError {
+    PipelineError::Transport { message }
+}
+
+/// The master driver over a set of slice workers.
+///
+/// A fleet is handed its channels once (loopback workers or accepted TCP
+/// connections) and then runs any number of sharded sessions over them — one
+/// [`solve`](SliceFleet::solve) call per passage spec.  Losing a worker
+/// mid-run shrinks the fleet: the session is re-handshaken across the
+/// survivors (block boundaries are a pure function of `N` and the shard
+/// count, so any count yields the same values) and the in-flight point is
+/// redone from scratch.
+pub struct SliceFleet {
+    slots: Vec<Slot>,
+    fallback: Option<(String, CompiledModelSet)>,
+}
+
+impl SliceFleet {
+    /// A fleet of `shards` in-process loopback workers.
+    pub fn loopback(shards: usize) -> SliceFleet {
+        SliceFleet::from_channels(
+            (0..shards)
+                .map(|_| Box::new(LoopbackSlice::new()) as Box<dyn SliceChannel>)
+                .collect(),
+        )
+    }
+
+    /// A loopback fleet whose `failing` worker dies after the master has
+    /// received `after_responses` frames from it — the fault-injection
+    /// harness for the requeue path.
+    pub fn loopback_with_failure(
+        shards: usize,
+        failing: usize,
+        after_responses: usize,
+    ) -> SliceFleet {
+        SliceFleet::from_channels(
+            (0..shards)
+                .map(|k| {
+                    if k == failing {
+                        Box::new(LoopbackSlice::failing_after(after_responses))
+                            as Box<dyn SliceChannel>
+                    } else {
+                        Box::new(LoopbackSlice::new()) as Box<dyn SliceChannel>
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// A fleet over explicit channels (e.g. accepted TCP worker connections).
+    pub fn from_channels(channels: Vec<Box<dyn SliceChannel>>) -> SliceFleet {
+        SliceFleet {
+            slots: channels
+                .into_iter()
+                .map(|channel| Slot {
+                    channel,
+                    pending: 0,
+                })
+                .collect(),
+            fallback: None,
+        }
+    }
+
+    /// Workers currently alive in the fleet.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Evaluates `spec` at every `s`-point through one sharded session —
+    /// bitwise identical to [`crate::transform::CompiledEvaluator::eval`] on
+    /// the same spec, for any live worker count.
+    ///
+    /// `spec` must be a passage transform, optionally `CdfOf`-wrapped (the
+    /// `/s` divisions are applied master-side after the fold, exactly as the
+    /// compiled evaluator applies them).  Transient and analytic specs are
+    /// rejected: their iterations are not row-sharded and stay master-side.
+    pub fn solve(
+        &mut self,
+        spec: &TransformSpec,
+        s_points: &[Complex64],
+    ) -> Result<ShardedOutcome, PipelineError> {
+        let mut divisions = 0usize;
+        let mut inner = spec;
+        while let TransformSpec::CdfOf(next) = inner {
+            divisions += 1;
+            inner = next;
+        }
+        if !matches!(inner, TransformSpec::Passage { .. }) {
+            return Err(transport(
+                "sharded sessions evaluate passage transforms; transient and analytic \
+                 measures are evaluated master-side"
+                    .to_string(),
+            ));
+        }
+        let spec_line = inner.encode().map_err(|e| transport(e.to_string()))?;
+        let options = IterationOptions::default();
+        let mut out = ShardedOutcome {
+            values: Vec::with_capacity(s_points.len()),
+            ..ShardedOutcome::default()
+        };
+        let mut session = self.handshake(&spec_line, &mut out)?;
+        let mut index = 0;
+        while index < s_points.len() {
+            let s = s_points[index];
+            match run_point(
+                &mut self.slots,
+                &session,
+                index as u64,
+                s,
+                options,
+                divisions,
+                &mut out,
+            ) {
+                Ok(Some(value)) => {
+                    out.values.push(value);
+                    index += 1;
+                }
+                Ok(None) => {
+                    // Some slice's refill was unfaithful at this `s`: the
+                    // whole point goes through the same legacy local solve
+                    // the unsharded workspace path falls back to.
+                    let value = fallback_eval(&mut self.fallback, spec, s)?;
+                    out.fallback_points += 1;
+                    out.values.push(value);
+                    index += 1;
+                }
+                Err(PointError::Hard(e)) => return Err(e),
+                Err(PointError::Channel(k, cause)) => {
+                    self.slots.remove(k);
+                    out.disconnects += 1;
+                    session = self.handshake(&spec_line, &mut out).map_err(|e| {
+                        transport(format!("{e} (worker {k} lost mid-point: {cause})"))
+                    })?;
+                    // Redo the same point on the re-sharded fleet.
+                }
+            }
+        }
+        self.end_session(&mut out);
+        let _ = session;
+        Ok(out)
+    }
+
+    /// Releases the fleet: a best-effort outer-level [`Frame::Done`] so TCP
+    /// worker processes exit cleanly, then drops every channel.
+    pub fn release(&mut self) {
+        for slot in &mut self.slots {
+            let _ = slot.channel.send(&Frame::Done);
+        }
+        self.slots.clear();
+    }
+
+    /// Handshakes a session across the current fleet, shrinking it on
+    /// channel failures until a full handshake lands or nobody is left.
+    fn handshake(
+        &mut self,
+        spec_line: &str,
+        out: &mut ShardedOutcome,
+    ) -> Result<SessionState, PipelineError> {
+        loop {
+            if self.slots.is_empty() {
+                return Err(transport(
+                    "every slice worker was lost before the session could run".to_string(),
+                ));
+            }
+            match try_handshake(&mut self.slots, spec_line, out) {
+                Ok(session) => {
+                    out.num_states = session.num_states;
+                    return Ok(session);
+                }
+                Err(PointError::Channel(k, _)) => {
+                    self.slots.remove(k);
+                    out.disconnects += 1;
+                }
+                Err(PointError::Hard(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// Ends the session on every live worker (they return to their outer
+    /// frame loop, ready for the next `SliceJob`).  A worker lost here is
+    /// simply dropped — there is no work left to requeue.
+    fn end_session(&mut self, out: &mut ShardedOutcome) {
+        let mut k = 0;
+        while k < self.slots.len() {
+            match self.slots[k].send(&Frame::Done, out) {
+                Ok(()) => k += 1,
+                Err(_) => {
+                    self.slots.remove(k);
+                    out.disconnects += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One full `SliceJob` → `SliceMeta` → `SliceRoute` handshake across the
+/// fleet, recording the memory-model numbers into `out`.
+fn try_handshake(
+    slots: &mut [Slot],
+    spec_line: &str,
+    out: &mut ShardedOutcome,
+) -> Result<SessionState, PointError> {
+    let shards = slots.len();
+    // Flush responses still in flight from a torn session, so the metas read
+    // below cannot be stale frames of the previous assignment.
+    for (k, slot) in slots.iter_mut().enumerate() {
+        slot.drain(out).map_err(|e| PointError::Channel(k, e))?;
+    }
+    for (k, slot) in slots.iter_mut().enumerate() {
+        let job = Frame::SliceJob {
+            version: WIRE_VERSION,
+            worker: k,
+            shards,
+            spec: spec_line.to_string(),
+        };
+        slot.send(&job, out)
+            .map_err(|e| PointError::Channel(k, e))?;
+    }
+    let mut states = Vec::with_capacity(shards);
+    let mut nnz = Vec::with_capacity(shards);
+    let mut dists = Vec::with_capacity(shards);
+    let mut needs = Vec::with_capacity(shards);
+    for (k, slot) in slots.iter_mut().enumerate() {
+        match slot.recv(out).map_err(|e| PointError::Channel(k, e))? {
+            Frame::SliceMeta {
+                states: s,
+                nnz: n,
+                dists: d,
+                need,
+            } => {
+                states.push(s);
+                nnz.push(n);
+                dists.push(d);
+                needs.push(need);
+            }
+            Frame::Fatal { message } => {
+                return Err(PointError::Hard(transport(format!(
+                    "slice worker {k}: {message}"
+                ))))
+            }
+            other => {
+                return Err(PointError::Hard(transport(format!(
+                    "expected a slice meta from worker {k}, got {other:?}"
+                ))))
+            }
+        }
+    }
+    let num_states = states.iter().sum();
+    let need_refs: Vec<&[u32]> = needs.iter().map(Vec::as_slice).collect();
+    let plan = plan_exchange(num_states, shards, &need_refs);
+    for (k, slot) in slots.iter_mut().enumerate() {
+        let route = Frame::SliceRoute {
+            rows: plan.exports(k).to_vec(),
+        };
+        slot.send(&route, out)
+            .map_err(|e| PointError::Channel(k, e))?;
+    }
+    out.shard_states = states;
+    out.shard_nnz = nnz;
+    out.shard_dists = dists;
+    Ok(SessionState {
+        shards,
+        num_states,
+        needs,
+    })
+}
+
+/// One shard's round state as received from the wire.
+struct SliceState {
+    faithful: bool,
+    quiet: bool,
+    targets: Vec<Complex64>,
+    exports: Vec<(u32, Complex64)>,
+}
+
+fn recv_state(
+    slot: &mut Slot,
+    k: usize,
+    id: u64,
+    r: u64,
+    out: &mut ShardedOutcome,
+) -> Result<SliceState, PointError> {
+    match slot.recv(out).map_err(|e| PointError::Channel(k, e))? {
+        Frame::SState {
+            id: got_id,
+            r: got_r,
+            faithful,
+            quiet,
+            targets,
+            exports,
+        } => {
+            if got_id != id || got_r != r {
+                return Err(PointError::Hard(transport(format!(
+                    "slice worker {k} answered point {got_id} round {got_r}, \
+                     expected point {id} round {r}"
+                ))));
+            }
+            Ok(SliceState {
+                faithful,
+                quiet,
+                targets,
+                exports,
+            })
+        }
+        Frame::Fatal { message } => Err(PointError::Hard(transport(format!(
+            "slice worker {k}: {message}"
+        )))),
+        other => Err(PointError::Hard(transport(format!(
+            "expected a slice state from worker {k}, got {other:?}"
+        )))),
+    }
+}
+
+/// The halo for shard `k`: its subscribed rows looked up in the owners'
+/// published exports — identical to `ShardedSolver::exchange`.
+fn assemble_halo(
+    session: &SessionState,
+    k: usize,
+    exports: &[Vec<(u32, Complex64)>],
+) -> Vec<(u32, Complex64)> {
+    let mut entries = Vec::new();
+    for &row in &session.needs[k] {
+        let owner = owner_of(session.num_states, session.shards, row as usize);
+        if let Ok(pos) = exports[owner].binary_search_by_key(&row, |&(r, _)| r) {
+            entries.push(exports[owner][pos]);
+        }
+    }
+    entries
+}
+
+/// Drives one `s`-point through the fleet.  `Ok(None)` means some slice's
+/// refill was unfaithful and the caller must evaluate the point locally.
+fn run_point(
+    slots: &mut [Slot],
+    session: &SessionState,
+    id: u64,
+    s: Complex64,
+    options: IterationOptions,
+    divisions: usize,
+    out: &mut ShardedOutcome,
+) -> Result<Option<Complex64>, PointError> {
+    for (k, slot) in slots.iter_mut().enumerate() {
+        slot.send(&Frame::SPoint { id, s }, out)
+            .map_err(|e| PointError::Channel(k, e))?;
+    }
+    let mut faithful = true;
+    let mut initial = Complex64::ZERO;
+    let mut exports: Vec<Vec<(u32, Complex64)>> = vec![Vec::new(); session.shards];
+    for (k, slot) in slots.iter_mut().enumerate() {
+        let state = recv_state(slot, k, id, 0, out)?;
+        faithful &= state.faithful;
+        // Shard order is ascending state order: this accumulation is the
+        // exact fold sequence of the unsharded solver's init.
+        for value in &state.targets {
+            initial += *value;
+        }
+        exports[k] = state.exports;
+    }
+    if !faithful {
+        return Ok(None);
+    }
+    let mut fold = ConvergenceFold::new(options, initial);
+    for r in 1..=options.max_iterations {
+        out.exchange_rounds += 1;
+        for (k, slot) in slots.iter_mut().enumerate() {
+            let entries = assemble_halo(session, k, &exports);
+            slot.send(
+                &Frame::Halo {
+                    id,
+                    r: r as u64,
+                    entries,
+                },
+                out,
+            )
+            .map_err(|e| PointError::Channel(k, e))?;
+        }
+        let mut delta = Complex64::ZERO;
+        let mut quiet = true;
+        for (k, slot) in slots.iter_mut().enumerate() {
+            let state = recv_state(slot, k, id, r as u64, out)?;
+            quiet &= state.quiet;
+            for value in &state.targets {
+                delta += *value;
+            }
+            exports[k] = state.exports;
+        }
+        if let FoldStatus::Converged(total) = fold.push(delta, quiet) {
+            let mut value = total;
+            for _ in 0..divisions {
+                value /= s;
+            }
+            return Ok(Some(value));
+        }
+    }
+    Err(PointError::Hard(PipelineError::Evaluation {
+        s,
+        message: format!(
+            "no convergence after {} iterations (last delta {:.3e})",
+            options.max_iterations,
+            fold.last_delta()
+        ),
+    }))
+}
+
+/// The legacy master-side evaluation of an unfaithful point: the full spec
+/// (including any `CdfOf` wrapping) through a compiled evaluator, which takes
+/// the identical legacy branch the unsharded workspace path takes.
+fn fallback_eval(
+    cache: &mut Option<(String, CompiledModelSet)>,
+    spec: &TransformSpec,
+    s: Complex64,
+) -> Result<Complex64, PipelineError> {
+    let key = spec.encode().map_err(|e| transport(e.to_string()))?;
+    if cache.as_ref().is_none_or(|(k, _)| *k != key) {
+        let set = CompiledModelSet::compile(std::slice::from_ref(spec)).map_err(transport)?;
+        *cache = Some((key, set));
+    }
+    let set = &cache.as_ref().expect("just compiled").1;
+    let evaluator = set.evaluator(0).map_err(transport)?;
+    evaluator
+        .eval(s)
+        .map_err(|message| PipelineError::Evaluation { s, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::ModelSpec;
+    use smp_core::query::TargetSpec;
+
+    fn voting_spec() -> TransformSpec {
+        TransformSpec::passage(
+            ModelSpec::Voting {
+                voters: 3,
+                polling: 1,
+                central: 1,
+            },
+            TargetSpec::parse("p2>=2").unwrap(),
+        )
+    }
+
+    fn points() -> Vec<Complex64> {
+        vec![
+            Complex64::new(0.9, 0.0),
+            Complex64::new(0.4, 1.3),
+            Complex64::new(1.7, -0.8),
+            Complex64::new(0.05, 2.5),
+        ]
+    }
+
+    fn reference(spec: &TransformSpec, points: &[Complex64]) -> Vec<Complex64> {
+        let set = CompiledModelSet::compile(std::slice::from_ref(spec)).unwrap();
+        let evaluator = set.evaluator(0).unwrap();
+        points.iter().map(|&s| evaluator.eval(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn loopback_fleet_matches_the_local_evaluator_bitwise_for_any_shard_count() {
+        let spec = voting_spec();
+        let expected = reference(&spec, &points());
+        for shards in 1..=4 {
+            let mut fleet = SliceFleet::loopback(shards);
+            let out = fleet.solve(&spec, &points()).unwrap();
+            assert_eq!(out.values, expected, "{shards} shards");
+            // The memory claim: the slices partition the full state space and
+            // the largest slice is the ⌈N/shards⌉ block.
+            assert_eq!(out.shard_states.len(), shards);
+            assert_eq!(out.shard_states.iter().sum::<usize>(), out.num_states);
+            let ceiling = out.num_states.div_ceil(shards);
+            assert!(out.shard_states.iter().all(|&s| s <= ceiling));
+            assert_eq!(out.disconnects, 0);
+            assert!(out.messages > 0 && out.bytes_on_wire > 0);
+            if shards > 1 {
+                assert!(out.halo_bytes > 0, "boundary exchange must ship bytes");
+            }
+            assert!(out.exchange_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn cdf_wrapping_applies_the_s_divisions_master_side() {
+        let spec = TransformSpec::CdfOf(Box::new(voting_spec()));
+        let expected = reference(&spec, &points());
+        let mut fleet = SliceFleet::loopback(3);
+        let out = fleet.solve(&spec, &points()).unwrap();
+        assert_eq!(out.values, expected);
+    }
+
+    #[test]
+    fn killed_worker_is_requeued_onto_survivors_bitwise() {
+        let spec = voting_spec();
+        let expected = reference(&spec, &points());
+        // The failing worker dies mid-run (after the master consumed its
+        // meta plus a few round states); the point in flight is redone on
+        // the re-sharded survivors.
+        let mut fleet = SliceFleet::loopback_with_failure(3, 1, 7);
+        let out = fleet.solve(&spec, &points()).unwrap();
+        assert_eq!(out.values, expected);
+        assert_eq!(out.disconnects, 1);
+        assert_eq!(fleet.shards(), 2);
+        assert_eq!(out.shard_states.len(), 2, "memory model tracks survivors");
+    }
+
+    #[test]
+    fn fleet_sessions_are_reusable_across_solves() {
+        let spec = voting_spec();
+        let expected = reference(&spec, &points());
+        let mut fleet = SliceFleet::loopback(2);
+        let first = fleet.solve(&spec, &points()).unwrap();
+        let second = fleet.solve(&spec, &points()).unwrap();
+        assert_eq!(first.values, expected);
+        assert_eq!(second.values, expected);
+        assert_eq!(fleet.shards(), 2);
+    }
+
+    #[test]
+    fn non_passage_specs_are_rejected() {
+        let spec = TransformSpec::transient(
+            ModelSpec::Voting {
+                voters: 3,
+                polling: 1,
+                central: 1,
+            },
+            TargetSpec::parse("p2>=2").unwrap(),
+        );
+        let mut fleet = SliceFleet::loopback(2);
+        match fleet.solve(&spec, &points()) {
+            Err(PipelineError::Transport { message }) => {
+                assert!(message.contains("passage"), "{message}");
+            }
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_session_reports_its_slice_meta() {
+        let spec_line = voting_spec().encode().unwrap();
+        let session = SliceWorkerSession::new(&spec_line, 2, 0).unwrap();
+        let Frame::SliceMeta { states, nnz, .. } = session.meta() else {
+            panic!("meta must be a SliceMeta frame");
+        };
+        assert!(states > 0 && nnz > 0);
+        // Out-of-range shard assignments fail loudly.
+        assert!(SliceWorkerSession::new(&spec_line, 2, 5).is_err());
+        assert!(SliceWorkerSession::new("garbage", 2, 0).is_err());
+    }
+}

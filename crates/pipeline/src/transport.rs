@@ -444,6 +444,11 @@ fn simulated_wire_bytes(message: &WorkerMessage) -> u64 {
 // TCP backend — master side
 // ---------------------------------------------------------------------------
 
+/// The bundle [`TcpTransport::accept_slice_channels`] returns: one
+/// handshaken channel per worker, plus the handshake's message and byte
+/// counts so the caller's wire accounting starts from the true totals.
+pub type AcceptedSliceChannels = (Vec<Box<dyn crate::shard::SliceChannel>>, usize, u64);
+
 /// Real multi-process distribution over TCP.
 ///
 /// The master binds one listener per expected worker (so each worker has an
@@ -512,6 +517,33 @@ impl TcpTransport {
     /// Number of workers this transport expects.
     pub fn num_workers(&self) -> usize {
         self.listeners.len()
+    }
+
+    /// Accepts every expected worker connection (dial-in plus `Hello`
+    /// handshake) and wraps each stream as a [`crate::shard::SliceChannel`]
+    /// ready for a row-sharded session ([`crate::shard::SliceFleet`]).
+    /// Returns the channels plus the handshake's message and byte counts so
+    /// the caller's wire accounting starts from the true totals.
+    pub fn accept_slice_channels(&self) -> Result<AcceptedSliceChannels, PipelineError> {
+        // The sentinel never reaches zero: a sharded session needs every
+        // worker, so an absent one is a timeout error, not an unused address.
+        let pending = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        let mut channels: Vec<Box<dyn crate::shard::SliceChannel>> =
+            Vec::with_capacity(self.num_workers());
+        let mut messages = 0usize;
+        let mut bytes = 0u64;
+        for index in 0..self.num_workers() {
+            let mut stream = self
+                .accept_one(index, &pending)
+                .map_err(|e| transport_error(format!("worker {index} failed to connect: {e}")))?
+                .expect("a non-zero sentinel never skips the accept");
+            let n = expect_hello(&mut stream)
+                .map_err(|e| transport_error(format!("worker {index} handshake failed: {e}")))?;
+            messages += 1;
+            bytes += n;
+            channels.push(Box::new(crate::shard::TcpSliceChannel::new(stream)));
+        }
+        Ok((channels, messages, bytes))
     }
 
     /// Accepts this listener's worker.  `Ok(None)` means the run finished
@@ -1037,6 +1069,45 @@ pub fn run_tcp_worker(
                     "master speaks wire version {version}, this worker speaks {WIRE_VERSION}"
                 ))
             }
+            // A sharded session: this worker becomes one row slice of the
+            // state space and serves lockstep SpMV rounds until the master's
+            // `done`, then waits for the next assignment.  The chunk-level
+            // fault-injection limit doubles as the slice-response limit, so
+            // `smpq worker --exit-after` can kill a shard mid-run too.
+            Frame::SliceJob { worker, .. } => {
+                summary.worker_id = worker;
+                match crate::shard::serve_slices(&mut stream, &job, options.exit_after_chunks) {
+                    Ok(sliced) => {
+                        summary.jobs += 1;
+                        summary.chunks += sliced.responses;
+                        summary.evaluated += sliced.points;
+                        if sliced.exited_early {
+                            summary.dropped_early = true;
+                            return Ok(summary);
+                        }
+                        continue;
+                    }
+                    // The master vanishing mid-session is how a one-shot
+                    // sharded master releases its workers (and how a lost
+                    // master manifests): both are clean ends here — the
+                    // master side already accounted the disconnect.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::UnexpectedEof
+                                | std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::WouldBlock
+                                | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Ok(summary);
+                    }
+                    Err(e) => return Err(format!("slice session failed: {e}")),
+                }
+            }
+            // An explicit outer-level `done` releases a resident worker.
+            Frame::Done => return Ok(summary),
             other => return Err(format!("expected job frame, got {other:?}")),
         };
         summary.worker_id = worker_id;
@@ -1339,6 +1410,112 @@ mod tests {
             total += summary.evaluated;
         }
         assert_eq!(total, 20);
+    }
+
+    fn sharded_spec_and_points() -> (TransformSpec, Vec<Complex64>, Vec<Complex64>) {
+        let spec = TransformSpec::passage(
+            crate::transform::ModelSpec::Voting {
+                voters: 3,
+                polling: 1,
+                central: 1,
+            },
+            smp_core::query::TargetSpec::parse("p2>=2").unwrap(),
+        );
+        let points = vec![
+            Complex64::new(0.9, 0.0),
+            Complex64::new(0.4, 1.3),
+            Complex64::new(1.7, -0.8),
+        ];
+        let set = CompiledModelSet::compile(std::slice::from_ref(&spec)).unwrap();
+        let evaluator = set.evaluator(0).unwrap();
+        let expected = points.iter().map(|&s| evaluator.eval(s).unwrap()).collect();
+        (spec, points, expected)
+    }
+
+    #[test]
+    fn sharded_tcp_session_matches_the_local_evaluator_bitwise() {
+        // Three real worker loops over real sockets, each holding one row
+        // slice; the master folds their lockstep SpMV rounds.
+        let (spec, points, expected) = sharded_spec_and_points();
+        let transport = TcpTransport::bind(&["127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"])
+            .unwrap()
+            .with_accept_timeout(Duration::from_secs(10));
+        let addrs = transport.local_addrs();
+        let workers: Vec<std::thread::JoinHandle<Result<TcpWorkerSummary, String>>> = addrs
+            .iter()
+            .map(|addr| {
+                let connect = addr.to_string();
+                std::thread::spawn(move || run_tcp_worker(&connect, &TcpWorkerOptions::default()))
+            })
+            .collect();
+
+        let (channels, messages, bytes) = transport.accept_slice_channels().unwrap();
+        assert_eq!(messages, 3, "one hello per worker");
+        assert!(bytes > 0);
+        let mut fleet = crate::shard::SliceFleet::from_channels(channels);
+        let out = fleet.solve(&spec, &points).unwrap();
+        assert_eq!(out.values, expected, "bit-exact through the wire");
+        assert_eq!(out.disconnects, 0);
+        assert_eq!(out.shard_states.len(), 3);
+        assert_eq!(out.shard_states.iter().sum::<usize>(), out.num_states);
+        assert!(out.halo_bytes > 0, "boundary exchange shipped real bytes");
+        fleet.release();
+
+        for handle in workers {
+            let summary = handle.join().unwrap().unwrap();
+            assert_eq!(summary.jobs, 1, "one slice session served");
+            assert_eq!(summary.evaluated, points.len(), "every point refilled");
+            assert!(!summary.dropped_early);
+        }
+    }
+
+    #[test]
+    fn sharded_tcp_worker_kill_is_resharded_onto_survivors() {
+        let (spec, points, expected) = sharded_spec_and_points();
+        let transport = TcpTransport::bind(&["127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"])
+            .unwrap()
+            .with_accept_timeout(Duration::from_secs(10));
+        let addrs = transport.local_addrs();
+
+        // Worker 1 vanishes mid-point after five slice responses; the master
+        // re-shards the session across the two survivors and redoes the
+        // in-flight point — the values cannot tell the difference because
+        // the block boundaries are a pure function of N and the shard count.
+        let flaky_addr = addrs[1].to_string();
+        let flaky = std::thread::spawn(move || {
+            run_tcp_worker(
+                &flaky_addr,
+                &TcpWorkerOptions {
+                    exit_after_chunks: Some(5),
+                    ..Default::default()
+                },
+            )
+        });
+        let steady: Vec<std::thread::JoinHandle<Result<TcpWorkerSummary, String>>> =
+            [&addrs[0], &addrs[2]]
+                .iter()
+                .map(|addr| {
+                    let connect = addr.to_string();
+                    std::thread::spawn(move || {
+                        run_tcp_worker(&connect, &TcpWorkerOptions::default())
+                    })
+                })
+                .collect();
+
+        let (channels, _, _) = transport.accept_slice_channels().unwrap();
+        let mut fleet = crate::shard::SliceFleet::from_channels(channels);
+        let out = fleet.solve(&spec, &points).unwrap();
+        assert_eq!(out.values, expected, "requeue preserves bitwise identity");
+        assert_eq!(out.disconnects, 1);
+        assert_eq!(fleet.shards(), 2);
+        assert_eq!(out.shard_states.len(), 2, "memory model tracks survivors");
+        fleet.release();
+
+        let flaky_summary = flaky.join().unwrap().unwrap();
+        assert!(flaky_summary.dropped_early);
+        for handle in steady {
+            handle.join().unwrap().unwrap();
+        }
     }
 
     #[test]

@@ -330,6 +330,60 @@ pub fn decode_worker_message(payload: &str) -> Result<(WorkerMessage, u64), Wire
 }
 
 // ---------------------------------------------------------------------------
+// Sharded-session line codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes one boundary entry (`halo` / `sstate` export line) as
+/// `"<row> <v.re> <v.im>"` with the bit-exact float codec.
+pub fn encode_value_entry(row: u32, value: Complex64) -> Result<String, WireError> {
+    Ok(format!(
+        "{row} {}",
+        encode_complex(value, "boundary value")?
+    ))
+}
+
+/// Decodes one boundary entry line (inverse of [`encode_value_entry`]).
+pub fn decode_value_entry(line: &str) -> Result<(u32, Complex64), WireError> {
+    let mut parts = line.split_whitespace();
+    let row: u32 = take(&mut parts, "row")?
+        .parse()
+        .map_err(|_| malformed("bad row field in boundary entry"))?;
+    let value = take_complex(&mut parts, "boundary value")?;
+    if parts.next().is_some() {
+        return Err(malformed("trailing fields after boundary entry"));
+    }
+    Ok((row, value))
+}
+
+fn take_u32_list<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+    name: &str,
+) -> Result<Vec<u32>, WireError> {
+    // No Vec::with_capacity(n): `n` is an unvalidated wire count, and a huge
+    // announced value must fail below when the fields run out, not allocate.
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(
+            take(parts, name)?
+                .parse()
+                .map_err(|_| malformed(format!("bad integer in '{name}' list")))?,
+        );
+    }
+    Ok(out)
+}
+
+fn parse_flag(field: &str, key: &str) -> Result<bool, WireError> {
+    match parse_kv(field, key)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(malformed(format!(
+            "flag '{key}' must be 0 or 1, got {other}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Protocol frames
 // ---------------------------------------------------------------------------
 
@@ -337,6 +391,11 @@ pub fn decode_worker_message(payload: &str) -> Result<(WorkerMessage, u64), Wire
 ///
 /// Master → worker: [`Frame::Job`], [`Frame::Chunk`], [`Frame::Done`].
 /// Worker → master: [`Frame::Hello`], [`Frame::Result`], [`Frame::Fatal`].
+///
+/// The sharded (row-partitioned) session adds — master → worker:
+/// [`Frame::SliceJob`], [`Frame::SliceRoute`], [`Frame::SPoint`],
+/// [`Frame::Halo`]; worker → master: [`Frame::SliceMeta`],
+/// [`Frame::SState`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Worker greeting: announces its wire version.
@@ -376,6 +435,79 @@ pub enum Frame {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// Sharded-session header: assigns the worker one contiguous row block of
+    /// the state space.  The worker compiles the spec's model, carves its
+    /// slice (the block boundaries are a pure function of the model size and
+    /// `shards`) and answers with [`Frame::SliceMeta`].
+    SliceJob {
+        /// Protocol version the master speaks.
+        version: u32,
+        /// Shard index assigned to this worker (also its row block).
+        worker: usize,
+        /// Total number of shards in the session.
+        shards: usize,
+        /// One encoded [`crate::transform::TransformSpec`] line naming the
+        /// model, source and targets of the passage.
+        spec: String,
+    },
+    /// Worker → master after building its slice: the slice's size (the
+    /// memory-model numbers for provenance) and its halo subscription.
+    SliceMeta {
+        /// States in the worker's owned row block.
+        states: usize,
+        /// Kernel entries stored by the slice.
+        nnz: usize,
+        /// Distributions in the slice's restricted LST pool.
+        dists: usize,
+        /// External rows whose iterate values the slice needs each round,
+        /// ascending.
+        need: Vec<u32>,
+    },
+    /// Master → worker once all subscriptions are in: the owned rows this
+    /// worker must publish in every round's [`Frame::SState`].
+    SliceRoute {
+        /// Owned rows demanded by other shards, ascending.
+        rows: Vec<u32>,
+    },
+    /// Starts one `s`-point on the slice: refill + init.  The worker answers
+    /// with the round-0 [`Frame::SState`].
+    SPoint {
+        /// Point id, echoed by every frame of this point's rounds.
+        id: u64,
+        /// The `s`-point.
+        s: Complex64,
+    },
+    /// One round's boundary values for a slice (the entries of the worker's
+    /// halo subscription that are nonzero at their owners).  The worker
+    /// applies it, takes one step and answers with the round's
+    /// [`Frame::SState`].
+    Halo {
+        /// Point id this round belongs to.
+        id: u64,
+        /// Round number (1-based; round r's halo feeds step r).
+        r: u64,
+        /// `(global row, value)` boundary entries, ascending by row.
+        entries: Vec<(u32, Complex64)>,
+    },
+    /// Worker → master after init (round 0) or a step (round ≥ 1): the
+    /// slice's contribution to the convergence fold and the boundary values
+    /// it publishes for the next round.
+    SState {
+        /// Point id.
+        id: u64,
+        /// Round number (0 after init).
+        r: u64,
+        /// Whether the slice's refill was faithful (round 0 only; `true`
+        /// afterwards).
+        faithful: bool,
+        /// Whether the slice's term slice is quiet under the session epsilon.
+        quiet: bool,
+        /// Term values at the slice's owned target states, ascending.
+        targets: Vec<Complex64>,
+        /// Published boundary values (nonzero entries of the route),
+        /// ascending by row.
+        exports: Vec<(u32, Complex64)>,
+    },
 }
 
 impl Frame {
@@ -414,6 +546,74 @@ impl Frame {
                 busy_nanos,
             } => encode_worker_message(message, *busy_nanos),
             Frame::Fatal { message } => Ok(format!("fatal {}", encode_str(message))),
+            Frame::SliceJob {
+                version,
+                worker,
+                shards,
+                spec,
+            } => Ok(format!(
+                "slicejob v={version} worker={worker} shards={shards}\n{spec}"
+            )),
+            Frame::SliceMeta {
+                states,
+                nnz,
+                dists,
+                need,
+            } => {
+                let mut out = format!(
+                    "slicemeta states={states} nnz={nnz} dists={dists} need={}",
+                    need.len()
+                );
+                for r in need {
+                    out.push(' ');
+                    out.push_str(&r.to_string());
+                }
+                Ok(out)
+            }
+            Frame::SliceRoute { rows } => {
+                let mut out = format!("sliceroute n={}", rows.len());
+                for r in rows {
+                    out.push(' ');
+                    out.push_str(&r.to_string());
+                }
+                Ok(out)
+            }
+            Frame::SPoint { id, s } => {
+                Ok(format!("spoint id={id} {}", encode_complex(*s, "s-point")?))
+            }
+            Frame::Halo { id, r, entries } => {
+                let mut out = format!("halo id={id} r={r} n={}", entries.len());
+                for &(row, value) in entries {
+                    out.push('\n');
+                    out.push_str(&encode_value_entry(row, value)?);
+                }
+                Ok(out)
+            }
+            Frame::SState {
+                id,
+                r,
+                faithful,
+                quiet,
+                targets,
+                exports,
+            } => {
+                let mut out = format!(
+                    "sstate id={id} r={r} faithful={} quiet={} targets={} exports={}",
+                    *faithful as u32,
+                    *quiet as u32,
+                    targets.len(),
+                    exports.len()
+                );
+                for &t in targets {
+                    out.push('\n');
+                    out.push_str(&encode_complex(t, "target value")?);
+                }
+                for &(row, value) in exports {
+                    out.push('\n');
+                    out.push_str(&encode_value_entry(row, value)?);
+                }
+                Ok(out)
+            }
         }
     }
 
@@ -476,6 +676,107 @@ impl Frame {
                 let message =
                     decode_str(field).ok_or_else(|| malformed("bad fatal message encoding"))?;
                 Ok(Frame::Fatal { message })
+            }
+            "slicejob" => {
+                let version = parse_kv(take(&mut parts, "v")?, "v")? as u32;
+                let worker = parse_kv(take(&mut parts, "worker")?, "worker")? as usize;
+                let shards = parse_kv(take(&mut parts, "shards")?, "shards")? as usize;
+                let spec = lines
+                    .next()
+                    .ok_or_else(|| malformed("slicejob frame carries no spec line"))?
+                    .to_string();
+                if lines.next().is_some() {
+                    return Err(malformed("trailing lines after slicejob spec"));
+                }
+                Ok(Frame::SliceJob {
+                    version,
+                    worker,
+                    shards,
+                    spec,
+                })
+            }
+            "slicemeta" => {
+                let states = parse_kv(take(&mut parts, "states")?, "states")? as usize;
+                let nnz = parse_kv(take(&mut parts, "nnz")?, "nnz")? as usize;
+                let dists = parse_kv(take(&mut parts, "dists")?, "dists")? as usize;
+                let n = parse_kv(take(&mut parts, "need")?, "need")? as usize;
+                let need = take_u32_list(&mut parts, n, "need")?;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields after slicemeta need list"));
+                }
+                Ok(Frame::SliceMeta {
+                    states,
+                    nnz,
+                    dists,
+                    need,
+                })
+            }
+            "sliceroute" => {
+                let n = parse_kv(take(&mut parts, "n")?, "n")? as usize;
+                let rows = take_u32_list(&mut parts, n, "rows")?;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields after sliceroute row list"));
+                }
+                Ok(Frame::SliceRoute { rows })
+            }
+            "spoint" => {
+                let id = parse_kv(take(&mut parts, "id")?, "id")?;
+                let s = take_complex(&mut parts, "s-point")?;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields after spoint"));
+                }
+                Ok(Frame::SPoint { id, s })
+            }
+            "halo" => {
+                let id = parse_kv(take(&mut parts, "id")?, "id")?;
+                let r = parse_kv(take(&mut parts, "r")?, "r")?;
+                let n = parse_kv(take(&mut parts, "n")?, "n")? as usize;
+                let entries: Result<Vec<(u32, Complex64)>, WireError> =
+                    lines.map(decode_value_entry).collect();
+                let entries = entries?;
+                if entries.len() != n {
+                    return Err(malformed(format!(
+                        "halo frame announced {n} entries but carried {}",
+                        entries.len()
+                    )));
+                }
+                Ok(Frame::Halo { id, r, entries })
+            }
+            "sstate" => {
+                let id = parse_kv(take(&mut parts, "id")?, "id")?;
+                let r = parse_kv(take(&mut parts, "r")?, "r")?;
+                let faithful = parse_flag(take(&mut parts, "faithful")?, "faithful")?;
+                let quiet = parse_flag(take(&mut parts, "quiet")?, "quiet")?;
+                let t = parse_kv(take(&mut parts, "targets")?, "targets")? as usize;
+                let e = parse_kv(take(&mut parts, "exports")?, "exports")? as usize;
+                let body: Vec<&str> = lines.collect();
+                if body.len() != t + e {
+                    return Err(malformed(format!(
+                        "sstate frame announced {t}+{e} lines but carried {}",
+                        body.len()
+                    )));
+                }
+                let mut targets = Vec::new();
+                for line in &body[..t] {
+                    let mut fields = line.split_whitespace();
+                    let value = take_complex(&mut fields, "target value")?;
+                    if fields.next().is_some() {
+                        return Err(malformed("trailing fields after target value"));
+                    }
+                    targets.push(value);
+                }
+                let mut exports = Vec::new();
+                for line in &body[t..] {
+                    exports.push(decode_value_entry(line)?);
+                }
+                Ok(Frame::SState {
+                    id,
+                    r,
+                    faithful,
+                    quiet,
+                    targets,
+                    exports,
+                })
             }
             other => Err(malformed(format!("unknown frame tag '{other}'"))),
         }
@@ -692,6 +993,109 @@ mod tests {
             let payload = frame.encode().unwrap();
             assert_eq!(Frame::decode(&payload).unwrap(), frame);
         }
+    }
+
+    #[test]
+    fn slice_frames_round_trip() {
+        let frames = vec![
+            Frame::SliceJob {
+                version: 1,
+                worker: 2,
+                shards: 4,
+                spec: "analytic v=1 key=x dist=exponential:3ff0000000000000".to_string(),
+            },
+            Frame::SliceMeta {
+                states: 25,
+                nnz: 73,
+                dists: 9,
+                need: vec![3, 7, 99],
+            },
+            Frame::SliceMeta {
+                states: 0,
+                nnz: 0,
+                dists: 0,
+                need: vec![],
+            },
+            Frame::SliceRoute { rows: vec![12, 13] },
+            Frame::SliceRoute { rows: vec![] },
+            Frame::SPoint {
+                id: 41,
+                s: Complex64::new(0.5, -2.25),
+            },
+            Frame::Halo {
+                id: 41,
+                r: 7,
+                entries: vec![
+                    (3, Complex64::new(1.0 / 3.0, -0.0)),
+                    (99, Complex64::new(-0.0, 2e-300)),
+                ],
+            },
+            Frame::Halo {
+                id: 41,
+                r: 8,
+                entries: vec![],
+            },
+            Frame::SState {
+                id: 41,
+                r: 0,
+                faithful: false,
+                quiet: true,
+                targets: vec![Complex64::new(0.25, -0.75), Complex64::ZERO],
+                exports: vec![(12, Complex64::new(-1.5, 0.5))],
+            },
+            Frame::SState {
+                id: 42,
+                r: 3,
+                faithful: true,
+                quiet: false,
+                targets: vec![],
+                exports: vec![],
+            },
+        ];
+        for frame in frames {
+            let payload = frame.encode().unwrap();
+            assert_eq!(Frame::decode(&payload).unwrap(), frame, "{payload}");
+        }
+    }
+
+    #[test]
+    fn slice_frame_values_survive_bit_for_bit() {
+        // Negative zero and subnormals must cross the wire unchanged: the
+        // sharded solve's bitwise guarantee rests on this codec.
+        let entries = vec![(0u32, Complex64::new(-0.0, f64::MIN_POSITIVE / 2.0))];
+        let frame = Frame::Halo {
+            id: 1,
+            r: 1,
+            entries,
+        };
+        let decoded = Frame::decode(&frame.encode().unwrap()).unwrap();
+        match decoded {
+            Frame::Halo { entries, .. } => {
+                assert_eq!(entries[0].1.re.to_bits(), (-0.0f64).to_bits());
+                assert_eq!(
+                    entries[0].1.im.to_bits(),
+                    (f64::MIN_POSITIVE / 2.0).to_bits()
+                );
+            }
+            other => panic!("decoded to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_slice_frames_are_rejected() {
+        // Count mismatches.
+        assert!(Frame::decode("slicemeta states=1 nnz=1 dists=1 need=2 5").is_err());
+        assert!(Frame::decode("sliceroute n=3 1 2").is_err());
+        assert!(Frame::decode("halo id=1 r=1 n=1").is_err());
+        assert!(Frame::decode("sstate id=1 r=0 faithful=1 quiet=0 targets=1 exports=0").is_err());
+        // Missing spec line and trailing junk.
+        assert!(Frame::decode("slicejob v=1 worker=0 shards=2").is_err());
+        assert!(Frame::decode("spoint id=1 3ff0000000000000 3ff0000000000000 junk").is_err());
+        // Flags must be 0/1.
+        assert!(Frame::decode("sstate id=1 r=0 faithful=2 quiet=0 targets=0 exports=0").is_err());
+        // Non-finite boundary values are rejected at decode.
+        let nan = encode_f64(f64::NAN);
+        assert!(Frame::decode(&format!("halo id=1 r=1 n=1\n4 {nan} {nan}")).is_err());
     }
 
     #[test]

@@ -310,6 +310,58 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// The `[col_lo, col_hi)` slice of the masked row-vector product
+    /// `y = x·A` with the rows flagged in `skip_rows` treated as zero —
+    /// i.e. exactly `vec_mul_into_masked`'s output restricted to that column
+    /// range, computed without touching the other columns.
+    ///
+    /// This is the per-shard SpMV kernel of the row-sharded solver: a shard
+    /// owning the contiguous column block `[col_lo, col_hi)` of `U'` produces
+    /// its slice of the next iterate from the full-length input vector.  Every
+    /// output column accumulates its contributions in the same ascending
+    /// source-row order as the full scatter (rows it skips contribute exact
+    /// zeros there too), so concatenating the shards' slices is **bitwise
+    /// identical** to the unsharded product for any shard count.
+    pub fn vec_mul_into_masked_range(
+        &self,
+        x: &[T],
+        y: &mut [T],
+        skip_rows: &[bool],
+        col_lo: usize,
+        col_hi: usize,
+    ) {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in vec_mul_into");
+        assert_eq!(skip_rows.len(), self.rows, "mask dimension mismatch");
+        assert!(
+            col_lo <= col_hi && col_hi <= self.cols,
+            "column range out of bounds"
+        );
+        assert_eq!(y.len(), col_hi - col_lo, "output dimension mismatch");
+        for v in y.iter_mut() {
+            *v = T::ZERO;
+        }
+        let (lo, hi) = (col_lo as u32, col_hi as u32);
+        for r in 0..self.rows {
+            if skip_rows[r] {
+                continue;
+            }
+            let xr = x[r];
+            if xr.is_zero() {
+                continue;
+            }
+            let start = self.indptr[r] as usize;
+            let end = self.indptr[r + 1] as usize;
+            let cols = &self.col_indices[start..end];
+            // Columns are sorted within the row: the owned range is one
+            // contiguous run of entries.
+            let a = start + cols.partition_point(|&c| c < lo);
+            let b = start + cols.partition_point(|&c| c < hi);
+            for (&v, &c) in self.values[a..b].iter().zip(&self.col_indices[a..b]) {
+                y[(c - lo) as usize] += v * xr;
+            }
+        }
+    }
+
     /// Returns a new matrix with every stored value transformed by `f` (structure is
     /// preserved; `f` must not be relied upon to produce zeros that would need
     /// pruning).
@@ -521,6 +573,44 @@ mod tests {
         assert_eq!(masked, m.vec_mul(&x));
         m.mul_vec_into_masked(&x, &mut masked, &none);
         assert_eq!(masked, m.mul_vec(&x));
+    }
+
+    #[test]
+    fn masked_range_product_slices_the_full_product_bitwise() {
+        let mut t = TripletMatrix::<Complex64>::new(5, 5);
+        for (r, c, re, im) in [
+            (0, 1, 0.3, -1.2),
+            (0, 4, -2.0, 0.7),
+            (1, 0, 1.0, 1.0),
+            (1, 2, 0.5, -0.5),
+            (2, 3, -0.25, 2.5),
+            (3, 3, 4.0, 0.0),
+            (3, 4, 0.0, -3.0),
+            (4, 0, 1.5, 1.5),
+        ] {
+            t.push(r, c, Complex64::new(re, im));
+        }
+        let m = t.to_csr();
+        let mask = [false, true, false, false, true];
+        let x: Vec<Complex64> = (0..5)
+            .map(|k| Complex64::new(0.1 + k as f64, -0.3 * k as f64))
+            .collect();
+        let mut full = vec![Complex64::ZERO; 5];
+        m.vec_mul_into_masked(&x, &mut full, &mask);
+        for shards in 1..=4usize {
+            let mut concat = Vec::new();
+            for k in 0..shards {
+                let lo = k * 5 / shards;
+                let hi = (k + 1) * 5 / shards;
+                let mut slice = vec![Complex64::ZERO; hi - lo];
+                m.vec_mul_into_masked_range(&x, &mut slice, &mask, lo, hi);
+                concat.extend_from_slice(&slice);
+            }
+            assert_eq!(concat, full, "shards={shards}");
+        }
+        // An empty range is allowed (a shard may own zero columns).
+        let mut empty: Vec<Complex64> = Vec::new();
+        m.vec_mul_into_masked_range(&x, &mut empty, &mask, 3, 3);
     }
 
     #[test]
