@@ -42,10 +42,10 @@ use smp_core::query::{
 use smp_laplace::InversionMethod;
 use smp_numeric::stats::linspace;
 use smp_pipeline::{
-    run_tcp_worker, uniformization_applies, AnalyticEngine, DistributedEngine, ModelSpec,
-    PipelineOptions, PoolSpec, QueryClient, QueryError, QueryRequest, QueryServer,
-    QueryServerOptions, RefusalKind, SimulationEngine, SimulationOptions, TcpTransport,
-    TcpWorkerOptions, UniformizationEngine,
+    query_with_retry, run_tcp_worker, uniformization_applies, AnalyticEngine, DistributedEngine,
+    ModelSpec, PipelineOptions, PoolSpec, QueryClient, QueryError, QueryRequest, QueryServer,
+    QueryServerOptions, RefusalKind, RetryPolicy, SimulationEngine, SimulationOptions,
+    TcpTransport, TcpWorkerOptions, UniformizationEngine,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -225,7 +225,7 @@ pub fn usage() -> &'static str {
 
 USAGE:
     smpq (--model FILE | --voting CC,MM,NN) --measure KIND:TARGET[@ARGS] [options]
-    smpq worker --connect HOST:PORT [--exit-after-chunks N]
+    smpq worker --connect HOST:PORT [--reconnect N] [--exit-after-chunks N]
     smpq serve --listen ADDR [--workers N|tcp:ADDR,...] [cache/admission options]
     smpq query --server ADDR (--model FILE | --voting CC,MM,NN) --measure ... [options]
     smpq shutdown --server ADDR
@@ -295,6 +295,10 @@ WORKER MODE (one per terminal/host):
                         dial the master's rendezvous address, rebuild the
                         job's evaluators from its transform specs, answer
                         work chunks until the master says done
+    --reconnect N       survive up to N lost masters: redial the rendezvous
+                        with deterministic-jitter backoff and resume (compiled
+                        models stay warm across reconnects); 0 (default) exits
+                        on the first loss
     --exit-after-chunks N
                         fault injection: drop the connection after N chunks
 
@@ -321,6 +325,11 @@ QUERY SERVICE (always-on daemon; see ARCHITECTURE.md 'Query service'):
                         (sim is one-shot only: the server refuses it)
     --deadline-ms N     refuse the request (typed: deadline) if it has not
                         completed after N ms, queue time included
+    --retries N         retry transient failures (connect refused, connection
+                        broken, server Busy) up to N extra times with
+                        deterministic-jitter exponential backoff (default 0)
+    --retry-backoff MS  base delay between retry attempts (default 100);
+                        doubles per attempt, capped, never past the deadline
                         (also --t-start/--t-stop/--t-count/--method as above)
 
     smpq shutdown --server ADDR
@@ -968,6 +977,19 @@ fn render_engine_summary(
             "model cache: {model_hits} hit(s) / {model_misses} miss(es)"
         );
     }
+    // Fault-recovery counters: all zero on an untroubled run, so this line
+    // only appears when something went wrong and was absorbed.
+    let retries: u64 = reports.iter().map(|r| r.provenance.retries).sum();
+    let recovered: u64 = reports.iter().map(|r| r.provenance.recovered_faults).sum();
+    let resumed: u64 = reports.iter().map(|r| r.provenance.resumed_rounds).sum();
+    if retries > 0 || recovered > 0 || resumed > 0 {
+        let _ = writeln!(
+            out,
+            "recovery: {retries} retr{} with backoff, {recovered} fault(s) absorbed, \
+{resumed} iteration round(s) resumed from checkpoint",
+            if retries == 1 { "y" } else { "ies" }
+        );
+    }
     for report in reports {
         let _ = writeln!(
             out,
@@ -1067,12 +1089,16 @@ pub struct WorkerCliOptions {
     pub connect: String,
     /// Fault injection: drop the connection after this many chunks.
     pub exit_after_chunks: Option<usize>,
+    /// Redial-and-resume budget after a lost master (`--reconnect N`;
+    /// 0 = exit on the first loss, today's one-shot behaviour).
+    pub reconnect: u32,
 }
 
 /// Parses the arguments after `smpq worker`.
 pub fn parse_worker_args(args: &[String]) -> Result<WorkerCliOptions, CliError> {
     let mut connect: Option<String> = None;
     let mut exit_after_chunks = None;
+    let mut reconnect = 0u32;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value_of = |name: &str| -> Result<&String, CliError> {
@@ -1087,6 +1113,11 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerCliOptions, CliError> 
                         CliError::Usage("--exit-after-chunks expects an integer".into())
                     })?)
             }
+            "--reconnect" => {
+                reconnect = value_of("--reconnect")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--reconnect expects an integer".into()))?
+            }
             "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
             other => return Err(CliError::Usage(format!("unknown worker flag '{other}'"))),
         }
@@ -1099,6 +1130,7 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerCliOptions, CliError> 
     Ok(WorkerCliOptions {
         connect,
         exit_after_chunks,
+        reconnect,
     })
 }
 
@@ -1108,18 +1140,32 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerCliOptions, CliError> 
 pub fn run_worker(options: &WorkerCliOptions) -> Result<String, CliError> {
     let worker_options = TcpWorkerOptions {
         exit_after_chunks: options.exit_after_chunks,
+        reconnect_attempts: options.reconnect,
         ..Default::default()
     };
     let summary = run_tcp_worker(&options.connect, &worker_options).map_err(CliError::Analysis)?;
+    let recovery = if summary.reconnects > 0 || summary.dial_retries > 0 {
+        format!(
+            " (recovered: {} reconnect(s), {} dial retr{})",
+            summary.reconnects,
+            summary.dial_retries,
+            if summary.dial_retries == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        )
+    } else {
+        String::new()
+    };
     if summary.released_before_work {
-        return Ok(
+        return Ok(format!(
             "worker released: the master finished before assigning work (warm run \
-or a faster peer drained the queue)\n"
-                .to_string(),
-        );
+or a faster peer drained the queue){recovery}\n"
+        ));
     }
     Ok(format!(
-        "worker {} done: {} chunk(s), {} evaluation(s){}\n",
+        "worker {} done: {} chunk(s), {} evaluation(s){}{recovery}\n",
         summary.worker_id,
         summary.chunks,
         summary.evaluated,
@@ -1296,6 +1342,12 @@ pub struct QueryCliOptions {
     pub method: MethodChoice,
     /// Per-request deadline in milliseconds (queue time included).
     pub deadline_ms: Option<u64>,
+    /// Extra attempts after a transient failure (connect refused, connection
+    /// broken, server Busy); 0 = single attempt.
+    pub retries: u32,
+    /// Base backoff between retry attempts, in milliseconds (doubles per
+    /// attempt with deterministic jitter).
+    pub retry_backoff_ms: u64,
 }
 
 /// Parses the arguments after `smpq query`.
@@ -1309,6 +1361,8 @@ pub fn parse_query_args(args: &[String]) -> Result<QueryCliOptions, CliError> {
     let mut engine = EngineChoice::Auto;
     let mut method = MethodChoice::Euler;
     let mut deadline_ms = None;
+    let mut retries = 0u32;
+    let mut retry_backoff_ms = 100u64;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -1377,6 +1431,20 @@ run `smpq --engine sim` one-shot instead"
                 }
                 deadline_ms = Some(ms);
             }
+            "--retries" => {
+                retries = value_of("--retries")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--retries expects an integer".into()))?
+            }
+            "--retry-backoff" => {
+                let ms: u64 = value_of("--retry-backoff")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--retry-backoff expects milliseconds".into()))?;
+                if ms == 0 {
+                    return Err(CliError::Usage("--retry-backoff must be at least 1".into()));
+                }
+                retry_backoff_ms = ms;
+            }
             "--help" | "-h" => return Err(CliError::Usage("help requested".into())),
             other => return Err(CliError::Usage(format!("unknown query flag '{other}'"))),
         }
@@ -1418,6 +1486,8 @@ run `smpq --engine sim` one-shot instead"
         engine,
         method,
         deadline_ms,
+        retries,
+        retry_backoff_ms,
     })
 }
 
@@ -1445,8 +1515,21 @@ pub fn run_query(options: &QueryCliOptions) -> Result<String, CliError> {
     };
 
     let started = Instant::now();
-    let mut client = QueryClient::connect(&options.server)?;
-    let reports = client.query(&request)?;
+    let reports = if options.retries > 0 {
+        // Systematic client-side retry: transient failures (connect refused,
+        // broken connection, server Busy) redial with deterministic-jitter
+        // backoff; final refusals and the request deadline cut it short.
+        query_with_retry(
+            &options.server,
+            &request,
+            &RetryPolicy {
+                retries: options.retries,
+                backoff: Duration::from_millis(options.retry_backoff_ms),
+            },
+        )?
+    } else {
+        QueryClient::connect(&options.server)?.query(&request)?
+    };
     let elapsed = started.elapsed();
 
     // The engine that actually answered (auto-routing happens server-side)
@@ -1656,14 +1739,22 @@ mod tests {
         let worker = parse_worker_args(&args(&["--connect", "10.0.0.5:9000"])).unwrap();
         assert_eq!(worker.connect, "10.0.0.5:9000");
         assert_eq!(worker.exit_after_chunks, None);
+        assert_eq!(worker.reconnect, 0);
         let worker = parse_worker_args(&args(&[
             "--connect",
             "localhost:1234",
             "--exit-after-chunks",
             "3",
+            "--reconnect",
+            "5",
         ]))
         .unwrap();
         assert_eq!(worker.exit_after_chunks, Some(3));
+        assert_eq!(worker.reconnect, 5);
+        assert!(matches!(
+            parse_worker_args(&args(&["--connect", "x:1", "--reconnect", "lots"])),
+            Err(CliError::Usage(_))
+        ));
 
         // Bad input.
         for bad in [
@@ -2331,6 +2422,29 @@ mod tests {
         assert_eq!(options.engine, EngineChoice::Auto);
         assert_eq!(options.deadline_ms, Some(1500));
         assert_eq!(options.measure_texts, vec!["cdf:p2>=2".to_string()]);
+        assert_eq!((options.retries, options.retry_backoff_ms), (0, 100));
+
+        let options = parse_query_args(&args(&[
+            "--server",
+            "127.0.0.1:7070",
+            "--voting",
+            "3,1,1",
+            "--measure",
+            "cdf:p2>=2",
+            "--retries",
+            "4",
+            "--retry-backoff",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!((options.retries, options.retry_backoff_ms), (4, 250));
+        assert!(matches!(
+            parse_query_args(&args(&[
+                "--server", "x:1", "--voting", "3,1,1",
+                "--measure", "cdf:p2>=2", "--retry-backoff", "0",
+            ])),
+            Err(CliError::Usage(m)) if m.contains("--retry-backoff")
+        ));
 
         // --server is mandatory; sim is refused client-side; measure syntax
         // is validated before any round trip.

@@ -1,0 +1,292 @@
+//! End-to-end crash recovery: a **real `kill -9`** of a sharded TCP master
+//! mid-solve, followed by a cold restart of the same command line.
+//!
+//! The acceptance criteria of the checkpoint/recovery design, exercised with
+//! real processes rather than in-process fault injection (which
+//! `tests/chaos_matrix.rs` covers deterministically):
+//!
+//! * the restarted master re-binds the *same* rendezvous ports immediately
+//!   (SO_REUSEADDR through the kernel's TIME_WAIT parking);
+//! * `--reconnect` workers outlive the crash and offer themselves to the
+//!   resumed run;
+//! * the resumed run redoes strictly fewer evaluations than a cold run,
+//!   pulling the rest from the checkpoint the dead master left behind;
+//! * the final numeric table is identical (formatting included) to an
+//!   in-process sharded run of the same job.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const GRID: &[&str] = &[
+    "--voting",
+    "5,2,2",
+    "--measure",
+    "density:p2>=2",
+    "--measure",
+    "cdf:p2>=2",
+    "--t-start",
+    "2",
+    "--t-stop",
+    "40",
+    "--t-count",
+    "5",
+    "--engine",
+    "distributed",
+    "--workers",
+];
+
+fn smpq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smpq"))
+}
+
+fn spawn_worker(addr: &str) -> Child {
+    // `--reconnect 1`: exactly one redial — survive the kill, serve the
+    // restarted master, then exit on the post-run link close instead of
+    // redialling into the void.
+    smpq()
+        .args(["worker", "--connect", addr, "--reconnect", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn smpq worker")
+}
+
+fn spawn_master(addrs: &[String], checkpoint: &PathBuf) -> Child {
+    smpq()
+        .args(GRID)
+        .arg(format!("tcp:{}", addrs.join(",")))
+        .arg("--sharded")
+        .arg("--checkpoint")
+        .arg(checkpoint)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn smpq master")
+}
+
+/// The numeric value table of a report: exactly the lines a t-indexed curve
+/// prints.  Two backends agree iff these lines are byte-identical.
+fn table(report: &str) -> Vec<String> {
+    report
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Pulls `N` out of "evaluations: N new, M from checkpoint/cache, ...".
+fn parse_counts(report: &str) -> (u64, u64) {
+    let line = report
+        .lines()
+        .find(|l| l.trim_start().starts_with("evaluations:"))
+        .unwrap_or_else(|| panic!("no evaluations line in:\n{report}"));
+    let mut numbers = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.parse::<u64>().unwrap());
+    let fresh = numbers.next().expect("new count");
+    let cached = numbers.next().expect("cached count");
+    (fresh, cached)
+}
+
+fn drain(child: Child) -> (bool, String, String) {
+    let output = child.wait_with_output().expect("child did not exit");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn checkpoint_records(path: &PathBuf) -> usize {
+    std::fs::read_to_string(path)
+        .map(|text| text.lines().filter(|l| !l.trim().is_empty()).count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn a_kill_dash_nined_sharded_master_restarts_and_resumes_from_its_checkpoint() {
+    // Reference: the same job over in-process loopback shards.  Sharded TCP
+    // and sharded loopback are bitwise-identical by construction (the lockstep
+    // SpMV rounds are the same arithmetic), so this is the ground truth table
+    // and the cold evaluation count.
+    let reference = {
+        let mut args: Vec<String> = GRID.iter().map(|s| s.to_string()).collect();
+        args.push("2".into());
+        args.extend(["--shards".into(), "2".into()]);
+        smp_cli::run(&smp_cli::parse_args(&args).unwrap()).unwrap()
+    };
+    let (cold_new, cold_cached) = parse_counts(&reference);
+    assert!(cold_new > 0, "{reference}");
+    assert_eq!(cold_cached, 0, "{reference}");
+
+    // The kill is a race against the solve; ports are a TOCTOU race against
+    // the rest of the machine.  Losing either is rare — retry a fresh
+    // scenario rather than flaking.
+    let mut attempt = 0;
+    let (resumed_report, seen_at_kill, workers) = 'scenario: loop {
+        attempt += 1;
+        assert!(attempt <= 3, "lost the kill/port race three times in a row");
+
+        let addrs: Vec<String> = (0..2)
+            .map(|_| {
+                let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                format!("127.0.0.1:{}", probe.local_addr().unwrap().port())
+            })
+            .collect();
+        let mut checkpoint = std::env::temp_dir();
+        checkpoint.push(format!("smpq-kill9-{}-{attempt}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&checkpoint);
+
+        let mut doomed = spawn_master(&addrs, &checkpoint);
+        let workers: Vec<Child> = addrs.iter().map(|a| spawn_worker(a)).collect();
+
+        // Wait for the solve to make real progress — at least two completed
+        // s-points on disk — then SIGKILL the master with work still queued.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let seen_at_kill = loop {
+            let seen = checkpoint_records(&checkpoint);
+            if seen >= 2 {
+                doomed.kill().expect("SIGKILL the master");
+                let _ = doomed.wait();
+                break seen;
+            }
+            if let Some(status) = doomed.try_wait().expect("poll master") {
+                // The master finished (or died on a stolen port) before the
+                // kill landed: this attempt proves nothing, run a fresh one.
+                eprintln!("attempt {attempt}: master exited early ({status:?}), retrying");
+                for mut worker in workers {
+                    let _ = worker.kill();
+                    let _ = worker.wait();
+                }
+                let _ = std::fs::remove_file(&checkpoint);
+                continue 'scenario;
+            }
+            assert!(Instant::now() < deadline, "no checkpoint progress in 120s");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+
+        // Cold restart of the *identical* command line: same ports (freed
+        // through TIME_WAIT by SO_REUSEADDR), same checkpoint path.  The
+        // reconnecting workers are already redialling the rendezvous.
+        let reborn = spawn_master(&addrs, &checkpoint);
+        let (ok, report, stderr) = drain(reborn);
+        assert!(ok, "restarted master failed:\n{report}\n{stderr}");
+        let _ = std::fs::remove_file(&checkpoint);
+        break (report, seen_at_kill, workers);
+    };
+
+    // The resumed table is the reference table, byte for byte.
+    assert_eq!(
+        table(&resumed_report),
+        table(&reference),
+        "resumed run diverged from the cold reference\n--- resumed:\n{resumed_report}\n--- reference:\n{reference}"
+    );
+
+    // The resume was real: some points came from the dead master's
+    // checkpoint, and strictly fewer were re-evaluated than a cold run.
+    let (resumed_new, resumed_cached) = parse_counts(&resumed_report);
+    assert!(
+        resumed_cached >= seen_at_kill as u64,
+        "expected at least the {seen_at_kill} checkpointed points as cache \
+hits, got {resumed_cached}:\n{resumed_report}"
+    );
+    assert!(
+        resumed_new < cold_new,
+        "resumed run redid all {resumed_new} of {cold_new} points:\n{resumed_report}"
+    );
+    assert!(
+        resumed_report.contains("from checkpoint/cache"),
+        "{resumed_report}"
+    );
+
+    // Both workers outlived the crash: one reconnect each, clean exits,
+    // and the recovery suffix in their summaries says so.
+    for worker in workers {
+        let (ok, stdout, stderr) = drain(worker);
+        assert!(ok, "worker failed:\n{stdout}\n{stderr}");
+        assert!(
+            stdout.contains("(recovered: 1 reconnect(s)"),
+            "worker summary lacks the reconnect recovery suffix:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn a_kill_dash_nined_shard_worker_is_absorbed_by_resharding() {
+    // The mirror image: the *master* survives, one shard holder is SIGKILLed
+    // mid-solve, and the fleet re-shards the state space onto the survivor —
+    // the in-flight point is redone on the shrunken fleet, so the casualty
+    // costs redone rounds, not wrong values.
+    let reference = {
+        let mut args: Vec<String> = GRID.iter().map(|s| s.to_string()).collect();
+        args.push("2".into());
+        args.extend(["--shards".into(), "2".into()]);
+        smp_cli::run(&smp_cli::parse_args(&args).unwrap()).unwrap()
+    };
+
+    let mut attempt = 0;
+    let report = 'scenario: loop {
+        attempt += 1;
+        assert!(attempt <= 3, "lost the port race three times in a row");
+
+        let addrs: Vec<String> = (0..2)
+            .map(|_| {
+                let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                format!("127.0.0.1:{}", probe.local_addr().unwrap().port())
+            })
+            .collect();
+        let mut checkpoint = std::env::temp_dir();
+        checkpoint.push(format!(
+            "smpq-kill9-worker-{}-{attempt}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&checkpoint);
+
+        let mut master = spawn_master(&addrs, &checkpoint);
+        let steady = spawn_worker(&addrs[0]);
+        let mut victim = spawn_worker(&addrs[1]);
+
+        // Let the fleet produce some checkpointed points, then kill shard 1.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if checkpoint_records(&checkpoint) >= 2 {
+                break;
+            }
+            if let Some(status) = master.try_wait().expect("poll master") {
+                eprintln!("attempt {attempt}: master exited early ({status:?}), retrying");
+                for mut child in [steady, victim] {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                let _ = std::fs::remove_file(&checkpoint);
+                continue 'scenario;
+            }
+            assert!(Instant::now() < deadline, "no checkpoint progress in 120s");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        victim.kill().expect("SIGKILL the shard worker");
+        let _ = victim.wait();
+
+        let (ok, report, stderr) = drain(master);
+        assert!(ok, "master failed after worker kill:\n{report}\n{stderr}");
+        let _ = std::fs::remove_file(&checkpoint);
+
+        // The survivor is released with an explicit farewell once the
+        // re-sharded run finishes, so it exits cleanly without redialling.
+        let (ok, stdout, stderr) = drain(steady);
+        assert!(ok, "surviving worker failed:\n{stdout}\n{stderr}");
+        break report;
+    };
+
+    assert_eq!(
+        table(&report),
+        table(&reference),
+        "post-casualty run diverged from the cold reference\n--- run:\n{report}\n--- reference:\n{reference}"
+    );
+    assert!(
+        report.contains("recovery:"),
+        "expected a recovery summary line after a shard casualty:\n{report}"
+    );
+}

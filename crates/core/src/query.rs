@@ -502,6 +502,17 @@ pub struct Provenance {
     pub halo_bytes: u64,
     /// Boundary-exchange rounds driven across all sharded evaluation points.
     pub exchange_rounds: u64,
+    /// Connection or admission attempts retried with backoff (worker dials,
+    /// client reconnects) before the run succeeded.
+    pub retries: u64,
+    /// Injected or real faults the run absorbed and recovered from without
+    /// changing a value: requeued chunks after a worker loss, resharded
+    /// sessions, refused-and-recovered corrupt frames.
+    pub recovered_faults: u64,
+    /// Lockstep rounds *skipped* because a solve resumed mid-point from a
+    /// per-shard iterate checkpoint instead of redoing them (0 for cold
+    /// runs).
+    pub resumed_rounds: u64,
 }
 
 impl Provenance {
@@ -528,6 +539,9 @@ impl Provenance {
             shard_states: Vec::new(),
             halo_bytes: 0,
             exchange_rounds: 0,
+            retries: 0,
+            recovered_faults: 0,
+            resumed_rounds: 0,
         }
     }
 }

@@ -541,6 +541,54 @@ impl ShardWorkspace {
     pub fn owned_term(&self) -> &[Complex64] {
         &self.x_owned
     }
+
+    /// Appends the nonzero entries of the owned term slice keyed by *global*
+    /// row, ascending — the shard-layout-independent snapshot form used by
+    /// crash checkpoints.  A pure read: calling it at any cadence cannot
+    /// perturb the iteration.  Exact zeros are elided (the restore side
+    /// zero-fills first), mirroring [`ShardWorkspace::export_values`].
+    pub fn save_term(&self, out: &mut Vec<(u32, Complex64)>) {
+        let lo = self.skeleton.lo;
+        for (offset, &v) in self.x_owned.iter().enumerate() {
+            if !v.is_zero() {
+                out.push(((lo + offset) as u32, v));
+            }
+        }
+    }
+
+    /// Overwrites the owned term slice from snapshot entries keyed by global
+    /// row: all owned slots are zeroed, then each entry falling in this
+    /// shard's row range is written (entries owned by other shards are
+    /// skipped, so every shard can be handed the full global snapshot).  The
+    /// halo is zeroed too — the next round's [`ShardWorkspace::apply_halo`]
+    /// rebuilds it from the resumed exchange.
+    ///
+    /// Returns an error for a row at or beyond the state count (a corrupted
+    /// snapshot, not a numeric condition).
+    pub fn load_term(&mut self, entries: &[(u32, Complex64)]) -> Result<(), SmpError> {
+        let sk = &*self.skeleton;
+        let lo = sk.lo;
+        let owned = sk.owned_states();
+        for slot in self.x_owned.iter_mut() {
+            *slot = Complex64::ZERO;
+        }
+        for slot in self.x_halo.iter_mut() {
+            *slot = Complex64::ZERO;
+        }
+        for &(row, value) in entries {
+            let row = row as usize;
+            if row >= sk.num_states {
+                return Err(SmpError::StateOutOfRange {
+                    state: row,
+                    num_states: sk.num_states,
+                });
+            }
+            if row >= lo && row < lo + owned {
+                self.x_owned[row - lo] = value;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The master-side halo routing for one sharded session: which owned rows
@@ -633,6 +681,37 @@ impl ConvergenceFold {
     /// report).
     pub fn last_delta(&self) -> f64 {
         self.last_delta
+    }
+
+    /// Resumes a fold from checkpointed state: the running total, the quiet
+    /// streak and the last delta magnitude exactly as a prior fold left them
+    /// after its round-`r` [`ConvergenceFold::push`].  Continuing with round
+    /// `r + 1` pushes then replays the original accumulation sequence bit
+    /// for bit — `total` is the only accumulated quantity, and it crossed
+    /// the checkpoint as an exact bit pattern.
+    pub fn resume(
+        options: IterationOptions,
+        total: Complex64,
+        quiet: usize,
+        last_delta: f64,
+    ) -> ConvergenceFold {
+        ConvergenceFold {
+            options,
+            total,
+            quiet,
+            last_delta,
+        }
+    }
+
+    /// The running total (checkpointed by the crash-recovery layer).
+    pub fn total(&self) -> Complex64 {
+        self.total
+    }
+
+    /// The current consecutive-quiet streak (checkpointed alongside the
+    /// total).
+    pub fn quiet_rounds(&self) -> usize {
+        self.quiet
     }
 }
 

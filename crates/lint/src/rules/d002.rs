@@ -31,6 +31,8 @@ const SCOPE_STEMS: &[&str] = &[
     "server",
     "client",
     "shard",
+    "transport",
+    "engine",
 ];
 
 /// Iterator-producing methods on maps/sets.

@@ -186,6 +186,196 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<TransformValue
         .unwrap_or_default())
 }
 
+// ---------------------------------------------------------------------------
+// Mid-point shard snapshots
+// ---------------------------------------------------------------------------
+
+/// The sidecar path holding the mid-point shard snapshot for a checkpoint
+/// file: `<checkpoint>.shard`.
+pub fn shard_snapshot_path(checkpoint: impl AsRef<Path>) -> PathBuf {
+    let mut name = checkpoint.as_ref().as_os_str().to_os_string();
+    name.push(".shard");
+    PathBuf::from(name)
+}
+
+/// The complete mid-point state of a sharded Laplace-space solve: the global
+/// term vector (every shard's owned rows, zero entries elided), the
+/// convergence fold, and the round counter — everything a restarted master
+/// needs to re-handshake a fleet and continue the SpMV iteration from round
+/// `round + 1` rather than from scratch.
+///
+/// The snapshot is *shard-count independent*: entries are keyed by global row
+/// index, and row blocks are pure functions of `(num_states, shards)`, so a
+/// run killed at 4 shards can resume at 2.  Restoring yields bitwise the
+/// iterate the killed run held, so the resumed solve converges to bitwise the
+/// fault-free answer.
+///
+/// On-disk format (plain text like the checkpoint proper, one snapshot per
+/// file, written atomically via tmp + rename):
+///
+/// ```text
+/// shardckpt v=1 key=<enc> s=<hex16> <hex16> r=<round> total=<hex16> <hex16> quiet=<n> delta=<hex16> n=<entries>
+/// <row> <hex16> <hex16>     (× n)
+/// end
+/// ```
+///
+/// The trailing `end` sentinel is the torn-write detector: a snapshot missing
+/// it (or missing entry lines) loads as `None` and the solve starts the point
+/// cold — never from a half-written iterate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Transform key of the measure whose point was in flight.
+    pub key: String,
+    /// The Laplace point being solved when the snapshot was taken.
+    pub s: Complex64,
+    /// The exchange round *after which* the iterate was captured; resumption
+    /// continues at `round + 1`.
+    pub round: u64,
+    /// Running total of the convergence fold (sum of per-round deltas).
+    pub total: Complex64,
+    /// Consecutive quiet rounds the fold had seen.
+    pub quiet: u64,
+    /// The fold's last per-round delta magnitude (may be `+inf` before any
+    /// round lands).
+    pub last_delta: f64,
+    /// The global term vector: `(global row, value)`, zero entries elided,
+    /// ascending row order.
+    pub entries: Vec<(u32, Complex64)>,
+}
+
+impl ShardSnapshot {
+    /// Writes the snapshot atomically: a temp file in the same directory is
+    /// fully written, flushed, then renamed over `path`, so a crash mid-save
+    /// leaves either the previous snapshot or a detectably torn temp — never
+    /// a half-new file at the real path.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            writeln!(
+                w,
+                "shardckpt v=1 key={} s={} {} r={} total={} {} quiet={} delta={} n={}",
+                wire::encode_str(&self.key),
+                wire::encode_f64(self.s.re),
+                wire::encode_f64(self.s.im),
+                self.round,
+                wire::encode_f64(self.total.re),
+                wire::encode_f64(self.total.im),
+                self.quiet,
+                wire::encode_f64(self.last_delta),
+                self.entries.len()
+            )?;
+            for &(row, v) in &self.entries {
+                writeln!(
+                    w,
+                    "{row} {} {}",
+                    wire::encode_f64(v.re),
+                    wire::encode_f64(v.im)
+                )?;
+            }
+            writeln!(w, "end")?;
+            w.flush()?;
+            w.into_inner()
+                .map_err(|e| std::io::Error::other(e.to_string()))?
+                .sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a snapshot, or `None` when the file is missing, torn (no `end`
+    /// sentinel, short entry list), or malformed in any way — untrusted input
+    /// never panics and never yields a partial iterate.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Option<ShardSnapshot>> {
+        let file = match File::open(path.as_ref()) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut lines = BufReader::new(file).lines();
+        let Some(header) = lines.next().transpose()? else {
+            return Ok(None);
+        };
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some("shardckpt") || fields.next() != Some("v=1") {
+            return Ok(None);
+        }
+        fn tagged<'a>(field: Option<&'a str>, tag: &str) -> Option<&'a str> {
+            field?.strip_prefix(tag)
+        }
+        let Some(key) = tagged(fields.next(), "key=").and_then(wire::decode_str) else {
+            return Ok(None);
+        };
+        let s_re = tagged(fields.next(), "s=").and_then(wire::decode_f64);
+        let s_im = fields.next().and_then(wire::decode_f64);
+        let round = tagged(fields.next(), "r=").and_then(|f| f.parse::<u64>().ok());
+        let total_re = tagged(fields.next(), "total=").and_then(wire::decode_f64);
+        let total_im = fields.next().and_then(wire::decode_f64);
+        let quiet = tagged(fields.next(), "quiet=").and_then(|f| f.parse::<u64>().ok());
+        let last_delta = tagged(fields.next(), "delta=").and_then(wire::decode_f64);
+        let count = tagged(fields.next(), "n=").and_then(|f| f.parse::<usize>().ok());
+        let (
+            Some(s_re),
+            Some(s_im),
+            Some(round),
+            Some(total_re),
+            Some(total_im),
+            Some(quiet),
+            Some(last_delta),
+            Some(count),
+        ) = (
+            s_re, s_im, round, total_re, total_im, quiet, last_delta, count,
+        )
+        else {
+            return Ok(None);
+        };
+        if fields.next().is_some() {
+            return Ok(None);
+        }
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let Some(line) = lines.next().transpose()? else {
+                return Ok(None); // torn: fewer entry lines than announced
+            };
+            let mut parts = line.split_whitespace();
+            let row = parts.next().and_then(|f| f.parse::<u32>().ok());
+            let re = parts.next().and_then(wire::decode_f64);
+            let im = parts.next().and_then(wire::decode_f64);
+            let (Some(row), Some(re), Some(im)) = (row, re, im) else {
+                return Ok(None);
+            };
+            if parts.next().is_some() {
+                return Ok(None);
+            }
+            entries.push((row, Complex64::new(re, im)));
+        }
+        match lines.next().transpose()? {
+            Some(line) if line == "end" => Ok(Some(ShardSnapshot {
+                key,
+                s: Complex64::new(s_re, s_im),
+                round,
+                total: Complex64::new(total_re, total_im),
+                quiet,
+                last_delta,
+                entries,
+            })),
+            _ => Ok(None), // missing sentinel: the save never completed
+        }
+    }
+
+    /// Removes the snapshot file (missing is fine — the common case after a
+    /// clean completion).
+    pub fn remove(path: impl AsRef<Path>) -> std::io::Result<()> {
+        match std::fs::remove_file(path.as_ref()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +480,87 @@ mod tests {
         assert_eq!(legacy.len(), 1);
         assert_eq!(legacy.get(s_old), Some(Complex64::ONE));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn sample_snapshot() -> ShardSnapshot {
+        ShardSnapshot {
+            key: "voters:density".to_string(),
+            s: Complex64::new(0.125, -3.5),
+            round: 17,
+            total: Complex64::new(0.75, 1e-12),
+            quiet: 2,
+            last_delta: 4.0e-11,
+            entries: vec![
+                (0, Complex64::new(1.0 / 3.0, -2.0e-15)),
+                (5, Complex64::new(-0.25, 0.5)),
+                (1023, Complex64::new(9.75, 0.0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn shard_snapshot_round_trips_bitwise() {
+        let path = temp_path("shard-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let snapshot = sample_snapshot();
+        snapshot.save(&path).unwrap();
+        let loaded = ShardSnapshot::load(&path).unwrap().expect("snapshot loads");
+        assert_eq!(loaded, snapshot);
+        // Bit-exactness beyond PartialEq: the f64s must be the same bits.
+        assert_eq!(loaded.s.re.to_bits(), snapshot.s.re.to_bits());
+        assert_eq!(
+            loaded.entries[0].1.im.to_bits(),
+            snapshot.entries[0].1.im.to_bits()
+        );
+        ShardSnapshot::remove(&path).unwrap();
+        assert!(ShardSnapshot::load(&path).unwrap().is_none());
+        ShardSnapshot::remove(&path).unwrap(); // second remove is fine
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_snapshot_survives_infinite_delta() {
+        // A point killed before its first round has last_delta = +inf; the
+        // raw-bits f64 encoding must round-trip it.
+        let path = temp_path("shard-inf");
+        let _ = std::fs::remove_file(&path);
+        let mut snapshot = sample_snapshot();
+        snapshot.last_delta = f64::INFINITY;
+        snapshot.save(&path).unwrap();
+        let loaded = ShardSnapshot::load(&path).unwrap().expect("snapshot loads");
+        assert!(loaded.last_delta.is_infinite());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_shard_snapshot_loads_as_none() {
+        let path = temp_path("shard-torn");
+        let _ = std::fs::remove_file(&path);
+        let snapshot = sample_snapshot();
+        snapshot.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Drop the `end` sentinel: must refuse.
+        std::fs::write(&path, full.trim_end_matches("end\n")).unwrap();
+        assert!(ShardSnapshot::load(&path).unwrap().is_none());
+        // Truncate mid-entry: must refuse.
+        let cut = full.len() - 20;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        assert!(ShardSnapshot::load(&path).unwrap().is_none());
+        // Garbage header: must refuse, not panic.
+        std::fs::write(&path, "not a snapshot\n").unwrap();
+        assert!(ShardSnapshot::load(&path).unwrap().is_none());
+        // The intact file still loads (sanity that the trims were the cause).
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(ShardSnapshot::load(&path).unwrap(), Some(snapshot));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shard_snapshot_path_is_a_sidecar() {
+        assert_eq!(
+            shard_snapshot_path("/tmp/run.ckpt"),
+            PathBuf::from("/tmp/run.ckpt.shard")
+        );
     }
 
     #[test]

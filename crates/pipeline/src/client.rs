@@ -7,13 +7,14 @@
 //! strictly request/response: one payload out, one payload back.
 
 use crate::server::{
-    decode_query_reply, encode_query_request, QueryReply, QueryRequest, Refusal, SHUTDOWN_ACK,
-    SHUTDOWN_REQUEST,
+    decode_query_reply, encode_query_request, QueryReply, QueryRequest, Refusal, RefusalKind,
+    SHUTDOWN_ACK, SHUTDOWN_REQUEST,
 };
+use crate::transport::Backoff;
 use crate::wire::{read_payload, write_payload, WireError};
 use smp_core::query::MeasureReport;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a client call failed (the transport or protocol layer — a server that
 /// *answers* with a refusal is the [`QueryError::Refused`] case).
@@ -82,6 +83,16 @@ impl QueryClient {
         })))
     }
 
+    /// One dial attempt, no built-in retry loop — the building block
+    /// [`query_with_retry`] owns its own schedule with.
+    pub fn connect_once(addr: &str) -> Result<QueryClient, QueryError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(600)))?;
+        Ok(QueryClient { stream })
+    }
+
     /// Sends one query and waits for its answer.  A served refusal comes
     /// back as [`QueryError::Refused`] — the caller distinguishes "the
     /// server said no" from "the connection broke".
@@ -107,6 +118,87 @@ impl QueryClient {
                 "expected '{SHUTDOWN_ACK}', got '{}'",
                 payload.trim()
             )))
+        }
+    }
+}
+
+/// Client-side retry policy for [`query_with_retry`]: how many extra
+/// attempts a transient failure earns and the base of the backoff schedule
+/// between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first; `0` means a single attempt and
+    /// [`query_with_retry`] degenerates to dial-once-and-ask.
+    pub retries: u32,
+    /// Base delay between attempts; the schedule doubles per attempt with
+    /// deterministic jitter (see [`Backoff`]) and caps at 64× the base.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Whether a failure is worth another attempt: connection failures and
+/// admission refusals (`Busy`) are transient — the server may come up, drain
+/// a solve, or free a queue slot.  Everything else (protocol errors, model
+/// errors, deadline refusals) is final: retrying cannot change the answer.
+fn retryable(error: &QueryError) -> bool {
+    match error {
+        QueryError::Refused(refusal) => refusal.kind == RefusalKind::Busy,
+        QueryError::Io(_) => true,
+        QueryError::Protocol(_) => false,
+    }
+}
+
+/// Dials `addr` and issues `request`, retrying transient failures (connect
+/// refusals, broken connections, `Busy` admission refusals) up to
+/// `policy.retries` extra attempts with deterministically-jittered
+/// exponential backoff seeded from the address — so a thundering herd of
+/// restarted clients de-synchronizes instead of re-colliding, and a given
+/// (address, attempt) pair always waits the same amount, making failures
+/// replayable.
+///
+/// The request's own deadline bounds the whole schedule: a retry whose
+/// backoff would land past the deadline is not attempted and the last error
+/// is returned instead.  On success the number of retries spent is folded
+/// into the first report's `retries` provenance.
+pub fn query_with_retry(
+    addr: &str,
+    request: &QueryRequest,
+    policy: &RetryPolicy,
+) -> Result<Vec<MeasureReport>, QueryError> {
+    let deadline = request.deadline.map(|d| Instant::now() + d);
+    let base = policy.backoff.max(Duration::from_millis(1));
+    let mut backoff = Backoff::for_endpoint(base, base * 64, addr);
+    let mut spent = 0u64;
+    loop {
+        let outcome = QueryClient::connect_once(addr).and_then(|mut client| client.query(request));
+        match outcome {
+            Ok(mut reports) => {
+                if spent > 0 {
+                    if let Some(first) = reports.first_mut() {
+                        first.provenance.retries += spent;
+                    }
+                }
+                return Ok(reports);
+            }
+            Err(error) if retryable(&error) && spent < u64::from(policy.retries) => {
+                let delay = backoff.next_delay();
+                if let Some(deadline) = deadline {
+                    if Instant::now() + delay >= deadline {
+                        return Err(error);
+                    }
+                }
+                std::thread::sleep(delay);
+                spent += 1;
+            }
+            Err(error) => return Err(error),
         }
     }
 }

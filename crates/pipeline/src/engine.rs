@@ -35,8 +35,9 @@
 //! finite-difference stencil used by both.
 
 use crate::batch::{BatchJob, MeasureKind as CurveKind, MeasureSpec};
+use crate::checkpoint::{self, CheckpointWriter};
 use crate::master::{DistributedPipeline, PipelineOptions};
-use crate::shard::{ShardedOutcome, SliceFleet};
+use crate::shard::{ShardedOutcome, SliceFleet, SolveRecovery};
 use crate::transform::{
     CompiledEvaluator, CompiledModelSet, CompiledSetCache, ModelSpec, ResolveTarget,
     TargetResolveError, TransformSpec,
@@ -54,6 +55,7 @@ use smp_simulator::{
     TransientSimulationOptions,
 };
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -383,6 +385,14 @@ pub struct DistributedEngine {
     transport: Box<dyn Transport>,
     compiled_cache: Option<Arc<CompiledSetCache>>,
     sharded: Option<ShardBackend>,
+    /// The configured checkpoint path, kept for the sharded solve path (the
+    /// unsharded pipeline reads it from its own options): per-point value
+    /// records plus the `<path>.shard` mid-point iterate sidecar.
+    checkpoint_path: Option<PathBuf>,
+    /// Whether a sharded solve pre-seeds its memo from the checkpoint file;
+    /// off when a shared cache is configured (the cache *is* the restored
+    /// state), mirroring the unsharded pipeline's restore rule.
+    restore_checkpoint: bool,
 }
 
 /// How a row-sharded [`DistributedEngine`] reaches its slice workers.
@@ -435,6 +445,8 @@ impl DistributedEngine {
         options: PipelineOptions,
         transport: Box<dyn Transport>,
     ) -> Self {
+        let checkpoint_path = options.checkpoint_path.clone();
+        let restore_checkpoint = options.shared_cache.is_none();
         DistributedEngine {
             model,
             method: method.clone(),
@@ -442,6 +454,8 @@ impl DistributedEngine {
             transport,
             compiled_cache: None,
             sharded: None,
+            checkpoint_path,
+            restore_checkpoint,
         }
     }
 
@@ -509,6 +523,9 @@ struct ShardTotals {
     exchange_rounds: u64,
     states: Option<usize>,
     shard_states: Vec<usize>,
+    retries: u64,
+    recovered_faults: u64,
+    resumed_rounds: u64,
 }
 
 impl ShardTotals {
@@ -520,6 +537,45 @@ impl ShardTotals {
         self.states = self.states.or(Some(out.num_states));
         // Snapshot of the *current* session: shrinks if a worker was lost.
         self.shard_states.clone_from(&out.shard_states);
+        self.retries += out.disconnects as u64;
+        self.recovered_faults += out.recovered_faults;
+        self.resumed_rounds += out.resumed_rounds;
+    }
+}
+
+/// Snapshot cadence of checkpointed sharded solves, in exchange rounds: low
+/// enough that a killed master redoes at most a few rounds per point, high
+/// enough that the pure-read `TermReq` sweep stays a rounding error next to
+/// the per-round halo exchange.
+const SHARD_SNAPSHOT_EVERY: u64 = 8;
+
+/// Crash-recovery plumbing of one sharded solve: the per-point checkpoint
+/// writer, the mid-point snapshot sidecar, and (after a crash) the snapshot
+/// the previous run left — consumed by the first measure whose transform key
+/// matches.  With no checkpoint configured the context is inert and sharded
+/// solves behave exactly as before.
+struct ShardRecoveryCtx {
+    writer: Option<CheckpointWriter>,
+    snapshot_path: Option<PathBuf>,
+    seed: Option<checkpoint::ShardSnapshot>,
+}
+
+impl ShardRecoveryCtx {
+    fn open(path: Option<&PathBuf>) -> std::io::Result<ShardRecoveryCtx> {
+        let Some(path) = path else {
+            return Ok(ShardRecoveryCtx {
+                writer: None,
+                snapshot_path: None,
+                seed: None,
+            });
+        };
+        let snapshot_path = checkpoint::shard_snapshot_path(path);
+        let seed = checkpoint::ShardSnapshot::load(&snapshot_path)?;
+        Ok(ShardRecoveryCtx {
+            writer: Some(CheckpointWriter::open(path)?),
+            snapshot_path: Some(snapshot_path),
+            seed,
+        })
     }
 }
 
@@ -534,11 +590,12 @@ fn fleet_eval(
     spec: &TransformSpec,
     s_points: &[Complex64],
     totals: &mut ShardTotals,
+    ctx: &mut ShardRecoveryCtx,
 ) -> Result<(Vec<Complex64>, usize, usize), EngineError> {
     let key = spec
         .encode()
         .map_err(|e| EngineError::Analysis(e.to_string()))?;
-    let cached = memo.entry(key).or_default();
+    let cached = memo.entry(key.clone()).or_default();
     let missing: Vec<Complex64> = s_points
         .iter()
         .copied()
@@ -546,8 +603,33 @@ fn fleet_eval(
         .collect();
     let shared = s_points.len() - missing.len();
     if !missing.is_empty() {
+        // A snapshot from a killed run is only offered to its own measure;
+        // anything else keeps it for a later fleet_eval call.
+        let seed = if ctx.seed.as_ref().is_some_and(|snap| snap.key == key) {
+            ctx.seed.take()
+        } else {
+            None
+        };
+        let mut writer = ctx.writer.as_mut();
+        let mut record = |s: Complex64, value: Complex64| -> std::io::Result<()> {
+            match writer.as_mut() {
+                Some(w) => w.record_tagged(&key, s, value),
+                None => Ok(()),
+            }
+        };
+        let mut recovery = SolveRecovery {
+            key: key.clone(),
+            snapshot_path: ctx.snapshot_path.clone(),
+            snapshot_every: if ctx.snapshot_path.is_some() {
+                SHARD_SNAPSHOT_EVERY
+            } else {
+                0
+            },
+            seed,
+            on_value: Some(&mut record),
+        };
         let out = fleet
-            .solve(spec, &missing)
+            .solve_recoverable(spec, &missing, &mut recovery)
             .map_err(|e| EngineError::Analysis(e.to_string()))?;
         for (&s, &value) in missing.iter().zip(&out.values) {
             cached.insert(s, value);
@@ -601,6 +683,24 @@ impl DistributedEngine {
         };
         let mut local_indices: Vec<usize> = Vec::new();
 
+        // Crash recovery: open the per-point checkpoint writer and pick up any
+        // mid-point iterate snapshot a killed run left behind, then pre-seed
+        // the memo with every value already on disk so a restarted solve only
+        // redoes the points the crash interrupted.
+        let mut ctx = ShardRecoveryCtx::open(self.checkpoint_path.as_ref())
+            .map_err(|e| EngineError::Analysis(format!("checkpoint I/O error: {e}")))?;
+        let mut restored = 0usize;
+        if self.restore_checkpoint {
+            if let Some(path) = &self.checkpoint_path {
+                let shards = checkpoint::load_checkpoint_by_measure(path)
+                    .map_err(|e| EngineError::Analysis(format!("checkpoint I/O error: {e}")))?;
+                for (key, values) in shards {
+                    restored += values.len();
+                    memo.insert(key, values);
+                }
+            }
+        }
+
         // 1. Passage measures run on the fleet: curves evaluate their union
         //    plan once per distinct transform, quantiles refine through
         //    repeated CDF rounds on the *same* resident sessions (slices
@@ -611,8 +711,14 @@ impl DistributedEngine {
             let report = match &request.kind {
                 MeasureKind::Density | MeasureKind::Cdf => {
                     let plan = SPointPlan::new(self.method.clone(), &request.t_points);
-                    let (at_s, evaluated, shared) =
-                        fleet_eval(fleet, &mut memo, &spec, plan.s_points(), &mut totals)?;
+                    let (at_s, evaluated, shared) = fleet_eval(
+                        fleet,
+                        &mut memo,
+                        &spec,
+                        plan.s_points(),
+                        &mut totals,
+                        &mut ctx,
+                    )?;
                     let mut shard = TransformValues::new();
                     for (&s, &value) in plan.s_points().iter().zip(&at_s) {
                         shard.insert(s, value);
@@ -640,8 +746,14 @@ impl DistributedEngine {
                     let found =
                         quantiles_from_cdf(probs, initial, max_horizon, &mut |ts: &[f64]| {
                             let plan = SPointPlan::new(self.method.clone(), ts);
-                            let (at_s, evaluated, shared) =
-                                fleet_eval(fleet, &mut memo, &spec, plan.s_points(), &mut totals)?;
+                            let (at_s, evaluated, shared) = fleet_eval(
+                                fleet,
+                                &mut memo,
+                                &spec,
+                                plan.s_points(),
+                                &mut totals,
+                                &mut ctx,
+                            )?;
                             evaluations += evaluated;
                             shared_hits += shared;
                             let mut shard = TransformValues::new();
@@ -739,6 +851,10 @@ impl DistributedEngine {
                 .clone_from(&totals.shard_states);
             first.provenance.model_cache_hits = model_hits;
             first.provenance.model_cache_misses = model_misses;
+            first.provenance.cache_hits += restored;
+            first.provenance.retries = totals.retries;
+            first.provenance.recovered_faults = totals.recovered_faults;
+            first.provenance.resumed_rounds = totals.resumed_rounds;
         }
         Ok(reports)
     }

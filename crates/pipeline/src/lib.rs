@@ -88,7 +88,7 @@ pub mod work;
 pub mod worker;
 
 pub use batch::{BatchJob, BatchResult, MeasureKind, MeasureResult, MeasureSpec};
-pub use client::{QueryClient, QueryError};
+pub use client::{query_with_retry, QueryClient, QueryError, RetryPolicy};
 pub use engine::{
     uniformization_applies, AnalyticEngine, DistributedEngine, PhaseChainCache, ShardBackend,
     SimulationEngine, SimulationOptions, UniformizationEngine,
@@ -98,18 +98,19 @@ pub use master::{
 };
 pub use metrics::{run_scalability_sweep, ScalabilityRow};
 pub use server::{
-    PoolSpec, QueryReply, QueryRequest, QueryServer, QueryServerOptions, Refusal, RefusalKind,
-    SHUTDOWN_ACK, SHUTDOWN_REQUEST,
+    PoolHealth, PoolSpec, QueryReply, QueryRequest, QueryServer, QueryServerOptions, Refusal,
+    RefusalKind, SHUTDOWN_ACK, SHUTDOWN_REQUEST,
 };
 pub use shard::{
-    serve_slices, LoopbackSlice, ShardedOutcome, SliceChannel, SliceFleet, SliceServeSummary,
-    SliceWorkerSession, TcpSliceChannel,
+    serve_slices, FaultyChannel, LoopbackSlice, ShardedOutcome, SliceChannel, SliceFleet,
+    SliceServeSummary, SliceWorkerSession, SolveRecovery, TcpSliceChannel,
 };
 pub use transform::{
     model_fingerprint, CompareOp, CompiledModelSet, CompiledSetCache, DistSpec, ModelSpec,
     ResolveTarget, TargetResolveError, TargetSpec, TransformSpec,
 };
 pub use transport::{
-    run_tcp_worker, InProcess, SimulatedLatency, TcpTransport, TcpWorkerOptions, TcpWorkerSummary,
-    Transport, TransportReport,
+    run_tcp_worker, splitmix64, Backoff, FaultKind, FaultPlan, FaultyStream, FaultyTransport,
+    InProcess, SimulatedLatency, TcpTransport, TcpWorkerOptions, TcpWorkerSummary, Transport,
+    TransportReport,
 };

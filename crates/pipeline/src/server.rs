@@ -63,11 +63,12 @@ use crate::engine::{
 use crate::master::{PipelineError, PipelineOptions};
 use crate::transform::{CompiledSetCache, ModelSpec};
 use crate::transport::{
-    drive_connected_worker, encode_plan_specs, expect_hello, send_job, ExecutionPlan,
+    drive_connected_worker, encode_plan_specs, expect_hello, send_job, splitmix64, ExecutionPlan,
     HandlerOutcome, InProcess, Transport, TransportReport,
 };
 use crate::wire::{
-    decode_f64, decode_str, encode_f64, encode_str, read_payload, write_payload, WireError,
+    decode_f64, decode_str, encode_f64, encode_str, read_frame, read_payload, write_frame,
+    write_payload, Frame, WireError,
 };
 use crate::work::WorkQueue;
 use crate::worker::WorkerMessage;
@@ -78,7 +79,7 @@ use smp_core::query::{
 };
 use smp_laplace::InversionMethod;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
@@ -95,6 +96,40 @@ pub const SHUTDOWN_ACK: &str = "bye v=1";
 /// enough for any realistic solve, short enough that a vanished peer cannot
 /// pin a thread forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Read timeout while a heartbeat waits for a pong: a crashed worker answers
+/// with EOF instantly, so this only bounds a wedged-but-connected one.
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Idle-loop iterations (20 ms sleeps) between heartbeat sweeps — about one
+/// sweep per second, counted rather than clocked.
+const HEARTBEAT_IDLE_TICKS: u64 = 50;
+
+/// Outcome of one standing-pool heartbeat sweep
+/// ([`QueryServer::heartbeat_workers`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Idle workers pinged this sweep.
+    pub checked: usize,
+    /// Workers that failed to echo the ping nonce and were dropped.
+    pub dead: usize,
+    /// Replacement workers accepted onto vacant rendezvous listeners.
+    pub replaced: usize,
+}
+
+/// One non-blocking accept on a vacant worker rendezvous listener: a dialing
+/// replacement is handshaken and adopted; nobody waiting is not an error.
+fn accept_replacement(listener: &TcpListener, id: usize) -> Option<PoolWorker> {
+    listener.set_nonblocking(true).ok()?;
+    let accepted = listener.accept();
+    let _ = listener.set_nonblocking(false);
+    let (mut stream, _) = accepted.ok()?;
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).ok()?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).ok()?;
+    expect_hello(&mut stream).ok()?;
+    Some(PoolWorker { id, stream })
+}
 
 fn malformed(message: impl Into<String>) -> WireError {
     WireError::Malformed {
@@ -439,7 +474,8 @@ fn encode_provenance(p: &Provenance) -> String {
     format!(
         "prov engine={} backend={} workers={} states={states} messages={} bytes={} \
          evaluations={} rebuilds={} pooled={} cache={} shared={} wall_ns={} bound={bound} \
-         queue_ns={} mhits={} mmiss={} shards={} sstates={shard_states} halo={} rounds={}",
+         queue_ns={} mhits={} mmiss={} shards={} sstates={shard_states} halo={} rounds={} \
+         retries={} recovered={} resumed={}",
         encode_str(p.engine),
         encode_str(&p.backend),
         p.workers,
@@ -457,6 +493,9 @@ fn encode_provenance(p: &Provenance) -> String {
         p.shards,
         p.halo_bytes,
         p.exchange_rounds,
+        p.retries,
+        p.recovered_faults,
+        p.resumed_rounds,
     )
 }
 
@@ -534,6 +573,21 @@ fn decode_provenance(line: &str) -> Result<Provenance, WireError> {
         text.parse()
             .map_err(|_| malformed(format!("exchange-round count '{text}' is not an integer")))?
     };
+    let retries: u64 = {
+        let text = kv(&mut tokens, "retries")?;
+        text.parse()
+            .map_err(|_| malformed(format!("retry count '{text}' is not an integer")))?
+    };
+    let recovered_faults: u64 = {
+        let text = kv(&mut tokens, "recovered")?;
+        text.parse()
+            .map_err(|_| malformed(format!("recovered-fault count '{text}' is not an integer")))?
+    };
+    let resumed_rounds: u64 = {
+        let text = kv(&mut tokens, "resumed")?;
+        text.parse()
+            .map_err(|_| malformed(format!("resumed-round count '{text}' is not an integer")))?
+    };
     Ok(Provenance {
         engine,
         backend,
@@ -555,6 +609,9 @@ fn decode_provenance(line: &str) -> Result<Provenance, WireError> {
         shard_states,
         halo_bytes,
         exchange_rounds,
+        retries,
+        recovered_faults,
+        resumed_rounds,
     })
 }
 
@@ -794,6 +851,12 @@ struct ServerShared {
     max_queued: usize,
     solve_shards: usize,
     shutdown: AtomicBool,
+    /// Monotonic heartbeat counter — each sweep's ping nonces are derived
+    /// from it (clock-free, so nonce streams replay deterministically).
+    heartbeats: AtomicU64,
+    /// Pool workers culled by a heartbeat and replaced by a fresh dial-in,
+    /// folded into the next answered query's `recovered_faults` provenance.
+    pool_recovered: AtomicU64,
 }
 
 /// The std condvar API returns `LockResult`s; the vendored `parking_lot`
@@ -1263,6 +1326,11 @@ fn answer_query(shared: &Arc<ServerShared>, request: &QueryRequest) -> QueryRepl
                 first.provenance.queue_wait = queue_wait;
                 first.provenance.model_cache_hits += memo_hits;
                 first.provenance.model_cache_misses += memo_misses;
+                // Pool workers the heartbeat culled and replaced since the
+                // last answer: surfaced here so recovery is visible to the
+                // client that next touches the pool.
+                first.provenance.recovered_faults +=
+                    shared.pool_recovered.swap(0, Ordering::Relaxed);
             }
             for report in &mut reports {
                 // Every grid point served from the warm result cache (or
@@ -1312,13 +1380,18 @@ impl QueryServer {
     /// Binds the query listener and (for a TCP pool) one worker rendezvous
     /// listener per configured address.  Workers are not yet attached — call
     /// [`QueryServer::attach_workers`] before [`QueryServer::run`].
+    ///
+    /// Every listener is bound with `SO_REUSEADDR` (see
+    /// [`crate::transport`]'s crash-restart binding): a daemon restarted
+    /// after a crash reclaims its advertised addresses immediately instead
+    /// of waiting out its predecessor's `TIME_WAIT` quarantine.
     pub fn bind(options: QueryServerOptions) -> std::io::Result<QueryServer> {
-        let listener = TcpListener::bind(options.listen.as_str())?;
+        let listener = crate::transport::bind_reusable_to(options.listen.as_str())?;
         let (worker_listeners, pool_size, inproc_workers, initial_pool) = match &options.pool {
             PoolSpec::Tcp(addrs) => {
                 let mut listeners = Vec::with_capacity(addrs.len());
                 for addr in addrs {
-                    listeners.push(TcpListener::bind(addr.as_str())?);
+                    listeners.push(crate::transport::bind_reusable_to(addr.as_str())?);
                 }
                 let size = listeners.len();
                 // The pool slot stays `None` until attach_workers fills it;
@@ -1349,6 +1422,8 @@ impl QueryServer {
             max_queued: options.max_queued,
             solve_shards: options.solve_shards,
             shutdown: AtomicBool::new(false),
+            heartbeats: AtomicU64::new(0),
+            pool_recovered: AtomicU64::new(0),
         });
         Ok(QueryServer {
             listener,
@@ -1392,12 +1467,72 @@ impl QueryServer {
         Ok(attached)
     }
 
+    /// Pings every *idle* pool worker and culls those that fail to echo the
+    /// nonce, then re-accepts replacement workers on the vacated rendezvous
+    /// listeners (non-blocking: a replacement attaches on whichever later
+    /// sweep finds it dialing).  A no-op for an in-process pool or while a
+    /// solve holds the pool checked out — heartbeats never contend with
+    /// work.  Replacements are folded into the next answered query's
+    /// `recovered_faults` provenance.
+    pub fn heartbeat_workers(&self) -> PoolHealth {
+        let mut health = PoolHealth::default();
+        if self.worker_listeners.is_empty() {
+            return health;
+        }
+        let workers = {
+            let mut slot = self.shared.pool.lock();
+            match slot.take() {
+                Some(workers) => workers,
+                None => return health, // a solve holds the pool
+            }
+        };
+        let mut live = Vec::with_capacity(workers.len());
+        for mut worker in workers {
+            health.checked += 1;
+            let tick = self.shared.heartbeats.fetch_add(1, Ordering::Relaxed);
+            let nonce = splitmix64(tick ^ ((worker.id as u64) << 32));
+            // A kill -9'd worker answers the ping with EOF immediately; the
+            // short timeout only bounds a *hung* (connected but wedged) one.
+            let _ = worker.stream.set_read_timeout(Some(HEARTBEAT_TIMEOUT));
+            let healthy = write_frame(&mut worker.stream, &Frame::Ping { nonce }).is_ok()
+                && matches!(
+                    read_frame(&mut worker.stream),
+                    Ok((Frame::Pong { nonce: echoed }, _)) if echoed == nonce
+                );
+            let _ = worker.stream.set_read_timeout(Some(IO_TIMEOUT));
+            if healthy {
+                live.push(worker);
+            } else {
+                health.dead += 1;
+            }
+        }
+        // Every vacant rendezvous slot — vacated by this sweep or by a solve
+        // that dropped an out-of-sync worker — offers itself to a dialing
+        // replacement.
+        for (id, listener) in self.worker_listeners.iter().enumerate() {
+            if live.iter().any(|w| w.id == id) {
+                continue;
+            }
+            if let Some(worker) = accept_replacement(listener, id) {
+                live.push(worker);
+                health.replaced += 1;
+            }
+        }
+        self.shared
+            .pool_recovered
+            .fetch_add(health.replaced as u64, Ordering::Relaxed);
+        self.shared.return_pool(live);
+        health
+    }
+
     /// Serves queries until a client sends [`SHUTDOWN_REQUEST`], then drains
     /// the in-flight solves and returns.  Each accepted connection gets its
     /// own thread; the solve concurrency cap is the admission controller,
-    /// not the thread count.
+    /// not the thread count.  Between accepts the idle loop heartbeats the
+    /// standing worker pool about once a second.
     pub fn run(&self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let mut idle_ticks = 0u64;
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -1411,6 +1546,10 @@ impl QueryServer {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if self.shared.shutdown.load(Ordering::SeqCst) {
                         break;
+                    }
+                    idle_ticks += 1;
+                    if idle_ticks.is_multiple_of(HEARTBEAT_IDLE_TICKS) {
+                        self.heartbeat_workers();
                     }
                     std::thread::sleep(Duration::from_millis(20));
                 }
@@ -1642,6 +1781,8 @@ mod tests {
             max_queued,
             solve_shards: 0,
             shutdown: AtomicBool::new(false),
+            heartbeats: AtomicU64::new(0),
+            pool_recovered: AtomicU64::new(0),
         }
     }
 

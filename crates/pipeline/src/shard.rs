@@ -37,6 +37,7 @@
 //! same legacy local fallback, and every float crosses the wire as its exact
 //! bit pattern.
 
+use crate::checkpoint::ShardSnapshot;
 use crate::master::PipelineError;
 use crate::transform::{CompiledModelSet, ResolveTarget, TransformSpec};
 use crate::wire::{self, Frame, WIRE_VERSION};
@@ -147,6 +148,39 @@ impl SliceWorkerSession {
             Frame::Halo { id, r, entries } => {
                 self.ws.apply_halo(entries).map_err(|e| e.to_string())?;
                 self.ws.step();
+                Ok(Some(self.state_frame(*id, *r)))
+            }
+            // A pure read of the current iterate: this shard's owned rows
+            // keyed by global index.  Taking a snapshot can therefore never
+            // perturb the solve — cadence choices cannot change values.
+            Frame::TermReq { id, r } => {
+                let mut entries = Vec::new();
+                self.ws.save_term(&mut entries);
+                Ok(Some(Frame::Term {
+                    id: *id,
+                    r: *r,
+                    entries,
+                }))
+            }
+            // Mid-point resume: refill the matrix for `s`, load the owned
+            // slice of the checkpointed global term vector (rows outside this
+            // shard's block are skipped — the snapshot is shard-count
+            // independent), and answer a round-`r` state.  The master ignores
+            // the targets and quiet flag (the fold resumes from the
+            // checkpoint) and uses only the exports to seed round `r + 1`'s
+            // halo.
+            Frame::Restore { id, r, s, entries } => {
+                if !self.ws.refill(*s) {
+                    return Ok(Some(Frame::SState {
+                        id: *id,
+                        r: *r,
+                        faithful: false,
+                        quiet: false,
+                        targets: Vec::new(),
+                        exports: Vec::new(),
+                    }));
+                }
+                self.ws.load_term(entries).map_err(|e| e.to_string())?;
                 Ok(Some(self.state_frame(*id, *r)))
             }
             other => Err(format!("unexpected frame in a slice session: {other:?}")),
@@ -399,6 +433,87 @@ impl SliceChannel for TcpSliceChannel {
     }
 }
 
+/// A [`SliceChannel`] wrapper that injects a [`FaultPlan`]'s faults into the
+/// master→worker direction, one plan consult per sent frame.
+///
+/// * `Drop` — the frame vanishes: the worker never sees it.  TCP cannot lose
+///   one frame and stay healthy, so the drop poisons the channel's receive
+///   side: every later `recv` times out, exactly as a stalled peer would,
+///   and the fleet re-shards around the link.  (Without the poison, dropping
+///   a frame that expects no reply — a `SliceRoute` — would leave the worker
+///   on a stale route and corrupt values *silently*.)
+/// * `CorruptByte` — the frame's wire bytes are corrupted and *proven to be
+///   refused* by the frame reader (the checksum at work), then surfaced as
+///   the `InvalidData` error the receiving end would raise.
+/// * `Disconnect` — the channel dies with `ConnectionAborted`.
+/// * `Delay` — the frame is late but intact.
+///
+/// Every outcome funnels into the fleet's existing lost-worker recovery, so
+/// a chaos schedule exercises exactly the re-shard/resume paths a real flaky
+/// network would.  The plan is shared (`Arc<Mutex>`) so one schedule can
+/// address a whole fleet's channels with a single op counter.
+pub struct FaultyChannel {
+    inner: Box<dyn SliceChannel>,
+    plan: Arc<std::sync::Mutex<crate::transport::FaultPlan>>,
+    stalled: bool,
+}
+
+impl FaultyChannel {
+    /// Wraps a channel with a shared fault plan.
+    pub fn new(
+        inner: Box<dyn SliceChannel>,
+        plan: Arc<std::sync::Mutex<crate::transport::FaultPlan>>,
+    ) -> FaultyChannel {
+        FaultyChannel {
+            inner,
+            plan,
+            stalled: false,
+        }
+    }
+}
+
+impl SliceChannel for FaultyChannel {
+    fn send(&mut self, frame: &Frame) -> io::Result<u64> {
+        use crate::transport::FaultKind;
+        let kind = match self.plan.lock() {
+            Ok(mut plan) => plan.next_op(),
+            Err(_) => FaultKind::Pass,
+        };
+        match kind {
+            FaultKind::Pass => self.inner.send(frame),
+            FaultKind::Delay { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.send(frame)
+            }
+            FaultKind::DropFrame => {
+                // The sender believes the frame shipped; the worker never
+                // sees it, and the link is now out of sync for good.
+                self.stalled = true;
+                wire::frame_wire_size(frame).map_err(|e| invalid(e.to_string()))
+            }
+            FaultKind::Disconnect => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "slice link killed by fault plan",
+            )),
+            FaultKind::CorruptByte { xor } => {
+                // The wire layer must refuse the corrupted bytes; surface its
+                // refusal as this channel's failure.
+                Err(crate::transport::prove_corruption_detected(frame, xor))
+            }
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<(Frame, u64)> {
+        if self.stalled {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "peer never received a dropped frame; session stalled",
+            ));
+        }
+        self.inner.recv()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Master side
 // ---------------------------------------------------------------------------
@@ -432,6 +547,33 @@ pub struct ShardedOutcome {
     pub shard_nnz: Vec<usize>,
     /// Restricted LST-pool sizes per shard.
     pub shard_dists: Vec<usize>,
+    /// Injected or organic channel faults the solve absorbed (re-shards and
+    /// mid-point resumes) without changing its values.
+    pub recovered_faults: u64,
+    /// Exchange rounds *not* redone thanks to mid-point snapshot resumes —
+    /// each resume contributes the round it restarted from.
+    pub resumed_rounds: u64,
+}
+
+/// Crash-recovery knobs for [`SliceFleet::solve_recoverable`] — all off by
+/// default, in which case it behaves exactly like [`SliceFleet::solve`].
+#[derive(Default)]
+pub struct SolveRecovery<'a> {
+    /// The measure's transform key, stamped into snapshots so a restarted
+    /// run never resumes a different measure's iterate.
+    pub key: String,
+    /// Sidecar file for on-disk snapshots (`None` keeps them in memory only,
+    /// which still covers lost-worker resume within one master process).
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Snapshot cadence in exchange rounds; `0` disables snapshots.
+    pub snapshot_every: u64,
+    /// A snapshot recovered from a previous (killed) run; consumed by the
+    /// first point whose `(key, s)` matches bitwise.
+    pub seed: Option<ShardSnapshot>,
+    /// Called with `(s, value)` as each point completes — the incremental
+    /// checkpoint hook.  An `Err` aborts the solve.
+    #[allow(clippy::type_complexity)]
+    pub on_value: Option<&'a mut dyn FnMut(Complex64, Complex64) -> io::Result<()>>,
 }
 
 /// One channel plus the number of response frames the master has asked of it
@@ -452,7 +594,11 @@ impl Slot {
         }
         if matches!(
             frame,
-            Frame::SliceJob { .. } | Frame::SPoint { .. } | Frame::Halo { .. }
+            Frame::SliceJob { .. }
+                | Frame::SPoint { .. }
+                | Frame::Halo { .. }
+                | Frame::TermReq { .. }
+                | Frame::Restore { .. }
         ) {
             self.pending += 1;
         }
@@ -572,6 +718,22 @@ impl SliceFleet {
         spec: &TransformSpec,
         s_points: &[Complex64],
     ) -> Result<ShardedOutcome, PipelineError> {
+        self.solve_recoverable(spec, s_points, &mut SolveRecovery::default())
+    }
+
+    /// [`solve`](SliceFleet::solve) with crash recovery: mid-point snapshots
+    /// at a fixed round cadence (in memory, and — when a path is given — on
+    /// disk), a seed snapshot from a previous killed run consumed by its
+    /// matching point, and a per-value callback for incremental
+    /// checkpointing.  Recovery never changes values: a resumed point holds
+    /// bitwise the iterate the interrupted run held, so the fold converges to
+    /// bitwise the fault-free answer.
+    pub fn solve_recoverable(
+        &mut self,
+        spec: &TransformSpec,
+        s_points: &[Complex64],
+        recovery: &mut SolveRecovery<'_>,
+    ) -> Result<ShardedOutcome, PipelineError> {
         let mut divisions = 0usize;
         let mut inner = spec;
         while let TransformSpec::CdfOf(next) = inner {
@@ -591,21 +753,61 @@ impl SliceFleet {
             values: Vec::with_capacity(s_points.len()),
             ..ShardedOutcome::default()
         };
+        let key = recovery.key.clone();
+        let path = recovery.snapshot_path.clone();
+        let every = recovery.snapshot_every;
         let mut session = self.handshake(&spec_line, &mut out)?;
         let mut index = 0;
+        // The in-memory snapshot of the in-flight point, refreshed at the
+        // cadence.  A lost worker resumes the point from here (on the
+        // re-sharded fleet — snapshots are shard-count independent) instead
+        // of redoing it from round 0.
+        let mut latest: Option<ShardSnapshot> = None;
         while index < s_points.len() {
             let s = s_points[index];
-            match run_point(
+            if latest.is_none()
+                && recovery.seed.as_ref().is_some_and(|seed| {
+                    seed.key == key
+                        && seed.s.re.to_bits() == s.re.to_bits()
+                        && seed.s.im.to_bits() == s.im.to_bits()
+                })
+            {
+                // The previous run died while solving exactly this point:
+                // pick up its iterate instead of starting cold.
+                latest = recovery.seed.take();
+            }
+            let resume = latest.clone();
+            let mut fresh: Option<ShardSnapshot> = None;
+            let mut sink = |mut snap: ShardSnapshot| -> io::Result<()> {
+                snap.key = key.clone();
+                if let Some(path) = &path {
+                    snap.save(path)?;
+                }
+                fresh = Some(snap);
+                Ok(())
+            };
+            let outcome = run_point(
                 &mut self.slots,
                 &session,
                 index as u64,
                 s,
                 options,
                 divisions,
+                resume.as_ref(),
+                every,
+                &mut sink,
                 &mut out,
-            ) {
+            );
+            if let Some(snap) = fresh {
+                latest = Some(snap);
+            }
+            match outcome {
                 Ok(Some(value)) => {
+                    if let Some(on_value) = recovery.on_value.as_mut() {
+                        on_value(s, value).map_err(PipelineError::Io)?;
+                    }
                     out.values.push(value);
+                    latest = None;
                     index += 1;
                 }
                 Ok(None) => {
@@ -614,29 +816,50 @@ impl SliceFleet {
                     // the unsharded workspace path falls back to.
                     let value = fallback_eval(&mut self.fallback, spec, s)?;
                     out.fallback_points += 1;
+                    if let Some(on_value) = recovery.on_value.as_mut() {
+                        on_value(s, value).map_err(PipelineError::Io)?;
+                    }
                     out.values.push(value);
+                    latest = None;
                     index += 1;
                 }
                 Err(PointError::Hard(e)) => return Err(e),
                 Err(PointError::Channel(k, cause)) => {
                     self.slots.remove(k);
                     out.disconnects += 1;
+                    out.recovered_faults += 1;
                     session = self.handshake(&spec_line, &mut out).map_err(|e| {
                         transport(format!("{e} (worker {k} lost mid-point: {cause})"))
                     })?;
-                    // Redo the same point on the re-sharded fleet.
+                    // Redo the same point on the re-sharded fleet — resuming
+                    // from `latest` if a snapshot of it exists.
                 }
             }
         }
         self.end_session(&mut out);
         let _ = session;
+        if let Some(path) = &path {
+            // Clean completion: the sidecar must not seed a future run with a
+            // point this run already finished (those live in the checkpoint
+            // proper).
+            let _ = ShardSnapshot::remove(path);
+        }
         Ok(out)
     }
 
     /// Releases the fleet: a best-effort outer-level [`Frame::Done`] so TCP
     /// worker processes exit cleanly, then drops every channel.
+    ///
+    /// `Done` is sent *twice* per channel: if a worker is still inside a
+    /// slice session (a solve that errored out mid-run never sent the
+    /// session-level farewell), the first `Done` ends the session and the
+    /// second is the outer-level farewell its reconnect loop exits on.  A
+    /// worker already at the outer loop consumes the first and never reads
+    /// the second — either way it sees an explicit farewell, which is the
+    /// one signal a `--reconnect` worker will not redial after.
     pub fn release(&mut self) {
         for slot in &mut self.slots {
+            let _ = slot.channel.send(&Frame::Done);
             let _ = slot.channel.send(&Frame::Done);
         }
         self.slots.clear();
@@ -823,6 +1046,15 @@ fn assemble_halo(
 
 /// Drives one `s`-point through the fleet.  `Ok(None)` means some slice's
 /// refill was unfaithful and the caller must evaluate the point locally.
+///
+/// With `resume`, the point restarts mid-iteration: every shard gets a
+/// [`Frame::Restore`] carrying the snapshot's global term vector (each loads
+/// only its owned rows), the fold resumes from the checkpointed
+/// `(total, quiet, last_delta)`, and iteration continues at `round + 1` —
+/// producing bitwise the value an uninterrupted run produces.  With
+/// `snapshot_every > 0`, a [`Frame::TermReq`] sweep (a pure read) captures
+/// the iterate every that-many rounds and hands it to `snapshot`.
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     slots: &mut [Slot],
     session: &SessionState,
@@ -830,30 +1062,69 @@ fn run_point(
     s: Complex64,
     options: IterationOptions,
     divisions: usize,
+    resume: Option<&ShardSnapshot>,
+    snapshot_every: u64,
+    snapshot: &mut dyn FnMut(ShardSnapshot) -> io::Result<()>,
     out: &mut ShardedOutcome,
 ) -> Result<Option<Complex64>, PointError> {
-    for (k, slot) in slots.iter_mut().enumerate() {
-        slot.send(&Frame::SPoint { id, s }, out)
-            .map_err(|e| PointError::Channel(k, e))?;
-    }
-    let mut faithful = true;
-    let mut initial = Complex64::ZERO;
-    let mut exports: Vec<Vec<(u32, Complex64)>> = vec![Vec::new(); session.shards];
-    for (k, slot) in slots.iter_mut().enumerate() {
-        let state = recv_state(slot, k, id, 0, out)?;
-        faithful &= state.faithful;
-        // Shard order is ascending state order: this accumulation is the
-        // exact fold sequence of the unsharded solver's init.
-        for value in &state.targets {
-            initial += *value;
+    let (mut fold, mut exports, start_round) = match resume {
+        None => {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                slot.send(&Frame::SPoint { id, s }, out)
+                    .map_err(|e| PointError::Channel(k, e))?;
+            }
+            let mut faithful = true;
+            let mut initial = Complex64::ZERO;
+            let mut exports: Vec<Vec<(u32, Complex64)>> = vec![Vec::new(); session.shards];
+            for (k, slot) in slots.iter_mut().enumerate() {
+                let state = recv_state(slot, k, id, 0, out)?;
+                faithful &= state.faithful;
+                // Shard order is ascending state order: this accumulation is
+                // the exact fold sequence of the unsharded solver's init.
+                for value in &state.targets {
+                    initial += *value;
+                }
+                exports[k] = state.exports;
+            }
+            if !faithful {
+                return Ok(None);
+            }
+            (ConvergenceFold::new(options, initial), exports, 0usize)
         }
-        exports[k] = state.exports;
-    }
-    if !faithful {
-        return Ok(None);
-    }
-    let mut fold = ConvergenceFold::new(options, initial);
-    for r in 1..=options.max_iterations {
+        Some(snap) => {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                slot.send(
+                    &Frame::Restore {
+                        id,
+                        r: snap.round,
+                        s,
+                        entries: snap.entries.clone(),
+                    },
+                    out,
+                )
+                .map_err(|e| PointError::Channel(k, e))?;
+            }
+            let mut exports: Vec<Vec<(u32, Complex64)>> = vec![Vec::new(); session.shards];
+            for (k, slot) in slots.iter_mut().enumerate() {
+                let state = recv_state(slot, k, id, snap.round, out)?;
+                if !state.faithful {
+                    return Ok(None);
+                }
+                // Targets and quiet flags of the restore-ack are ignored:
+                // the fold's state comes from the snapshot, and the ack's
+                // exports seed the next round's halo.
+                exports[k] = state.exports;
+            }
+            out.resumed_rounds += snap.round;
+            out.recovered_faults += 1;
+            (
+                ConvergenceFold::resume(options, snap.total, snap.quiet as usize, snap.last_delta),
+                exports,
+                snap.round as usize,
+            )
+        }
+    };
+    for r in (start_round + 1)..=options.max_iterations {
         out.exchange_rounds += 1;
         for (k, slot) in slots.iter_mut().enumerate() {
             let entries = assemble_halo(session, k, &exports);
@@ -883,6 +1154,49 @@ fn run_point(
                 value /= s;
             }
             return Ok(Some(value));
+        }
+        if snapshot_every > 0 && (r as u64).is_multiple_of(snapshot_every) {
+            // Capture the iterate *after* this round's fold: a TermReq sweep
+            // is a pure read on every shard, so the snapshot cadence cannot
+            // perturb the values.
+            for (k, slot) in slots.iter_mut().enumerate() {
+                slot.send(&Frame::TermReq { id, r: r as u64 }, out)
+                    .map_err(|e| PointError::Channel(k, e))?;
+            }
+            let mut entries = Vec::new();
+            for (k, slot) in slots.iter_mut().enumerate() {
+                match slot.recv(out).map_err(|e| PointError::Channel(k, e))? {
+                    Frame::Term {
+                        id: got_id,
+                        r: got_r,
+                        entries: shard_entries,
+                    } if got_id == id && got_r == r as u64 => {
+                        // Shards own disjoint ascending row blocks, so
+                        // extending in shard order keeps rows ascending.
+                        entries.extend(shard_entries);
+                    }
+                    Frame::Fatal { message } => {
+                        return Err(PointError::Hard(transport(format!(
+                            "slice worker {k}: {message}"
+                        ))))
+                    }
+                    other => {
+                        return Err(PointError::Hard(transport(format!(
+                            "expected a term snapshot from worker {k}, got {other:?}"
+                        ))))
+                    }
+                }
+            }
+            snapshot(ShardSnapshot {
+                key: String::new(), // stamped by the caller
+                s,
+                round: r as u64,
+                total: fold.total(),
+                quiet: fold.quiet_rounds() as u64,
+                last_delta: fold.last_delta(),
+                entries,
+            })
+            .map_err(|e| PointError::Hard(PipelineError::Io(e)))?;
         }
     }
     Err(PointError::Hard(PipelineError::Evaluation {
@@ -1022,6 +1336,154 @@ mod tests {
                 assert!(message.contains("passage"), "{message}");
             }
             other => panic!("expected a transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_cadence_never_perturbs_values_and_cleans_up_its_sidecar() {
+        let spec = voting_spec();
+        let expected = reference(&spec, &points());
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("smp-shard-resume-{}.shard", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // TermReq sweeps are pure reads: any cadence yields the same bits.
+        for every in [1u64, 2, 5] {
+            let mut fleet = SliceFleet::loopback(3);
+            let mut recovery = SolveRecovery {
+                key: "passage".to_string(),
+                snapshot_path: Some(path.clone()),
+                snapshot_every: every,
+                ..SolveRecovery::default()
+            };
+            let out = fleet
+                .solve_recoverable(&spec, &points(), &mut recovery)
+                .unwrap();
+            assert_eq!(out.values, expected, "cadence {every}");
+            // Clean completion removes the sidecar.
+            assert!(ShardSnapshot::load(&path).unwrap().is_none());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeded_mid_point_resume_matches_bitwise_on_a_different_shard_count() {
+        let spec = voting_spec();
+        let expected = reference(&spec, &points());
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("smp-shard-seed-{}.shard", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mid: Option<ShardSnapshot>;
+        {
+            // Kill the run after the second point: the sidecar then holds a
+            // snapshot of point 2 (if its iteration crossed the cadence).
+            let mut fleet = SliceFleet::loopback(3);
+            let mut seen = 0usize;
+            let mut on_value = |_s: Complex64, _v: Complex64| -> io::Result<()> {
+                seen += 1;
+                if seen == 3 {
+                    return Err(io::Error::other("simulated master kill"));
+                }
+                Ok(())
+            };
+            let mut recovery = SolveRecovery {
+                key: "passage".to_string(),
+                snapshot_path: Some(path.clone()),
+                snapshot_every: 2,
+                on_value: Some(&mut on_value),
+                ..SolveRecovery::default()
+            };
+            let err = fleet
+                .solve_recoverable(&spec, &points(), &mut recovery)
+                .unwrap_err();
+            assert!(matches!(err, PipelineError::Io(_)), "{err:?}");
+            mid = ShardSnapshot::load(&path).unwrap();
+        }
+        let seed = mid.expect("the killed run left a mid-point snapshot behind");
+        assert!(seed.round > 0 && !seed.entries.is_empty());
+        // Resume on a *different* shard count, seeding the snapshot — the
+        // values must be bitwise identical and the resume must skip rounds.
+        let mut fleet = SliceFleet::loopback(2);
+        let mut recovery = SolveRecovery {
+            key: "passage".to_string(),
+            snapshot_path: Some(path.clone()),
+            snapshot_every: 2,
+            seed: Some(seed.clone()),
+            ..SolveRecovery::default()
+        };
+        let out = fleet
+            .solve_recoverable(&spec, &points(), &mut recovery)
+            .unwrap();
+        assert_eq!(out.values, expected, "resume must not change any value");
+        assert_eq!(out.resumed_rounds, seed.round, "the resume skipped rounds");
+        assert!(out.recovered_faults > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lost_worker_resumes_from_the_in_memory_snapshot() {
+        let spec = voting_spec();
+        let expected = reference(&spec, &points());
+        // The failing worker dies well into the solve; with a snapshot
+        // cadence the redone point resumes mid-iteration instead of cold.
+        let mut fleet = SliceFleet::loopback_with_failure(3, 1, 9);
+        let mut recovery = SolveRecovery {
+            key: "passage".to_string(),
+            snapshot_every: 2,
+            ..SolveRecovery::default()
+        };
+        let out = fleet
+            .solve_recoverable(&spec, &points(), &mut recovery)
+            .unwrap();
+        assert_eq!(out.values, expected);
+        assert_eq!(out.disconnects, 1);
+        assert!(out.recovered_faults >= 1);
+        assert_eq!(fleet.shards(), 2);
+    }
+
+    #[test]
+    fn faulty_channels_recover_to_bitwise_identical_values() {
+        let spec = voting_spec();
+        let expected = reference(&spec, &points());
+        use crate::transport::{FaultKind, FaultPlan};
+        let schedules: Vec<FaultPlan> = vec![
+            FaultPlan::scripted([(11, FaultKind::DropFrame)]),
+            FaultPlan::scripted([(7, FaultKind::CorruptByte { xor: 0x40 })]),
+            FaultPlan::scripted([(19, FaultKind::Disconnect)]),
+            FaultPlan::scripted([
+                (5, FaultKind::CorruptByte { xor: 0x01 }),
+                (23, FaultKind::DropFrame),
+            ]),
+            // A background schedule needs a budget under the shard count to
+            // be survivable: each fault can cost the fleet one worker.
+            FaultPlan::seeded(0xfeed_beef, 37).with_budget(3),
+        ];
+        for plan in schedules {
+            let shared = Arc::new(std::sync::Mutex::new(plan));
+            let channels: Vec<Box<dyn SliceChannel>> = (0..4)
+                .map(|_| {
+                    Box::new(FaultyChannel::new(
+                        Box::new(LoopbackSlice::new()),
+                        Arc::clone(&shared),
+                    )) as Box<dyn SliceChannel>
+                })
+                .collect();
+            let mut fleet = SliceFleet::from_channels(channels);
+            let mut recovery = SolveRecovery {
+                key: "passage".to_string(),
+                snapshot_every: 2,
+                ..SolveRecovery::default()
+            };
+            let out = fleet
+                .solve_recoverable(&spec, &points(), &mut recovery)
+                .unwrap();
+            let injected = shared.lock().unwrap().injected();
+            assert_eq!(
+                out.values, expected,
+                "values must be bitwise identical under {injected} injected fault(s)"
+            );
+            if injected > 0 {
+                assert!(out.disconnects > 0, "faults must flow through recovery");
+            }
         }
     }
 

@@ -50,6 +50,14 @@ impl std::fmt::Debug for Evaluator<'_> {
     }
 }
 
+impl Clone for Evaluator<'_> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl Copy for Evaluator<'_> {}
+
 impl std::fmt::Debug for ExecutionPlan<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecutionPlan")
@@ -444,6 +452,107 @@ fn simulated_wire_bytes(message: &WorkerMessage) -> u64 {
 // TCP backend — master side
 // ---------------------------------------------------------------------------
 
+/// Binds a TCP listener with `SO_REUSEADDR` set *before* the bind — the
+/// crash-restart precondition of every fixed rendezvous endpoint.
+///
+/// A master killed mid-solve (`kill -9`) leaves its accepted sockets'
+/// `TIME_WAIT` entries parked on the listener's port; a plain
+/// `TcpListener::bind` by the restarted master is then refused with
+/// `EADDRINUSE` for up to a minute — longer than any reconnecting worker's
+/// redial budget.  Linux honours an immediate re-bind only when *both*
+/// generations of socket carry `SO_REUSEADDR` (accepted sockets inherit the
+/// flag from their listener), and the flag must be set between `socket()`
+/// and `bind()`, a window `std` does not expose — hence this small libc
+/// shim.  Non-Linux targets keep the plain bind.
+#[cfg(target_os = "linux")]
+pub(crate) fn bind_reusable(addr: &SocketAddr) -> std::io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    // `struct sockaddr_in` / `sockaddr_in6`, byte for byte: the family is a
+    // host-endian u16; ports, addresses and the v6 flow label travel in
+    // network byte order; the v6 scope id stays host-endian.
+    let (family, raw): (i32, Vec<u8>) = match addr {
+        SocketAddr::V4(v4) => {
+            let mut raw = Vec::with_capacity(16);
+            raw.extend_from_slice(&(AF_INET as u16).to_ne_bytes());
+            raw.extend_from_slice(&v4.port().to_be_bytes());
+            raw.extend_from_slice(&v4.ip().octets());
+            raw.resize(16, 0); // sin_zero padding
+            (AF_INET, raw)
+        }
+        SocketAddr::V6(v6) => {
+            let mut raw = Vec::with_capacity(28);
+            raw.extend_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            raw.extend_from_slice(&v6.port().to_be_bytes());
+            raw.extend_from_slice(&v6.flowinfo().to_be_bytes());
+            raw.extend_from_slice(&v6.ip().octets());
+            raw.extend_from_slice(&v6.scope_id().to_ne_bytes());
+            (AF_INET6, raw)
+        }
+    };
+
+    // SAFETY: the fd is owned by this function until `from_raw_fd` transfers
+    // it to the returned listener (or `close` reclaims it on error), and the
+    // sockaddr bytes outlive every call that reads them.
+    unsafe {
+        let fd = socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, (&one as *const i32).cast(), 4) != 0
+            || bind(fd, raw.as_ptr(), raw.len() as u32) != 0
+            || listen(fd, BACKLOG) != 0
+        {
+            let error = std::io::Error::last_os_error();
+            close(fd);
+            return Err(error);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Fallback for non-Linux targets: the portable bind, without the
+/// crash-restart `SO_REUSEADDR` guarantee.
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn bind_reusable(addr: &SocketAddr) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+/// [`bind_reusable`] over anything address-like: each candidate the name
+/// resolves to is tried in order, exactly as `TcpListener::bind` would.
+pub(crate) fn bind_reusable_to<A: ToSocketAddrs>(addr: A) -> std::io::Result<TcpListener> {
+    let mut last: Option<std::io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match bind_reusable(&candidate) {
+            Ok(listener) => return Ok(listener),
+            Err(error) => last = Some(error),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to no socket addresses",
+        )
+    }))
+}
+
 /// The bundle [`TcpTransport::accept_slice_channels`] returns: one
 /// handshaken channel per worker, plus the handshake's message and byte
 /// counts so the caller's wire accounting starts from the true totals.
@@ -477,10 +586,15 @@ impl TcpTransport {
     /// Binds one listener per address (use port `0` for an ephemeral port and
     /// read the real one back with [`TcpTransport::local_addrs`]).  Each
     /// listener serves exactly one worker connection per run.
+    ///
+    /// Listeners are bound with `SO_REUSEADDR` (see [`bind_reusable`]): a
+    /// master restarted after a crash re-binds its advertised rendezvous
+    /// endpoints immediately instead of waiting out its predecessor's
+    /// `TIME_WAIT` quarantine.
     pub fn bind<A: ToSocketAddrs>(addrs: &[A]) -> std::io::Result<TcpTransport> {
         let listeners: Vec<TcpListener> = addrs
             .iter()
-            .map(TcpListener::bind)
+            .map(bind_reusable_to)
             .collect::<std::io::Result<_>>()?;
         Ok(TcpTransport {
             listeners,
@@ -900,6 +1014,448 @@ fn serve_worker_connection(
 }
 
 // ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: the stateless mixing function under every deterministic
+/// decision in the fault layer (fault schedules, backoff jitter).  Keyed by
+/// `(seed, op counter)` or `(seed, attempt)` — never by a clock — so a
+/// failure schedule replays bit-for-bit on every run.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One scripted misbehaviour of the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No fault: the operation proceeds untouched.
+    Pass,
+    /// The frame/message vanishes in transit (the sender believes it went
+    /// out; the receiver never sees it).
+    DropFrame,
+    /// One payload byte is XORed with this (nonzero) mask after the checksum
+    /// was computed — the receiver must detect and refuse it.
+    CorruptByte {
+        /// The nonzero mask applied to one deterministic payload byte.
+        xor: u8,
+    },
+    /// The link dies at this operation (connection-aborted error).
+    Disconnect,
+    /// The operation is delayed by this many milliseconds, then proceeds —
+    /// models a congested or partitioned link that heals.
+    Delay {
+        /// Injected latency in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A deterministic, replayable schedule of faults, consulted once per
+/// intercepted operation.
+///
+/// Two layers compose: *scripted* ops (an explicit `op index → fault` map,
+/// for pinpoint tests) and a *seeded* background schedule (every op hashes
+/// `(seed, op counter)` through [`splitmix64`]; when the hash says "fault",
+/// the next hash bits pick the kind).  No wall clock, no OS entropy: the
+/// same plan over the same traffic injects the same faults in the same
+/// places, which is what lets the chaos matrix demand bitwise-identical
+/// results.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    scripted: std::collections::BTreeMap<u64, FaultKind>,
+    seeded: Option<(u64, u64)>,
+    budget: Option<u64>,
+    counter: u64,
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the fault-free control cell).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit `(op index, fault)` pairs; all other ops pass.
+    pub fn scripted(ops: impl IntoIterator<Item = (u64, FaultKind)>) -> FaultPlan {
+        FaultPlan {
+            scripted: ops.into_iter().collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A pseudo-random background schedule: roughly one op in `every` faults
+    /// (drop, corrupt or disconnect — never delay, which only scripts can
+    /// inject), decided purely by `splitmix64(seed ^ op)`.
+    pub fn seeded(seed: u64, every: u64) -> FaultPlan {
+        FaultPlan {
+            seeded: Some((seed, every.max(1))),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds one scripted op to any plan (builder style).
+    pub fn with_op(mut self, op: u64, kind: FaultKind) -> FaultPlan {
+        self.scripted.insert(op, kind);
+        self
+    }
+
+    /// Caps the total faults the plan will inject; ops past the budget pass
+    /// untouched.  A chaos schedule over an `n`-shard fleet needs a budget
+    /// `< n` to be survivable by construction — each injected fault can cost
+    /// at most one worker.
+    pub fn with_budget(mut self, budget: u64) -> FaultPlan {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Decides the fault for the next operation and advances the op counter.
+    pub fn next_op(&mut self) -> FaultKind {
+        let op = self.counter;
+        self.counter += 1;
+        if self.budget.is_some_and(|budget| self.injected >= budget) {
+            return FaultKind::Pass;
+        }
+        let kind = match self.scripted.get(&op) {
+            Some(&kind) => kind,
+            None => match self.seeded {
+                Some((seed, every)) if splitmix64(seed ^ op).is_multiple_of(every) => {
+                    let h = splitmix64(seed ^ op ^ 0x5bf0_3635);
+                    match h % 3 {
+                        0 => FaultKind::DropFrame,
+                        1 => FaultKind::CorruptByte {
+                            xor: ((h >> 8) as u8) | 1,
+                        },
+                        _ => FaultKind::Disconnect,
+                    }
+                }
+                _ => FaultKind::Pass,
+            },
+        };
+        if kind != FaultKind::Pass {
+            self.injected += 1;
+        }
+        kind
+    }
+
+    /// Operations consulted so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.counter
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+/// Proves that a frame with one payload byte flipped is *refused* by the
+/// frame reader, exactly as a receiver would refuse it on a real link.
+/// Returns the refusing error (panics if the corrupted bytes were accepted —
+/// that would mean the checksum failed at its one job).
+pub(crate) fn prove_corruption_detected(frame: &Frame, xor: u8) -> std::io::Error {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, frame).expect("encodable frame");
+    let header = crate::wire::FRAME_HEADER_BYTES as usize;
+    let payload_len = bytes.len() - header;
+    let index =
+        (header + (xor as usize).wrapping_mul(7919) % payload_len.max(1)).min(bytes.len() - 1);
+    bytes[index] ^= if xor == 0 { 0xff } else { xor };
+    match read_frame(&mut std::io::Cursor::new(bytes)) {
+        Err(error) => error,
+        Ok((decoded, _)) => panic!(
+            "injected corruption went undetected: flipped byte {index} yet decoded {decoded:?}"
+        ),
+    }
+}
+
+/// A [`Transport`] wrapper that injects the plan's faults into the message
+/// stream and then *recovers*: dropped, corrupted or disconnected result
+/// messages are requeued and re-executed on the inner transport until the
+/// plan is drained, so a run under faults produces exactly the messages a
+/// fault-free run produces (corrupted ones are first proven to be refused by
+/// the wire layer).  Requires a reusable inner transport (the in-process
+/// backends); the TCP path injects faults at the worker (`exit_after_chunks`)
+/// and slice-channel layers instead.
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: std::sync::Mutex<FaultPlan>,
+    recovered: std::sync::atomic::AtomicU64,
+    retried: std::sync::atomic::AtomicU64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps a transport with a fault plan.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            plan: std::sync::Mutex::new(plan),
+            recovered: std::sync::atomic::AtomicU64::new(0),
+            retried: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected *and absorbed* so far (each one re-executed to the
+    /// fault-free answer).
+    pub fn recovered_faults(&self) -> u64 {
+        self.recovered.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Work items re-executed because a fault swallowed their results.
+    pub fn retried_items(&self) -> u64 {
+        self.retried.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.inner.parallelism()
+    }
+
+    fn reusable(&self) -> bool {
+        self.inner.reusable()
+    }
+
+    fn execute(
+        &self,
+        plan: ExecutionPlan<'_>,
+        on_message: &mut dyn FnMut(WorkerMessage),
+    ) -> Result<TransportReport, PipelineError> {
+        let ExecutionPlan {
+            evaluators,
+            mut items,
+            chunk_size,
+            method,
+        } = plan;
+        let mut total: Option<TransportReport> = None;
+        // Each pass re-executes only the items whose results a fault
+        // swallowed; the plan keeps advancing (one consult per message), so
+        // a scripted schedule addresses retry traffic too.
+        loop {
+            let round = ExecutionPlan {
+                evaluators: evaluators.clone(),
+                items,
+                chunk_size,
+                method: method.clone(),
+            };
+            let mut swallowed: Vec<WorkItem> = Vec::new();
+            let report = self.inner.execute(round, &mut |message: WorkerMessage| {
+                let kind = match self.plan.lock() {
+                    Ok(mut plan) => plan.next_op(),
+                    Err(_) => FaultKind::Pass,
+                };
+                match kind {
+                    FaultKind::Pass => on_message(message),
+                    FaultKind::Delay { millis } => {
+                        std::thread::sleep(Duration::from_millis(millis));
+                        on_message(message);
+                    }
+                    FaultKind::CorruptByte { xor } => {
+                        // The corrupted bytes must be *refused* by the wire
+                        // layer — then recovery treats the message as lost.
+                        let frame = Frame::Result {
+                            message: message.clone(),
+                            busy_nanos: 0,
+                        };
+                        let _refusal = prove_corruption_detected(&frame, xor);
+                        self.recovered
+                            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        swallowed.extend(message.results.into_iter().map(|o| o.item));
+                    }
+                    FaultKind::DropFrame | FaultKind::Disconnect => {
+                        self.recovered
+                            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        swallowed.extend(message.results.into_iter().map(|o| o.item));
+                    }
+                }
+            })?;
+            total = Some(match total.take() {
+                None => report,
+                Some(mut sum) => {
+                    sum.worker_stats.extend(report.worker_stats);
+                    sum.messages += report.messages;
+                    sum.bytes_on_wire += report.bytes_on_wire;
+                    sum.disconnects += report.disconnects;
+                    sum.states = sum.states.or(report.states);
+                    sum.hotpath = sum.hotpath.merged(report.hotpath);
+                    sum.model_cache_hits += report.model_cache_hits;
+                    sum.model_cache_misses += report.model_cache_misses;
+                    sum
+                }
+            });
+            if swallowed.is_empty() {
+                return Ok(total.unwrap_or_default());
+            }
+            if !self.inner.reusable() {
+                return Err(transport_error(
+                    "fault plan swallowed results on a non-reusable transport; \
+                     nothing can re-execute them",
+                ));
+            }
+            self.retried
+                .fetch_add(swallowed.len() as u64, std::sync::atomic::Ordering::SeqCst);
+            items = swallowed;
+        }
+    }
+}
+
+/// A `Read + Write` stream wrapper that applies a [`FaultPlan`] at *frame*
+/// granularity on the write side: bytes are buffered until `flush` (the wire
+/// layer flushes exactly once per frame), and the flush consults the plan —
+/// pass the frame through, corrupt one byte (after the checksum was
+/// computed, so the receiver must refuse it), drop it silently, delay it, or
+/// kill the link.  Reads pass straight through.
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    buffered: Vec<u8>,
+    dead: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps a stream with a per-frame fault plan.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultyStream<S> {
+        FaultyStream {
+            inner,
+            plan,
+            buffered: Vec::new(),
+            dead: false,
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.plan.injected()
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: std::io::Read> std::io::Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl<S: std::io::Write> std::io::Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "link killed by fault plan",
+            ));
+        }
+        self.buffered.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "link killed by fault plan",
+            ));
+        }
+        let frame = std::mem::take(&mut self.buffered);
+        match self.plan.next_op() {
+            FaultKind::Pass => {}
+            FaultKind::DropFrame => return Ok(()), // vanished in transit
+            FaultKind::Delay { millis } => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            FaultKind::Disconnect => {
+                self.dead = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "link killed by fault plan",
+                ));
+            }
+            FaultKind::CorruptByte { xor } => {
+                let header = crate::wire::FRAME_HEADER_BYTES as usize;
+                if frame.len() > header {
+                    let index = header + (xor as usize).wrapping_mul(7919) % (frame.len() - header);
+                    let mut corrupted = frame;
+                    corrupted[index] ^= if xor == 0 { 0xff } else { xor };
+                    self.inner.write_all(&corrupted)?;
+                    return self.inner.flush();
+                }
+            }
+        }
+        self.inner.write_all(&frame)?;
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic-jitter backoff
+// ---------------------------------------------------------------------------
+
+/// Exponential backoff with *deterministic* jitter: delay `k` is
+/// `min(base·2ᵏ, max) · (½ + splitmix64(seed ^ k)/2⁶⁵)` — the jitter factor
+/// lives in `[0.5, 1.0)` and is a pure function of `(seed, attempt)`, so
+/// retry schedules replay exactly and never read a clock for randomness.
+/// Seeding by a stable per-endpoint key (see [`Backoff::for_endpoint`])
+/// de-synchronizes a fleet of workers hammering one master without
+/// sacrificing replayability.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    seed: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff schedule from a base delay, a cap, and a jitter seed.
+    pub fn new(base: Duration, max: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            max,
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// A backoff seeded by an endpoint string (FNV-1a of its bytes): every
+    /// process retrying `10.0.0.5:9000` jitters identically run over run,
+    /// while distinct endpoints de-synchronize.
+    pub fn for_endpoint(base: Duration, max: Duration, endpoint: &str) -> Backoff {
+        Backoff::new(
+            base,
+            max,
+            crate::wire::frame_checksum(endpoint.len() as u32, endpoint.as_bytes()),
+        )
+    }
+
+    /// The next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let attempt = self.attempt;
+        self.attempt = self.attempt.saturating_add(1);
+        let doubled = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max);
+        // splitmix64 → [0.5, 1.0): take 53 mantissa bits, halve, offset.
+        let jitter = 0.5
+            + (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        doubled.mul_f64(jitter)
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TCP backend — worker side
 // ---------------------------------------------------------------------------
 
@@ -922,6 +1478,14 @@ pub struct TcpWorkerOptions {
     /// chunks — an operational fault-injection hook, used by the disconnect
     /// recovery tests.
     pub exit_after_chunks: Option<usize>,
+    /// How many times to *redial* after the link closes (0 = exit on close,
+    /// today's one-shot behaviour).  A reconnecting worker treats every link
+    /// end except an explicit outer `done` frame as "the master may be
+    /// restarting" — a `kill -9`'d master and a clean release both present as
+    /// EOF, so only the farewell frame distinguishes them — and redials with
+    /// deterministic-jitter backoff.  This is what lets a recovering master
+    /// find its fleet waiting at the rendezvous.
+    pub reconnect_attempts: u32,
 }
 
 impl Default for TcpWorkerOptions {
@@ -931,6 +1495,7 @@ impl Default for TcpWorkerOptions {
             retry_delay: Duration::from_millis(250),
             idle_timeout: Some(Duration::from_secs(600)),
             exit_after_chunks: None,
+            reconnect_attempts: 0,
         }
     }
 }
@@ -955,6 +1520,12 @@ pub struct TcpWorkerSummary {
     /// any job: the link closed cleanly between the hello and the first job
     /// frame.  Not a failure — the queue simply drained without this worker.
     pub released_before_work: bool,
+    /// Dial attempts that failed and were retried (initial connect and every
+    /// reconnect round).
+    pub dial_retries: u64,
+    /// Sessions re-established after a link loss (only under
+    /// [`TcpWorkerOptions::reconnect_attempts`] > 0).
+    pub reconnects: u32,
 }
 
 /// Runs one worker process end to end: dial the master, handshake, rebuild
@@ -975,15 +1546,101 @@ pub fn run_tcp_worker(
     connect: &str,
     options: &TcpWorkerOptions,
 ) -> Result<TcpWorkerSummary, String> {
-    let mut stream = dial(connect, options)?;
+    let mut summary = TcpWorkerSummary {
+        worker_id: 0,
+        jobs: 0,
+        chunks: 0,
+        evaluated: 0,
+        dropped_early: false,
+        released_before_work: false,
+        dial_retries: 0,
+        reconnects: 0,
+    };
+    // The last job's spec lines and their compiled model set.  A resident
+    // worker behind a query daemon sees the same model for most jobs, and a
+    // repeat job must not pay the exploration again.  The cache survives
+    // reconnects: a worker that outlives a crashed master keeps its compiled
+    // state space for the resumed run.
+    let mut cached: Option<(Vec<String>, CompiledModelSet)> = None;
+    let mut redial = Backoff::for_endpoint(
+        options.retry_delay.max(Duration::from_millis(1)),
+        options.retry_delay.max(Duration::from_millis(1)) * 8,
+        connect,
+    );
 
-    write_frame(
-        &mut stream,
+    loop {
+        let mut stream = match dial(connect, options, &mut summary.dial_retries) {
+            Ok(stream) => stream,
+            // A reconnecting worker that already served work and now cannot
+            // find the master again has outlived the computation — that is a
+            // clean end, not a failure.  The very first dial failing is still
+            // an error either way.
+            Err(e) if summary.reconnects > 0 => {
+                let _ = e;
+                return Ok(summary);
+            }
+            Err(e) => return Err(e),
+        };
+
+        match run_worker_session(&mut stream, options, &mut summary, &mut cached) {
+            // Only an explicit outer `done` (or the fault-injection exit)
+            // ends a reconnecting worker: every other link end could be a
+            // master mid-restart.
+            Ok(SessionEnd::Done) | Ok(SessionEnd::DroppedEarly) => return Ok(summary),
+            Ok(SessionEnd::Released) => {
+                if summary.reconnects >= options.reconnect_attempts {
+                    summary.released_before_work = summary.jobs == 0;
+                    return Ok(summary);
+                }
+            }
+            Ok(SessionEnd::Lost(message)) => {
+                if summary.reconnects >= options.reconnect_attempts {
+                    return Err(message);
+                }
+            }
+            // Protocol-level refusals (wire version skew, bad specs, unknown
+            // frames) are never retried: redialling cannot fix them.
+            Err(protocol) => return Err(protocol),
+        }
+        summary.reconnects += 1;
+        std::thread::sleep(redial.next_delay());
+    }
+}
+
+/// How one worker⇄master session ended, seen from the worker.
+enum SessionEnd {
+    /// The link closed cleanly (EOF) or went idle — a released worker, a
+    /// finished one-shot master, or a `kill -9`'d master: indistinguishable
+    /// at the socket, which is exactly why a reconnecting worker redials on
+    /// this and exits only on [`SessionEnd::Done`].
+    Released,
+    /// The master said `done` at the outer level — an explicit farewell.
+    Done,
+    /// The worker dropped the link itself via
+    /// [`TcpWorkerOptions::exit_after_chunks`].
+    DroppedEarly,
+    /// The link failed abruptly mid-work; the message is the error a
+    /// non-reconnecting worker reports.
+    Lost(String),
+}
+
+/// One connected session: handshake, then serve jobs until the link ends.
+/// Protocol errors (the master speaking a different dialect) are `Err` and
+/// never retried; every way the *link* can end is a [`SessionEnd`].
+fn run_worker_session(
+    stream: &mut TcpStream,
+    options: &TcpWorkerOptions,
+    summary: &mut TcpWorkerSummary,
+    cached: &mut Option<(Vec<String>, CompiledModelSet)>,
+) -> Result<SessionEnd, String> {
+    if let Err(e) = write_frame(
+        stream,
         &Frame::Hello {
             version: WIRE_VERSION,
         },
-    )
-    .map_err(|e| format!("handshake write failed: {e}"))?;
+    ) {
+        return Ok(SessionEnd::Lost(format!("handshake write failed: {e}")));
+    }
 
     // Report a failure the master must hear about (it would otherwise wait on
     // a result that never comes), then fail the worker with the same message.
@@ -1007,21 +1664,8 @@ pub fn run_tcp_worker(
         message
     }
 
-    let mut summary = TcpWorkerSummary {
-        worker_id: 0,
-        jobs: 0,
-        chunks: 0,
-        evaluated: 0,
-        dropped_early: false,
-        released_before_work: false,
-    };
-    // The last job's spec lines and their compiled model set.  A resident
-    // worker behind a query daemon sees the same model for most jobs, and a
-    // repeat job must not pay the exploration again.
-    let mut cached: Option<(Vec<String>, CompiledModelSet)> = None;
-
     loop {
-        let job = match read_frame(&mut stream) {
+        let job = match read_frame(stream) {
             Ok((job, _)) => job,
             // A link that closes while no job is in progress means the master
             // released this worker: either its queue drained without the
@@ -1038,8 +1682,7 @@ pub fn run_tcp_worker(
                         | std::io::ErrorKind::ConnectionAborted
                 ) =>
             {
-                summary.released_before_work = summary.jobs == 0;
-                return Ok(summary);
+                return Ok(SessionEnd::Released);
             }
             // A read timeout *between* jobs is an idle release: the master is
             // merely quiet, but a worker cannot idle forever (that is what
@@ -1053,9 +1696,9 @@ pub fn run_tcp_worker(
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
             {
-                return Ok(summary);
+                return Ok(SessionEnd::Released);
             }
-            Err(e) => return Err(format!("job read failed: {e}")),
+            Err(e) => return Ok(SessionEnd::Lost(format!("job read failed: {e}"))),
         };
         let (worker_id, method, spec_lines) = match job {
             Frame::Job {
@@ -1076,21 +1719,22 @@ pub fn run_tcp_worker(
             // `smpq worker --exit-after` can kill a shard mid-run too.
             Frame::SliceJob { worker, .. } => {
                 summary.worker_id = worker;
-                match crate::shard::serve_slices(&mut stream, &job, options.exit_after_chunks) {
+                match crate::shard::serve_slices(stream, &job, options.exit_after_chunks) {
                     Ok(sliced) => {
                         summary.jobs += 1;
                         summary.chunks += sliced.responses;
                         summary.evaluated += sliced.points;
                         if sliced.exited_early {
                             summary.dropped_early = true;
-                            return Ok(summary);
+                            return Ok(SessionEnd::DroppedEarly);
                         }
                         continue;
                     }
                     // The master vanishing mid-session is how a one-shot
-                    // sharded master releases its workers (and how a lost
-                    // master manifests): both are clean ends here — the
-                    // master side already accounted the disconnect.
+                    // sharded master releases its workers (and how a lost —
+                    // or `kill -9`'d — master manifests): both are clean
+                    // session ends here, and a reconnecting worker redials to
+                    // offer itself to the resumed run.
                     Err(e)
                         if matches!(
                             e.kind(),
@@ -1101,13 +1745,21 @@ pub fn run_tcp_worker(
                                 | std::io::ErrorKind::TimedOut
                         ) =>
                     {
-                        return Ok(summary);
+                        return Ok(SessionEnd::Released);
                     }
-                    Err(e) => return Err(format!("slice session failed: {e}")),
+                    Err(e) => return Ok(SessionEnd::Lost(format!("slice session failed: {e}"))),
                 }
             }
-            // An explicit outer-level `done` releases a resident worker.
-            Frame::Done => return Ok(summary),
+            // An explicit outer-level `done` releases a resident worker — the
+            // one link end a reconnecting worker does *not* retry.
+            Frame::Done => return Ok(SessionEnd::Done),
+            // Outer-level liveness probe (the query server's pool heartbeat).
+            Frame::Ping { nonce } => {
+                if let Err(e) = write_frame(stream, &Frame::Pong { nonce }) {
+                    return Ok(SessionEnd::Lost(format!("heartbeat reply failed: {e}")));
+                }
+                continue;
+            }
             other => return Err(format!("expected job frame, got {other:?}")),
         };
         summary.worker_id = worker_id;
@@ -1117,7 +1769,7 @@ pub fn run_tcp_worker(
         // loudly rather than compute something subtly incompatible.
         if smp_laplace::InversionMethod::from_name(&method).is_none() {
             return Err(fatal(
-                &mut stream,
+                stream,
                 format!("unknown inversion method '{method}'"),
             ));
         }
@@ -1138,12 +1790,9 @@ pub fn run_tcp_worker(
                 .map_err(|e| e.to_string())
                 .and_then(|specs| CompiledModelSet::compile(&specs));
             match compiled {
-                Ok(set) => cached = Some((spec_lines, set)),
+                Ok(set) => *cached = Some((spec_lines, set)),
                 Err(message) => {
-                    return Err(format!(
-                        "spec compile failed: {}",
-                        fatal(&mut stream, message)
-                    ))
+                    return Err(format!("spec compile failed: {}", fatal(stream, message)))
                 }
             }
         }
@@ -1155,16 +1804,16 @@ pub fn run_tcp_worker(
             Err(message) => {
                 return Err(format!(
                     "evaluator construction failed: {}",
-                    fatal(&mut stream, message)
+                    fatal(stream, message)
                 ))
             }
         };
 
         // One job's chunk loop: evaluate until the master says `done`.
         loop {
-            let (frame, _) = match read_frame(&mut stream) {
+            let (frame, _) = match read_frame(stream) {
                 Ok(ok) => ok,
-                Err(e) => return Err(format!("master connection lost: {e}")),
+                Err(e) => return Ok(SessionEnd::Lost(format!("master connection lost: {e}"))),
             };
             match frame {
                 Frame::Chunk { items } => {
@@ -1193,18 +1842,24 @@ pub fn run_tcp_worker(
                         },
                         busy_nanos,
                     };
-                    write_frame(&mut stream, &reply)
-                        .map_err(|e| format!("result write failed: {e}"))?;
+                    if let Err(e) = write_frame(stream, &reply) {
+                        return Ok(SessionEnd::Lost(format!("result write failed: {e}")));
+                    }
                     if let Some(limit) = options.exit_after_chunks {
                         if summary.chunks >= limit {
                             // Fault injection: vanish without a farewell,
                             // exactly like a crashed slave processor.
                             summary.dropped_early = true;
-                            return Ok(summary);
+                            return Ok(SessionEnd::DroppedEarly);
                         }
                     }
                 }
                 Frame::Done => break,
+                Frame::Ping { nonce } => {
+                    if let Err(e) = write_frame(stream, &Frame::Pong { nonce }) {
+                        return Ok(SessionEnd::Lost(format!("heartbeat reply failed: {e}")));
+                    }
+                }
                 other => return Err(format!("unexpected frame from master: {other:?}")),
             }
         }
@@ -1212,8 +1867,14 @@ pub fn run_tcp_worker(
     }
 }
 
-fn dial(connect: &str, options: &TcpWorkerOptions) -> Result<TcpStream, String> {
+/// Dials the master with deterministic-jitter exponential backoff (seeded by
+/// the endpoint string, so the schedule replays run over run and distinct
+/// endpoints de-synchronize).  `retries` counts failed attempts that were
+/// retried.
+fn dial(connect: &str, options: &TcpWorkerOptions, retries: &mut u64) -> Result<TcpStream, String> {
     let attempts = options.connect_attempts.max(1);
+    let base = options.retry_delay.max(Duration::from_millis(1));
+    let mut backoff = Backoff::for_endpoint(base, base * 8, connect);
     let mut last_error = String::new();
     for attempt in 0..attempts {
         match TcpStream::connect(connect) {
@@ -1229,7 +1890,8 @@ fn dial(connect: &str, options: &TcpWorkerOptions) -> Result<TcpStream, String> 
             Err(e) => {
                 last_error = e.to_string();
                 if attempt + 1 < attempts {
-                    std::thread::sleep(options.retry_delay);
+                    *retries += 1;
+                    std::thread::sleep(backoff.next_delay());
                 }
             }
         }
@@ -1641,5 +2303,238 @@ mod tests {
         };
         let error = transport.execute(plan, &mut |_| {}).unwrap_err();
         assert!(error.to_string().contains("left undone"), "{error}");
+    }
+
+    #[test]
+    fn fault_plans_replay_deterministically() {
+        // Scripted ops fire at exactly their index.
+        let mut plan = FaultPlan::scripted([
+            (2, FaultKind::DropFrame),
+            (5, FaultKind::CorruptByte { xor: 0x10 }),
+        ]);
+        let fired: Vec<FaultKind> = (0..8).map(|_| plan.next_op()).collect();
+        assert_eq!(fired[2], FaultKind::DropFrame);
+        assert_eq!(fired[5], FaultKind::CorruptByte { xor: 0x10 });
+        assert_eq!(
+            fired.iter().filter(|k| **k != FaultKind::Pass).count(),
+            2,
+            "nothing fires off-script"
+        );
+        assert_eq!(plan.ops_seen(), 8);
+        assert_eq!(plan.injected(), 2);
+
+        // Seeded schedules are pure functions of (seed, op): two instances
+        // replay identically, a different seed diverges somewhere.
+        let mut a = FaultPlan::seeded(42, 5);
+        let mut b = FaultPlan::seeded(42, 5);
+        let run_a: Vec<FaultKind> = (0..200).map(|_| a.next_op()).collect();
+        let run_b: Vec<FaultKind> = (0..200).map(|_| b.next_op()).collect();
+        assert_eq!(run_a, run_b, "same seed must replay exactly");
+        assert!(a.injected() > 0, "a 1-in-5 schedule over 200 ops fires");
+        assert!(
+            run_a.iter().all(|k| !matches!(k, FaultKind::Delay { .. })),
+            "seeded schedules never delay (tests must stay fast)"
+        );
+
+        // A budget caps total injections.
+        let mut capped = FaultPlan::seeded(42, 5).with_budget(3);
+        for _ in 0..200 {
+            capped.next_op();
+        }
+        assert_eq!(capped.injected(), 3);
+    }
+
+    #[test]
+    fn backoff_schedules_are_deterministic_jittered_and_capped() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(80);
+        let mut a = Backoff::for_endpoint(base, max, "10.0.0.5:9000");
+        let mut b = Backoff::for_endpoint(base, max, "10.0.0.5:9000");
+        let delays_a: Vec<Duration> = (0..10).map(|_| a.next_delay()).collect();
+        let delays_b: Vec<Duration> = (0..10).map(|_| b.next_delay()).collect();
+        assert_eq!(delays_a, delays_b, "same endpoint → same schedule");
+        assert_eq!(a.attempts(), 10);
+        for (k, &d) in delays_a.iter().enumerate() {
+            // Jitter lives in [0.5, 1.0): never less than half the doubled
+            // base, never at or above the cap × 1.0.
+            let ceiling = base.saturating_mul(1 << k.min(16) as u32).min(max);
+            assert!(d >= ceiling / 2, "attempt {k}: {d:?} under the floor");
+            assert!(d < ceiling, "attempt {k}: {d:?} at or over the ceiling");
+        }
+        // A different endpoint de-synchronizes.
+        let mut c = Backoff::for_endpoint(base, max, "10.0.0.6:9000");
+        let delays_c: Vec<Duration> = (0..10).map(|_| c.next_delay()).collect();
+        assert_ne!(delays_a, delays_c, "distinct endpoints must not stampede");
+    }
+
+    #[test]
+    fn faulty_transport_recovers_to_bitwise_identical_outcomes() {
+        let spec = TransformSpec::Analytic(DistSpec::Erlang {
+            rate: 1.25,
+            phases: 4,
+        });
+        let points: Vec<Complex64> = (1..=12)
+            .map(|k| Complex64::new(0.15 * k as f64, 0.4 * k as f64 - 2.0))
+            .collect();
+        let make_plan = || ExecutionPlan {
+            evaluators: vec![Evaluator::Spec(&spec)],
+            items: items_for(&points, 0),
+            chunk_size: 2,
+            method: "euler".to_string(),
+        };
+        let (clean, _) = collect(&InProcess::new(2), make_plan());
+        let schedules = [
+            FaultPlan::scripted([(1, FaultKind::DropFrame)]),
+            FaultPlan::scripted([(0, FaultKind::CorruptByte { xor: 0x20 })]),
+            FaultPlan::scripted([
+                (2, FaultKind::DropFrame),
+                (4, FaultKind::CorruptByte { xor: 0x01 }),
+                (7, FaultKind::Disconnect),
+            ]),
+            FaultPlan::seeded(7, 4).with_budget(5),
+        ];
+        for plan in schedules {
+            let faulty = FaultyTransport::new(InProcess::new(2), plan);
+            assert_eq!(faulty.name(), "faulty");
+            assert!(faulty.reusable());
+            let (outcomes, _) = collect(&faulty, make_plan());
+            assert_eq!(outcomes.len(), clean.len());
+            for (got, want) in outcomes.iter().zip(&clean) {
+                assert_eq!(got.item, want.item);
+                let (got_v, want_v) = (got.outcome.clone().unwrap(), want.outcome.clone().unwrap());
+                assert_eq!(got_v.re.to_bits(), want_v.re.to_bits());
+                assert_eq!(got_v.im.to_bits(), want_v.im.to_bits());
+            }
+            assert!(
+                faulty.recovered_faults() > 0,
+                "every schedule here injects at least one fault"
+            );
+            assert!(faulty.retried_items() > 0, "recovery re-executes items");
+        }
+    }
+
+    #[test]
+    fn faulty_stream_corruption_is_refused_by_the_frame_reader() {
+        // Three frames through a FaultyStream into a buffer: op 0 passes,
+        // op 1 is corrupted, op 2 dropped.  The reader must accept the first,
+        // refuse the second, and see clean EOF instead of the third.
+        let plan = FaultPlan::scripted([
+            (1, FaultKind::CorruptByte { xor: 0x08 }),
+            (2, FaultKind::DropFrame),
+        ]);
+        let mut stream = FaultyStream::new(Vec::<u8>::new(), plan);
+        for nonce in 0..3u64 {
+            write_frame(&mut stream, &Frame::Ping { nonce }).unwrap();
+        }
+        assert_eq!(stream.injected(), 2);
+        let bytes = stream.into_inner();
+        let mut cursor = std::io::Cursor::new(bytes);
+        let (first, _) = read_frame(&mut cursor).unwrap();
+        assert_eq!(first, Frame::Ping { nonce: 0 });
+        let refusal = read_frame(&mut cursor).unwrap_err();
+        assert!(
+            crate::wire::wire_error_of(&refusal).is_some()
+                || refusal.kind() == std::io::ErrorKind::InvalidData,
+            "corruption must surface as a typed refusal, got {refusal:?}"
+        );
+        // The dropped frame shipped no bytes: nothing further to read.
+        let rest = {
+            use std::io::Read;
+            let mut sink = Vec::new();
+            let position = cursor.position() as usize;
+            cursor.read_to_end(&mut sink).unwrap();
+            let _ = position;
+            sink
+        };
+        // After the corrupted frame's bytes there is nothing: the reader
+        // consumed up to the corrupt payload, and the dropped frame vanished.
+        assert!(rest.len() < crate::wire::FRAME_HEADER_BYTES as usize + 2);
+
+        // A disconnect kills the stream for good.
+        let plan = FaultPlan::scripted([(0, FaultKind::Disconnect)]);
+        let mut dead = FaultyStream::new(Vec::<u8>::new(), plan);
+        let error = write_frame(&mut dead, &Frame::Ping { nonce: 9 }).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::ConnectionAborted);
+        let error = write_frame(&mut dead, &Frame::Ping { nonce: 10 }).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::ConnectionAborted);
+    }
+
+    #[test]
+    fn a_restarted_master_rebinds_its_port_through_time_wait() {
+        // After a master dies mid-session, the kernel parks its half of each
+        // accepted connection in TIME_WAIT on the *listener's* port for up to
+        // a minute.  A restarted master must re-bind that exact advertised
+        // port immediately — workers are redialing it — which only works when
+        // both generations of the listener set SO_REUSEADDR before bind.
+        //
+        // Reproduce the state in-process: accept a connection, then close the
+        // master side *first* (active close → our port owns the TIME_WAIT
+        // entry), then re-bind the same port.
+        let listener = bind_reusable_to("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let accepted = listener.accept().unwrap().0;
+        drop(accepted); // master sends FIN first: TIME_WAIT lands on addr
+        let mut sink = Vec::new();
+        let mut client = client;
+        std::io::Read::read_to_end(&mut client, &mut sink).unwrap(); // EOF
+        drop(client);
+        drop(listener);
+        let reborn = bind_reusable_to(addr)
+            .expect("immediate re-bind of a crashed master's port must succeed");
+        assert_eq!(reborn.local_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn reconnecting_worker_redials_after_a_master_crash_and_answers_pings() {
+        // A worker with a reconnect budget treats EOF as "the master may be
+        // restarting" (a kill -9 and a clean close are indistinguishable at
+        // the socket) and exits only on an explicit outer Done.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let worker = std::thread::spawn(move || {
+            run_tcp_worker(
+                &addr.to_string(),
+                &TcpWorkerOptions {
+                    connect_attempts: 40,
+                    retry_delay: Duration::from_millis(10),
+                    idle_timeout: Some(Duration::from_secs(5)),
+                    exit_after_chunks: None,
+                    reconnect_attempts: 5,
+                },
+            )
+        });
+        // Session 1: accept the hello, then vanish without a farewell —
+        // exactly what a kill -9'd master looks like from the worker.
+        {
+            let mut conn = listener.accept().unwrap().0;
+            let (hello, _) = read_frame(&mut conn).unwrap();
+            assert_eq!(
+                hello,
+                Frame::Hello {
+                    version: WIRE_VERSION
+                }
+            );
+            // conn drops here: EOF at the worker.
+        }
+        // Session 2: the worker redials.  Probe it with a heartbeat, then
+        // release it with the explicit outer farewell.
+        {
+            let mut conn = listener.accept().unwrap().0;
+            let (hello, _) = read_frame(&mut conn).unwrap();
+            assert_eq!(
+                hello,
+                Frame::Hello {
+                    version: WIRE_VERSION
+                }
+            );
+            write_frame(&mut conn, &Frame::Ping { nonce: 77 }).unwrap();
+            let (pong, _) = read_frame(&mut conn).unwrap();
+            assert_eq!(pong, Frame::Pong { nonce: 77 });
+            write_frame(&mut conn, &Frame::Done).unwrap();
+        }
+        let summary = worker.join().unwrap().unwrap();
+        assert_eq!(summary.reconnects, 1, "one redial after the crash");
+        assert_eq!(summary.jobs, 0);
     }
 }

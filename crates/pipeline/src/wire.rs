@@ -16,9 +16,14 @@
 //! On top of the field primitives sit the protocol [`Frame`]s exchanged over a
 //! transport connection (see [`crate::transport`]) and the serialization of
 //! [`WorkItem`], [`WorkItemOutcome`] and [`WorkerMessage`].  Frames on a socket
-//! are length-prefixed (`u32` big-endian byte count, then that many bytes of
-//! UTF-8 payload), so the stream needs no sentinel characters and payloads may
-//! contain newlines.
+//! carry a 12-byte header — a `u32` big-endian byte count followed by a `u64`
+//! big-endian FNV-1a checksum over (length bytes ‖ payload) — then that many
+//! bytes of UTF-8 payload, so the stream needs no sentinel characters,
+//! payloads may contain newlines, and a flipped bit anywhere in the frame is a
+//! typed [`WireError::Corrupt`] refusal instead of a silent protocol desync.
+//! A corrupted length prefix is caught twice: above the size cap it is a typed
+//! [`WireError::Oversize`] refusal *before any allocation*, below it the
+//! checksum (which covers the length bytes themselves) no longer matches.
 //!
 //! Numbers that are *quantities* (an `s`-point, a transform value's components)
 //! are rejected when non-finite: a NaN or infinity entering the cache or the
@@ -30,8 +35,11 @@ use crate::worker::{WorkItemOutcome, WorkerMessage};
 use smp_numeric::Complex64;
 use std::io::{Read, Write};
 
-/// Protocol version spoken by this build (first field of `hello`/`job` frames).
-pub const WIRE_VERSION: u32 = 1;
+/// Protocol version spoken by this build (first field of `hello`/`job`
+/// frames).  Version 2 added the checksummed 12-byte frame header and the
+/// fault-tolerance frames (`ping`/`pong` heartbeats, `termreq`/`term`
+/// iterate snapshots, `restore` mid-point resume).
+pub const WIRE_VERSION: u32 = 2;
 
 /// An encoding or decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +59,25 @@ pub enum WireError {
         /// The version the peer announced.
         got: u32,
     },
+    /// The frame header announced a payload above the size cap.  Raised
+    /// *before* any allocation: a corrupted length prefix must not drive an
+    /// unbounded `Vec` reservation.
+    Oversize {
+        /// The announced payload length.
+        len: u32,
+        /// The cap it exceeded.
+        cap: u32,
+    },
+    /// The frame payload did not match its header checksum: bytes were
+    /// flipped in transit (or injected by the fault layer).  The connection
+    /// is no longer trustworthy — the reader refuses the frame instead of
+    /// decoding garbage or desyncing on a wrong length.
+    Corrupt {
+        /// The checksum the header announced.
+        expected: u64,
+        /// The checksum of the bytes actually received.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -64,6 +91,16 @@ impl std::fmt::Display for WireError {
                 write!(
                     f,
                     "peer speaks wire version {got}, this build speaks {WIRE_VERSION}"
+                )
+            }
+            WireError::Oversize { len, cap } => {
+                write!(f, "frame length {len} exceeds the {cap}-byte cap")
+            }
+            WireError::Corrupt { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header says {expected:016x}, \
+                     payload hashes to {got:016x} (bytes corrupted in transit)"
                 )
             }
         }
@@ -396,6 +433,11 @@ fn parse_flag(field: &str, key: &str) -> Result<bool, WireError> {
 /// [`Frame::SliceJob`], [`Frame::SliceRoute`], [`Frame::SPoint`],
 /// [`Frame::Halo`]; worker → master: [`Frame::SliceMeta`],
 /// [`Frame::SState`].
+///
+/// The fault-tolerance layer adds — either direction: [`Frame::Ping`] /
+/// [`Frame::Pong`] liveness probes; master → worker: [`Frame::TermReq`]
+/// (snapshot the slice's iterate) and [`Frame::Restore`] (reload a
+/// checkpointed iterate mid-point); worker → master: [`Frame::Term`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Worker greeting: announces its wire version.
@@ -508,6 +550,56 @@ pub enum Frame {
         /// ascending by row.
         exports: Vec<(u32, Complex64)>,
     },
+    /// Liveness probe: "are you still there?".  The receiver answers with a
+    /// [`Frame::Pong`] echoing the nonce.  Sent by the query server's
+    /// heartbeat sweep to its resident pool workers between jobs.
+    Ping {
+        /// Opaque token echoed by the matching pong.
+        nonce: u64,
+    },
+    /// Liveness reply: echoes the probe's nonce.
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
+    /// Master → worker mid-point: publish your owned slice of the current
+    /// term iterate so the master can checkpoint the round.  A pure read —
+    /// the slice's state is untouched, so snapshot cadence can never perturb
+    /// a value.  The worker answers with a [`Frame::Term`].
+    TermReq {
+        /// Point id this snapshot belongs to.
+        id: u64,
+        /// Round number being snapshotted.
+        r: u64,
+    },
+    /// Worker → master: the slice's owned nonzero iterate entries, keyed by
+    /// *global* row so the master-side snapshot is shard-layout-independent
+    /// (a restart may resume onto a different shard count).
+    Term {
+        /// Point id.
+        id: u64,
+        /// Round number.
+        r: u64,
+        /// `(global row, value)` owned nonzero iterate entries, ascending.
+        entries: Vec<(u32, Complex64)>,
+    },
+    /// Master → worker: reload a checkpointed iterate mid-point.  The worker
+    /// refills for `s`, overwrites its owned block with the entries falling
+    /// in its row range, and answers with the round-`r` [`Frame::SState`]
+    /// (whose exports seed the next round's halos; its target values are a
+    /// re-read of the restored iterate and are ignored by the master, which
+    /// restores the convergence fold from the checkpoint instead).
+    Restore {
+        /// Point id assigned to the resumed point.
+        id: u64,
+        /// The round the snapshot captured; stepping resumes at `r + 1`.
+        r: u64,
+        /// The `s`-point being resumed.
+        s: Complex64,
+        /// `(global row, value)` iterate entries of the full state space,
+        /// ascending; each worker keeps the rows it owns.
+        entries: Vec<(u32, Complex64)>,
+    },
 }
 
 impl Frame {
@@ -609,6 +701,29 @@ impl Frame {
                     out.push_str(&encode_complex(t, "target value")?);
                 }
                 for &(row, value) in exports {
+                    out.push('\n');
+                    out.push_str(&encode_value_entry(row, value)?);
+                }
+                Ok(out)
+            }
+            Frame::Ping { nonce } => Ok(format!("ping nonce={nonce}")),
+            Frame::Pong { nonce } => Ok(format!("pong nonce={nonce}")),
+            Frame::TermReq { id, r } => Ok(format!("termreq id={id} r={r}")),
+            Frame::Term { id, r, entries } => {
+                let mut out = format!("term id={id} r={r} n={}", entries.len());
+                for &(row, value) in entries {
+                    out.push('\n');
+                    out.push_str(&encode_value_entry(row, value)?);
+                }
+                Ok(out)
+            }
+            Frame::Restore { id, r, s, entries } => {
+                let mut out = format!(
+                    "restore id={id} r={r} {} n={}",
+                    encode_complex(*s, "s-point")?,
+                    entries.len()
+                );
+                for &(row, value) in entries {
                     out.push('\n');
                     out.push_str(&encode_value_entry(row, value)?);
                 }
@@ -778,6 +893,65 @@ impl Frame {
                     exports,
                 })
             }
+            "ping" => {
+                let nonce = parse_kv(take(&mut parts, "nonce")?, "nonce")?;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields after ping"));
+                }
+                Ok(Frame::Ping { nonce })
+            }
+            "pong" => {
+                let nonce = parse_kv(take(&mut parts, "nonce")?, "nonce")?;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields after pong"));
+                }
+                Ok(Frame::Pong { nonce })
+            }
+            "termreq" => {
+                let id = parse_kv(take(&mut parts, "id")?, "id")?;
+                let r = parse_kv(take(&mut parts, "r")?, "r")?;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields after termreq"));
+                }
+                Ok(Frame::TermReq { id, r })
+            }
+            "term" => {
+                let id = parse_kv(take(&mut parts, "id")?, "id")?;
+                let r = parse_kv(take(&mut parts, "r")?, "r")?;
+                let n = parse_kv(take(&mut parts, "n")?, "n")? as usize;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields in term header"));
+                }
+                let entries: Result<Vec<(u32, Complex64)>, WireError> =
+                    lines.map(decode_value_entry).collect();
+                let entries = entries?;
+                if entries.len() != n {
+                    return Err(malformed(format!(
+                        "term frame announced {n} entries but carried {}",
+                        entries.len()
+                    )));
+                }
+                Ok(Frame::Term { id, r, entries })
+            }
+            "restore" => {
+                let id = parse_kv(take(&mut parts, "id")?, "id")?;
+                let r = parse_kv(take(&mut parts, "r")?, "r")?;
+                let s = take_complex(&mut parts, "s-point")?;
+                let n = parse_kv(take(&mut parts, "n")?, "n")? as usize;
+                if parts.next().is_some() {
+                    return Err(malformed("trailing fields in restore header"));
+                }
+                let entries: Result<Vec<(u32, Complex64)>, WireError> =
+                    lines.map(decode_value_entry).collect();
+                let entries = entries?;
+                if entries.len() != n {
+                    return Err(malformed(format!(
+                        "restore frame announced {n} entries but carried {}",
+                        entries.len()
+                    )));
+                }
+                Ok(Frame::Restore { id, r, s, entries })
+            }
             other => Err(malformed(format!("unknown frame tag '{other}'"))),
         }
     }
@@ -789,42 +963,112 @@ impl Frame {
 
 /// Upper bound on an accepted frame payload (64 MiB) — a corrupted length
 /// prefix must not trigger a multi-gigabyte allocation.
-const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Writes one length-prefixed UTF-8 payload to a stream and flushes it.
-/// Returns the number of bytes put on the wire (prefix included).
+/// Bytes of frame header on the wire: 4-byte big-endian payload length plus
+/// the 8-byte big-endian FNV-1a checksum over (length bytes ‖ payload).
+pub const FRAME_HEADER_BYTES: u64 = 12;
+
+/// FNV-1a (64-bit) over the length prefix bytes followed by the payload.
+///
+/// Every per-byte FNV-1a step (`h = (h ^ b) * PRIME`) is a bijection of the
+/// running 64-bit hash — xor by a constant and multiplication by the odd
+/// constant `PRIME` are both invertible mod 2⁶⁴ — so flipping any single
+/// byte of the covered bytes *provably* changes the final checksum.  Covering
+/// the length bytes means a flipped length prefix is caught even when the
+/// shorter/longer read happens to land on a frame boundary.
+pub fn frame_checksum(len: u32, payload: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &byte in len.to_be_bytes().iter().chain(payload) {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Wraps a typed [`WireError`] as the source of an `InvalidData` io error, so
+/// protocol layers can refuse with the precise failure kind (see
+/// [`wire_error_of`]).
+fn invalid_data(error: WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, error)
+}
+
+/// Recovers the typed [`WireError`] carried by an io error raised in this
+/// module, if any — the hook that lets the query server and the fault tests
+/// distinguish "bytes were corrupted" from "peer hung up".
+pub fn wire_error_of(error: &std::io::Error) -> Option<&WireError> {
+    error.get_ref().and_then(|e| e.downcast_ref::<WireError>())
+}
+
+/// Writes one checksummed, length-prefixed UTF-8 payload to a stream and
+/// flushes it.  Returns the number of bytes put on the wire (header
+/// included).
 ///
 /// This is the raw layer under [`write_frame`]; the query server's client
 /// protocol layers its own request/response payloads on it so every protocol
-/// in the system shares one framing (and one length cap).
+/// in the system shares one framing (one length cap, one checksum).
 pub fn write_payload(stream: &mut impl Write, payload: &str) -> std::io::Result<u64> {
     let bytes = payload.as_bytes();
     let len = u32::try_from(bytes.len())
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+        .ok()
+        .filter(|&len| len <= MAX_FRAME_BYTES)
+        .ok_or_else(|| {
+            invalid_data(WireError::Oversize {
+                len: u32::try_from(bytes.len()).unwrap_or(u32::MAX),
+                cap: MAX_FRAME_BYTES,
+            })
+        })?;
     stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&frame_checksum(len, bytes).to_be_bytes())?;
     stream.write_all(bytes)?;
     stream.flush()?;
-    Ok(4 + bytes.len() as u64)
+    Ok(FRAME_HEADER_BYTES + bytes.len() as u64)
 }
 
-/// Reads one length-prefixed UTF-8 payload from a stream.  Returns the text
-/// and the number of bytes taken off the wire.  The raw layer under
-/// [`read_frame`] — see [`write_payload`].
+/// Reads one checksummed, length-prefixed UTF-8 payload from a stream.
+/// Returns the text and the number of bytes taken off the wire.  The raw
+/// layer under [`read_frame`] — see [`write_payload`].
+///
+/// An announced length above [`MAX_FRAME_BYTES`] is a typed
+/// [`WireError::Oversize`] refusal raised *before allocating anything*; a
+/// checksum mismatch is a typed [`WireError::Corrupt`] refusal.  Both reach
+/// the caller as `InvalidData` io errors whose source is the [`WireError`]
+/// (recover it with [`wire_error_of`]).
 pub fn read_payload(stream: &mut impl Read) -> std::io::Result<(String, u64)> {
-    let mut prefix = [0u8; 4];
-    stream.read_exact(&mut prefix)?;
-    let len = u32::from_be_bytes(prefix);
+    let mut header = [0u8; FRAME_HEADER_BYTES as usize];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]);
+    let expected = u64::from_be_bytes([
+        header[4], header[5], header[6], header[7], header[8], header[9], header[10], header[11],
+    ]);
     if len > MAX_FRAME_BYTES {
+        return Err(invalid_data(WireError::Oversize {
+            len,
+            cap: MAX_FRAME_BYTES,
+        }));
+    }
+    // Grow the buffer by reading, never by trusting `len` for a reservation:
+    // a corrupted-but-under-cap length costs at most the bytes the stream
+    // actually delivers.
+    let mut payload = Vec::new();
+    let taken = stream
+        .take(u64::from(len))
+        .read_to_end(&mut payload)
+        .map(|n| n as u64)?;
+    if taken < u64::from(len) {
         return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            std::io::ErrorKind::UnexpectedEof,
+            format!("frame truncated: header announced {len} bytes, stream ended after {taken}"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
+    let got = frame_checksum(len, &payload);
+    if got != expected {
+        return Err(invalid_data(WireError::Corrupt { expected, got }));
+    }
     let text = String::from_utf8(payload)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 frame"))?;
-    Ok((text, 4 + len as u64))
+    Ok((text, FRAME_HEADER_BYTES + u64::from(len)))
 }
 
 /// Writes one length-prefixed frame to a stream and flushes it.  Returns the
@@ -849,7 +1093,7 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<(Frame, u64)> {
 /// simulated-latency backend to report the bytes a real network deployment
 /// would have shipped.
 pub fn frame_wire_size(frame: &Frame) -> Result<u64, WireError> {
-    Ok(4 + frame.encode()?.len() as u64)
+    Ok(FRAME_HEADER_BYTES + frame.encode()?.len() as u64)
 }
 
 #[cfg(test)]
@@ -1116,12 +1360,148 @@ mod tests {
     }
 
     #[test]
-    fn oversized_length_prefix_is_rejected() {
+    fn oversized_length_prefix_is_rejected_with_a_typed_error() {
         let mut bytes = vec![0xff, 0xff, 0xff, 0xff];
+        bytes.extend_from_slice(&[0u8; 8]);
         bytes.extend_from_slice(b"junk");
         let mut cursor = std::io::Cursor::new(bytes);
         let error = read_frame(&mut cursor).unwrap_err();
         assert_eq!(error.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            matches!(
+                wire_error_of(&error),
+                Some(WireError::Oversize {
+                    len: 0xffff_ffff,
+                    ..
+                })
+            ),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn fault_frames_round_trip() {
+        let frames = vec![
+            Frame::Ping { nonce: 7 },
+            Frame::Pong { nonce: u64::MAX },
+            Frame::TermReq { id: 9, r: 41 },
+            Frame::Term {
+                id: 9,
+                r: 41,
+                entries: vec![
+                    (0, Complex64::new(1.0 / 3.0, -0.0)),
+                    (250, Complex64::new(-2e-300, 0.5)),
+                ],
+            },
+            Frame::Term {
+                id: 1,
+                r: 0,
+                entries: vec![],
+            },
+            Frame::Restore {
+                id: 10,
+                r: 16,
+                s: Complex64::new(0.25, -1.5),
+                entries: vec![(3, Complex64::new(0.125, 0.0))],
+            },
+        ];
+        for frame in frames {
+            let payload = frame.encode().unwrap();
+            assert_eq!(Frame::decode(&payload).unwrap(), frame, "{payload}");
+        }
+        // Count mismatches and trailing junk are refused.
+        assert!(Frame::decode("term id=1 r=1 n=2\n0 3ff0000000000000 3ff0000000000000").is_err());
+        assert!(Frame::decode("ping nonce=1 extra").is_err());
+        assert!(
+            Frame::decode("restore id=1 r=1 3ff0000000000000 3ff0000000000000 n=1").is_err(),
+            "restore announcing one entry but carrying none"
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_refused() {
+        // The integrity guarantee in its strongest form: take a real frame's
+        // wire bytes, flip every bit of every byte in turn, and demand that
+        // the reader either refuses the frame or (for flips in bytes past
+        // the announced frame, which a reader never consumes) leaves the
+        // decoded frame identical.  Silent acceptance of different content
+        // is the failure mode this framing exists to kill.
+        let frame = Frame::SState {
+            id: 3,
+            r: 5,
+            faithful: true,
+            quiet: false,
+            targets: vec![Complex64::new(0.25, -0.75)],
+            exports: vec![(12, Complex64::new(-1.5, 0.5))],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        for index in 0..wire.len() {
+            for bit in 0..8 {
+                let mut corrupted = wire.clone();
+                corrupted[index] ^= 1 << bit;
+                let mut cursor = std::io::Cursor::new(corrupted);
+                match read_frame(&mut cursor) {
+                    Err(_) => {} // refused: corruption detected
+                    Ok((decoded, _)) => {
+                        panic!("byte {index} bit {bit}: corrupted frame accepted as {decoded:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_typed_refusal() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Done).unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x10; // flip a payload bit
+        let error = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert!(
+            matches!(wire_error_of(&error), Some(WireError::Corrupt { .. })),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof_not_a_hang() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Ping { nonce: 3 }).unwrap();
+        wire.truncate(wire.len() - 2);
+        let error = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn checksum_covers_the_length_prefix() {
+        // Same payload, different announced length: even when the stream
+        // happens to contain enough bytes for the shorter length, the
+        // checksum (computed over the length bytes) no longer matches.
+        let payload = b"done";
+        let len = payload.len() as u32;
+        let sum = frame_checksum(len, payload);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(len - 1).to_be_bytes()); // lie about length
+        wire.extend_from_slice(&sum.to_be_bytes());
+        wire.extend_from_slice(payload);
+        let error = read_payload(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert!(
+            matches!(wire_error_of(&error), Some(WireError::Corrupt { .. })),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn oversized_write_is_refused_before_hitting_the_stream() {
+        let huge = "x".repeat(MAX_FRAME_BYTES as usize + 1);
+        let mut sink = Vec::new();
+        let error = write_payload(&mut sink, &huge).unwrap_err();
+        assert!(
+            matches!(wire_error_of(&error), Some(WireError::Oversize { .. })),
+            "{error}"
+        );
+        assert!(sink.is_empty(), "nothing reached the stream");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use smp_numeric::Complex64;
 use smp_pipeline::wire::{
     decode_finite_f64, decode_worker_message, encode_f64, encode_finite_f64, encode_worker_message,
-    WireError,
+    read_frame, read_payload, write_frame, write_payload, Frame, WireError, FRAME_HEADER_BYTES,
 };
 use smp_pipeline::work::WorkItem;
 use smp_pipeline::worker::{WorkItemOutcome, WorkerMessage};
@@ -172,6 +172,72 @@ proptest! {
     }
 
     #[test]
+    fn checksummed_payloads_round_trip(payload_bytes in collection::vec(0u8..255, 0..4096)) {
+        // Arbitrary UTF-8 text survives the checksummed length-prefixed
+        // framing byte for byte, and both directions agree on the wire size.
+        let payload = string_from(&payload_bytes);
+        let mut wire = Vec::new();
+        let written = write_payload(&mut wire, &payload).unwrap();
+        prop_assert_eq!(written, wire.len() as u64);
+        prop_assert_eq!(written, FRAME_HEADER_BYTES + payload.len() as u64);
+        let (text, taken) = read_payload(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(text, payload);
+        prop_assert_eq!(taken, written);
+    }
+
+    #[test]
+    fn random_byte_flips_in_a_payload_frame_never_decode(
+        payload_bytes in collection::vec(0u8..255, 0..512),
+        position in 0usize..1024,
+        xor in 1u8..=255)
+    {
+        // A flipped byte anywhere in the frame — length prefix, checksum or
+        // payload — must surface as a refusal, never as silently different
+        // (or even silently identical) decoded text.
+        let payload = string_from(&payload_bytes);
+        let mut wire = Vec::new();
+        write_payload(&mut wire, &payload).unwrap();
+        let position = position % wire.len();
+        wire[position] ^= xor;
+        prop_assert!(
+            read_payload(&mut wire.as_slice()).is_err(),
+            "flip of byte {} (xor {:#04x}) in a {}-byte frame went unnoticed",
+            position, xor, wire.len()
+        );
+    }
+
+    #[test]
+    fn random_byte_flips_in_a_worker_result_frame_never_decode(
+        worker in 0usize..64,
+        (measure, index) in (0usize..8, 0usize..1000),
+        (re, im, value) in (-1e300f64..1e300, -1e300f64..1e300, -1e12f64..1e12),
+        position in 0usize..4096,
+        xor in 1u8..=255)
+    {
+        // The same property over a real protocol frame: a corrupted result
+        // chunk is refused instead of feeding a wrong value into the
+        // master's cache (where it would poison the checkpoint too).
+        let message = WorkerMessage {
+            worker,
+            results: vec![WorkItemOutcome {
+                item: WorkItem { measure, index, s: Complex64::new(re, im) },
+                outcome: Ok(Complex64::new(value, -value / 7.0)),
+            }],
+        };
+        let frame = Frame::Result {
+            message,
+            busy_nanos: 3,
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let (decoded, _) = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(&decoded, &frame);
+        let position = position % wire.len();
+        wire[position] ^= xor;
+        prop_assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
     fn non_finite_distribution_parameters_are_rejected(pick in 0u8..3) {
         let bad = match pick {
             0 => f64::NAN,
@@ -188,6 +254,59 @@ proptest! {
             }))),
         ] {
             prop_assert!(matches!(spec.encode(), Err(WireError::NonFinite { .. })));
+        }
+    }
+}
+
+/// Exhaustive, not sampled: *every* single-bit flip at *every* byte position
+/// of a representative frame is either detected by the checksum or refused by
+/// a typed guard — there is no position/bit combination that decodes.
+///
+/// (Every per-byte FNV-1a step is a bijection of the running hash, so a flip
+/// that leaves the frame length unchanged provably changes the checksum; a
+/// flip in the length prefix changes how many bytes are read, which the
+/// length-covering checksum, the size cap or the truncation guard catches.)
+#[test]
+fn every_single_bit_flip_in_a_frame_is_detected_or_refused() {
+    let message = WorkerMessage {
+        worker: 5,
+        results: vec![
+            WorkItemOutcome {
+                item: WorkItem {
+                    measure: 1,
+                    index: 42,
+                    s: Complex64::new(2.5, -1.25),
+                },
+                outcome: Ok(Complex64::new(0.125, 3.0)),
+            },
+            WorkItemOutcome {
+                item: WorkItem {
+                    measure: 0,
+                    index: 7,
+                    s: Complex64::new(-4.0, 0.5),
+                },
+                outcome: Err("worker overheated".to_string()),
+            },
+        ],
+    };
+    let frame = Frame::Result {
+        message,
+        busy_nanos: 123_456,
+    };
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &frame).unwrap();
+    let (reread, _) = read_frame(&mut wire.as_slice()).unwrap();
+    assert_eq!(reread, frame);
+
+    for position in 0..wire.len() {
+        for bit in 0..8u8 {
+            let mut corrupted = wire.clone();
+            corrupted[position] ^= 1 << bit;
+            assert!(
+                read_frame(&mut corrupted.as_slice()).is_err(),
+                "bit {bit} of byte {position}/{} flipped without detection",
+                wire.len()
+            );
         }
     }
 }
